@@ -1,0 +1,15 @@
+"""Benchmark-harness configuration.
+
+Every figure of the paper has one benchmark that regenerates its rows and
+records the headline quantities in ``extra_info`` (visible with
+``pytest benchmarks/ --benchmark-only --benchmark-verbose`` or in the JSON
+export).  Benchmarks run each experiment once — the interesting output is
+the reproduced figure, not sub-millisecond timing jitter.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

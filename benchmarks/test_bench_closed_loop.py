@@ -1,0 +1,25 @@
+"""Bench the closed-loop (replanning) extension across traffic levels."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_closed_loop
+
+
+def test_bench_ext_closed_loop(benchmark):
+    config = ext_closed_loop.ClosedLoopConfig(
+        traffic_levels_vph=(150.0, 650.0), departures=(300.0,)
+    )
+    result = run_once(benchmark, ext_closed_loop.run, config)
+    print()
+    print(ext_closed_loop.report(result))
+
+    # Shape: closed-loop never stops more than open-loop and never costs
+    # more energy at the heavy-traffic end.
+    for vph, open_e, closed_e, open_stops, closed_stops, replans in result.rows:
+        assert closed_stops <= open_stops
+        assert replans > 0
+    heavy = result.rows[-1]
+    assert heavy[2] <= heavy[1] * 1.02
+    benchmark.extra_info["heavy_traffic_stops"] = {
+        "open": heavy[3],
+        "closed": heavy[4],
+    }

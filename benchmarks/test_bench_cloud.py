@@ -1,0 +1,30 @@
+"""Bench the vehicular-cloud service: cache economics at fleet scale."""
+
+from benchmarks.conftest import run_once
+from repro.cloud import CloudPlannerService, FleetStudy
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.route.us25 import us25_greenville_segment
+from repro.units import vehicles_per_hour_to_per_second
+
+
+def test_bench_cloud_fleet(benchmark):
+    road = us25_greenville_segment()
+    planner = QueueAwareDpPlanner(
+        road,
+        arrival_rates=vehicles_per_hour_to_per_second(300.0),
+        config=PlannerConfig(v_step_ms=1.0, s_step_m=25.0),
+    )
+    service = CloudPlannerService(planner, phase_quantum_s=2.0)
+    study = FleetStudy(service, road, fleet_rate_vph=60.0, seed=7)
+
+    result = run_once(benchmark, study.run, 3600.0, human_reference_sample=2)
+    print()
+    print(
+        f"fleet {result.n_vehicles} EVs: saving {result.savings_pct:.1f}%, "
+        f"cache hit rate {result.service.hit_rate:.2f}, "
+        f"server compute {result.service.total_compute_s:.1f} s"
+    )
+    assert result.savings_pct > 5.0
+    assert result.service.hit_rate > 0.2
+    benchmark.extra_info["fleet_savings_pct"] = round(result.savings_pct, 1)
+    benchmark.extra_info["cache_hit_rate"] = round(result.service.hit_rate, 2)

@@ -1,0 +1,96 @@
+"""Benches for the extension experiments and accelerators.
+
+These cover the paper's motivated-but-unevaluated claims (battery wear,
+forecast-error robustness) and the orthogonal speedup of [15].
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.dp import DpSolver
+from repro.core.refine import CoarseToFineSolver
+from repro.experiments import ext_penetration, ext_platoon, ext_sensitivity, ext_wear
+from repro.route.us25 import us25_greenville_segment
+
+
+def test_bench_ext_wear(benchmark):
+    config = ext_wear.WearConfig(n_departures=2)
+    result = run_once(benchmark, ext_wear.run, config)
+    print()
+    print(ext_wear.report(result))
+
+    # The proposed profile processes the least charge (fewest speed cycles).
+    throughput = {n: r.throughput_ah for n, r in result.reports.items()}
+    assert throughput["proposed"] <= throughput["fast"]
+    assert throughput["proposed"] <= throughput["baseline_dp"] + 0.05
+    benchmark.extra_info["life_per_trip_ppm"] = {
+        n: round(r.life_fraction_ppm, 2) for n, r in result.reports.items()
+    }
+
+
+def test_bench_ext_sensitivity(benchmark):
+    result = run_once(benchmark, ext_sensitivity.run)
+    print()
+    print(ext_sensitivity.report(result))
+
+    # Within SAE-level error the true windows must still be hit.
+    sae_band = [r for r in result.rows if abs(r[0]) <= 0.10]
+    assert min(r[2] for r in sae_band) == 1.0
+    # The clear-time shift grows monotonically with the rate error.
+    shifts = [r[1] for r in result.rows]
+    assert all(b >= a - 1e-9 for a, b in zip(shifts, shifts[1:]))
+    benchmark.extra_info["t_star_shift_at_+50pct_s"] = round(result.rows[-1][1], 2)
+
+
+def test_bench_ext_platoon(benchmark):
+    result = run_once(benchmark, ext_platoon.run)
+    print()
+    print(ext_platoon.report(result))
+
+    assert result.rmse_platoon < result.rmse_constant, (
+        "the platoon-aware queue prediction must beat the constant-rate one "
+        "at the downstream signal"
+    )
+    benchmark.extra_info["rmse_constant_veh"] = round(result.rmse_constant, 3)
+    benchmark.extra_info["rmse_platoon_veh"] = round(result.rmse_platoon, 3)
+
+
+def test_bench_ext_penetration(benchmark):
+    config = ext_penetration.PenetrationConfig(
+        n_evs=6, penetrations=(0.0, 0.5, 1.0), background_vph=200.0
+    )
+    result = run_once(benchmark, ext_penetration.run, config)
+    print()
+    print(ext_penetration.report(result))
+
+    fleet = [r[3] for r in result.rows]
+    assert fleet[-1] < fleet[0], "fleet energy must fall with full penetration"
+    benchmark.extra_info["fleet_energy_mah"] = {
+        f"{r[0]:.0%}": round(r[3]) for r in result.rows
+    }
+
+
+def test_bench_coarse_to_fine_speedup(benchmark):
+    """The [15]-style accelerator versus the full fine solve."""
+    road = us25_greenville_segment()
+
+    def compare():
+        full_solver = DpSolver(road)
+        full = full_solver.solve(max_trip_time_s=290.0)
+        c2f = CoarseToFineSolver(road)
+        fast = c2f.solve(max_trip_time_s=290.0)
+        stats = c2f.last_stats
+        return full, fast, stats
+
+    full, fast, stats = run_once(benchmark, compare)
+    quality_gap = (fast.energy_j - full.energy_j) / abs(full.energy_j)
+    speedup = full.solve_time_s / stats.total_time_s
+    print()
+    print(
+        f"coarse-to-fine: {stats.total_time_s:.2f} s vs full {full.solve_time_s:.2f} s "
+        f"({speedup:.2f}x), quality gap {quality_gap * 100:.2f}%"
+    )
+    assert quality_gap < 0.05
+    assert stats.fine_transitions < full.expanded_transitions
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["quality_gap_pct"] = round(quality_gap * 100, 2)

@@ -1,0 +1,20 @@
+"""Bench FIG3: regenerate the consumption-rate surface of Fig. 3."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_energy_map
+
+
+def test_bench_fig3_energy_surface(benchmark):
+    result = run_once(benchmark, fig3_energy_map.run)
+    print()
+    print(fig3_energy_map.report(result))
+
+    # Shape assertions the paper's figure shows.
+    cruise = result.rate_mah_s[np.argmin(np.abs(result.accels_ms2)), :]
+    assert np.all(np.diff(cruise) > 0), "cruise consumption must grow with speed"
+    braking = result.rate_mah_s[result.accels_ms2 <= -1.0][:, result.speeds_kmh > 5]
+    assert np.all(braking < 0), "hard braking must regenerate"
+    benchmark.extra_info["max_rate_mah_s"] = float(result.rate_mah_s.max())
+    benchmark.extra_info["min_rate_mah_s"] = float(result.rate_mah_s.min())

@@ -1,0 +1,17 @@
+"""Bench FIG4: regenerate the SAE prediction-quality table of Fig. 4b."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_sae
+
+
+def test_bench_fig4_sae_prediction(benchmark):
+    result = run_once(benchmark, fig4_sae.run)
+    print()
+    print(fig4_sae.report(result))
+
+    worst_day_mre = max(mre for _, mre, _ in result.per_day)
+    assert worst_day_mre < 0.10, "paper bar: every day's MRE below 10%"
+    assert result.overall["SAE"][0] < result.overall["last-value"][0]
+    assert result.overall["SAE"][1] < result.overall["historical-average"][1]
+    benchmark.extra_info["worst_day_mre_pct"] = round(worst_day_mre * 100.0, 2)
+    benchmark.extra_info["sae_rmse_vph"] = round(result.overall["SAE"][1], 2)

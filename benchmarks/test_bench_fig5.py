@@ -1,0 +1,20 @@
+"""Bench FIG5: regenerate the leaving-rate and queue-length dynamics of Fig. 5."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_queue
+
+
+def test_bench_fig5_traffic_dynamics(benchmark):
+    result = run_once(benchmark, fig5_queue.run)
+    print()
+    print(fig5_queue.report(result))
+
+    # Fig. 5a shape: the VM model reaches V_out = V_in later than [9].
+    assert result.clear_time_baseline_s < result.clear_time_proposed_s
+    # Fig. 5b shape: the proposed QL tracks the observed queue at least as
+    # well as the instant-discharge baseline.
+    assert result.rmse_proposed <= result.rmse_baseline
+    benchmark.extra_info["t_star_proposed_s"] = round(result.clear_time_proposed_s, 2)
+    benchmark.extra_info["t_star_baseline_s"] = round(result.clear_time_baseline_s, 2)
+    benchmark.extra_info["rmse_proposed_veh"] = round(result.rmse_proposed, 3)
+    benchmark.extra_info["rmse_baseline_veh"] = round(result.rmse_baseline, 3)

@@ -1,0 +1,20 @@
+"""Bench FIG6: planned-vs-derived profiles — the queue catches the baseline."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_sumo
+
+
+def test_bench_fig6_planned_vs_derived(benchmark):
+    result = run_once(benchmark, fig6_sumo.run)
+    print()
+    print(fig6_sumo.report(result))
+
+    # Fig. 6 contrast: the baseline plan is disturbed at a signal (stop or
+    # deep slowdown), the proposed plan is not.
+    base_min = result.min_speed_near_signals["baseline_dp"]
+    prop_min = result.min_speed_near_signals["proposed"]
+    assert prop_min > base_min, "proposed must keep a higher minimum speed at signals"
+    assert result.signal_stops["proposed"] == 0
+    benchmark.extra_info["baseline_min_kmh"] = round(base_min * 3.6, 1)
+    benchmark.extra_info["proposed_min_kmh"] = round(prop_min * 3.6, 1)
+    benchmark.extra_info["departure_s"] = result.depart_s

@@ -1,0 +1,24 @@
+"""Bench FIG8: cumulative travel-time curves."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_time
+
+
+def test_bench_fig8_travel_time(benchmark):
+    result = run_once(benchmark, fig8_time.run)
+    print()
+    print(fig8_time.report(result))
+
+    # Fig. 8 shape: mild is the slowest profile; the distance curves are
+    # monotone; the proposed profile does not stop at signals (no flat
+    # regions beyond the stop sign's dwell).
+    assert result.trip_times["mild"] >= result.trip_times["proposed"]
+    assert result.trip_times["mild"] >= result.trip_times["fast"]
+    for name, (elapsed, distance) in result.curves.items():
+        assert np.all(np.diff(distance) >= -1e-9), f"{name} distance must be monotone"
+    assert result.stopped_time_s["proposed"] <= result.stopped_time_s["mild"] + 5.0
+    benchmark.extra_info["trip_times_s"] = {
+        k: round(v, 1) for k, v in result.trip_times.items()
+    }

@@ -1,0 +1,54 @@
+"""Bench: DP planners versus the analytic GLOSA advisors ([17]-style)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_table
+from repro.core.glosa import GlosaAdvisor
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.route.us25 import us25_greenville_segment
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE_VPH = 300.0
+
+
+def test_bench_glosa_comparison(benchmark):
+    road = us25_greenville_segment()
+    rate = vehicles_per_hour_to_per_second(RATE_VPH)
+
+    def compare():
+        green = GlosaAdvisor(road)
+        queue_glosa = GlosaAdvisor(road, arrival_rates=rate)
+        dp = QueueAwareDpPlanner(
+            road, arrival_rates=rate, config=PlannerConfig(v_step_ms=1.0, s_step_m=25.0)
+        )
+        rows = []
+        for depart in (0.0, 20.0, 40.0):
+            g = green.plan(depart)
+            q = queue_glosa.plan(depart)
+            budget = q.profile.total_time_s + 1.0
+            d = dp.plan(depart, max_trip_time_s=budget)
+            rows.append(
+                (
+                    depart,
+                    g.profile.energy().net_mah,
+                    q.profile.energy().net_mah,
+                    d.energy_mah,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, compare)
+    print()
+    print("DP vs analytic GLOSA (planned energies, equal budgets)")
+    print(
+        render_table(
+            ["depart (s)", "green GLOSA (mAh)", "T_q GLOSA (mAh)", "queue-aware DP (mAh)"],
+            rows,
+        )
+    )
+    # The DP should never lose to the greedy advisor at the same budget.
+    for _, g, q, d in rows:
+        assert d <= q * 1.01
+    mean_gap = float(np.mean([(q - d) / q for _, _, q, d in rows])) * 100.0
+    benchmark.extra_info["dp_vs_glosa_saving_pct"] = round(mean_gap, 2)

@@ -1,0 +1,56 @@
+"""Raw performance benches: DP solve throughput and simulator step rate."""
+
+import numpy as np
+
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.route.us25 import us25_greenville_segment
+from repro.sim.simulator import CorridorSimulator
+from repro.traffic.arrival import PoissonArrivalProcess
+from repro.traffic.volume import VolumeSeries
+from repro.units import vehicles_per_hour_to_per_second
+
+
+def test_bench_dp_solve_default_resolution(benchmark):
+    """One queue-aware plan at the paper-fidelity grid."""
+    road = us25_greenville_segment()
+    planner = QueueAwareDpPlanner(
+        road, arrival_rates=vehicles_per_hour_to_per_second(300.0)
+    )
+
+    def solve():
+        return planner.plan(start_time_s=0.0, max_trip_time_s=290.0)
+
+    solution = benchmark.pedantic(solve, rounds=3, iterations=1)
+    assert solution.all_windows_hit
+    benchmark.extra_info["expanded_transitions"] = solution.expanded_transitions
+
+
+def test_bench_dp_solve_coarse_resolution(benchmark):
+    """One plan at the fast (test-suite) grid."""
+    road = us25_greenville_segment()
+    planner = QueueAwareDpPlanner(
+        road,
+        arrival_rates=vehicles_per_hour_to_per_second(300.0),
+        config=PlannerConfig(v_step_ms=1.0, s_step_m=25.0, t_bin_s=2.0),
+    )
+
+    def solve():
+        return planner.plan(start_time_s=0.0, max_trip_time_s=290.0)
+
+    solution = benchmark.pedantic(solve, rounds=3, iterations=1)
+    assert solution.all_windows_hit
+
+
+def test_bench_simulator_step_rate(benchmark):
+    """Simulated seconds of corridor traffic per wall-clock benchmark round."""
+    road = us25_greenville_segment()
+    series = VolumeSeries(np.full(2, 400.0))
+    arrivals = PoissonArrivalProcess(series, seed=1).sample(0.0, 1800.0)
+
+    def run():
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=2)
+        return sim.run(600.0)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.vehicles_entered > 30
+    benchmark.extra_info["vehicles_entered"] = result.vehicles_entered

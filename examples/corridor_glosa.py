@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Queue-aware green-wave planning over a five-signal urban corridor.
+
+The paper evaluates a two-signal highway section; this example shows the
+system generalizing to a longer arterial with staggered offsets and
+per-intersection traffic levels — the GLOSA-style setting its related
+work (Seredynski et al.) studies.  The corridor and its demand profile
+ship with the library (:mod:`repro.route.arterial`).
+
+Run:  python examples/corridor_glosa.py
+"""
+
+from repro import BaselineDpPlanner, PlannerConfig, QueueAwareDpPlanner
+from repro.route.arterial import arterial_arrival_rates, urban_arterial
+
+
+def main() -> None:
+    road = urban_arterial()
+    rates = arterial_arrival_rates()
+    config = PlannerConfig(horizon_s=900.0, window_margin_s=2.0)
+    proposed = QueueAwareDpPlanner(road, arrival_rates=rates, config=config)
+    baseline = BaselineDpPlanner(road, config=PlannerConfig(horizon_s=900.0))
+
+    # Budget: the fastest trip either planner can thread, plus slack.
+    cap = max(proposed.min_trip_time(0.0), baseline.min_trip_time(0.0)) + 10.0
+
+    print(f"corridor: {road.length_m / 1000:.1f} km, {len(road.signals)} signals, cap {cap:.0f} s")
+    for name, planner in (("baseline DP", baseline), ("queue-aware", proposed)):
+        solution = planner.plan(start_time_s=0.0, max_trip_time_s=cap)
+        windows = "all inside" if solution.all_windows_hit else "SOME MISSED"
+        print(
+            f"{name:>12}: {solution.energy_mah:7.1f} mAh, "
+            f"{solution.trip_time_s:5.1f} s, arrival windows {windows}"
+        )
+        for pos in sorted(solution.signal_arrivals):
+            note = ""
+            if name == "queue-aware":
+                t_star = proposed.queue_model(pos).clear_time(rates[pos])
+                note = f" (queue clears {t_star:.1f} s into each cycle)"
+            print(
+                f"              signal {pos:6.0f} m: "
+                f"arrive {solution.signal_arrivals[pos]:6.1f} s{note}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: plan one queue-aware EV trip over the US-25 corridor.
+
+Builds the paper's road section, predicts the queue-free windows at both
+signals for a measured arrival rate, runs the DP optimizer, and verifies
+the plan in the microsimulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BaselineDpPlanner,
+    QueueAwareDpPlanner,
+    check_profile,
+    us25_greenville_segment,
+)
+from repro.sim import Us25Scenario
+from repro.units import vehicles_per_hour_to_per_second
+
+
+def main() -> None:
+    road = us25_greenville_segment()
+    arrival_rate = vehicles_per_hour_to_per_second(153.0)  # the paper's 1 pm count
+
+    planner = QueueAwareDpPlanner(road, arrival_rates=arrival_rate)
+    solution = planner.plan(start_time_s=0.0, max_trip_time_s=280.0)
+
+    print(f"route: {road.name} ({road.length_m / 1000:.1f} km)")
+    print(f"planned trip time : {solution.trip_time_s:.1f} s")
+    print(f"planned energy    : {solution.energy_mah:.1f} mAh")
+    for position, arrival in sorted(solution.signal_arrivals.items()):
+        hit = "inside T_q" if solution.windows_hit[position] else "OUTSIDE T_q"
+        print(f"signal @ {position:.0f} m: arrival {arrival:.1f} s ({hit})")
+
+    audit = check_profile(solution.profile, road)
+    print(f"constraint audit  : {'OK' if audit.ok else audit}")
+
+    # Compare with the green-window baseline [2].
+    baseline = BaselineDpPlanner(road)
+    base = baseline.plan(start_time_s=0.0, max_trip_time_s=280.0)
+    print(f"baseline DP energy: {base.energy_mah:.1f} mAh")
+
+    # Verify in the microsimulator (the paper's SUMO step).
+    scenario = Us25Scenario(road=road, arrival_rate_vph=153.0, warmup_s=0.0, seed=1)
+    result = scenario.drive(solution.profile, depart_s=0.0)
+    trace = result.ev_trace
+    print(
+        f"derived in sim    : {trace.duration_s:.1f} s, "
+        f"{trace.energy().net_mah:.1f} mAh, "
+        f"{result.ev_signal_stops(road)} stop(s) at signals"
+    )
+
+
+if __name__ == "__main__":
+    main()

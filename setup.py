@@ -1,0 +1,8 @@
+"""Setup shim: enables `python setup.py develop` on environments without
+the `wheel` package (PEP 660 editable installs need it; this path doesn't).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Queue-aware velocity optimization for pure electric vehicles.
+
+A full reproduction of *"Velocity Optimization of Pure Electric Vehicles
+with Traffic Dynamics Consideration"* (Kang, Shen, Sarker — ICDCS 2017):
+
+* ``repro.vehicle`` — EV longitudinal dynamics and battery energy model.
+* ``repro.route`` — corridor geometry, limits, stop signs and signals.
+* ``repro.signal`` — traffic-light timing, the VM queue-discharge model
+  and the QL queue-length model with its queue-free windows ``T_q``.
+* ``repro.traffic`` — traffic-volume synthesis and the stacked-autoencoder
+  (SAE) arrival-rate predictor plus baselines.
+* ``repro.core`` — the time-expanded DP velocity optimizer and the three
+  planners (unconstrained, green-window baseline, queue-aware proposed).
+* ``repro.sim`` — a microscopic traffic simulator (SUMO substitute) with a
+  TraCI-style control facade.
+* ``repro.trace`` — synthetic mild/fast human driving profiles and trace IO.
+* ``repro.analysis`` — metrics and table rendering.
+* ``repro.experiments`` — one module per figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import QueueAwareDpPlanner, us25_greenville_segment
+    from repro.units import vehicles_per_hour_to_per_second
+
+    road = us25_greenville_segment()
+    planner = QueueAwareDpPlanner(
+        road, arrival_rates=vehicles_per_hour_to_per_second(153.0)
+    )
+    solution = planner.plan(start_time_s=0.0)
+    print(solution.profile.total_time_s, solution.energy_mah)
+"""
+
+from repro.core import (
+    BaselineDpPlanner,
+    DpSolution,
+    DpSolver,
+    PlannerConfig,
+    QueueAwareDpPlanner,
+    TimeWindowConstraint,
+    UnconstrainedDpPlanner,
+    VelocityProfile,
+    check_profile,
+)
+from repro.route import RoadSegment, us25_greenville_segment
+from repro.signal import QueueLengthModel, TrafficLight, VehicleMovementModel
+from repro.vehicle import EnergyMeter, LongitudinalModel, VehicleParams, chevrolet_spark_ev
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineDpPlanner",
+    "DpSolution",
+    "DpSolver",
+    "EnergyMeter",
+    "LongitudinalModel",
+    "PlannerConfig",
+    "QueueAwareDpPlanner",
+    "QueueLengthModel",
+    "RoadSegment",
+    "TimeWindowConstraint",
+    "TrafficLight",
+    "UnconstrainedDpPlanner",
+    "VehicleMovementModel",
+    "VehicleParams",
+    "VelocityProfile",
+    "check_profile",
+    "chevrolet_spark_ev",
+    "us25_greenville_segment",
+]

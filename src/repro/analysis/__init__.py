@@ -1,0 +1,21 @@
+"""Evaluation metrics and report-table rendering."""
+
+from repro.analysis.metrics import (
+    mean_relative_error,
+    per_day_prediction_errors,
+    root_mean_squared_error,
+    savings_percent,
+)
+from repro.analysis.tables import render_table
+from repro.analysis.stats import Interval, bootstrap_mean, bootstrap_paired_savings
+
+__all__ = [
+    "Interval",
+    "bootstrap_mean",
+    "bootstrap_paired_savings",
+    "mean_relative_error",
+    "per_day_prediction_errors",
+    "render_table",
+    "root_mean_squared_error",
+    "savings_percent",
+]

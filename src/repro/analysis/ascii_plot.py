@@ -1,0 +1,103 @@
+"""ASCII line plots for terminal-only environments.
+
+The benchmark harness runs where no plotting stack exists; these helpers
+render velocity profiles and queue curves as fixed-width character plots
+so the figure reproductions remain *visually* checkable from a shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Glyph used per series, cycled in insertion order.
+_SERIES_GLYPHS = "*o+x#@"
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Args:
+        series: Name -> (x values, y values).  All series share the axes.
+        width: Plot area width in characters.
+        height: Plot area height in rows.
+        x_label: Caption under the x axis.
+        y_label: Caption on the y axis line.
+
+    Returns:
+        A multi-line string: the plot, an axis rule and a legend.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if xs_all.size == 0:
+        raise ValueError("series are empty")
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for glyph, (name, (x, y)) in zip(
+        _SERIES_GLYPHS * (1 + len(series) // len(_SERIES_GLYPHS)), series.items()
+    ):
+        xv = np.asarray(x, dtype=float)
+        yv = np.asarray(y, dtype=float)
+        cols = ((xv - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int)
+        rows = ((yv - y_lo) / (y_hi - y_lo) * (height - 1)).round().astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = glyph
+        legend.append(f"{glyph} = {name}")
+
+    lines = []
+    if y_label:
+        lines.append(f"{y_label[:10]:>10}")
+    lines.append(f"{y_hi:10.1f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_lo:10.1f} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + "-" * width)
+    footer = f"{x_lo:<12.1f}{x_label:^{max(width - 24, 0)}}{x_hi:>12.1f}"
+    lines.append(footer)
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def plot_speed_profiles(
+    traces: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 14,
+    max_points: int = 140,
+) -> str:
+    """Speed-vs-distance chart for one or more driving profiles.
+
+    Args:
+        traces: Name -> (positions in metres, speeds in m/s).
+        width: Chart width.
+        height: Chart height.
+        max_points: Downsampling cap per series (keeps plots readable).
+    """
+    thinned: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for name, (positions, speeds) in traces.items():
+        pos = np.asarray(positions, dtype=float)
+        spd = np.asarray(speeds, dtype=float) * 3.6  # km/h for readability
+        if pos.size > max_points:
+            idx = np.linspace(0, pos.size - 1, max_points).astype(int)
+            pos, spd = pos[idx], spd[idx]
+        thinned[name] = (pos, spd)
+    return ascii_plot(
+        thinned, width=width, height=height, x_label="position (m)", y_label="km/h"
+    )

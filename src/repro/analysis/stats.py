@@ -1,0 +1,93 @@
+"""Resampling statistics for experiment summaries.
+
+The paper reports point estimates; over a departure sweep the honest
+summary carries uncertainty.  These helpers provide seeded bootstrap
+confidence intervals for means and for paired relative savings, used by
+the Fig. 7 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A point estimate with a confidence interval.
+
+    Attributes:
+        estimate: The statistic on the full sample.
+        lower: Lower confidence bound.
+        upper: Upper confidence bound.
+        confidence: The interval's nominal coverage (e.g. 0.9).
+    """
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.1f} [{self.lower:.1f}, {self.upper:.1f}]"
+
+
+def bootstrap_mean(
+    values: Sequence[float],
+    confidence: float = 0.9,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Interval:
+    """Percentile-bootstrap CI for the mean of a sample.
+
+    Raises:
+        ValueError: On empty input or nonsensical confidence levels.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, data.size, size=(n_resamples, data.size))
+    means = data[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return Interval(
+        estimate=float(data.mean()),
+        lower=float(np.quantile(means, alpha)),
+        upper=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def bootstrap_paired_savings(
+    candidate: Sequence[float],
+    reference: Sequence[float],
+    confidence: float = 0.9,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Interval:
+    """CI for the paired percentage saving ``100 * (1 - cand/ref)``.
+
+    Pairs are resampled together (both series come from the same
+    departures), which is what makes the comparison honest when departure
+    phase drives most of the variance.
+    """
+    cand = np.asarray(candidate, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if cand.shape != ref.shape or cand.size == 0:
+        raise ValueError("need equal-length, non-empty paired samples")
+    if np.any(ref <= 0):
+        raise ValueError("reference values must be positive")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, cand.size, size=(n_resamples, cand.size))
+    savings = 100.0 * (1.0 - cand[idx].sum(axis=1) / ref[idx].sum(axis=1))
+    alpha = (1.0 - confidence) / 2.0
+    return Interval(
+        estimate=float(100.0 * (1.0 - cand.sum() / ref.sum())),
+        lower=float(np.quantile(savings, alpha)),
+        upper=float(np.quantile(savings, 1.0 - alpha)),
+        confidence=confidence,
+    )

@@ -1,0 +1,39 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's figures plot; this
+module keeps that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table with a header rule.
+
+    Floats are shown with two decimals; everything else via ``str``.
+    """
+    materialized: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:.2f}")
+            else:
+                cells.append(str(value))
+        materialized.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in materialized:
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(cells) for cells in materialized)
+    return "\n".join(lines)

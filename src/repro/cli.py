@@ -1,0 +1,136 @@
+"""Command-line planning tool: ``repro-plan``.
+
+Plans one EV trip over the US-25 corridor (or a custom-length clone of
+it) and prints the plan summary; optionally writes the time-sampled
+profile to CSV and verifies the plan in the microsimulator.
+
+Examples::
+
+    repro-plan --rate 300 --depart 10 --cap 280
+    repro-plan --planner baseline --csv plan.csv
+    repro-plan --rate 500 --verify --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.planner import (
+    BaselineDpPlanner,
+    PlannerConfig,
+    QueueAwareDpPlanner,
+    UnconstrainedDpPlanner,
+)
+from repro.errors import ReproError
+from repro.route.us25 import us25_greenville_segment
+from repro.trace.io import save_trace_csv
+from repro.units import vehicles_per_hour_to_per_second
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-plan`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-plan",
+        description="Plan a queue-aware EV velocity profile over the US-25 corridor.",
+    )
+    parser.add_argument(
+        "--planner",
+        choices=("proposed", "baseline", "unconstrained"),
+        default="proposed",
+        help="proposed = queue-aware T_q windows; baseline = green windows [2]; "
+        "unconstrained = ignore signals",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=153.0, help="arrival rate at the signals (veh/h)"
+    )
+    parser.add_argument("--depart", type=float, default=0.0, help="departure time (s)")
+    parser.add_argument(
+        "--cap", type=float, default=None, help="trip-time budget (s); default: fastest + 30"
+    )
+    parser.add_argument("--v-step", type=float, default=0.5, help="velocity grid step (m/s)")
+    parser.add_argument("--s-step", type=float, default=10.0, help="distance grid step (m)")
+    parser.add_argument(
+        "--margin", type=float, default=2.0, help="arrival-window safety margin (s)"
+    )
+    parser.add_argument("--csv", type=str, default=None, help="write the profile to CSV")
+    parser.add_argument(
+        "--road",
+        type=str,
+        default=None,
+        help="plan over a corridor loaded from a JSON road file instead of US-25",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="play the plan through the microsimulator and report the derived trip",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulator seed for --verify")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.road:
+        from repro.route.io import load_road_json
+
+        road = load_road_json(args.road)
+    else:
+        road = us25_greenville_segment()
+    config = PlannerConfig(
+        v_step_ms=args.v_step, s_step_m=args.s_step, window_margin_s=args.margin
+    )
+    rate = vehicles_per_hour_to_per_second(args.rate)
+    if args.planner == "proposed":
+        planner = QueueAwareDpPlanner(road, arrival_rates=rate, config=config)
+    elif args.planner == "baseline":
+        planner = BaselineDpPlanner(road, config=config)
+    else:
+        planner = UnconstrainedDpPlanner(road, config=config)
+
+    try:
+        cap = args.cap
+        if cap is None:
+            cap = planner.min_trip_time(args.depart) + 30.0
+        solution = planner.plan(start_time_s=args.depart, max_trip_time_s=cap)
+    except ReproError as exc:
+        print(f"planning failed: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"route        : {road.name} ({road.length_m / 1000:.1f} km)")
+    print(f"planner      : {args.planner}")
+    print(f"trip budget  : {cap:.1f} s")
+    print(f"planned trip : {solution.trip_time_s:.1f} s")
+    print(f"planned energy: {solution.energy_mah:.1f} mAh")
+    for position in sorted(solution.signal_arrivals):
+        arrival = solution.signal_arrivals[position]
+        status = "ok" if solution.windows_hit[position] else "MISSED"
+        print(f"  signal @ {position:6.0f} m: arrive {arrival:7.1f} s [{status}]")
+
+    if args.csv:
+        save_trace_csv(solution.profile.to_time_trace(dt_s=0.5), args.csv)
+        print(f"profile written to {args.csv}")
+
+    if args.verify:
+        from repro.sim.scenario import Us25Scenario
+
+        scenario = Us25Scenario(
+            road=road,
+            arrival_rate_vph=args.rate,
+            warmup_s=args.depart,
+            seed=args.seed,
+        )
+        result = scenario.drive(solution.profile, depart_s=args.depart)
+        trace = result.ev_trace
+        print(
+            f"verified in sim: {trace.duration_s:.1f} s, "
+            f"{trace.energy().net_mah:.1f} mAh, "
+            f"{result.ev_signal_stops(road)} signal stop(s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Vehicular-cloud planning service.
+
+The paper's introduction describes the deployment model of [6, 7]: each
+vehicle uploads its state (starting time and route) to a cloud service
+over wireless, and the cloud computes the optimal velocity profile.  This
+subpackage implements that service layer on top of the planners:
+
+* :mod:`repro.cloud.messages` — the request/response records vehicles
+  exchange with the service.
+* :mod:`repro.cloud.service` — the planning service with a phase-aware
+  plan cache (plans repeat every signal cycle, so most requests are hits).
+* :mod:`repro.cloud.fleet` — fleet-scale evaluation: many EVs request
+  plans over a horizon and drive them through the corridor simulator.
+"""
+
+from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.cloud.service import CloudPlannerService, ServiceStats
+from repro.cloud.fleet import FleetStudy, FleetResult
+
+__all__ = [
+    "CloudPlannerService",
+    "FleetResult",
+    "FleetStudy",
+    "PlanRequest",
+    "PlanResponse",
+    "ServiceStats",
+]

@@ -1,0 +1,55 @@
+"""Request/response records of the vehicular-cloud planning service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.profile import VelocityProfile
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """A vehicle's upload: who it is, when and where it departs.
+
+    Attributes:
+        vehicle_id: Requesting vehicle.
+        depart_s: Intended departure time (absolute seconds).
+        max_trip_time_s: The driver's trip-time budget; ``None`` lets the
+            service pick the fastest-feasible budget plus slack.
+    """
+
+    vehicle_id: str
+    depart_s: float
+    max_trip_time_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.vehicle_id:
+            raise ConfigurationError("vehicle id must be non-empty")
+        if self.depart_s < 0:
+            raise ConfigurationError(f"departure must be >= 0, got {self.depart_s}")
+        if self.max_trip_time_s is not None and self.max_trip_time_s <= 0:
+            raise ConfigurationError("trip-time budget must be positive")
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """The cloud's answer: a profile plus accounting metadata.
+
+    Attributes:
+        vehicle_id: Requesting vehicle (echoed).
+        profile: The planned velocity profile, shifted to the request's
+            departure time.
+        energy_mah: Planned energy (mAh).
+        trip_time_s: Planned duration (s).
+        cache_hit: Whether the plan was served from the phase cache.
+        compute_time_s: Server-side planning time (0 for cache hits).
+    """
+
+    vehicle_id: str
+    profile: VelocityProfile
+    energy_mah: float
+    trip_time_s: float
+    cache_hit: bool
+    compute_time_s: float

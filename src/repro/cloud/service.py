@@ -1,0 +1,178 @@
+"""The cloud planning service with a phase-aware plan cache.
+
+With fixed-time signals and a stationary arrival-rate forecast, the
+planning problem is periodic: a departure at ``t`` and one at
+``t + P`` (``P`` = the common signal period) have identical optimal
+profiles, merely shifted in time.  The service exploits this — requests
+are keyed by the departure's phase within ``P`` (quantized) and the trip
+budget, so a warm cache answers most of a fleet's requests without
+running the DP at all.  This is what makes the vehicular-cloud deployment
+of [6, 7] economical.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.core.planner import DpPlannerBase
+from repro.core.profile import VelocityProfile
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ServiceStats:
+    """Operational counters of the service."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    total_compute_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit fraction; 0 when idle."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+
+class CloudPlannerService:
+    """Serves velocity plans to vehicles, caching by signal phase.
+
+    Args:
+        planner: Any planner from :mod:`repro.core.planner` (typically the
+            queue-aware one).  Callable arrival rates disable caching —
+            a time-varying forecast breaks periodicity.
+        phase_quantum_s: Cache key resolution within the signal period.
+        budget_quantum_s: Cache key resolution of the trip budget.
+        default_budget_slack_s: Slack added to the fastest-feasible trip
+            when a request carries no budget.
+    """
+
+    def __init__(
+        self,
+        planner: DpPlannerBase,
+        phase_quantum_s: float = 1.0,
+        budget_quantum_s: float = 5.0,
+        default_budget_slack_s: float = 30.0,
+    ) -> None:
+        if phase_quantum_s <= 0 or budget_quantum_s <= 0:
+            raise ConfigurationError("cache quanta must be positive")
+        if default_budget_slack_s < 0:
+            raise ConfigurationError("budget slack must be >= 0")
+        self.planner = planner
+        self.phase_quantum_s = float(phase_quantum_s)
+        self.budget_quantum_s = float(budget_quantum_s)
+        self.default_budget_slack_s = float(default_budget_slack_s)
+        self.stats = ServiceStats()
+        self._cache: Dict[Tuple[int, int], Tuple[VelocityProfile, float, float]] = {}
+        self._min_time_cache: Dict[int, float] = {}
+        self._period_s = self._common_signal_period()
+        self._cacheable = self._period_s is not None and not self._rates_time_varying()
+
+    # ------------------------------------------------------------------
+    # Periodicity analysis
+    # ------------------------------------------------------------------
+    def _common_signal_period(self) -> Optional[float]:
+        """LCM of all signal cycles (decisecond precision), if signals exist."""
+        cycles = [site.light.cycle_s for site in self.planner.road.signals]
+        if not cycles:
+            return None
+        decis = [int(round(c * 10.0)) for c in cycles]
+        lcm = decis[0]
+        for d in decis[1:]:
+            lcm = lcm * d // math.gcd(lcm, d)
+        return lcm / 10.0
+
+    def _rates_time_varying(self) -> bool:
+        rates = getattr(self.planner, "arrival_rates", None)
+        if rates is None:
+            return False
+        if callable(rates):
+            return True
+        if isinstance(rates, dict):
+            return any(callable(r) for r in rates.values())
+        return False
+
+    @property
+    def cache_enabled(self) -> bool:
+        """Whether phase caching applies to this planner/road combination."""
+        return self._cacheable
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def request(self, req: PlanRequest) -> PlanResponse:
+        """Answer one vehicle's plan request."""
+        self.stats.requests += 1
+        budget = req.max_trip_time_s
+        if budget is None:
+            budget = self._fastest_trip(req.depart_s) + self.default_budget_slack_s
+
+        key = None
+        if self._cacheable:
+            phase_bin = int((req.depart_s % self._period_s) / self.phase_quantum_s)
+            budget_bin = int(budget / self.budget_quantum_s)
+            key = (phase_bin, budget_bin)
+            cached = self._cache.get(key)
+            if cached is not None:
+                profile, energy_mah, trip_time = cached
+                self.stats.cache_hits += 1
+                return PlanResponse(
+                    vehicle_id=req.vehicle_id,
+                    profile=self._shift_profile(profile, req.depart_s),
+                    energy_mah=energy_mah,
+                    trip_time_s=trip_time,
+                    cache_hit=True,
+                    compute_time_s=0.0,
+                )
+
+        t0 = _time.perf_counter()
+        solution = self.planner.plan(start_time_s=req.depart_s, max_trip_time_s=budget)
+        compute = _time.perf_counter() - t0
+        self.stats.cache_misses += 1
+        self.stats.total_compute_s += compute
+        if key is not None:
+            self._cache[key] = (
+                solution.profile,
+                solution.energy_mah,
+                solution.trip_time_s,
+            )
+        return PlanResponse(
+            vehicle_id=req.vehicle_id,
+            profile=solution.profile,
+            energy_mah=solution.energy_mah,
+            trip_time_s=solution.trip_time_s,
+            cache_hit=False,
+            compute_time_s=compute,
+        )
+
+    def _fastest_trip(self, depart_s: float) -> float:
+        """Minimum feasible trip time, phase-cached like the plans."""
+        if not self._cacheable:
+            return self.planner.min_trip_time(depart_s)
+        phase_bin = int((depart_s % self._period_s) / self.phase_quantum_s)
+        cached = self._min_time_cache.get(phase_bin)
+        if cached is None:
+            t0 = _time.perf_counter()
+            cached = self.planner.min_trip_time(depart_s)
+            self.stats.total_compute_s += _time.perf_counter() - t0
+            self._min_time_cache[phase_bin] = cached
+        return cached
+
+    @staticmethod
+    def _shift_profile(profile: VelocityProfile, depart_s: float) -> VelocityProfile:
+        """The cached profile re-anchored at a new departure time."""
+        return VelocityProfile(
+            positions_m=profile.positions_m,
+            speeds_ms=profile.speeds_ms,
+            dwell_s=profile.dwell_s,
+            start_time_s=depart_s,
+        )
+
+    def clear_cache(self) -> None:
+        """Drop all cached plans (e.g. after a forecast update)."""
+        self._cache.clear()
+        self._min_time_cache.clear()

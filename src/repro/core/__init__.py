@@ -1,0 +1,42 @@
+"""The paper's primary contribution: DP velocity optimization.
+
+Public surface:
+
+* :class:`~repro.core.profile.VelocityProfile` — a distance-indexed plan
+  with kinematically consistent timing (Eq. 10) and energy evaluation.
+* :class:`~repro.core.dp.DpSolver` — the time-expanded dynamic program
+  over (position, velocity, time) implementing Eq. 7-12.
+* :class:`~repro.core.planner.BaselineDpPlanner` — the existing DP [2]:
+  signals constrain arrivals to green windows but queues are ignored.
+* :class:`~repro.core.planner.QueueAwareDpPlanner` — the proposed system:
+  arrivals constrained to the QL model's queue-free windows ``T_q``.
+"""
+
+from repro.core.profile import TimedTrace, VelocityProfile
+from repro.core.constraints import ConstraintReport, check_profile
+from repro.core.dp import DpSolution, DpSolver, TimeWindowConstraint
+from repro.core.glosa import GlosaAdvisor, GlosaPlan
+from repro.core.refine import CoarseToFineSolver
+from repro.core.planner import (
+    BaselineDpPlanner,
+    PlannerConfig,
+    QueueAwareDpPlanner,
+    UnconstrainedDpPlanner,
+)
+
+__all__ = [
+    "BaselineDpPlanner",
+    "CoarseToFineSolver",
+    "ConstraintReport",
+    "DpSolution",
+    "DpSolver",
+    "GlosaAdvisor",
+    "GlosaPlan",
+    "PlannerConfig",
+    "QueueAwareDpPlanner",
+    "TimeWindowConstraint",
+    "TimedTrace",
+    "UnconstrainedDpPlanner",
+    "VelocityProfile",
+    "check_profile",
+]

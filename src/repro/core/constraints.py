@@ -1,0 +1,150 @@
+"""Feasibility checking of velocity profiles against Eq. 7.
+
+The DP guarantees its own output satisfies the constraints on the grid; the
+checker exists so tests, the simulator and externally supplied traces
+(mild/fast human profiles) can be audited with the same rules:
+
+* Eq. 7a — speeds within the zone limits,
+* Eq. 7b — segment accelerations within the comfort band,
+* Eq. 7c/7d — zero speed at stop signs, source and destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.profile import VelocityProfile
+from repro.route.road import RoadSegment
+from repro.vehicle.params import VehicleParams
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """One constraint breach found in a profile.
+
+    Attributes:
+        kind: One of ``"speed_max"``, ``"speed_min"``, ``"accel"``,
+            ``"stop"``, ``"boundary"``.
+        position_m: Route position of the breach.
+        value: The offending value (speed in m/s or acceleration in m/s^2).
+        limit: The violated bound.
+    """
+
+    kind: str
+    position_m: float
+    value: float
+    limit: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind} violated at {self.position_m:.1f} m: "
+            f"value {self.value:.3f} vs limit {self.limit:.3f}"
+        )
+
+
+@dataclass
+class ConstraintReport:
+    """Outcome of checking a profile against a road."""
+
+    violations: List[ConstraintViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no constraint was violated."""
+        return not self.violations
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "all constraints satisfied"
+        lines = [f"{len(self.violations)} violation(s):"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def check_profile(
+    profile: VelocityProfile,
+    road: RoadSegment,
+    vehicle: Optional[VehicleParams] = None,
+    speed_tol_ms: float = 1e-6,
+    accel_tol_ms2: float = 1e-6,
+    stop_tol_ms: float = 1e-6,
+    enforce_min_speed: bool = False,
+) -> ConstraintReport:
+    """Audit a profile against the Eq. 7 feasible set.
+
+    Args:
+        profile: The plan to audit.
+        road: Corridor carrying limits, stop signs and boundaries.
+        vehicle: Acceleration band source; paper defaults when ``None``.
+        speed_tol_ms: Numerical slack on speed-limit checks.
+        accel_tol_ms2: Numerical slack on acceleration checks.
+        stop_tol_ms: Slack on the mandatory-stop zero-speed checks.
+        enforce_min_speed: Also flag speeds below the zone minimum at
+            points far from mandatory stops (Eq. 7a lower bound); off by
+            default because human traces routinely dip below it.
+
+    Returns:
+        A :class:`ConstraintReport`; ``report.ok`` is the verdict.
+    """
+    params = vehicle if vehicle is not None else VehicleParams()
+    report = ConstraintReport()
+    pos = profile.positions_m
+    spd = profile.speeds_ms
+
+    for s, v in zip(pos, spd):
+        v_max = road.v_max_at(float(s))
+        if v > v_max + speed_tol_ms:
+            report.violations.append(
+                ConstraintViolation("speed_max", float(s), float(v), v_max)
+            )
+
+    if enforce_min_speed:
+        stops = np.asarray(road.mandatory_stop_positions())
+        for s, v in zip(pos, spd):
+            v_min = road.v_min_at(float(s))
+            if v_min <= 0:
+                continue
+            # The lower bound cannot apply inside braking/launch ramps
+            # around mandatory stops.
+            ramp = max(
+                v_min * v_min / (2.0 * abs(params.min_accel_ms2)),
+                v_min * v_min / (2.0 * params.max_accel_ms2),
+            )
+            if np.min(np.abs(stops - s)) <= ramp:
+                continue
+            if v < v_min - speed_tol_ms:
+                report.violations.append(
+                    ConstraintViolation("speed_min", float(s), float(v), v_min)
+                )
+
+    accels = profile.accelerations()
+    for s, a in zip(pos[:-1], accels):
+        if a > params.max_accel_ms2 + accel_tol_ms2:
+            report.violations.append(
+                ConstraintViolation("accel", float(s), float(a), params.max_accel_ms2)
+            )
+        elif a < params.min_accel_ms2 - accel_tol_ms2:
+            report.violations.append(
+                ConstraintViolation("accel", float(s), float(a), params.min_accel_ms2)
+            )
+
+    for stop_pos in road.mandatory_stop_positions():
+        if not pos[0] <= stop_pos <= pos[-1]:
+            report.violations.append(
+                ConstraintViolation("boundary", stop_pos, float("nan"), 0.0)
+            )
+            continue
+        v_here = profile.speed_at(stop_pos)
+        # Exact grid hit is required for stops; interpolation is only a
+        # fallback for off-grid audit positions.
+        exact = np.isclose(pos, stop_pos, atol=1e-6)
+        if exact.any():
+            v_here = float(spd[int(np.argmax(exact))])
+        kind = "boundary" if stop_pos in (pos[0], pos[-1]) else "stop"
+        if v_here > stop_tol_ms:
+            report.violations.append(ConstraintViolation(kind, stop_pos, v_here, 0.0))
+
+    return report

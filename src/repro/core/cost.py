@@ -1,0 +1,136 @@
+"""Transition-cost building blocks for the DP (Eq. 9 and Eq. 12).
+
+Two pieces live here:
+
+* :class:`SegmentEnergyTable` — the per-segment matrix of electrical
+  energies for every (v_start, v_end) pair on the velocity grid, i.e. the
+  ``zeta(v(s_i), a(s_i))`` term of Eq. 9, with infeasible accelerations
+  marked infinite (the ``+inf`` branch).
+* :class:`WindowSet` — an ordered set of absolute time windows with a
+  vectorized membership test, used to apply the ``T_q`` penalty of
+  Eq. 11/12 to whole time-bin rows at once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.signal.queue import QueueWindow
+from repro.vehicle.dynamics import LongitudinalModel
+
+
+class SegmentEnergyTable:
+    """Energy matrix ``E[j, j2]`` for one constant-grade segment.
+
+    Args:
+        model: Vehicle consumption model.
+        v_grid: Velocity grid values (m/s), shared across segments.
+        distance_m: Segment length ``ds``.
+        grade_rad: Road grade over the segment (evaluated at its midpoint).
+        a_min: Minimum allowed acceleration (m/s^2, negative).
+        a_max: Maximum allowed acceleration (m/s^2, positive).
+
+    ``E[j, j2]`` is the electrical energy (J, negative under net regen) to
+    go from ``v_grid[j]`` to ``v_grid[j2]`` over the segment at constant
+    acceleration; entries violating Eq. 7b or with zero average speed are
+    ``+inf``.
+    """
+
+    def __init__(
+        self,
+        model: LongitudinalModel,
+        v_grid: np.ndarray,
+        distance_m: float,
+        grade_rad: float,
+        a_min: float,
+        a_max: float,
+    ) -> None:
+        if distance_m <= 0:
+            raise ValueError(f"segment length must be positive, got {distance_m}")
+        self.distance_m = float(distance_m)
+        v0 = v_grid[:, None]
+        v1 = v_grid[None, :]
+        accel = (np.square(v1) - np.square(v0)) / (2.0 * distance_m)
+        v_avg = 0.5 * (v0 + v1)
+        feasible = (accel >= a_min - 1e-12) & (accel <= a_max + 1e-12) & (v_avg > 0.0)
+        energy = np.asarray(
+            model.segment_energy_j(
+                np.broadcast_to(v0, feasible.shape),
+                np.broadcast_to(v1, feasible.shape),
+                distance_m,
+                grade_rad,
+            ),
+            dtype=float,
+        )
+        self.energy_j = np.where(feasible, energy, np.inf)
+        with np.errstate(divide="ignore"):
+            self.travel_s = np.where(v_avg > 0.0, distance_m / np.where(v_avg > 0, v_avg, 1.0), np.inf)
+        self.travel_s = np.where(feasible, self.travel_s, np.inf)
+        self.feasible = feasible
+
+    def successors(self, j: int) -> np.ndarray:
+        """Indices ``j2`` reachable from grid velocity index ``j``."""
+        return np.flatnonzero(self.feasible[j])
+
+
+class WindowSet:
+    """Sorted, disjoint absolute time windows with vectorized membership.
+
+    Args:
+        windows: Queue-free (or green) windows; they are sorted and merged
+            if overlapping.
+    """
+
+    def __init__(self, windows: Sequence[QueueWindow]) -> None:
+        ordered = sorted(windows, key=lambda w: w.start_s)
+        merged: List[Tuple[float, float]] = []
+        for w in ordered:
+            if merged and w.start_s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], w.end_s))
+            else:
+                merged.append((w.start_s, w.end_s))
+        self._starts = np.asarray([m[0] for m in merged], dtype=float)
+        self._ends = np.asarray([m[1] for m in merged], dtype=float)
+
+    def __len__(self) -> int:
+        return int(self._starts.size)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no window exists (e.g. oversaturated signal)."""
+        return self._starts.size == 0
+
+    def contains(self, times: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``times`` fall inside any window."""
+        t = np.asarray(times, dtype=float)
+        if self.is_empty:
+            return np.zeros(t.shape, dtype=bool)
+        idx = np.searchsorted(self._starts, t, side="right") - 1
+        valid = idx >= 0
+        inside = np.zeros(t.shape, dtype=bool)
+        safe = np.clip(idx, 0, self._starts.size - 1)
+        inside[valid] = t[valid] < self._ends[safe[valid]]
+        return inside
+
+    def shrunk(self, margin_s: float) -> "WindowSet":
+        """A copy with every window shrunk by ``margin_s`` on both ends.
+
+        The DP quantizes time into bins; shrinking the target windows by a
+        margin larger than the accumulated rounding error guarantees the
+        continuous-time profile still lands inside the true window.
+        Windows that collapse disappear.
+        """
+        if margin_s < 0:
+            raise ValueError(f"margin must be >= 0, got {margin_s}")
+        survivors = [
+            QueueWindow(s + margin_s, e - margin_s)
+            for s, e in zip(self._starts, self._ends)
+            if (e - margin_s) - (s + margin_s) > 1e-9
+        ]
+        return WindowSet(survivors)
+
+    def as_queue_windows(self) -> List[QueueWindow]:
+        """The merged windows as :class:`QueueWindow` objects."""
+        return [QueueWindow(float(s), float(e)) for s, e in zip(self._starts, self._ends)]

@@ -1,0 +1,489 @@
+"""Time-expanded dynamic-programming velocity optimizer (Eq. 7-12).
+
+The paper's DP discretizes the route into equal-distance points ``s_i`` and
+searches velocity assignments ``v(s_i)`` minimizing total energy (Eq. 8)
+subject to the feasible set (Eq. 7).  Arrival-time constraints at signals
+(Eq. 11) make the problem non-Markovian in ``(position, velocity)`` alone —
+the time of arrival depends on the whole path prefix (Eq. 10).  We make the
+recursion exact by expanding the state to ``(position, velocity, time)``.
+
+Time handling: every state stores its *exact* continuous arrival time; the
+time axis is only *binned* to merge near-simultaneous states (one surviving
+state per ``(position, velocity, bin)``, the cheapest).  Transition times
+are never rounded, so there is no systematic clock drift along a path, and
+window membership (Eq. 11) is evaluated against exact times.
+
+Cost model:
+
+* Transition energy follows Eq. 9: the consumption ``zeta`` integrated
+  over a constant-acceleration segment, ``+inf`` outside the Eq. 7 set.
+* Arrival-time windows apply Eq. 11/12.  ``hard`` mode prunes arrivals
+  outside ``T_q`` (the limit of the paper's large-``M`` penalty); ``penalty``
+  mode adds a finite penalty instead.  We use an *additive* penalty rather
+  than the paper's multiplicative ``M * zeta`` because regenerative braking
+  makes some transition energies negative, where a multiplicative penalty
+  would perversely reward window violations.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost import SegmentEnergyTable, WindowSet
+from repro.core.profile import VelocityProfile
+from repro.errors import ConfigurationError, InfeasibleProblemError
+from repro.route.road import RoadSegment
+from repro.signal.queue import QueueWindow
+from repro.units import joules_to_mah
+from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.params import VehicleParams
+
+
+@dataclass(frozen=True)
+class TimeWindowConstraint:
+    """Restrict the arrival time at a route position to a set of windows.
+
+    Attributes:
+        position_m: Constrained route position (a signal stop line).
+        windows: Admissible absolute arrival windows (``T_q`` or green).
+        mode: ``"hard"`` prunes out-of-window arrivals; ``"penalty"`` adds
+            ``penalty_j`` joules to their cost instead.
+        penalty_j: Additive penalty for ``"penalty"`` mode.
+    """
+
+    position_m: float
+    windows: WindowSet
+    mode: str = "hard"
+    penalty_j: float = 1.0e9
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("hard", "penalty"):
+            raise ConfigurationError(f"unknown constraint mode {self.mode!r}")
+        if self.penalty_j <= 0:
+            raise ConfigurationError(f"penalty must be positive, got {self.penalty_j}")
+
+
+@dataclass
+class DpSolution:
+    """Result of one DP solve.
+
+    Attributes:
+        profile: The optimal velocity profile (with stop-sign dwells).
+        energy_j: Objective value (J); equals the metered plan energy up to
+            discretization, plus penalties in ``"penalty"`` mode.
+        trip_time_s: Planned trip duration (s), exact along the DP path.
+        signal_arrivals: Arrival instants at each constrained position,
+            from the reconstructed profile.
+        windows_hit: Whether each arrival falls inside its windows.
+        solve_time_s: Wall-clock solver runtime.
+        expanded_transitions: Number of (segment, v, v') pairs relaxed.
+    """
+
+    profile: VelocityProfile
+    energy_j: float
+    trip_time_s: float
+    signal_arrivals: Dict[float, float] = field(default_factory=dict)
+    windows_hit: Dict[float, bool] = field(default_factory=dict)
+    solve_time_s: float = 0.0
+    expanded_transitions: int = 0
+
+    @property
+    def energy_mah(self) -> float:
+        """Objective in mAh at the default 399 V pack (Fig. 7 unit)."""
+        return joules_to_mah(self.energy_j, 399.0)
+
+    @property
+    def all_windows_hit(self) -> bool:
+        """True when every constrained arrival lands inside its window."""
+        return all(self.windows_hit.values())
+
+
+class DpSolver:
+    """Forward DP over the ``(position, velocity, time)`` lattice.
+
+    Args:
+        road: Corridor with limits, stop signs and boundaries.
+        vehicle: EV parameters (paper defaults when ``None``).
+        v_step_ms: Velocity grid resolution (m/s).
+        s_step_m: Distance grid resolution (m); stop signs and signals are
+            snapped in exactly.
+        t_bin_s: Time-bin width used to merge near-simultaneous states (s).
+        horizon_s: Clock horizon; arrivals beyond it are pruned.  Also the
+            default trip-time bound.
+        stop_dwell_s: Mandatory stationary dwell at each stop sign (s).
+        enforce_min_speed: Apply the Eq. 7a lower bound away from stops.
+        velocity_bounds: Optional map from route position (m) to an extra
+            ``(v_lo, v_hi)`` admissible band, intersected with the road
+            limits.  The coarse-to-fine accelerator uses this to restrict
+            the fine search to a corridor around a coarse solution.
+    """
+
+    def __init__(
+        self,
+        road: RoadSegment,
+        vehicle: Optional[VehicleParams] = None,
+        v_step_ms: float = 0.5,
+        s_step_m: float = 10.0,
+        t_bin_s: float = 1.0,
+        horizon_s: float = 600.0,
+        stop_dwell_s: float = 2.0,
+        enforce_min_speed: bool = True,
+        velocity_bounds=None,
+    ) -> None:
+        if v_step_ms <= 0 or s_step_m <= 0 or t_bin_s <= 0 or horizon_s <= 0:
+            raise ConfigurationError("grid resolutions and horizon must be positive")
+        if stop_dwell_s < 0:
+            raise ConfigurationError(f"stop dwell must be >= 0, got {stop_dwell_s}")
+        self.road = road
+        self.vehicle = vehicle if vehicle is not None else VehicleParams()
+        self.model = LongitudinalModel(self.vehicle)
+        self.v_step_ms = float(v_step_ms)
+        self.s_step_m = float(s_step_m)
+        self.t_bin_s = float(t_bin_s)
+        self.horizon_s = float(horizon_s)
+        self.stop_dwell_s = float(stop_dwell_s)
+        self.enforce_min_speed = bool(enforce_min_speed)
+        self.velocity_bounds = velocity_bounds
+
+        self.positions = road.grid(s_step_m)
+        v_max_global = max(zone.v_max_ms for zone in road.zones)
+        n_levels = int(np.floor(v_max_global / v_step_ms + 1e-9)) + 1
+        self.v_grid = np.arange(n_levels) * v_step_ms
+        if self.v_grid[-1] < v_max_global - 1e-9:
+            # Keep the exact speed limit reachable: losing the top sliver
+            # of speed compounds into several seconds over a long corridor,
+            # enough to miss tight windows.
+            self.v_grid = np.append(self.v_grid, v_max_global)
+        self._allowed = self._build_allowed_masks()
+        self._dwell_at = self._build_dwells()
+        self._tables: List[SegmentEnergyTable] = self._build_tables()
+        self._min_time_to_go = self._build_min_time_to_go()
+
+    # ------------------------------------------------------------------
+    # Grid construction
+    # ------------------------------------------------------------------
+    def _build_allowed_masks(self) -> np.ndarray:
+        """Per-point boolean masks of admissible velocity indices (Eq. 7a/7c)."""
+        stops = np.asarray(self.road.mandatory_stop_positions())
+        n_pts = self.positions.size
+        allowed = np.zeros((n_pts, self.v_grid.size), dtype=bool)
+        for i, s in enumerate(self.positions):
+            if np.min(np.abs(stops - s)) < 1e-6:
+                allowed[i, 0] = True  # mandatory stop: only v = 0
+                continue
+            v_max = self.road.v_max_at(float(s))
+            mask = (self.v_grid > 0.0) & (self.v_grid <= v_max + 1e-9)
+            if self.enforce_min_speed:
+                v_min = self.road.v_min_at(float(s))
+                if v_min > 0:
+                    ramp = max(
+                        v_min * v_min / (2.0 * abs(self.vehicle.min_accel_ms2)),
+                        v_min * v_min / (2.0 * self.vehicle.max_accel_ms2),
+                    ) + self.s_step_m
+                    if np.min(np.abs(stops - s)) > ramp:
+                        mask &= self.v_grid >= v_min - 1e-9
+            if self.velocity_bounds is not None:
+                lo, hi = self.velocity_bounds(float(s))
+                mask &= (self.v_grid >= lo - 1e-9) & (self.v_grid <= hi + 1e-9)
+            if not mask.any():
+                raise ConfigurationError(
+                    f"no admissible velocity at {s:.1f} m; check zone limits vs grid step"
+                )
+            allowed[i] = mask
+        return allowed
+
+    def _build_dwells(self) -> np.ndarray:
+        """Dwell time charged when departing each grid point (stop signs only)."""
+        dwells = np.zeros(self.positions.size)
+        for sign in self.road.stop_signs:
+            idx = int(np.argmin(np.abs(self.positions - sign.position_m)))
+            dwells[idx] = self.stop_dwell_s
+        return dwells
+
+    def _build_tables(self) -> List[SegmentEnergyTable]:
+        """Per-segment energy/time tables (cached across solves)."""
+        tables = []
+        a_min, a_max = self.vehicle.min_accel_ms2, self.vehicle.max_accel_ms2
+        for i in range(self.positions.size - 1):
+            ds = float(self.positions[i + 1] - self.positions[i])
+            mid = float(0.5 * (self.positions[i] + self.positions[i + 1]))
+            tables.append(
+                SegmentEnergyTable(
+                    self.model, self.v_grid, ds, self.road.grade_at(mid), a_min, a_max
+                )
+            )
+        return tables
+
+    def _build_min_time_to_go(self) -> np.ndarray:
+        """Optimistic remaining travel time from each grid point (s).
+
+        An admissible bound — the fastest any label could still finish —
+        used to prune labels that can no longer make the trip-time cap.
+        Uses each segment's cheapest feasible traversal time plus the
+        mandatory stop-sign dwells.
+        """
+        n_pts = self.positions.size
+        to_go = np.zeros(n_pts)
+        for i in range(n_pts - 2, -1, -1):
+            finite = self._tables[i].travel_s[self._tables[i].feasible]
+            best = float(finite.min()) if finite.size else np.inf
+            to_go[i] = to_go[i + 1] + best + self._dwell_at[i]
+        return to_go
+
+    def _segment_pairs(self, i: int) -> tuple:
+        """Feasible (j, j2, energy, dt) transition arrays for segment ``i``."""
+        table = self._tables[i]
+        feasible = table.feasible & self._allowed[i][:, None] & self._allowed[i + 1][None, :]
+        j_arr, j2_arr = np.nonzero(feasible)
+        e_arr = table.energy_j[j_arr, j2_arr]
+        dt_arr = table.travel_s[j_arr, j2_arr] + self._dwell_at[i]
+        return j_arr, j2_arr, e_arr, dt_arr
+
+    # ------------------------------------------------------------------
+    # Solve
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        constraints: Sequence[TimeWindowConstraint] = (),
+        start_time_s: float = 0.0,
+        max_trip_time_s: Optional[float] = None,
+        minimize: str = "energy",
+        start_state: Optional[Tuple[float, float]] = None,
+    ) -> DpSolution:
+        """Run the forward DP and reconstruct the optimal profile.
+
+        Args:
+            constraints: Arrival-time window constraints (one per signal).
+            start_time_s: Absolute departure time at the source (or at the
+                ``start_state`` position when replanning mid-route).
+            max_trip_time_s: Optional trip-duration cap; defaults to the
+                solver horizon.
+            minimize: ``"energy"`` (Eq. 8, the default) or ``"time"`` —
+                the latter finds the fastest constraint-feasible trip,
+                useful for calibrating achievable trip-time budgets.
+            start_state: Optional mid-route initial state ``(position_m,
+                speed_ms)`` for online replanning: the DP starts at the
+                first grid point at/after the position, seeded with the
+                nearest admissible grid velocity, and the returned profile
+                covers only the remaining route.  ``None`` plans the whole
+                trip from rest at the source (Eq. 7d).
+
+        Raises:
+            InfeasibleProblemError: No path satisfies all constraints
+                within the horizon.
+        """
+        if minimize not in ("energy", "time"):
+            raise ConfigurationError(f"unknown objective {minimize!r}")
+        t0 = _time.perf_counter()
+        trip_cap = max_trip_time_s if max_trip_time_s is not None else self.horizon_s
+        if trip_cap <= 0:
+            raise ConfigurationError(f"trip-time cap must be positive, got {trip_cap}")
+        trip_cap = min(trip_cap, self.horizon_s)
+        n_bins = int(np.floor(self.horizon_s / self.t_bin_s)) + 1
+        n_pts = self.positions.size
+        i0, j0, seed_time = self._seed_state(start_state, start_time_s)
+
+        constraint_at: Dict[int, TimeWindowConstraint] = {}
+        for constraint in constraints:
+            idx = int(np.argmin(np.abs(self.positions - constraint.position_m)))
+            if abs(self.positions[idx] - constraint.position_m) > self.s_step_m:
+                raise ConfigurationError(
+                    f"constraint position {constraint.position_m} m is not on the grid"
+                )
+            constraint_at[idx] = constraint
+
+        # Flat label lists per route point.  A label is (velocity index,
+        # exact arrival time, exact cost-to-come, back-pointer into the
+        # previous point's label list).
+        lab_v = np.asarray([j0], dtype=np.int16)
+        lab_t = np.asarray([seed_time])
+        lab_c = np.asarray([0.0])
+        prev_of: List[np.ndarray] = []
+        v_of: List[np.ndarray] = [lab_v]
+        expanded = 0
+
+        for i in range(i0, n_pts - 1):
+            j_arr, j2_arr, e_arr, dt_arr = self._segment_pairs(i)
+            if j_arr.size == 0:
+                raise InfeasibleProblemError(
+                    f"no feasible transition over segment {i} "
+                    f"({self.positions[i]:.0f}-{self.positions[i + 1]:.0f} m)"
+                )
+
+            # Expand every (source label, feasible successor) combination.
+            order_v = np.argsort(lab_v, kind="stable")
+            src_sorted_v = lab_v[order_v]
+            counts = np.bincount(src_sorted_v, minlength=self.v_grid.size)
+            starts = np.concatenate([[0], np.cumsum(counts)])
+            src_chunks, j2_chunks, e_chunks, dt_chunks = [], [], [], []
+            for j in np.unique(src_sorted_v):
+                pairs = j_arr == j
+                if not pairs.any():
+                    continue
+                labels_here = order_v[starts[j]: starts[j + 1]]
+                succ = j2_arr[pairs]
+                src_chunks.append(np.repeat(labels_here, succ.size))
+                j2_chunks.append(np.tile(succ, labels_here.size))
+                e_chunks.append(np.tile(e_arr[pairs], labels_here.size))
+                dt_chunks.append(np.tile(dt_arr[pairs], labels_here.size))
+            if not src_chunks:
+                raise InfeasibleProblemError(
+                    f"all labels stranded entering segment {i} "
+                    f"({self.positions[i]:.0f}-{self.positions[i + 1]:.0f} m)"
+                )
+            src = np.concatenate(src_chunks)
+            cj2 = np.concatenate(j2_chunks)
+            cc = np.concatenate(e_chunks) + lab_c[src]
+            ct = np.concatenate(dt_chunks) + lab_t[src]
+            expanded += src.size
+
+            # Time is monotone along a path, so prune any label that could
+            # not reach the destination inside the cap even at the fastest
+            # feasible continuation (admissible suffix bound).
+            keep = ct - start_time_s + self._min_time_to_go[i + 1] <= trip_cap + 1e-9
+            target = constraint_at.get(i + 1)
+            if target is not None:
+                ok = target.windows.contains(ct)
+                if target.mode == "hard":
+                    keep &= ok
+                else:
+                    cc = np.where(ok, cc, cc + target.penalty_j)
+            src, cj2, cc, ct = src[keep], cj2[keep], cc[keep], ct[keep]
+            if src.size == 0:
+                raise InfeasibleProblemError(
+                    f"no label survives into {self.positions[i + 1]:.0f} m; "
+                    "windows or horizon are too tight"
+                )
+
+            # Label selection per (v', time bin): keep BOTH the cheapest
+            # candidate and the earliest candidate.  The cheapest slot
+            # drives energy optimality; the earliest slot preserves the
+            # fast time-frontier exactly, so tight windows downstream stay
+            # reachable (a cheaper-but-later label can never displace the
+            # fastest lineage).
+            k2 = np.round((ct - start_time_s) / self.t_bin_s).astype(np.int64)
+            tgt = cj2.astype(np.int64) * n_bins + k2
+            sel_cheap = _first_per_group(tgt, np.lexsort((ct, cc, tgt)))
+            sel_fast = _first_per_group(tgt, np.lexsort((cc, ct, tgt)))
+            sel = np.unique(np.concatenate([sel_cheap, sel_fast]))
+
+            prev_of.append(src[sel].astype(np.int32))
+            lab_v = cj2[sel].astype(np.int16)
+            lab_t = ct[sel]
+            lab_c = cc[sel]
+            v_of.append(lab_v)
+
+        # Destination: mandatory v = 0 (Eq. 7d), trip time within the cap.
+        at_rest = lab_v == 0
+        in_cap = lab_t - start_time_s <= trip_cap + 1e-9
+        ok_final = at_rest & in_cap
+        if not ok_final.any():
+            raise InfeasibleProblemError(
+                "no feasible profile: horizon, windows or limits are too tight"
+            )
+        candidates = np.flatnonzero(ok_final)
+        objective = lab_c if minimize == "energy" else lab_t
+        best = candidates[int(np.argmin(objective[candidates]))]
+        best_cost = float(lab_c[best])
+        trip_time = float(lab_t[best] - start_time_s)
+
+        speeds = self._backtrack(prev_of, v_of, int(best))
+        profile = VelocityProfile(
+            positions_m=self.positions[i0:],
+            speeds_ms=speeds,
+            dwell_s=self._dwell_at[i0:],
+            start_time_s=seed_time,
+        )
+        arrivals: Dict[float, float] = {}
+        hits: Dict[float, bool] = {}
+        for idx, constraint in constraint_at.items():
+            if idx < i0:
+                continue  # already passed this signal before replanning
+            t_arr = float(profile.arrival_times_s[idx - i0])
+            arrivals[constraint.position_m] = t_arr
+            hits[constraint.position_m] = bool(
+                constraint.windows.contains(np.asarray([t_arr]))[0]
+            )
+        return DpSolution(
+            profile=profile,
+            energy_j=best_cost,
+            trip_time_s=trip_time,
+            signal_arrivals=arrivals,
+            windows_hit=hits,
+            solve_time_s=_time.perf_counter() - t0,
+            expanded_transitions=expanded,
+        )
+
+    def _seed_state(
+        self, start_state: Optional[Tuple[float, float]], start_time_s: float
+    ) -> Tuple[int, int, float]:
+        """Resolve the initial DP label: (grid index, velocity index, time).
+
+        A whole-trip solve seeds (source, v=0, departure time).  A
+        replanning solve snaps the physical state onto the grid: the first
+        grid point at or after the position, the nearest admissible grid
+        velocity there, and the time adjusted by the short hop from the
+        physical position to that grid point at the current speed.
+        """
+        if start_state is None:
+            return 0, 0, start_time_s
+        position_m, speed_ms = start_state
+        if speed_ms < 0:
+            raise ConfigurationError(f"speed must be >= 0, got {speed_ms}")
+        if not 0.0 <= position_m < self.positions[-1]:
+            raise ConfigurationError(
+                f"replanning position {position_m} m is outside the route"
+            )
+        i0 = int(np.searchsorted(self.positions, position_m - 1e-9))
+        allowed = np.flatnonzero(self._allowed[i0])
+        j0 = int(allowed[np.argmin(np.abs(self.v_grid[allowed] - speed_ms))])
+        hop_m = float(self.positions[i0] - position_m)
+        if hop_m <= 1e-9:
+            return i0, j0, start_time_s
+        # Reference speed for the hop: the mean of the endpoint speeds,
+        # floored by what a launch at a_max would average over the hop —
+        # a stopped vehicle snapping onto a stop-point seed must not be
+        # charged a near-infinite crawl.
+        launch_avg = 0.5 * np.sqrt(self.vehicle.max_accel_ms2 * hop_m)
+        hop_speed = max(0.5 * (speed_ms + self.v_grid[j0]), launch_avg, 0.1)
+        return i0, j0, start_time_s + hop_m / hop_speed
+
+    def _backtrack(
+        self, prev_of: List[np.ndarray], v_of: List[np.ndarray], final_label: int
+    ) -> np.ndarray:
+        """Recover the velocity sequence by walking label back-pointers."""
+        speeds = np.empty(len(v_of))
+        label = final_label
+        speeds[-1] = self.v_grid[int(v_of[-1][label])]
+        for i in range(len(prev_of) - 1, -1, -1):
+            label = int(prev_of[i][label])
+            speeds[i] = self.v_grid[int(v_of[i][label])]
+        if label != 0:
+            raise InfeasibleProblemError("backtrack did not terminate at the seed state")
+        return speeds
+
+
+def _first_per_group(groups: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Indices of the first element of each group under a given sort order.
+
+    ``order`` must sort ``groups`` into contiguous runs (e.g. a lexsort
+    whose primary key is ``groups``); the first element of each run is the
+    winner under the secondary sort keys.
+    """
+    sorted_groups = groups[order]
+    first = np.ones(order.size, dtype=bool)
+    first[1:] = sorted_groups[1:] != sorted_groups[:-1]
+    return order[first]
+
+
+def green_windows_for_signal(light, start_s: float, horizon_s: float) -> List[QueueWindow]:
+    """All green windows of a light over a horizon, as queue windows.
+
+    This is the arrival set used by the *baseline* DP [2], which assumes a
+    green signal can be crossed instantly regardless of any queue.
+    """
+    return [QueueWindow(a, b) for a, b in light.green_windows(horizon_s, start_s)]

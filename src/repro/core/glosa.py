@@ -1,0 +1,284 @@
+"""Analytic GLOSA baseline: greedy green-light speed advisory.
+
+The paper's related work compares "green light optimal speed advisory"
+approaches (Seredynski et al. [17]): lightweight systems that, instead of
+solving a DP, greedily pick one cruise speed per road leg so the vehicle
+arrives at the next signal inside a green window.  This module implements
+that class of advisor — with an optional queue-aware variant that targets
+the QL model's ``T_q`` windows instead of raw green — as a comparator for
+the DP planners:
+
+* it is orders of magnitude cheaper to compute,
+* it is greedy: each leg commits to the earliest reachable window, which
+  can force expensive speeds on later legs where the DP trades globally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.profile import VelocityProfile
+from repro.errors import ConfigurationError, InfeasibleProblemError
+from repro.route.road import RoadSegment
+from repro.signal.queue import QueueLengthModel, QueueWindow
+from repro.signal.vm import VehicleMovementModel
+from repro.vehicle.params import VehicleParams
+
+ArrivalRate = Union[float, Callable[[float], float]]
+
+
+@dataclass
+class GlosaPlan:
+    """The advisor's output.
+
+    Attributes:
+        profile: The advised velocity profile.
+        signal_arrivals: Arrival time at each signal position.
+        waited_at: Signal positions where no window was reachable and the
+            advisor fell back to stopping and waiting.
+    """
+
+    profile: VelocityProfile
+    signal_arrivals: Dict[float, float]
+    waited_at: List[float]
+
+    @property
+    def stop_free(self) -> bool:
+        """True when every signal was crossed without stopping."""
+        return not self.waited_at
+
+
+def _leg_kinematics(
+    v0: float, v1: float, v_c: float, length: float, a_up: float, a_down: float
+) -> Tuple[float, float, float, float]:
+    """Travel time and ramp breakdown of one leg at cruise ``v_c``.
+
+    Returns ``(time, d_up, d_down, peak)``: the leg traversal time, the
+    entry/exit ramp lengths and the realized peak speed (below ``v_c``
+    when the leg is too short for a full trapezoid).
+    """
+    v_c = max(v_c, 0.1)
+    if v1 > v0:
+        # The exit speed may itself be unreachable on a very short leg:
+        # then the vehicle simply accelerates the whole way.
+        reachable = float(np.sqrt(v0 * v0 + 2.0 * a_up * length))
+        if reachable <= v1 + 1e-9:
+            t_up = (reachable - v0) / a_up
+            return t_up, length, 0.0, reachable
+    d_up = abs(v_c * v_c - v0 * v0) / (2.0 * (a_up if v_c >= v0 else a_down))
+    d_down = abs(v_c * v_c - v1 * v1) / (2.0 * a_down) if v_c > v1 else 0.0
+    if d_up + d_down <= length:
+        t_up = abs(v_c - v0) / (a_up if v_c >= v0 else a_down)
+        t_down = (v_c - v1) / a_down if v_c > v1 else 0.0
+        t_cruise = (length - d_up - d_down) / v_c
+        return t_up + t_down + t_cruise, d_up, d_down, v_c
+    # Triangular profile: the leg is too short to reach v_c.
+    peak_sq = (2.0 * a_up * a_down * length + a_down * v0 * v0 + a_up * v1 * v1) / (
+        a_up + a_down
+    )
+    peak = float(np.sqrt(max(peak_sq, max(v0, v1) ** 2 + 1e-9)))
+    d_up = (peak * peak - v0 * v0) / (2.0 * a_up)
+    d_down = (peak * peak - v1 * v1) / (2.0 * a_down)
+    t_up = (peak - v0) / a_up
+    t_down = (peak - v1) / a_down
+    return t_up + t_down, d_up, min(d_down, length - d_up), peak
+
+
+class GlosaAdvisor:
+    """Greedy per-leg speed advisory over a corridor.
+
+    Args:
+        road: Corridor to advise over.
+        vehicle: Acceleration limits source (paper defaults when ``None``).
+        arrival_rates: When given, the advisor targets queue-free windows
+            (``T_q``) computed from these rates; otherwise raw green
+            windows — the classic GLOSA.
+        cruise_accel_ms2: Acceleration used for advised speed changes
+            (gentler than the comfort maximum, as advisories are).
+        window_margin_s: Seconds inside each window edge to aim for.
+        stop_dwell_s: Dwell at stop signs.
+    """
+
+    def __init__(
+        self,
+        road: RoadSegment,
+        vehicle: Optional[VehicleParams] = None,
+        arrival_rates: Optional[ArrivalRate] = None,
+        cruise_accel_ms2: float = 1.2,
+        window_margin_s: float = 1.0,
+        stop_dwell_s: float = 2.0,
+    ) -> None:
+        if cruise_accel_ms2 <= 0:
+            raise ConfigurationError("cruise acceleration must be positive")
+        if window_margin_s < 0 or stop_dwell_s < 0:
+            raise ConfigurationError("margin and dwell must be >= 0")
+        self.road = road
+        self.vehicle = vehicle if vehicle is not None else VehicleParams()
+        self.arrival_rates = arrival_rates
+        self.a_up = min(cruise_accel_ms2, self.vehicle.max_accel_ms2)
+        self.a_down = min(cruise_accel_ms2, abs(self.vehicle.min_accel_ms2))
+        self.window_margin_s = window_margin_s
+        self.stop_dwell_s = stop_dwell_s
+        self._queue_models: Dict[float, QueueLengthModel] = {}
+        if arrival_rates is not None:
+            for site in road.signals:
+                v_min = road.v_min_at(site.position_m)
+                if v_min <= 0:
+                    raise ConfigurationError(
+                        "queue-aware GLOSA needs a positive zone v_min"
+                    )
+                vm = VehicleMovementModel(
+                    light=site.light,
+                    v_min_ms=v_min,
+                    a_max_ms2=self.vehicle.max_accel_ms2,
+                    spacing_m=site.queue_spacing_m,
+                    turn_ratio=site.turn_ratio,
+                )
+                self._queue_models[site.position_m] = QueueLengthModel(vm)
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    def _windows_for(self, position: float, start_s: float, horizon_s: float):
+        site = next(s for s in self.road.signals if s.position_m == position)
+        if self.arrival_rates is None:
+            return [
+                QueueWindow(a, b)
+                for a, b in site.light.green_windows(horizon_s, start_s)
+            ]
+        return self._queue_models[position].empty_windows(
+            start_s, horizon_s, self.arrival_rates
+        )
+
+    # ------------------------------------------------------------------
+    # Advisory
+    # ------------------------------------------------------------------
+    def plan(self, start_time_s: float = 0.0, horizon_s: float = 900.0) -> GlosaPlan:
+        """Advise one trip from the source, greedily leg by leg."""
+        legs = self._legs()
+        points: List[Tuple[float, float, float]] = [(0.0, 0.0, 0.0)]  # (s, v, dwell)
+        arrivals: Dict[float, float] = {}
+        waited: List[float] = []
+        t = start_time_s
+        v0 = 0.0
+        position = 0.0
+        for leg_end, kind in legs:
+            length = leg_end - position
+            v_max = self.road.v_max_at(position + 0.5 * length)
+            v_min = max(self.road.v_min_at(position + 0.5 * length), 1.0)
+            if kind == "signal":
+                v_c, arrival, stopped = self._advise_signal_leg(
+                    position, leg_end, t, v0, length, v_max, v_min, horizon_s
+                )
+                arrivals[leg_end] = arrival
+                if stopped:
+                    waited.append(leg_end)
+                    points.extend(
+                        self._leg_points(position, leg_end, v0, 0.0, v_c)
+                    )
+                    windows = self._windows_for(leg_end, arrival, horizon_s)
+                    release = windows[0].start_s if windows else arrival
+                    dwell = max(release + self.window_margin_s - arrival, 0.0)
+                    points.append((leg_end, 0.0, dwell))
+                    t = arrival + dwell
+                    v0 = 0.0
+                else:
+                    points.extend(self._leg_points(position, leg_end, v0, v_c, v_c))
+                    points.append((leg_end, v_c, 0.0))
+                    t = arrival
+                    v0 = v_c
+            else:  # stop sign or destination: halt
+                time_taken, *_ = _leg_kinematics(
+                    v0, 0.0, v_max, length, self.a_up, self.a_down
+                )
+                points.extend(self._leg_points(position, leg_end, v0, 0.0, v_max))
+                dwell = self.stop_dwell_s if kind == "stop" else 0.0
+                points.append((leg_end, 0.0, dwell))
+                t += time_taken + dwell
+                v0 = 0.0
+            position = leg_end
+
+        positions = [p[0] for p in points]
+        speeds = [p[1] for p in points]
+        dwells = [p[2] for p in points]
+        # Deduplicate positions introduced by zero-length ramps.
+        keep_pos: List[float] = []
+        keep_spd: List[float] = []
+        keep_dwl: List[float] = []
+        for s, v, d in zip(positions, speeds, dwells):
+            if keep_pos and s - keep_pos[-1] < 0.5:
+                keep_spd[-1] = v
+                keep_dwl[-1] = max(keep_dwl[-1], d)
+                continue
+            keep_pos.append(s)
+            keep_spd.append(v)
+            keep_dwl.append(d)
+        profile = VelocityProfile(
+            positions_m=keep_pos,
+            speeds_ms=keep_spd,
+            dwell_s=keep_dwl,
+            start_time_s=start_time_s,
+        )
+        return GlosaPlan(profile=profile, signal_arrivals=arrivals, waited_at=waited)
+
+    def _legs(self) -> List[Tuple[float, str]]:
+        """Route breakpoints: (position, kind) with kind in stop/signal/end."""
+        marks: List[Tuple[float, str]] = [
+            (sign.position_m, "stop") for sign in self.road.stop_signs
+        ]
+        marks.extend((site.position_m, "signal") for site in self.road.signals)
+        marks.append((self.road.length_m, "end"))
+        return sorted(marks)
+
+    def _advise_signal_leg(
+        self, start, end, t0, v0, length, v_max, v_min, horizon_s
+    ) -> Tuple[float, float, bool]:
+        """Pick the leg cruise speed; returns (speed, arrival, stopped)."""
+        t_fast, *_ = _leg_kinematics(v0, v_max, v_max, length, self.a_up, self.a_down)
+        t_slow, *_ = _leg_kinematics(v0, v_min, v_min, length, self.a_up, self.a_down)
+        earliest, latest = t0 + t_fast, t0 + t_slow
+        for window in self._windows_for(end, t0, horizon_s):
+            lo = window.start_s + self.window_margin_s
+            hi = window.end_s - self.window_margin_s
+            if hi <= lo or hi < earliest:
+                continue
+            if lo > latest:
+                break  # cannot dawdle enough: stop-and-wait fallback
+            target = min(max(lo, earliest), hi)
+            v_c = self._speed_for_arrival(v0, length, target - t0, v_min, v_max)
+            time_taken, *_ = _leg_kinematics(
+                v0, v_c, v_c, length, self.a_up, self.a_down
+            )
+            return v_c, t0 + time_taken, False
+        # No reachable window: drive up and stop at the line.
+        time_taken, *_ = _leg_kinematics(v0, 0.0, v_max, length, self.a_up, self.a_down)
+        return v_max, t0 + time_taken, True
+
+    def _speed_for_arrival(self, v0, length, duration, v_min, v_max) -> float:
+        """Bisection: the cruise speed whose leg time matches ``duration``."""
+        lo, hi = v_min, v_max
+        for _ in range(48):
+            mid = 0.5 * (lo + hi)
+            time_taken, *_ = _leg_kinematics(v0, mid, mid, length, self.a_up, self.a_down)
+            if time_taken > duration:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def _leg_points(self, start, end, v0, v1, v_c) -> List[Tuple[float, float, float]]:
+        """Interior profile points of a leg (entry ramp end, exit ramp start)."""
+        length = end - start
+        _, d_up, d_down, peak = _leg_kinematics(
+            v0, v1, v_c, length, self.a_up, self.a_down
+        )
+        points: List[Tuple[float, float, float]] = []
+        if 0.5 < d_up < length:
+            points.append((start + d_up, peak, 0.0))
+        ramp_start = end - d_down
+        if d_down > 0.5 and ramp_start - start > d_up + 0.5:
+            points.append((ramp_start, peak, 0.0))
+        return points

@@ -1,0 +1,249 @@
+"""High-level planners: the paper's proposed system and its baselines.
+
+Three planners share one DP engine and differ only in the arrival-time
+windows they impose at signalized intersections:
+
+* :class:`UnconstrainedDpPlanner` — ignores signals altogether (the
+  single-intersection prior art [1][3] applied naively to a corridor);
+  the plan respects stop signs and limits only.
+* :class:`BaselineDpPlanner` — the existing DP [2]: arrivals must fall in
+  *green* windows, assuming a green light can be crossed instantly even if
+  a queue is discharging (the assumption the paper attacks).
+* :class:`QueueAwareDpPlanner` — the proposed system: arrivals must fall
+  in the QL model's queue-free windows ``T_q`` (Eq. 11), built from the
+  predicted arrival rate (SAE) and the VM discharge model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Union
+
+from repro.core.cost import WindowSet
+from repro.core.dp import DpSolution, DpSolver, TimeWindowConstraint
+from repro.errors import ConfigurationError
+from repro.route.road import RoadSegment, SignalSite
+from repro.signal.queue import QueueLengthModel, QueueWindow
+from repro.signal.vm import VehicleMovementModel
+from repro.vehicle.params import VehicleParams
+
+ArrivalRate = Union[float, Callable[[float], float]]
+ArrivalRates = Union[ArrivalRate, Mapping[float, ArrivalRate]]
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Shared discretization and constraint settings for all planners.
+
+    Attributes:
+        v_step_ms: Velocity grid resolution (m/s).
+        s_step_m: Distance grid resolution (m).
+        t_bin_s: DP time-bin width (s).
+        horizon_s: Clock horizon / default trip-time cap (s).
+        stop_dwell_s: Mandatory dwell at stop signs (s).
+        window_margin_s: Safety margin subtracted from each end of every
+            arrival window to absorb time quantization drift.
+        constraint_mode: ``"hard"`` or ``"penalty"`` (Eq. 12 behaviour).
+        penalty_j: Additive penalty in ``"penalty"`` mode (J).
+        enforce_min_speed: Apply the Eq. 7a lower bound away from stops.
+    """
+
+    v_step_ms: float = 0.5
+    s_step_m: float = 10.0
+    t_bin_s: float = 1.0
+    horizon_s: float = 600.0
+    stop_dwell_s: float = 2.0
+    window_margin_s: float = 2.0
+    constraint_mode: str = "hard"
+    penalty_j: float = 1.0e9
+    enforce_min_speed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_margin_s < 0:
+            raise ConfigurationError(
+                f"window margin must be >= 0, got {self.window_margin_s}"
+            )
+        if self.constraint_mode not in ("hard", "penalty"):
+            raise ConfigurationError(f"unknown constraint mode {self.constraint_mode!r}")
+
+
+class DpPlannerBase:
+    """Common solver plumbing shared by the planners.
+
+    Subclasses implement :meth:`_signal_constraints`; everything else —
+    planning, replanning, trip-time floors — lives here.  Service layers
+    (the cloud planner, the closed-loop driver) accept any instance.
+    """
+
+    def __init__(
+        self,
+        road: RoadSegment,
+        vehicle: Optional[VehicleParams] = None,
+        config: Optional[PlannerConfig] = None,
+    ) -> None:
+        self.road = road
+        self.vehicle = vehicle if vehicle is not None else VehicleParams()
+        self.config = config if config is not None else PlannerConfig()
+        self.solver = DpSolver(
+            road=road,
+            vehicle=self.vehicle,
+            v_step_ms=self.config.v_step_ms,
+            s_step_m=self.config.s_step_m,
+            t_bin_s=self.config.t_bin_s,
+            horizon_s=self.config.horizon_s,
+            stop_dwell_s=self.config.stop_dwell_s,
+            enforce_min_speed=self.config.enforce_min_speed,
+        )
+
+    def _signal_constraints(
+        self, start_time_s: float
+    ) -> Sequence[TimeWindowConstraint]:
+        raise NotImplementedError
+
+    def plan(
+        self,
+        start_time_s: float = 0.0,
+        max_trip_time_s: Optional[float] = None,
+        minimize: str = "energy",
+    ) -> DpSolution:
+        """Compute the optimal profile departing at ``start_time_s``."""
+        return self.solver.solve(
+            constraints=self._signal_constraints(start_time_s),
+            start_time_s=start_time_s,
+            max_trip_time_s=max_trip_time_s,
+            minimize=minimize,
+        )
+
+    def replan(
+        self,
+        position_m: float,
+        speed_ms: float,
+        time_s: float,
+        max_trip_time_s: Optional[float] = None,
+        minimize: str = "energy",
+    ) -> DpSolution:
+        """Re-optimize the rest of the trip from a mid-route state.
+
+        This is the online (TraCI-style) loop: after traffic interference
+        knocks the EV off its plan, a fresh profile from the current
+        ``(position, speed, time)`` restores window targeting for the
+        signals still ahead.
+        """
+        return self.solver.solve(
+            constraints=self._signal_constraints(time_s),
+            start_time_s=time_s,
+            max_trip_time_s=max_trip_time_s,
+            minimize=minimize,
+            start_state=(position_m, speed_ms),
+        )
+
+    def min_trip_time(self, start_time_s: float = 0.0) -> float:
+        """The fastest constraint-feasible trip duration from a departure.
+
+        Experiments use this to pick an achievable trip-time budget when a
+        reference human drive threaded the signals faster than the plan's
+        windows allow (e.g. the queue-free windows start a few seconds
+        into each green).
+        """
+        return self.plan(start_time_s=start_time_s, minimize="time").trip_time_s
+
+    def _constraint_from_windows(
+        self, site: SignalSite, windows: WindowSet
+    ) -> TimeWindowConstraint:
+        return TimeWindowConstraint(
+            position_m=site.position_m,
+            windows=windows.shrunk(self.config.window_margin_s),
+            mode=self.config.constraint_mode,
+            penalty_j=self.config.penalty_j,
+        )
+
+
+class UnconstrainedDpPlanner(DpPlannerBase):
+    """Energy-optimal DP that ignores signal timing entirely."""
+
+    def _signal_constraints(self, start_time_s: float) -> Sequence[TimeWindowConstraint]:
+        return ()
+
+
+class BaselineDpPlanner(DpPlannerBase):
+    """The existing DP [2]: hit green windows, ignore queues.
+
+    This planner reproduces the comparison system of Section III-B-3: it
+    schedules signal arrivals into green phases but assumes vehicles
+    waiting at the light vanish instantly, so its plans routinely arrive
+    while a queue is still discharging (Fig. 6a).
+    """
+
+    def _signal_constraints(self, start_time_s: float) -> Sequence[TimeWindowConstraint]:
+        constraints = []
+        for site in self.road.signals:
+            green = site.light.green_windows(self.config.horizon_s, start_time_s)
+            windows = WindowSet([QueueWindow(a, b) for a, b in green])
+            constraints.append(self._constraint_from_windows(site, windows))
+        return constraints
+
+
+class QueueAwareDpPlanner(DpPlannerBase):
+    """The proposed system: hit the queue-free windows ``T_q`` (Eq. 11).
+
+    Args:
+        road: Corridor; each signal site carries spacing/turn-ratio data.
+        arrival_rates: Predicted arrival rate(s) in vehicles/second — a
+            single value or callable for every signal, or a mapping from
+            signal position to a per-signal value/callable.  Callables are
+            evaluated at cycle starts, which is how the SAE hourly volume
+            forecast plugs in.
+        vehicle: EV parameters (paper defaults when ``None``).
+        config: Discretization settings.
+    """
+
+    def __init__(
+        self,
+        road: RoadSegment,
+        arrival_rates: ArrivalRates,
+        vehicle: Optional[VehicleParams] = None,
+        config: Optional[PlannerConfig] = None,
+    ) -> None:
+        super().__init__(road, vehicle, config)
+        self.arrival_rates = arrival_rates
+        self._queue_models: Dict[float, QueueLengthModel] = {}
+        for site in road.signals:
+            v_min = road.v_min_at(site.position_m)
+            if v_min <= 0:
+                raise ConfigurationError(
+                    f"signal at {site.position_m} m needs a positive zone v_min for the VM model"
+                )
+            vm = VehicleMovementModel(
+                light=site.light,
+                v_min_ms=v_min,
+                a_max_ms2=self.vehicle.max_accel_ms2,
+                spacing_m=site.queue_spacing_m,
+                turn_ratio=site.turn_ratio,
+            )
+            self._queue_models[site.position_m] = QueueLengthModel(vm)
+
+    def queue_model(self, position_m: float) -> QueueLengthModel:
+        """The QL model attached to a signal position (for inspection)."""
+        return self._queue_models[position_m]
+
+    def _rate_for(self, site: SignalSite) -> ArrivalRate:
+        if isinstance(self.arrival_rates, Mapping):
+            try:
+                return self.arrival_rates[site.position_m]
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"no arrival rate supplied for signal at {site.position_m} m"
+                ) from exc
+        return self.arrival_rates
+
+    def _signal_constraints(self, start_time_s: float) -> Sequence[TimeWindowConstraint]:
+        constraints = []
+        for site in self.road.signals:
+            model = self._queue_models[site.position_m]
+            queue_free = model.empty_windows(
+                start_s=start_time_s,
+                horizon_s=self.config.horizon_s,
+                arrival_rate=self._rate_for(site),
+            )
+            constraints.append(self._constraint_from_windows(site, WindowSet(queue_free)))
+        return constraints

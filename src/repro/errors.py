@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from solver failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A model or component was constructed with invalid parameters."""
+
+
+class InfeasibleProblemError(ReproError):
+    """The optimizer could not find any profile satisfying the constraints."""
+
+
+class SimulationError(ReproError):
+    """The traffic simulator reached an inconsistent state."""
+
+
+class PredictionError(ReproError):
+    """A traffic predictor was used before training or on bad input."""

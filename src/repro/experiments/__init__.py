@@ -1,0 +1,15 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Every module exposes ``run(config) -> result`` and ``report(result) ->
+str``; ``runner.main()`` executes the full evaluation and prints each
+figure's table.  Benchmarks in ``benchmarks/`` wrap these entry points.
+
+| Module            | Paper artifact                                   |
+|-------------------|--------------------------------------------------|
+| ``fig3_energy_map`` | Fig. 3 — consumption rate vs (speed, accel)    |
+| ``fig4_sae``        | Fig. 4 — SAE volume prediction, per-day MRE/RMSE |
+| ``fig5_queue``      | Fig. 5 — VM leaving rate & QL queue dynamics   |
+| ``fig6_sumo``       | Fig. 6 — planned vs derived profiles in the sim |
+| ``fig7_energy``     | Fig. 7 — total energy across driving profiles  |
+| ``fig8_time``       | Fig. 8 — cumulative travel-time curves         |
+"""

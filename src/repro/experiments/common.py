@@ -1,0 +1,118 @@
+"""Shared setup for the velocity-optimization experiments (Figs. 6-8).
+
+The trip protocol mirrors Section III-B-3:
+
+1. Synthesize the two human reference drives (mild / fast) for a departure.
+2. Budget the planners with the fast drive's trip time — "without
+   increasing trip time" — relaxed to the fastest *feasible* trip when the
+   signal windows make the human's lucky threading unattainable.
+3. Plan with the baseline DP [2] (green windows) and the proposed
+   queue-aware DP (``T_q`` windows).
+4. Play every profile through the corridor simulator and meter the
+   *derived* trajectories with the EV energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.planner import BaselineDpPlanner, PlannerConfig, QueueAwareDpPlanner
+from repro.core.profile import TimedTrace
+from repro.route.road import RoadSegment
+from repro.route.us25 import us25_greenville_segment
+from repro.sim.scenario import Us25Scenario
+from repro.trace.driver import fast_driver, mild_driver, synthesize_trace
+from repro.units import vehicles_per_hour_to_per_second
+
+
+@dataclass(frozen=True)
+class TripSetup:
+    """Configuration of one trip-comparison experiment.
+
+    Attributes:
+        arrival_rate_vph: Background volume at the corridor entry.
+        seed: Simulation seed.
+        queue_margin_s: Arrival-window safety margin for the proposed
+            planner (absorbs the queue-discharge startup wave the VM model
+            idealizes away).
+        baseline_margin_s: Margin for the baseline planner (the prior art
+            targets raw green windows, so zero).
+    """
+
+    arrival_rate_vph: float = 300.0
+    seed: int = 7
+    queue_margin_s: float = 2.0
+    baseline_margin_s: float = 0.0
+
+
+@dataclass
+class TripOutcome:
+    """Derived traces of the four compared profiles for one departure."""
+
+    depart_s: float
+    trip_cap_s: float
+    traces: Dict[str, TimedTrace] = field(default_factory=dict)
+    signal_stops: Dict[str, int] = field(default_factory=dict)
+
+    def energy_mah(self, name: str) -> float:
+        """Net metered energy of one profile (mAh)."""
+        return self.traces[name].energy().net_mah
+
+    def duration_s(self, name: str) -> float:
+        """Derived trip duration of one profile (s)."""
+        return self.traces[name].duration_s
+
+
+class TripLab:
+    """Factory running the four-profile comparison for any departure."""
+
+    PROFILES = ("mild", "fast", "baseline_dp", "proposed")
+
+    def __init__(self, setup: TripSetup = TripSetup(), road: Optional[RoadSegment] = None):
+        self.setup = setup
+        self.road = road if road is not None else us25_greenville_segment()
+        rate = vehicles_per_hour_to_per_second(setup.arrival_rate_vph)
+        self.proposed = QueueAwareDpPlanner(
+            self.road,
+            arrival_rates=rate,
+            config=PlannerConfig(window_margin_s=setup.queue_margin_s),
+        )
+        self.baseline = BaselineDpPlanner(
+            self.road, config=PlannerConfig(window_margin_s=setup.baseline_margin_s)
+        )
+
+    def _scenario(self, depart_s: float, ev_car_following=None) -> Us25Scenario:
+        return Us25Scenario(
+            road=self.road,
+            arrival_rate_vph=self.setup.arrival_rate_vph,
+            warmup_s=depart_s,
+            seed=self.setup.seed,
+            ev_car_following=ev_car_following,
+        )
+
+    def run_departure(self, depart_s: float) -> TripOutcome:
+        """Full four-way comparison for one departure time."""
+        mild = synthesize_trace(
+            self.road, mild_driver(), self.setup.arrival_rate_vph, depart_s, self.setup.seed
+        )
+        fast = synthesize_trace(
+            self.road, fast_driver(), self.setup.arrival_rate_vph, depart_s, self.setup.seed
+        )
+        cap = max(
+            fast.duration_s,
+            self.proposed.min_trip_time(depart_s) + 1.0,
+            self.baseline.min_trip_time(depart_s) + 1.0,
+        )
+        outcome = TripOutcome(depart_s=depart_s, trip_cap_s=cap)
+        outcome.traces["mild"] = mild
+        outcome.traces["fast"] = fast
+        outcome.signal_stops["mild"] = -1  # not tracked for human syntheses
+        outcome.signal_stops["fast"] = -1
+
+        for name, planner in (("baseline_dp", self.baseline), ("proposed", self.proposed)):
+            solution = planner.plan(start_time_s=depart_s, max_trip_time_s=cap)
+            result = self._scenario(depart_s).drive(solution.profile, depart_s=depart_s)
+            outcome.traces[name] = result.ev_trace
+            outcome.signal_stops[name] = result.ev_signal_stops(self.road)
+        return outcome

@@ -1,0 +1,82 @@
+"""Run the full evaluation: every figure of the paper, one report each.
+
+Installed as the ``repro-experiments`` console script::
+
+    repro-experiments            # run everything
+    repro-experiments fig4 fig7  # run a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    ext_closed_loop,
+    ext_pareto,
+    ext_penetration,
+    ext_platoon,
+    ext_sensitivity,
+    ext_wear,
+    fig3_energy_map,
+    fig4_sae,
+    fig5_queue,
+    fig6_sumo,
+    fig7_energy,
+    fig8_time,
+)
+
+#: Experiment id -> (run, report) pair.  ``fig*`` entries reproduce the
+#: paper's figures; ``ext-*`` entries are extensions the paper motivates
+#: but does not evaluate.
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "fig3": (fig3_energy_map.run, fig3_energy_map.report),
+    "fig4": (fig4_sae.run, fig4_sae.report),
+    "fig5": (fig5_queue.run, fig5_queue.report),
+    "fig6": (fig6_sumo.run, fig6_sumo.report),
+    "fig7": (fig7_energy.run, fig7_energy.report),
+    "fig8": (fig8_time.run, fig8_time.report),
+    "ext-wear": (ext_wear.run, ext_wear.report),
+    "ext-sensitivity": (ext_sensitivity.run, ext_sensitivity.report),
+    "ext-closedloop": (ext_closed_loop.run, ext_closed_loop.report),
+    "ext-penetration": (ext_penetration.run, ext_penetration.report),
+    "ext-pareto": (ext_pareto.run, ext_pareto.report),
+    "ext-platoon": (ext_platoon.run, ext_platoon.report),
+}
+
+
+def run_experiment(name: str) -> str:
+    """Run one experiment by id and return its rendered report."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    run, report = EXPERIMENTS[name]
+    return report(run())
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help="experiment ids to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    names = args.experiments or list(EXPERIMENTS)
+    for name in names:
+        started = time.perf_counter()
+        print("=" * 72)
+        try:
+            print(run_experiment(name))
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(f"[{name} completed in {time.perf_counter() - started:.1f} s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

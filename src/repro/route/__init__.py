@@ -1,0 +1,21 @@
+"""Road-segment modelling: geometry, speed limits, stop signs and signals."""
+
+from repro.route.road import GradeProfile, RoadSegment, SignalSite, SpeedLimitZone, StopSign
+from repro.route.builder import CorridorBuilder
+from repro.route.us25 import us25_greenville_segment
+from repro.route.arterial import arterial_arrival_rates, urban_arterial
+from repro.route.io import load_road_json, save_road_json
+
+__all__ = [
+    "CorridorBuilder",
+    "load_road_json",
+    "save_road_json",
+    "GradeProfile",
+    "RoadSegment",
+    "SignalSite",
+    "SpeedLimitZone",
+    "StopSign",
+    "arterial_arrival_rates",
+    "urban_arterial",
+    "us25_greenville_segment",
+]

@@ -1,0 +1,65 @@
+"""A library-provided urban arterial: five staggered signals over 6 km.
+
+The paper's US-25 section has two signals; GLOSA-style studies (its
+related work [17]) evaluate on longer coordinated arterials.  This
+corridor is the library's standard multi-signal scenario — used by the
+examples and the coordination benches — with per-intersection demand
+levels that an SAE deployment would supply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.route.builder import CorridorBuilder
+from repro.route.road import RoadSegment
+from repro.units import vehicles_per_hour_to_per_second
+
+#: Per-signal demand (vehicles/hour) of the default arterial scenario.
+ARTERIAL_DEMAND_VPH: Dict[float, float] = {
+    900.0: 240.0,
+    2000.0: 420.0,
+    3100.0: 300.0,
+    4300.0: 500.0,
+    5400.0: 360.0,
+}
+
+
+def urban_arterial(
+    v_max_kmh: float = 60.0,
+    v_min_kmh: float = 35.0,
+    red_s: float = 35.0,
+    green_s: float = 35.0,
+) -> RoadSegment:
+    """Build the five-signal arterial corridor.
+
+    Args:
+        v_max_kmh: Posted maximum limit.
+        v_min_kmh: Minimum flow speed (drives the VM discharge model).
+        red_s: Red duration shared by all signals.
+        green_s: Green duration shared by all signals.
+    """
+    builder = (
+        CorridorBuilder("urban arterial", length_m=6000.0)
+        .speed_limits(v_max_kmh=v_max_kmh, v_min_kmh=v_min_kmh)
+        .stop_sign(at_m=300.0)
+    )
+    offsets = {900.0: 0.0, 2000.0: 18.0, 3100.0: 36.0, 4300.0: 9.0, 5400.0: 27.0}
+    for position, offset in offsets.items():
+        builder.signal(
+            at_m=position,
+            red_s=red_s,
+            green_s=green_s,
+            offset_s=offset,
+            turn_ratio=0.8,
+            queue_spacing_m=8.0,
+        )
+    return builder.build()
+
+
+def arterial_arrival_rates() -> Dict[float, float]:
+    """Per-signal arrival rates (vehicles/second) for the default demand."""
+    return {
+        position: vehicles_per_hour_to_per_second(vph)
+        for position, vph in ARTERIAL_DEMAND_VPH.items()
+    }

@@ -1,0 +1,146 @@
+"""Fluent corridor construction.
+
+Building a :class:`~repro.route.road.RoadSegment` by hand requires the
+speed-limit zones to tile the road exactly and all features to be placed
+in-range; the builder assembles those invariants incrementally:
+
+    road = (
+        CorridorBuilder("main street", length_m=3000.0)
+        .speed_limits(v_max_kmh=60.0, v_min_kmh=35.0)
+        .zone(1000.0, 1600.0, v_max_kmh=40.0)           # school zone
+        .stop_sign(at_m=200.0)
+        .signal(at_m=1200.0, red_s=25.0, green_s=35.0, offset_s=10.0)
+        .signal(at_m=2400.0, red_s=25.0, green_s=35.0)
+        .grade([0.0, 3000.0], [0.0, 0.01])
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.route.road import (
+    GradeProfile,
+    RoadSegment,
+    SignalSite,
+    SpeedLimitZone,
+    StopSign,
+)
+from repro.signal.light import TrafficLight
+from repro.units import kmh_to_ms
+
+
+class CorridorBuilder:
+    """Incremental, validated construction of road corridors.
+
+    Args:
+        name: Human-readable corridor name.
+        length_m: Total corridor length.
+    """
+
+    def __init__(self, name: str, length_m: float) -> None:
+        if length_m <= 0:
+            raise ConfigurationError(f"length must be positive, got {length_m}")
+        self._name = name
+        self._length_m = float(length_m)
+        self._default_limits: Optional[Tuple[float, float]] = None
+        self._overrides: List[Tuple[float, float, float, float]] = []
+        self._stop_signs: List[float] = []
+        self._signals: List[SignalSite] = []
+        self._grade: Optional[GradeProfile] = None
+
+    # ------------------------------------------------------------------
+    # Speed limits
+    # ------------------------------------------------------------------
+    def speed_limits(self, v_max_kmh: float, v_min_kmh: float = 0.0) -> "CorridorBuilder":
+        """Default limits covering the whole corridor."""
+        if self._default_limits is not None:
+            raise ConfigurationError("default speed limits already set")
+        self._default_limits = (kmh_to_ms(v_max_kmh), kmh_to_ms(v_min_kmh))
+        return self
+
+    def zone(
+        self, start_m: float, end_m: float, v_max_kmh: float, v_min_kmh: float = 0.0
+    ) -> "CorridorBuilder":
+        """Override the limits on a stretch (e.g. a school zone)."""
+        if not 0.0 <= start_m < end_m <= self._length_m:
+            raise ConfigurationError(
+                f"zone [{start_m}, {end_m}] is outside the {self._length_m} m corridor"
+            )
+        for existing_start, existing_end, _, _ in self._overrides:
+            if start_m < existing_end and existing_start < end_m:
+                raise ConfigurationError(
+                    f"zone [{start_m}, {end_m}] overlaps [{existing_start}, {existing_end}]"
+                )
+        self._overrides.append((start_m, end_m, kmh_to_ms(v_max_kmh), kmh_to_ms(v_min_kmh)))
+        return self
+
+    # ------------------------------------------------------------------
+    # Features
+    # ------------------------------------------------------------------
+    def stop_sign(self, at_m: float) -> "CorridorBuilder":
+        """Place a stop sign."""
+        if not 0.0 < at_m < self._length_m:
+            raise ConfigurationError(f"stop sign at {at_m} m is outside the corridor")
+        self._stop_signs.append(at_m)
+        return self
+
+    def signal(
+        self,
+        at_m: float,
+        red_s: float,
+        green_s: float,
+        offset_s: float = 0.0,
+        turn_ratio: float = 1.0,
+        queue_spacing_m: float = 8.5,
+    ) -> "CorridorBuilder":
+        """Place a signalized intersection."""
+        if not 0.0 < at_m < self._length_m:
+            raise ConfigurationError(f"signal at {at_m} m is outside the corridor")
+        self._signals.append(
+            SignalSite(
+                position_m=at_m,
+                light=TrafficLight(red_s=red_s, green_s=green_s, offset_s=offset_s),
+                turn_ratio=turn_ratio,
+                queue_spacing_m=queue_spacing_m,
+            )
+        )
+        return self
+
+    def grade(
+        self, positions_m: Sequence[float], grades_rad: Sequence[float]
+    ) -> "CorridorBuilder":
+        """Attach a piecewise-linear grade profile."""
+        self._grade = GradeProfile(positions_m, grades_rad)
+        return self
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def build(self) -> RoadSegment:
+        """Assemble the validated road segment."""
+        if self._default_limits is None:
+            raise ConfigurationError("call speed_limits() before build()")
+        default_max, default_min = self._default_limits
+        boundaries = {0.0, self._length_m}
+        for start, end, _, _ in self._overrides:
+            boundaries.update((start, end))
+        cuts = sorted(boundaries)
+        zones: List[SpeedLimitZone] = []
+        for lo, hi in zip(cuts[:-1], cuts[1:]):
+            v_max, v_min = default_max, default_min
+            for start, end, z_max, z_min in self._overrides:
+                if start <= lo and hi <= end:
+                    v_max, v_min = z_max, z_min
+                    break
+            zones.append(SpeedLimitZone(lo, hi, v_max_ms=v_max, v_min_ms=v_min))
+        return RoadSegment(
+            name=self._name,
+            length_m=self._length_m,
+            zones=zones,
+            stop_signs=[StopSign(p) for p in sorted(self._stop_signs)],
+            signals=sorted(self._signals, key=lambda s: s.position_m),
+            grade=self._grade if self._grade is not None else GradeProfile.flat(),
+        )

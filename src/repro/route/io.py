@@ -1,0 +1,119 @@
+"""JSON serialization of road corridors.
+
+Lets tools and tests exchange road definitions as plain files — the
+library-side analogue of SUMO's network files, reduced to what this
+system models (one corridor, limits, stop signs, fixed-time signals and a
+grade profile).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.route.road import (
+    GradeProfile,
+    RoadSegment,
+    SignalSite,
+    SpeedLimitZone,
+    StopSign,
+)
+from repro.signal.light import TrafficLight
+
+#: Format marker written into every file.
+FORMAT_VERSION = 1
+
+
+def road_to_dict(road: RoadSegment) -> dict:
+    """The JSON-ready representation of a road segment."""
+    grade_positions = list(getattr(road.grade, "_pos", np.asarray([0.0])))
+    grade_values = list(getattr(road.grade, "_grd", np.asarray([0.0])))
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": road.name,
+        "length_m": road.length_m,
+        "zones": [
+            {
+                "start_m": z.start_m,
+                "end_m": z.end_m,
+                "v_max_ms": z.v_max_ms,
+                "v_min_ms": z.v_min_ms,
+            }
+            for z in road.zones
+        ],
+        "stop_signs": [s.position_m for s in road.stop_signs],
+        "signals": [
+            {
+                "position_m": s.position_m,
+                "red_s": s.light.red_s,
+                "green_s": s.light.green_s,
+                "offset_s": s.light.offset_s,
+                "turn_ratio": s.turn_ratio,
+                "queue_spacing_m": s.queue_spacing_m,
+            }
+            for s in road.signals
+        ],
+        "grade": {
+            "positions_m": [float(p) for p in grade_positions],
+            "grades_rad": [float(g) for g in grade_values],
+        },
+    }
+
+
+def road_from_dict(data: dict) -> RoadSegment:
+    """Rebuild a road segment from its JSON representation.
+
+    Raises:
+        ConfigurationError: On unknown format versions or missing keys.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(f"unsupported road format version {version!r}")
+    try:
+        zones = [
+            SpeedLimitZone(
+                start_m=z["start_m"],
+                end_m=z["end_m"],
+                v_max_ms=z["v_max_ms"],
+                v_min_ms=z.get("v_min_ms", 0.0),
+            )
+            for z in data["zones"]
+        ]
+        signals = [
+            SignalSite(
+                position_m=s["position_m"],
+                light=TrafficLight(
+                    red_s=s["red_s"], green_s=s["green_s"], offset_s=s.get("offset_s", 0.0)
+                ),
+                turn_ratio=s.get("turn_ratio", 1.0),
+                queue_spacing_m=s.get("queue_spacing_m", 8.5),
+            )
+            for s in data["signals"]
+        ]
+        grade = GradeProfile(data["grade"]["positions_m"], data["grade"]["grades_rad"])
+        return RoadSegment(
+            name=data["name"],
+            length_m=data["length_m"],
+            zones=zones,
+            stop_signs=[StopSign(p) for p in data["stop_signs"]],
+            signals=signals,
+            grade=grade,
+        )
+    except KeyError as exc:
+        raise ConfigurationError(f"road file is missing field {exc}") from exc
+
+
+def save_road_json(road: RoadSegment, path: Union[str, Path]) -> None:
+    """Write a road to a JSON file (creating parent directories)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(road_to_dict(road), indent=2) + "\n")
+
+
+def load_road_json(path: Union[str, Path]) -> RoadSegment:
+    """Read a road from a JSON file written by :func:`save_road_json`."""
+    return road_from_dict(json.loads(Path(path).read_text()))

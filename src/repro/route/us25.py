@@ -1,0 +1,76 @@
+"""The paper's experimental corridor: US-25 near Greenville, SC.
+
+Section III-A describes a 4.2 km section with one stop sign 490 m from the
+start and two signalized intersections at 1820 m and 3460 m.  The measured
+second signal runs a 30 s red / 30 s green cycle with intra-queue spacing
+d = 8.5 m and straight-through ratio gamma = 76.36 % (Section III-B-2).
+
+The exact posted limits and the first signal's timing are not printed in
+the paper, so they are parameters here with defaults chosen to match the
+velocity scales of Figs. 6-8 (cruise speeds of 50-70 km/h).
+"""
+
+from __future__ import annotations
+
+from repro.route.road import GradeProfile, RoadSegment, SignalSite, SpeedLimitZone, StopSign
+from repro.signal.light import TrafficLight
+from repro.units import kmh_to_ms
+
+#: Corridor length (m).
+US25_LENGTH_M = 4200.0
+#: Stop-sign position (m).
+US25_STOP_SIGN_M = 490.0
+#: Signalized-intersection positions (m).
+US25_SIGNAL_POSITIONS_M = (1820.0, 3460.0)
+#: Measured intra-queue spacing at signal 2 (m).
+US25_QUEUE_SPACING_M = 8.5
+#: Measured straight-through ratio at signal 2.
+US25_TURN_RATIO = 0.7636
+
+
+def us25_greenville_segment(
+    v_max_kmh: float = 70.0,
+    v_min_kmh: float = 40.0,
+    red_s: float = 30.0,
+    green_s: float = 30.0,
+    signal_offsets_s: tuple = (0.0, 15.0),
+    grade: GradeProfile | None = None,
+) -> RoadSegment:
+    """Build the US-25 Greenville corridor used throughout the evaluation.
+
+    Args:
+        v_max_kmh: Posted maximum speed limit (km/h).
+        v_min_kmh: Minimum expected flow speed (km/h); this is the ``v_min``
+            the VM model accelerates queues to.
+        red_s: Red duration of both signals (s).
+        green_s: Green duration of both signals (s).
+        signal_offsets_s: Cycle-start offsets for the two signals (s).
+        grade: Optional road-grade profile; flat by default (the paper
+            defers grade effects to future work).
+
+    Returns:
+        A fully populated :class:`~repro.route.road.RoadSegment`.
+    """
+    if len(signal_offsets_s) != len(US25_SIGNAL_POSITIONS_M):
+        raise ValueError(
+            f"need {len(US25_SIGNAL_POSITIONS_M)} signal offsets, got {len(signal_offsets_s)}"
+        )
+    v_max = kmh_to_ms(v_max_kmh)
+    v_min = kmh_to_ms(v_min_kmh)
+    signals = [
+        SignalSite(
+            position_m=pos,
+            light=TrafficLight(red_s=red_s, green_s=green_s, offset_s=offset),
+            turn_ratio=US25_TURN_RATIO,
+            queue_spacing_m=US25_QUEUE_SPACING_M,
+        )
+        for pos, offset in zip(US25_SIGNAL_POSITIONS_M, signal_offsets_s)
+    ]
+    return RoadSegment(
+        name="US-25 Greenville, SC",
+        length_m=US25_LENGTH_M,
+        zones=[SpeedLimitZone(0.0, US25_LENGTH_M, v_max_ms=v_max, v_min_ms=v_min)],
+        stop_signs=[StopSign(US25_STOP_SIGN_M)],
+        signals=signals,
+        grade=grade if grade is not None else GradeProfile.flat(),
+    )

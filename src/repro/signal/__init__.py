@@ -1,0 +1,18 @@
+"""Traffic-signal models: light timing, queue discharge (VM) and queue length (QL)."""
+
+from repro.signal.light import TrafficLight
+from repro.signal.vm import VehicleMovementModel, InstantDischargeModel
+from repro.signal.queue import QueueLengthModel, BaselineQueueModel, QueueWindow
+
+# NOTE: repro.signal.coordination is intentionally not re-exported here —
+# it depends on repro.route, which itself imports this package; import it
+# as `from repro.signal.coordination import ...` directly.
+
+__all__ = [
+    "BaselineQueueModel",
+    "InstantDischargeModel",
+    "QueueLengthModel",
+    "QueueWindow",
+    "TrafficLight",
+    "VehicleMovementModel",
+]

@@ -1,0 +1,88 @@
+"""Fixed-time traffic-light model.
+
+The paper considers a two-phase fixed cycle: red for ``t_red`` seconds from
+the cycle start, then green until the cycle ends (Section II-B-2).  An
+``offset`` shifts the cycle relative to absolute time so corridors with
+several lights can be staggered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrafficLight:
+    """A fixed-time two-phase signal.
+
+    Attributes:
+        red_s: Red-phase duration ``t_red`` (s); the cycle starts red.
+        green_s: Green-phase duration (s).
+        offset_s: Absolute time at which a cycle begins (s).
+    """
+
+    red_s: float
+    green_s: float
+    offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.red_s < 0 or self.green_s <= 0:
+            raise ConfigurationError(
+                f"phases must satisfy red >= 0 and green > 0, got {self.red_s}/{self.green_s}"
+            )
+
+    @property
+    def cycle_s(self) -> float:
+        """Full cycle duration ``t2 = t_red + t_green`` (s)."""
+        return self.red_s + self.green_s
+
+    def time_in_cycle(self, t: float) -> float:
+        """Phase time in ``[0, cycle)`` for an absolute time ``t``."""
+        return (t - self.offset_s) % self.cycle_s
+
+    def is_green(self, t: float) -> bool:
+        """Whether the light shows green at absolute time ``t``."""
+        return self.time_in_cycle(t) >= self.red_s
+
+    def is_red(self, t: float) -> bool:
+        """Whether the light shows red at absolute time ``t``."""
+        return not self.is_green(t)
+
+    def cycle_index(self, t: float) -> int:
+        """Index of the cycle containing absolute time ``t`` (0-based)."""
+        return int((t - self.offset_s) // self.cycle_s)
+
+    def cycle_start(self, t: float) -> float:
+        """Absolute start time of the cycle containing ``t``."""
+        return self.offset_s + self.cycle_index(t) * self.cycle_s
+
+    def next_green_start(self, t: float) -> float:
+        """Earliest absolute time >= ``t`` at which the light is green."""
+        if self.is_green(t):
+            return t
+        return self.cycle_start(t) + self.red_s
+
+    def next_red_start(self, t: float) -> float:
+        """Earliest absolute time >= ``t`` at which the light turns red."""
+        if self.is_red(t):
+            return t
+        return self.cycle_start(t) + self.cycle_s
+
+    def green_windows(self, horizon_s: float, start_s: float = 0.0) -> List[Tuple[float, float]]:
+        """Green intervals ``[(start, end), ...]`` overlapping ``[start_s, start_s+horizon_s]``."""
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_s}")
+        end_s = start_s + horizon_s
+        windows: List[Tuple[float, float]] = []
+        cycle_start = self.cycle_start(start_s)
+        while cycle_start < end_s:
+            g0 = cycle_start + self.red_s
+            g1 = cycle_start + self.cycle_s
+            lo, hi = max(g0, start_s), min(g1, end_s)
+            if hi > lo:
+                windows.append((lo, hi))
+            cycle_start += self.cycle_s
+        return windows

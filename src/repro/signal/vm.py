@@ -1,0 +1,158 @@
+"""Vehicle-movement (VM) model: queue discharge speed and leaving rate.
+
+Implements Eq. 4 and Eq. 5 of the paper.  When the light turns green the
+standing queue accelerates from rest to the minimum speed limit ``v_min``
+at the maximum comfortable acceleration ``a_max`` and then rolls through
+the stop line at ``v_min``:
+
+    v(t) = 0                          for 0      < t <= t_red       (red)
+    v(t) = a_max * (t - t_red)        for t_red  < t <= t1          (ramp)
+    v(t) = v_min                      for t1     < t <= t_star      (discharge)
+    v(t) = v_opt                      for t_star < t                (queue empty)
+
+with ``t1 = t_red + v_min / a_max``.  The leaving rate follows Eq. 5:
+
+    V_out(t) = v(t) / (d * gamma)
+
+where ``d`` is the constant intra-queue spacing and ``gamma`` the fraction
+of queued vehicles that go straight (turning vehicles clear through turn
+movements, so a smaller ``gamma`` empties the through queue faster).
+
+The prior art the paper compares against [Kang 2000] assumes the queue
+reaches ``v_min`` instantly at the green onset; that variant is provided as
+:class:`InstantDischargeModel` for the Fig. 5 baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signal.light import TrafficLight
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class VehicleMovementModel:
+    """Queue-discharge kinematics behind one signal (Eq. 4 / Eq. 5).
+
+    Attributes:
+        light: Signal timing; phase times below are relative to a cycle
+            start (red onset).
+        v_min_ms: Minimum speed limit the queue accelerates to (m/s).
+        a_max_ms2: Maximum acceleration used by discharging vehicles (m/s^2).
+        spacing_m: Constant intra-queue spacing ``d`` (m).
+        turn_ratio: Fraction ``gamma`` of queued vehicles going straight.
+    """
+
+    light: TrafficLight
+    v_min_ms: float
+    a_max_ms2: float = 2.5
+    spacing_m: float = 8.5
+    turn_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.v_min_ms <= 0:
+            raise ConfigurationError(f"v_min must be positive, got {self.v_min_ms}")
+        if self.a_max_ms2 <= 0:
+            raise ConfigurationError(f"a_max must be positive, got {self.a_max_ms2}")
+        if self.spacing_m <= 0:
+            raise ConfigurationError(f"spacing must be positive, got {self.spacing_m}")
+        if not 0.0 < self.turn_ratio <= 1.0:
+            raise ConfigurationError(f"turn ratio must be in (0, 1], got {self.turn_ratio}")
+
+    @property
+    def ramp_end_s(self) -> float:
+        """Cycle time ``t1`` at which discharging vehicles reach ``v_min``."""
+        return self.light.red_s + self.v_min_ms / self.a_max_ms2
+
+    def queue_speed(self, cycle_time_s: ArrayLike) -> ArrayLike:
+        """Queue-head speed ``v(t)`` (m/s) at a time within the cycle (Eq. 4).
+
+        ``cycle_time_s`` is measured from the red onset; values beyond one
+        cycle are *not* wrapped — use :meth:`TrafficLight.time_in_cycle`.
+        The fourth branch of Eq. 4 (free flow at ``v_opt`` once the queue is
+        gone) belongs to the optimizer, not the queue: this function keeps
+        reporting the discharge speed ``v_min``, which is what the leaving
+        rate needs.
+        """
+        t = np.asarray(cycle_time_s, dtype=float)
+        ramp = self.a_max_ms2 * (t - self.light.red_s)
+        speed = np.where(t <= self.light.red_s, 0.0, np.minimum(ramp, self.v_min_ms))
+        if np.ndim(speed) == 0:
+            return float(speed)
+        return speed
+
+    def leaving_rate(self, cycle_time_s: ArrayLike) -> ArrayLike:
+        """Queue leaving rate ``V_out(t)`` (vehicles/s) from Eq. 5."""
+        speed = np.asarray(self.queue_speed(cycle_time_s), dtype=float)
+        rate = speed / (self.spacing_m * self.turn_ratio)
+        if np.ndim(rate) == 0:
+            return float(rate)
+        return rate
+
+    def discharged_vehicles(self, cycle_time_s: float) -> float:
+        """Vehicles discharged since the cycle start (integral of Eq. 5).
+
+        Closed-form integral of the ramp-then-constant speed profile.
+        """
+        if cycle_time_s <= self.light.red_s:
+            return 0.0
+        t_green = cycle_time_s - self.light.red_s
+        ramp_duration = self.v_min_ms / self.a_max_ms2
+        if t_green <= ramp_duration:
+            distance = 0.5 * self.a_max_ms2 * t_green * t_green
+        else:
+            ramp_distance = 0.5 * self.v_min_ms * ramp_duration
+            distance = ramp_distance + self.v_min_ms * (t_green - ramp_duration)
+        return distance / (self.spacing_m * self.turn_ratio)
+
+
+@dataclass(frozen=True)
+class InstantDischargeModel:
+    """Baseline discharge model [9]: the queue moves at ``v_min`` from the
+    first instant of green (no acceleration transient).
+
+    Used as the Fig. 5 comparison (``V_out = v_min / d``); exposes the same
+    interface as :class:`VehicleMovementModel`.
+    """
+
+    light: TrafficLight
+    v_min_ms: float
+    spacing_m: float = 8.5
+    turn_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.v_min_ms <= 0:
+            raise ConfigurationError(f"v_min must be positive, got {self.v_min_ms}")
+        if self.spacing_m <= 0:
+            raise ConfigurationError(f"spacing must be positive, got {self.spacing_m}")
+        if not 0.0 < self.turn_ratio <= 1.0:
+            raise ConfigurationError(f"turn ratio must be in (0, 1], got {self.turn_ratio}")
+
+    def queue_speed(self, cycle_time_s: ArrayLike) -> ArrayLike:
+        """Queue speed: a step from 0 to ``v_min`` at the green onset."""
+        t = np.asarray(cycle_time_s, dtype=float)
+        speed = np.where(t <= self.light.red_s, 0.0, self.v_min_ms)
+        if np.ndim(speed) == 0:
+            return float(speed)
+        return speed
+
+    def leaving_rate(self, cycle_time_s: ArrayLike) -> ArrayLike:
+        """Leaving rate: a step from 0 to ``v_min / (d * gamma)``."""
+        speed = np.asarray(self.queue_speed(cycle_time_s), dtype=float)
+        rate = speed / (self.spacing_m * self.turn_ratio)
+        if np.ndim(rate) == 0:
+            return float(rate)
+        return rate
+
+    def discharged_vehicles(self, cycle_time_s: float) -> float:
+        """Vehicles discharged since the cycle start."""
+        if cycle_time_s <= self.light.red_s:
+            return 0.0
+        t_green = cycle_time_s - self.light.red_s
+        return self.v_min_ms * t_green / (self.spacing_m * self.turn_ratio)

@@ -1,0 +1,36 @@
+"""Microscopic traffic simulation: the SUMO substitute.
+
+The paper validates its plans in SUMO via TraCI; SUMO is not available in
+this environment, so this subpackage implements the pieces the evaluation
+actually exercises: a single-lane corridor, Krauss/IDM car-following,
+signal logic with queue formation and discharge, stop-sign behaviour, a
+turning ratio at intersections, and a TraCI-style control facade that
+plays a planned velocity profile through a controlled EV subject to
+collision avoidance.
+"""
+
+from repro.sim.car_following import IdmModel, KraussModel
+from repro.sim.vehicle_agent import VehicleAgent
+from repro.sim.network import SimNetwork
+from repro.sim.simulator import CorridorSimulator, SimulationResult
+from repro.sim.traci import TraciFacade
+from repro.sim.scenario import Us25Scenario, drive_profile, profile_speed_command
+from repro.sim.closed_loop import ClosedLoopDriver, ClosedLoopResult
+from repro.sim.detectors import DetectorBank, LoopDetector
+
+__all__ = [
+    "ClosedLoopDriver",
+    "ClosedLoopResult",
+    "CorridorSimulator",
+    "DetectorBank",
+    "LoopDetector",
+    "IdmModel",
+    "KraussModel",
+    "SimNetwork",
+    "SimulationResult",
+    "TraciFacade",
+    "Us25Scenario",
+    "VehicleAgent",
+    "drive_profile",
+    "profile_speed_command",
+]

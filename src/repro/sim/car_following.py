@@ -1,0 +1,167 @@
+"""Car-following models: Krauss (SUMO's default) and IDM.
+
+Both models answer one question per step: given my speed, my desired
+speed, and the gap/speed of the obstacle ahead (a leader vehicle, a red
+signal's stop line, or nothing), what speed may I drive in the next step
+without risking a collision?
+
+The Krauss model is the default because the paper's SUMO runs used it;
+IDM is provided for the car-following ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Gap considered "no leader in sight".
+OPEN_ROAD_GAP_M = 1.0e9
+
+
+@dataclass(frozen=True)
+class KraussModel:
+    """Krauss 1998 stochastic-free car-following (SUMO's ``krauss`` core).
+
+    Attributes:
+        accel_ms2: Maximum acceleration ``a``.
+        decel_ms2: Comfortable deceleration ``b`` (positive).
+        tau_s: Driver reaction time.
+        sigma: Driver imperfection in [0, 1]; 0 disables the random
+            slow-down term (deterministic runs).
+    """
+
+    accel_ms2: float = 2.5
+    decel_ms2: float = 4.5
+    tau_s: float = 1.0
+    sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.accel_ms2 <= 0 or self.decel_ms2 <= 0 or self.tau_s <= 0:
+            raise ConfigurationError("accel, decel and tau must be positive")
+        if not 0.0 <= self.sigma <= 1.0:
+            raise ConfigurationError(f"sigma must be in [0, 1], got {self.sigma}")
+
+    def safe_speed(self, leader_speed: float, gap_m: float) -> float:
+        """Krauss safe speed for a gap to a leader moving at ``leader_speed``.
+
+        The exact stopping-safe bound: driving at ``v_safe`` for the
+        reaction time ``tau`` and then braking at ``b`` never closes more
+        than the gap plus the leader's own stopping distance:
+
+            v_safe = -b*tau + sqrt(b^2 tau^2 + v_l^2 + 2 b g)
+
+        This is the collision-free core of SUMO's ``krauss`` model; it
+        degrades to 0 as the gap closes on a stationary obstacle.
+        """
+        if gap_m >= OPEN_ROAD_GAP_M:
+            return float("inf")
+        gap_m = max(gap_m, 0.0)
+        b, tau = self.decel_ms2, self.tau_s
+        v_safe = -b * tau + math.sqrt(
+            b * b * tau * tau + leader_speed * leader_speed + 2.0 * b * gap_m
+        )
+        return max(v_safe, 0.0)
+
+    def next_speed(
+        self,
+        speed: float,
+        desired_speed: float,
+        leader_speed: float,
+        gap_m: float,
+        dt_s: float,
+        imperfection: float = 0.0,
+    ) -> float:
+        """Speed for the next step.
+
+        Args:
+            speed: Current speed (m/s).
+            desired_speed: Free-flow target (speed limit or plan).
+            leader_speed: Speed of the obstacle ahead (m/s).
+            gap_m: Net gap to the obstacle (m); ``OPEN_ROAD_GAP_M`` for none.
+            dt_s: Step length (s).
+            imperfection: A uniform [0, 1] sample for the sigma term; pass
+                0 for deterministic behaviour.
+        """
+        v_des = min(speed + self.accel_ms2 * dt_s, desired_speed)
+        v_next = min(v_des, self.safe_speed(leader_speed, gap_m))
+        # Never require braking harder than the emergency bound.
+        v_next = max(v_next, speed - self.decel_ms2 * dt_s * 2.0)
+        if self.sigma > 0.0:
+            v_next -= self.sigma * imperfection * self.accel_ms2 * dt_s
+        return max(v_next, 0.0)
+
+
+@dataclass(frozen=True)
+class IdmModel:
+    """Intelligent Driver Model (Treiber 2000).
+
+    Attributes:
+        accel_ms2: Maximum acceleration ``a``.
+        decel_ms2: Comfortable deceleration ``b`` (positive).
+        headway_s: Desired time headway ``T``.
+        min_gap_m: Jam distance ``s0``.
+        delta: Free-flow exponent.
+    """
+
+    accel_ms2: float = 2.5
+    decel_ms2: float = 2.5
+    headway_s: float = 1.2
+    min_gap_m: float = 2.0
+    delta: float = 4.0
+
+    def __post_init__(self) -> None:
+        if min(self.accel_ms2, self.decel_ms2, self.headway_s, self.min_gap_m) <= 0:
+            raise ConfigurationError("IDM parameters must be positive")
+
+    def safe_speed(self, leader_speed: float, gap_m: float) -> float:
+        """Conservative stopping-safe speed for spawn checks.
+
+        IDM regulates spacing through its acceleration term; this bound is
+        only used when inserting vehicles, mirroring the Krauss formula
+        with the IDM's own braking capability and headway.
+        """
+        if gap_m >= OPEN_ROAD_GAP_M:
+            return float("inf")
+        gap_m = max(gap_m, 0.0)
+        b, tau = self.decel_ms2, self.headway_s
+        v_safe = -b * tau + math.sqrt(
+            b * b * tau * tau + leader_speed * leader_speed + 2.0 * b * gap_m
+        )
+        return max(v_safe, 0.0)
+
+    def acceleration(
+        self, speed: float, desired_speed: float, leader_speed: float, gap_m: float
+    ) -> float:
+        """IDM acceleration for the current situation."""
+        if desired_speed <= 0:
+            return -self.decel_ms2
+        free = 1.0 - (speed / desired_speed) ** self.delta
+        if gap_m >= OPEN_ROAD_GAP_M:
+            return self.accel_ms2 * free
+        gap_m = max(gap_m, 0.1)
+        dv = speed - leader_speed
+        s_star = self.min_gap_m + max(
+            0.0,
+            speed * self.headway_s
+            + speed * dv / (2.0 * math.sqrt(self.accel_ms2 * self.decel_ms2)),
+        )
+        return self.accel_ms2 * (free - (s_star / gap_m) ** 2)
+
+    def next_speed(
+        self,
+        speed: float,
+        desired_speed: float,
+        leader_speed: float,
+        gap_m: float,
+        dt_s: float,
+        imperfection: float = 0.0,
+    ) -> float:
+        """Speed for the next step (Euler integration, floored at zero).
+
+        The ``imperfection`` argument is accepted for interface parity
+        with :class:`KraussModel` and ignored (IDM is deterministic).
+        """
+        accel = self.acceleration(speed, desired_speed, leader_speed, gap_m)
+        return max(speed + accel * dt_s, 0.0)

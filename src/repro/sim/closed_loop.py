@@ -1,0 +1,139 @@
+"""Closed-loop driving: replan mid-route when traffic disturbs the plan.
+
+The paper's deployment loop computes one profile per trip; in the
+simulator (as in its SUMO runs) the derived trajectory drifts from the
+plan whenever car-following or a residual queue interferes.  This module
+closes the loop: the EV periodically reports ``(position, speed, time)``
+and receives a fresh profile for the remainder of the route, restoring
+queue-free window targeting at the signals still ahead — the same
+receding-horizon pattern a production TraCI controller would run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.planner import DpPlannerBase
+from repro.core.profile import TimedTrace
+from repro.errors import ConfigurationError, InfeasibleProblemError
+from repro.sim.scenario import Us25Scenario, profile_speed_command
+from repro.sim.simulator import SimulationResult
+
+
+@dataclass
+class ClosedLoopResult:
+    """Outcome of one closed-loop drive.
+
+    Attributes:
+        sim: The underlying simulation result (trace, stops, queues).
+        replans_attempted: Number of mid-route replanning rounds.
+        replans_applied: Rounds that produced a feasible fresh plan.
+        replans_infeasible: Rounds where no feasible plan existed and the
+            previous command was kept.
+    """
+
+    sim: SimulationResult
+    replans_attempted: int
+    replans_applied: int
+    replans_infeasible: int
+
+    @property
+    def ev_trace(self) -> Optional[TimedTrace]:
+        """The EV's derived trace."""
+        return self.sim.ev_trace
+
+
+class ClosedLoopDriver:
+    """Drives one EV with periodic mid-route replanning.
+
+    Args:
+        scenario: Corridor scenario (traffic, seed, step size).
+        planner: Planner used for both the initial plan and replans.
+        replan_interval_s: Seconds of simulated time between replans.
+        deadline_slack_s: The trip deadline is the initial plan's arrival
+            plus this slack; replans must respect the remaining budget.
+    """
+
+    def __init__(
+        self,
+        scenario: Us25Scenario,
+        planner: DpPlannerBase,
+        replan_interval_s: float = 15.0,
+        deadline_slack_s: float = 20.0,
+    ) -> None:
+        if replan_interval_s <= 0:
+            raise ConfigurationError("replan interval must be positive")
+        if deadline_slack_s < 0:
+            raise ConfigurationError("deadline slack must be >= 0")
+        self.scenario = scenario
+        self.planner = planner
+        self.replan_interval_s = float(replan_interval_s)
+        self.deadline_slack_s = float(deadline_slack_s)
+
+    def run(
+        self,
+        depart_s: float,
+        max_trip_time_s: Optional[float] = None,
+        horizon_s: float = 1800.0,
+    ) -> ClosedLoopResult:
+        """Plan, drive and replan until the EV finishes the corridor."""
+        cap = max_trip_time_s
+        initial = self.planner.plan(start_time_s=depart_s, max_trip_time_s=cap)
+        deadline = depart_s + initial.trip_time_s + self.deadline_slack_s
+
+        sim = self.scenario._build_simulator(horizon_s)
+        sim.schedule_ev(
+            depart_s=depart_s, target_speed_at=profile_speed_command(initial.profile)
+        )
+
+        attempted = applied = infeasible = 0
+        route_end = self.scenario.road.length_m
+        next_replan = depart_s + self.replan_interval_s
+        ev = sim._trackers["ev"].agent
+        while sim.time_s < horizon_s:
+            sim.step()
+            if ev.exited_at_s is not None:
+                break
+            inserted = bool(sim._trackers["ev"].log)
+            if not inserted or sim.time_s < next_replan:
+                continue
+            next_replan += self.replan_interval_s
+            if ev.position_m >= route_end - 50.0 or ev.stop_sign_wait_s > 0:
+                continue  # nothing useful left to replan
+            attempted += 1
+            remaining = deadline - sim.time_s
+            try:
+                solution = self.planner.replan(
+                    position_m=ev.position_m,
+                    speed_ms=ev.speed_ms,
+                    time_s=sim.time_s,
+                    max_trip_time_s=max(remaining, 1.0),
+                )
+            except InfeasibleProblemError:
+                try:
+                    solution = self.planner.replan(
+                        position_m=ev.position_m,
+                        speed_ms=ev.speed_ms,
+                        time_s=sim.time_s,
+                        minimize="time",
+                    )
+                except InfeasibleProblemError:
+                    infeasible += 1
+                    continue
+            ev.target_speed_at = profile_speed_command(solution.profile)
+            applied += 1
+
+        result = sim.result()
+        if result.ev_exited_at_s is None:
+            raise InfeasibleProblemError(
+                f"closed-loop EV did not finish within {horizon_s} s"
+            )
+        return ClosedLoopResult(
+            sim=result,
+            replans_attempted=attempted,
+            replans_applied=applied,
+            replans_infeasible=infeasible,
+        )

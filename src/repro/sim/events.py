@@ -1,0 +1,26 @@
+"""Typed event records emitted by the corridor simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """A discrete simulation event.
+
+    Attributes:
+        time_s: Simulation time of the event.
+        vehicle_id: Vehicle involved.
+        kind: One of ``"enter"``, ``"exit"``, ``"turn_off"``,
+            ``"cross_signal"``, ``"serve_stop_sign"``, ``"spawn_delayed"``.
+        position_m: Where it happened.
+    """
+
+    time_s: float
+    vehicle_id: str
+    kind: str
+    position_m: float
+
+    def __str__(self) -> str:
+        return f"[{self.time_s:8.1f}s] {self.kind:<15} {self.vehicle_id} @ {self.position_m:.1f} m"

@@ -1,0 +1,57 @@
+"""Simulation-facing view of a road corridor.
+
+Wraps a :class:`~repro.route.road.RoadSegment` with the bookkeeping the
+step loop needs: fast lookup of the next signal or stop sign ahead of a
+position, and speed limits along the way.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from repro.route.road import RoadSegment, SignalSite
+
+
+class SimNetwork:
+    """Lookup helpers over a corridor for the simulation step loop."""
+
+    def __init__(self, road: RoadSegment) -> None:
+        self.road = road
+        self._signal_positions = [site.position_m for site in road.signals]
+        self._stop_positions = [sign.position_m for sign in road.stop_signs]
+
+    @property
+    def length_m(self) -> float:
+        """Corridor length."""
+        return self.road.length_m
+
+    def speed_limit_at(self, position_m: float) -> float:
+        """Posted maximum speed at a clamped position."""
+        clamped = min(max(position_m, 0.0), self.road.length_m)
+        return self.road.v_max_at(clamped)
+
+    def next_signal_ahead(
+        self, position_m: float, ignore: set
+    ) -> Optional[SignalSite]:
+        """The first signal strictly ahead whose stop line was not crossed."""
+        index = bisect.bisect_right(self._signal_positions, position_m)
+        for site in self.road.signals[index:]:
+            if site.position_m not in ignore:
+                return site
+        return None
+
+    def next_stop_sign_ahead(self, position_m: float, ignore: set) -> Optional[float]:
+        """The first unserved stop-sign position strictly ahead."""
+        index = bisect.bisect_right(self._stop_positions, position_m)
+        for pos in self._stop_positions[index:]:
+            if pos not in ignore:
+                return pos
+        return None
+
+    def signal_site(self, position_m: float) -> SignalSite:
+        """The signal site at an exact position."""
+        for site in self.road.signals:
+            if site.position_m == position_m:
+                return site
+        raise KeyError(f"no signal at {position_m} m")

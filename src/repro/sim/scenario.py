@@ -1,0 +1,149 @@
+"""Ready-made US-25 simulation scenario.
+
+Builds the corridor of Section III-A with volume-driven background traffic
+and provides the one-call workflow the evaluation uses: *play a planned
+velocity profile through the simulator and observe the derived profile*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.core.profile import TimedTrace, VelocityProfile
+from repro.errors import ConfigurationError
+from repro.route.road import RoadSegment
+from repro.sim.car_following import KraussModel
+from repro.sim.simulator import CorridorSimulator, SimulationResult
+from repro.traffic.arrival import PoissonArrivalProcess
+from repro.traffic.volume import VolumeSeries
+from repro.units import SECONDS_PER_HOUR
+
+SpeedCommand = Union[VelocityProfile, Callable[[float], float]]
+
+
+@dataclass
+class Us25Scenario:
+    """A reproducible corridor simulation around one EV trip.
+
+    Args:
+        road: The corridor (typically
+            :func:`~repro.route.us25.us25_greenville_segment`).
+        arrival_rate_vph: Background entry volume (vehicles/hour), constant
+            over the run.  Matches the paper's measured ``V_in``.
+        warmup_s: Simulated time before the EV departs, letting queues
+            reach their periodic regime.
+        seed: Seed for arrivals, desired speeds and turn decisions.
+        dt_s: Simulation step.
+        car_following: Car-following model (Krauss by default).
+    """
+
+    road: RoadSegment
+    arrival_rate_vph: float = 153.0
+    warmup_s: float = 300.0
+    seed: int = 0
+    dt_s: float = 0.5
+    car_following: Optional[KraussModel] = None
+    ev_car_following: Optional[KraussModel] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_vph < 0:
+            raise ConfigurationError("arrival rate must be >= 0")
+        if self.warmup_s < 0:
+            raise ConfigurationError("warmup must be >= 0")
+
+    def _build_simulator(self, horizon_s: float) -> CorridorSimulator:
+        hours = int(np.ceil(horizon_s / SECONDS_PER_HOUR)) + 1
+        series = VolumeSeries(np.full(hours, self.arrival_rate_vph))
+        arrivals = PoissonArrivalProcess(series, seed=self.seed).sample(0.0, horizon_s)
+        return CorridorSimulator(
+            road=self.road,
+            arrivals_s=arrivals,
+            car_following=self.car_following,
+            ev_car_following=self.ev_car_following,
+            dt_s=self.dt_s,
+            seed=self.seed + 1,
+        )
+
+    def drive(
+        self,
+        command: SpeedCommand,
+        depart_s: Optional[float] = None,
+        horizon_s: float = 1800.0,
+    ) -> SimulationResult:
+        """Play a speed command through the corridor and record the trip.
+
+        Args:
+            command: A :class:`VelocityProfile` (its ``speed_at`` drives
+                the EV) or a raw position->speed callable.
+            depart_s: EV departure time; defaults to the warmup length.
+            horizon_s: Hard simulation cutoff.
+
+        Returns:
+            The :class:`SimulationResult`, whose ``ev_trace`` is the
+            *derived* profile after car-following and signal interference.
+        """
+        depart = self.warmup_s if depart_s is None else float(depart_s)
+        if isinstance(command, VelocityProfile):
+            target = profile_speed_command(command)
+        else:
+            target = command
+        sim = self._build_simulator(horizon_s)
+        sim.schedule_ev(depart_s=depart, target_speed_at=target)
+        return sim.run_until_ev_done(hard_limit_s=horizon_s)
+
+    def observe_queues(self, duration_s: float) -> SimulationResult:
+        """Run without an EV to measure background queue dynamics."""
+        sim = self._build_simulator(duration_s)
+        return sim.run(duration_s)
+
+
+def profile_speed_command(
+    profile: VelocityProfile, launch_lookahead_m: float = 4.0
+) -> Callable[[float], float]:
+    """Adapt a planned profile into a position-indexed speed command.
+
+    The raw plan has ``v = 0`` exactly at the source and at stop signs, so
+    commanding ``speed_at(position)`` verbatim would leave a stopped EV
+    stopped forever.  The command therefore takes the *maximum* of the plan
+    speed here and a few metres ahead: during planned decelerations the
+    local (higher) speed wins, so tracking is unchanged, while at planned
+    stops the positive speed just beyond the stop line re-launches the
+    vehicle.  Stop-sign dwells themselves are enforced by the simulator.
+    """
+    lo = float(profile.positions_m[0])
+    hi = float(profile.positions_m[-1])
+
+    def target(position_m: float) -> float:
+        here = min(max(position_m, lo), hi)
+        # The lookahead is taken from the clamped point, not the raw
+        # position: a vehicle slightly *behind* a replanned profile that
+        # begins at a stop must still see the positive speed beyond the
+        # stop, or it would halt short of the stop line and deadlock.
+        ahead = min(here + launch_lookahead_m, hi)
+        return max(profile.speed_at(here), profile.speed_at(ahead))
+
+    return target
+
+
+def drive_profile(
+    road: RoadSegment,
+    profile: VelocityProfile,
+    arrival_rate_vph: float = 153.0,
+    depart_s: float = 300.0,
+    seed: int = 0,
+) -> TimedTrace:
+    """One-call helper: derived EV trace for a planned profile.
+
+    Raises:
+        ConfigurationError: If the EV never completed the corridor.
+    """
+    scenario = Us25Scenario(
+        road=road, arrival_rate_vph=arrival_rate_vph, warmup_s=depart_s, seed=seed
+    )
+    result = scenario.drive(profile)
+    if result.ev_trace is None:
+        raise ConfigurationError("EV never entered the corridor")
+    return result.ev_trace

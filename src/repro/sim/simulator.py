@@ -1,0 +1,517 @@
+"""Fixed-step single-lane corridor simulator.
+
+This is the evaluation substrate standing in for SUMO: background vehicles
+enter the corridor according to an arrival process, follow a car-following
+model, queue at red lights and at stop signs, and turn off at
+intersections with probability ``1 - gamma``.  A controlled EV can be
+inserted with a planned velocity profile as its speed command; the
+car-following layer overrides the command whenever collision avoidance or
+a red light demands it — exactly the interaction the paper reports when
+feeding DP profiles into SUMO through TraCI (Fig. 6).
+
+Invariants maintained each step (checked, raising
+:class:`~repro.errors.SimulationError` on breach):
+
+* vehicles never overlap (net gap >= 0),
+* vehicle order on the lane never changes (no overtaking),
+* no vehicle crosses a stop line while its light is red.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.profile import TimedTrace
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.car_following import OPEN_ROAD_GAP_M, KraussModel
+from repro.sim.events import SimEvent
+from repro.sim.network import SimNetwork
+from repro.sim.vehicle_agent import VEHICLE_LENGTH_M, VehicleAgent
+from repro.route.road import RoadSegment
+
+#: A vehicle is considered queued below this speed (m/s).
+QUEUE_SPEED_THRESHOLD = 0.5
+#: Gap that still counts as "in the same queue" (m); generous enough to
+#: keep a discharging chain intact while gaps open up during acceleration.
+QUEUE_CHAIN_GAP_M = 20.0
+#: Offset before a stop line where vehicles come to rest (m).
+STOP_LINE_OFFSET_M = 1.0
+
+
+@dataclass
+class _EvTracker:
+    """Per-controlled-EV bookkeeping during a run."""
+
+    agent: VehicleAgent
+    log: List[Tuple[float, float, float]] = field(default_factory=list)
+    stops: int = 0
+    stop_positions: List[float] = field(default_factory=list)
+    was_moving: bool = False
+
+
+@dataclass
+class SimulationResult:
+    """Everything recorded during one simulation run.
+
+    Attributes:
+        ev_trace: Time-sampled trace of the controlled EV (``None`` when no
+            EV was inserted or it never entered).
+        queue_counts: Per-signal queue sizes: position -> (times, counts).
+        events: Chronological event log.
+        vehicles_entered: Number of vehicles inserted.
+        vehicles_exited: Number of vehicles that left (end or turned off).
+        ev_entered_at_s: EV insertion time (``None`` if not inserted).
+        ev_exited_at_s: EV exit time (``None`` if it never finished).
+        ev_stops: Number of distinct full stops the EV made while enroute.
+        ev_stop_positions: Route position of each stop, in order.
+        ev_traces: Per-EV derived traces for multi-EV runs.
+        ev_stops_by_id: Per-EV stop counts.
+        ev_stop_positions_by_id: Per-EV stop positions.
+    """
+
+    ev_trace: Optional[TimedTrace]
+    queue_counts: Dict[float, Tuple[np.ndarray, np.ndarray]]
+    events: List[SimEvent]
+    vehicles_entered: int
+    vehicles_exited: int
+    ev_entered_at_s: Optional[float]
+    ev_exited_at_s: Optional[float]
+    ev_stops: int
+    ev_stop_positions: List[float] = field(default_factory=list)
+    ev_traces: Dict[str, TimedTrace] = field(default_factory=dict)
+    ev_stops_by_id: Dict[str, int] = field(default_factory=dict)
+    ev_stop_positions_by_id: Dict[str, List[float]] = field(default_factory=dict)
+
+    def ev_signal_stops(
+        self,
+        road: RoadSegment,
+        upstream_m: float = 150.0,
+        vehicle_id: Optional[str] = None,
+    ) -> int:
+        """Stops that happened within ``upstream_m`` of a signal stop line.
+
+        Distinguishes queue/red stops (the ones the proposed system claims
+        to eliminate) from the mandatory stop-sign stop.  ``vehicle_id``
+        selects an EV in multi-EV runs (default: the primary EV).
+        """
+        positions = (
+            self.ev_stop_positions
+            if vehicle_id is None
+            else self.ev_stop_positions_by_id.get(vehicle_id, [])
+        )
+        count = 0
+        for pos in positions:
+            for site in road.signals:
+                if 0.0 <= site.position_m - pos <= upstream_m:
+                    count += 1
+                    break
+        return count
+
+
+class CorridorSimulator:
+    """Single-lane microsimulation over a road corridor.
+
+    Args:
+        road: Corridor definition (limits, signs, signals).
+        arrivals_s: Sorted background-vehicle arrival times at the corridor
+            entrance (absolute seconds).
+        car_following: Car-following model shared by background vehicles.
+        ev_car_following: Optional distinct model for the controlled EV
+            (e.g. a gentler acceleration for a mild human driver); falls
+            back to the background model.
+        dt_s: Simulation step (s).
+        stop_sign_wait_s: Mandatory stop duration at stop signs (s).
+        seed: RNG seed for desired-speed heterogeneity and turn decisions.
+        desired_speed_mean_frac: Background desired speed as a fraction of
+            the local limit (mean of the heterogeneity distribution).
+        desired_speed_std_frac: Std-dev of that fraction.
+        queue_speed_threshold_ms: A not-yet-crossed vehicle within the
+            chain upstream of a stop line counts as queued while slower
+            than this.  Matches the QL model's semantics, where vehicles
+            remain "in the queue" through the sub-``v_min`` discharge ramp.
+    """
+
+    def __init__(
+        self,
+        road: RoadSegment,
+        arrivals_s: Sequence[float],
+        car_following: Optional[KraussModel] = None,
+        ev_car_following: Optional[KraussModel] = None,
+        dt_s: float = 0.5,
+        stop_sign_wait_s: float = 2.0,
+        seed: int = 0,
+        desired_speed_mean_frac: float = 0.97,
+        desired_speed_std_frac: float = 0.03,
+        queue_speed_threshold_ms: float = 7.0,
+    ) -> None:
+        if dt_s <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt_s}")
+        if stop_sign_wait_s < 0:
+            raise ConfigurationError("stop-sign wait must be >= 0")
+        self.network = SimNetwork(road)
+        self.model = car_following if car_following is not None else KraussModel()
+        self.ev_model = ev_car_following if ev_car_following is not None else self.model
+        self.dt_s = float(dt_s)
+        self.stop_sign_wait_s = float(stop_sign_wait_s)
+        self._rng = np.random.default_rng(seed)
+        self._desired_mean = desired_speed_mean_frac
+        self._desired_std = desired_speed_std_frac
+        self._queue_speed_threshold = queue_speed_threshold_ms
+
+        self._pending = sorted(float(t) for t in arrivals_s)
+        self._pending_index = 0
+        self._vehicles: List[VehicleAgent] = []  # sorted by position, descending
+        self._time = 0.0
+        self._next_id = 0
+        self.events: List[SimEvent] = []
+        self._entered = 0
+        self._exited = 0
+
+        self._queue_times: List[float] = []
+        self._queue_counts: Dict[float, List[int]] = {
+            site.position_m: [] for site in road.signals
+        }
+
+        self._ev_pending: List[Tuple[float, VehicleAgent]] = []
+        self._trackers: Dict[str, _EvTracker] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    @property
+    def time_s(self) -> float:
+        """Current simulation time."""
+        return self._time
+
+    def schedule_ev(
+        self,
+        depart_s: float,
+        target_speed_at,
+        vehicle_id: str = "ev",
+    ) -> None:
+        """Insert a controlled EV at a future time with a speed command.
+
+        May be called multiple times with distinct ids to study several
+        planned EVs sharing the corridor (penetration studies).
+
+        Args:
+            depart_s: Insertion time (s).
+            target_speed_at: Map from route position (m) to commanded speed
+                (m/s) — typically ``profile.speed_at``.
+            vehicle_id: Identifier for the EV (must be unique).
+        """
+        if depart_s < self._time:
+            raise ConfigurationError(
+                f"EV departure {depart_s} s is in the past (now {self._time} s)"
+            )
+        if vehicle_id in self._trackers:
+            raise ConfigurationError(f"EV id {vehicle_id!r} already scheduled")
+        agent = VehicleAgent(
+            vehicle_id=vehicle_id,
+            position_m=0.0,
+            speed_ms=0.0,
+            desired_speed=self.network.speed_limit_at(0.0),
+            target_speed_at=target_speed_at,
+            is_controlled=True,
+        )
+        self._trackers[vehicle_id] = _EvTracker(agent=agent)
+        self._ev_pending.append((float(depart_s), agent))
+        self._ev_pending.sort(key=lambda item: item[0])
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def run(self, until_s: float) -> SimulationResult:
+        """Advance the simulation until a given time and collect results."""
+        while self._time < until_s:
+            self.step()
+        return self.result()
+
+    def run_until_ev_done(self, hard_limit_s: float = 3600.0) -> SimulationResult:
+        """Run until every scheduled controlled EV leaves the corridor."""
+        if not self._trackers:
+            raise ConfigurationError("no EV scheduled")
+        while self._time < hard_limit_s:
+            self.step()
+            if all(
+                tracker.agent.exited_at_s is not None
+                for tracker in self._trackers.values()
+            ):
+                return self.result()
+        raise SimulationError(f"EV did not finish within {hard_limit_s} s")
+
+    def step(self) -> None:
+        """Advance the world by one time step."""
+        self._insert_vehicles()
+        self._advance_vehicles()
+        self._record_queues()
+        self._time += self.dt_s
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _insert_vehicles(self) -> None:
+        while self._ev_pending and self._time >= self._ev_pending[0][0]:
+            if not self._entry_clear():
+                break
+            _, agent = self._ev_pending.pop(0)
+            agent.entered_at_s = self._time
+            self._insert_sorted(agent)
+            self._entered += 1
+            self.events.append(SimEvent(self._time, agent.vehicle_id, "enter", 0.0))
+            # EV insertion has priority: hold background arrivals back this
+            # step so EVs are not boxed out at their own departure times.
+
+        while (
+            self._pending_index < len(self._pending)
+            and self._pending[self._pending_index] <= self._time
+        ):
+            if not self._entry_clear():
+                # Entrance blocked; retry next step (arrival backlog).
+                break
+            limit = self.network.speed_limit_at(0.0)
+            frac = float(
+                np.clip(
+                    self._rng.normal(self._desired_mean, self._desired_std), 0.3, 1.0
+                )
+            )
+            entry_speed = min(frac * limit, self._safe_entry_speed())
+            agent = VehicleAgent(
+                vehicle_id=f"veh{self._next_id}",
+                position_m=0.0,
+                speed_ms=max(entry_speed, 0.0),
+                desired_speed=frac * limit,
+                entered_at_s=self._time,
+            )
+            self._next_id += 1
+            self._insert_sorted(agent)
+            self._entered += 1
+            self._pending_index += 1
+            self.events.append(SimEvent(self._time, agent.vehicle_id, "enter", 0.0))
+
+    def _entry_clear(self) -> bool:
+        if not self._vehicles:
+            return True
+        last = self._vehicles[-1]
+        return last.rear_m > 2.0
+
+    def _safe_entry_speed(self) -> float:
+        if not self._vehicles:
+            return float("inf")
+        last = self._vehicles[-1]
+        gap = last.rear_m - 0.0
+        return self.model.safe_speed(last.speed_ms, max(gap, 0.0))
+
+    def _insert_sorted(self, agent: VehicleAgent) -> None:
+        # New vehicles enter at position 0, i.e. behind everyone.
+        self._vehicles.append(agent)
+
+    def _advance_vehicles(self) -> None:
+        # Leader-first sequential update: each vehicle reacts to its
+        # leader's already-updated state, which (with tau >= dt) keeps the
+        # lane collision-free by construction; a final clamp catches
+        # residual integration overshoot.
+        survivors: List[VehicleAgent] = []
+        leader: Optional[VehicleAgent] = None
+        for veh in self._vehicles:
+            v_next = self._next_speed(veh, leader)
+            old_pos = veh.position_m
+            new_pos = old_pos + 0.5 * (veh.speed_ms + v_next) * self.dt_s
+            if leader is not None:
+                max_pos = leader.rear_m - 0.1
+                if new_pos > max_pos:
+                    if new_pos - max_pos > 1.0:
+                        raise SimulationError(
+                            f"vehicle {veh.vehicle_id} overlaps its leader by "
+                            f"{new_pos - max_pos:.2f} m (t={self._time:.1f} s)"
+                        )
+                    new_pos = max(max_pos, old_pos)
+                    v_next = max(0.0, 2.0 * (new_pos - old_pos) / self.dt_s - veh.speed_ms)
+            veh.speed_ms = v_next
+            veh.position_m = new_pos
+            if veh.is_controlled:
+                self._log_ev(veh)
+
+            if not self._handle_crossings(veh, old_pos):
+                self._exited += 1
+                continue
+            if veh.position_m >= self.network.length_m:
+                veh.exited_at_s = self._time + self.dt_s
+                self._exited += 1
+                self.events.append(
+                    SimEvent(self._time + self.dt_s, veh.vehicle_id, "exit", veh.position_m)
+                )
+                continue
+            survivors.append(veh)
+            leader = veh
+        self._vehicles = survivors
+
+    def _emergency_stopping_distance(self, speed: float) -> float:
+        """Distance needed to stop under emergency braking.
+
+        Twice the comfortable deceleration (the hard floor inside
+        :meth:`KraussModel.next_speed`), with an 8 m/s^2 floor so models
+        with gentle *comfortable* braking (IDM) — whose interaction term
+        still brakes arbitrarily hard when close — do not commit to
+        crossing long before they actually need to.
+        """
+        decel = max(2.0 * getattr(self.model, "decel_ms2", 4.5), 8.0)
+        return speed * speed / (2.0 * decel)
+
+    def _next_speed(self, veh: VehicleAgent, leader: Optional[VehicleAgent]) -> float:
+        # Mandatory stop-sign dwell in progress: stay put.
+        if veh.stop_sign_wait_s > 0.0:
+            veh.stop_sign_wait_s -= self.dt_s
+            if veh.stop_sign_wait_s <= 0.0:
+                sign = self.network.next_stop_sign_ahead(
+                    veh.position_m - 5.0, veh.cleared_stop_signs
+                )
+                if sign is not None and sign - veh.position_m < 5.0:
+                    veh.cleared_stop_signs.add(sign)
+                    self.events.append(
+                        SimEvent(self._time, veh.vehicle_id, "serve_stop_sign", sign)
+                    )
+            return 0.0
+
+        desired = min(veh.commanded_speed(), self.network.speed_limit_at(veh.position_m))
+        candidates: List[Tuple[float, float]] = []  # (leader speed, gap)
+
+        if leader is not None:
+            gap = leader.rear_m - veh.position_m
+            candidates.append((leader.speed_ms, gap))
+
+        signal = self.network.next_signal_ahead(veh.position_m, veh.crossed_signals)
+        if signal is not None and signal.light.is_red(self._time):
+            gap = signal.position_m - STOP_LINE_OFFSET_M - veh.position_m
+            if gap < self._emergency_stopping_distance(veh.speed_ms) and veh.speed_ms > 2.0:
+                # Dilemma zone: braking cannot make the line, so commit to
+                # crossing (the light was green/yellow when this became
+                # unavoidable) — mirrors SUMO's behaviour at phase flips.
+                veh.crossed_signals.add(signal.position_m)
+            else:
+                candidates.append((0.0, gap))
+
+        sign_pos = self.network.next_stop_sign_ahead(veh.position_m, veh.cleared_stop_signs)
+        if sign_pos is not None:
+            gap = sign_pos - STOP_LINE_OFFSET_M - veh.position_m
+            # The trigger distance must exceed any model's standstill gap
+            # (IDM parks a full jam-gap short of the obstacle).
+            if gap < 3.0 and veh.speed_ms < QUEUE_SPEED_THRESHOLD:
+                # Arrived at the sign: begin the mandatory dwell.
+                veh.stop_sign_wait_s = self.stop_sign_wait_s
+                return 0.0
+            candidates.append((0.0, gap))
+
+        if not candidates:
+            candidates.append((0.0, OPEN_ROAD_GAP_M))
+        model = self.ev_model if veh.is_controlled else self.model
+        sigma = getattr(model, "sigma", 0.0)
+        imperfection = float(self._rng.random()) if sigma > 0 else 0.0
+        return min(
+            model.next_speed(veh.speed_ms, desired, ls, g, self.dt_s, imperfection)
+            for ls, g in candidates
+        )
+
+    def _handle_crossings(self, veh: VehicleAgent, old_pos: float) -> bool:
+        """Process signal crossings; returns False when the vehicle turned off."""
+        for site in self.network.road.signals:
+            pos = site.position_m
+            if old_pos < pos <= veh.position_m:
+                already_committed = pos in veh.crossed_signals
+                if not already_committed and site.light.is_red(self._time):
+                    raise SimulationError(
+                        f"vehicle {veh.vehicle_id} ran the red at {pos:.0f} m "
+                        f"(t={self._time:.1f} s)"
+                    )
+                veh.crossed_signals.add(pos)
+                self.events.append(
+                    SimEvent(self._time, veh.vehicle_id, "cross_signal", pos)
+                )
+                if not veh.is_controlled and self._rng.random() > site.turn_ratio:
+                    veh.exited_at_s = self._time
+                    self.events.append(
+                        SimEvent(self._time, veh.vehicle_id, "turn_off", pos)
+                    )
+                    return False
+        return True
+
+    def _log_ev(self, veh: VehicleAgent) -> None:
+        tracker = self._trackers[veh.vehicle_id]
+        tracker.log.append((self._time + self.dt_s, veh.position_m, veh.speed_ms))
+        moving = veh.speed_ms > QUEUE_SPEED_THRESHOLD
+        at_terminal = veh.position_m >= self.network.length_m - 15.0
+        if tracker.was_moving and not moving and not at_terminal:
+            tracker.stops += 1
+            tracker.stop_positions.append(veh.position_m)
+        tracker.was_moving = moving
+
+    def _record_queues(self) -> None:
+        self._queue_times.append(self._time)
+        for site in self.network.road.signals:
+            pos = site.position_m
+            count = 0
+            chain_front = pos
+            for veh in self._vehicles:
+                if veh.position_m > pos or pos in veh.crossed_signals:
+                    continue
+                if (
+                    chain_front - veh.position_m <= QUEUE_CHAIN_GAP_M + veh.length_m
+                    and veh.speed_ms < self._queue_speed_threshold
+                ):
+                    count += 1
+                    chain_front = veh.rear_m
+                elif veh.position_m < pos - 400.0:
+                    break
+            self._queue_counts[pos].append(count)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self) -> SimulationResult:
+        """Snapshot the collected measurements.
+
+        The legacy single-EV fields describe the *primary* EV (id ``"ev"``
+        when present, otherwise the first scheduled); per-EV data for
+        multi-EV runs lives in ``ev_traces`` / ``ev_stops_by_id``.
+        """
+        traces: Dict[str, TimedTrace] = {}
+        stops_by_id: Dict[str, int] = {}
+        stop_positions_by_id: Dict[str, List[float]] = {}
+        for vehicle_id, tracker in self._trackers.items():
+            stops_by_id[vehicle_id] = tracker.stops
+            stop_positions_by_id[vehicle_id] = list(tracker.stop_positions)
+            if len(tracker.log) >= 2:
+                log = np.asarray(tracker.log)
+                traces[vehicle_id] = TimedTrace(
+                    times_s=log[:, 0],
+                    speeds_ms=np.maximum(log[:, 2], 0.0),
+                    positions_m=log[:, 1],
+                )
+        primary_id = "ev" if "ev" in self._trackers else next(iter(self._trackers), None)
+        primary = self._trackers.get(primary_id) if primary_id is not None else None
+        times = np.asarray(self._queue_times)
+        queues = {
+            pos: (times, np.asarray(counts))
+            for pos, counts in self._queue_counts.items()
+        }
+        return SimulationResult(
+            ev_trace=traces.get(primary_id) if primary_id is not None else None,
+            queue_counts=queues,
+            events=list(self.events),
+            vehicles_entered=self._entered,
+            vehicles_exited=self._exited,
+            ev_entered_at_s=(
+                primary.agent.entered_at_s
+                if primary is not None and primary.log
+                else None
+            ),
+            ev_exited_at_s=primary.agent.exited_at_s if primary is not None else None,
+            ev_stops=primary.stops if primary is not None else 0,
+            ev_stop_positions=list(primary.stop_positions) if primary is not None else [],
+            ev_traces=traces,
+            ev_stops_by_id=stops_by_id,
+            ev_stop_positions_by_id=stop_positions_by_id,
+        )

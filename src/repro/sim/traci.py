@@ -1,0 +1,81 @@
+"""TraCI-style control facade over the corridor simulator.
+
+The paper drives SUMO through TraCI: subscribe to the EV, command its
+speed, observe the produced trajectory.  :class:`TraciFacade` offers the
+same contract over :class:`~repro.sim.simulator.CorridorSimulator` with
+TraCI's verb vocabulary, so experiment code reads like the original
+workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.simulator import CorridorSimulator, SimulationResult
+
+
+class TraciFacade:
+    """Imperative step/inspect/command interface over the simulator."""
+
+    def __init__(self, simulator: CorridorSimulator) -> None:
+        self._sim = simulator
+
+    # ------------------------------------------------------------------
+    # simulation.*
+    # ------------------------------------------------------------------
+    def simulation_step(self) -> float:
+        """Advance one step; returns the new simulation time."""
+        self._sim.step()
+        return self._sim.time_s
+
+    def simulation_time(self) -> float:
+        """Current simulation time (s)."""
+        return self._sim.time_s
+
+    # ------------------------------------------------------------------
+    # vehicle.*
+    # ------------------------------------------------------------------
+    def _find(self, vehicle_id: str):
+        for veh in self._sim._vehicles:
+            if veh.vehicle_id == vehicle_id:
+                return veh
+        raise SimulationError(f"vehicle {vehicle_id!r} is not in the simulation")
+
+    def vehicle_id_list(self) -> Tuple[str, ...]:
+        """Identifiers of all vehicles currently on the corridor."""
+        return tuple(veh.vehicle_id for veh in self._sim._vehicles)
+
+    def vehicle_get_speed(self, vehicle_id: str) -> float:
+        """Current speed of a vehicle (m/s)."""
+        return self._find(vehicle_id).speed_ms
+
+    def vehicle_get_position(self, vehicle_id: str) -> float:
+        """Current front-bumper position of a vehicle (m)."""
+        return self._find(vehicle_id).position_m
+
+    def vehicle_set_speed_profile(
+        self, vehicle_id: str, target_speed_at: Callable[[float], float]
+    ) -> None:
+        """Attach a position-indexed speed command to a vehicle.
+
+        The car-following layer still overrides the command for collision
+        avoidance and red lights, exactly like a TraCI ``setSpeed`` on a
+        vehicle with safety checks enabled.
+        """
+        self._find(vehicle_id).target_speed_at = target_speed_at
+
+    # ------------------------------------------------------------------
+    # trafficlight.*
+    # ------------------------------------------------------------------
+    def trafficlight_get_state(self, position_m: float) -> str:
+        """``"r"`` or ``"g"`` for the signal at a stop-line position."""
+        site = self._sim.network.signal_site(position_m)
+        return "g" if site.light.is_green(self._sim.time_s) else "r"
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def result(self) -> SimulationResult:
+        """Collected measurements so far."""
+        return self._sim.result()

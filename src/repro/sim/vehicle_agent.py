@@ -1,0 +1,67 @@
+"""Simulated vehicles: background traffic and the controlled EV."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+
+#: Standard simulated vehicle length (m), SUMO's passenger default.
+VEHICLE_LENGTH_M = 5.0
+
+
+@dataclass
+class VehicleAgent:
+    """One vehicle in the corridor simulation.
+
+    Attributes:
+        vehicle_id: Unique identifier.
+        position_m: Front-bumper position along the corridor.
+        speed_ms: Current speed.
+        length_m: Vehicle length.
+        desired_speed: Free-flow target speed used when uncontrolled.
+        target_speed_at: Optional controller: a map from route position to
+            commanded speed.  The car-following layer still caps it for
+            safety — this is how the TraCI facade plays a planned profile.
+        is_controlled: True for the EV under test.
+        entered_at_s: Simulation time the vehicle was inserted.
+        stop_sign_wait_s: Remaining mandatory stop-sign wait (s).
+        cleared_stop_signs: Positions of stop signs already served.
+        crossed_signals: Positions of signals already crossed.
+        exited_at_s: Simulation time the vehicle left the corridor.
+    """
+
+    vehicle_id: str
+    position_m: float
+    speed_ms: float
+    length_m: float = VEHICLE_LENGTH_M
+    desired_speed: float = 16.0
+    target_speed_at: Optional[Callable[[float], float]] = None
+    is_controlled: bool = False
+    entered_at_s: float = 0.0
+    stop_sign_wait_s: float = 0.0
+    cleared_stop_signs: set = field(default_factory=set)
+    crossed_signals: set = field(default_factory=set)
+    exited_at_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.speed_ms < 0:
+            raise ConfigurationError(f"speed must be >= 0, got {self.speed_ms}")
+        if self.length_m <= 0:
+            raise ConfigurationError(f"length must be positive, got {self.length_m}")
+        if self.desired_speed <= 0:
+            raise ConfigurationError(
+                f"desired speed must be positive, got {self.desired_speed}"
+            )
+
+    @property
+    def rear_m(self) -> float:
+        """Rear-bumper position."""
+        return self.position_m - self.length_m
+
+    def commanded_speed(self) -> float:
+        """The speed this vehicle wants to drive right now."""
+        if self.target_speed_at is not None:
+            return max(float(self.target_speed_at(self.position_m)), 0.0)
+        return self.desired_speed

@@ -1,0 +1,21 @@
+"""Human driving-trace synthesis and trace IO.
+
+The paper records two human drives over the US-25 section — a *mild*
+profile (gentle acceleration, tracks the minimum limit) and a *fast*
+profile (hard acceleration, tracks the maximum limit).  Those recordings
+are not public, so :mod:`repro.trace.driver` synthesizes equivalents by
+driving style-parameterized agents through the corridor simulator, which
+reproduces the qualitative shapes of Fig. 7a including signal stops.
+"""
+
+from repro.trace.driver import DriverStyle, fast_driver, mild_driver, synthesize_trace
+from repro.trace.io import load_trace_csv, save_trace_csv
+
+__all__ = [
+    "DriverStyle",
+    "fast_driver",
+    "load_trace_csv",
+    "mild_driver",
+    "save_trace_csv",
+    "synthesize_trace",
+]

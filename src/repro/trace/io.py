@@ -1,0 +1,47 @@
+"""CSV persistence for time-sampled driving traces.
+
+Format: a header row then ``time_s,position_m,speed_ms`` per sample —
+the shape GPS/CAN trace exports typically take.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.profile import TimedTrace
+
+_HEADER = ["time_s", "position_m", "speed_ms"]
+
+
+def save_trace_csv(trace: TimedTrace, path: Union[str, Path]) -> None:
+    """Write a trace to CSV (creating parent directories)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for t, s, v in zip(trace.times_s, trace.positions_m, trace.speeds_ms):
+            writer.writerow([f"{t:.3f}", f"{s:.3f}", f"{v:.4f}"])
+
+
+def load_trace_csv(path: Union[str, Path]) -> TimedTrace:
+    """Read a trace written by :func:`save_trace_csv`.
+
+    Raises:
+        ValueError: On a malformed header or empty file.
+    """
+    source = Path(path)
+    with source.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise ValueError(f"unexpected trace header {header!r} in {source}")
+        rows = [(float(r[0]), float(r[1]), float(r[2])) for r in reader]
+    if len(rows) < 2:
+        raise ValueError(f"trace {source} has fewer than two samples")
+    data = np.asarray(rows)
+    return TimedTrace(times_s=data[:, 0], speeds_ms=data[:, 2], positions_m=data[:, 1])

@@ -1,0 +1,33 @@
+"""Traffic-volume modelling: synthesis, prediction (SAE) and arrivals.
+
+The paper trains a stacked-autoencoder (SAE) volume predictor on three
+months of SCDOT loop-detector data and uses its output as the signal-area
+vehicle arrival rate ``V_in``.  The detector feed is not public, so
+:mod:`repro.traffic.volume` synthesizes a statistically similar hourly
+series (documented in DESIGN.md); everything downstream is faithful to the
+paper: sliding-window supervision, SAE with greedy layer-wise pretraining,
+MRE/RMSE evaluation, and a Poisson arrival process driven by the hourly
+volumes.
+"""
+
+from repro.traffic.volume import VolumeGenerator, VolumeSeries
+from repro.traffic.dataset import SlidingWindowDataset, build_dataset, train_test_split_by_hour
+from repro.traffic.sae import SAEPredictor
+from repro.traffic.baselines import HistoricalAveragePredictor, LastValuePredictor
+from repro.traffic.arrival import PoissonArrivalProcess, hourly_rate_function
+from repro.traffic.io import load_volume_csv, save_volume_csv
+
+__all__ = [
+    "HistoricalAveragePredictor",
+    "LastValuePredictor",
+    "PoissonArrivalProcess",
+    "SAEPredictor",
+    "SlidingWindowDataset",
+    "VolumeGenerator",
+    "VolumeSeries",
+    "build_dataset",
+    "hourly_rate_function",
+    "load_volume_csv",
+    "save_volume_csv",
+    "train_test_split_by_hour",
+]

@@ -1,0 +1,77 @@
+"""Vehicle arrival processes driven by hourly volumes.
+
+The QL model and the microsimulator both need per-second arrival behaviour
+at a signal approach.  :func:`hourly_rate_function` turns an hourly volume
+series into a piecewise-constant rate ``lambda(t)`` in vehicles/second;
+:class:`PoissonArrivalProcess` samples actual arrival instants from that
+rate (a non-homogeneous Poisson process via per-hour thinning-free
+inversion, exact for piecewise-constant rates).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.volume import VolumeSeries
+from repro.units import SECONDS_PER_HOUR
+
+
+def hourly_rate_function(series: VolumeSeries) -> Callable[[float], float]:
+    """A piecewise-constant rate ``lambda(t)`` (vehicles/s) from a series.
+
+    ``t`` is absolute seconds with ``t = 0`` at the series' first hour.
+    Times outside the series clamp to its ends, so planners probing
+    slightly beyond the horizon stay well-defined.
+    """
+    volumes = series.volumes_vph / SECONDS_PER_HOUR
+
+    def rate(t_s: float) -> float:
+        index = int(t_s // SECONDS_PER_HOUR)
+        index = min(max(index, 0), volumes.size - 1)
+        return float(volumes[index])
+
+    return rate
+
+
+class PoissonArrivalProcess:
+    """Samples vehicle arrival times from a piecewise-constant hourly rate.
+
+    Args:
+        series: Hourly volumes; hour ``i`` covers seconds
+            ``[i * 3600, (i + 1) * 3600)`` relative to the series start.
+        seed: RNG seed; sampling is deterministic per seed.
+    """
+
+    def __init__(self, series: VolumeSeries, seed: int = 0) -> None:
+        self.series = series
+        self.seed = seed
+
+    def sample(self, start_s: float, duration_s: float) -> np.ndarray:
+        """Arrival instants (absolute seconds) in ``[start_s, start_s + duration_s)``.
+
+        Exact non-homogeneous Poisson sampling: within each hour the rate
+        is constant, so arrivals are a homogeneous Poisson process there.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration_s}")
+        if start_s < 0:
+            raise ConfigurationError(f"start must be >= 0, got {start_s}")
+        rng = np.random.default_rng(self.seed)
+        end_s = start_s + duration_s
+        arrivals: List[np.ndarray] = []
+        hour = int(start_s // SECONDS_PER_HOUR)
+        while hour * SECONDS_PER_HOUR < end_s:
+            lo = max(start_s, hour * SECONDS_PER_HOUR)
+            hi = min(end_s, (hour + 1) * SECONDS_PER_HOUR)
+            index = min(max(hour, 0), len(self.series) - 1)
+            rate_vps = self.series.volumes_vph[index] / SECONDS_PER_HOUR
+            count = rng.poisson(rate_vps * (hi - lo))
+            if count:
+                arrivals.append(np.sort(rng.uniform(lo, hi, size=count)))
+            hour += 1
+        if not arrivals:
+            return np.empty(0)
+        return np.concatenate(arrivals)

@@ -1,0 +1,60 @@
+"""Reference volume predictors the SAE is compared against.
+
+These are the standard yardsticks in the traffic-flow-prediction
+literature: the historical (day-of-week, hour-of-day) average, and the
+last observed value (random-walk forecast).  Both operate on the same
+normalized sliding-window datasets as :class:`~repro.traffic.sae.SAEPredictor`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.traffic.dataset import SlidingWindowDataset
+from repro.traffic.volume import DAYS_PER_WEEK, HOURS_PER_DAY
+
+
+class HistoricalAveragePredictor:
+    """Predict the mean normalized volume of each (day-of-week, hour) slot."""
+
+    def __init__(self) -> None:
+        self._table: np.ndarray | None = None
+        self._fallback = 0.0
+
+    def fit(self, dataset: SlidingWindowDataset) -> "HistoricalAveragePredictor":
+        """Tabulate slot means from a training dataset."""
+        table = np.zeros((DAYS_PER_WEEK, HOURS_PER_DAY))
+        counts = np.zeros((DAYS_PER_WEEK, HOURS_PER_DAY))
+        dow = (dataset.target_hours // HOURS_PER_DAY) % DAYS_PER_WEEK
+        hod = dataset.target_hours % HOURS_PER_DAY
+        np.add.at(table, (dow, hod), dataset.targets)
+        np.add.at(counts, (dow, hod), 1.0)
+        self._fallback = float(np.mean(dataset.targets))
+        with np.errstate(invalid="ignore"):
+            self._table = np.where(counts > 0, table / np.maximum(counts, 1.0), self._fallback)
+        return self
+
+    def predict(self, dataset: SlidingWindowDataset) -> np.ndarray:
+        """Slot-mean prediction for every example in a dataset."""
+        if self._table is None:
+            raise PredictionError("HistoricalAveragePredictor.predict called before fit")
+        dow = (dataset.target_hours // HOURS_PER_DAY) % DAYS_PER_WEEK
+        hod = dataset.target_hours % HOURS_PER_DAY
+        return self._table[dow, hod]
+
+
+class LastValuePredictor:
+    """Random-walk forecast: the next hour equals the last observed hour.
+
+    The most recent volume is the final entry of each example's feature
+    window, so no fitting is required.
+    """
+
+    def fit(self, dataset: SlidingWindowDataset) -> "LastValuePredictor":
+        """No-op; present for interface symmetry."""
+        return self
+
+    def predict(self, dataset: SlidingWindowDataset) -> np.ndarray:
+        """Return the last windowed volume of every example."""
+        return dataset.features[:, dataset.window - 1]

@@ -1,0 +1,154 @@
+"""Supervised dataset construction for the traffic-volume predictors.
+
+The SAE model of [Huang et al. 2014] predicts the volume at ``t + delta``
+from a window of recent volumes plus the time of day (Section II-B-1).  We
+follow that recipe: each example's features are the previous ``window``
+hourly volumes and sine/cosine encodings of hour-of-day and day-of-week;
+the label is the next hour's volume.  Volumes are min-max normalized with
+statistics from the *training* portion only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.volume import DAYS_PER_WEEK, HOURS_PER_DAY, VolumeSeries
+
+
+#: Lagged volumes included as features: same hour yesterday and last week.
+DAILY_LAGS = (24, 168)
+
+
+@dataclass(frozen=True)
+class SlidingWindowDataset:
+    """A supervised (features, target) view of an hourly volume series.
+
+    Attributes:
+        features: Matrix ``(n_examples, n_features)`` — the window of past
+            normalized volumes, lagged same-hour volumes (yesterday, last
+            week), harmonic clock encodings and a weekend flag.
+        targets: Normalized next-hour volumes ``(n_examples,)``.
+        target_hours: Absolute hour index of each target.
+        scale_min: Normalization minimum (vehicles/hour).
+        scale_max: Normalization maximum (vehicles/hour).
+        window: Number of past hours per example.
+    """
+
+    features: np.ndarray
+    targets: np.ndarray
+    target_hours: np.ndarray
+    scale_min: float
+    scale_max: float
+    window: int
+
+    def denormalize(self, values: np.ndarray) -> np.ndarray:
+        """Map normalized predictions back to vehicles/hour."""
+        return np.asarray(values) * (self.scale_max - self.scale_min) + self.scale_min
+
+    def normalize(self, volumes_vph: np.ndarray) -> np.ndarray:
+        """Map raw volumes onto the dataset's [0, 1] scale."""
+        return (np.asarray(volumes_vph) - self.scale_min) / (self.scale_max - self.scale_min)
+
+    @property
+    def n_examples(self) -> int:
+        """Number of supervised examples."""
+        return int(self.targets.size)
+
+
+def build_dataset(
+    series: VolumeSeries,
+    window: int = 12,
+    scale_min: float | None = None,
+    scale_max: float | None = None,
+) -> SlidingWindowDataset:
+    """Build a sliding-window dataset from an hourly series.
+
+    Args:
+        series: Source volumes.
+        window: Number of past hours in each feature vector.
+        scale_min: Normalization minimum; computed from ``series`` when
+            ``None``.  Pass the training set's statistics when building a
+            test set.
+        scale_max: Normalization maximum (same convention).
+
+    Raises:
+        ConfigurationError: If the series is shorter than ``window + 1``.
+    """
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    volumes = series.volumes_vph
+    history = max(window, max(DAILY_LAGS))
+    if volumes.size <= history:
+        raise ConfigurationError(
+            f"series of {volumes.size} hours is too short for {history} hours of history"
+        )
+    lo = float(np.min(volumes)) if scale_min is None else float(scale_min)
+    hi = float(np.max(volumes)) if scale_max is None else float(scale_max)
+    if hi <= lo:
+        raise ConfigurationError(f"degenerate normalization range [{lo}, {hi}]")
+    norm = (volumes - lo) / (hi - lo)
+
+    n = volumes.size - history
+    target_idx = history + np.arange(n)
+    idx = target_idx[:, None] - window + np.arange(window)
+    past = norm[idx]
+    lags = np.stack([norm[target_idx - lag] for lag in DAILY_LAGS], axis=1)
+    target_hours = series.hours[target_idx]
+    hod = (target_hours % HOURS_PER_DAY) / HOURS_PER_DAY
+    dow = ((target_hours // HOURS_PER_DAY) % DAYS_PER_WEEK) / DAYS_PER_WEEK
+    weekend = ((target_hours // HOURS_PER_DAY) % DAYS_PER_WEEK >= 5).astype(float)
+    harmonics = []
+    for k in (1, 2, 3):
+        harmonics.append(np.sin(2 * np.pi * k * hod))
+        harmonics.append(np.cos(2 * np.pi * k * hod))
+    clock = np.stack(
+        harmonics + [np.sin(2 * np.pi * dow), np.cos(2 * np.pi * dow), weekend],
+        axis=1,
+    )
+    features = np.concatenate([past, lags, clock], axis=1)
+    targets = norm[target_idx]
+    return SlidingWindowDataset(
+        features=features,
+        targets=targets,
+        target_hours=target_hours,
+        scale_min=lo,
+        scale_max=hi,
+        window=window,
+    )
+
+
+def train_test_split_by_hour(
+    series: VolumeSeries, test_hours: int, window: int = 12
+) -> Tuple[SlidingWindowDataset, SlidingWindowDataset]:
+    """Chronological train/test datasets with shared normalization.
+
+    The last ``test_hours`` entries form the test period (the paper holds
+    out one week).  Test examples may look back into training hours for
+    their feature windows, mirroring online deployment.
+    """
+    if test_hours <= 0 or test_hours >= len(series):
+        raise ConfigurationError(
+            f"test_hours must be in (0, {len(series)}), got {test_hours}"
+        )
+    split_hour = int(series.hours[-1]) + 1 - test_hours
+    train_series, _ = series.split(split_hour)
+    train = build_dataset(train_series, window=window)
+    # Test features may span the boundary: build over the full series and
+    # keep targets inside the test period, normalized with train stats.
+    full = build_dataset(
+        series, window=window, scale_min=train.scale_min, scale_max=train.scale_max
+    )
+    mask = full.target_hours >= split_hour
+    test = SlidingWindowDataset(
+        features=full.features[mask],
+        targets=full.targets[mask],
+        target_hours=full.target_hours[mask],
+        scale_min=train.scale_min,
+        scale_max=train.scale_max,
+        window=window,
+    )
+    return train, test

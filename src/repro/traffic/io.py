@@ -1,0 +1,52 @@
+"""CSV persistence for hourly traffic-volume series.
+
+The format mirrors public DOT hourly-count exports (the paper's SCDOT
+source): one row per hour with the absolute hour index and the volume.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.volume import VolumeSeries
+
+_HEADER = ["hour", "volume_vph"]
+
+
+def save_volume_csv(series: VolumeSeries, path: Union[str, Path]) -> None:
+    """Write a series to CSV (creating parent directories)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for hour, volume in zip(series.hours, series.volumes_vph):
+            writer.writerow([int(hour), f"{volume:.3f}"])
+
+
+def load_volume_csv(path: Union[str, Path]) -> VolumeSeries:
+    """Read a series written by :func:`save_volume_csv`.
+
+    Raises:
+        ConfigurationError: On a malformed header, gaps in the hour index
+            or an empty file.
+    """
+    source = Path(path)
+    with source.open() as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise ConfigurationError(f"unexpected volume header {header!r} in {source}")
+        rows = [(int(r[0]), float(r[1])) for r in reader]
+    if not rows:
+        raise ConfigurationError(f"volume file {source} is empty")
+    hours = np.asarray([r[0] for r in rows])
+    if np.any(np.diff(hours) != 1):
+        raise ConfigurationError(f"volume file {source} has gaps in its hour index")
+    volumes = np.asarray([r[1] for r in rows])
+    return VolumeSeries(volumes, start_hour=int(hours[0]))

@@ -1,0 +1,276 @@
+"""Stacked-autoencoder (SAE) traffic-volume predictor, in pure numpy.
+
+Reimplements the model class the paper adopts from [Huang et al. 2014]:
+
+1. **Greedy layer-wise pretraining** — each hidden layer is trained as a
+   sigmoid autoencoder reconstructing its input (mean-squared error),
+   using the previous layer's codes as data.
+2. **Supervised fine-tuning** — a linear regression head is stacked on the
+   deepest code and the whole network is trained end-to-end on next-hour
+   volume targets.
+
+Optimization is mini-batch Adam; everything is deterministic under the
+constructor seed.  The model is intentionally small (the paper's detector
+feed is one station) and trains in seconds on CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PredictionError
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+@dataclass
+class _Adam:
+    """Minimal Adam optimizer state for a list of parameter arrays."""
+
+    lr: float = 1e-2
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+
+    def init(self, params: Sequence[np.ndarray]) -> None:
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        self._t += 1
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * np.square(g)
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class SAEPredictor:
+    """Stacked sigmoid autoencoders with a linear regression head.
+
+    Args:
+        hidden_sizes: Width of each stacked autoencoder layer.
+        pretrain_epochs: Epochs of unsupervised reconstruction per layer.
+        finetune_epochs: Epochs of end-to-end supervised training.
+        batch_size: Mini-batch size.
+        learning_rate: Adam step size (shared by both phases).
+        l2: Weight decay applied during fine-tuning.
+        relative_loss: Weight squared errors by ``1 / (target + 0.05)^2``
+            during fine-tuning, optimizing relative rather than absolute
+            error — the paper evaluates with MRE, which this targets.
+        seed: RNG seed for weight init and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (32, 16),
+        pretrain_epochs: int = 30,
+        finetune_epochs: int = 300,
+        batch_size: int = 64,
+        learning_rate: float = 3e-3,
+        l2: float = 1e-5,
+        relative_loss: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if not hidden_sizes or any(h <= 0 for h in hidden_sizes):
+            raise ConfigurationError(f"hidden sizes must be positive, got {hidden_sizes}")
+        if pretrain_epochs < 0 or finetune_epochs <= 0:
+            raise ConfigurationError("epoch counts must be sensible")
+        if batch_size <= 0 or learning_rate <= 0 or l2 < 0:
+            raise ConfigurationError("batch size / learning rate / l2 invalid")
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self.pretrain_epochs = pretrain_epochs
+        self.finetune_epochs = finetune_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.relative_loss = relative_loss
+        self.seed = seed
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._w_out: Optional[np.ndarray] = None
+        self._b_out: Optional[np.ndarray] = None
+        self.training_loss_: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "SAEPredictor":
+        """Pretrain layer-wise, then fine-tune end-to-end.
+
+        Args:
+            features: ``(n, d)`` normalized feature matrix.
+            targets: ``(n,)`` normalized regression targets.
+        """
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(targets, dtype=float).reshape(-1)
+        if x.ndim != 2 or y.shape[0] != x.shape[0]:
+            raise ConfigurationError(
+                f"features {x.shape} and targets {y.shape} are inconsistent"
+            )
+        rng = np.random.default_rng(self.seed)
+        self._weights, self._biases = [], []
+        layer_input = x
+        for width in self.hidden_sizes:
+            w, b = self._pretrain_layer(layer_input, width, rng)
+            self._weights.append(w)
+            self._biases.append(b)
+            layer_input = _sigmoid(layer_input @ w + b)
+        self._w_out = rng.normal(0.0, 0.1, size=(self.hidden_sizes[-1], 1))
+        self._b_out = np.zeros(1)
+        self._finetune(x, y, rng)
+        return self
+
+    def _pretrain_layer(
+        self, data: np.ndarray, width: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Train one sigmoid autoencoder; return its encoder parameters."""
+        d = data.shape[1]
+        scale = 1.0 / np.sqrt(d)
+        w_enc = rng.normal(0.0, scale, size=(d, width))
+        b_enc = np.zeros(width)
+        w_dec = rng.normal(0.0, scale, size=(width, d))
+        b_dec = np.zeros(d)
+        params = [w_enc, b_enc, w_dec, b_dec]
+        adam = _Adam(lr=self.learning_rate)
+        adam.init(params)
+        n = data.shape[0]
+        for _ in range(self.pretrain_epochs):
+            order = rng.permutation(n)
+            for lo in range(0, n, self.batch_size):
+                batch = data[order[lo: lo + self.batch_size]]
+                h = _sigmoid(batch @ w_enc + b_enc)
+                recon = h @ w_dec + b_dec
+                err = recon - batch
+                m = batch.shape[0]
+                g_wdec = h.T @ err / m
+                g_bdec = err.mean(axis=0)
+                dh = (err @ w_dec.T) * h * (1 - h)
+                g_wenc = batch.T @ dh / m
+                g_benc = dh.mean(axis=0)
+                adam.step(params, [g_wenc, g_benc, g_wdec, g_bdec])
+        return w_enc, b_enc
+
+    def _finetune(self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> None:
+        """Supervised end-to-end training of encoder stack + linear head."""
+        params = []
+        for w, b in zip(self._weights, self._biases):
+            params.extend([w, b])
+        params.extend([self._w_out, self._b_out])
+        adam = _Adam(lr=self.learning_rate)
+        adam.init(params)
+        n = x.shape[0]
+        self.training_loss_ = []
+        for _ in range(self.finetune_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for lo in range(0, n, self.batch_size):
+                batch = x[order[lo: lo + self.batch_size]]
+                target = y[order[lo: lo + self.batch_size]]
+                acts = [batch]
+                for w, b in zip(self._weights, self._biases):
+                    acts.append(_sigmoid(acts[-1] @ w + b))
+                pred = (acts[-1] @ self._w_out).ravel() + self._b_out[0]
+                err = pred - target
+                if self.relative_loss:
+                    err = err / np.square(target + 0.05)
+                m = batch.shape[0]
+                epoch_loss += float(np.sum(np.square(pred - target)))
+
+                grads: List[np.ndarray] = []
+                d_out = err[:, None] / m
+                g_wout = acts[-1].T @ d_out + self.l2 * self._w_out
+                g_bout = np.asarray([d_out.sum()])
+                delta = d_out @ self._w_out.T * acts[-1] * (1 - acts[-1])
+                layer_grads = []
+                for li in range(len(self._weights) - 1, -1, -1):
+                    g_w = acts[li].T @ delta + self.l2 * self._weights[li]
+                    g_b = delta.sum(axis=0)
+                    layer_grads.append((g_w, g_b))
+                    if li > 0:
+                        delta = delta @ self._weights[li].T * acts[li] * (1 - acts[li])
+                for g_w, g_b in reversed(layer_grads):
+                    grads.extend([g_w, g_b])
+                grads.extend([g_wout, g_bout])
+                adam.step(params, grads)
+            self.training_loss_.append(epoch_loss / n)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._w_out is not None
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict normalized next-hour volumes for a feature matrix."""
+        if not self.is_fitted:
+            raise PredictionError("SAEPredictor.predict called before fit")
+        h = np.asarray(features, dtype=float)
+        if h.ndim == 1:
+            h = h[None, :]
+        for w, b in zip(self._weights, self._biases):
+            h = _sigmoid(h @ w + b)
+        return (h @ self._w_out).ravel() + self._b_out[0]
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Deepest-layer codes (the learned hierarchical features)."""
+        if not self.is_fitted:
+            raise PredictionError("SAEPredictor.encode called before fit")
+        h = np.asarray(features, dtype=float)
+        if h.ndim == 1:
+            h = h[None, :]
+        for w, b in zip(self._weights, self._biases):
+            h = _sigmoid(h @ w + b)
+        return h
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the fitted model to an ``.npz`` archive.
+
+        Training happens offline on months of detector data; deployments
+        load the weights at startup.
+
+        Raises:
+            PredictionError: If called before :meth:`fit`.
+        """
+        if not self.is_fitted:
+            raise PredictionError("SAEPredictor.save called before fit")
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        arrays = {"w_out": self._w_out, "b_out": self._b_out}
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            arrays[f"w{i}"] = w
+            arrays[f"b{i}"] = b
+        arrays["hidden_sizes"] = np.asarray(self.hidden_sizes, dtype=np.int64)
+        np.savez(target, **arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SAEPredictor":
+        """Load a model saved by :meth:`save`, ready for prediction."""
+        with np.load(Path(path)) as data:
+            hidden = tuple(int(h) for h in data["hidden_sizes"])
+            model = cls(hidden_sizes=hidden)
+            model._weights = [data[f"w{i}"].copy() for i in range(len(hidden))]
+            model._biases = [data[f"b{i}"].copy() for i in range(len(hidden))]
+            model._w_out = data["w_out"].copy()
+            model._b_out = data["b_out"].copy()
+        return model

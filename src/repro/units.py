@@ -1,0 +1,64 @@
+"""Unit conversion helpers.
+
+The library works in SI units internally (metres, seconds, kilograms,
+joules).  The paper reports several quantities in traffic-engineering or
+EV-practice units (km/h, vehicles/hour, ampere-hours), so the conversions
+live here in one place.
+"""
+
+from __future__ import annotations
+
+#: Standard gravity (m/s^2).
+GRAVITY = 9.81
+
+#: Sea-level air density used by the paper's force model (kg/m^3).
+AIR_DENSITY = 1.2
+
+SECONDS_PER_HOUR = 3600.0
+
+
+def kmh_to_ms(speed_kmh: float) -> float:
+    """Convert a speed from km/h to m/s."""
+    return speed_kmh / 3.6
+
+
+def ms_to_kmh(speed_ms: float) -> float:
+    """Convert a speed from m/s to km/h."""
+    return speed_ms * 3.6
+
+
+def mph_to_ms(speed_mph: float) -> float:
+    """Convert a speed from miles/hour to m/s."""
+    return speed_mph * 0.44704
+
+
+def joules_to_ah(energy_j: float, voltage_v: float) -> float:
+    """Convert electrical energy at a pack voltage to ampere-hours.
+
+    ``E = U * Q`` with ``Q`` in coulombs; one ampere-hour is 3600 C.
+    """
+    if voltage_v <= 0:
+        raise ValueError(f"voltage must be positive, got {voltage_v}")
+    return energy_j / voltage_v / 3600.0
+
+
+def ah_to_joules(charge_ah: float, voltage_v: float) -> float:
+    """Convert a charge in ampere-hours at a pack voltage to joules."""
+    if voltage_v <= 0:
+        raise ValueError(f"voltage must be positive, got {voltage_v}")
+    return charge_ah * voltage_v * 3600.0
+
+
+def joules_to_mah(energy_j: float, voltage_v: float) -> float:
+    """Convert electrical energy at a pack voltage to milliampere-hours."""
+    return joules_to_ah(energy_j, voltage_v) * 1000.0
+
+
+def vehicles_per_hour_to_per_second(rate_vph: float) -> float:
+    """Convert a flow rate from vehicles/hour to vehicles/second."""
+    return rate_vph / SECONDS_PER_HOUR
+
+
+def per_second_to_vehicles_per_hour(rate_vps: float) -> float:
+    """Convert a flow rate from vehicles/second to vehicles/hour."""
+    return rate_vps * SECONDS_PER_HOUR

@@ -1,0 +1,32 @@
+"""EV vehicle models: longitudinal dynamics, battery pack, energy metering.
+
+This subpackage implements Section II-A of the paper: the drive-force model
+(Eq. 1), the electrical-energy relation (Eq. 2) and the instantaneous
+consumption-rate model (Eq. 3), together with a battery-pack bookkeeping
+layer that expresses consumption in the paper's preferred unit (mAh).
+"""
+
+from repro.vehicle.params import (
+    BatteryPackParams,
+    VehicleParams,
+    chevrolet_spark_ev,
+    sony_vtc4_pack,
+)
+from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.battery import BatteryPack
+from repro.vehicle.energy_meter import EnergyMeter, TripEnergy
+from repro.vehicle.wear import BatteryWearModel, WearModelParams, WearReport
+
+__all__ = [
+    "BatteryPack",
+    "BatteryPackParams",
+    "BatteryWearModel",
+    "EnergyMeter",
+    "LongitudinalModel",
+    "TripEnergy",
+    "VehicleParams",
+    "WearModelParams",
+    "WearReport",
+    "chevrolet_spark_ev",
+    "sony_vtc4_pack",
+]

@@ -1,0 +1,100 @@
+"""Battery-pack bookkeeping: charge integration and state of charge.
+
+The paper expresses energy consumption as electrical charge (ampere-hours)
+"for convenience in the practice" (Section II-A).  :class:`BatteryPack`
+integrates a current draw over time, tracks the state of charge and refuses
+to over-charge or over-discharge.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_HOUR
+from repro.vehicle.params import BatteryPackParams
+
+
+class BatteryPack:
+    """A simple coulomb-counting traction-battery model.
+
+    Args:
+        params: Electrical pack parameters.
+        initial_soc: Initial state of charge in ``[0, 1]``.
+
+    The model is intentionally first-order — the paper's Eq. 2 treats the
+    pack as an ideal charge reservoir behind a fixed transforming
+    efficiency, which is already applied upstream in
+    :class:`repro.vehicle.dynamics.LongitudinalModel`.
+    """
+
+    def __init__(self, params: BatteryPackParams, initial_soc: float = 1.0) -> None:
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ConfigurationError(f"initial SoC must be in [0, 1], got {initial_soc}")
+        self.params = params
+        self._charge_ah = params.capacity_ah * initial_soc
+        self._consumed_ah = 0.0
+        self._regenerated_ah = 0.0
+
+    @property
+    def soc(self) -> float:
+        """Current state of charge in ``[0, 1]``."""
+        return self._charge_ah / self.params.capacity_ah
+
+    @property
+    def charge_ah(self) -> float:
+        """Remaining charge (Ah)."""
+        return self._charge_ah
+
+    @property
+    def consumed_ah(self) -> float:
+        """Cumulative charge drawn from the pack (Ah), excluding regen credit."""
+        return self._consumed_ah
+
+    @property
+    def regenerated_ah(self) -> float:
+        """Cumulative charge returned to the pack by regeneration (Ah)."""
+        return self._regenerated_ah
+
+    @property
+    def net_consumed_ah(self) -> float:
+        """Net charge consumed (Ah): draws minus regeneration."""
+        return self._consumed_ah - self._regenerated_ah
+
+    @property
+    def net_consumed_mah(self) -> float:
+        """Net charge consumed (mAh) — the unit of Fig. 7b."""
+        return self.net_consumed_ah * 1000.0
+
+    def draw(self, current_a: float, duration_s: float) -> None:
+        """Apply a constant current for a duration.
+
+        Positive current discharges the pack; negative current (regen)
+        charges it.  Charging is clipped at full capacity — a real battery
+        management system opens the regen path when the pack is full.
+
+        Raises:
+            ValueError: If the duration is negative.
+            RuntimeError: If the draw would over-discharge the pack.
+        """
+        if duration_s < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_s}")
+        delta_ah = current_a * duration_s / SECONDS_PER_HOUR
+        if delta_ah >= 0:
+            if delta_ah > self._charge_ah + 1e-12:
+                raise RuntimeError(
+                    f"pack over-discharged: need {delta_ah:.4f} Ah, have {self._charge_ah:.4f} Ah"
+                )
+            self._charge_ah -= delta_ah
+            self._consumed_ah += delta_ah
+        else:
+            headroom = self.params.capacity_ah - self._charge_ah
+            accepted = min(-delta_ah, headroom)
+            self._charge_ah += accepted
+            self._regenerated_ah += accepted
+
+    def reset(self, soc: float = 1.0) -> None:
+        """Reset the pack to a given state of charge and clear the counters."""
+        if not 0.0 <= soc <= 1.0:
+            raise ConfigurationError(f"SoC must be in [0, 1], got {soc}")
+        self._charge_ah = self.params.capacity_ah * soc
+        self._consumed_ah = 0.0
+        self._regenerated_ah = 0.0

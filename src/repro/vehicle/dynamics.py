@@ -1,0 +1,168 @@
+"""Longitudinal dynamics and electrical consumption of a pure EV.
+
+Implements Eq. 1 and Eq. 3 of the paper:
+
+    F_drive = m*dv/dt + (1/2)*rho*A_f*C_d*v^2 + m*g*sin(theta) + mu*m*g*cos(theta)
+    zeta    = F_drive * v / (U * eta_1 * eta_2)
+
+``zeta`` is the battery-current draw in amperes (charge consumption per
+second); the paper reports it in mAh/s.  When ``F_drive * v`` is negative
+the vehicle is braking and a fraction of the mechanical power is
+recuperated (negative consumption in Fig. 3).
+
+All functions accept scalars or numpy arrays and broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.units import GRAVITY, SECONDS_PER_HOUR
+from repro.vehicle.params import VehicleParams
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class LongitudinalModel:
+    """Drive-force and electrical-consumption model for one vehicle.
+
+    Args:
+        params: Physical vehicle parameters.  Defaults to the paper's
+            Chevrolet Spark EV settings.
+    """
+
+    def __init__(self, params: VehicleParams | None = None) -> None:
+        self.params = params if params is not None else VehicleParams()
+
+    # ------------------------------------------------------------------
+    # Mechanical layer (Eq. 1)
+    # ------------------------------------------------------------------
+    def drive_force(
+        self, speed: ArrayLike, accel: ArrayLike, grade_rad: ArrayLike = 0.0
+    ) -> ArrayLike:
+        """Required tractive force ``F_drive`` (N) from Eq. 1.
+
+        Args:
+            speed: Vehicle speed ``v`` (m/s).
+            accel: Longitudinal acceleration ``dv/dt`` (m/s^2).
+            grade_rad: Road grade ``theta`` (radians, positive uphill).
+
+        Returns:
+            Tractive force in newtons; negative when braking effort is
+            required to hold the commanded deceleration.
+        """
+        p = self.params
+        inertial = p.mass_kg * np.asarray(accel, dtype=float)
+        aero = 0.5 * p.air_density * p.frontal_area_m2 * p.drag_coefficient * np.square(speed)
+        gravity = p.mass_kg * GRAVITY * np.sin(grade_rad)
+        # Rolling resistance vanishes when the wheels are not turning.
+        rolling = p.rolling_resistance * p.mass_kg * GRAVITY * np.cos(grade_rad)
+        rolling = np.where(np.asarray(speed, dtype=float) > 0.0, rolling, 0.0)
+        result = inertial + aero + gravity + rolling
+        return float(result) if np.isscalar(speed) and np.isscalar(accel) else result
+
+    def mechanical_power(
+        self, speed: ArrayLike, accel: ArrayLike, grade_rad: ArrayLike = 0.0
+    ) -> ArrayLike:
+        """Mechanical power ``F_drive * v`` at the wheels (W)."""
+        return self.drive_force(speed, accel, grade_rad) * np.asarray(speed, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Electrical layer (Eq. 3)
+    # ------------------------------------------------------------------
+    def electrical_power(
+        self, speed: ArrayLike, accel: ArrayLike, grade_rad: ArrayLike = 0.0
+    ) -> ArrayLike:
+        """Electrical power drawn from the pack (W).
+
+        Positive power divides by the drivetrain efficiency (losses on the
+        way out of the pack); negative power multiplies by the regeneration
+        efficiency (losses on the way back in), matching the asymmetric
+        behaviour of a real recuperating drivetrain.  The constant
+        auxiliary load (``aux_power_w``) adds on top in either regime.
+        """
+        p = self.params
+        mech = np.asarray(self.mechanical_power(speed, accel, grade_rad), dtype=float)
+        drawing = mech / p.drivetrain_efficiency
+        regenerating = mech * p.regen_efficiency * p.drivetrain_efficiency
+        elec = np.where(mech >= 0.0, drawing, regenerating) + p.aux_power_w
+        if np.ndim(elec) == 0:
+            return float(elec)
+        return elec
+
+    def consumption_rate_a(
+        self, speed: ArrayLike, accel: ArrayLike, grade_rad: ArrayLike = 0.0
+    ) -> ArrayLike:
+        """Charge consumption rate ``zeta`` (A) from Eq. 3.
+
+        Negative values indicate recuperation into the pack.
+        """
+        elec = np.asarray(self.electrical_power(speed, accel, grade_rad), dtype=float)
+        rate = elec / self.params.battery.voltage_v
+        if np.ndim(rate) == 0:
+            return float(rate)
+        return rate
+
+    def consumption_rate_mah_per_s(
+        self, speed: ArrayLike, accel: ArrayLike, grade_rad: ArrayLike = 0.0
+    ) -> ArrayLike:
+        """Charge consumption rate in mAh/s — the unit plotted in Fig. 3."""
+        rate_a = np.asarray(self.consumption_rate_a(speed, accel, grade_rad), dtype=float)
+        rate = rate_a * 1000.0 / SECONDS_PER_HOUR
+        if np.ndim(rate) == 0:
+            return float(rate)
+        return rate
+
+    # ------------------------------------------------------------------
+    # Segment-level helpers used by the DP cost function
+    # ------------------------------------------------------------------
+    def segment_energy_j(
+        self,
+        speed_start: ArrayLike,
+        speed_end: ArrayLike,
+        distance_m: float,
+        grade_rad: ArrayLike = 0.0,
+    ) -> ArrayLike:
+        """Electrical energy (J) to traverse a segment at constant acceleration.
+
+        The DP discretizes the route into equal-distance segments; between
+        grid points the acceleration is constant, so
+        ``a = (v_end^2 - v_start^2) / (2 * ds)`` and the traversal time is
+        ``dt = ds / v_avg``.  The consumption is evaluated at the mean
+        speed, which is second-order accurate for short segments.
+
+        Returns ``+inf`` where both endpoint speeds are zero (the segment
+        can never be traversed).
+        """
+        if distance_m <= 0:
+            raise ValueError(f"distance must be positive, got {distance_m}")
+        v0 = np.asarray(speed_start, dtype=float)
+        v1 = np.asarray(speed_end, dtype=float)
+        v_avg = 0.5 * (v0 + v1)
+        movable = v_avg > 0.0
+        safe_avg = np.where(movable, v_avg, 1.0)
+        accel = (np.square(v1) - np.square(v0)) / (2.0 * distance_m)
+        dt = distance_m / safe_avg
+        power = np.asarray(self.electrical_power(safe_avg, accel, grade_rad), dtype=float)
+        energy = np.where(movable, power * dt, np.inf)
+        if np.ndim(energy) == 0:
+            return float(energy)
+        return energy
+
+    def segment_charge_mah(
+        self,
+        speed_start: ArrayLike,
+        speed_end: ArrayLike,
+        distance_m: float,
+        grade_rad: ArrayLike = 0.0,
+    ) -> ArrayLike:
+        """Charge (mAh) to traverse a constant-acceleration segment."""
+        energy = np.asarray(
+            self.segment_energy_j(speed_start, speed_end, distance_m, grade_rad), dtype=float
+        )
+        charge = energy / self.params.battery.voltage_v * 1000.0 / SECONDS_PER_HOUR
+        if np.ndim(charge) == 0:
+            return float(charge)
+        return charge

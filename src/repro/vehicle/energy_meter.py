@@ -1,0 +1,117 @@
+"""Trip-level energy integration over a sampled velocity profile.
+
+Given a time-sampled speed trace ``v(t)`` (and optionally a road-grade
+profile), :class:`EnergyMeter` integrates Eq. 3 to produce the total trip
+consumption, separating traction draw from regenerated charge.  This is the
+measurement layer behind Fig. 7b and the per-profile numbers quoted in
+Section III-B-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.units import SECONDS_PER_HOUR
+from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.params import VehicleParams
+
+
+@dataclass(frozen=True)
+class TripEnergy:
+    """Aggregate energy figures for one trip.
+
+    Attributes:
+        drawn_mah: Charge drawn from the pack for traction (mAh, >= 0).
+        regenerated_mah: Charge returned by regenerative braking (mAh, >= 0).
+        duration_s: Trip duration (s).
+        distance_m: Distance covered (m).
+    """
+
+    drawn_mah: float
+    regenerated_mah: float
+    duration_s: float
+    distance_m: float
+
+    @property
+    def net_mah(self) -> float:
+        """Net consumption (mAh): draws minus regeneration."""
+        return self.drawn_mah - self.regenerated_mah
+
+    @property
+    def net_wh(self) -> float:
+        """Net consumption in watt-hours at the default 399 V pack voltage.
+
+        Only meaningful when the trip was metered with the default pack;
+        prefer :attr:`net_mah` for comparisons.
+        """
+        return self.net_mah / 1000.0 * 399.0
+
+    @property
+    def wh_per_km(self) -> float:
+        """Net specific consumption (Wh/km); ``nan`` for zero-length trips."""
+        if self.distance_m <= 0:
+            return float("nan")
+        return self.net_wh / (self.distance_m / 1000.0)
+
+
+class EnergyMeter:
+    """Integrates the consumption model over sampled velocity traces."""
+
+    def __init__(self, params: Optional[VehicleParams] = None) -> None:
+        self.model = LongitudinalModel(params)
+
+    def measure(
+        self,
+        times_s: Sequence[float],
+        speeds_ms: Sequence[float],
+        grade_at: Optional[Callable[[float], float]] = None,
+    ) -> TripEnergy:
+        """Integrate consumption over a time-sampled speed trace.
+
+        Args:
+            times_s: Strictly increasing sample times (s).
+            speeds_ms: Speeds at the sample times (m/s), same length.
+            grade_at: Optional map from travelled distance (m) to road grade
+                (radians).  ``None`` means a flat road.
+
+        Returns:
+            A :class:`TripEnergy` with draw and regeneration split out.
+
+        Raises:
+            ValueError: On mismatched lengths, fewer than two samples,
+                non-increasing times or negative speeds.
+        """
+        t = np.asarray(times_s, dtype=float)
+        v = np.asarray(speeds_ms, dtype=float)
+        if t.shape != v.shape:
+            raise ValueError(f"times and speeds must match, got {t.shape} vs {v.shape}")
+        if t.size < 2:
+            raise ValueError("need at least two samples to integrate a trip")
+        dt = np.diff(t)
+        if np.any(dt <= 0):
+            raise ValueError("sample times must be strictly increasing")
+        if np.any(v < 0):
+            raise ValueError("speeds must be non-negative")
+
+        v_mid = 0.5 * (v[:-1] + v[1:])
+        accel = np.diff(v) / dt
+        distance = np.concatenate([[0.0], np.cumsum(v_mid * dt)])
+        if grade_at is None:
+            grades = 0.0
+        else:
+            mid_pos = 0.5 * (distance[:-1] + distance[1:])
+            grades = np.asarray([grade_at(float(s)) for s in mid_pos], dtype=float)
+
+        current_a = np.asarray(self.model.consumption_rate_a(v_mid, accel, grades), dtype=float)
+        charge_ah = current_a * dt / SECONDS_PER_HOUR
+        drawn = float(np.sum(charge_ah[charge_ah > 0]))
+        regen = float(-np.sum(charge_ah[charge_ah < 0]))
+        return TripEnergy(
+            drawn_mah=drawn * 1000.0,
+            regenerated_mah=regen * 1000.0,
+            duration_s=float(t[-1] - t[0]),
+            distance_m=float(distance[-1]),
+        )

@@ -1,0 +1,141 @@
+"""Vehicle and battery parameter sets.
+
+Defaults replicate the paper's experimental settings (Section III-A-1):
+a Chevrolet Spark EV with gross mass 1300 kg, frontal area 2.2 m^2, drag
+coefficient 0.33, rolling-resistance coefficient 0.018, battery efficiency
+0.95 and powertrain efficiency 0.9, and a 399 V / 46.2 Ah pack built from
+Sony VTC4 18650 cells (2.1 Ah each, 96 series x 22 parallel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import AIR_DENSITY
+
+
+@dataclass(frozen=True)
+class BatteryPackParams:
+    """Electrical parameters of the traction battery pack.
+
+    Attributes:
+        voltage_v: Nominal pack voltage (V).
+        capacity_ah: Total pack capacity (Ah).
+        cell_capacity_ah: Capacity of a single cell (Ah).
+        series_cells: Number of cells in series.
+        parallel_strings: Number of parallel strings.
+    """
+
+    voltage_v: float
+    capacity_ah: float
+    cell_capacity_ah: float = 2.1
+    series_cells: int = 96
+    parallel_strings: int = 22
+
+    def __post_init__(self) -> None:
+        if self.voltage_v <= 0:
+            raise ConfigurationError(f"pack voltage must be positive, got {self.voltage_v}")
+        if self.capacity_ah <= 0:
+            raise ConfigurationError(f"pack capacity must be positive, got {self.capacity_ah}")
+        if self.series_cells <= 0 or self.parallel_strings <= 0:
+            raise ConfigurationError("cell counts must be positive")
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of cells in the pack."""
+        return self.series_cells * self.parallel_strings
+
+    @property
+    def energy_capacity_j(self) -> float:
+        """Total pack energy capacity in joules."""
+        return self.voltage_v * self.capacity_ah * 3600.0
+
+
+@dataclass(frozen=True)
+class VehicleParams:
+    """Physical parameters of the EV used by the force model (Eq. 1).
+
+    Attributes:
+        mass_kg: Gross vehicle weight ``m`` (kg).
+        frontal_area_m2: Frontal area ``A_f`` (m^2).
+        drag_coefficient: Aerodynamic drag coefficient ``C_d``.
+        rolling_resistance: Rolling-resistance coefficient ``mu``.
+        air_density: Air density ``rho`` (kg/m^3).
+        battery_efficiency: Battery energy-transforming efficiency ``eta_1``.
+        powertrain_efficiency: Powertrain working efficiency ``eta_2``.
+        regen_efficiency: Fraction of braking power recuperated into the
+            pack.  The paper reports negative consumption while braking
+            (Fig. 3); it does not state the recuperation fraction, so we
+            expose it as a parameter with a conservative default.
+        aux_power_w: Constant auxiliary electrical load (HVAC, electronics)
+            drawn from the pack regardless of motion.  The paper's model
+            omits it (0 by default); real-world range studies set 500-3000 W.
+        max_accel_ms2: Comfort/safety acceleration ceiling (m/s^2).
+        min_accel_ms2: Comfort/safety deceleration floor (m/s^2, negative).
+        battery: Traction-pack electrical parameters.
+    """
+
+    mass_kg: float = 1300.0
+    frontal_area_m2: float = 2.2
+    drag_coefficient: float = 0.33
+    rolling_resistance: float = 0.018
+    air_density: float = AIR_DENSITY
+    battery_efficiency: float = 0.95
+    powertrain_efficiency: float = 0.90
+    regen_efficiency: float = 0.60
+    aux_power_w: float = 0.0
+    max_accel_ms2: float = 2.5
+    min_accel_ms2: float = -1.5
+    battery: BatteryPackParams = field(
+        default_factory=lambda: BatteryPackParams(voltage_v=399.0, capacity_ah=46.2)
+    )
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ConfigurationError(f"mass must be positive, got {self.mass_kg}")
+        if self.frontal_area_m2 <= 0:
+            raise ConfigurationError(f"frontal area must be positive, got {self.frontal_area_m2}")
+        if self.drag_coefficient < 0:
+            raise ConfigurationError(f"drag coefficient must be >= 0, got {self.drag_coefficient}")
+        if self.rolling_resistance < 0:
+            raise ConfigurationError(
+                f"rolling resistance must be >= 0, got {self.rolling_resistance}"
+            )
+        for name in ("battery_efficiency", "powertrain_efficiency"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1], got {value}")
+        if not 0.0 <= self.regen_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"regen efficiency must be in [0, 1], got {self.regen_efficiency}"
+            )
+        if self.aux_power_w < 0:
+            raise ConfigurationError(
+                f"auxiliary power must be >= 0, got {self.aux_power_w}"
+            )
+        if self.max_accel_ms2 <= 0:
+            raise ConfigurationError(f"max acceleration must be positive, got {self.max_accel_ms2}")
+        if self.min_accel_ms2 >= 0:
+            raise ConfigurationError(f"min acceleration must be negative, got {self.min_accel_ms2}")
+
+    @property
+    def drivetrain_efficiency(self) -> float:
+        """Combined efficiency ``eta_1 * eta_2`` from Eq. 2/3."""
+        return self.battery_efficiency * self.powertrain_efficiency
+
+
+def sony_vtc4_pack() -> BatteryPackParams:
+    """The paper's pack: 96s22p Sony VTC4-18650 cells, 399 V, 46.2 Ah."""
+    return BatteryPackParams(
+        voltage_v=399.0,
+        capacity_ah=46.2,
+        cell_capacity_ah=2.1,
+        series_cells=96,
+        parallel_strings=22,
+    )
+
+
+def chevrolet_spark_ev() -> VehicleParams:
+    """The paper's vehicle: Chevrolet Spark EV with the Section III constants."""
+    return VehicleParams(battery=sony_vtc4_pack())

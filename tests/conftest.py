@@ -1,0 +1,69 @@
+"""Shared fixtures: coarse-grid planners and small scenarios for speed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planner import PlannerConfig
+from repro.route.road import RoadSegment, SignalSite, SpeedLimitZone, StopSign
+from repro.route.us25 import us25_greenville_segment
+from repro.signal.light import TrafficLight
+from repro.units import kmh_to_ms
+from repro.vehicle.params import chevrolet_spark_ev
+
+
+@pytest.fixture(scope="session")
+def vehicle():
+    """The paper's Chevrolet Spark EV parameter set."""
+    return chevrolet_spark_ev()
+
+
+@pytest.fixture(scope="session")
+def us25():
+    """The full US-25 corridor with default timing."""
+    return us25_greenville_segment()
+
+
+@pytest.fixture(scope="session")
+def coarse_config():
+    """Planner discretization coarse enough for fast tests."""
+    return PlannerConfig(
+        v_step_ms=1.0,
+        s_step_m=50.0,
+        t_bin_s=2.0,
+        horizon_s=500.0,
+        window_margin_s=2.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def short_road():
+    """A 1 km single-signal road for focused solver tests."""
+    return RoadSegment(
+        name="short test road",
+        length_m=1000.0,
+        zones=[
+            SpeedLimitZone(0.0, 1000.0, v_max_ms=kmh_to_ms(54.0), v_min_ms=kmh_to_ms(28.8))
+        ],
+        stop_signs=[],
+        signals=[
+            SignalSite(
+                position_m=600.0,
+                light=TrafficLight(red_s=20.0, green_s=20.0),
+                turn_ratio=0.8,
+                queue_spacing_m=8.0,
+            )
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def plain_road():
+    """A signal-free 800 m road with a stop sign."""
+    return RoadSegment(
+        name="plain road",
+        length_m=800.0,
+        zones=[SpeedLimitZone(0.0, 800.0, v_max_ms=15.0, v_min_ms=8.0)],
+        stop_signs=[StopSign(300.0)],
+    )

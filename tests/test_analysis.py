@@ -1,0 +1,67 @@
+"""Metrics and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    mean_relative_error,
+    per_day_prediction_errors,
+    root_mean_squared_error,
+    savings_percent,
+)
+from repro.analysis.tables import render_table
+
+
+class TestMetrics:
+    def test_mre_basic(self):
+        assert mean_relative_error([110.0], [100.0]) == pytest.approx(0.10)
+
+    def test_mre_floor_excludes_small(self):
+        value = mean_relative_error([110.0, 5.0], [100.0, 0.5], floor=1.0)
+        assert value == pytest.approx(0.10)
+
+    def test_mre_all_below_floor_raises(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([1.0], [0.1], floor=1.0)
+
+    def test_mre_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_relative_error([1.0, 2.0], [1.0])
+
+    def test_rmse(self):
+        assert root_mean_squared_error([3.0, 1.0], [0.0, 1.0]) == pytest.approx(
+            np.sqrt(4.5)
+        )
+
+    def test_per_day_rows(self):
+        hours = np.arange(48)
+        actual = np.full(48, 100.0)
+        predicted = np.concatenate([np.full(24, 110.0), np.full(24, 90.0)])
+        rows = per_day_prediction_errors(predicted, actual, hours)
+        assert [r[0] for r in rows] == ["Mon.", "Tue."]
+        assert rows[0][1] == pytest.approx(0.10)
+        assert rows[1][2] == pytest.approx(10.0)
+
+    def test_savings_percent(self):
+        assert savings_percent(82.5, 100.0) == pytest.approx(17.5)
+        with pytest.raises(ValueError):
+            savings_percent(1.0, 0.0)
+
+
+class TestTables:
+    def test_alignment_and_rule(self):
+        text = render_table(["name", "value"], [("a", 1.5), ("long-name", 22.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+        assert "1.50" in lines[2]
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [("only-one",)])
+
+    def test_non_float_passthrough(self):
+        text = render_table(["k"], [("word",), (7,)])
+        assert "word" in text
+        assert "7" in text

@@ -1,0 +1,69 @@
+"""Poisson arrival process and rate functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.arrival import PoissonArrivalProcess, hourly_rate_function
+from repro.traffic.volume import VolumeSeries
+
+
+@pytest.fixture
+def series():
+    return VolumeSeries(np.asarray([360.0, 720.0, 180.0]))
+
+
+class TestRateFunction:
+    def test_piecewise_constant(self, series):
+        rate = hourly_rate_function(series)
+        assert rate(0.0) == pytest.approx(0.1)
+        assert rate(3599.0) == pytest.approx(0.1)
+        assert rate(3600.0) == pytest.approx(0.2)
+        assert rate(2 * 3600.0) == pytest.approx(0.05)
+
+    def test_clamps_outside(self, series):
+        rate = hourly_rate_function(series)
+        assert rate(-100.0) == pytest.approx(0.1)
+        assert rate(10 * 3600.0) == pytest.approx(0.05)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_per_seed(self, series):
+        a = PoissonArrivalProcess(series, seed=4).sample(0.0, 3600.0)
+        b = PoissonArrivalProcess(series, seed=4).sample(0.0, 3600.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_arrivals_within_interval(self, series):
+        arrivals = PoissonArrivalProcess(series, seed=1).sample(1800.0, 3600.0)
+        assert np.all(arrivals >= 1800.0)
+        assert np.all(arrivals < 5400.0)
+
+    def test_sorted_within_hours(self, series):
+        arrivals = PoissonArrivalProcess(series, seed=2).sample(0.0, 3 * 3600.0)
+        assert np.all(np.diff(arrivals) >= 0.0)
+
+    def test_rate_scales_counts(self):
+        lo = VolumeSeries(np.full(10, 60.0))
+        hi = VolumeSeries(np.full(10, 600.0))
+        n_lo = PoissonArrivalProcess(lo, seed=3).sample(0.0, 10 * 3600.0).size
+        n_hi = PoissonArrivalProcess(hi, seed=3).sample(0.0, 10 * 3600.0).size
+        assert n_hi > 5 * n_lo
+
+    def test_mean_count_close_to_expectation(self):
+        series = VolumeSeries(np.full(2, 360.0))
+        counts = [
+            PoissonArrivalProcess(series, seed=s).sample(0.0, 3600.0).size
+            for s in range(30)
+        ]
+        assert np.mean(counts) == pytest.approx(360.0, rel=0.1)
+
+    def test_zero_rate_yields_no_arrivals(self):
+        series = VolumeSeries(np.zeros(3))
+        assert PoissonArrivalProcess(series, seed=0).sample(0.0, 3 * 3600.0).size == 0
+
+    def test_validation(self, series):
+        process = PoissonArrivalProcess(series)
+        with pytest.raises(ConfigurationError):
+            process.sample(0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            process.sample(-1.0, 10.0)

@@ -1,0 +1,42 @@
+"""The library-provided urban arterial corridor."""
+
+import pytest
+
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.route.arterial import ARTERIAL_DEMAND_VPH, arterial_arrival_rates, urban_arterial
+
+
+class TestUrbanArterial:
+    def test_geometry(self):
+        road = urban_arterial()
+        assert road.length_m == 6000.0
+        assert len(road.signals) == 5
+        assert [s.position_m for s in road.stop_signs] == [300.0]
+
+    def test_signal_offsets_staggered(self):
+        road = urban_arterial()
+        offsets = [s.light.offset_s for s in road.signals]
+        assert len(set(offsets)) > 1
+
+    def test_demand_covers_every_signal(self):
+        road = urban_arterial()
+        rates = arterial_arrival_rates()
+        assert set(rates) == set(road.signal_positions())
+        assert set(ARTERIAL_DEMAND_VPH) == set(road.signal_positions())
+
+    def test_custom_timing(self):
+        road = urban_arterial(red_s=20.0, green_s=40.0)
+        for site in road.signals:
+            assert site.light.red_s == 20.0
+            assert site.light.green_s == 40.0
+
+    def test_plannable_end_to_end(self):
+        road = urban_arterial()
+        planner = QueueAwareDpPlanner(
+            road,
+            arrival_rates=arterial_arrival_rates(),
+            config=PlannerConfig(v_step_ms=1.0, s_step_m=50.0, horizon_s=900.0),
+        )
+        solution = planner.plan(0.0, max_trip_time_s=planner.min_trip_time(0.0) + 20.0)
+        assert solution.all_windows_hit
+        assert len(solution.signal_arrivals) == 5

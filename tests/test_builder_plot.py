@@ -1,0 +1,115 @@
+"""Corridor builder and ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import ascii_plot, plot_speed_profiles
+from repro.errors import ConfigurationError
+from repro.route.builder import CorridorBuilder
+
+
+class TestCorridorBuilder:
+    def build_sample(self):
+        return (
+            CorridorBuilder("main street", length_m=3000.0)
+            .speed_limits(v_max_kmh=60.0, v_min_kmh=35.0)
+            .zone(1000.0, 1600.0, v_max_kmh=40.0)
+            .stop_sign(at_m=200.0)
+            .signal(at_m=1200.0, red_s=25.0, green_s=35.0, offset_s=10.0)
+            .signal(at_m=2400.0, red_s=25.0, green_s=35.0)
+            .grade([0.0, 3000.0], [0.0, 0.01])
+            .build()
+        )
+
+    def test_zones_tile_with_override(self):
+        road = self.build_sample()
+        assert len(road.zones) == 3
+        assert road.v_max_at(500.0) == pytest.approx(60.0 / 3.6)
+        assert road.v_max_at(1300.0) == pytest.approx(40.0 / 3.6)
+        assert road.v_max_at(2000.0) == pytest.approx(60.0 / 3.6)
+
+    def test_features_placed(self):
+        road = self.build_sample()
+        assert [s.position_m for s in road.stop_signs] == [200.0]
+        assert road.signal_positions() == [1200.0, 2400.0]
+        assert road.signals[0].light.offset_s == 10.0
+
+    def test_grade_attached(self):
+        road = self.build_sample()
+        assert road.grade_at(1500.0) == pytest.approx(0.005)
+
+    def test_signals_sorted_regardless_of_insert_order(self):
+        road = (
+            CorridorBuilder("r", 1000.0)
+            .speed_limits(50.0)
+            .signal(at_m=800.0, red_s=10, green_s=10)
+            .signal(at_m=300.0, red_s=10, green_s=10)
+            .build()
+        )
+        assert road.signal_positions() == [300.0, 800.0]
+
+    def test_built_road_plannable(self):
+        from repro.core.planner import PlannerConfig, UnconstrainedDpPlanner
+
+        road = self.build_sample()
+        planner = UnconstrainedDpPlanner(
+            road, config=PlannerConfig(v_step_ms=1.0, s_step_m=50.0, horizon_s=500.0)
+        )
+        solution = planner.plan(0.0, max_trip_time_s=400.0)
+        assert solution.profile.total_distance_m == pytest.approx(3000.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CorridorBuilder("x", 0.0)
+        builder = CorridorBuilder("x", 1000.0)
+        with pytest.raises(ConfigurationError):
+            builder.build()  # limits not set
+        builder.speed_limits(50.0)
+        with pytest.raises(ConfigurationError):
+            builder.speed_limits(60.0)  # twice
+        with pytest.raises(ConfigurationError):
+            builder.zone(900.0, 1100.0, 40.0)  # off the end
+        builder.zone(100.0, 300.0, 40.0)
+        with pytest.raises(ConfigurationError):
+            builder.zone(200.0, 400.0, 30.0)  # overlap
+        with pytest.raises(ConfigurationError):
+            builder.stop_sign(at_m=1000.0)  # at the boundary
+        with pytest.raises(ConfigurationError):
+            builder.signal(at_m=-5.0, red_s=10, green_s=10)
+
+
+class TestAsciiPlot:
+    def test_single_series_renders(self):
+        x = np.linspace(0, 100, 50)
+        text = ascii_plot({"line": (x, np.sin(x / 10.0))}, width=40, height=8)
+        assert "*" in text
+        assert "* = line" in text
+
+    def test_two_series_distinct_glyphs(self):
+        x = np.linspace(0, 10, 20)
+        text = ascii_plot({"a": (x, x), "b": (x, 10 - x)}, width=30, height=8)
+        assert "* = a" in text and "o = b" in text
+
+    def test_axis_bounds_in_output(self):
+        x = np.asarray([0.0, 50.0])
+        text = ascii_plot({"s": (x, np.asarray([2.0, 8.0]))}, width=30, height=6)
+        assert "8.0" in text and "2.0" in text
+        assert "50.0" in text
+
+    def test_flat_series_handled(self):
+        x = np.asarray([0.0, 1.0])
+        text = ascii_plot({"flat": (x, np.asarray([5.0, 5.0]))}, width=20, height=5)
+        assert "flat" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot({}, width=40, height=8)
+        with pytest.raises(ValueError):
+            ascii_plot({"s": ([0.0], [1.0])}, width=4, height=8)
+
+    def test_speed_profile_helper_downsamples(self):
+        positions = np.linspace(0, 4200, 5000)
+        speeds = np.full_like(positions, 15.0)
+        text = plot_speed_profiles({"ev": (positions, speeds)}, max_points=50)
+        assert "position (m)" in text
+        assert "km/h" in text

@@ -1,0 +1,97 @@
+"""Krauss and IDM car-following models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.car_following import OPEN_ROAD_GAP_M, IdmModel, KraussModel
+
+
+@pytest.fixture
+def krauss():
+    return KraussModel()
+
+
+@pytest.fixture
+def idm():
+    return IdmModel()
+
+
+class TestKraussSafeSpeed:
+    def test_open_road_unbounded(self, krauss):
+        assert krauss.safe_speed(0.0, OPEN_ROAD_GAP_M) == float("inf")
+
+    def test_zero_gap_stationary_leader_means_stop(self, krauss):
+        assert krauss.safe_speed(0.0, 0.0) == pytest.approx(0.0)
+
+    def test_monotone_in_gap(self, krauss):
+        gaps = np.linspace(0.0, 100.0, 11)
+        speeds = [krauss.safe_speed(0.0, g) for g in gaps]
+        assert all(b > a for a, b in zip(speeds, speeds[1:]))
+
+    def test_monotone_in_leader_speed(self, krauss):
+        assert krauss.safe_speed(10.0, 20.0) > krauss.safe_speed(0.0, 20.0)
+
+    def test_stopping_guarantee(self, krauss):
+        """Driving at v_safe and braking at b after tau stays within the gap."""
+        gap = 35.0
+        v = krauss.safe_speed(0.0, gap)
+        travelled = v * krauss.tau_s + v * v / (2.0 * krauss.decel_ms2)
+        assert travelled <= gap + 1e-6
+
+    def test_negative_gap_clamped(self, krauss):
+        assert krauss.safe_speed(0.0, -5.0) == pytest.approx(0.0)
+
+
+class TestKraussNextSpeed:
+    def test_accelerates_toward_desired_on_open_road(self, krauss):
+        v = krauss.next_speed(10.0, 20.0, 0.0, OPEN_ROAD_GAP_M, dt_s=1.0)
+        assert v == pytest.approx(10.0 + krauss.accel_ms2)
+
+    def test_caps_at_desired(self, krauss):
+        v = krauss.next_speed(19.5, 20.0, 0.0, OPEN_ROAD_GAP_M, dt_s=1.0)
+        assert v == pytest.approx(20.0)
+
+    def test_brakes_for_stationary_obstacle(self, krauss):
+        v = krauss.next_speed(15.0, 20.0, 0.0, 20.0, dt_s=1.0)
+        assert v < 15.0
+
+    def test_never_negative(self, krauss):
+        v = krauss.next_speed(1.0, 20.0, 0.0, 0.0, dt_s=1.0)
+        assert v >= 0.0
+
+    def test_sigma_dither_reduces_speed(self):
+        noisy = KraussModel(sigma=0.5)
+        clean = noisy.next_speed(10.0, 20.0, 0.0, OPEN_ROAD_GAP_M, 1.0, imperfection=0.0)
+        dithered = noisy.next_speed(10.0, 20.0, 0.0, OPEN_ROAD_GAP_M, 1.0, imperfection=1.0)
+        assert dithered < clean
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KraussModel(accel_ms2=0.0)
+        with pytest.raises(ConfigurationError):
+            KraussModel(sigma=1.5)
+
+
+class TestIdm:
+    def test_free_acceleration_positive_below_desired(self, idm):
+        assert idm.acceleration(5.0, 15.0, 0.0, OPEN_ROAD_GAP_M) > 0.0
+
+    def test_no_acceleration_at_desired(self, idm):
+        assert idm.acceleration(15.0, 15.0, 0.0, OPEN_ROAD_GAP_M) == pytest.approx(0.0)
+
+    def test_brakes_when_close(self, idm):
+        assert idm.acceleration(10.0, 15.0, 0.0, 5.0) < 0.0
+
+    def test_equilibrium_gap_keeps_speed(self, idm):
+        v = 10.0
+        s_eq = idm.min_gap_m + v * idm.headway_s
+        accel = idm.acceleration(v, 1e9, v, s_eq)  # huge desired isolates gap term
+        assert accel == pytest.approx(0.0, abs=0.05)
+
+    def test_next_speed_floor(self, idm):
+        assert idm.next_speed(0.5, 15.0, 0.0, 0.5, dt_s=1.0) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IdmModel(headway_s=0.0)

@@ -1,0 +1,58 @@
+"""The repro-plan command-line tool."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+FAST_ARGS = ["--v-step", "1.0", "--s-step", "50.0"]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.planner == "proposed"
+        assert args.rate == 153.0
+        assert args.cap is None
+
+    def test_planner_choices(self):
+        parser = build_parser()
+        for choice in ("proposed", "baseline", "unconstrained"):
+            assert parser.parse_args(["--planner", choice]).planner == choice
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--planner", "magic"])
+
+
+class TestMain:
+    def test_proposed_plan_prints_summary(self, capsys):
+        assert main(FAST_ARGS + ["--rate", "300", "--cap", "320"]) == 0
+        out = capsys.readouterr().out
+        assert "US-25" in out
+        assert "signal @   1820 m" in out
+        assert "[ok]" in out
+
+    def test_baseline_planner(self, capsys):
+        assert main(FAST_ARGS + ["--planner", "baseline", "--cap", "320"]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_unconstrained_has_no_signal_rows(self, capsys):
+        assert main(FAST_ARGS + ["--planner", "unconstrained", "--cap", "320"]) == 0
+        out = capsys.readouterr().out
+        assert "signal @" not in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        target = tmp_path / "plan.csv"
+        assert main(FAST_ARGS + ["--cap", "320", "--csv", str(target)]) == 0
+        assert target.exists()
+        header = target.read_text().splitlines()[0]
+        assert header == "time_s,position_m,speed_ms"
+
+    def test_infeasible_reports_error(self, capsys):
+        code = main(FAST_ARGS + ["--cap", "60"])  # 4.2 km in 60 s: impossible
+        assert code == 1
+        assert "planning failed" in capsys.readouterr().err
+
+    def test_default_cap_computed(self, capsys):
+        assert main(FAST_ARGS + ["--rate", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "trip budget" in out

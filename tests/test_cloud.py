@@ -1,0 +1,128 @@
+"""Vehicular-cloud planning service and fleet study."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudPlannerService, FleetStudy, PlanRequest
+from repro.core.planner import (
+    PlannerConfig,
+    QueueAwareDpPlanner,
+    UnconstrainedDpPlanner,
+)
+from repro.errors import ConfigurationError
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+@pytest.fixture(scope="module")
+def service(us25, coarse_config):
+    planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+    return CloudPlannerService(planner)
+
+
+class TestMessages:
+    def test_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlanRequest(vehicle_id="", depart_s=0.0)
+        with pytest.raises(ConfigurationError):
+            PlanRequest(vehicle_id="x", depart_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            PlanRequest(vehicle_id="x", depart_s=0.0, max_trip_time_s=0.0)
+
+
+class TestService:
+    def test_cache_enabled_on_fixed_cycles(self, service):
+        assert service.cache_enabled
+        assert service._period_s == pytest.approx(60.0)
+
+    def test_first_request_misses(self, service):
+        service.clear_cache()
+        response = service.request(PlanRequest("v1", depart_s=100.0, max_trip_time_s=320.0))
+        assert not response.cache_hit
+        assert response.compute_time_s > 0
+
+    def test_same_phase_hits(self, service):
+        service.clear_cache()
+        first = service.request(PlanRequest("v1", depart_s=100.0, max_trip_time_s=320.0))
+        second = service.request(PlanRequest("v2", depart_s=160.0, max_trip_time_s=320.0))
+        assert second.cache_hit
+        assert second.energy_mah == pytest.approx(first.energy_mah)
+        assert second.compute_time_s == 0.0
+
+    def test_shifted_profile_anchored_at_new_departure(self, service):
+        service.clear_cache()
+        service.request(PlanRequest("v1", depart_s=100.0, max_trip_time_s=320.0))
+        shifted = service.request(PlanRequest("v2", depart_s=220.0, max_trip_time_s=320.0))
+        assert shifted.cache_hit
+        assert shifted.profile.arrival_times_s[0] == pytest.approx(220.0)
+
+    def test_shifted_plan_still_hits_true_windows(self, service, us25):
+        service.clear_cache()
+        service.request(PlanRequest("v1", depart_s=100.0, max_trip_time_s=320.0))
+        shifted = service.request(PlanRequest("v2", depart_s=160.0, max_trip_time_s=320.0))
+        planner = service.planner
+        for pos in us25.signal_positions():
+            arrival = shifted.profile.arrival_time_at(pos)
+            windows = planner.queue_model(pos).empty_windows(160.0, 600.0, RATE)
+            assert any(w.contains(arrival) for w in windows)
+
+    def test_different_phase_misses(self, service):
+        service.clear_cache()
+        service.request(PlanRequest("v1", depart_s=100.0, max_trip_time_s=320.0))
+        other = service.request(PlanRequest("v2", depart_s=130.0, max_trip_time_s=320.0))
+        assert not other.cache_hit
+
+    def test_default_budget_uses_min_time_plus_slack(self, service):
+        service.clear_cache()
+        response = service.request(PlanRequest("v1", depart_s=100.0))
+        floor = service.planner.min_trip_time(100.0)
+        assert response.trip_time_s <= floor + service.default_budget_slack_s + 1e-6
+
+    def test_stats_track_requests(self, service):
+        service.clear_cache()
+        service.stats.requests = 0
+        service.stats.cache_hits = 0
+        service.stats.cache_misses = 0
+        service.request(PlanRequest("a", 100.0, 320.0))
+        service.request(PlanRequest("b", 160.0, 320.0))
+        assert service.stats.requests == 2
+        assert service.stats.cache_hits == 1
+        assert service.stats.hit_rate == pytest.approx(0.5)
+
+    def test_no_signals_disables_cache(self, plain_road, coarse_config):
+        planner = UnconstrainedDpPlanner(plain_road, config=coarse_config)
+        service = CloudPlannerService(planner)
+        assert not service.cache_enabled
+        response = service.request(PlanRequest("v", depart_s=0.0, max_trip_time_s=200.0))
+        assert not response.cache_hit
+
+    def test_callable_rates_disable_cache(self, us25, coarse_config):
+        planner = QueueAwareDpPlanner(
+            us25, arrival_rates=lambda t: RATE, config=coarse_config
+        )
+        assert not CloudPlannerService(planner).cache_enabled
+
+    def test_quantum_validation(self, service):
+        with pytest.raises(ConfigurationError):
+            CloudPlannerService(service.planner, phase_quantum_s=0.0)
+
+
+class TestFleet:
+    def test_fleet_run(self, service, us25):
+        service.clear_cache()
+        study = FleetStudy(service, us25, fleet_rate_vph=80.0, seed=5)
+        result = study.run(duration_s=400.0, human_reference_sample=1)
+        assert result.n_vehicles >= 1
+        assert result.planned_energy_mah > 0
+        assert result.human_energy_mah > result.planned_energy_mah
+        assert 0.0 < result.savings_pct < 60.0
+
+    def test_fleet_validation(self, service, us25):
+        with pytest.raises(ConfigurationError):
+            FleetStudy(service, us25, fleet_rate_vph=0.0)
+        with pytest.raises(ConfigurationError):
+            FleetStudy(service, us25, mild_fraction=1.5)
+        study = FleetStudy(service, us25)
+        with pytest.raises(ConfigurationError):
+            study.run(duration_s=0.0)

@@ -1,0 +1,89 @@
+"""Eq. 7 constraint auditing of velocity profiles."""
+
+import pytest
+
+from repro.core.constraints import check_profile
+from repro.core.profile import VelocityProfile
+from repro.route.road import RoadSegment, SpeedLimitZone, StopSign
+
+
+@pytest.fixture
+def road():
+    return RoadSegment(
+        name="audit road",
+        length_m=400.0,
+        zones=[SpeedLimitZone(0.0, 400.0, v_max_ms=15.0, v_min_ms=8.0)],
+        stop_signs=[StopSign(200.0)],
+    )
+
+
+def legal_profile():
+    return VelocityProfile(
+        positions_m=[0.0, 100.0, 200.0, 300.0, 400.0],
+        speeds_ms=[0.0, 12.0, 0.0, 12.0, 0.0],
+        dwell_s=[0.0, 0.0, 2.0, 0.0, 0.0],
+    )
+
+
+class TestCheckProfile:
+    def test_legal_profile_passes(self, road):
+        report = check_profile(legal_profile(), road)
+        assert report.ok
+        assert "satisfied" in str(report)
+
+    def test_speed_limit_violation_detected(self, road):
+        profile = VelocityProfile(
+            positions_m=[0.0, 100.0, 200.0, 300.0, 400.0],
+            speeds_ms=[0.0, 16.0, 0.0, 12.0, 0.0],
+        )
+        report = check_profile(profile, road)
+        assert not report.ok
+        assert any(v.kind == "speed_max" for v in report.violations)
+
+    def test_acceleration_violation_detected(self, road):
+        profile = VelocityProfile(
+            positions_m=[0.0, 20.0, 200.0, 300.0, 400.0],
+            speeds_ms=[0.0, 12.0, 0.0, 12.0, 0.0],  # a = 3.6 m/s^2 over 20 m
+        )
+        report = check_profile(profile, road)
+        assert any(v.kind == "accel" for v in report.violations)
+
+    def test_missed_stop_sign_detected(self, road):
+        profile = VelocityProfile(
+            positions_m=[0.0, 100.0, 200.0, 300.0, 400.0],
+            speeds_ms=[0.0, 12.0, 12.0, 12.0, 0.0],
+        )
+        report = check_profile(profile, road)
+        assert any(v.kind == "stop" for v in report.violations)
+
+    def test_nonzero_boundary_detected(self, road):
+        profile = VelocityProfile(
+            positions_m=[0.0, 100.0, 200.0, 300.0, 400.0],
+            speeds_ms=[0.0, 12.0, 0.0, 12.0, 3.0],
+        )
+        report = check_profile(profile, road)
+        assert any(v.kind == "boundary" for v in report.violations)
+
+    def test_min_speed_enforcement_optional(self, road):
+        crawler = VelocityProfile(
+            positions_m=[0.0, 100.0, 200.0, 300.0, 400.0],
+            speeds_ms=[0.0, 4.0, 0.0, 4.0, 0.0],
+        )
+        assert check_profile(crawler, road).ok
+        report = check_profile(crawler, road, enforce_min_speed=True)
+        assert any(v.kind == "speed_min" for v in report.violations)
+
+    def test_min_speed_exempt_near_stops(self, road):
+        profile = legal_profile()
+        report = check_profile(profile, road, enforce_min_speed=True)
+        # Speeds near the mandatory stops are below v_min by necessity but
+        # must not be flagged.
+        assert report.ok
+
+    def test_violation_str_mentions_position(self, road):
+        profile = VelocityProfile(
+            positions_m=[0.0, 100.0, 200.0, 300.0, 400.0],
+            speeds_ms=[0.0, 16.0, 0.0, 12.0, 0.0],
+        )
+        report = check_profile(profile, road)
+        assert "100.0 m" in str(report)

@@ -1,0 +1,109 @@
+"""Signal-offset coordination analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.route.road import RoadSegment, SignalSite, SpeedLimitZone
+from repro.route.us25 import us25_greenville_segment
+from repro.signal.coordination import (
+    evaluate_progression,
+    optimize_offsets,
+    _with_offsets,
+)
+from repro.signal.light import TrafficLight
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(200.0)
+
+
+def two_signal_road(offset2=0.0, red=20.0, green=20.0):
+    return RoadSegment(
+        name="coord road",
+        length_m=2000.0,
+        zones=[SpeedLimitZone(0.0, 2000.0, v_max_ms=15.0, v_min_ms=10.0)],
+        signals=[
+            SignalSite(position_m=500.0, light=TrafficLight(red_s=red, green_s=green)),
+            SignalSite(
+                position_m=1500.0,
+                light=TrafficLight(red_s=red, green_s=green, offset_s=offset2),
+            ),
+        ],
+    )
+
+
+class TestEvaluateProgression:
+    def test_perfect_offsets_give_positive_bandwidth(self):
+        # Travel time between signals at 10 m/s is 100 s = 2.5 cycles; an
+        # offset of half a cycle aligns the windows.
+        road = two_signal_road(offset2=20.0)
+        report = evaluate_progression(road, 10.0, RATE)
+        assert report.bandwidth_s > 0
+
+    def test_bandwidth_bounded_by_usable_green(self):
+        road = two_signal_road(offset2=10.0)
+        report = evaluate_progression(road, 10.0, RATE)
+        assert report.bandwidth_s <= min(report.usable_green_s) + 1.0
+
+    def test_usable_green_reflects_queue_clearing(self):
+        road = two_signal_road()
+        report = evaluate_progression(road, 10.0, RATE)
+        for usable in report.usable_green_s:
+            assert 0.0 < usable < 20.0  # strictly less than raw green
+
+    def test_oversaturated_signal_kills_bandwidth(self):
+        road = two_signal_road(red=38.0, green=2.0)
+        report = evaluate_progression(
+            road, 10.0, vehicles_per_hour_to_per_second(1200.0)
+        )
+        assert report.bandwidth_s == 0.0
+
+    def test_validation(self):
+        road = two_signal_road()
+        with pytest.raises(ConfigurationError):
+            evaluate_progression(road, 0.0, RATE)
+        plain = RoadSegment(
+            name="no signals",
+            length_m=100.0,
+            zones=[SpeedLimitZone(0.0, 100.0, v_max_ms=15.0)],
+        )
+        with pytest.raises(ConfigurationError):
+            evaluate_progression(plain, 10.0, RATE)
+
+    def test_mixed_cycles_rejected(self):
+        road = RoadSegment(
+            name="mixed",
+            length_m=2000.0,
+            zones=[SpeedLimitZone(0.0, 2000.0, v_max_ms=15.0, v_min_ms=10.0)],
+            signals=[
+                SignalSite(position_m=500.0, light=TrafficLight(red_s=20.0, green_s=20.0)),
+                SignalSite(position_m=1500.0, light=TrafficLight(red_s=30.0, green_s=30.0)),
+            ],
+        )
+        with pytest.raises(ConfigurationError):
+            evaluate_progression(road, 10.0, RATE)
+
+
+class TestOptimizeOffsets:
+    def test_optimum_at_least_as_good_as_current(self):
+        road = two_signal_road(offset2=7.0)
+        current = evaluate_progression(road, 10.0, RATE)
+        _, best = optimize_offsets(road, 10.0, RATE, offset_step_s=5.0)
+        assert best.bandwidth_s >= current.bandwidth_s - 1e-9
+
+    def test_first_offset_pinned_to_zero(self):
+        road = two_signal_road()
+        offsets, _ = optimize_offsets(road, 10.0, RATE, offset_step_s=10.0)
+        assert offsets[0] == 0.0
+
+    def test_us25_offsets_searchable(self, us25):
+        offsets, report = optimize_offsets(us25, 15.0, RATE, offset_step_s=10.0)
+        assert len(offsets) == 2
+        assert report.bandwidth_s >= 0.0
+
+    def test_with_offsets_helper(self):
+        road = two_signal_road()
+        shifted = _with_offsets(road, [5.0, 25.0])
+        assert shifted.signals[0].light.offset_s == 5.0
+        assert shifted.signals[1].light.offset_s == 25.0
+        with pytest.raises(ConfigurationError):
+            _with_offsets(road, [1.0])

@@ -1,0 +1,98 @@
+"""DP cost building blocks: segment energy tables and window sets."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import SegmentEnergyTable, WindowSet
+from repro.signal.queue import QueueWindow
+from repro.vehicle.dynamics import LongitudinalModel
+
+
+@pytest.fixture(scope="module")
+def table():
+    model = LongitudinalModel()
+    v_grid = np.arange(0.0, 16.0, 1.0)
+    return SegmentEnergyTable(
+        model, v_grid, distance_m=50.0, grade_rad=0.0, a_min=-1.5, a_max=2.5
+    )
+
+
+class TestSegmentEnergyTable:
+    def test_infeasible_acceleration_is_inf(self, table):
+        # 0 -> 15 m/s over 50 m needs a = 2.25... within a_max 2.5; but
+        # 0 -> 16 not in grid. Use 15 -> 0: a = -2.25 < a_min.
+        assert np.isinf(table.energy_j[15, 0])
+
+    def test_zero_to_zero_is_inf(self, table):
+        assert np.isinf(table.energy_j[0, 0])
+
+    def test_cruise_entry_matches_model(self, table):
+        model = LongitudinalModel()
+        expected = model.segment_energy_j(10.0, 10.0, 50.0)
+        assert table.energy_j[10, 10] == pytest.approx(expected)
+
+    def test_travel_time(self, table):
+        assert table.travel_s[10, 10] == pytest.approx(5.0)
+        assert table.travel_s[5, 10] == pytest.approx(50.0 / 7.5)
+
+    def test_successors_obey_accel_band(self, table):
+        succ = table.successors(10)
+        accels = (np.square(succ.astype(float)) - 100.0) / (2 * 50.0)
+        assert np.all(accels >= -1.5 - 1e-9)
+        assert np.all(accels <= 2.5 + 1e-9)
+
+    def test_feasible_matrix_matches_energy(self, table):
+        assert np.all(np.isfinite(table.energy_j[table.feasible]))
+        assert np.all(np.isinf(table.energy_j[~table.feasible]))
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            SegmentEnergyTable(
+                LongitudinalModel(), np.arange(3.0), 0.0, 0.0, -1.5, 2.5
+            )
+
+    def test_uphill_costs_more(self):
+        model = LongitudinalModel()
+        v_grid = np.arange(0.0, 16.0, 1.0)
+        flat = SegmentEnergyTable(model, v_grid, 50.0, 0.0, -1.5, 2.5)
+        hill = SegmentEnergyTable(model, v_grid, 50.0, np.arctan(0.04), -1.5, 2.5)
+        assert hill.energy_j[10, 10] > flat.energy_j[10, 10]
+
+
+class TestWindowSet:
+    def test_contains_vectorized(self):
+        windows = WindowSet([QueueWindow(10.0, 20.0), QueueWindow(30.0, 40.0)])
+        times = np.asarray([5.0, 10.0, 15.0, 20.0, 35.0, 45.0])
+        np.testing.assert_array_equal(
+            windows.contains(times), [False, True, True, False, True, False]
+        )
+
+    def test_merges_overlapping(self):
+        windows = WindowSet([QueueWindow(10.0, 25.0), QueueWindow(20.0, 40.0)])
+        assert len(windows) == 1
+        assert windows.contains(np.asarray([24.0, 39.0])).all()
+
+    def test_sorts_unordered_input(self):
+        windows = WindowSet([QueueWindow(30.0, 40.0), QueueWindow(0.0, 10.0)])
+        merged = windows.as_queue_windows()
+        assert merged[0].start_s == 0.0
+        assert merged[1].start_s == 30.0
+
+    def test_shrunk(self):
+        windows = WindowSet([QueueWindow(10.0, 20.0)]).shrunk(2.0)
+        assert windows.contains(np.asarray([12.5]))[0]
+        assert not windows.contains(np.asarray([11.0]))[0]
+        assert not windows.contains(np.asarray([18.5]))[0]
+
+    def test_shrunk_collapses_small_windows(self):
+        windows = WindowSet([QueueWindow(10.0, 13.0)]).shrunk(2.0)
+        assert windows.is_empty
+
+    def test_shrunk_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WindowSet([]).shrunk(-1.0)
+
+    def test_empty_set_contains_nothing(self):
+        windows = WindowSet([])
+        assert windows.is_empty
+        assert not windows.contains(np.asarray([1.0, 2.0])).any()

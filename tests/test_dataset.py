@@ -1,0 +1,94 @@
+"""Sliding-window supervised dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.dataset import (
+    DAILY_LAGS,
+    build_dataset,
+    train_test_split_by_hour,
+)
+from repro.traffic.volume import VolumeGenerator
+
+
+@pytest.fixture(scope="module")
+def series():
+    return VolumeGenerator(seed=4, incident_rate_per_day=0.0).generate(21)
+
+
+class TestBuildDataset:
+    def test_shapes(self, series):
+        ds = build_dataset(series, window=12)
+        history = max(12, max(DAILY_LAGS))
+        assert ds.n_examples == len(series) - history
+        # window + lags + 6 hod harmonics + 2 dow + weekend flag
+        assert ds.features.shape == (ds.n_examples, 12 + len(DAILY_LAGS) + 9)
+
+    def test_targets_are_next_hour(self, series):
+        ds = build_dataset(series, window=12)
+        raw = series.volumes_vph
+        history = max(12, max(DAILY_LAGS))
+        expected = (raw[history] - ds.scale_min) / (ds.scale_max - ds.scale_min)
+        assert ds.targets[0] == pytest.approx(expected)
+
+    def test_window_feature_is_recent_past(self, series):
+        ds = build_dataset(series, window=12)
+        raw = series.volumes_vph
+        history = max(12, max(DAILY_LAGS))
+        normalized = (raw[history - 1] - ds.scale_min) / (ds.scale_max - ds.scale_min)
+        assert ds.features[0, 11] == pytest.approx(normalized)
+
+    def test_lag_features(self, series):
+        ds = build_dataset(series, window=12)
+        raw = series.volumes_vph
+        history = max(12, max(DAILY_LAGS))
+        lag24 = (raw[history - 24] - ds.scale_min) / (ds.scale_max - ds.scale_min)
+        assert ds.features[0, 12] == pytest.approx(lag24)
+
+    def test_normalization_bounds(self, series):
+        ds = build_dataset(series)
+        assert ds.targets.min() >= 0.0
+        assert ds.targets.max() <= 1.0
+
+    def test_denormalize_roundtrip(self, series):
+        ds = build_dataset(series)
+        volumes = np.asarray([100.0, 250.0])
+        np.testing.assert_allclose(ds.denormalize(ds.normalize(volumes)), volumes)
+
+    def test_explicit_scale(self, series):
+        ds = build_dataset(series, scale_min=0.0, scale_max=1000.0)
+        assert ds.scale_max == 1000.0
+
+    def test_too_short_series_rejected(self):
+        short = VolumeGenerator(seed=1).generate(2)
+        with pytest.raises(ConfigurationError):
+            build_dataset(short, window=12)
+
+    def test_bad_window_rejected(self, series):
+        with pytest.raises(ConfigurationError):
+            build_dataset(series, window=0)
+
+    def test_degenerate_scale_rejected(self, series):
+        with pytest.raises(ConfigurationError):
+            build_dataset(series, scale_min=10.0, scale_max=10.0)
+
+
+class TestTrainTestSplit:
+    def test_chronological_split(self, series):
+        train, test = train_test_split_by_hour(series, test_hours=48)
+        split_hour = len(series) - 48
+        assert train.target_hours.max() < split_hour
+        assert test.target_hours.min() == split_hour
+        assert test.n_examples == 48
+
+    def test_shared_normalization(self, series):
+        train, test = train_test_split_by_hour(series, test_hours=48)
+        assert test.scale_min == train.scale_min
+        assert test.scale_max == train.scale_max
+
+    def test_invalid_test_hours(self, series):
+        with pytest.raises(ConfigurationError):
+            train_test_split_by_hour(series, test_hours=0)
+        with pytest.raises(ConfigurationError):
+            train_test_split_by_hour(series, test_hours=len(series))

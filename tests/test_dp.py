@@ -1,0 +1,155 @@
+"""Time-expanded DP solver: feasibility, optimality structure, windows."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import check_profile
+from repro.core.cost import WindowSet
+from repro.core.dp import DpSolver, TimeWindowConstraint
+from repro.errors import ConfigurationError, InfeasibleProblemError
+from repro.signal.queue import QueueWindow
+
+
+@pytest.fixture(scope="module")
+def solver(plain_road):
+    return DpSolver(
+        plain_road, v_step_ms=1.0, s_step_m=25.0, t_bin_s=1.0, horizon_s=300.0
+    )
+
+
+class TestBasicSolve:
+    def test_unconstrained_plan_is_feasible(self, solver, plain_road):
+        solution = solver.solve()
+        report = check_profile(solution.profile, plain_road)
+        assert report.ok, str(report)
+
+    def test_plan_respects_stop_sign(self, solver, plain_road):
+        solution = solver.solve()
+        idx = int(np.argmin(np.abs(solver.positions - 300.0)))
+        assert solution.profile.speeds_ms[idx] == 0.0
+        assert solution.profile.dwell_s[idx] == pytest.approx(solver.stop_dwell_s)
+
+    def test_boundary_speeds_zero(self, solver):
+        solution = solver.solve()
+        assert solution.profile.speeds_ms[0] == 0.0
+        assert solution.profile.speeds_ms[-1] == 0.0
+
+    def test_profile_timing_matches_dp_clock(self, solver):
+        solution = solver.solve()
+        assert solution.profile.total_time_s == pytest.approx(
+            solution.trip_time_s, abs=1e-6
+        )
+
+    def test_energy_objective_matches_metered_energy(self, solver):
+        solution = solver.solve()
+        metered = solution.profile.energy(dt_s=0.1)
+        metered_j = metered.net_mah / 1000.0 * 3600.0 * 399.0
+        assert solution.energy_j == pytest.approx(metered_j, rel=0.05)
+
+    def test_trip_cap_binds(self, solver):
+        slow = solver.solve(max_trip_time_s=200.0)
+        fast = solver.solve(max_trip_time_s=100.0)
+        assert fast.trip_time_s <= 100.0 + 1e-6
+        assert slow.energy_j <= fast.energy_j
+
+    def test_impossible_cap_raises(self, solver):
+        with pytest.raises(InfeasibleProblemError):
+            solver.solve(max_trip_time_s=40.0)  # 800 m in 40 s at 15 m/s max
+
+    def test_minimize_time_objective(self, solver):
+        quick = solver.solve(minimize="time")
+        cheap = solver.solve(minimize="energy")
+        assert quick.trip_time_s <= cheap.trip_time_s
+        assert cheap.energy_j <= quick.energy_j
+
+    def test_unknown_objective_rejected(self, solver):
+        with pytest.raises(ConfigurationError):
+            solver.solve(minimize="comfort")
+
+    def test_start_time_shifts_clock(self, solver):
+        solution = solver.solve(start_time_s=500.0)
+        assert solution.profile.arrival_times_s[0] == 500.0
+
+    def test_deterministic(self, solver):
+        a = solver.solve()
+        b = solver.solve()
+        np.testing.assert_array_equal(a.profile.speeds_ms, b.profile.speeds_ms)
+
+
+class TestWindowConstraints:
+    def _constraint(self, position, windows, mode="hard"):
+        return TimeWindowConstraint(
+            position_m=position,
+            windows=WindowSet([QueueWindow(a, b) for a, b in windows]),
+            mode=mode,
+        )
+
+    def test_hard_window_hit(self, solver):
+        constraint = self._constraint(500.0, [(45.0, 55.0), (80.0, 95.0)])
+        solution = solver.solve(constraints=[constraint])
+        arrival = solution.signal_arrivals[500.0]
+        assert solution.windows_hit[500.0], f"arrived at {arrival}"
+
+    def test_unreachable_window_raises(self, solver):
+        constraint = self._constraint(500.0, [(1.0, 5.0)])
+        with pytest.raises(InfeasibleProblemError):
+            solver.solve(constraints=[constraint])
+
+    def test_penalty_mode_prefers_window(self, solver):
+        constraint = self._constraint(500.0, [(45.0, 60.0)], mode="penalty")
+        solution = solver.solve(constraints=[constraint])
+        assert solution.windows_hit[500.0]
+
+    def test_penalty_mode_survives_unreachable_window(self, solver):
+        constraint = self._constraint(500.0, [(1.0, 5.0)], mode="penalty")
+        solution = solver.solve(constraints=[constraint])
+        assert not solution.windows_hit[500.0]
+        assert solution.energy_j > 1.0e8  # paid the penalty
+
+    def test_window_delays_arrival_vs_unconstrained(self, solver):
+        free = solver.solve(minimize="time")
+        free_arrival = free.profile.arrival_time_at(500.0)
+        late_window = self._constraint(500.0, [(free_arrival + 20.0, free_arrival + 30.0)])
+        solution = solver.solve(constraints=[late_window], minimize="time")
+        assert solution.profile.arrival_time_at(500.0) >= free_arrival + 19.0
+
+    def test_constraint_off_grid_rejected(self, solver):
+        constraint = self._constraint(512.3, [(40.0, 60.0)])
+        # 512.3 is within one grid step of 500/525, so it snaps; far off
+        # the road must fail.
+        far = TimeWindowConstraint(
+            position_m=5000.0, windows=WindowSet([QueueWindow(1.0, 2.0)])
+        )
+        with pytest.raises(ConfigurationError):
+            solver.solve(constraints=[far])
+
+    def test_constraint_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimeWindowConstraint(position_m=1.0, windows=WindowSet([]), mode="soft")
+        with pytest.raises(ConfigurationError):
+            TimeWindowConstraint(
+                position_m=1.0, windows=WindowSet([]), penalty_j=0.0
+            )
+
+
+class TestSolverConstruction:
+    def test_grid_includes_exact_speed_limit(self, plain_road):
+        solver = DpSolver(plain_road, v_step_ms=2.0, s_step_m=50.0)
+        assert solver.v_grid[-1] == pytest.approx(15.0)
+
+    def test_invalid_resolutions_rejected(self, plain_road):
+        for kwargs in (
+            dict(v_step_ms=0.0),
+            dict(s_step_m=-1.0),
+            dict(t_bin_s=0.0),
+            dict(horizon_s=0.0),
+            dict(stop_dwell_s=-1.0),
+        ):
+            with pytest.raises(ConfigurationError):
+                DpSolver(plain_road, **kwargs)
+
+    def test_mandatory_stop_points_only_allow_zero(self, solver):
+        for stop in (0.0, 300.0, 800.0):
+            idx = int(np.argmin(np.abs(solver.positions - stop)))
+            allowed = np.flatnonzero(solver._allowed[idx])
+            assert list(allowed) == [0]

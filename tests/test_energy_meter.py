@@ -1,0 +1,71 @@
+"""Trip energy integration over sampled traces."""
+
+import numpy as np
+import pytest
+
+from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.energy_meter import EnergyMeter, TripEnergy
+
+
+@pytest.fixture(scope="module")
+def meter():
+    return EnergyMeter()
+
+
+class TestMeasure:
+    def test_constant_speed_matches_analytic(self, meter):
+        times = np.arange(0.0, 101.0, 1.0)
+        speeds = np.full_like(times, 12.0)
+        trip = meter.measure(times, speeds)
+        model = LongitudinalModel()
+        expected_a = model.consumption_rate_a(12.0, 0.0)
+        expected_mah = expected_a * 100.0 / 3600.0 * 1000.0
+        assert trip.drawn_mah == pytest.approx(expected_mah, rel=1e-6)
+        assert trip.regenerated_mah == pytest.approx(0.0)
+        assert trip.distance_m == pytest.approx(1200.0)
+        assert trip.duration_s == pytest.approx(100.0)
+
+    def test_braking_splits_into_regen(self, meter):
+        times = np.asarray([0.0, 10.0, 20.0])
+        speeds = np.asarray([0.0, 15.0, 0.0])
+        trip = meter.measure(times, speeds)
+        assert trip.drawn_mah > 0
+        assert trip.regenerated_mah > 0
+        assert trip.net_mah < trip.drawn_mah
+
+    def test_grade_callable_used(self, meter):
+        times = np.arange(0.0, 51.0, 1.0)
+        speeds = np.full_like(times, 10.0)
+        flat = meter.measure(times, speeds)
+        uphill = meter.measure(times, speeds, grade_at=lambda s: np.arctan(0.03))
+        assert uphill.net_mah > flat.net_mah
+
+    def test_rejects_mismatched_lengths(self, meter):
+        with pytest.raises(ValueError):
+            meter.measure([0.0, 1.0], [1.0])
+
+    def test_rejects_single_sample(self, meter):
+        with pytest.raises(ValueError):
+            meter.measure([0.0], [1.0])
+
+    def test_rejects_non_increasing_times(self, meter):
+        with pytest.raises(ValueError):
+            meter.measure([0.0, 1.0, 1.0], [1.0, 1.0, 1.0])
+
+    def test_rejects_negative_speed(self, meter):
+        with pytest.raises(ValueError):
+            meter.measure([0.0, 1.0], [1.0, -0.1])
+
+
+class TestTripEnergy:
+    def test_net_and_specific(self):
+        trip = TripEnergy(
+            drawn_mah=1000.0, regenerated_mah=200.0, duration_s=100.0, distance_m=2000.0
+        )
+        assert trip.net_mah == pytest.approx(800.0)
+        assert trip.net_wh == pytest.approx(0.8 * 399.0)
+        assert trip.wh_per_km == pytest.approx(0.8 * 399.0 / 2.0)
+
+    def test_zero_distance_specific_is_nan(self):
+        trip = TripEnergy(drawn_mah=1.0, regenerated_mah=0.0, duration_s=1.0, distance_m=0.0)
+        assert np.isnan(trip.wh_per_km)

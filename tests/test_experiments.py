@@ -1,0 +1,103 @@
+"""Experiment harness smoke tests with fast configurations."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig3_energy_map, fig4_sae, fig5_queue
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+class TestFig3:
+    def test_surface_shape(self):
+        result = fig3_energy_map.run(
+            fig3_energy_map.Fig3Config(speed_steps=13, accel_steps=9)
+        )
+        assert result.rate_mah_s.shape == (9, 13)
+
+    def test_regen_under_braking(self):
+        result = fig3_energy_map.run(
+            fig3_energy_map.Fig3Config(speed_steps=13, accel_steps=9)
+        )
+        braking = result.rate_mah_s[result.accels_ms2 < -0.5][:, result.speeds_kmh > 5]
+        assert np.all(braking < 0)
+
+    def test_consumption_grows_with_acceleration(self):
+        result = fig3_energy_map.run(
+            fig3_energy_map.Fig3Config(speed_steps=13, accel_steps=9)
+        )
+        column = result.rate_mah_s[:, 6]
+        assert np.all(np.diff(column) > 0)
+
+    def test_report_renders(self):
+        result = fig3_energy_map.run(
+            fig3_energy_map.Fig3Config(speed_steps=13, accel_steps=9)
+        )
+        text = fig3_energy_map.report(result)
+        assert "Fig. 3" in text
+        assert "mAh/s" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = fig4_sae.Fig4Config(
+            total_days=56,
+            test_days=7,
+            hidden_sizes=(32, 16),
+            pretrain_epochs=10,
+            finetune_epochs=150,
+        )
+        return fig4_sae.run(config)
+
+    def test_seven_day_rows(self, result):
+        assert len(result.per_day) == 7
+        labels = [row[0] for row in result.per_day]
+        assert labels[0] == "Mon." and labels[-1] == "Sun."
+
+    def test_sae_beats_last_value(self, result):
+        assert result.overall["SAE"][0] < result.overall["last-value"][0]
+
+    def test_mre_within_paper_band(self, result):
+        worst = max(mre for _, mre, _ in result.per_day)
+        assert worst < 0.15  # paper: < 10% on their data; allow slack here
+
+    def test_report_renders(self, result):
+        text = fig4_sae.report(result)
+        assert "MRE" in text and "Mon." in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_queue.run(fig5_queue.Fig5Config(sim_duration_s=1200.0))
+
+    def test_vm_slower_than_instant_during_ramp(self, result):
+        ramp = (result.phase_s > 30.0) & (result.phase_s < 34.0)
+        assert np.all(
+            result.vm_leaving_rate[ramp] <= result.instant_leaving_rate[ramp] + 1e-9
+        )
+
+    def test_queue_peaks_at_red_end(self, result):
+        peak_phase = result.phase_s[int(np.argmax(result.ql_proposed))]
+        assert 28.0 <= peak_phase <= 32.0
+
+    def test_proposed_fits_simulation_better(self, result):
+        assert result.rmse_proposed <= result.rmse_baseline + 0.05
+
+    def test_clear_times_ordered(self, result):
+        assert result.clear_time_baseline_s < result.clear_time_proposed_s
+
+    def test_report_renders(self, result):
+        assert "t*" in fig5_queue.report(result)
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        figures = {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8"}
+        assert figures <= set(EXPERIMENTS)
+        extensions = set(EXPERIMENTS) - figures
+        assert all(name.startswith("ext-") for name in extensions)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")

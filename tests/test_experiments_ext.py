@@ -1,0 +1,95 @@
+"""Extension experiments and the CLI runner."""
+
+import pytest
+
+from repro.experiments import ext_sensitivity, ext_wear
+from repro.experiments.common import TripLab, TripSetup
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestTripLab:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        lab = TripLab(TripSetup(arrival_rate_vph=200.0, seed=3))
+        return lab.run_departure(300.0)
+
+    def test_all_profiles_present(self, outcome):
+        assert set(outcome.traces) == set(TripLab.PROFILES)
+
+    def test_all_traces_complete_route(self, outcome):
+        for name, trace in outcome.traces.items():
+            assert trace.distance_m > 4150.0, name
+
+    def test_cap_covers_every_profile_plan(self, outcome):
+        for name in ("baseline_dp", "proposed"):
+            assert outcome.duration_s(name) <= outcome.trip_cap_s + 30.0
+
+    def test_energy_accessor(self, outcome):
+        for name in TripLab.PROFILES:
+            assert outcome.energy_mah(name) > 0
+
+    def test_headline_ordering_proposed_beats_fast(self, outcome):
+        """Regression guard on the paper's headline: the optimized profile
+        consumes clearly less than fast human driving at any departure."""
+        assert outcome.energy_mah("proposed") < outcome.energy_mah("fast") * 0.95
+
+
+class TestExtSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ext_sensitivity.SensitivityConfig(
+            errors=(-0.25, 0.0, 0.25), departures=(0.0, 30.0)
+        )
+        return ext_sensitivity.run(config)
+
+    def test_rows_per_error(self, result):
+        assert len(result.rows) == 3
+
+    def test_zero_error_perfect_hits(self, result):
+        zero = next(r for r in result.rows if r[0] == 0.0)
+        assert zero[2] == 1.0
+        assert zero[1] == pytest.approx(0.0)
+
+    def test_shift_monotone_in_error(self, result):
+        shifts = [r[1] for r in result.rows]
+        assert shifts[0] < shifts[-1]
+
+    def test_report_renders(self, result):
+        text = ext_sensitivity.report(result)
+        assert "forecast error" in text
+
+
+class TestExtWear:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_wear.run(ext_wear.WearConfig(n_departures=1))
+
+    def test_all_profiles_scored(self, result):
+        assert set(result.reports) == set(TripLab.PROFILES)
+
+    def test_fast_wears_most_throughput(self, result):
+        assert (
+            result.reports["fast"].throughput_ah
+            >= result.reports["proposed"].throughput_ah
+        )
+
+    def test_trips_to_80pct_finite(self, result):
+        for trips in result.trips_to_80pct.values():
+            assert 0 < trips < 1e9
+
+    def test_report_renders(self, result):
+        assert "battery wear" in ext_wear.report(result)
+
+
+class TestRunnerCli:
+    def test_main_runs_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out and "completed" in out
+
+    def test_main_rejects_unknown(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_registry_contains_extensions(self):
+        assert "ext-wear" in EXPERIMENTS
+        assert "ext-sensitivity" in EXPERIMENTS

@@ -1,0 +1,33 @@
+"""Closed-loop extension experiment (fast config)."""
+
+import pytest
+
+from repro.experiments import ext_closed_loop
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ext_closed_loop.ClosedLoopConfig(
+        traffic_levels_vph=(200.0,), departures=(300.0,)
+    )
+    return ext_closed_loop.run(config)
+
+
+class TestExtClosedLoop:
+    def test_one_row_per_traffic_level(self, result):
+        assert len(result.rows) == 1
+
+    def test_replans_applied(self, result):
+        assert result.rows[0][5] > 0
+
+    def test_closed_loop_not_worse_on_stops(self, result):
+        _, _, _, open_stops, closed_stops, _ = result.rows[0]
+        assert closed_stops <= open_stops
+
+    def test_energies_positive(self, result):
+        assert result.rows[0][1] > 0
+        assert result.rows[0][2] > 0
+
+    def test_report_renders(self, result):
+        text = ext_closed_loop.report(result)
+        assert "closed-loop" in text

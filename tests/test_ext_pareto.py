@@ -1,0 +1,33 @@
+"""Energy/time frontier extension."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ext_pareto
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ext_pareto.ParetoConfig(n_caps=5, cap_step_s=20.0)
+    return ext_pareto.run(config)
+
+
+class TestExtPareto:
+    def test_points_collected(self, result):
+        assert len(result.points) >= 4
+
+    def test_achieved_trips_within_caps(self, result):
+        for cap, trip, _ in result.points:
+            assert trip <= cap + 1e-6
+
+    def test_energy_non_increasing_along_frontier(self, result):
+        energies = [p[2] for p in result.points]
+        assert all(b <= a + 1.0 for a, b in zip(energies, energies[1:]))
+
+    def test_floor_below_first_cap(self, result):
+        assert result.min_feasible_trip_s <= result.points[0][0]
+
+    def test_report_renders_chart(self, result):
+        text = ext_pareto.report(result)
+        assert "frontier" in text
+        assert "trip-time budget" in text

@@ -1,0 +1,33 @@
+"""Penetration-study extension (fast config)."""
+
+import math
+
+import pytest
+
+from repro.experiments import ext_penetration
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ext_penetration.PenetrationConfig(
+        n_evs=4, penetrations=(0.0, 1.0), background_vph=150.0
+    )
+    return ext_penetration.run(config)
+
+
+class TestExtPenetration:
+    def test_row_per_penetration(self, result):
+        assert [r[0] for r in result.rows] == [0.0, 1.0]
+
+    def test_group_means_defined_where_members_exist(self, result):
+        zero, full = result.rows
+        assert math.isnan(zero[1]) and not math.isnan(zero[2])
+        assert not math.isnan(full[1]) and math.isnan(full[2])
+
+    def test_full_penetration_saves_energy(self, result):
+        zero, full = result.rows
+        assert full[3] < zero[3]
+
+    def test_report_renders(self, result):
+        text = ext_penetration.report(result)
+        assert "penetration" in text and "100%" in text

@@ -1,0 +1,34 @@
+"""Downstream-signal platoon experiment (fast config)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ext_platoon
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ext_platoon.PlatoonConfig(sim_duration_s=1500.0)
+    return ext_platoon.run(config)
+
+
+class TestExtPlatoon:
+    def test_phase_axis_covers_cycle(self, result):
+        assert result.phase_s[0] < 2.0
+        assert result.phase_s[-1] > 58.0
+
+    def test_platoon_prediction_beats_constant_rate(self, result):
+        assert result.rmse_platoon < result.rmse_constant
+
+    def test_both_predictions_nonnegative(self, result):
+        assert np.all(result.constant_rate >= 0.0)
+        assert np.all(result.platoon_aware >= -1e-9)
+
+    def test_queues_empty_late_in_green(self, result):
+        late_green = result.phase_s > 45.0
+        assert result.observed[late_green].max() < 0.5
+        assert result.platoon_aware[late_green].max() < 0.5
+
+    def test_report_renders(self, result):
+        text = ext_platoon.report(result)
+        assert "signal 2" in text and "RMSE" in text

@@ -1,0 +1,135 @@
+"""Failure injection: oversaturation, blockage and unreachable plans."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import WindowSet
+from repro.core.dp import DpSolver, TimeWindowConstraint
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.errors import ConfigurationError, InfeasibleProblemError, SimulationError
+from repro.route.road import RoadSegment, SignalSite, SpeedLimitZone
+from repro.signal.light import TrafficLight
+from repro.signal.queue import QueueLengthModel
+from repro.signal.vm import VehicleMovementModel
+from repro.sim.simulator import CorridorSimulator
+from repro.units import vehicles_per_hour_to_per_second
+
+
+def oversaturated_road():
+    """A signal whose green cannot absorb heavy arrivals."""
+    return RoadSegment(
+        name="oversaturated",
+        length_m=1000.0,
+        zones=[SpeedLimitZone(0.0, 1000.0, v_max_ms=15.0, v_min_ms=1.0)],
+        signals=[
+            SignalSite(
+                position_m=500.0,
+                light=TrafficLight(red_s=55.0, green_s=5.0),
+                queue_spacing_m=8.0,
+            )
+        ],
+    )
+
+
+class TestOversaturation:
+    def test_queue_model_reports_no_window(self):
+        road = oversaturated_road()
+        site = road.signals[0]
+        vm = VehicleMovementModel(
+            light=site.light, v_min_ms=1.0, a_max_ms2=0.5, spacing_m=8.0
+        )
+        model = QueueLengthModel(vm)
+        heavy = vehicles_per_hour_to_per_second(1500.0)
+        assert model.clear_time(heavy) is None
+        assert model.empty_windows(0.0, 300.0, heavy) == []
+
+    def test_planner_raises_cleanly_in_hard_mode(self):
+        road = oversaturated_road()
+        heavy = vehicles_per_hour_to_per_second(1500.0)
+        planner = QueueAwareDpPlanner(
+            road,
+            arrival_rates=heavy,
+            config=PlannerConfig(v_step_ms=1.0, s_step_m=25.0, horizon_s=300.0),
+        )
+        with pytest.raises(InfeasibleProblemError):
+            planner.plan(0.0)
+
+    def test_penalty_mode_still_produces_a_plan(self):
+        road = oversaturated_road()
+        heavy = vehicles_per_hour_to_per_second(1500.0)
+        planner = QueueAwareDpPlanner(
+            road,
+            arrival_rates=heavy,
+            config=PlannerConfig(
+                v_step_ms=1.0,
+                s_step_m=25.0,
+                horizon_s=300.0,
+                constraint_mode="penalty",
+            ),
+        )
+        solution = planner.plan(0.0, max_trip_time_s=200.0)
+        assert not solution.all_windows_hit
+        assert solution.energy_j > 1e8  # paid the penalty but delivered
+
+
+class TestSimulatorStress:
+    def test_entry_backlog_under_saturation_arrivals(self):
+        road = oversaturated_road()
+        arrivals = np.arange(0.0, 120.0, 1.0)  # 3600 vph: far beyond capacity
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=1)
+        result = sim.run(240.0)
+        # Not everyone gets in, nobody collides, accounting stays exact.
+        assert result.vehicles_entered < len(arrivals)
+        assert result.vehicles_entered == result.vehicles_exited + len(sim._vehicles)
+
+    def test_growing_queue_under_oversaturation(self):
+        road = oversaturated_road()
+        arrivals = np.arange(0.0, 600.0, 4.0)
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=2)
+        result = sim.run(600.0)
+        times, counts = result.queue_counts[500.0]
+        first_half = counts[times < 300.0].mean()
+        second_half = counts[times >= 300.0].mean()
+        assert second_half > first_half
+
+    def test_ev_times_out_when_track_is_jammed(self):
+        road = oversaturated_road()
+        arrivals = np.arange(0.0, 300.0, 2.0)
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=3)
+        sim.schedule_ev(depart_s=150.0, target_speed_at=lambda s: 15.0)
+        with pytest.raises(SimulationError):
+            sim.run_until_ev_done(hard_limit_s=300.0)
+
+
+class TestUnreachableWindows:
+    def test_empty_window_set_is_infeasible(self, plain_road):
+        solver = DpSolver(plain_road, v_step_ms=1.0, s_step_m=50.0, horizon_s=300.0)
+        constraint = TimeWindowConstraint(position_m=400.0, windows=WindowSet([]))
+        with pytest.raises(InfeasibleProblemError):
+            solver.solve(constraints=[constraint])
+
+    def test_conflicting_windows_between_signals(self, plain_road):
+        from repro.signal.queue import QueueWindow
+
+        solver = DpSolver(plain_road, v_step_ms=1.0, s_step_m=50.0, horizon_s=300.0)
+        # Window at 600 m opens long after the window at 200 m closes,
+        # farther apart than any admissible dawdling can bridge.
+        c1 = TimeWindowConstraint(
+            position_m=200.0, windows=WindowSet([QueueWindow(20.0, 25.0)])
+        )
+        c2 = TimeWindowConstraint(
+            position_m=600.0, windows=WindowSet([QueueWindow(280.0, 285.0)])
+        )
+        with pytest.raises(InfeasibleProblemError):
+            solver.solve(constraints=[c1, c2], max_trip_time_s=290.0)
+
+    def test_error_message_names_the_blocking_position(self, plain_road):
+        from repro.signal.queue import QueueWindow
+
+        solver = DpSolver(plain_road, v_step_ms=1.0, s_step_m=50.0, horizon_s=300.0)
+        constraint = TimeWindowConstraint(
+            position_m=400.0, windows=WindowSet([QueueWindow(1.0, 2.0)])
+        )
+        with pytest.raises(InfeasibleProblemError) as exc:
+            solver.solve(constraints=[constraint])
+        assert "m" in str(exc.value)

@@ -1,0 +1,119 @@
+"""Analytic GLOSA advisor: leg kinematics and advisory behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import check_profile
+from repro.core.glosa import GlosaAdvisor, _leg_kinematics
+from repro.errors import ConfigurationError
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+class TestLegKinematics:
+    def test_pure_cruise(self):
+        t, d_up, d_down, peak = _leg_kinematics(10.0, 10.0, 10.0, 500.0, 1.2, 1.2)
+        assert t == pytest.approx(50.0)
+        assert d_up == pytest.approx(0.0)
+        assert peak == 10.0
+
+    def test_trapezoid_from_rest_to_rest(self):
+        # 0 -> 10 -> 0 over 500 m at 1.25 m/s^2: ramps 40 m each, 8 s each.
+        t, d_up, d_down, peak = _leg_kinematics(0.0, 0.0, 10.0, 500.0, 1.25, 1.25)
+        assert d_up == pytest.approx(40.0)
+        assert d_down == pytest.approx(40.0)
+        assert t == pytest.approx(8.0 + 8.0 + 420.0 / 10.0)
+
+    def test_triangular_when_leg_too_short(self):
+        t, d_up, d_down, peak = _leg_kinematics(0.0, 0.0, 30.0, 100.0, 1.0, 1.0)
+        assert peak < 30.0
+        assert d_up + d_down == pytest.approx(100.0, abs=0.5)
+
+    def test_entry_slowdown_supported(self):
+        # Entering faster than the chosen cruise: decelerate at a_down.
+        t, d_up, _, peak = _leg_kinematics(15.0, 10.0, 10.0, 400.0, 1.2, 1.5)
+        assert peak == 10.0
+        assert d_up == pytest.approx((225.0 - 100.0) / (2 * 1.5))
+
+    def test_time_monotone_in_cruise_speed(self):
+        times = [
+            _leg_kinematics(0.0, v, v, 800.0, 1.2, 1.2)[0] for v in (8.0, 12.0, 16.0)
+        ]
+        assert times[0] > times[1] > times[2]
+
+
+class TestAdvisor:
+    @pytest.fixture(scope="class")
+    def green(self, us25):
+        return GlosaAdvisor(us25)
+
+    @pytest.fixture(scope="class")
+    def queue_aware(self, us25):
+        return GlosaAdvisor(us25, arrival_rates=RATE)
+
+    def test_profile_is_constraint_feasible(self, green, us25):
+        plan = green.plan(0.0)
+        assert check_profile(plan.profile, us25).ok
+
+    def test_green_arrivals_are_green(self, green, us25):
+        plan = green.plan(0.0)
+        for pos, arrival in plan.signal_arrivals.items():
+            site = next(s for s in us25.signals if s.position_m == pos)
+            assert site.light.is_green(arrival)
+
+    def test_queue_aware_arrivals_after_t_star(self, queue_aware, us25):
+        plan = queue_aware.plan(0.0)
+        for pos, arrival in plan.signal_arrivals.items():
+            model = queue_aware._queue_models[pos]
+            windows = model.empty_windows(0.0, 900.0, RATE)
+            assert any(w.contains(arrival) for w in windows), (pos, arrival)
+
+    def test_queue_aware_never_earlier_than_green(self, green, queue_aware):
+        g = green.plan(0.0)
+        q = queue_aware.plan(0.0)
+        for pos in g.signal_arrivals:
+            assert q.signal_arrivals[pos] >= g.signal_arrivals[pos] - 1e-6
+
+    def test_stop_free_on_reachable_windows(self, queue_aware):
+        plan = queue_aware.plan(0.0)
+        assert plan.stop_free
+
+    def test_departure_changes_advice(self, green):
+        a = green.plan(0.0)
+        b = green.plan(25.0)
+        assert a.signal_arrivals != b.signal_arrivals
+
+    def test_dp_beats_glosa_at_equal_budget(self, queue_aware, us25):
+        from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+
+        plan = queue_aware.plan(0.0)
+        planner = QueueAwareDpPlanner(
+            us25,
+            arrival_rates=RATE,
+            config=PlannerConfig(v_step_ms=1.0, s_step_m=25.0),
+        )
+        solution = planner.plan(
+            0.0, max_trip_time_s=plan.profile.total_time_s + 1.0
+        )
+        assert solution.energy_mah <= plan.profile.energy().net_mah * 1.01
+
+    def test_unreachable_window_falls_back_to_stop(self, us25):
+        # All-red-but-a-sliver signals make windows unreachable from some
+        # departures; the advisor must stop-and-wait, not crash.
+        from repro.route.us25 import us25_greenville_segment
+
+        road = us25_greenville_segment(red_s=55.0, green_s=5.0)
+        advisor = GlosaAdvisor(road)
+        found_wait = False
+        for depart in range(0, 60, 10):
+            plan = advisor.plan(float(depart))
+            assert plan.profile.total_distance_m == pytest.approx(4200.0)
+            found_wait = found_wait or not plan.stop_free
+        assert found_wait
+
+    def test_validation(self, us25):
+        with pytest.raises(ConfigurationError):
+            GlosaAdvisor(us25, cruise_accel_ms2=0.0)
+        with pytest.raises(ConfigurationError):
+            GlosaAdvisor(us25, window_margin_s=-1.0)

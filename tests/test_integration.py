@@ -1,0 +1,83 @@
+"""End-to-end integration: predict -> window -> plan -> simulate -> meter."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import check_profile
+from repro.core.planner import BaselineDpPlanner, PlannerConfig, QueueAwareDpPlanner
+from repro.sim.scenario import Us25Scenario
+from repro.traffic import (
+    SAEPredictor,
+    VolumeGenerator,
+    train_test_split_by_hour,
+)
+from repro.units import vehicles_per_hour_to_per_second
+
+
+@pytest.fixture(scope="module")
+def pipeline(us25, coarse_config):
+    """The full paper pipeline wired together once."""
+    series = VolumeGenerator(seed=7).generate(35)
+    train, test = train_test_split_by_hour(series, test_hours=72, window=12)
+    sae = SAEPredictor(
+        hidden_sizes=(16, 8), pretrain_epochs=8, finetune_epochs=60, seed=0
+    ).fit(train.features, train.targets)
+    forecast_vph = float(np.mean(test.denormalize(sae.predict(test.features[:3]))))
+    rate = vehicles_per_hour_to_per_second(max(forecast_vph, 30.0))
+    planner = QueueAwareDpPlanner(us25, arrival_rates=rate, config=coarse_config)
+    return planner, rate, forecast_vph
+
+
+class TestFullPipeline:
+    def test_forecast_is_sane(self, pipeline):
+        _, _, forecast_vph = pipeline
+        assert 10.0 < forecast_vph < 1500.0
+
+    def test_plan_from_forecast_is_feasible(self, pipeline, us25):
+        planner, _, _ = pipeline
+        solution = planner.plan(start_time_s=0.0, max_trip_time_s=330.0)
+        assert check_profile(solution.profile, us25).ok
+        assert solution.all_windows_hit
+
+    def test_plan_survives_simulation(self, pipeline, us25):
+        planner, _, forecast_vph = pipeline
+        solution = planner.plan(start_time_s=100.0, max_trip_time_s=330.0)
+        scenario = Us25Scenario(
+            road=us25, arrival_rate_vph=forecast_vph, warmup_s=100.0, seed=3
+        )
+        result = scenario.drive(solution.profile, depart_s=100.0)
+        trace = result.ev_trace
+        assert trace.positions_m[-1] >= us25.length_m - 1.0
+        # Derived trip time stays within a modest envelope of the plan.
+        assert trace.duration_s <= solution.trip_time_s + 60.0
+
+    def test_derived_energy_close_to_planned(self, pipeline, us25):
+        planner, _, forecast_vph = pipeline
+        solution = planner.plan(start_time_s=100.0, max_trip_time_s=330.0)
+        scenario = Us25Scenario(
+            road=us25, arrival_rate_vph=forecast_vph, warmup_s=100.0, seed=3
+        )
+        result = scenario.drive(solution.profile, depart_s=100.0)
+        derived = result.ev_trace.energy().net_mah
+        assert derived == pytest.approx(solution.energy_mah, rel=0.25)
+
+
+class TestPlannerComparison:
+    def test_queue_aware_windows_are_stricter(self, us25, coarse_config):
+        rate = vehicles_per_hour_to_per_second(400.0)
+        baseline = BaselineDpPlanner(us25, config=coarse_config)
+        proposed = QueueAwareDpPlanner(us25, arrival_rates=rate, config=coarse_config)
+        base_fast = baseline.min_trip_time(0.0)
+        prop_fast = proposed.min_trip_time(0.0)
+        # The queue-free windows are subsets of the green windows, so the
+        # fastest queue-aware trip can never beat the fastest green trip.
+        assert prop_fast >= base_fast - 1e-6
+
+    def test_both_planners_feasible_across_cycle(self, us25, coarse_config):
+        rate = vehicles_per_hour_to_per_second(200.0)
+        baseline = BaselineDpPlanner(us25, config=coarse_config)
+        proposed = QueueAwareDpPlanner(us25, arrival_rates=rate, config=coarse_config)
+        for depart in (0.0, 15.0, 30.0, 45.0):
+            for planner in (baseline, proposed):
+                solution = planner.plan(start_time_s=depart, max_trip_time_s=400.0)
+                assert solution.all_windows_hit

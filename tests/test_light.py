@@ -1,0 +1,81 @@
+"""Fixed-time traffic-light phase arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.light import TrafficLight
+
+
+@pytest.fixture
+def light():
+    return TrafficLight(red_s=30.0, green_s=30.0)
+
+
+class TestPhases:
+    def test_cycle_length(self, light):
+        assert light.cycle_s == 60.0
+
+    def test_red_then_green(self, light):
+        assert light.is_red(0.0)
+        assert light.is_red(29.9)
+        assert light.is_green(30.0)
+        assert light.is_green(59.9)
+        assert light.is_red(60.0)
+
+    def test_offset_shifts_cycle(self):
+        light = TrafficLight(red_s=30.0, green_s=30.0, offset_s=15.0)
+        assert light.is_red(15.0)
+        assert light.is_green(45.0)
+        assert light.is_green(10.0)  # 10 s belongs to the previous cycle's green
+
+    def test_time_in_cycle(self, light):
+        assert light.time_in_cycle(65.0) == pytest.approx(5.0)
+
+    def test_negative_time_wraps(self):
+        light = TrafficLight(red_s=10.0, green_s=10.0)
+        assert light.time_in_cycle(-5.0) == pytest.approx(15.0)
+
+    def test_cycle_index_and_start(self, light):
+        assert light.cycle_index(125.0) == 2
+        assert light.cycle_start(125.0) == pytest.approx(120.0)
+
+
+class TestTransitions:
+    def test_next_green_start_during_red(self, light):
+        assert light.next_green_start(10.0) == pytest.approx(30.0)
+
+    def test_next_green_start_during_green(self, light):
+        assert light.next_green_start(45.0) == pytest.approx(45.0)
+
+    def test_next_red_start(self, light):
+        assert light.next_red_start(45.0) == pytest.approx(60.0)
+        assert light.next_red_start(10.0) == pytest.approx(10.0)
+
+
+class TestGreenWindows:
+    def test_windows_cover_horizon(self, light):
+        windows = light.green_windows(180.0, start_s=0.0)
+        assert windows == [(30.0, 60.0), (90.0, 120.0), (150.0, 180.0)]
+
+    def test_window_clipped_at_start(self, light):
+        windows = light.green_windows(20.0, start_s=45.0)
+        assert windows[0] == (45.0, 60.0)
+
+    def test_rejects_bad_horizon(self, light):
+        with pytest.raises(ValueError):
+            light.green_windows(0.0)
+
+
+class TestValidation:
+    def test_rejects_negative_red(self):
+        with pytest.raises(ConfigurationError):
+            TrafficLight(red_s=-1.0, green_s=10.0)
+
+    def test_rejects_zero_green(self):
+        with pytest.raises(ConfigurationError):
+            TrafficLight(red_s=10.0, green_s=0.0)
+
+    def test_all_green_light_allowed(self):
+        light = TrafficLight(red_s=0.0, green_s=60.0)
+        assert light.is_green(0.0)
+        assert light.is_green(59.0)

@@ -1,0 +1,73 @@
+"""Multiple controlled EVs sharing one simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.route.road import RoadSegment, SpeedLimitZone
+from repro.sim.simulator import CorridorSimulator
+
+
+@pytest.fixture
+def open_road():
+    return RoadSegment(
+        name="open",
+        length_m=2000.0,
+        zones=[SpeedLimitZone(0.0, 2000.0, v_max_ms=15.0)],
+    )
+
+
+class TestMultiEv:
+    def test_two_evs_complete_with_separate_traces(self, open_road):
+        sim = CorridorSimulator(open_road, arrivals_s=[], seed=1)
+        sim.schedule_ev(depart_s=0.0, target_speed_at=lambda s: 12.0, vehicle_id="ev-a")
+        sim.schedule_ev(depart_s=30.0, target_speed_at=lambda s: 8.0, vehicle_id="ev-b")
+        result = sim.run_until_ev_done(hard_limit_s=600.0)
+        assert set(result.ev_traces) == {"ev-a", "ev-b"}
+        fast = result.ev_traces["ev-a"]
+        slow = result.ev_traces["ev-b"]
+        assert fast.duration_s < slow.duration_s
+        assert fast.positions_m[-1] >= 1999.0
+        assert slow.positions_m[-1] >= 1999.0
+
+    def test_departure_order_preserved(self, open_road):
+        sim = CorridorSimulator(open_road, arrivals_s=[], seed=2)
+        sim.schedule_ev(depart_s=10.0, target_speed_at=lambda s: 10.0, vehicle_id="late")
+        sim.schedule_ev(depart_s=0.0, target_speed_at=lambda s: 10.0, vehicle_id="early")
+        result = sim.run_until_ev_done(hard_limit_s=600.0)
+        t_early = result.ev_traces["early"].times_s[0]
+        t_late = result.ev_traces["late"].times_s[0]
+        assert t_early < t_late
+
+    def test_follower_ev_respects_leader_ev(self, open_road):
+        sim = CorridorSimulator(open_road, arrivals_s=[], seed=3)
+        sim.schedule_ev(depart_s=0.0, target_speed_at=lambda s: 5.0, vehicle_id="slow")
+        sim.schedule_ev(depart_s=5.0, target_speed_at=lambda s: 15.0, vehicle_id="eager")
+        result = sim.run_until_ev_done(hard_limit_s=900.0)
+        eager = result.ev_traces["eager"]
+        mid = eager.speeds_ms[(eager.positions_m > 500) & (eager.positions_m < 1500)]
+        assert np.mean(mid) < 8.0  # boxed in behind the slow leader
+
+    def test_duplicate_id_rejected(self, open_road):
+        sim = CorridorSimulator(open_road, arrivals_s=[], seed=4)
+        sim.schedule_ev(depart_s=0.0, target_speed_at=lambda s: 10.0, vehicle_id="ev")
+        with pytest.raises(ConfigurationError):
+            sim.schedule_ev(depart_s=5.0, target_speed_at=lambda s: 10.0, vehicle_id="ev")
+
+    def test_primary_fields_follow_ev_id(self, open_road):
+        sim = CorridorSimulator(open_road, arrivals_s=[], seed=5)
+        sim.schedule_ev(depart_s=0.0, target_speed_at=lambda s: 10.0, vehicle_id="other")
+        sim.schedule_ev(depart_s=10.0, target_speed_at=lambda s: 10.0, vehicle_id="ev")
+        result = sim.run_until_ev_done(hard_limit_s=600.0)
+        np.testing.assert_array_equal(
+            result.ev_trace.times_s, result.ev_traces["ev"].times_s
+        )
+
+    def test_per_ev_stops_tracked(self, us25):
+        sim = CorridorSimulator(us25, arrivals_s=[], seed=6)
+        sim.schedule_ev(depart_s=0.0, target_speed_at=lambda s: 14.0, vehicle_id="a")
+        sim.schedule_ev(depart_s=20.0, target_speed_at=lambda s: 14.0, vehicle_id="b")
+        result = sim.run_until_ev_done(hard_limit_s=1200.0)
+        # Both serve the stop sign (one stop each, possibly plus signals).
+        assert result.ev_stops_by_id["a"] >= 1
+        assert result.ev_stops_by_id["b"] >= 1

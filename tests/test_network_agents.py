@@ -1,0 +1,113 @@
+"""SimNetwork lookups, vehicle agents and event records."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.route.road import RoadSegment, SignalSite, SpeedLimitZone, StopSign
+from repro.signal.light import TrafficLight
+from repro.sim.events import SimEvent
+from repro.sim.network import SimNetwork
+from repro.sim.vehicle_agent import VEHICLE_LENGTH_M, VehicleAgent
+
+
+@pytest.fixture
+def network():
+    road = RoadSegment(
+        name="net road",
+        length_m=2000.0,
+        zones=[
+            SpeedLimitZone(0.0, 1000.0, v_max_ms=15.0),
+            SpeedLimitZone(1000.0, 2000.0, v_max_ms=20.0),
+        ],
+        stop_signs=[StopSign(300.0), StopSign(1200.0)],
+        signals=[
+            SignalSite(position_m=800.0, light=TrafficLight(red_s=10, green_s=10)),
+            SignalSite(position_m=1600.0, light=TrafficLight(red_s=10, green_s=10)),
+        ],
+    )
+    return SimNetwork(road)
+
+
+class TestSimNetwork:
+    def test_speed_limit_clamped(self, network):
+        assert network.speed_limit_at(-5.0) == 15.0
+        assert network.speed_limit_at(2500.0) == 20.0
+        assert network.speed_limit_at(1500.0) == 20.0
+
+    def test_next_signal_ahead(self, network):
+        site = network.next_signal_ahead(0.0, set())
+        assert site.position_m == 800.0
+        site = network.next_signal_ahead(900.0, set())
+        assert site.position_m == 1600.0
+
+    def test_next_signal_skips_crossed(self, network):
+        site = network.next_signal_ahead(0.0, {800.0})
+        assert site.position_m == 1600.0
+        assert network.next_signal_ahead(0.0, {800.0, 1600.0}) is None
+
+    def test_signal_strictly_ahead(self, network):
+        # Standing exactly on the stop line: it is no longer "ahead".
+        site = network.next_signal_ahead(800.0, set())
+        assert site.position_m == 1600.0
+
+    def test_next_stop_sign(self, network):
+        assert network.next_stop_sign_ahead(0.0, set()) == 300.0
+        assert network.next_stop_sign_ahead(400.0, set()) == 1200.0
+        assert network.next_stop_sign_ahead(0.0, {300.0}) == 1200.0
+        assert network.next_stop_sign_ahead(1300.0, set()) is None
+
+    def test_signal_site_lookup(self, network):
+        assert network.signal_site(800.0).position_m == 800.0
+        with pytest.raises(KeyError):
+            network.signal_site(999.0)
+
+    def test_length(self, network):
+        assert network.length_m == 2000.0
+
+
+class TestVehicleAgent:
+    def test_rear_position(self):
+        agent = VehicleAgent(vehicle_id="v", position_m=100.0, speed_ms=10.0)
+        assert agent.rear_m == pytest.approx(100.0 - VEHICLE_LENGTH_M)
+
+    def test_commanded_speed_default(self):
+        agent = VehicleAgent(
+            vehicle_id="v", position_m=0.0, speed_ms=0.0, desired_speed=13.0
+        )
+        assert agent.commanded_speed() == 13.0
+
+    def test_commanded_speed_with_controller(self):
+        agent = VehicleAgent(
+            vehicle_id="v",
+            position_m=50.0,
+            speed_ms=0.0,
+            target_speed_at=lambda s: s / 10.0,
+        )
+        assert agent.commanded_speed() == pytest.approx(5.0)
+
+    def test_controller_clamped_non_negative(self):
+        agent = VehicleAgent(
+            vehicle_id="v", position_m=0.0, speed_ms=0.0, target_speed_at=lambda s: -3.0
+        )
+        assert agent.commanded_speed() == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(speed_ms=-1.0),
+            dict(length_m=0.0),
+            dict(desired_speed=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(vehicle_id="v", position_m=0.0, speed_ms=0.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            VehicleAgent(**base)
+
+
+class TestSimEvent:
+    def test_str_format(self):
+        event = SimEvent(time_s=12.5, vehicle_id="veh3", kind="enter", position_m=0.0)
+        text = str(event)
+        assert "veh3" in text and "enter" in text and "12.5" in text

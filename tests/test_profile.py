@@ -1,0 +1,149 @@
+"""VelocityProfile: timing (Eq. 10), conversions and kinematics."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import TimedTrace, VelocityProfile
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def ramp_profile():
+    """0 -> 10 m/s over 100 m, cruise 100 m, back to 0 over 100 m."""
+    return VelocityProfile(
+        positions_m=[0.0, 100.0, 200.0, 300.0],
+        speeds_ms=[0.0, 10.0, 10.0, 0.0],
+    )
+
+
+class TestTiming:
+    def test_eq10_average_speed_rule(self, ramp_profile):
+        arrivals = ramp_profile.arrival_times_s
+        assert arrivals[0] == 0.0
+        assert arrivals[1] == pytest.approx(100.0 / 5.0)
+        assert arrivals[2] == pytest.approx(20.0 + 10.0)
+        assert arrivals[3] == pytest.approx(30.0 + 20.0)
+
+    def test_total_time_and_distance(self, ramp_profile):
+        assert ramp_profile.total_time_s == pytest.approx(50.0)
+        assert ramp_profile.total_distance_m == pytest.approx(300.0)
+
+    def test_dwell_shifts_downstream_arrivals(self):
+        profile = VelocityProfile(
+            positions_m=[0.0, 100.0, 200.0],
+            speeds_ms=[0.0, 10.0, 10.0],
+            dwell_s=[0.0, 3.0, 0.0],
+        )
+        assert profile.arrival_times_s[1] == pytest.approx(20.0)
+        assert profile.arrival_times_s[2] == pytest.approx(20.0 + 3.0 + 10.0)
+
+    def test_start_time_offset(self):
+        profile = VelocityProfile([0.0, 50.0], [0.0, 10.0], start_time_s=100.0)
+        assert profile.arrival_times_s[0] == 100.0
+        assert profile.arrival_times_s[1] == pytest.approx(110.0)
+
+    def test_arrival_time_interpolation(self, ramp_profile):
+        # Mid-segment arrival uses the constant-acceleration relation.
+        t_mid = ramp_profile.arrival_time_at(150.0)
+        assert ramp_profile.arrival_times_s[1] < t_mid < ramp_profile.arrival_times_s[2]
+        assert t_mid == pytest.approx(20.0 + 5.0)
+
+    def test_arrival_at_grid_point_exact(self, ramp_profile):
+        assert ramp_profile.arrival_time_at(200.0) == pytest.approx(30.0)
+
+    def test_arrival_out_of_range(self, ramp_profile):
+        with pytest.raises(ValueError):
+            ramp_profile.arrival_time_at(400.0)
+
+
+class TestKinematics:
+    def test_speed_at_constant_accel_relation(self, ramp_profile):
+        # v^2 = 2 a s with a = 0.5 m/s^2 on the first segment.
+        assert ramp_profile.speed_at(50.0) == pytest.approx(np.sqrt(2 * 0.5 * 50.0))
+
+    def test_speed_at_grid_points(self, ramp_profile):
+        assert ramp_profile.speed_at(100.0) == pytest.approx(10.0)
+        assert ramp_profile.speed_at(300.0) == pytest.approx(0.0)
+
+    def test_accelerations(self, ramp_profile):
+        accels = ramp_profile.accelerations()
+        assert accels[0] == pytest.approx(0.5)
+        assert accels[1] == pytest.approx(0.0)
+        assert accels[2] == pytest.approx(-0.5)
+
+
+class TestValidation:
+    def test_rejects_two_zero_speed_neighbours(self):
+        with pytest.raises(ConfigurationError):
+            VelocityProfile([0.0, 10.0, 20.0], [0.0, 0.0, 5.0])
+
+    def test_rejects_decreasing_positions(self):
+        with pytest.raises(ConfigurationError):
+            VelocityProfile([0.0, 10.0, 5.0], [1.0, 1.0, 1.0])
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ConfigurationError):
+            VelocityProfile([0.0, 10.0], [1.0, -1.0])
+
+    def test_rejects_negative_dwell(self):
+        with pytest.raises(ConfigurationError):
+            VelocityProfile([0.0, 10.0], [0.0, 1.0], dwell_s=[-1.0, 0.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            VelocityProfile([0.0], [0.0])
+
+
+class TestTimeTrace:
+    def test_roundtrip_duration(self, ramp_profile):
+        trace = ramp_profile.to_time_trace(dt_s=0.25)
+        assert trace.duration_s == pytest.approx(ramp_profile.total_time_s, abs=0.3)
+        assert trace.distance_m == pytest.approx(300.0, abs=1.0)
+
+    def test_trace_includes_dwell_as_stop(self):
+        profile = VelocityProfile(
+            positions_m=[0.0, 100.0, 200.0],
+            speeds_ms=[0.0, 10.0, 10.0],
+            dwell_s=[0.0, 4.0, 0.0],
+        )
+        trace = profile.to_time_trace(dt_s=0.5)
+        # Speed dips to zero during the dwell around t=20..24.
+        window = (trace.times_s > 20.5) & (trace.times_s < 23.5)
+        assert np.all(trace.speeds_ms[window] < 10.0)
+
+    def test_rejects_bad_dt(self, ramp_profile):
+        with pytest.raises(ValueError):
+            ramp_profile.to_time_trace(dt_s=0.0)
+
+    def test_energy_smoke(self, ramp_profile):
+        trip = ramp_profile.energy()
+        assert trip.net_mah > 0
+        assert trip.distance_m == pytest.approx(300.0, abs=1.0)
+
+    def test_from_time_trace_roundtrip(self, ramp_profile):
+        trace = ramp_profile.to_time_trace(dt_s=0.25)
+        rebuilt = VelocityProfile.from_time_trace(trace)
+        assert rebuilt.total_distance_m == pytest.approx(300.0, abs=2.0)
+        assert rebuilt.total_time_s == pytest.approx(ramp_profile.total_time_s, abs=1.0)
+
+
+class TestTimedTrace:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimedTrace(
+                times_s=np.asarray([0.0, 1.0]),
+                speeds_ms=np.asarray([1.0]),
+                positions_m=np.asarray([0.0, 1.0]),
+            )
+        with pytest.raises(ConfigurationError):
+            TimedTrace(
+                times_s=np.asarray([0.0, 0.0]),
+                speeds_ms=np.asarray([1.0, 1.0]),
+                positions_m=np.asarray([0.0, 1.0]),
+            )
+        with pytest.raises(ConfigurationError):
+            TimedTrace(
+                times_s=np.asarray([0.0, 1.0]),
+                speeds_ms=np.asarray([1.0, -1.0]),
+                positions_m=np.asarray([0.0, 1.0]),
+            )

@@ -1,0 +1,142 @@
+"""Platoon propagation: departure profiles and Robertson dispersion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.light import TrafficLight
+from repro.signal.propagation import (
+    PeriodicRateProfile,
+    platoon_aware_windows,
+    robertson_dispersion,
+    thinned,
+    upstream_departure_profile,
+)
+from repro.signal.queue import QueueLengthModel
+from repro.signal.vm import VehicleMovementModel
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+@pytest.fixture
+def model():
+    light = TrafficLight(red_s=30.0, green_s=30.0)
+    vm = VehicleMovementModel(light=light, v_min_ms=11.11, spacing_m=8.5, turn_ratio=0.8)
+    return QueueLengthModel(vm)
+
+
+class TestPeriodicRateProfile:
+    def test_periodic_lookup(self):
+        profile = PeriodicRateProfile(np.asarray([1.0, 2.0, 3.0, 4.0]), dt_s=1.0)
+        assert profile(0.5) == 1.0
+        assert profile(3.5) == 4.0
+        assert profile(4.5) == 1.0  # wrapped
+        assert profile(-0.5) == 4.0  # negative wraps too
+
+    def test_offset_shifts_phase(self):
+        profile = PeriodicRateProfile(np.asarray([1.0, 2.0]), dt_s=1.0, offset_s=1.0)
+        assert profile(1.0) == 1.0
+        assert profile(2.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicRateProfile(np.asarray([]), dt_s=1.0)
+        with pytest.raises(ConfigurationError):
+            PeriodicRateProfile(np.asarray([1.0]), dt_s=0.0)
+        with pytest.raises(ConfigurationError):
+            PeriodicRateProfile(np.asarray([-1.0]), dt_s=1.0)
+
+
+class TestDepartureProfile:
+    def test_silent_during_red(self, model):
+        profile = upstream_departure_profile(model, RATE, dt_s=0.5)
+        light = model.light
+        for i, rate in enumerate(profile.rates_vps):
+            t = (i + 0.5) * profile.dt_s
+            if light.is_red(t):
+                assert rate == 0.0
+
+    def test_conserves_flow(self, model):
+        profile = upstream_departure_profile(model, RATE, dt_s=0.5)
+        assert profile.mean_vps() == pytest.approx(RATE, rel=1e-6)
+
+    def test_peaks_at_green_onset(self, model):
+        profile = upstream_departure_profile(model, RATE, dt_s=0.5)
+        peak_index = int(np.argmax(profile.rates_vps))
+        peak_time = (peak_index + 0.5) * profile.dt_s
+        assert 30.0 <= peak_time <= 40.0
+        assert profile.rates_vps.max() > 3.0 * RATE
+
+    def test_zero_arrivals_zero_departures(self, model):
+        profile = upstream_departure_profile(model, 0.0)
+        assert profile.rates_vps.max() == 0.0
+
+
+class TestRobertsonDispersion:
+    def test_conserves_mean_flow(self, model):
+        profile = upstream_departure_profile(model, RATE, dt_s=0.5)
+        dispersed = robertson_dispersion(profile, travel_time_s=90.0)
+        assert dispersed.mean_vps() == pytest.approx(profile.mean_vps(), rel=1e-6)
+
+    def test_smooths_the_platoon(self, model):
+        profile = upstream_departure_profile(model, RATE, dt_s=0.5)
+        dispersed = robertson_dispersion(profile, travel_time_s=90.0)
+        assert dispersed.rates_vps.max() < 0.2 * profile.rates_vps.max()
+        assert dispersed.rates_vps.min() > 0.0
+
+    def test_longer_links_disperse_more(self, model):
+        profile = upstream_departure_profile(model, RATE, dt_s=0.5)
+        near = robertson_dispersion(profile, travel_time_s=30.0)
+        far = robertson_dispersion(profile, travel_time_s=200.0)
+        assert far.rates_vps.max() < near.rates_vps.max()
+
+    def test_validation(self, model):
+        profile = upstream_departure_profile(model, RATE)
+        with pytest.raises(ConfigurationError):
+            robertson_dispersion(profile, travel_time_s=0.0)
+        with pytest.raises(ConfigurationError):
+            robertson_dispersion(profile, travel_time_s=10.0, beta=0.0)
+
+
+class TestThinning:
+    def test_scales_rates(self, model):
+        profile = upstream_departure_profile(model, RATE)
+        cut = thinned(profile, 0.5)
+        np.testing.assert_allclose(cut.rates_vps, profile.rates_vps * 0.5)
+
+    def test_validation(self, model):
+        profile = upstream_departure_profile(model, RATE)
+        with pytest.raises(ConfigurationError):
+            thinned(profile, 0.0)
+        with pytest.raises(ConfigurationError):
+            thinned(profile, 1.5)
+
+
+class TestPlatoonAwareWindows:
+    def test_windows_inside_green(self, model):
+        profile = upstream_departure_profile(model, RATE, dt_s=0.5)
+        arr = thinned(robertson_dispersion(profile, 90.0), 0.8)
+        windows = platoon_aware_windows(model, arr, start_s=0.0, horizon_s=180.0)
+        assert windows
+        for window in windows:
+            mid = 0.5 * (window.start_s + window.end_s)
+            assert model.light.is_green(mid)
+
+    def test_zero_arrivals_full_green(self, model):
+        windows = platoon_aware_windows(model, lambda t: 0.0, 0.0, 120.0)
+        total = sum(w.duration_s for w in windows)
+        assert total == pytest.approx(60.0, abs=2.0)  # two full greens
+
+    def test_heavy_platoons_shrink_windows(self, model):
+        light_arr = lambda t: vehicles_per_hour_to_per_second(100.0)
+        heavy_arr = lambda t: vehicles_per_hour_to_per_second(900.0)
+        light_total = sum(
+            w.duration_s
+            for w in platoon_aware_windows(model, light_arr, 0.0, 180.0)
+        )
+        heavy_total = sum(
+            w.duration_s
+            for w in platoon_aware_windows(model, heavy_arr, 0.0, 180.0)
+        )
+        assert heavy_total < light_total

@@ -1,0 +1,86 @@
+"""Property-based tests of the DP solver on randomized roads (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import check_profile
+from repro.core.cost import WindowSet
+from repro.core.dp import DpSolver, TimeWindowConstraint
+from repro.errors import InfeasibleProblemError
+from repro.route.road import RoadSegment, SignalSite, SpeedLimitZone, StopSign
+from repro.signal.light import TrafficLight
+from repro.signal.queue import QueueWindow
+
+
+@st.composite
+def random_roads(draw):
+    length = draw(st.floats(min_value=400.0, max_value=1200.0))
+    v_max = draw(st.floats(min_value=10.0, max_value=20.0))
+    v_min = draw(st.floats(min_value=4.0, max_value=v_max * 0.6))
+    has_sign = draw(st.booleans())
+    signs = []
+    if has_sign:
+        signs.append(StopSign(draw(st.floats(min_value=100.0, max_value=length - 100.0))))
+    return RoadSegment(
+        name="random",
+        length_m=length,
+        zones=[SpeedLimitZone(0.0, length, v_max_ms=v_max, v_min_ms=v_min)],
+        stop_signs=signs,
+    )
+
+
+class TestDpOnRandomRoads:
+    @given(road=random_roads())
+    @settings(max_examples=25, deadline=None)
+    def test_plan_always_satisfies_eq7(self, road):
+        solver = DpSolver(road, v_step_ms=1.0, s_step_m=50.0, horizon_s=400.0)
+        solution = solver.solve()
+        report = check_profile(solution.profile, road)
+        assert report.ok, str(report)
+
+    @given(road=random_roads(), cap=st.floats(min_value=60.0, max_value=350.0))
+    @settings(max_examples=25, deadline=None)
+    def test_trip_cap_respected_or_infeasible(self, road, cap):
+        solver = DpSolver(road, v_step_ms=1.0, s_step_m=50.0, horizon_s=400.0)
+        try:
+            solution = solver.solve(max_trip_time_s=cap)
+        except InfeasibleProblemError:
+            return
+        assert solution.trip_time_s <= cap + 1e-6
+
+    @given(road=random_roads())
+    @settings(max_examples=20, deadline=None)
+    def test_more_time_never_costs_more_energy(self, road):
+        solver = DpSolver(road, v_step_ms=1.0, s_step_m=50.0, horizon_s=400.0)
+        try:
+            tight = solver.solve(max_trip_time_s=140.0)
+        except InfeasibleProblemError:
+            return
+        loose = solver.solve(max_trip_time_s=400.0)
+        assert loose.energy_j <= tight.energy_j + 1e-6
+
+    @given(
+        road=random_roads(),
+        red=st.floats(min_value=10.0, max_value=40.0),
+        green=st.floats(min_value=15.0, max_value=40.0),
+        offset=st.floats(min_value=0.0, max_value=50.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_green_window_arrivals_are_green(self, road, red, green, offset):
+        light = TrafficLight(red_s=red, green_s=green, offset_s=offset)
+        position = road.length_m / 2.0
+        windows = WindowSet(
+            [QueueWindow(a, b) for a, b in light.green_windows(400.0, 0.0)]
+        )
+        constraint = TimeWindowConstraint(position_m=position, windows=windows)
+        solver = DpSolver(road, v_step_ms=1.0, s_step_m=50.0, horizon_s=400.0)
+        try:
+            solution = solver.solve(constraints=[constraint])
+        except InfeasibleProblemError:
+            return
+        arrival = solution.profile.arrival_time_at(
+            float(solver.positions[np.argmin(np.abs(solver.positions - position))])
+        )
+        assert light.is_green(arrival)

@@ -1,0 +1,106 @@
+"""Property-based tests of the EV energy model (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.params import VehicleParams
+
+MODEL = LongitudinalModel()
+
+speeds = st.floats(min_value=0.1, max_value=40.0, allow_nan=False)
+accels = st.floats(min_value=-1.5, max_value=2.5, allow_nan=False)
+grades = st.floats(min_value=-0.1, max_value=0.1, allow_nan=False)
+
+
+class TestForceProperties:
+    @given(v=speeds, a=accels, g=grades)
+    @settings(max_examples=200, deadline=None)
+    def test_force_decomposition_is_additive_in_acceleration(self, v, a, g):
+        base = MODEL.drive_force(v, 0.0, g)
+        with_accel = MODEL.drive_force(v, a, g)
+        assert with_accel - base == pytest.approx(MODEL.params.mass_kg * a, rel=1e-9)
+
+    @given(v=speeds, a=accels)
+    @settings(max_examples=200, deadline=None)
+    def test_uphill_always_costs_more_than_downhill(self, v, a):
+        up = MODEL.drive_force(v, a, 0.05)
+        down = MODEL.drive_force(v, a, -0.05)
+        assert up > down
+
+    @given(v=speeds)
+    @settings(max_examples=100, deadline=None)
+    def test_cruise_force_positive_on_flat(self, v):
+        assert MODEL.drive_force(v, 0.0) > 0.0
+
+
+class TestConsumptionProperties:
+    @given(v=speeds, a=accels, g=grades)
+    @settings(max_examples=200, deadline=None)
+    def test_electrical_never_beats_mechanical(self, v, a, g):
+        """Efficiency < 1 in both directions: draw exceeds mechanical need,
+        recuperation recovers less than the braking energy."""
+        mech = MODEL.mechanical_power(v, a, g)
+        elec = MODEL.electrical_power(v, a, g)
+        if mech >= 0:
+            assert elec >= mech
+        else:
+            assert 0.0 >= elec >= mech
+
+    @given(v=speeds, a1=accels, a2=accels)
+    @settings(max_examples=200, deadline=None)
+    def test_consumption_monotone_in_acceleration(self, v, a1, a2):
+        if a1 > a2:
+            a1, a2 = a2, a1
+        assert MODEL.consumption_rate_a(v, a1) <= MODEL.consumption_rate_a(v, a2) + 1e-12
+
+    @given(v1=speeds, v2=speeds)
+    @settings(max_examples=200, deadline=None)
+    def test_cruise_consumption_monotone_in_speed(self, v1, v2):
+        if v1 > v2:
+            v1, v2 = v2, v1
+        assert MODEL.consumption_rate_a(v1, 0.0) <= MODEL.consumption_rate_a(v2, 0.0) + 1e-12
+
+
+class TestSegmentProperties:
+    @given(
+        v0=st.floats(min_value=0.5, max_value=25.0),
+        v1=st.floats(min_value=0.5, max_value=25.0),
+        ds=st.floats(min_value=20.0, max_value=500.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_speed_cycle_never_profits(self, v0, v1, ds):
+        """Going v0 -> v1 -> v0 costs at least as much as the pure cruise
+        component would suggest — regen never mints energy."""
+        there = MODEL.segment_energy_j(v0, v1, ds)
+        back = MODEL.segment_energy_j(v1, v0, ds)
+        if not (np.isfinite(there) and np.isfinite(back)):
+            return
+        assert there + back > 0.0
+
+    @given(
+        v=st.floats(min_value=1.0, max_value=25.0),
+        ds=st.floats(min_value=10.0, max_value=500.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cruise_energy_scales_linearly_with_distance(self, v, ds):
+        one = MODEL.segment_energy_j(v, v, ds)
+        two = MODEL.segment_energy_j(v, v, 2.0 * ds)
+        assert two == pytest.approx(2.0 * one, rel=1e-9)
+
+
+class TestRegenBound:
+    @given(
+        v=st.floats(min_value=1.0, max_value=25.0),
+        ds=st.floats(min_value=50.0, max_value=300.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_regen_bounded_by_kinetic_energy(self, v, ds):
+        """Braking to rest can never return more than the kinetic energy."""
+        energy = MODEL.segment_energy_j(v, 0.01, ds)
+        if not np.isfinite(energy):
+            return
+        kinetic = 0.5 * MODEL.params.mass_kg * v * v
+        assert energy >= -kinetic

@@ -1,0 +1,55 @@
+"""Property-based tests of GLOSA leg kinematics (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.glosa import _leg_kinematics
+
+speeds = st.floats(min_value=0.0, max_value=25.0)
+cruises = st.floats(min_value=1.0, max_value=25.0)
+lengths = st.floats(min_value=50.0, max_value=2000.0)
+accels = st.floats(min_value=0.5, max_value=2.5)
+
+
+class TestLegKinematicsProperties:
+    @given(v0=speeds, v1=speeds, v_c=cruises, length=lengths, a=accels)
+    @settings(max_examples=300, deadline=None)
+    def test_time_positive_and_finite(self, v0, v1, v_c, length, a):
+        assume(v1 <= v_c + 1e-9)
+        t, d_up, d_down, peak = _leg_kinematics(v0, v1, v_c, length, a, a)
+        assert np.isfinite(t)
+        assert t > 0.0
+
+    @given(v0=speeds, v1=speeds, v_c=cruises, length=lengths, a=accels)
+    @settings(max_examples=300, deadline=None)
+    def test_ramps_fit_inside_leg(self, v0, v1, v_c, length, a):
+        assume(v1 <= v_c + 1e-9)
+        _, d_up, d_down, peak = _leg_kinematics(v0, v1, v_c, length, a, a)
+        assert d_up >= 0.0 and d_down >= 0.0
+        assert d_up + d_down <= length + 1e-6
+
+    @given(v0=speeds, v1=speeds, v_c=cruises, length=lengths, a=accels)
+    @settings(max_examples=300, deadline=None)
+    def test_peak_bounded_by_cruise(self, v0, v1, v_c, length, a):
+        assume(v1 <= v_c + 1e-9)
+        assume(v0 <= v_c + 1e-9)  # no entry slowdown in this property
+        _, _, _, peak = _leg_kinematics(v0, v1, v_c, length, a, a)
+        assert peak <= v_c + 1e-9
+
+    @given(v0=speeds, length=lengths, a=accels)
+    @settings(max_examples=200, deadline=None)
+    def test_time_lower_bounded_by_top_speed_run(self, v0, length, a):
+        """No leg can be faster than teleporting at its peak speed."""
+        v_c = 20.0
+        t, _, _, peak = _leg_kinematics(v0, v_c, v_c, length, a, a)
+        assert t >= length / max(peak, v0) - 1e-6
+
+    @given(v0=speeds, v1=speeds, length=lengths, a=accels)
+    @settings(max_examples=200, deadline=None)
+    def test_time_monotone_nonincreasing_in_cruise(self, v0, v1, length, a):
+        assume(v1 <= 8.0)
+        t_slow = _leg_kinematics(v0, v1, 8.0, length, a, a)[0]
+        t_fast = _leg_kinematics(v0, v1, 16.0, length, a, a)[0]
+        assert t_fast <= t_slow + 1e-6

@@ -1,0 +1,110 @@
+"""Property-based tests of velocity profiles and window sets (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import WindowSet
+from repro.core.profile import VelocityProfile
+from repro.signal.queue import QueueWindow
+
+
+@st.composite
+def profiles(draw):
+    """Random kinematically valid profiles: v=0 at ends, positive inside."""
+    n = draw(st.integers(min_value=3, max_value=12))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=20.0, max_value=200.0), min_size=n - 1, max_size=n - 1
+        )
+    )
+    positions = np.concatenate([[0.0], np.cumsum(gaps)])
+    inner = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=25.0), min_size=n - 2, max_size=n - 2
+        )
+    )
+    speeds = np.concatenate([[0.0], inner, [0.0]])
+    return VelocityProfile(positions_m=positions, speeds_ms=speeds)
+
+
+class TestProfileProperties:
+    @given(profile=profiles())
+    @settings(max_examples=200, deadline=None)
+    def test_arrival_times_strictly_increasing(self, profile):
+        arrivals = profile.arrival_times_s
+        assert np.all(np.diff(arrivals) > 0)
+
+    @given(profile=profiles(), frac=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=200, deadline=None)
+    def test_interpolated_arrival_between_grid_points(self, profile, frac):
+        pos = profile.positions_m[0] + frac * profile.total_distance_m
+        t = profile.arrival_time_at(float(pos))
+        assert profile.arrival_times_s[0] <= t <= profile.arrival_times_s[-1] + 1e-9
+
+    @given(profile=profiles())
+    @settings(max_examples=100, deadline=None)
+    def test_time_trace_consistency(self, profile):
+        """ds = v dt within tolerance on the sampled rendering.
+
+        Within a constant-acceleration segment the relation is exact;
+        samples straddling a knot (acceleration change) deviate by up to
+        the speed jump across the step, hence the loose per-step bound and
+        the tight cumulative one.
+        """
+        trace = profile.to_time_trace(dt_s=0.5)
+        ds = np.diff(trace.positions_m)
+        dt = np.diff(trace.times_s)
+        v_mid = 0.5 * (trace.speeds_ms[:-1] + trace.speeds_ms[1:])
+        np.testing.assert_allclose(ds, v_mid * dt, atol=4.0)
+        assert trace.distance_m == pytest.approx(profile.total_distance_m, abs=1.0)
+
+    @given(profile=profiles())
+    @settings(max_examples=100, deadline=None)
+    def test_trace_duration_matches_profile(self, profile):
+        trace = profile.to_time_trace(dt_s=0.25)
+        assert trace.duration_s == pytest.approx(profile.total_time_s, rel=0.02, abs=0.5)
+
+    @given(profile=profiles())
+    @settings(max_examples=100, deadline=None)
+    def test_speed_at_grid_points_exact(self, profile):
+        for pos, speed in zip(profile.positions_m, profile.speeds_ms):
+            assert profile.speed_at(float(pos)) == pytest.approx(speed, abs=1e-6)
+
+
+@st.composite
+def window_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    result = []
+    for _ in range(n):
+        start = draw(st.floats(min_value=0.0, max_value=500.0))
+        length = draw(st.floats(min_value=0.5, max_value=60.0))
+        result.append(QueueWindow(start, start + length))
+    return result
+
+
+class TestWindowSetProperties:
+    @given(windows=window_lists(), t=st.floats(min_value=-50.0, max_value=600.0))
+    @settings(max_examples=300, deadline=None)
+    def test_contains_matches_naive_check(self, windows, t):
+        ws = WindowSet(windows)
+        naive = any(w.start_s <= t < w.end_s for w in windows)
+        assert bool(ws.contains(np.asarray([t]))[0]) == naive
+
+    @given(windows=window_lists())
+    @settings(max_examples=200, deadline=None)
+    def test_merged_windows_disjoint_and_sorted(self, windows):
+        merged = WindowSet(windows).as_queue_windows()
+        for a, b in zip(merged, merged[1:]):
+            assert a.end_s < b.start_s
+
+    @given(windows=window_lists(), margin=st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=200, deadline=None)
+    def test_shrunk_is_subset(self, windows, margin):
+        ws = WindowSet(windows)
+        shrunk = ws.shrunk(margin)
+        probe = np.linspace(-10.0, 600.0, 400)
+        inside_shrunk = shrunk.contains(probe)
+        inside_full = ws.contains(probe)
+        assert not np.any(inside_shrunk & ~inside_full)

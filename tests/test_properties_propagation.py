@@ -1,0 +1,97 @@
+"""Property-based tests of platoon propagation (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal.light import TrafficLight
+from repro.signal.propagation import (
+    PeriodicRateProfile,
+    robertson_dispersion,
+    thinned,
+    upstream_departure_profile,
+)
+from repro.signal.queue import QueueLengthModel
+from repro.signal.vm import VehicleMovementModel
+
+rates = st.floats(min_value=0.001, max_value=0.2)
+reds = st.floats(min_value=10.0, max_value=50.0)
+greens = st.floats(min_value=10.0, max_value=50.0)
+travels = st.floats(min_value=10.0, max_value=300.0)
+
+
+def make_model(red, green):
+    light = TrafficLight(red_s=red, green_s=green)
+    vm = VehicleMovementModel(light=light, v_min_ms=11.0, spacing_m=8.5, turn_ratio=0.8)
+    return QueueLengthModel(vm)
+
+
+class TestConservation:
+    @given(rate=rates, red=reds, green=greens)
+    @settings(max_examples=100, deadline=None)
+    def test_departures_conserve_arrivals(self, rate, red, green):
+        model = make_model(red, green)
+        profile = upstream_departure_profile(model, rate, dt_s=0.5)
+        assert profile.mean_vps() == pytest.approx(rate, rel=1e-6)
+
+    @given(rate=rates, red=reds, green=greens, travel=travels)
+    @settings(max_examples=60, deadline=None)
+    def test_dispersion_conserves_flow(self, rate, red, green, travel):
+        model = make_model(red, green)
+        profile = upstream_departure_profile(model, rate, dt_s=0.5)
+        dispersed = robertson_dispersion(profile, travel)
+        assert dispersed.mean_vps() == pytest.approx(profile.mean_vps(), rel=1e-6)
+
+    @given(rate=rates, red=reds, green=greens, travel=travels)
+    @settings(max_examples=60, deadline=None)
+    def test_dispersion_never_negative(self, rate, red, green, travel):
+        model = make_model(red, green)
+        profile = upstream_departure_profile(model, rate, dt_s=0.5)
+        dispersed = robertson_dispersion(profile, travel)
+        assert np.all(dispersed.rates_vps >= -1e-12)
+
+    @given(rate=rates, red=reds, green=greens, travel=travels)
+    @settings(max_examples=60, deadline=None)
+    def test_dispersion_reduces_peak(self, rate, red, green, travel):
+        model = make_model(red, green)
+        profile = upstream_departure_profile(model, rate, dt_s=0.5)
+        dispersed = robertson_dispersion(profile, travel)
+        assert dispersed.rates_vps.max() <= profile.rates_vps.max() + 1e-9
+
+    @given(
+        rate=rates,
+        red=reds,
+        green=greens,
+        fraction=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_thinning_scales_mean(self, rate, red, green, fraction):
+        model = make_model(red, green)
+        profile = upstream_departure_profile(model, rate, dt_s=0.5)
+        cut = thinned(profile, fraction)
+        assert cut.mean_vps() == pytest.approx(profile.mean_vps() * fraction, rel=1e-9)
+
+
+class TestProfileLookup:
+    @given(
+        values=st.lists(st.floats(0.0, 5.0), min_size=2, max_size=40),
+        t=st.floats(min_value=-500.0, max_value=500.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_lookup_periodic(self, values, t):
+        from hypothesis import assume
+
+        profile = PeriodicRateProfile(np.asarray(values), dt_s=1.0)
+        # Times within float-epsilon of a sample boundary can round to
+        # different buckets after adding a cycle; step off the edges.
+        phase = t % profile.cycle_s
+        assume(abs(phase - round(phase)) > 1e-6)
+        assert profile(t) == profile(t + profile.cycle_s)
+
+    @given(values=st.lists(st.floats(0.0, 5.0), min_size=2, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_lookup_hits_samples(self, values):
+        profile = PeriodicRateProfile(np.asarray(values), dt_s=1.0)
+        for i, value in enumerate(values):
+            assert profile(i + 0.5) == value

@@ -1,0 +1,117 @@
+"""Property-based tests of the signal/queue models (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.signal.light import TrafficLight
+from repro.signal.queue import QueueLengthModel
+from repro.signal.vm import VehicleMovementModel
+
+rates = st.floats(min_value=0.0, max_value=0.25, allow_nan=False)  # up to 900 vph
+reds = st.floats(min_value=5.0, max_value=60.0)
+greens = st.floats(min_value=10.0, max_value=60.0)
+v_mins = st.floats(min_value=3.0, max_value=16.0)
+
+
+def make_model(red, green, v_min):
+    light = TrafficLight(red_s=red, green_s=green)
+    vm = VehicleMovementModel(
+        light=light, v_min_ms=v_min, a_max_ms2=2.5, spacing_m=8.5, turn_ratio=0.8
+    )
+    return QueueLengthModel(vm)
+
+
+class TestQueueInvariants:
+    @given(rate=rates, red=reds, green=greens, v_min=v_mins, t=st.floats(0.0, 120.0))
+    @settings(max_examples=300, deadline=None)
+    def test_queue_never_negative(self, rate, red, green, v_min, t):
+        model = make_model(red, green, v_min)
+        assume(t <= model.light.cycle_s)
+        assert model.queue_vehicles(t, rate) >= 0.0
+
+    @given(rate=rates, red=reds, green=greens, v_min=v_mins)
+    @settings(max_examples=300, deadline=None)
+    def test_clear_time_inside_green_or_none(self, rate, red, green, v_min):
+        model = make_model(red, green, v_min)
+        t_star = model.clear_time(rate)
+        if t_star is not None:
+            assert red <= t_star <= red + green + 1e-9
+
+    @given(rate=rates, red=reds, green=greens, v_min=v_mins)
+    @settings(max_examples=300, deadline=None)
+    def test_empty_window_subset_of_green(self, rate, red, green, v_min):
+        model = make_model(red, green, v_min)
+        window = model.empty_window(rate)
+        if window is not None:
+            start, end = window
+            assert red <= start < end <= red + green + 1e-9
+
+    @given(rate=rates, red=reds, green=greens, v_min=v_mins)
+    @settings(max_examples=200, deadline=None)
+    def test_queue_grows_through_red(self, rate, red, green, v_min):
+        assume(rate > 1e-4)
+        model = make_model(red, green, v_min)
+        early = model.queue_vehicles(red * 0.25, rate)
+        late = model.queue_vehicles(red * 0.99, rate)
+        assert late > early
+
+    @given(rate=rates, red=reds, green=greens, v_min=v_mins)
+    @settings(max_examples=100, deadline=None)
+    def test_simulation_consistent_with_closed_form(self, rate, red, green, v_min):
+        model = make_model(red, green, v_min)
+        cycle = model.light.cycle_s
+        trace = model.simulate(cycle, rate, dt_s=0.05)
+        for frac in (0.3, 0.6, 0.9):
+            t = cycle * frac
+            idx = int(round(t / 0.05))
+            assert trace.vehicles[idx] == pytest.approx(
+                model.queue_vehicles(t, rate), abs=0.15
+            )
+
+    @given(rate=rates, red=reds, green=greens, v_min=v_mins)
+    @settings(max_examples=200, deadline=None)
+    def test_vm_discharge_never_exceeds_instant(self, rate, red, green, v_min):
+        from repro.signal.vm import InstantDischargeModel
+
+        light = TrafficLight(red_s=red, green_s=green)
+        vm = VehicleMovementModel(light=light, v_min_ms=v_min, spacing_m=8.5, turn_ratio=0.8)
+        instant = InstantDischargeModel(light=light, v_min_ms=v_min, spacing_m=8.5, turn_ratio=0.8)
+        for t in np.linspace(0.0, light.cycle_s, 7):
+            assert vm.discharged_vehicles(float(t)) <= instant.discharged_vehicles(float(t)) + 1e-9
+
+
+class TestLightProperties:
+    @given(
+        red=reds,
+        green=greens,
+        offset=st.floats(min_value=-120.0, max_value=120.0),
+        t=st.floats(min_value=0.0, max_value=1e4),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_phase_partition(self, red, green, offset, t):
+        light = TrafficLight(red_s=red, green_s=green, offset_s=offset)
+        assert light.is_green(t) != light.is_red(t)
+
+    @given(red=reds, green=greens, t=st.floats(min_value=0.0, max_value=1e4))
+    @settings(max_examples=300, deadline=None)
+    def test_periodicity(self, red, green, t):
+        light = TrafficLight(red_s=red, green_s=green)
+        # Exact phase boundaries are ambiguous at float precision; step off.
+        for probe in (t, t + light.cycle_s):
+            phase = light.time_in_cycle(probe)
+            assume(min(abs(phase - red), phase, light.cycle_s - phase) > 1e-6)
+        assert light.is_green(t) == light.is_green(t + light.cycle_s)
+
+    @given(red=reds, green=greens, t=st.floats(min_value=0.0, max_value=1e3))
+    @settings(max_examples=200, deadline=None)
+    def test_next_green_is_green_and_minimal(self, red, green, t):
+        light = TrafficLight(red_s=red, green_s=green)
+        phase = light.time_in_cycle(t)
+        assume(min(abs(phase - red), phase, light.cycle_s - phase) > 1e-6)
+        start = light.next_green_start(t)
+        assert start >= t
+        assert light.is_green(start + 1e-6)
+        if start > t:
+            assert light.is_red(t)

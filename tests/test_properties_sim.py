@@ -1,0 +1,89 @@
+"""Property-based tests of the microsimulator (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.route.road import RoadSegment, SignalSite, SpeedLimitZone
+from repro.signal.light import TrafficLight
+from repro.sim.car_following import IdmModel, KraussModel
+from repro.sim.simulator import CorridorSimulator
+
+
+@st.composite
+def scenarios(draw):
+    red = draw(st.floats(min_value=10.0, max_value=40.0))
+    green = draw(st.floats(min_value=10.0, max_value=40.0))
+    headway = draw(st.floats(min_value=3.0, max_value=20.0))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    road = RoadSegment(
+        name="prop road",
+        length_m=1200.0,
+        zones=[SpeedLimitZone(0.0, 1200.0, v_max_ms=15.0, v_min_ms=8.0)],
+        signals=[
+            SignalSite(
+                position_m=600.0,
+                light=TrafficLight(red_s=red, green_s=green),
+                turn_ratio=0.8,
+            )
+        ],
+    )
+    arrivals = np.arange(0.0, 200.0, headway)
+    return road, arrivals, seed
+
+
+class TestSimulatorProperties:
+    @given(data=scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_no_collisions_ever(self, data):
+        road, arrivals, seed = data
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=seed)
+        for _ in range(500):
+            sim.step()
+            for leader, follower in zip(sim._vehicles, sim._vehicles[1:]):
+                assert follower.position_m <= leader.rear_m + 1e-6
+
+    @given(data=scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_positions_monotone_per_vehicle(self, data):
+        road, arrivals, seed = data
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=seed)
+        last_pos = {}
+        for _ in range(400):
+            sim.step()
+            for veh in sim._vehicles:
+                prev = last_pos.get(veh.vehicle_id, -1.0)
+                assert veh.position_m >= prev - 1e-9
+                last_pos[veh.vehicle_id] = veh.position_m
+
+    @given(data=scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_vehicle_accounting(self, data):
+        road, arrivals, seed = data
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=seed)
+        result = sim.run(500.0)
+        assert result.vehicles_exited + len(sim._vehicles) == result.vehicles_entered
+        assert result.vehicles_entered <= len(arrivals)
+
+    @given(data=scenarios())
+    @settings(max_examples=10, deadline=None)
+    def test_idm_backend_also_collision_free(self, data):
+        road, arrivals, seed = data
+        sim = CorridorSimulator(
+            road, arrivals_s=arrivals, seed=seed, car_following=IdmModel()
+        )
+        for _ in range(400):
+            sim.step()
+            for leader, follower in zip(sim._vehicles, sim._vehicles[1:]):
+                assert follower.position_m <= leader.rear_m + 1e-6
+
+    @given(data=scenarios())
+    @settings(max_examples=10, deadline=None)
+    def test_speeds_bounded(self, data):
+        road, arrivals, seed = data
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=seed)
+        for _ in range(400):
+            sim.step()
+            for veh in sim._vehicles:
+                assert 0.0 <= veh.speed_ms <= 15.0 + 1e-6

@@ -1,0 +1,179 @@
+"""Queue-length (QL) model — Eq. 6, t_star and the T_q windows."""
+
+import numpy as np
+import pytest
+
+from repro.signal.light import TrafficLight
+from repro.signal.queue import BaselineQueueModel, QueueLengthModel, QueueWindow
+from repro.signal.vm import VehicleMovementModel
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(153.0)
+
+
+@pytest.fixture
+def light():
+    return TrafficLight(red_s=30.0, green_s=30.0)
+
+
+@pytest.fixture
+def model(light):
+    vm = VehicleMovementModel(
+        light=light, v_min_ms=11.11, a_max_ms2=2.5, spacing_m=8.5, turn_ratio=0.7636
+    )
+    return QueueLengthModel(vm)
+
+
+class TestQueueEq6:
+    def test_linear_growth_during_red(self, model):
+        # Condition (i): L_q = V_in * t (in vehicles).
+        assert model.queue_vehicles(10.0, RATE) == pytest.approx(RATE * 10.0)
+        assert model.queue_vehicles(30.0, RATE) == pytest.approx(RATE * 30.0)
+
+    def test_queue_shrinks_during_discharge(self, model):
+        before = model.queue_vehicles(30.0, RATE)
+        during = model.queue_vehicles(32.0, RATE)
+        assert 0.0 <= during < before
+
+    def test_queue_zero_after_t_star(self, model):
+        t_star = model.clear_time(RATE)
+        assert t_star is not None
+        assert model.queue_vehicles(t_star + 0.5, RATE) == 0.0
+        assert model.queue_vehicles(59.0, RATE) == 0.0
+
+    def test_queue_length_in_metres(self, model):
+        vehicles = model.queue_vehicles(30.0, RATE)
+        assert model.queue_length_m(30.0, RATE) == pytest.approx(vehicles * 8.5)
+
+    def test_queue_never_negative(self, model):
+        for t in np.linspace(0.0, 60.0, 121):
+            assert model.queue_vehicles(float(t), RATE) >= 0.0
+
+    def test_zero_arrivals_clear_at_green(self, model):
+        assert model.clear_time(0.0) == pytest.approx(30.0)
+
+    def test_rejects_negative_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.queue_vehicles(-1.0, RATE)
+        with pytest.raises(ValueError):
+            model.queue_vehicles(1.0, -RATE)
+        with pytest.raises(ValueError):
+            model.clear_time(-1.0)
+
+
+class TestClearTime:
+    def test_t_star_after_green_onset(self, model):
+        t_star = model.clear_time(RATE)
+        assert 30.0 < t_star < 60.0
+
+    def test_t_star_grows_with_arrival_rate(self, model):
+        light_rate = vehicles_per_hour_to_per_second(100.0)
+        heavy_rate = vehicles_per_hour_to_per_second(600.0)
+        assert model.clear_time(heavy_rate) > model.clear_time(light_rate)
+
+    def test_oversaturation_returns_none(self, light):
+        # Tiny v_min and huge arrivals: green can't absorb the queue.
+        vm = VehicleMovementModel(
+            light=light, v_min_ms=0.5, a_max_ms2=0.5, spacing_m=8.5, turn_ratio=1.0
+        )
+        model = QueueLengthModel(vm)
+        assert model.clear_time(vehicles_per_hour_to_per_second(2000.0)) is None
+        assert model.empty_window(vehicles_per_hour_to_per_second(2000.0)) is None
+
+    def test_baseline_clears_earlier(self, light, model):
+        baseline = BaselineQueueModel(
+            light, v_min_ms=11.11, spacing_m=8.5, turn_ratio=0.7636
+        )
+        assert baseline.clear_time(RATE) < model.clear_time(RATE)
+
+    def test_t_star_solution_is_consistent(self, model):
+        """At t_star, cumulative arrivals equal cumulative discharge."""
+        t_star = model.clear_time(RATE)
+        arrived = RATE * t_star
+        discharged = model.discharge.discharged_vehicles(t_star)
+        assert arrived == pytest.approx(discharged, rel=1e-9)
+
+
+class TestWindows:
+    def test_empty_window_within_green(self, model):
+        window = model.empty_window(RATE)
+        assert window is not None
+        start, end = window
+        assert 30.0 <= start < end <= 60.0
+
+    def test_absolute_windows_repeat_per_cycle(self, model):
+        windows = model.empty_windows(0.0, 180.0, RATE)
+        assert len(windows) == 3
+        t_star = model.clear_time(RATE)
+        for i, win in enumerate(windows):
+            assert win.start_s == pytest.approx(i * 60.0 + t_star)
+            assert win.end_s == pytest.approx((i + 1) * 60.0)
+
+    def test_windows_respect_light_offset(self):
+        light = TrafficLight(red_s=30.0, green_s=30.0, offset_s=15.0)
+        vm = VehicleMovementModel(light=light, v_min_ms=11.11)
+        model = QueueLengthModel(vm)
+        windows = model.empty_windows(0.0, 120.0, RATE)
+        t_star = model.clear_time(RATE)
+        # The cycle containing t=0 started at -45 s (offset 15, cycle 60);
+        # its queue-free window [-45 + t_star, 15) is clipped at the query
+        # start, and the next cycle's window follows the offset.
+        assert windows[0].start_s == pytest.approx(0.0)
+        assert windows[0].end_s == pytest.approx(15.0)
+        assert windows[1].start_s == pytest.approx(15.0 + t_star)
+
+    def test_callable_rate_sampled_per_cycle(self, model):
+        def rate(t_abs: float) -> float:
+            return RATE if t_abs < 60.0 else vehicles_per_hour_to_per_second(600.0)
+
+        windows = model.empty_windows(0.0, 120.0, rate)
+        assert windows[1].start_s - 60.0 > windows[0].start_s  # heavier => later
+
+    def test_window_validation(self):
+        with pytest.raises(Exception):
+            QueueWindow(10.0, 10.0)
+        win = QueueWindow(1.0, 2.0)
+        assert win.contains(1.0)
+        assert not win.contains(2.0)
+        assert win.duration_s == pytest.approx(1.0)
+
+
+class TestSimulateTrace:
+    def test_matches_closed_form_single_cycle(self, model):
+        trace = model.simulate(60.0, RATE, dt_s=0.01)
+        for t in (10.0, 25.0, 31.0, 45.0):
+            idx = int(round(t / 0.01))
+            expected = model.queue_vehicles(t, RATE)
+            assert trace.vehicles[idx] == pytest.approx(expected, abs=0.05)
+
+    def test_residual_carryover_when_oversaturated(self, light):
+        vm = VehicleMovementModel(light=light, v_min_ms=1.0, a_max_ms2=0.5, spacing_m=8.5)
+        model = QueueLengthModel(vm)
+        heavy = vehicles_per_hour_to_per_second(1500.0)
+        trace = model.simulate(300.0, heavy, dt_s=0.1)
+        # Queue at each cycle start grows: the corridor saturates.
+        starts = [trace.vehicles[int(k * 60.0 / 0.1)] for k in range(1, 5)]
+        assert all(b > a for a, b in zip(starts, starts[1:]))
+
+    def test_empty_windows_extraction(self, model):
+        trace = model.simulate(120.0, RATE, dt_s=0.05)
+        windows = trace.empty_windows(min_duration_s=5.0)
+        assert windows
+        t_star = model.clear_time(RATE)
+        assert windows[0].end_s >= 59.0
+        # Trace windows should bracket the analytic clear time.
+        assert any(abs(w.start_s - t_star) < 2.0 for w in windows[:2])
+
+    def test_simulate_validation(self, model):
+        with pytest.raises(ValueError):
+            model.simulate(-1.0, RATE)
+        with pytest.raises(ValueError):
+            model.simulate(10.0, RATE, dt_s=0.0)
+        with pytest.raises(ValueError):
+            model.simulate(10.0, RATE, initial_queue=-1.0)
+        with pytest.raises(ValueError):
+            model.simulate(10.0, lambda t: -1.0)
+
+    def test_length_m_property(self, model):
+        trace = model.simulate(30.0, RATE, dt_s=0.5)
+        assert np.allclose(trace.length_m, trace.vehicles * 8.5)

@@ -1,0 +1,74 @@
+"""Coarse-to-fine DP acceleration."""
+
+import pytest
+
+from repro.core.constraints import check_profile
+from repro.core.dp import DpSolver
+from repro.core.refine import CoarseToFineSolver
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def solvers(plain_road):
+    fine = DpSolver(plain_road, v_step_ms=0.5, s_step_m=25.0, horizon_s=300.0)
+    c2f = CoarseToFineSolver(
+        plain_road,
+        fine_v_step_ms=0.5,
+        coarse_factor=4,
+        band_ms=3.0,
+        s_step_m=25.0,
+        horizon_s=300.0,
+    )
+    return fine, c2f
+
+
+class TestCoarseToFine:
+    def test_solution_feasible(self, solvers, plain_road):
+        _, c2f = solvers
+        solution = c2f.solve(max_trip_time_s=150.0)
+        assert check_profile(solution.profile, plain_road).ok
+
+    def test_quality_close_to_full_solve(self, solvers):
+        fine, c2f = solvers
+        full = fine.solve(max_trip_time_s=150.0)
+        fast = c2f.solve(max_trip_time_s=150.0)
+        assert fast.energy_j <= full.energy_j * 1.05 + 1.0
+
+    def test_fine_pass_expands_fewer_transitions(self, solvers):
+        fine, c2f = solvers
+        full = fine.solve(max_trip_time_s=150.0)
+        c2f.solve(max_trip_time_s=150.0)
+        stats = c2f.last_stats
+        assert stats is not None
+        assert stats.fine_transitions < full.expanded_transitions
+
+    def test_stats_populated(self, solvers):
+        _, c2f = solvers
+        c2f.solve(max_trip_time_s=150.0)
+        stats = c2f.last_stats
+        assert stats.coarse_time_s > 0
+        assert stats.fine_time_s > 0
+        assert stats.total_time_s == pytest.approx(
+            stats.coarse_time_s + stats.fine_time_s
+        )
+
+    def test_validation(self, plain_road):
+        with pytest.raises(ConfigurationError):
+            CoarseToFineSolver(plain_road, coarse_factor=1)
+        with pytest.raises(ConfigurationError):
+            CoarseToFineSolver(plain_road, fine_v_step_ms=1.0, coarse_factor=4, band_ms=2.0)
+
+    def test_with_window_constraints(self, short_road):
+        from repro.core.cost import WindowSet
+        from repro.core.dp import TimeWindowConstraint
+        from repro.signal.queue import QueueWindow
+
+        c2f = CoarseToFineSolver(
+            short_road, fine_v_step_ms=0.5, s_step_m=25.0, horizon_s=300.0
+        )
+        constraint = TimeWindowConstraint(
+            position_m=600.0,
+            windows=WindowSet([QueueWindow(45.0, 60.0), QueueWindow(85.0, 100.0)]),
+        )
+        solution = c2f.solve(constraints=[constraint], max_trip_time_s=200.0)
+        assert solution.windows_hit[600.0]

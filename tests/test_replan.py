@@ -1,0 +1,102 @@
+"""Mid-route replanning and the closed-loop driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner, UnconstrainedDpPlanner
+from repro.errors import ConfigurationError
+from repro.sim.closed_loop import ClosedLoopDriver
+from repro.sim.scenario import Us25Scenario
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+@pytest.fixture(scope="module")
+def planner(us25, coarse_config):
+    return QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+
+
+class TestSolveFromState:
+    def test_suffix_profile_covers_remaining_route(self, planner, us25):
+        solution = planner.replan(position_m=2000.0, speed_ms=15.0, time_s=130.0)
+        profile = solution.profile
+        assert profile.positions_m[0] >= 2000.0
+        assert profile.positions_m[-1] == us25.length_m
+        assert profile.arrival_times_s[0] >= 130.0
+
+    def test_seed_speed_near_current(self, planner):
+        solution = planner.replan(position_m=2000.0, speed_ms=15.0, time_s=130.0)
+        assert solution.profile.speeds_ms[0] == pytest.approx(15.0, abs=1.0)
+
+    def test_only_signals_ahead_constrained(self, planner):
+        solution = planner.replan(position_m=2000.0, speed_ms=15.0, time_s=130.0)
+        assert set(solution.signal_arrivals) == {3460.0}
+        assert solution.all_windows_hit
+
+    def test_replan_before_first_signal_keeps_both(self, planner):
+        solution = planner.replan(position_m=600.0, speed_ms=12.0, time_s=40.0)
+        assert set(solution.signal_arrivals) == {1820.0, 3460.0}
+
+    def test_destination_still_a_stop(self, planner):
+        solution = planner.replan(position_m=3000.0, speed_ms=14.0, time_s=200.0)
+        assert solution.profile.speeds_ms[-1] == 0.0
+
+    def test_remaining_stop_signs_respected(self, planner, us25):
+        solution = planner.replan(position_m=100.0, speed_ms=10.0, time_s=10.0)
+        idx = int(np.argmin(np.abs(solution.profile.positions_m - 490.0)))
+        assert solution.profile.speeds_ms[idx] == 0.0
+
+    def test_off_route_position_rejected(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.replan(position_m=5000.0, speed_ms=10.0, time_s=0.0)
+        with pytest.raises(ConfigurationError):
+            planner.replan(position_m=100.0, speed_ms=-1.0, time_s=0.0)
+
+    def test_full_solve_unchanged(self, planner):
+        whole = planner.plan(0.0, max_trip_time_s=320.0)
+        assert whole.profile.positions_m[0] == 0.0
+        assert whole.profile.speeds_ms[0] == 0.0
+
+
+class TestClosedLoop:
+    @pytest.fixture(scope="class")
+    def outcome(self, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        scenario = Us25Scenario(road=us25, arrival_rate_vph=300.0, warmup_s=300.0, seed=13)
+        driver = ClosedLoopDriver(scenario, planner, replan_interval_s=20.0)
+        return driver.run(depart_s=300.0, max_trip_time_s=320.0)
+
+    def test_trip_completes(self, outcome, us25):
+        assert outcome.ev_trace is not None
+        assert outcome.ev_trace.positions_m[-1] >= us25.length_m - 1.0
+
+    def test_replans_happened(self, outcome):
+        assert outcome.replans_attempted >= 3
+        assert outcome.replans_applied >= 1
+        assert (
+            outcome.replans_applied + outcome.replans_infeasible
+            == outcome.replans_attempted
+        )
+
+    def test_validation(self, us25, coarse_config):
+        planner = UnconstrainedDpPlanner(us25, config=coarse_config)
+        scenario = Us25Scenario(road=us25, warmup_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopDriver(scenario, planner, replan_interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopDriver(scenario, planner, deadline_slack_s=-1.0)
+
+    def test_fallback_when_deadline_budget_collapses(self, us25, coarse_config):
+        """With zero slack and heavy interference the remaining budget can
+        become unattainable; the driver must fall back to min-time replans
+        and still complete."""
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        scenario = Us25Scenario(road=us25, arrival_rate_vph=500.0, warmup_s=300.0, seed=21)
+        driver = ClosedLoopDriver(
+            scenario, planner, replan_interval_s=15.0, deadline_slack_s=0.0
+        )
+        floor = planner.min_trip_time(300.0)
+        outcome = driver.run(depart_s=300.0, max_trip_time_s=floor + 1.0)
+        assert outcome.ev_trace is not None
+        assert outcome.ev_trace.positions_m[-1] >= us25.length_m - 1.0

@@ -1,0 +1,122 @@
+"""Road JSON serialization and real-world plausibility anchors."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.route.io import load_road_json, road_from_dict, road_to_dict, save_road_json
+from repro.route.us25 import us25_greenville_segment
+from repro.route.arterial import urban_arterial
+from repro.units import kmh_to_ms
+from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.params import VehicleParams
+
+
+class TestRoadIo:
+    @pytest.mark.parametrize("factory", [us25_greenville_segment, urban_arterial])
+    def test_roundtrip_preserves_everything(self, tmp_path, factory):
+        road = factory()
+        path = tmp_path / "road.json"
+        save_road_json(road, path)
+        loaded = load_road_json(path)
+        assert loaded.name == road.name
+        assert loaded.length_m == road.length_m
+        assert len(loaded.zones) == len(road.zones)
+        assert loaded.signal_positions() == road.signal_positions()
+        assert [s.position_m for s in loaded.stop_signs] == [
+            s.position_m for s in road.stop_signs
+        ]
+        for a, b in zip(loaded.signals, road.signals):
+            assert a.light.red_s == b.light.red_s
+            assert a.light.offset_s == b.light.offset_s
+            assert a.turn_ratio == b.turn_ratio
+
+    def test_grade_roundtrips(self, tmp_path):
+        from repro.route.road import GradeProfile
+
+        road = us25_greenville_segment(
+            grade=GradeProfile([0.0, 2100.0, 4200.0], [0.0, 0.02, -0.01])
+        )
+        path = tmp_path / "graded.json"
+        save_road_json(road, path)
+        loaded = load_road_json(path)
+        for s in (0.0, 1000.0, 3000.0, 4200.0):
+            assert loaded.grade_at(s) == pytest.approx(road.grade_at(s))
+
+    def test_unknown_version_rejected(self):
+        data = road_to_dict(us25_greenville_segment())
+        data["format_version"] = 99
+        with pytest.raises(ConfigurationError):
+            road_from_dict(data)
+
+    def test_missing_field_rejected(self):
+        data = road_to_dict(us25_greenville_segment())
+        del data["zones"]
+        with pytest.raises(ConfigurationError):
+            road_from_dict(data)
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_road_json(us25_greenville_segment(), path)
+        parsed = json.loads(path.read_text())
+        assert parsed["name"].startswith("US-25")
+
+    def test_loaded_road_is_plannable(self, tmp_path, coarse_config):
+        from repro.core.planner import UnconstrainedDpPlanner
+
+        path = tmp_path / "r.json"
+        save_road_json(us25_greenville_segment(), path)
+        road = load_road_json(path)
+        planner = UnconstrainedDpPlanner(road, config=coarse_config)
+        assert planner.plan(0.0, max_trip_time_s=330.0).profile.total_distance_m > 4000
+
+
+class TestRealWorldPlausibility:
+    """Anchor the energy model against published EV consumption figures."""
+
+    def test_highway_consumption_in_ev_band(self):
+        """Steady 100 km/h consumption: real compact EVs report 130-200 Wh/km."""
+        model = LongitudinalModel()
+        v = kmh_to_ms(100.0)
+        power_w = model.electrical_power(v, 0.0)
+        wh_per_km = power_w / v / 3.6
+        assert 100.0 <= wh_per_km <= 220.0
+
+    def test_city_consumption_in_ev_band(self):
+        """Steady 50 km/h: roughly 70-130 Wh/km before auxiliaries."""
+        model = LongitudinalModel()
+        v = kmh_to_ms(50.0)
+        wh_per_km = model.electrical_power(v, 0.0) / v / 3.6
+        assert 50.0 <= wh_per_km <= 140.0
+
+    def test_pack_range_plausible(self):
+        """399 V x 46.2 Ah is ~18.4 kWh: range at 100 km/h should be ~100-150 km."""
+        model = LongitudinalModel()
+        v = kmh_to_ms(100.0)
+        wh_per_km = model.electrical_power(v, 0.0) / v / 3.6
+        pack_wh = 399.0 * 46.2
+        range_km = pack_wh / wh_per_km
+        assert 80.0 <= range_km <= 200.0
+
+    def test_aux_load_cuts_range(self):
+        """A 2 kW winter HVAC load visibly raises city consumption."""
+        base = LongitudinalModel(VehicleParams())
+        winter = LongitudinalModel(VehicleParams(aux_power_w=2000.0))
+        v = kmh_to_ms(50.0)
+        base_wh = base.electrical_power(v, 0.0) / v / 3.6
+        winter_wh = winter.electrical_power(v, 0.0) / v / 3.6
+        assert winter_wh == pytest.approx(base_wh + 2000.0 / v / 3.6)
+        assert winter_wh > base_wh * 1.3
+
+    def test_aux_load_applies_during_regen(self):
+        model = LongitudinalModel(VehicleParams(aux_power_w=1000.0))
+        base = LongitudinalModel(VehicleParams())
+        assert model.electrical_power(15.0, -1.5) == pytest.approx(
+            base.electrical_power(15.0, -1.5) + 1000.0
+        )
+
+    def test_negative_aux_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VehicleParams(aux_power_w=-1.0)

@@ -1,0 +1,113 @@
+"""Stacked-autoencoder predictor: training mechanics and accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PredictionError
+from repro.traffic.dataset import train_test_split_by_hour
+from repro.traffic.sae import SAEPredictor, _sigmoid
+from repro.traffic.volume import VolumeGenerator
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    series = VolumeGenerator(seed=7).generate(35)
+    return train_test_split_by_hour(series, test_hours=72, window=12)
+
+
+@pytest.fixture(scope="module")
+def fitted(datasets):
+    train, _ = datasets
+    sae = SAEPredictor(
+        hidden_sizes=(16, 8), pretrain_epochs=10, finetune_epochs=80, seed=0
+    )
+    return sae.fit(train.features, train.targets)
+
+
+class TestSigmoid:
+    def test_range(self):
+        x = np.linspace(-50.0, 50.0, 101)
+        y = _sigmoid(x)
+        assert np.all((y >= 0.0) & (y <= 1.0))
+
+    def test_midpoint(self):
+        assert _sigmoid(np.asarray([0.0]))[0] == pytest.approx(0.5)
+
+    def test_no_overflow_extremes(self):
+        y = _sigmoid(np.asarray([-1000.0, 1000.0]))
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[1] == pytest.approx(1.0, abs=1e-12)
+
+
+class TestTraining:
+    def test_predict_before_fit_raises(self):
+        sae = SAEPredictor()
+        with pytest.raises(PredictionError):
+            sae.predict(np.zeros((1, 4)))
+        with pytest.raises(PredictionError):
+            sae.encode(np.zeros((1, 4)))
+
+    def test_loss_decreases(self, fitted):
+        losses = fitted.training_loss_
+        assert losses[-1] < losses[0]
+
+    def test_deterministic_under_seed(self, datasets):
+        train, test = datasets
+        kwargs = dict(hidden_sizes=(8,), pretrain_epochs=3, finetune_epochs=10, seed=5)
+        a = SAEPredictor(**kwargs).fit(train.features, train.targets)
+        b = SAEPredictor(**kwargs).fit(train.features, train.targets)
+        np.testing.assert_array_equal(a.predict(test.features), b.predict(test.features))
+
+    def test_fit_returns_self(self, datasets):
+        train, _ = datasets
+        sae = SAEPredictor(hidden_sizes=(4,), pretrain_epochs=1, finetune_epochs=2)
+        assert sae.fit(train.features[:50], train.targets[:50]) is sae
+
+    def test_mismatched_shapes_rejected(self):
+        sae = SAEPredictor()
+        with pytest.raises(ConfigurationError):
+            sae.fit(np.zeros((10, 4)), np.zeros(9))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(hidden_sizes=()),
+            dict(hidden_sizes=(0,)),
+            dict(finetune_epochs=0),
+            dict(batch_size=0),
+            dict(learning_rate=0.0),
+            dict(l2=-1.0),
+        ],
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SAEPredictor(**kwargs)
+
+
+class TestAccuracy:
+    def test_beats_last_value_baseline(self, datasets, fitted):
+        from repro.traffic.baselines import LastValuePredictor
+
+        train, test = datasets
+        sae_err = np.mean(np.abs(fitted.predict(test.features) - test.targets))
+        lv_err = np.mean(np.abs(LastValuePredictor().predict(test) - test.targets))
+        assert sae_err < lv_err
+
+    def test_reasonable_mre(self, datasets, fitted):
+        from repro.analysis.metrics import mean_relative_error
+
+        _, test = datasets
+        pred = test.denormalize(fitted.predict(test.features))
+        real = test.denormalize(test.targets)
+        assert mean_relative_error(pred, real, floor=20.0) < 0.15
+
+    def test_predict_single_vector(self, datasets, fitted):
+        _, test = datasets
+        single = fitted.predict(test.features[0])
+        assert single.shape == (1,)
+
+    def test_encode_shape(self, datasets, fitted):
+        _, test = datasets
+        codes = fitted.encode(test.features[:5])
+        assert codes.shape == (5, 8)
+        assert np.all((codes >= 0.0) & (codes <= 1.0))

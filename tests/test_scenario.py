@@ -1,0 +1,73 @@
+"""US-25 scenario wrapper and profile playback."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import PlannerConfig, UnconstrainedDpPlanner
+from repro.core.profile import VelocityProfile
+from repro.errors import ConfigurationError
+from repro.sim.scenario import Us25Scenario, drive_profile, profile_speed_command
+
+
+@pytest.fixture(scope="module")
+def plan(us25, coarse_config):
+    planner = UnconstrainedDpPlanner(us25, config=coarse_config)
+    return planner.plan(0.0, max_trip_time_s=320.0).profile
+
+
+class TestSpeedCommand:
+    def test_relaunches_from_planned_stops(self, plan):
+        command = profile_speed_command(plan)
+        assert command(0.0) > 0.0  # launch from the source
+        assert command(490.0) > 0.0  # relaunch after the stop sign
+
+    def test_tracks_plan_during_cruise(self, plan):
+        command = profile_speed_command(plan)
+        mid = 2500.0
+        assert command(mid) == pytest.approx(plan.speed_at(mid), abs=0.6)
+
+    def test_clamps_out_of_range_positions(self, plan):
+        command = profile_speed_command(plan)
+        assert command(-10.0) >= 0.0
+        assert command(5000.0) == pytest.approx(0.0, abs=0.1)
+
+
+class TestScenario:
+    def test_observe_queues_shapes(self, us25):
+        scenario = Us25Scenario(road=us25, arrival_rate_vph=200.0, seed=5)
+        result = scenario.observe_queues(300.0)
+        assert set(result.queue_counts) == {1820.0, 3460.0}
+        times, counts = result.queue_counts[1820.0]
+        assert times.shape == counts.shape
+        assert result.ev_trace is None
+
+    def test_drive_returns_complete_trace(self, us25, plan):
+        scenario = Us25Scenario(road=us25, arrival_rate_vph=100.0, warmup_s=30.0, seed=5)
+        result = scenario.drive(plan, depart_s=30.0)
+        trace = result.ev_trace
+        assert trace is not None
+        assert trace.positions_m[-1] >= us25.length_m - 1.0
+        assert result.ev_exited_at_s is not None
+
+    def test_seeded_reproducibility(self, us25, plan):
+        a = Us25Scenario(road=us25, arrival_rate_vph=150.0, warmup_s=10.0, seed=9)
+        b = Us25Scenario(road=us25, arrival_rate_vph=150.0, warmup_s=10.0, seed=9)
+        ta = a.drive(plan, depart_s=10.0).ev_trace
+        tb = b.drive(plan, depart_s=10.0).ev_trace
+        np.testing.assert_array_equal(ta.speeds_ms, tb.speeds_ms)
+
+    def test_raw_callable_command(self, us25):
+        scenario = Us25Scenario(road=us25, arrival_rate_vph=0.0, warmup_s=0.0, seed=1)
+        result = scenario.drive(lambda s: 12.0, depart_s=0.0)
+        # With no plan-driven stops the EV still serves the stop sign.
+        assert result.ev_stops >= 1
+
+    def test_validation(self, us25):
+        with pytest.raises(ConfigurationError):
+            Us25Scenario(road=us25, arrival_rate_vph=-1.0)
+        with pytest.raises(ConfigurationError):
+            Us25Scenario(road=us25, warmup_s=-1.0)
+
+    def test_drive_profile_helper(self, us25, plan):
+        trace = drive_profile(us25, plan, arrival_rate_vph=100.0, depart_s=20.0, seed=2)
+        assert trace.distance_m == pytest.approx(us25.length_m, abs=5.0)

@@ -1,0 +1,199 @@
+"""Corridor microsimulator: invariants, queues, signals, EV control."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.route.road import RoadSegment, SignalSite, SpeedLimitZone, StopSign
+from repro.signal.light import TrafficLight
+from repro.sim.simulator import CorridorSimulator
+from repro.sim.vehicle_agent import VehicleAgent
+
+
+def make_road(red=20.0, green=20.0, length=1500.0, stop_sign=None):
+    signals = [
+        SignalSite(
+            position_m=800.0,
+            light=TrafficLight(red_s=red, green_s=green),
+            turn_ratio=0.8,
+        )
+    ]
+    return RoadSegment(
+        name="sim road",
+        length_m=length,
+        zones=[SpeedLimitZone(0.0, length, v_max_ms=15.0, v_min_ms=8.0)],
+        stop_signs=[StopSign(stop_sign)] if stop_sign else [],
+        signals=signals,
+    )
+
+
+def run_sim(road, arrivals, duration, **kwargs):
+    sim = CorridorSimulator(road, arrivals_s=arrivals, seed=1, **kwargs)
+    return sim.run(duration)
+
+
+class TestInvariants:
+    def test_no_overlaps_under_heavy_traffic(self):
+        road = make_road()
+        arrivals = np.arange(0.0, 120.0, 3.0)  # 1200 veh/h
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=2)
+        for _ in range(600):
+            sim.step()
+            vehicles = sim._vehicles
+            for leader, follower in zip(vehicles, vehicles[1:]):
+                assert follower.position_m <= leader.rear_m + 1e-6
+
+    def test_order_preserved(self):
+        road = make_road()
+        arrivals = np.arange(0.0, 60.0, 5.0)
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=3)
+        orders = []
+        for _ in range(300):
+            sim.step()
+            orders.append([v.vehicle_id for v in sim._vehicles])
+        # A vehicle never passes another: the relative order of any two
+        # ids present in consecutive snapshots is unchanged.
+        for before, after in zip(orders, orders[1:]):
+            common = [vid for vid in before if vid in after]
+            filtered = [vid for vid in after if vid in common]
+            assert filtered == common
+
+    def test_no_red_running(self):
+        road = make_road()
+        arrivals = np.arange(0.0, 300.0, 7.0)
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=4)
+        result = sim.run(400.0)
+        light = road.signals[0].light
+        for event in result.events:
+            if event.kind == "cross_signal":
+                # Crossing during red only allowed for dilemma-zone commits,
+                # which happen within ~2 s of the phase flip.
+                if light.is_red(event.time_s):
+                    assert light.time_in_cycle(event.time_s) - light.red_s % light.cycle_s < 2.5
+
+    def test_conservation_of_vehicles(self):
+        road = make_road()
+        arrivals = np.arange(0.0, 100.0, 10.0)
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=5)
+        result = sim.run(600.0)
+        on_road = len(sim._vehicles)
+        assert result.vehicles_entered == result.vehicles_exited + on_road
+        assert result.vehicles_entered == len(arrivals)
+
+
+class TestQueues:
+    def test_queue_builds_during_red(self):
+        road = make_road(red=40.0, green=20.0)
+        arrivals = np.arange(0.0, 600.0, 8.0)
+        result = run_sim(road, arrivals, 600.0)
+        times, counts = result.queue_counts[800.0]
+        assert counts.max() >= 2
+
+    def test_queue_clears_during_green(self):
+        road = make_road(red=20.0, green=40.0)
+        arrivals = np.arange(0.0, 600.0, 15.0)
+        result = run_sim(road, arrivals, 600.0)
+        times, counts = result.queue_counts[800.0]
+        light = road.signals[0].light
+        # Late in each green the queue should be empty.
+        late_green = [
+            c
+            for t, c in zip(times, counts)
+            if light.is_green(t) and light.time_in_cycle(t) > light.red_s + 25.0
+        ]
+        assert np.mean(late_green) < 0.2
+
+    def test_no_arrivals_no_queue(self):
+        road = make_road()
+        result = run_sim(road, [], 120.0)
+        _, counts = result.queue_counts[800.0]
+        assert counts.max() == 0
+
+    def test_turn_ratio_removes_vehicles(self):
+        road = make_road()
+        arrivals = np.arange(0.0, 300.0, 5.0)
+        result = run_sim(road, arrivals, 500.0)
+        turned = sum(1 for e in result.events if e.kind == "turn_off")
+        crossed = sum(1 for e in result.events if e.kind == "cross_signal")
+        assert crossed > 10
+        assert 0 < turned < crossed
+        assert turned / crossed == pytest.approx(0.2, abs=0.15)
+
+
+class TestStopSign:
+    def test_every_vehicle_serves_the_sign(self):
+        road = make_road(stop_sign=400.0)
+        arrivals = np.arange(0.0, 100.0, 20.0)
+        sim = CorridorSimulator(road, arrivals_s=arrivals, seed=6)
+        result = sim.run(400.0)
+        served = {e.vehicle_id for e in result.events if e.kind == "serve_stop_sign"}
+        passed = {
+            e.vehicle_id
+            for e in result.events
+            if e.kind in ("cross_signal", "exit") and e.position_m > 400.0
+        }
+        assert passed and passed <= served
+
+
+class TestEvControl:
+    def test_ev_follows_command_on_open_road(self):
+        road = make_road()
+        sim = CorridorSimulator(road, arrivals_s=[], seed=7)
+        sim.schedule_ev(depart_s=0.0, target_speed_at=lambda s: 10.0)
+        result = sim.run_until_ev_done(hard_limit_s=600.0)
+        trace = result.ev_trace
+        cruise = trace.speeds_ms[(trace.positions_m > 200) & (trace.positions_m < 700)]
+        assert np.allclose(cruise, 10.0, atol=0.5)
+
+    def test_ev_stops_at_red(self):
+        road = make_road(red=1000.0, green=5.0)  # effectively always red
+        sim = CorridorSimulator(road, arrivals_s=[], seed=8)
+        sim.schedule_ev(depart_s=0.0, target_speed_at=lambda s: 12.0)
+        result = sim.run(200.0)
+        trace = result.ev_trace
+        assert trace.positions_m[-1] < 800.0
+        assert trace.speeds_ms[-1] == pytest.approx(0.0, abs=0.1)
+
+    def test_ev_blocked_by_slow_leader(self):
+        road = make_road(red=1.0, green=1000.0)
+        sim = CorridorSimulator(
+            road, arrivals_s=[0.0], seed=9, desired_speed_mean_frac=0.4,
+            desired_speed_std_frac=0.0,
+        )
+        sim.schedule_ev(depart_s=5.0, target_speed_at=lambda s: 15.0)
+        result = sim.run_until_ev_done(hard_limit_s=600.0)
+        trace = result.ev_trace
+        mid = trace.speeds_ms[(trace.positions_m > 400) & (trace.positions_m < 1200)]
+        assert np.mean(mid) < 10.0  # held below its command by the leader
+
+    def test_past_departure_rejected(self):
+        road = make_road()
+        sim = CorridorSimulator(road, arrivals_s=[], seed=10)
+        sim.run(10.0)
+        with pytest.raises(ConfigurationError):
+            sim.schedule_ev(depart_s=5.0, target_speed_at=lambda s: 10.0)
+
+    def test_run_until_ev_done_requires_ev(self):
+        road = make_road()
+        sim = CorridorSimulator(road, arrivals_s=[], seed=11)
+        with pytest.raises(ConfigurationError):
+            sim.run_until_ev_done()
+
+    def test_ev_stop_positions_recorded(self):
+        road = make_road(stop_sign=400.0, red=1.0, green=1000.0)
+        sim = CorridorSimulator(road, arrivals_s=[], seed=12)
+        sim.schedule_ev(depart_s=0.0, target_speed_at=lambda s: 12.0)
+        result = sim.run_until_ev_done(hard_limit_s=600.0)
+        assert result.ev_stops == 1
+        assert result.ev_stop_positions[0] == pytest.approx(400.0, abs=5.0)
+        assert result.ev_signal_stops(road) == 0
+
+
+class TestValidation:
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorridorSimulator(make_road(), arrivals_s=[], dt_s=0.0)
+
+    def test_negative_stop_wait_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorridorSimulator(make_road(), arrivals_s=[], stop_sign_wait_s=-1.0)

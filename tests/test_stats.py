@@ -1,0 +1,68 @@
+"""Bootstrap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import Interval, bootstrap_mean, bootstrap_paired_savings
+
+
+class TestBootstrapMean:
+    def test_estimate_is_sample_mean(self):
+        interval = bootstrap_mean([1.0, 2.0, 3.0, 4.0])
+        assert interval.estimate == pytest.approx(2.5)
+
+    def test_interval_brackets_estimate(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10.0, 2.0, size=40)
+        interval = bootstrap_mean(data, confidence=0.9)
+        assert interval.lower <= interval.estimate <= interval.upper
+
+    def test_interval_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_mean(rng.normal(0, 1, 10), seed=3)
+        large = bootstrap_mean(rng.normal(0, 1, 1000), seed=3)
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_deterministic_under_seed(self):
+        data = [3.0, 1.0, 4.0, 1.0, 5.0]
+        a = bootstrap_mean(data, seed=7)
+        b = bootstrap_mean(data, seed=7)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_degenerate_sample(self):
+        interval = bootstrap_mean([5.0] * 10)
+        assert interval.lower == interval.upper == interval.estimate == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.5)
+
+    def test_str_format(self):
+        text = str(Interval(10.0, 9.0, 11.0, 0.9))
+        assert "10.0" in text and "[9.0, 11.0]" in text
+
+
+class TestPairedSavings:
+    def test_known_saving(self):
+        interval = bootstrap_paired_savings([80.0] * 8, [100.0] * 8)
+        assert interval.estimate == pytest.approx(20.0)
+        assert interval.lower == pytest.approx(20.0)
+
+    def test_pairing_matters(self):
+        """Paired resampling keeps correlated noise out of the interval."""
+        rng = np.random.default_rng(5)
+        base = rng.uniform(900.0, 1500.0, size=30)  # departure-driven spread
+        cand = base * 0.85  # a constant 15% saving
+        interval = bootstrap_paired_savings(cand, base)
+        assert interval.estimate == pytest.approx(15.0, abs=0.01)
+        assert interval.upper - interval.lower < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_paired_savings([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bootstrap_paired_savings([], [])
+        with pytest.raises(ValueError):
+            bootstrap_paired_savings([1.0], [0.0])

@@ -1,0 +1,86 @@
+"""Human-trace synthesis and CSV IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.driver import DriverStyle, fast_driver, mild_driver, synthesize_trace
+from repro.trace.io import load_trace_csv, save_trace_csv
+
+
+class TestDriverStyles:
+    def test_named_styles(self):
+        assert mild_driver().name == "mild"
+        assert fast_driver().name == "fast"
+
+    def test_fast_more_aggressive_than_mild(self):
+        mild, fast = mild_driver(), fast_driver()
+        assert fast.accel_ms2 > mild.accel_ms2
+        assert fast.cruise_frac >= mild.cruise_frac
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(cruise_frac=0.0),
+            dict(cruise_frac=1.5),
+            dict(accel_ms2=-1.0),
+            dict(imperfection=2.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(name="x", cruise_frac=0.8, accel_ms2=1.0, decel_ms2=2.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            DriverStyle(**base)
+
+
+class TestSynthesis:
+    @pytest.fixture(scope="class")
+    def traces(self, us25):
+        mild = synthesize_trace(us25, mild_driver(), arrival_rate_vph=100.0, depart_s=60.0, seed=4)
+        fast = synthesize_trace(us25, fast_driver(), arrival_rate_vph=100.0, depart_s=60.0, seed=4)
+        return mild, fast
+
+    def test_both_cover_route(self, traces, us25):
+        for trace in traces:
+            assert trace.distance_m == pytest.approx(us25.length_m, abs=5.0)
+
+    def test_fast_is_faster(self, traces):
+        mild, fast = traces
+        assert fast.duration_s < mild.duration_s
+
+    def test_fast_reaches_higher_speed(self, traces):
+        mild, fast = traces
+        assert fast.speeds_ms.max() > mild.speeds_ms.max()
+
+    def test_fast_consumes_more(self, traces):
+        mild, fast = traces
+        assert fast.energy().net_mah > mild.energy().net_mah
+
+    def test_deterministic(self, us25):
+        a = synthesize_trace(us25, fast_driver(), 100.0, depart_s=60.0, seed=4)
+        b = synthesize_trace(us25, fast_driver(), 100.0, depart_s=60.0, seed=4)
+        np.testing.assert_array_equal(a.speeds_ms, b.speeds_ms)
+
+
+class TestTraceIo:
+    def test_roundtrip(self, tmp_path, us25):
+        trace = synthesize_trace(us25, fast_driver(), 50.0, depart_s=30.0, seed=1)
+        path = tmp_path / "traces" / "fast.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        np.testing.assert_allclose(loaded.times_s, trace.times_s, atol=1e-3)
+        np.testing.assert_allclose(loaded.speeds_ms, trace.speeds_ms, atol=1e-3)
+        np.testing.assert_allclose(loaded.positions_m, trace.positions_m, atol=1e-3)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path)
+
+    def test_too_short_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("time_s,position_m,speed_ms\n0.0,0.0,1.0\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path)

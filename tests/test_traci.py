@@ -1,0 +1,64 @@
+"""TraCI-style facade over the simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.route.road import RoadSegment, SignalSite, SpeedLimitZone
+from repro.signal.light import TrafficLight
+from repro.sim.simulator import CorridorSimulator
+from repro.sim.traci import TraciFacade
+
+
+@pytest.fixture
+def facade():
+    road = RoadSegment(
+        name="traci road",
+        length_m=1000.0,
+        zones=[SpeedLimitZone(0.0, 1000.0, v_max_ms=15.0)],
+        signals=[
+            SignalSite(position_m=500.0, light=TrafficLight(red_s=10.0, green_s=10.0))
+        ],
+    )
+    sim = CorridorSimulator(road, arrivals_s=[0.0, 5.0], seed=0)
+    return TraciFacade(sim)
+
+
+class TestTraci:
+    def test_simulation_step_advances_clock(self, facade):
+        t0 = facade.simulation_time()
+        t1 = facade.simulation_step()
+        assert t1 > t0
+
+    def test_vehicle_listing_and_state(self, facade):
+        for _ in range(4):
+            facade.simulation_step()
+        ids = facade.vehicle_id_list()
+        assert "veh0" in ids
+        pos = facade.vehicle_get_position("veh0")
+        speed = facade.vehicle_get_speed("veh0")
+        assert pos > 0.0
+        assert speed >= 0.0
+
+    def test_unknown_vehicle_raises(self, facade):
+        with pytest.raises(SimulationError):
+            facade.vehicle_get_speed("ghost")
+
+    def test_set_speed_profile_takes_effect(self, facade):
+        for _ in range(4):
+            facade.simulation_step()
+        facade.vehicle_set_speed_profile("veh0", lambda s: 3.0)
+        for _ in range(20):
+            facade.simulation_step()
+        assert facade.vehicle_get_speed("veh0") == pytest.approx(3.0, abs=0.3)
+
+    def test_trafficlight_state(self, facade):
+        assert facade.trafficlight_get_state(500.0) == "r"
+        while facade.simulation_time() < 11.0:
+            facade.simulation_step()
+        assert facade.trafficlight_get_state(500.0) == "g"
+
+    def test_result_snapshot(self, facade):
+        for _ in range(10):
+            facade.simulation_step()
+        result = facade.result()
+        assert result.vehicles_entered >= 1

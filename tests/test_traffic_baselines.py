@@ -1,0 +1,57 @@
+"""Historical-average and last-value predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.traffic.baselines import HistoricalAveragePredictor, LastValuePredictor
+from repro.traffic.dataset import train_test_split_by_hour
+from repro.traffic.volume import VolumeGenerator
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    series = VolumeGenerator(seed=2, incident_rate_per_day=0.0).generate(28)
+    return train_test_split_by_hour(series, test_hours=72, window=12)
+
+
+class TestHistoricalAverage:
+    def test_requires_fit(self, datasets):
+        _, test = datasets
+        with pytest.raises(PredictionError):
+            HistoricalAveragePredictor().predict(test)
+
+    def test_prediction_is_slot_mean(self, datasets):
+        train, _ = datasets
+        model = HistoricalAveragePredictor().fit(train)
+        pred = model.predict(train)
+        # For any slot, all predictions must be identical and equal to the
+        # mean of the targets in that slot.
+        hours = train.target_hours
+        slot = (hours // 24 % 7 == 2) & (hours % 24 == 8)  # Wednesday 08:00
+        assert slot.sum() >= 2
+        assert np.allclose(pred[slot], train.targets[slot].mean())
+
+    def test_captures_diurnal_shape(self, datasets):
+        train, test = datasets
+        model = HistoricalAveragePredictor().fit(train)
+        pred = model.predict(test)
+        err = np.mean(np.abs(pred - test.targets))
+        assert err < 0.1  # noise-free generator => tight fit
+
+    def test_fit_returns_self(self, datasets):
+        train, _ = datasets
+        model = HistoricalAveragePredictor()
+        assert model.fit(train) is model
+
+
+class TestLastValue:
+    def test_prediction_equals_last_window_entry(self, datasets):
+        _, test = datasets
+        pred = LastValuePredictor().fit(test).predict(test)
+        np.testing.assert_array_equal(pred, test.features[:, test.window - 1])
+
+    def test_error_nonzero_on_changing_series(self, datasets):
+        _, test = datasets
+        pred = LastValuePredictor().predict(test)
+        assert np.mean(np.abs(pred - test.targets)) > 0.0

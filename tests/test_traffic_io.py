@@ -1,0 +1,84 @@
+"""Traffic-data persistence: volume CSVs and SAE model archives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PredictionError
+from repro.traffic import (
+    SAEPredictor,
+    VolumeGenerator,
+    load_volume_csv,
+    save_volume_csv,
+    train_test_split_by_hour,
+)
+from repro.traffic.volume import VolumeSeries
+
+
+class TestVolumeCsv:
+    def test_roundtrip(self, tmp_path):
+        series = VolumeGenerator(seed=5).generate(3)
+        path = tmp_path / "data" / "volumes.csv"
+        save_volume_csv(series, path)
+        loaded = load_volume_csv(path)
+        np.testing.assert_allclose(loaded.volumes_vph, series.volumes_vph, atol=1e-3)
+        assert loaded.start_hour == series.start_hour
+
+    def test_start_hour_preserved(self, tmp_path):
+        series = VolumeSeries(np.asarray([10.0, 20.0]), start_hour=100)
+        path = tmp_path / "v.csv"
+        save_volume_csv(series, path)
+        assert load_volume_csv(path).start_hour == 100
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            load_volume_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("hour,volume_vph\n")
+        with pytest.raises(ConfigurationError):
+            load_volume_csv(path)
+
+    def test_gap_rejected(self, tmp_path):
+        path = tmp_path / "gap.csv"
+        path.write_text("hour,volume_vph\n0,10.0\n2,20.0\n")
+        with pytest.raises(ConfigurationError):
+            load_volume_csv(path)
+
+
+class TestSaePersistence:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        series = VolumeGenerator(seed=7).generate(21)
+        train, test = train_test_split_by_hour(series, test_hours=48, window=12)
+        model = SAEPredictor(
+            hidden_sizes=(8, 4), pretrain_epochs=3, finetune_epochs=15, seed=0
+        ).fit(train.features, train.targets)
+        return model, test
+
+    def test_roundtrip_predictions_identical(self, tmp_path, fitted):
+        model, test = fitted
+        path = tmp_path / "models" / "sae.npz"
+        model.save(path)
+        loaded = SAEPredictor.load(path)
+        np.testing.assert_array_equal(
+            loaded.predict(test.features), model.predict(test.features)
+        )
+
+    def test_loaded_model_reports_fitted(self, tmp_path, fitted):
+        model, _ = fitted
+        path = tmp_path / "sae.npz"
+        model.save(path)
+        assert SAEPredictor.load(path).is_fitted
+
+    def test_hidden_sizes_restored(self, tmp_path, fitted):
+        model, _ = fitted
+        path = tmp_path / "sae.npz"
+        model.save(path)
+        assert SAEPredictor.load(path).hidden_sizes == (8, 4)
+
+    def test_save_before_fit_rejected(self, tmp_path):
+        with pytest.raises(PredictionError):
+            SAEPredictor().save(tmp_path / "x.npz")

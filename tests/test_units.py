@@ -1,0 +1,52 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_kmh_roundtrip():
+    assert units.ms_to_kmh(units.kmh_to_ms(72.0)) == pytest.approx(72.0)
+
+
+def test_kmh_to_ms_known_value():
+    assert units.kmh_to_ms(36.0) == pytest.approx(10.0)
+
+
+def test_mph_to_ms_known_value():
+    assert units.mph_to_ms(60.0) == pytest.approx(26.82, abs=0.01)
+
+
+def test_joules_to_ah_one_amp_hour():
+    # 1 Ah at 100 V is 360 kJ.
+    assert units.joules_to_ah(360_000.0, 100.0) == pytest.approx(1.0)
+
+
+def test_ah_to_joules_roundtrip():
+    energy = 123_456.0
+    volts = 399.0
+    assert units.ah_to_joules(units.joules_to_ah(energy, volts), volts) == pytest.approx(energy)
+
+
+def test_joules_to_mah_scales_ah():
+    assert units.joules_to_mah(360_000.0, 100.0) == pytest.approx(1000.0)
+
+
+def test_joules_to_ah_rejects_nonpositive_voltage():
+    with pytest.raises(ValueError):
+        units.joules_to_ah(1.0, 0.0)
+    with pytest.raises(ValueError):
+        units.ah_to_joules(1.0, -5.0)
+
+
+def test_flow_rate_roundtrip():
+    assert units.per_second_to_vehicles_per_hour(
+        units.vehicles_per_hour_to_per_second(153.0)
+    ) == pytest.approx(153.0)
+
+
+def test_gravity_and_air_density_constants():
+    assert units.GRAVITY == pytest.approx(9.81)
+    assert units.AIR_DENSITY == pytest.approx(1.2)

@@ -1,0 +1,64 @@
+"""Battery-pack coulomb counting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vehicle.battery import BatteryPack
+from repro.vehicle.params import sony_vtc4_pack
+
+
+@pytest.fixture
+def pack():
+    return BatteryPack(sony_vtc4_pack(), initial_soc=0.8)
+
+
+class TestBatteryPack:
+    def test_initial_state(self, pack):
+        assert pack.soc == pytest.approx(0.8)
+        assert pack.consumed_ah == 0.0
+        assert pack.regenerated_ah == 0.0
+
+    def test_draw_reduces_charge(self, pack):
+        pack.draw(current_a=36.0, duration_s=100.0)  # 1 Ah
+        assert pack.consumed_ah == pytest.approx(1.0)
+        assert pack.charge_ah == pytest.approx(0.8 * 46.2 - 1.0)
+
+    def test_regen_increases_charge(self, pack):
+        pack.draw(current_a=-36.0, duration_s=100.0)
+        assert pack.regenerated_ah == pytest.approx(1.0)
+        assert pack.net_consumed_ah == pytest.approx(-1.0)
+
+    def test_net_consumed_mixes_draw_and_regen(self, pack):
+        pack.draw(36.0, 100.0)
+        pack.draw(-36.0, 50.0)
+        assert pack.net_consumed_ah == pytest.approx(0.5)
+        assert pack.net_consumed_mah == pytest.approx(500.0)
+
+    def test_regen_clips_at_full(self):
+        pack = BatteryPack(sony_vtc4_pack(), initial_soc=1.0)
+        pack.draw(-360.0, 100.0)  # would add 10 Ah
+        assert pack.soc == pytest.approx(1.0)
+        assert pack.regenerated_ah == pytest.approx(0.0)
+
+    def test_over_discharge_raises(self):
+        pack = BatteryPack(sony_vtc4_pack(), initial_soc=0.01)
+        with pytest.raises(RuntimeError):
+            pack.draw(current_a=46.2 * 36.0, duration_s=100.0)
+
+    def test_negative_duration_rejected(self, pack):
+        with pytest.raises(ValueError):
+            pack.draw(1.0, -1.0)
+
+    def test_reset(self, pack):
+        pack.draw(36.0, 100.0)
+        pack.reset(soc=0.5)
+        assert pack.soc == pytest.approx(0.5)
+        assert pack.consumed_ah == 0.0
+
+    @pytest.mark.parametrize("soc", [-0.1, 1.1])
+    def test_invalid_soc_rejected(self, soc):
+        with pytest.raises(ConfigurationError):
+            BatteryPack(sony_vtc4_pack(), initial_soc=soc)
+        pack = BatteryPack(sony_vtc4_pack())
+        with pytest.raises(ConfigurationError):
+            pack.reset(soc)

@@ -1,0 +1,134 @@
+"""Longitudinal dynamics and consumption model (Eq. 1 and Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.units import GRAVITY, kmh_to_ms
+from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.params import VehicleParams
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LongitudinalModel()
+
+
+class TestDriveForce:
+    def test_standstill_needs_no_force(self, model):
+        assert model.drive_force(0.0, 0.0) == pytest.approx(0.0)
+
+    def test_rolling_resistance_at_constant_speed(self, model):
+        p = model.params
+        expected_rolling = p.rolling_resistance * p.mass_kg * GRAVITY
+        aero = 0.5 * p.air_density * p.frontal_area_m2 * p.drag_coefficient * 100.0
+        assert model.drive_force(10.0, 0.0) == pytest.approx(expected_rolling + aero)
+
+    def test_inertial_term(self, model):
+        base = model.drive_force(10.0, 0.0)
+        accel = model.drive_force(10.0, 1.0)
+        assert accel - base == pytest.approx(model.params.mass_kg)
+
+    def test_uphill_adds_gravity_component(self, model):
+        grade = np.arctan(0.05)
+        flat = model.drive_force(10.0, 0.0)
+        hill = model.drive_force(10.0, 0.0, grade)
+        extra = hill - flat
+        gravity_term = model.params.mass_kg * GRAVITY * np.sin(grade)
+        # Rolling resistance also shrinks slightly with cos(theta).
+        assert extra == pytest.approx(gravity_term, rel=0.02)
+
+    def test_downhill_can_be_negative(self, model):
+        grade = -np.arctan(0.08)
+        assert model.drive_force(5.0, 0.0, grade) < 0.0
+
+    def test_aero_grows_quadratically(self, model):
+        p = model.params
+        f10 = model.drive_force(10.0, 0.0) - p.rolling_resistance * p.mass_kg * GRAVITY
+        f20 = model.drive_force(20.0, 0.0) - p.rolling_resistance * p.mass_kg * GRAVITY
+        assert f20 / f10 == pytest.approx(4.0)
+
+    def test_array_broadcasting(self, model):
+        speeds = np.asarray([0.0, 5.0, 10.0])
+        forces = model.drive_force(speeds, 0.0)
+        assert forces.shape == (3,)
+        assert forces[0] == pytest.approx(0.0)
+
+
+class TestElectricalLayer:
+    def test_drawing_divides_by_efficiency(self, model):
+        mech = model.mechanical_power(15.0, 1.0)
+        elec = model.electrical_power(15.0, 1.0)
+        assert elec == pytest.approx(mech / model.params.drivetrain_efficiency)
+
+    def test_regen_multiplies_by_efficiencies(self, model):
+        mech = model.mechanical_power(15.0, -1.5)
+        assert mech < 0
+        elec = model.electrical_power(15.0, -1.5)
+        expected = mech * model.params.regen_efficiency * model.params.drivetrain_efficiency
+        assert elec == pytest.approx(expected)
+        assert abs(elec) < abs(mech)
+
+    def test_consumption_rate_units(self, model):
+        # 1 A draw equals 1000/3600 mAh per second.
+        amps = model.consumption_rate_a(15.0, 0.5)
+        mah_s = model.consumption_rate_mah_per_s(15.0, 0.5)
+        assert mah_s == pytest.approx(amps * 1000.0 / 3600.0)
+
+    def test_consumption_monotone_in_acceleration(self, model):
+        accels = np.linspace(-1.5, 2.5, 17)
+        rates = np.asarray([model.consumption_rate_a(12.0, a) for a in accels])
+        assert np.all(np.diff(rates) > 0)
+
+    def test_braking_regenerates_at_speed(self, model):
+        assert model.consumption_rate_a(15.0, -1.5) < 0.0
+
+    def test_fig3_shape_negative_region_only_under_braking(self, model):
+        speeds = kmh_to_ms(np.linspace(5.0, 120.0, 24))
+        cruise = np.asarray(model.consumption_rate_a(speeds, 0.0))
+        assert np.all(cruise > 0)
+
+    def test_no_regen_vehicle(self):
+        params = VehicleParams(regen_efficiency=0.0)
+        model = LongitudinalModel(params)
+        assert model.consumption_rate_a(15.0, -1.5) == pytest.approx(0.0)
+
+
+class TestSegmentEnergy:
+    def test_cruise_segment_energy_matches_power_times_time(self, model):
+        v = 12.0
+        energy = model.segment_energy_j(v, v, 100.0)
+        power = model.electrical_power(v, 0.0)
+        assert energy == pytest.approx(power * (100.0 / v), rel=1e-9)
+
+    def test_zero_endpoints_are_infinite(self, model):
+        assert np.isinf(model.segment_energy_j(0.0, 0.0, 50.0))
+
+    def test_acceleration_segment_costs_more_than_cruise(self, model):
+        accel = model.segment_energy_j(10.0, 14.0, 100.0)
+        cruise = model.segment_energy_j(12.0, 12.0, 100.0)
+        assert accel > cruise
+
+    def test_deceleration_recovers_energy(self, model):
+        decel = model.segment_energy_j(16.0, 10.0, 100.0)
+        cruise = model.segment_energy_j(13.0, 13.0, 100.0)
+        assert decel < cruise
+
+    def test_accel_then_brake_costs_net_energy(self, model):
+        """Regen losses make speed cycling strictly wasteful (no free lunch)."""
+        up = model.segment_energy_j(10.0, 15.0, 100.0)
+        down = model.segment_energy_j(15.0, 10.0, 100.0)
+        steady = 2 * model.segment_energy_j(10.0, 10.0, 100.0)
+        assert up + down > 0
+        # Cycling 10->15->10 must cost at least as much as a rough steady
+        # reference once regen losses are accounted for.
+        assert up + down > 0.8 * steady
+
+    def test_rejects_nonpositive_distance(self, model):
+        with pytest.raises(ValueError):
+            model.segment_energy_j(10.0, 10.0, 0.0)
+
+    def test_charge_conversion(self, model):
+        energy = model.segment_energy_j(12.0, 12.0, 100.0)
+        charge = model.segment_charge_mah(12.0, 12.0, 100.0)
+        volts = model.params.battery.voltage_v
+        assert charge == pytest.approx(energy / volts * 1000.0 / 3600.0)

@@ -1,0 +1,88 @@
+"""Vehicle and battery parameter validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vehicle.params import (
+    BatteryPackParams,
+    VehicleParams,
+    chevrolet_spark_ev,
+    sony_vtc4_pack,
+)
+
+
+class TestBatteryPackParams:
+    def test_paper_pack_values(self):
+        pack = sony_vtc4_pack()
+        assert pack.voltage_v == pytest.approx(399.0)
+        assert pack.capacity_ah == pytest.approx(46.2)
+        assert pack.cell_capacity_ah == pytest.approx(2.1)
+
+    def test_cell_count(self):
+        pack = sony_vtc4_pack()
+        assert pack.cell_count == 96 * 22
+
+    def test_parallel_strings_consistent_with_capacity(self):
+        pack = sony_vtc4_pack()
+        assert pack.parallel_strings * pack.cell_capacity_ah == pytest.approx(
+            pack.capacity_ah
+        )
+
+    def test_energy_capacity(self):
+        pack = BatteryPackParams(voltage_v=100.0, capacity_ah=10.0)
+        assert pack.energy_capacity_j == pytest.approx(100.0 * 10.0 * 3600.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(voltage_v=0.0, capacity_ah=46.2),
+            dict(voltage_v=399.0, capacity_ah=-1.0),
+            dict(voltage_v=399.0, capacity_ah=46.2, series_cells=0),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BatteryPackParams(**kwargs)
+
+
+class TestVehicleParams:
+    def test_paper_defaults(self):
+        params = chevrolet_spark_ev()
+        assert params.mass_kg == pytest.approx(1300.0)
+        assert params.frontal_area_m2 == pytest.approx(2.2)
+        assert params.drag_coefficient == pytest.approx(0.33)
+        assert params.rolling_resistance == pytest.approx(0.018)
+        assert params.battery_efficiency == pytest.approx(0.95)
+        assert params.powertrain_efficiency == pytest.approx(0.90)
+
+    def test_comfort_acceleration_band(self):
+        params = chevrolet_spark_ev()
+        assert params.max_accel_ms2 == pytest.approx(2.5)
+        assert params.min_accel_ms2 == pytest.approx(-1.5)
+
+    def test_drivetrain_efficiency_product(self):
+        params = chevrolet_spark_ev()
+        assert params.drivetrain_efficiency == pytest.approx(0.95 * 0.90)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mass_kg=0.0),
+            dict(frontal_area_m2=-1.0),
+            dict(drag_coefficient=-0.1),
+            dict(rolling_resistance=-0.01),
+            dict(battery_efficiency=0.0),
+            dict(powertrain_efficiency=1.2),
+            dict(regen_efficiency=1.5),
+            dict(max_accel_ms2=-1.0),
+            dict(min_accel_ms2=0.5),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            VehicleParams(**kwargs)
+
+    def test_frozen(self):
+        params = chevrolet_spark_ev()
+        with pytest.raises(AttributeError):
+            params.mass_kg = 10.0

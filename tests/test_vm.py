@@ -1,0 +1,100 @@
+"""Vehicle-movement (queue discharge) models — Eq. 4 and Eq. 5."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signal.light import TrafficLight
+from repro.signal.vm import InstantDischargeModel, VehicleMovementModel
+
+
+@pytest.fixture
+def light():
+    return TrafficLight(red_s=30.0, green_s=30.0)
+
+
+@pytest.fixture
+def vm(light):
+    return VehicleMovementModel(
+        light=light, v_min_ms=11.11, a_max_ms2=2.5, spacing_m=8.5, turn_ratio=0.7636
+    )
+
+
+class TestVehicleMovementModel:
+    def test_zero_speed_during_red(self, vm):
+        assert vm.queue_speed(0.0) == 0.0
+        assert vm.queue_speed(29.9) == 0.0
+
+    def test_ramp_phase_eq4(self, vm):
+        # Condition (ii): v = a_max * (t - t_red).
+        assert vm.queue_speed(31.0) == pytest.approx(2.5)
+        assert vm.queue_speed(33.0) == pytest.approx(7.5)
+
+    def test_ramp_ends_at_v_min(self, vm):
+        assert vm.ramp_end_s == pytest.approx(30.0 + 11.11 / 2.5)
+        assert vm.queue_speed(vm.ramp_end_s + 1.0) == pytest.approx(11.11)
+
+    def test_leaving_rate_eq5(self, vm):
+        t = vm.ramp_end_s + 1.0
+        assert vm.leaving_rate(t) == pytest.approx(11.11 / (8.5 * 0.7636))
+
+    def test_leaving_rate_vector(self, vm):
+        t = np.asarray([0.0, 31.0, 40.0])
+        rates = vm.leaving_rate(t)
+        assert rates.shape == (3,)
+        assert rates[0] == 0.0
+        assert rates[2] > rates[1] > 0.0
+
+    def test_discharged_vehicles_zero_during_red(self, vm):
+        assert vm.discharged_vehicles(25.0) == 0.0
+
+    def test_discharged_vehicles_matches_integral(self, vm):
+        t = 40.0
+        dt = 0.001
+        grid = np.arange(0.0, t, dt)
+        numeric = float(np.sum(vm.leaving_rate(grid) * dt))
+        assert vm.discharged_vehicles(t) == pytest.approx(numeric, rel=1e-3)
+
+    def test_discharged_monotone(self, vm):
+        samples = [vm.discharged_vehicles(t) for t in np.linspace(0.0, 60.0, 61)]
+        assert all(b >= a for a, b in zip(samples, samples[1:]))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(v_min_ms=0.0),
+            dict(a_max_ms2=-1.0),
+            dict(spacing_m=0.0),
+            dict(turn_ratio=1.5),
+        ],
+    )
+    def test_validation(self, light, kwargs):
+        base = dict(light=light, v_min_ms=11.11)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            VehicleMovementModel(**base)
+
+
+class TestInstantDischargeModel:
+    def test_step_to_v_min(self, light):
+        model = InstantDischargeModel(light=light, v_min_ms=11.11)
+        assert model.queue_speed(29.9) == 0.0
+        assert model.queue_speed(30.1) == pytest.approx(11.11)
+
+    def test_discharges_faster_than_vm(self, light, vm):
+        instant = InstantDischargeModel(
+            light=light, v_min_ms=11.11, spacing_m=8.5, turn_ratio=0.7636
+        )
+        for t in (32.0, 34.0, 36.0):
+            assert instant.discharged_vehicles(t) > vm.discharged_vehicles(t)
+
+    def test_vm_converges_to_instant_rate(self, light, vm):
+        """Fig. 5a: the VM rate reaches the same plateau, only later."""
+        instant = InstantDischargeModel(
+            light=light, v_min_ms=11.11, spacing_m=8.5, turn_ratio=0.7636
+        )
+        assert vm.leaving_rate(50.0) == pytest.approx(instant.leaving_rate(50.0))
+
+    def test_validation(self, light):
+        with pytest.raises(ConfigurationError):
+            InstantDischargeModel(light=light, v_min_ms=-1.0)

@@ -1,0 +1,109 @@
+"""Synthetic hourly traffic-volume generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.volume import VolumeGenerator, VolumeSeries
+
+
+@pytest.fixture(scope="module")
+def week():
+    return VolumeGenerator(seed=3, incident_rate_per_day=0.0).generate(n_days=7)
+
+
+class TestVolumeSeries:
+    def test_length_and_hours(self, week):
+        assert len(week) == 7 * 24
+        assert week.hours[0] == 0
+        assert week.hours[-1] == 167
+
+    def test_hour_of_day_wraps(self, week):
+        hod = week.hour_of_day()
+        assert hod[0] == 0
+        assert hod[23] == 23
+        assert hod[24] == 0
+
+    def test_day_of_week(self, week):
+        dow = week.day_of_week()
+        assert dow[0] == 0  # Monday
+        assert dow[6 * 24] == 6  # Sunday
+
+    def test_split(self, week):
+        left, right = week.split(100)
+        assert len(left) == 100
+        assert len(right) == 68
+        assert right.start_hour == 100
+        np.testing.assert_array_equal(
+            np.concatenate([left.volumes_vph, right.volumes_vph]), week.volumes_vph
+        )
+
+    def test_split_out_of_range(self, week):
+        with pytest.raises(ValueError):
+            week.split(0)
+        with pytest.raises(ValueError):
+            week.split(9999)
+
+    def test_day_slicing(self, week):
+        day3 = week.day(3)
+        assert day3.shape == (24,)
+        np.testing.assert_array_equal(day3, week.volumes_vph[72:96])
+
+    def test_day_slicing_requires_alignment(self):
+        series = VolumeSeries(np.ones(48), start_hour=5)
+        with pytest.raises(ValueError):
+            series.day(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VolumeSeries(np.asarray([]))
+        with pytest.raises(ConfigurationError):
+            VolumeSeries(np.asarray([1.0, -2.0]))
+
+
+class TestVolumeGenerator:
+    def test_deterministic_under_seed(self):
+        a = VolumeGenerator(seed=11).generate(14)
+        b = VolumeGenerator(seed=11).generate(14)
+        np.testing.assert_array_equal(a.volumes_vph, b.volumes_vph)
+
+    def test_seeds_differ(self):
+        a = VolumeGenerator(seed=1).generate(7)
+        b = VolumeGenerator(seed=2).generate(7)
+        assert not np.array_equal(a.volumes_vph, b.volumes_vph)
+
+    def test_non_negative(self):
+        series = VolumeGenerator(seed=5).generate(30)
+        assert np.all(series.volumes_vph >= 0)
+
+    def test_weekday_double_peak(self, week):
+        monday = week.day(0)
+        morning = monday[6:10].max()
+        midday = monday[11:14].mean()
+        evening = monday[15:19].max()
+        night = monday[0:5].mean()
+        assert morning > midday > night
+        assert evening > midday
+
+    def test_weekend_lower_than_weekday(self, week):
+        weekday_total = sum(week.day(d).sum() for d in range(5)) / 5
+        weekend_total = sum(week.day(d).sum() for d in (5, 6)) / 2
+        assert weekend_total < weekday_total
+
+    def test_weekend_single_midday_peak(self, week):
+        saturday = week.day(5)
+        peak_hour = int(np.argmax(saturday))
+        assert 10 <= peak_hour <= 16
+
+    def test_incidents_perturb_series(self):
+        calm = VolumeGenerator(seed=9, incident_rate_per_day=0.0).generate(30)
+        eventful = VolumeGenerator(seed=9, incident_rate_per_day=5.0).generate(30)
+        assert not np.array_equal(calm.volumes_vph, eventful.volumes_vph)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VolumeGenerator(base_vph=-1.0)
+        with pytest.raises(ConfigurationError):
+            VolumeGenerator(noise_std=-0.1)
+        with pytest.raises(ValueError):
+            VolumeGenerator().generate(0)

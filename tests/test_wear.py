@@ -1,0 +1,99 @@
+"""Battery-wear model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vehicle.wear import BatteryWearModel, WearModelParams, WearReport
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BatteryWearModel()
+
+
+def cruise_trace(duration=100.0, speed=15.0, dt=0.5):
+    times = np.arange(0.0, duration + dt, dt)
+    return times, np.full_like(times, speed)
+
+
+def stop_and_go_trace(cycles=5, dt=0.5):
+    times = [0.0]
+    speeds = [0.0]
+    t = 0.0
+    for _ in range(cycles):
+        t += 8.0
+        times.append(t)
+        speeds.append(16.0)
+        t += 12.0
+        times.append(t)
+        speeds.append(0.0)
+    return np.asarray(times), np.asarray(speeds)
+
+
+class TestWearModel:
+    def test_cruise_wear_positive(self, model):
+        report = model.assess(*cruise_trace())
+        assert report.throughput_ah > 0
+        assert 0 < report.life_fraction < 1e-3
+
+    def test_stop_and_go_wears_more_per_second(self, model):
+        t_c, v_c = cruise_trace(duration=100.0)
+        t_s, v_s = stop_and_go_trace(cycles=5)
+        cruise = model.assess(t_c, v_c)
+        churn = model.assess(t_s, v_s)
+        assert churn.throughput_ah / t_s[-1] > cruise.throughput_ah / t_c[-1]
+
+    def test_regen_counts_as_throughput(self, model):
+        times = np.asarray([0.0, 10.0, 20.0])
+        speeds = np.asarray([0.0, 16.0, 0.0])
+        report = model.assess(times, speeds)
+        accel_only = model.assess(times[:2], speeds[:2])
+        assert report.throughput_ah > accel_only.throughput_ah
+
+    def test_stress_weighting_kicks_in_above_1c(self, model):
+        gentle = BatteryWearModel(params=WearModelParams(c_rate_stress=0.0))
+        harsh = BatteryWearModel(params=WearModelParams(c_rate_stress=2.0))
+        t, v = stop_and_go_trace(cycles=3)
+        g = gentle.assess(t, v)
+        h = harsh.assess(t, v)
+        if g.peak_c_rate > 1.0:
+            assert h.stress_weighted_ah > g.stress_weighted_ah
+        assert g.stress_weighted_ah == pytest.approx(g.throughput_ah)
+
+    def test_life_fraction_scales_with_rated_cycles(self):
+        short = BatteryWearModel(params=WearModelParams(rated_cycles=500.0))
+        long = BatteryWearModel(params=WearModelParams(rated_cycles=2000.0))
+        t, v = cruise_trace()
+        assert short.assess(t, v).life_fraction == pytest.approx(
+            4.0 * long.assess(t, v).life_fraction
+        )
+
+    def test_ppm_property(self):
+        report = WearReport(
+            throughput_ah=1.0,
+            stress_weighted_ah=1.0,
+            equivalent_full_cycles=0.01,
+            life_fraction=1e-6,
+            peak_c_rate=0.5,
+        )
+        assert report.life_fraction_ppm == pytest.approx(1.0)
+
+    def test_assess_trace_overload(self, model, us25):
+        from repro.core.profile import VelocityProfile
+
+        profile = VelocityProfile([0.0, 200.0, 400.0], [0.0, 14.0, 0.0])
+        report = model.assess_trace(profile.to_time_trace(0.5))
+        assert report.throughput_ah > 0
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.assess([0.0], [1.0])
+        with pytest.raises(ValueError):
+            model.assess([0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            model.assess([0.0, 1.0], [1.0, -1.0])
+        with pytest.raises(ConfigurationError):
+            WearModelParams(rated_cycles=0.0)
+        with pytest.raises(ConfigurationError):
+            WearModelParams(c_rate_stress=-1.0)
