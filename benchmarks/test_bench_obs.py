@@ -1,0 +1,95 @@
+"""Observability overhead: disabled-mode instrumentation must be free.
+
+The ``repro.obs`` touch points inside ``DpSolver.solve`` (spans around
+setup / per-segment expand / per-segment select / backtrack, plus their
+field adds) all reduce to a single ``enabled`` check when the active
+registry is disabled.  This bench bounds that cost: it measures the
+per-touch-point price of a disabled span in isolation, multiplies by the
+number of touch points one solve executes, and asserts the total is
+under 2 % of the solve's wall time.  It also reports the enabled-mode
+cost for reference.
+"""
+
+import time
+
+from repro import obs
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.route.us25 import us25_greenville_segment
+from repro.units import vehicles_per_hour_to_per_second
+
+#: Acceptance bound on disabled-mode instrumentation overhead.
+MAX_DISABLED_OVERHEAD = 0.02
+
+
+def _build_planner():
+    return QueueAwareDpPlanner(
+        us25_greenville_segment(),
+        arrival_rates=vehicles_per_hour_to_per_second(300.0),
+        config=PlannerConfig(v_step_ms=1.0, s_step_m=25.0, t_bin_s=2.0),
+    )
+
+
+def _median_solve_s(planner, rounds: int) -> float:
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        planner.plan(start_time_s=0.0, max_trip_time_s=290.0)
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[len(times) // 2]
+
+
+def _disabled_touch_point_s(iterations: int = 50_000) -> float:
+    """Median cost of one disabled span (open + enter + add + exit)."""
+    registry = obs.MetricsRegistry(enabled=False)
+    samples = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            with registry.span("bench") as span:
+                span.add(value=1)
+        samples.append((time.perf_counter() - t0) / iterations)
+    return sorted(samples)[len(samples) // 2]
+
+
+def test_bench_disabled_obs_overhead_on_dp_solve(benchmark):
+    """Disabled-mode obs overhead on ``DpSolver.solve`` stays under 2 %."""
+    planner = _build_planner()
+    solve_s = benchmark.pedantic(
+        lambda: _median_solve_s(planner, rounds=3), rounds=1, iterations=1
+    )
+
+    # Touch points per solve: the dp.solve wrapper + setup + backtrack
+    # spans, plus an expand and a select span per route segment.
+    n_segments = planner.solver.positions.size - 1
+    touch_points = 3 + 2 * n_segments
+    touch_s = _disabled_touch_point_s()
+    overhead = touch_points * touch_s / solve_s
+
+    benchmark.extra_info["solve_s"] = solve_s
+    benchmark.extra_info["touch_points"] = touch_points
+    benchmark.extra_info["per_touch_ns"] = touch_s * 1e9
+    benchmark.extra_info["disabled_overhead_frac"] = overhead
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled-mode obs overhead {overhead:.2%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%} ({touch_points} touch points x "
+        f"{touch_s * 1e9:.0f} ns vs {solve_s * 1e3:.1f} ms solve)"
+    )
+
+
+def test_bench_enabled_obs_records_dp_phases(benchmark):
+    """Enabled-mode solve records every DP phase span (cost reported)."""
+    planner = _build_planner()
+    baseline_s = _median_solve_s(planner, rounds=3)
+
+    registry = obs.MetricsRegistry(enabled=True)
+
+    def instrumented():
+        registry.reset()
+        with obs.use_registry(registry):
+            return _median_solve_s(planner, rounds=3)
+
+    enabled_s = benchmark.pedantic(instrumented, rounds=1, iterations=1)
+    for path in ("dp.solve", "dp.solve.expand", "dp.solve.select",
+                 "dp.solve.backtrack", "dp.solve.setup"):
+        assert registry.span_stats(path) is not None, f"missing span {path}"
+    benchmark.extra_info["enabled_overhead_frac"] = enabled_s / baseline_s - 1.0

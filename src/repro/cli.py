@@ -9,6 +9,8 @@ Examples::
     repro-plan --rate 300 --depart 10 --cap 280
     repro-plan --planner baseline --csv plan.csv
     repro-plan --rate 500 --verify --seed 7
+    repro-plan --metrics               # plan summary + JSON metrics report
+    repro-plan --metrics=run.json      # write the report to a file
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ import argparse
 import sys
 from typing import Optional
 
+from repro import obs
 from repro.core.planner import (
     BaselineDpPlanner,
     PlannerConfig,
@@ -67,12 +70,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="play the plan through the microsimulator and report the derived trip",
     )
     parser.add_argument("--seed", type=int, default=0, help="simulator seed for --verify")
+    parser.add_argument(
+        "--metrics",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="collect observability metrics (DP per-phase spans, latency "
+        "histograms) and emit a JSON report: to stdout, or to PATH with "
+        "--metrics=PATH (which also prints an ASCII summary)",
+    )
     return parser
+
+
+def _emit_metrics(destination: str, registry: obs.MetricsRegistry) -> None:
+    """Write the metrics report: ``-`` means stdout, else a file + summary."""
+    report = obs.to_json(registry)
+    if destination == "-":
+        print(report)
+        return
+    try:
+        with open(destination, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    except OSError as exc:
+        print(f"could not write metrics to {destination!r}: {exc}", file=sys.stderr)
+        return
+    print(f"metrics written to {destination}")
+    print(obs.summary(registry))
 
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    registry = obs.get_registry()
+    if args.metrics is not None:
+        # Enable before the planner is built so the DP table-build span
+        # (often the dominant startup cost) lands in the report.
+        registry.enabled = True
+        registry.reset()
     if args.road:
         from repro.route.io import load_road_json
 
@@ -97,6 +132,8 @@ def main(argv: Optional[list] = None) -> int:
         solution = planner.plan(start_time_s=args.depart, max_trip_time_s=cap)
     except ReproError as exc:
         print(f"planning failed: {exc}", file=sys.stderr)
+        if args.metrics is not None:
+            _emit_metrics(args.metrics, registry)
         return 1
 
     print(f"route        : {road.name} ({road.length_m / 1000:.1f} km)")
@@ -129,6 +166,9 @@ def main(argv: Optional[list] = None) -> int:
             f"{trace.energy().net_mah:.1f} mAh, "
             f"{result.ev_signal_stops(road)} signal stop(s)"
         )
+
+    if args.metrics is not None:
+        _emit_metrics(args.metrics, registry)
     return 0
 
 

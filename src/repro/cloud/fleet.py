@@ -15,9 +15,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.cloud.messages import PlanRequest
 from repro.cloud.service import CloudPlannerService, ServiceStats
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PlanningFailedError
 from repro.route.road import RoadSegment
 from repro.trace.driver import fast_driver, mild_driver, synthesize_trace
 
@@ -27,21 +28,29 @@ class FleetResult:
     """Aggregates of one fleet study.
 
     Attributes:
-        n_vehicles: Fleet size served.
+        n_vehicles: Fleet size served (successfully planned).
+        n_failed: Departures the service could not plan
+            (:class:`~repro.errors.PlanningFailedError`); the study keeps
+            going and reports them here instead of aborting.
         planned_energy_mah: Sum of planned (optimized) trip energies.
         human_energy_mah: Sum of the reference human-driving energies for
-            the same departures (mild/fast mix).
+            the *served* departures (mild/fast mix) — failed departures
+            are excluded from both sides of the comparison.
         savings_pct: Fleet-level energy saving of the optimized plans.
         mean_trip_time_s: Mean planned trip duration.
-        service: Planning-service counters (cache hits, compute time).
+        service: Planning-service counters (cache hits, errors, compute
+            time).
+        failed_vehicle_ids: Ids of the unplannable departures, in order.
     """
 
     n_vehicles: int
+    n_failed: int
     planned_energy_mah: float
     human_energy_mah: float
     savings_pct: float
     mean_trip_time_s: float
     service: ServiceStats
+    failed_vehicle_ids: List[str] = field(default_factory=list)
 
 
 class FleetStudy:
@@ -89,50 +98,74 @@ class FleetStudy:
         so they are measured on ``human_reference_sample`` departures per
         style and scaled to the fleet — human trip energy varies little
         with departure compared to its mild/fast split.
+
+        Departures the service cannot plan
+        (:class:`~repro.errors.PlanningFailedError`) do not abort the
+        study: they are recorded in ``FleetResult.failed_vehicle_ids``
+        (and the service's ``stats.errors``), excluded from both the
+        planned and the human-reference energy sums, and the run carries
+        on with the remaining fleet.
         """
         if duration_s <= 0:
             raise ConfigurationError("duration must be positive")
+        registry = obs.get_registry()
         rng = np.random.default_rng(self.seed)
         n = rng.poisson(self.fleet_rate_vph * duration_s / 3600.0)
         departures = np.sort(rng.uniform(start_s, start_s + duration_s, size=n))
         styles = rng.random(n) < self.mild_fraction
 
-        planned_total = 0.0
-        trip_times: List[float] = []
-        for i, depart in enumerate(departures):
-            response = self.service.request(
-                PlanRequest(vehicle_id=f"ev{i}", depart_s=float(depart))
-            )
-            planned_total += response.energy_mah
-            trip_times.append(response.trip_time_s)
+        with registry.span("fleet.run", departures=int(n)):
+            planned_total = 0.0
+            trip_times: List[float] = []
+            served_mild = 0
+            served_fast = 0
+            failed_ids: List[str] = []
+            for i, depart in enumerate(departures):
+                vehicle_id = f"ev{i}"
+                try:
+                    response = self.service.request(
+                        PlanRequest(vehicle_id=vehicle_id, depart_s=float(depart))
+                    )
+                except PlanningFailedError:
+                    failed_ids.append(vehicle_id)
+                    registry.inc("fleet.failed")
+                    continue
+                planned_total += response.energy_mah
+                trip_times.append(response.trip_time_s)
+                if styles[i]:
+                    served_mild += 1
+                else:
+                    served_fast += 1
+                registry.inc("fleet.served")
 
-        human_means: Dict[str, float] = {}
-        for style in (mild_driver(), fast_driver()):
-            energies = []
-            for k in range(human_reference_sample):
-                depart = start_s + k * 17.0
-                trace = synthesize_trace(
-                    self.road,
-                    style,
-                    arrival_rate_vph=self.background_vph,
-                    depart_s=depart,
-                    seed=self.seed + k,
-                )
-                energies.append(trace.energy().net_mah)
-            human_means[style.name] = float(np.mean(energies))
+            human_means: Dict[str, float] = {}
+            for style in (mild_driver(), fast_driver()):
+                energies = []
+                for k in range(human_reference_sample):
+                    depart = start_s + k * 17.0
+                    trace = synthesize_trace(
+                        self.road,
+                        style,
+                        arrival_rate_vph=self.background_vph,
+                        depart_s=depart,
+                        seed=self.seed + k,
+                    )
+                    energies.append(trace.energy().net_mah)
+                human_means[style.name] = float(np.mean(energies))
 
-        n_mild = int(np.sum(styles))
         human_total = (
-            n_mild * human_means["mild"] + (n - n_mild) * human_means["fast"]
+            served_mild * human_means["mild"] + served_fast * human_means["fast"]
         )
         savings = (
             100.0 * (1.0 - planned_total / human_total) if human_total > 0 else 0.0
         )
         return FleetResult(
-            n_vehicles=int(n),
+            n_vehicles=served_mild + served_fast,
+            n_failed=len(failed_ids),
             planned_energy_mah=planned_total,
             human_energy_mah=human_total,
             savings_pct=savings,
             mean_trip_time_s=float(np.mean(trip_times)) if trip_times else 0.0,
             service=self.service.stats,
+            failed_vehicle_ids=failed_ids,
         )

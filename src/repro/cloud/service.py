@@ -17,25 +17,53 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
+from repro import obs
 from repro.cloud.messages import PlanRequest, PlanResponse
 from repro.core.planner import DpPlannerBase
 from repro.core.profile import VelocityProfile
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InfeasibleProblemError, PlanningFailedError
 
 
 @dataclass
 class ServiceStats:
-    """Operational counters of the service."""
+    """Operational counters of the service.
+
+    Every request increments exactly one of ``cache_hits``,
+    ``cache_misses`` or ``errors``, so
+    ``requests == cache_hits + cache_misses + errors`` always holds —
+    including when the planner raises mid-request.
+
+    Attributes:
+        requests: Total requests received (served or not).
+        cache_hits: Requests answered from the phase cache.
+        cache_misses: Requests answered by running the planner.
+        errors: Requests the planner could not satisfy
+            (:class:`~repro.errors.PlanningFailedError` was raised).
+        revalidation_misses: Cache hits discarded because the shifted
+            profile no longer satisfied the arrival windows at the new
+            departure; each one is also counted as a ``cache_misses``
+            (the plan was recomputed), never as a hit.
+        total_compute_s: Planner wall time, including failed solves.
+    """
 
     requests: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    errors: int = 0
+    revalidation_misses: int = 0
     total_compute_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
-        """Cache hit fraction; 0 when idle."""
-        return self.cache_hits / self.requests if self.requests else 0.0
+        """Cache hit fraction of *served* requests; 0 when idle.
+
+        Failed requests (``errors``) never reached a serve decision, so
+        they are excluded — a planner failure does not skew the rate.
+        """
+        served = self.cache_hits + self.cache_misses
+        return self.cache_hits / served if served else 0.0
 
 
 class CloudPlannerService:
@@ -105,8 +133,44 @@ class CloudPlannerService:
     # Serving
     # ------------------------------------------------------------------
     def request(self, req: PlanRequest) -> PlanResponse:
-        """Answer one vehicle's plan request."""
+        """Answer one vehicle's plan request.
+
+        Cache hits are *revalidated*: the cached profile is shifted to the
+        request's departure and its signal arrivals are re-checked against
+        the (margin-shrunk) arrival windows at that departure.  This
+        bounds the phase-quantization error — a hit whose shifted
+        arrivals drifted out of the windows (possible when
+        ``phase_quantum_s`` exceeds the planner's window margin) falls
+        back to a fresh solve instead of handing out a stale plan.
+
+        Raises:
+            PlanningFailedError: The planner found the request infeasible.
+                ``stats.errors`` is incremented and any planner wall time
+                spent is accounted in ``stats.total_compute_s`` before the
+                raise, so counters stay consistent for callers that catch
+                it and continue.
+        """
+        registry = obs.get_registry()
+        t_req = _time.perf_counter()
         self.stats.requests += 1
+        registry.inc("cloud.requests")
+        try:
+            response = self._serve(req, registry)
+        except InfeasibleProblemError as exc:
+            self.stats.errors += 1
+            registry.inc("cloud.errors")
+            registry.observe("cloud.request_s", _time.perf_counter() - t_req)
+            raise PlanningFailedError(
+                f"no feasible plan for {req.vehicle_id!r} departing at "
+                f"{req.depart_s:.1f} s: {exc}",
+                vehicle_id=req.vehicle_id,
+                depart_s=req.depart_s,
+            ) from exc
+        registry.observe("cloud.request_s", _time.perf_counter() - t_req)
+        return response
+
+    def _serve(self, req: PlanRequest, registry: obs.MetricsRegistry) -> PlanResponse:
+        """Serve one request: cache lookup + revalidation, else a solve."""
         budget = req.max_trip_time_s
         if budget is None:
             budget = self._fastest_trip(req.depart_s) + self.default_budget_slack_s
@@ -119,21 +183,33 @@ class CloudPlannerService:
             cached = self._cache.get(key)
             if cached is not None:
                 profile, energy_mah, trip_time = cached
-                self.stats.cache_hits += 1
-                return PlanResponse(
-                    vehicle_id=req.vehicle_id,
-                    profile=self._shift_profile(profile, req.depart_s),
-                    energy_mah=energy_mah,
-                    trip_time_s=trip_time,
-                    cache_hit=True,
-                    compute_time_s=0.0,
-                )
+                shifted = self._shift_profile(profile, req.depart_s)
+                if self._revalidate(shifted, req.depart_s):
+                    self.stats.cache_hits += 1
+                    registry.inc("cloud.hits")
+                    return PlanResponse(
+                        vehicle_id=req.vehicle_id,
+                        profile=shifted,
+                        energy_mah=energy_mah,
+                        trip_time_s=trip_time,
+                        cache_hit=True,
+                        compute_time_s=0.0,
+                    )
+                self.stats.revalidation_misses += 1
+                registry.inc("cloud.revalidation_misses")
 
         t0 = _time.perf_counter()
-        solution = self.planner.plan(start_time_s=req.depart_s, max_trip_time_s=budget)
-        compute = _time.perf_counter() - t0
+        try:
+            solution = self.planner.plan(
+                start_time_s=req.depart_s, max_trip_time_s=budget
+            )
+        finally:
+            # Failed solves burn real planner time too; account it so the
+            # service's compute economics stay honest under errors.
+            compute = _time.perf_counter() - t0
+            self.stats.total_compute_s += compute
         self.stats.cache_misses += 1
-        self.stats.total_compute_s += compute
+        registry.inc("cloud.misses")
         if key is not None:
             self._cache[key] = (
                 solution.profile,
@@ -149,16 +225,37 @@ class CloudPlannerService:
             compute_time_s=compute,
         )
 
+    def _revalidate(self, profile: VelocityProfile, depart_s: float) -> bool:
+        """Whether a shifted cached profile still hits every arrival window.
+
+        The cache key quantizes the departure phase, so a shifted profile's
+        arrivals can drift up to ``phase_quantum_s`` relative to the solve
+        that produced it.  The planner's window margin normally absorbs
+        that drift; this check catches the cases it cannot (quantum larger
+        than the margin, windows whose edges moved between cycles).
+        """
+        for constraint in self.planner.signal_constraints(depart_s):
+            arrival = profile.arrival_time_at(constraint.position_m)
+            if not bool(constraint.windows.contains(np.asarray([arrival]))[0]):
+                return False
+        return True
+
     def _fastest_trip(self, depart_s: float) -> float:
         """Minimum feasible trip time, phase-cached like the plans."""
         if not self._cacheable:
-            return self.planner.min_trip_time(depart_s)
+            t0 = _time.perf_counter()
+            try:
+                return self.planner.min_trip_time(depart_s)
+            finally:
+                self.stats.total_compute_s += _time.perf_counter() - t0
         phase_bin = int((depart_s % self._period_s) / self.phase_quantum_s)
         cached = self._min_time_cache.get(phase_bin)
         if cached is None:
             t0 = _time.perf_counter()
-            cached = self.planner.min_trip_time(depart_s)
-            self.stats.total_compute_s += _time.perf_counter() - t0
+            try:
+                cached = self.planner.min_trip_time(depart_s)
+            finally:
+                self.stats.total_compute_s += _time.perf_counter() - t0
             self._min_time_cache[phase_bin] = cached
         return cached
 

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.cost import SegmentEnergyTable, WindowSet
 from repro.core.profile import VelocityProfile
 from repro.errors import ConfigurationError, InfeasibleProblemError
@@ -81,6 +82,8 @@ class DpSolution:
         windows_hit: Whether each arrival falls inside its windows.
         solve_time_s: Wall-clock solver runtime.
         expanded_transitions: Number of (segment, v, v') pairs relaxed.
+        pack_voltage_v: Nominal voltage of the pack the solve priced
+            energy for; :attr:`energy_mah` converts at this voltage.
     """
 
     profile: VelocityProfile
@@ -90,11 +93,12 @@ class DpSolution:
     windows_hit: Dict[float, bool] = field(default_factory=dict)
     solve_time_s: float = 0.0
     expanded_transitions: int = 0
+    pack_voltage_v: float = 399.0
 
     @property
     def energy_mah(self) -> float:
-        """Objective in mAh at the default 399 V pack (Fig. 7 unit)."""
-        return joules_to_mah(self.energy_j, 399.0)
+        """Objective in mAh at the solve's pack voltage (Fig. 7 unit)."""
+        return joules_to_mah(self.energy_j, self.pack_voltage_v)
 
     @property
     def all_windows_hit(self) -> bool:
@@ -158,10 +162,14 @@ class DpSolver:
             # of speed compounds into several seconds over a long corridor,
             # enough to miss tight windows.
             self.v_grid = np.append(self.v_grid, v_max_global)
-        self._allowed = self._build_allowed_masks()
-        self._dwell_at = self._build_dwells()
-        self._tables: List[SegmentEnergyTable] = self._build_tables()
-        self._min_time_to_go = self._build_min_time_to_go()
+        with obs.get_registry().span("dp.table_build") as span:
+            self._allowed = self._build_allowed_masks()
+            self._dwell_at = self._build_dwells()
+            self._tables: List[SegmentEnergyTable] = self._build_tables()
+            self._min_time_to_go = self._build_min_time_to_go()
+            span.add(
+                segments=len(self._tables), velocity_levels=int(self.v_grid.size)
+            )
 
     # ------------------------------------------------------------------
     # Grid construction
@@ -278,23 +286,51 @@ class DpSolver:
         """
         if minimize not in ("energy", "time"):
             raise ConfigurationError(f"unknown objective {minimize!r}")
-        t0 = _time.perf_counter()
-        trip_cap = max_trip_time_s if max_trip_time_s is not None else self.horizon_s
-        if trip_cap <= 0:
-            raise ConfigurationError(f"trip-time cap must be positive, got {trip_cap}")
-        trip_cap = min(trip_cap, self.horizon_s)
-        n_bins = int(np.floor(self.horizon_s / self.t_bin_s)) + 1
-        n_pts = self.positions.size
-        i0, j0, seed_time = self._seed_state(start_state, start_time_s)
-
-        constraint_at: Dict[int, TimeWindowConstraint] = {}
-        for constraint in constraints:
-            idx = int(np.argmin(np.abs(self.positions - constraint.position_m)))
-            if abs(self.positions[idx] - constraint.position_m) > self.s_step_m:
-                raise ConfigurationError(
-                    f"constraint position {constraint.position_m} m is not on the grid"
+        registry = obs.get_registry()
+        with registry.span("dp.solve", objective=minimize) as span:
+            try:
+                solution = self._solve(
+                    registry,
+                    constraints,
+                    start_time_s,
+                    max_trip_time_s,
+                    minimize,
+                    start_state,
                 )
-            constraint_at[idx] = constraint
+            except InfeasibleProblemError:
+                span.add(infeasible=1)
+                raise
+            span.add(expanded_transitions=solution.expanded_transitions)
+            return solution
+
+    def _solve(
+        self,
+        registry: obs.MetricsRegistry,
+        constraints: Sequence[TimeWindowConstraint],
+        start_time_s: float,
+        max_trip_time_s: Optional[float],
+        minimize: str,
+        start_state: Optional[Tuple[float, float]],
+    ) -> DpSolution:
+        """The DP proper; ``solve`` wraps it in the ``dp.solve`` span."""
+        t0 = _time.perf_counter()
+        with registry.span("setup"):
+            trip_cap = max_trip_time_s if max_trip_time_s is not None else self.horizon_s
+            if trip_cap <= 0:
+                raise ConfigurationError(f"trip-time cap must be positive, got {trip_cap}")
+            trip_cap = min(trip_cap, self.horizon_s)
+            n_bins = int(np.floor(self.horizon_s / self.t_bin_s)) + 1
+            n_pts = self.positions.size
+            i0, j0, seed_time = self._seed_state(start_state, start_time_s)
+
+            constraint_at: Dict[int, TimeWindowConstraint] = {}
+            for constraint in constraints:
+                idx = int(np.argmin(np.abs(self.positions - constraint.position_m)))
+                if abs(self.positions[idx] - constraint.position_m) > self.s_step_m:
+                    raise ConfigurationError(
+                        f"constraint position {constraint.position_m} m is not on the grid"
+                    )
+                constraint_at[idx] = constraint
 
         # Flat label lists per route point.  A label is (velocity index,
         # exact arrival time, exact cost-to-come, back-pointer into the
@@ -307,75 +343,79 @@ class DpSolver:
         expanded = 0
 
         for i in range(i0, n_pts - 1):
-            j_arr, j2_arr, e_arr, dt_arr = self._segment_pairs(i)
-            if j_arr.size == 0:
-                raise InfeasibleProblemError(
-                    f"no feasible transition over segment {i} "
-                    f"({self.positions[i]:.0f}-{self.positions[i + 1]:.0f} m)"
-                )
+            with registry.span("expand") as expand_span:
+                j_arr, j2_arr, e_arr, dt_arr = self._segment_pairs(i)
+                if j_arr.size == 0:
+                    raise InfeasibleProblemError(
+                        f"no feasible transition over segment {i} "
+                        f"({self.positions[i]:.0f}-{self.positions[i + 1]:.0f} m)"
+                    )
 
-            # Expand every (source label, feasible successor) combination.
-            order_v = np.argsort(lab_v, kind="stable")
-            src_sorted_v = lab_v[order_v]
-            counts = np.bincount(src_sorted_v, minlength=self.v_grid.size)
-            starts = np.concatenate([[0], np.cumsum(counts)])
-            src_chunks, j2_chunks, e_chunks, dt_chunks = [], [], [], []
-            for j in np.unique(src_sorted_v):
-                pairs = j_arr == j
-                if not pairs.any():
-                    continue
-                labels_here = order_v[starts[j]: starts[j + 1]]
-                succ = j2_arr[pairs]
-                src_chunks.append(np.repeat(labels_here, succ.size))
-                j2_chunks.append(np.tile(succ, labels_here.size))
-                e_chunks.append(np.tile(e_arr[pairs], labels_here.size))
-                dt_chunks.append(np.tile(dt_arr[pairs], labels_here.size))
-            if not src_chunks:
-                raise InfeasibleProblemError(
-                    f"all labels stranded entering segment {i} "
-                    f"({self.positions[i]:.0f}-{self.positions[i + 1]:.0f} m)"
-                )
-            src = np.concatenate(src_chunks)
-            cj2 = np.concatenate(j2_chunks)
-            cc = np.concatenate(e_chunks) + lab_c[src]
-            ct = np.concatenate(dt_chunks) + lab_t[src]
-            expanded += src.size
+                # Expand every (source label, feasible successor) combination.
+                order_v = np.argsort(lab_v, kind="stable")
+                src_sorted_v = lab_v[order_v]
+                counts = np.bincount(src_sorted_v, minlength=self.v_grid.size)
+                starts = np.concatenate([[0], np.cumsum(counts)])
+                src_chunks, j2_chunks, e_chunks, dt_chunks = [], [], [], []
+                for j in np.unique(src_sorted_v):
+                    pairs = j_arr == j
+                    if not pairs.any():
+                        continue
+                    labels_here = order_v[starts[j]: starts[j + 1]]
+                    succ = j2_arr[pairs]
+                    src_chunks.append(np.repeat(labels_here, succ.size))
+                    j2_chunks.append(np.tile(succ, labels_here.size))
+                    e_chunks.append(np.tile(e_arr[pairs], labels_here.size))
+                    dt_chunks.append(np.tile(dt_arr[pairs], labels_here.size))
+                if not src_chunks:
+                    raise InfeasibleProblemError(
+                        f"all labels stranded entering segment {i} "
+                        f"({self.positions[i]:.0f}-{self.positions[i + 1]:.0f} m)"
+                    )
+                src = np.concatenate(src_chunks)
+                cj2 = np.concatenate(j2_chunks)
+                cc = np.concatenate(e_chunks) + lab_c[src]
+                ct = np.concatenate(dt_chunks) + lab_t[src]
+                expanded += src.size
+                expand_span.add(transitions=int(src.size))
 
-            # Time is monotone along a path, so prune any label that could
-            # not reach the destination inside the cap even at the fastest
-            # feasible continuation (admissible suffix bound).
-            keep = ct - start_time_s + self._min_time_to_go[i + 1] <= trip_cap + 1e-9
-            target = constraint_at.get(i + 1)
-            if target is not None:
-                ok = target.windows.contains(ct)
-                if target.mode == "hard":
-                    keep &= ok
-                else:
-                    cc = np.where(ok, cc, cc + target.penalty_j)
-            src, cj2, cc, ct = src[keep], cj2[keep], cc[keep], ct[keep]
-            if src.size == 0:
-                raise InfeasibleProblemError(
-                    f"no label survives into {self.positions[i + 1]:.0f} m; "
-                    "windows or horizon are too tight"
-                )
+                # Time is monotone along a path, so prune any label that could
+                # not reach the destination inside the cap even at the fastest
+                # feasible continuation (admissible suffix bound).
+                keep = ct - start_time_s + self._min_time_to_go[i + 1] <= trip_cap + 1e-9
+                target = constraint_at.get(i + 1)
+                if target is not None:
+                    ok = target.windows.contains(ct)
+                    if target.mode == "hard":
+                        keep &= ok
+                    else:
+                        cc = np.where(ok, cc, cc + target.penalty_j)
+                src, cj2, cc, ct = src[keep], cj2[keep], cc[keep], ct[keep]
+                if src.size == 0:
+                    raise InfeasibleProblemError(
+                        f"no label survives into {self.positions[i + 1]:.0f} m; "
+                        "windows or horizon are too tight"
+                    )
 
-            # Label selection per (v', time bin): keep BOTH the cheapest
-            # candidate and the earliest candidate.  The cheapest slot
-            # drives energy optimality; the earliest slot preserves the
-            # fast time-frontier exactly, so tight windows downstream stay
-            # reachable (a cheaper-but-later label can never displace the
-            # fastest lineage).
-            k2 = np.round((ct - start_time_s) / self.t_bin_s).astype(np.int64)
-            tgt = cj2.astype(np.int64) * n_bins + k2
-            sel_cheap = _first_per_group(tgt, np.lexsort((ct, cc, tgt)))
-            sel_fast = _first_per_group(tgt, np.lexsort((cc, ct, tgt)))
-            sel = np.unique(np.concatenate([sel_cheap, sel_fast]))
+            with registry.span("select") as select_span:
+                # Label selection per (v', time bin): keep BOTH the cheapest
+                # candidate and the earliest candidate.  The cheapest slot
+                # drives energy optimality; the earliest slot preserves the
+                # fast time-frontier exactly, so tight windows downstream stay
+                # reachable (a cheaper-but-later label can never displace the
+                # fastest lineage).
+                k2 = np.round((ct - start_time_s) / self.t_bin_s).astype(np.int64)
+                tgt = cj2.astype(np.int64) * n_bins + k2
+                sel_cheap = _first_per_group(tgt, np.lexsort((ct, cc, tgt)))
+                sel_fast = _first_per_group(tgt, np.lexsort((cc, ct, tgt)))
+                sel = np.unique(np.concatenate([sel_cheap, sel_fast]))
 
-            prev_of.append(src[sel].astype(np.int32))
-            lab_v = cj2[sel].astype(np.int16)
-            lab_t = ct[sel]
-            lab_c = cc[sel]
-            v_of.append(lab_v)
+                prev_of.append(src[sel].astype(np.int32))
+                lab_v = cj2[sel].astype(np.int16)
+                lab_t = ct[sel]
+                lab_c = cc[sel]
+                v_of.append(lab_v)
+                select_span.add(labels=int(sel.size))
 
         # Destination: mandatory v = 0 (Eq. 7d), trip time within the cap.
         at_rest = lab_v == 0
@@ -391,23 +431,24 @@ class DpSolver:
         best_cost = float(lab_c[best])
         trip_time = float(lab_t[best] - start_time_s)
 
-        speeds = self._backtrack(prev_of, v_of, int(best))
-        profile = VelocityProfile(
-            positions_m=self.positions[i0:],
-            speeds_ms=speeds,
-            dwell_s=self._dwell_at[i0:],
-            start_time_s=seed_time,
-        )
-        arrivals: Dict[float, float] = {}
-        hits: Dict[float, bool] = {}
-        for idx, constraint in constraint_at.items():
-            if idx < i0:
-                continue  # already passed this signal before replanning
-            t_arr = float(profile.arrival_times_s[idx - i0])
-            arrivals[constraint.position_m] = t_arr
-            hits[constraint.position_m] = bool(
-                constraint.windows.contains(np.asarray([t_arr]))[0]
+        with registry.span("backtrack"):
+            speeds = self._backtrack(prev_of, v_of, int(best))
+            profile = VelocityProfile(
+                positions_m=self.positions[i0:],
+                speeds_ms=speeds,
+                dwell_s=self._dwell_at[i0:],
+                start_time_s=seed_time,
             )
+            arrivals: Dict[float, float] = {}
+            hits: Dict[float, bool] = {}
+            for idx, constraint in constraint_at.items():
+                if idx < i0:
+                    continue  # already passed this signal before replanning
+                t_arr = float(profile.arrival_times_s[idx - i0])
+                arrivals[constraint.position_m] = t_arr
+                hits[constraint.position_m] = bool(
+                    constraint.windows.contains(np.asarray([t_arr]))[0]
+                )
         return DpSolution(
             profile=profile,
             energy_j=best_cost,
@@ -416,6 +457,7 @@ class DpSolver:
             windows_hit=hits,
             solve_time_s=_time.perf_counter() - t0,
             expanded_transitions=expanded,
+            pack_voltage_v=self.vehicle.battery.voltage_v,
         )
 
     def _seed_state(
@@ -428,6 +470,12 @@ class DpSolver:
         grid point at or after the position, the nearest admissible grid
         velocity there, and the time adjusted by the short hop from the
         physical position to that grid point at the current speed.
+
+        A position strictly inside the final segment snaps *backwards* to
+        that segment's start instead — snapping forward would land on the
+        destination with zero segments left to expand, and a profile needs
+        at least two points.  The backward hop is free, which is
+        conservative: the plan re-covers the few already-driven metres.
         """
         if start_state is None:
             return 0, 0, start_time_s
@@ -439,6 +487,7 @@ class DpSolver:
                 f"replanning position {position_m} m is outside the route"
             )
         i0 = int(np.searchsorted(self.positions, position_m - 1e-9))
+        i0 = min(i0, self.positions.size - 2)
         allowed = np.flatnonzero(self._allowed[i0])
         j0 = int(allowed[np.argmin(np.abs(self.v_grid[allowed] - speed_ms))])
         hop_m = float(self.positions[i0] - position_m)

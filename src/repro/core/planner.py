@@ -100,6 +100,18 @@ class DpPlannerBase:
     ) -> Sequence[TimeWindowConstraint]:
         raise NotImplementedError
 
+    def signal_constraints(
+        self, start_time_s: float
+    ) -> Sequence[TimeWindowConstraint]:
+        """The arrival-window constraints a plan from ``start_time_s`` obeys.
+
+        Exposed so service layers can *revalidate* a plan against the
+        windows without running the DP — the cloud cache uses this to
+        check that a phase-shifted cached profile still lands inside the
+        (margin-shrunk) windows at its new departure time.
+        """
+        return self._signal_constraints(start_time_s)
+
     def plan(
         self,
         start_time_s: float = 0.0,

@@ -24,5 +24,26 @@ class SimulationError(ReproError):
     """The traffic simulator reached an inconsistent state."""
 
 
+class PlanningFailedError(ReproError):
+    """The cloud planning service could not produce a plan for a request.
+
+    Raised by :meth:`repro.cloud.service.CloudPlannerService.request` when
+    the underlying planner finds the request infeasible (too-tight budget,
+    unreachable windows).  The failure is fully accounted in the service's
+    :class:`~repro.cloud.service.ServiceStats` before this is raised, so
+    callers that catch it (e.g. the fleet study) can keep serving the rest
+    of their workload with consistent counters.
+
+    Attributes:
+        vehicle_id: The requesting vehicle.
+        depart_s: The requested departure time (s).
+    """
+
+    def __init__(self, message: str, vehicle_id: str = "", depart_s: float = 0.0):
+        super().__init__(message)
+        self.vehicle_id = vehicle_id
+        self.depart_s = depart_s
+
+
 class PredictionError(ReproError):
     """A traffic predictor was used before training or on bad input."""

@@ -11,8 +11,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Tuple
 
+from repro import obs
+from repro.analysis.tables import render_table
 from repro.experiments import (
     ext_closed_loop,
     ext_pareto,
@@ -64,8 +66,20 @@ def main(argv=None) -> int:
         default=list(EXPERIMENTS),
         help="experiment ids to run (default: all)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="collect observability metrics across the run and write the "
+        "JSON report to PATH",
+    )
     args = parser.parse_args(argv)
+    registry = obs.get_registry()
+    if args.metrics is not None:
+        registry.enabled = True
+        registry.reset()
     names = args.experiments or list(EXPERIMENTS)
+    timings: List[Tuple[str, float]] = []
     for name in names:
         started = time.perf_counter()
         print("=" * 72)
@@ -74,7 +88,30 @@ def main(argv=None) -> int:
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
-        print(f"[{name} completed in {time.perf_counter() - started:.1f} s]")
+        elapsed = time.perf_counter() - started
+        timings.append((name, elapsed))
+        print(f"[{name} completed in {elapsed:.1f} s]")
+    if timings:
+        print("=" * 72)
+        print("per-figure timing report")
+        total = sum(elapsed for _, elapsed in timings)
+        rows = [
+            [name, elapsed, 100.0 * elapsed / total if total else 0.0]
+            for name, elapsed in timings
+        ]
+        rows.append(["total", total, 100.0])
+        print(render_table(["experiment", "runtime_s", "share_pct"], rows))
+    if args.metrics is not None:
+        try:
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                fh.write(obs.to_json(registry) + "\n")
+        except OSError as exc:
+            print(
+                f"could not write metrics to {args.metrics!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"metrics written to {args.metrics}")
     return 0
 
 

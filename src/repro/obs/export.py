@@ -1,0 +1,141 @@
+"""Render a :class:`~repro.obs.registry.MetricsRegistry` for humans and files.
+
+Three formats:
+
+* :func:`to_json` — the full snapshot, one JSON document (the format the
+  ``repro-plan --metrics`` report uses).
+* :func:`to_csv` — flat ``kind,name,stat,value`` rows, convenient for
+  spreadsheet diffing across runs.
+* :func:`summary` — an aligned ASCII report in the style of the
+  experiment tables (:mod:`repro.analysis.tables`); span rows carry
+  their full dotted path, so nesting stays readable.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+from typing import List, Sequence
+
+from repro.obs.registry import MetricsRegistry
+
+
+def to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """Serialize the registry snapshot as a JSON document."""
+
+    def _default(obj):
+        return str(obj)
+
+    snap = registry.snapshot()
+    return json.dumps(_sanitize(snap), indent=indent, default=_default)
+
+
+def _sanitize(value):
+    """Replace non-finite floats (JSON has no NaN literal) recursively."""
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def to_csv(registry: MetricsRegistry) -> str:
+    """Serialize the registry as flat ``kind,name,stat,value`` CSV rows."""
+    snap = registry.snapshot()
+    out = io.StringIO()
+    out.write("kind,name,stat,value\n")
+
+    def _row(kind: str, name: str, stat: str, value) -> None:
+        if isinstance(value, float) and not math.isfinite(value):
+            value = ""
+        out.write(f"{kind},{name},{stat},{value}\n")
+
+    for name, value in snap["counters"].items():
+        _row("counter", name, "value", value)
+    for name, value in snap["gauges"].items():
+        _row("gauge", name, "value", value)
+    for name, stats in snap["histograms"].items():
+        for stat, value in stats.items():
+            _row("histogram", name, stat, value)
+    for path, stats in snap["spans"].items():
+        for stat, value in stats.items():
+            if stat == "fields":
+                for field, fv in value.items():
+                    _row("span", path, f"field.{field}", fv)
+            else:
+                _row("span", path, stat, value)
+    return out.getvalue()
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return "-"
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def summary(registry: MetricsRegistry) -> str:
+    """An aligned plain-text report of everything the registry holds."""
+    from repro.analysis.tables import render_table
+
+    snap = registry.snapshot()
+    sections: List[str] = []
+
+    if snap["spans"]:
+        rows = []
+        for path, stats in snap["spans"].items():
+            rows.append(
+                [
+                    path,
+                    stats["count"],
+                    _fmt(stats["total_s"]),
+                    _fmt(stats["mean_s"]),
+                    _fmt(stats["p50_s"]),
+                    _fmt(stats["p99_s"]),
+                ]
+            )
+        sections.append(
+            "spans\n"
+            + render_table(
+                ["span", "count", "total_s", "mean_s", "p50_s", "p99_s"], rows
+            )
+        )
+
+    if snap["counters"]:
+        rows = [[name, _fmt(value)] for name, value in snap["counters"].items()]
+        sections.append("counters\n" + render_table(["counter", "value"], rows))
+
+    if snap["gauges"]:
+        rows = [[name, _fmt(value)] for name, value in snap["gauges"].items()]
+        sections.append("gauges\n" + render_table(["gauge", "value"], rows))
+
+    if snap["histograms"]:
+        rows = []
+        for name, stats in snap["histograms"].items():
+            rows.append(
+                [
+                    name,
+                    stats.get("count", 0),
+                    _fmt(stats.get("mean")),
+                    _fmt(stats.get("p50")),
+                    _fmt(stats.get("p90")),
+                    _fmt(stats.get("p99")),
+                    _fmt(stats.get("max")),
+                ]
+            )
+        sections.append(
+            "histograms\n"
+            + render_table(
+                ["histogram", "count", "mean", "p50", "p90", "p99", "max"], rows
+            )
+        )
+
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

@@ -19,11 +19,13 @@ Invariants maintained each step (checked, raising
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.profile import TimedTrace
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.car_following import OPEN_ROAD_GAP_M, KraussModel
@@ -244,11 +246,31 @@ class CorridorSimulator:
         raise SimulationError(f"EV did not finish within {hard_limit_s} s")
 
     def step(self) -> None:
-        """Advance the world by one time step."""
+        """Advance the world by one time step.
+
+        When the active metrics registry is enabled, each step records its
+        wall time into the ``sim.step_s`` histogram and refreshes the
+        ``sim.vehicles`` / ``sim.queued`` gauges.
+        """
+        registry = obs.get_registry()
+        if not registry.enabled:
+            self._insert_vehicles()
+            self._advance_vehicles()
+            self._record_queues()
+            self._time += self.dt_s
+            return
+        t0 = _time.perf_counter()
         self._insert_vehicles()
         self._advance_vehicles()
         self._record_queues()
         self._time += self.dt_s
+        registry.observe("sim.step_s", _time.perf_counter() - t0)
+        registry.inc("sim.steps")
+        registry.gauge("sim.vehicles", len(self._vehicles))
+        registry.gauge(
+            "sim.queued",
+            sum(counts[-1] for counts in self._queue_counts.values() if counts),
+        )
 
     # ------------------------------------------------------------------
     # Internals

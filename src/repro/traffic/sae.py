@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, PredictionError
 
 
@@ -124,16 +125,18 @@ class SAEPredictor:
                 f"features {x.shape} and targets {y.shape} are inconsistent"
             )
         rng = np.random.default_rng(self.seed)
-        self._weights, self._biases = [], []
-        layer_input = x
-        for width in self.hidden_sizes:
-            w, b = self._pretrain_layer(layer_input, width, rng)
-            self._weights.append(w)
-            self._biases.append(b)
-            layer_input = _sigmoid(layer_input @ w + b)
-        self._w_out = rng.normal(0.0, 0.1, size=(self.hidden_sizes[-1], 1))
-        self._b_out = np.zeros(1)
-        self._finetune(x, y, rng)
+        registry = obs.get_registry()
+        with registry.span("sae.fit", samples=int(x.shape[0])):
+            self._weights, self._biases = [], []
+            layer_input = x
+            for width in self.hidden_sizes:
+                w, b = self._pretrain_layer(layer_input, width, rng)
+                self._weights.append(w)
+                self._biases.append(b)
+                layer_input = _sigmoid(layer_input @ w + b)
+            self._w_out = rng.normal(0.0, 0.1, size=(self.hidden_sizes[-1], 1))
+            self._b_out = np.zeros(1)
+            self._finetune(x, y, rng)
         return self
 
     def _pretrain_layer(
@@ -150,20 +153,30 @@ class SAEPredictor:
         adam = _Adam(lr=self.learning_rate)
         adam.init(params)
         n = data.shape[0]
-        for _ in range(self.pretrain_epochs):
-            order = rng.permutation(n)
-            for lo in range(0, n, self.batch_size):
-                batch = data[order[lo: lo + self.batch_size]]
-                h = _sigmoid(batch @ w_enc + b_enc)
-                recon = h @ w_dec + b_dec
-                err = recon - batch
-                m = batch.shape[0]
-                g_wdec = h.T @ err / m
-                g_bdec = err.mean(axis=0)
-                dh = (err @ w_dec.T) * h * (1 - h)
-                g_wenc = batch.T @ dh / m
-                g_benc = dh.mean(axis=0)
-                adam.step(params, [g_wenc, g_benc, g_wdec, g_bdec])
+        registry = obs.get_registry()
+        with registry.span("pretrain_layer", width=int(width)) as layer_span:
+            recon_mse = 0.0
+            for _ in range(self.pretrain_epochs):
+                order = rng.permutation(n)
+                recon_sse = 0.0
+                for lo in range(0, n, self.batch_size):
+                    batch = data[order[lo: lo + self.batch_size]]
+                    h = _sigmoid(batch @ w_enc + b_enc)
+                    recon = h @ w_dec + b_dec
+                    err = recon - batch
+                    m = batch.shape[0]
+                    if registry.enabled:
+                        recon_sse += float(np.sum(np.square(err)))
+                    g_wdec = h.T @ err / m
+                    g_bdec = err.mean(axis=0)
+                    dh = (err @ w_dec.T) * h * (1 - h)
+                    g_wenc = batch.T @ dh / m
+                    g_benc = dh.mean(axis=0)
+                    adam.step(params, [g_wenc, g_benc, g_wdec, g_bdec])
+                if registry.enabled and n:
+                    recon_mse = recon_sse / (n * d)
+                    registry.observe("sae.pretrain.recon_mse", recon_mse)
+            layer_span.add(epochs=self.pretrain_epochs, final_recon_mse=recon_mse)
         return w_enc, b_enc
 
     def _finetune(self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator) -> None:
@@ -176,39 +189,43 @@ class SAEPredictor:
         adam.init(params)
         n = x.shape[0]
         self.training_loss_ = []
+        registry = obs.get_registry()
         for _ in range(self.finetune_epochs):
-            order = rng.permutation(n)
-            epoch_loss = 0.0
-            for lo in range(0, n, self.batch_size):
-                batch = x[order[lo: lo + self.batch_size]]
-                target = y[order[lo: lo + self.batch_size]]
-                acts = [batch]
-                for w, b in zip(self._weights, self._biases):
-                    acts.append(_sigmoid(acts[-1] @ w + b))
-                pred = (acts[-1] @ self._w_out).ravel() + self._b_out[0]
-                err = pred - target
-                if self.relative_loss:
-                    err = err / np.square(target + 0.05)
-                m = batch.shape[0]
-                epoch_loss += float(np.sum(np.square(pred - target)))
+            with registry.span("finetune_epoch") as epoch_span:
+                order = rng.permutation(n)
+                epoch_loss = 0.0
+                for lo in range(0, n, self.batch_size):
+                    batch = x[order[lo: lo + self.batch_size]]
+                    target = y[order[lo: lo + self.batch_size]]
+                    acts = [batch]
+                    for w, b in zip(self._weights, self._biases):
+                        acts.append(_sigmoid(acts[-1] @ w + b))
+                    pred = (acts[-1] @ self._w_out).ravel() + self._b_out[0]
+                    err = pred - target
+                    if self.relative_loss:
+                        err = err / np.square(target + 0.05)
+                    m = batch.shape[0]
+                    epoch_loss += float(np.sum(np.square(pred - target)))
 
-                grads: List[np.ndarray] = []
-                d_out = err[:, None] / m
-                g_wout = acts[-1].T @ d_out + self.l2 * self._w_out
-                g_bout = np.asarray([d_out.sum()])
-                delta = d_out @ self._w_out.T * acts[-1] * (1 - acts[-1])
-                layer_grads = []
-                for li in range(len(self._weights) - 1, -1, -1):
-                    g_w = acts[li].T @ delta + self.l2 * self._weights[li]
-                    g_b = delta.sum(axis=0)
-                    layer_grads.append((g_w, g_b))
-                    if li > 0:
-                        delta = delta @ self._weights[li].T * acts[li] * (1 - acts[li])
-                for g_w, g_b in reversed(layer_grads):
-                    grads.extend([g_w, g_b])
-                grads.extend([g_wout, g_bout])
-                adam.step(params, grads)
-            self.training_loss_.append(epoch_loss / n)
+                    grads: List[np.ndarray] = []
+                    d_out = err[:, None] / m
+                    g_wout = acts[-1].T @ d_out + self.l2 * self._w_out
+                    g_bout = np.asarray([d_out.sum()])
+                    delta = d_out @ self._w_out.T * acts[-1] * (1 - acts[-1])
+                    layer_grads = []
+                    for li in range(len(self._weights) - 1, -1, -1):
+                        g_w = acts[li].T @ delta + self.l2 * self._weights[li]
+                        g_b = delta.sum(axis=0)
+                        layer_grads.append((g_w, g_b))
+                        if li > 0:
+                            delta = delta @ self._weights[li].T * acts[li] * (1 - acts[li])
+                    for g_w, g_b in reversed(layer_grads):
+                        grads.extend([g_w, g_b])
+                    grads.extend([g_wout, g_bout])
+                    adam.step(params, grads)
+                self.training_loss_.append(epoch_loss / n)
+                epoch_span.add(loss=epoch_loss / n)
+                registry.observe("sae.finetune.loss", epoch_loss / n)
 
     # ------------------------------------------------------------------
     # Inference

@@ -28,12 +28,15 @@ class TripEnergy:
         regenerated_mah: Charge returned by regenerative braking (mAh, >= 0).
         duration_s: Trip duration (s).
         distance_m: Distance covered (m).
+        pack_voltage_v: Nominal voltage of the pack the trip was metered
+            with; :attr:`net_wh` converts at this voltage.
     """
 
     drawn_mah: float
     regenerated_mah: float
     duration_s: float
     distance_m: float
+    pack_voltage_v: float = 399.0
 
     @property
     def net_mah(self) -> float:
@@ -42,12 +45,8 @@ class TripEnergy:
 
     @property
     def net_wh(self) -> float:
-        """Net consumption in watt-hours at the default 399 V pack voltage.
-
-        Only meaningful when the trip was metered with the default pack;
-        prefer :attr:`net_mah` for comparisons.
-        """
-        return self.net_mah / 1000.0 * 399.0
+        """Net consumption in watt-hours at the metered pack voltage."""
+        return self.net_mah / 1000.0 * self.pack_voltage_v
 
     @property
     def wh_per_km(self) -> float:
@@ -114,4 +113,5 @@ class EnergyMeter:
             regenerated_mah=regen * 1000.0,
             duration_s=float(t[-1] - t[0]),
             distance_m=float(distance[-1]),
+            pack_voltage_v=self.model.params.battery.voltage_v,
         )

@@ -9,14 +9,23 @@ from repro.core.planner import (
     QueueAwareDpPlanner,
     UnconstrainedDpPlanner,
 )
-from repro.errors import ConfigurationError
-from repro.units import vehicles_per_hour_to_per_second
+from repro.core.profile import VelocityProfile
+from repro.errors import ConfigurationError, InfeasibleProblemError, PlanningFailedError
+from repro.units import joules_to_mah, vehicles_per_hour_to_per_second
+from repro.vehicle.params import BatteryPackParams, VehicleParams
 
 RATE = vehicles_per_hour_to_per_second(300.0)
 
 
 @pytest.fixture(scope="module")
 def service(us25, coarse_config):
+    planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+    return CloudPlannerService(planner)
+
+
+@pytest.fixture
+def fresh_service(us25, coarse_config):
+    """A service with its own stats, safe to break in failure tests."""
     planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
     return CloudPlannerService(planner)
 
@@ -108,6 +117,111 @@ class TestService:
             CloudPlannerService(service.planner, phase_quantum_s=0.0)
 
 
+class TestFailureAccounting:
+    def test_infeasible_request_raises_typed_error(self, fresh_service):
+        with pytest.raises(PlanningFailedError) as excinfo:
+            fresh_service.request(PlanRequest("v1", depart_s=100.0, max_trip_time_s=5.0))
+        assert excinfo.value.vehicle_id == "v1"
+        assert excinfo.value.depart_s == 100.0
+        assert isinstance(excinfo.value.__cause__, InfeasibleProblemError)
+
+    def test_error_counted_and_invariant_holds(self, fresh_service):
+        with pytest.raises(PlanningFailedError):
+            fresh_service.request(PlanRequest("v1", depart_s=100.0, max_trip_time_s=5.0))
+        stats = fresh_service.stats
+        assert stats.requests == 1
+        assert stats.errors == 1
+        assert stats.requests == stats.cache_hits + stats.cache_misses + stats.errors
+
+    def test_hit_rate_unskewed_by_errors(self, fresh_service):
+        fresh_service.request(PlanRequest("a", depart_s=100.0, max_trip_time_s=320.0))
+        fresh_service.request(PlanRequest("b", depart_s=160.0, max_trip_time_s=320.0))
+        with pytest.raises(PlanningFailedError):
+            fresh_service.request(PlanRequest("c", depart_s=100.0, max_trip_time_s=5.0))
+        # One miss, one hit, one error: the error must not drag the rate
+        # down to 1/3.
+        assert fresh_service.stats.hit_rate == pytest.approx(0.5)
+
+    def test_failed_solve_time_still_accounted(self, fresh_service):
+        with pytest.raises(PlanningFailedError):
+            fresh_service.request(PlanRequest("v1", depart_s=100.0, max_trip_time_s=5.0))
+        assert fresh_service.stats.total_compute_s > 0.0
+
+
+class TestRevalidation:
+    def test_phase_bin_edge_hit_lands_inside_windows(self, fresh_service, us25):
+        """A request at the far edge of a phase bin must be served a plan
+        whose signal arrivals lie inside the true queue-free windows, even
+        though the cached profile's drift (just under ``phase_quantum_s``)
+        can exceed the planner's window margin."""
+        service = fresh_service
+        d0 = 100.0
+        service.request(PlanRequest("a", depart_s=d0, max_trip_time_s=320.0))
+        # Same phase bin as d0, but with maximal quantization drift.
+        d1 = d0 + service._period_s + service.phase_quantum_s - 1e-3
+        response = service.request(PlanRequest("b", depart_s=d1, max_trip_time_s=320.0))
+        planner = service.planner
+        for pos in us25.signal_positions():
+            arrival = response.profile.arrival_time_at(pos)
+            windows = planner.queue_model(pos).empty_windows(d1, 600.0, RATE)
+            assert any(w.contains(arrival) for w in windows)
+        # Served either as a revalidated hit or as a revalidation-miss
+        # fresh solve — but never as an unchecked stale hit.
+        stats = service.stats
+        if response.cache_hit:
+            assert stats.revalidation_misses == 0
+        else:
+            assert stats.revalidation_misses == 1
+        assert stats.requests == stats.cache_hits + stats.cache_misses + stats.errors
+
+    def test_mid_bin_hit_revalidates_clean(self, fresh_service):
+        service = fresh_service
+        service.request(PlanRequest("a", depart_s=100.0, max_trip_time_s=320.0))
+        response = service.request(PlanRequest("b", depart_s=160.0, max_trip_time_s=320.0))
+        assert response.cache_hit
+        assert service.stats.revalidation_misses == 0
+
+    def test_poisoned_cache_falls_back_to_fresh_solve(self, fresh_service):
+        service = fresh_service
+        first = service.request(PlanRequest("a", depart_s=100.0, max_trip_time_s=320.0))
+        # Replace the cached plan with a full-throttle profile that blows
+        # through every signal window.
+        (key,) = service._cache
+        profile = first.profile
+        bogus = VelocityProfile(
+            positions_m=profile.positions_m,
+            speeds_ms=np.full_like(profile.speeds_ms, 19.0),
+            dwell_s=np.zeros_like(profile.dwell_s),
+            start_time_s=100.0,
+        )
+        service._cache[key] = (bogus, 1.0, 1.0)
+        response = service.request(PlanRequest("b", depart_s=160.0, max_trip_time_s=320.0))
+        assert not response.cache_hit
+        assert service.stats.revalidation_misses == 1
+        assert service.stats.cache_misses == 2
+        # The fresh solve overwrote the poisoned entry: next request hits.
+        again = service.request(PlanRequest("c", depart_s=220.0, max_trip_time_s=320.0))
+        assert again.cache_hit
+
+
+class TestPackVoltage:
+    def test_energy_mah_uses_solver_pack_voltage(self, us25, coarse_config):
+        vehicle = VehicleParams(
+            battery=BatteryPackParams(voltage_v=350.0, capacity_ah=46.2)
+        )
+        planner = QueueAwareDpPlanner(
+            us25, arrival_rates=RATE, vehicle=vehicle, config=coarse_config
+        )
+        solution = planner.plan(0.0, max_trip_time_s=320.0)
+        assert solution.pack_voltage_v == 350.0
+        assert solution.energy_mah == pytest.approx(
+            joules_to_mah(solution.energy_j, 350.0)
+        )
+        assert solution.energy_mah != pytest.approx(
+            joules_to_mah(solution.energy_j, 399.0)
+        )
+
+
 class TestFleet:
     def test_fleet_run(self, service, us25):
         service.clear_cache()
@@ -117,6 +231,35 @@ class TestFleet:
         assert result.planned_energy_mah > 0
         assert result.human_energy_mah > result.planned_energy_mah
         assert 0.0 < result.savings_pct < 60.0
+
+    def test_fleet_survives_one_infeasible_request(
+        self, fresh_service, us25, monkeypatch
+    ):
+        service = fresh_service
+        planner = service.planner
+        real_plan = planner.plan
+        calls = {"n": 0}
+
+        def flaky_plan(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise InfeasibleProblemError("forced for test")
+            return real_plan(*args, **kwargs)
+
+        monkeypatch.setattr(planner, "plan", flaky_plan)
+        study = FleetStudy(service, us25, fleet_rate_vph=80.0, seed=5)
+        result = study.run(duration_s=400.0, human_reference_sample=1)
+
+        assert result.n_failed == 1
+        assert result.failed_vehicle_ids == ["ev0"]
+        assert service.stats.errors == 1
+        assert result.n_vehicles == service.stats.requests - 1
+        stats = service.stats
+        assert stats.requests == stats.cache_hits + stats.cache_misses + stats.errors
+        # The failed departure is excluded from both energy sums, so the
+        # comparison stays meaningful.
+        assert result.planned_energy_mah > 0
+        assert result.human_energy_mah > result.planned_energy_mah
 
     def test_fleet_validation(self, service, us25):
         with pytest.raises(ConfigurationError):

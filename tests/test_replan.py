@@ -59,6 +59,56 @@ class TestSolveFromState:
         assert whole.profile.speeds_ms[0] == 0.0
 
 
+class TestSeedState:
+    """Edge cases of snapping a physical replanning state onto the grid."""
+
+    def test_position_exactly_on_grid_point_keeps_time(self, planner):
+        # 2000 m is on the 50 m grid: no hop, so the suffix must start at
+        # exactly the requested position and time.
+        solution = planner.replan(position_m=2000.0, speed_ms=15.0, time_s=130.0)
+        assert solution.profile.positions_m[0] == 2000.0
+        assert solution.profile.arrival_times_s[0] == pytest.approx(130.0, abs=1e-12)
+
+    def test_off_grid_position_charges_the_hop(self, planner):
+        on_grid = planner.replan(position_m=2000.0, speed_ms=15.0, time_s=130.0)
+        off_grid = planner.replan(position_m=1990.0, speed_ms=15.0, time_s=130.0)
+        assert off_grid.profile.positions_m[0] == 2000.0
+        hop = off_grid.profile.arrival_times_s[0] - 130.0
+        assert hop == pytest.approx(10.0 / 15.0, rel=0.2)
+        assert on_grid.profile.arrival_times_s[0] < off_grid.profile.arrival_times_s[0]
+
+    def test_speed_above_local_limit_clamps_to_grid(self, planner, us25):
+        limit = us25.v_max_at(2000.0)
+        solution = planner.replan(position_m=2000.0, speed_ms=99.0, time_s=130.0)
+        seed_speed = solution.profile.speeds_ms[0]
+        assert seed_speed <= limit + 1e-9
+        # Clamp lands on the *largest* admissible grid speed, not some
+        # arbitrary lower one.
+        assert seed_speed > limit - planner.config.v_step_ms - 1e-9
+
+    def test_position_in_final_segment_yields_valid_suffix(self, planner, us25):
+        # Past the last interior grid point the forward snap would land on
+        # the destination with nothing left to expand; the seed snaps back
+        # to the final segment's start instead of crashing.
+        solution = planner.replan(
+            position_m=us25.length_m - 10.0, speed_ms=5.0, time_s=280.0
+        )
+        assert solution.profile.positions_m.size == 2
+        assert solution.profile.positions_m[-1] == us25.length_m
+        assert solution.profile.speeds_ms[-1] == 0.0
+        assert solution.profile.arrival_times_s[0] == pytest.approx(280.0)
+
+    def test_final_segment_replan_with_fine_grid(self, us25):
+        # Same edge on the default 10 m grid (the closed-loop driver's
+        # 50 m end guard does not cover fine grids).
+        fine = UnconstrainedDpPlanner(
+            us25, config=PlannerConfig(v_step_ms=1.0, s_step_m=10.0, t_bin_s=2.0)
+        )
+        solution = fine.replan(position_m=us25.length_m - 3.0, speed_ms=4.0, time_s=280.0)
+        assert solution.profile.positions_m[-1] == us25.length_m
+        assert solution.profile.speeds_ms[-1] == 0.0
+
+
 class TestClosedLoop:
     @pytest.fixture(scope="class")
     def outcome(self, us25, coarse_config):
