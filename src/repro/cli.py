@@ -80,6 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
         "histograms) and emit a JSON report: to stdout, or to PATH with "
         "--metrics=PATH (which also prints an ASCII summary)",
     )
+    parser.add_argument(
+        "--drop-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="plan through the resilient cloud client with this request "
+        "drop probability; on cloud failure the degradation ladder serves "
+        "a fallback tier (baseline DP, GLOSA, speed-limit tracking)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=7,
+        help="fault-injection seed for --drop-rate",
+    )
     return parser
 
 
@@ -125,11 +140,34 @@ def main(argv: Optional[list] = None) -> int:
     else:
         planner = UnconstrainedDpPlanner(road, config=config)
 
+    solution = None
+    tier_plan = None
+    client = None
     try:
         cap = args.cap
         if cap is None:
             cap = planner.min_trip_time(args.depart) + 30.0
-        solution = planner.plan(start_time_s=args.depart, max_trip_time_s=cap)
+        if args.drop_rate is not None:
+            from repro.cloud.service import CloudPlannerService
+            from repro.resilience.client import ResilientPlanClient
+            from repro.resilience.faults import CloudFaultModel
+            from repro.resilience.ladder import DegradationLadder
+
+            fault = (
+                CloudFaultModel(drop_rate=args.drop_rate, seed=args.chaos_seed)
+                if args.drop_rate > 0.0
+                else None
+            )
+            client = ResilientPlanClient(CloudPlannerService(planner), fault=fault)
+            ladder = DegradationLadder(
+                client,
+                road,
+                arrival_rates=rate if args.planner == "proposed" else None,
+                config=config,
+            )
+            tier_plan = ladder.plan(args.depart, max_trip_time_s=cap)
+        else:
+            solution = planner.plan(start_time_s=args.depart, max_trip_time_s=cap)
     except ReproError as exc:
         print(f"planning failed: {exc}", file=sys.stderr)
         if args.metrics is not None:
@@ -139,16 +177,31 @@ def main(argv: Optional[list] = None) -> int:
     print(f"route        : {road.name} ({road.length_m / 1000:.1f} km)")
     print(f"planner      : {args.planner}")
     print(f"trip budget  : {cap:.1f} s")
-    print(f"planned trip : {solution.trip_time_s:.1f} s")
-    print(f"planned energy: {solution.energy_mah:.1f} mAh")
-    for position in sorted(solution.signal_arrivals):
-        arrival = solution.signal_arrivals[position]
-        status = "ok" if solution.windows_hit[position] else "MISSED"
-        print(f"  signal @ {position:6.0f} m: arrive {arrival:7.1f} s [{status}]")
+    if tier_plan is not None:
+        print(f"served by    : {tier_plan.tier} tier")
+        print(f"planned trip : {tier_plan.trip_time_s:.1f} s")
+        print(f"planned energy: {tier_plan.energy_mah:.1f} mAh")
+        stats = client.stats
+        print(
+            f"cloud client : {stats.attempts} attempt(s), {stats.retries} "
+            f"retr{'y' if stats.retries == 1 else 'ies'}, {stats.drops} "
+            f"drop(s), breaker {stats.breaker_state}"
+        )
+    else:
+        print(f"planned trip : {solution.trip_time_s:.1f} s")
+        print(f"planned energy: {solution.energy_mah:.1f} mAh")
+        for position in sorted(solution.signal_arrivals):
+            arrival = solution.signal_arrivals[position]
+            status = "ok" if solution.windows_hit[position] else "MISSED"
+            print(f"  signal @ {position:6.0f} m: arrive {arrival:7.1f} s [{status}]")
 
+    profile = solution.profile if solution is not None else tier_plan.profile
     if args.csv:
-        save_trace_csv(solution.profile.to_time_trace(dt_s=0.5), args.csv)
-        print(f"profile written to {args.csv}")
+        if profile is None:
+            print("no profile to write (speed-limit tier served)", file=sys.stderr)
+        else:
+            save_trace_csv(profile.to_time_trace(dt_s=0.5), args.csv)
+            print(f"profile written to {args.csv}")
 
     if args.verify:
         from repro.sim.scenario import Us25Scenario
@@ -159,7 +212,8 @@ def main(argv: Optional[list] = None) -> int:
             warmup_s=args.depart,
             seed=args.seed,
         )
-        result = scenario.drive(solution.profile, depart_s=args.depart)
+        command = profile if profile is not None else tier_plan.command
+        result = scenario.drive(command, depart_s=args.depart)
         trace = result.ev_trace
         print(
             f"verified in sim: {trace.duration_s:.1f} s, "

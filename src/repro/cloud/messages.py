@@ -13,16 +13,30 @@ from repro.errors import ConfigurationError
 class PlanRequest:
     """A vehicle's upload: who it is, when and where it departs.
 
+    A request with the default ``position_m``/``speed_ms`` asks for a
+    full trip from the route source (cacheable by departure phase); a
+    request carrying a mid-route state is the online replanning upload
+    of the closed-loop driver and is served state-specifically.
+
     Attributes:
         vehicle_id: Requesting vehicle.
-        depart_s: Intended departure time (absolute seconds).
+        depart_s: Intended departure time (absolute seconds); for a
+            mid-route request this is "now" — the replan instant.
         max_trip_time_s: The driver's trip-time budget; ``None`` lets the
-            service pick the fastest-feasible budget plus slack.
+            service pick the fastest-feasible budget plus slack (full
+            trips) or fall back to the solver horizon (replans).
+        position_m: Current route position for a mid-route replan
+            (0 = plan the whole trip).
+        speed_ms: Current speed for a mid-route replan.
+        minimize: Planning objective, ``"energy"`` or ``"time"``.
     """
 
     vehicle_id: str
     depart_s: float
     max_trip_time_s: Optional[float] = None
+    position_m: float = 0.0
+    speed_ms: float = 0.0
+    minimize: str = "energy"
 
     def __post_init__(self) -> None:
         if not self.vehicle_id:
@@ -31,6 +45,15 @@ class PlanRequest:
             raise ConfigurationError(f"departure must be >= 0, got {self.depart_s}")
         if self.max_trip_time_s is not None and self.max_trip_time_s <= 0:
             raise ConfigurationError("trip-time budget must be positive")
+        if self.position_m < 0 or self.speed_ms < 0:
+            raise ConfigurationError("replan state must satisfy position, speed >= 0")
+        if self.minimize not in ("energy", "time"):
+            raise ConfigurationError(f"unknown objective {self.minimize!r}")
+
+    @property
+    def is_replan(self) -> bool:
+        """Whether this request carries a mid-route state."""
+        return self.position_m > 0.0 or self.speed_ms > 0.0
 
 
 @dataclass(frozen=True)

@@ -171,6 +171,8 @@ class CloudPlannerService:
 
     def _serve(self, req: PlanRequest, registry: obs.MetricsRegistry) -> PlanResponse:
         """Serve one request: cache lookup + revalidation, else a solve."""
+        if req.is_replan or req.minimize != "energy":
+            return self._serve_uncached(req, registry)
         budget = req.max_trip_time_s
         if budget is None:
             budget = self._fastest_trip(req.depart_s) + self.default_budget_slack_s
@@ -216,6 +218,50 @@ class CloudPlannerService:
                 solution.energy_mah,
                 solution.trip_time_s,
             )
+        return PlanResponse(
+            vehicle_id=req.vehicle_id,
+            profile=solution.profile,
+            energy_mah=solution.energy_mah,
+            trip_time_s=solution.trip_time_s,
+            cache_hit=False,
+            compute_time_s=compute,
+        )
+
+    def _serve_uncached(
+        self, req: PlanRequest, registry: obs.MetricsRegistry
+    ) -> PlanResponse:
+        """Serve a mid-route replan or a non-energy objective.
+
+        Phase caching does not apply: a replan is specific to the
+        vehicle's ``(position, speed, time)`` state, and the cache stores
+        energy-optimal profiles only.  The solve is accounted as a cache
+        miss so the ``requests == hits + misses + errors`` invariant
+        holds unchanged.  A ``None`` budget falls through to the solver's
+        horizon default — the route-start fastest-trip floor is
+        meaningless mid-route.
+        """
+        t0 = _time.perf_counter()
+        try:
+            if req.is_replan:
+                solution = self.planner.replan(
+                    position_m=req.position_m,
+                    speed_ms=req.speed_ms,
+                    time_s=req.depart_s,
+                    max_trip_time_s=req.max_trip_time_s,
+                    minimize=req.minimize,
+                )
+            else:
+                solution = self.planner.plan(
+                    start_time_s=req.depart_s,
+                    max_trip_time_s=req.max_trip_time_s,
+                    minimize=req.minimize,
+                )
+        finally:
+            compute = _time.perf_counter() - t0
+            self.stats.total_compute_s += compute
+        self.stats.cache_misses += 1
+        registry.inc("cloud.misses")
+        registry.inc("cloud.replans" if req.is_replan else "cloud.uncached")
         return PlanResponse(
             vehicle_id=req.vehicle_id,
             profile=solution.profile,

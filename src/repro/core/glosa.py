@@ -156,15 +156,40 @@ class GlosaAdvisor:
     # ------------------------------------------------------------------
     # Advisory
     # ------------------------------------------------------------------
-    def plan(self, start_time_s: float = 0.0, horizon_s: float = 900.0) -> GlosaPlan:
-        """Advise one trip from the source, greedily leg by leg."""
-        legs = self._legs()
-        points: List[Tuple[float, float, float]] = [(0.0, 0.0, 0.0)]  # (s, v, dwell)
+    def plan(
+        self,
+        start_time_s: float = 0.0,
+        horizon_s: float = 900.0,
+        start_position_m: float = 0.0,
+        start_speed_ms: float = 0.0,
+    ) -> GlosaPlan:
+        """Advise a trip greedily leg by leg.
+
+        By default the advisory covers the whole corridor from a
+        standing start at the source.  A mid-route state
+        (``start_position_m``, ``start_speed_ms``) advises only the
+        remaining legs — this is the degraded-mode replanning path of
+        the resilience ladder, where the advisor substitutes for an
+        unreachable DP planner mid-trip.
+        """
+        if not 0.0 <= start_position_m < self.road.length_m:
+            raise ConfigurationError(
+                f"start position must be in [0, {self.road.length_m}), "
+                f"got {start_position_m}"
+            )
+        if start_speed_ms < 0:
+            raise ConfigurationError("start speed must be >= 0")
+        legs = [
+            (end, kind) for end, kind in self._legs() if end > start_position_m
+        ]
+        points: List[Tuple[float, float, float]] = [
+            (start_position_m, start_speed_ms, 0.0)
+        ]  # (s, v, dwell)
         arrivals: Dict[float, float] = {}
         waited: List[float] = []
         t = start_time_s
-        v0 = 0.0
-        position = 0.0
+        v0 = start_speed_ms
+        position = start_position_m
         for leg_end, kind in legs:
             length = leg_end - position
             v_max = self.road.v_max_at(position + 0.5 * length)

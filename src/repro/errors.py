@@ -24,6 +24,24 @@ class SimulationError(ReproError):
     """The traffic simulator reached an inconsistent state."""
 
 
+class SimulationTimeoutError(SimulationError):
+    """A simulated vehicle ran out of simulation horizon.
+
+    Raised by drivers (e.g. :class:`repro.sim.closed_loop.ClosedLoopDriver`)
+    when the EV has not finished the corridor by the hard simulation
+    cutoff.  This is a *simulation budget* problem — distinct from
+    :class:`InfeasibleProblemError`, which means no plan satisfying the
+    constraints exists at all.
+
+    Attributes:
+        horizon_s: The exhausted simulation horizon (s).
+    """
+
+    def __init__(self, message: str, horizon_s: float = 0.0):
+        super().__init__(message)
+        self.horizon_s = horizon_s
+
+
 class PlanningFailedError(ReproError):
     """The cloud planning service could not produce a plan for a request.
 
@@ -43,6 +61,37 @@ class PlanningFailedError(ReproError):
         super().__init__(message)
         self.vehicle_id = vehicle_id
         self.depart_s = depart_s
+
+
+class CloudUnavailableError(ReproError):
+    """The cloud planning service could not be reached.
+
+    Raised by :class:`repro.resilience.client.ResilientPlanClient` when a
+    request exhausts its retry budget or deadline against injected
+    transport faults (drops, latency, outage windows), or when the
+    client's circuit breaker is open and fast-fails the request without
+    touching the wire.  This is a *transport* failure — the planning
+    problem itself may be perfectly feasible — so callers degrade to a
+    local planning tier instead of giving up on the trip.
+
+    Attributes:
+        vehicle_id: The requesting vehicle.
+        attempts: Wire attempts made before giving up (0 for fast-fails).
+        reason: Short failure class: ``"drop"``, ``"outage"``,
+            ``"deadline"`` or ``"breaker_open"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        vehicle_id: str = "",
+        attempts: int = 0,
+        reason: str = "drop",
+    ):
+        super().__init__(message)
+        self.vehicle_id = vehicle_id
+        self.attempts = attempts
+        self.reason = reason
 
 
 class PredictionError(ReproError):

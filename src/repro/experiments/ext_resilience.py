@@ -1,0 +1,203 @@
+"""Extension: planning-loop resilience under injected communication faults.
+
+The paper assumes an always-available cloud planner; a real V2I
+deployment sees dropped requests, latency spikes and outages.  This
+extension sweeps the cloud-request drop rate and measures how gracefully
+the closed loop degrades when the resilient client and the degradation
+ladder absorb the faults: energy, travel time and stop counts per fault
+rate, alongside which planning tier served the replans and how often the
+circuit breaker tripped.  Expected shape: at rate 0 the loop is
+bit-identical to the fault-free path; as the drop rate grows, replans
+shift from the cloud's queue-aware DP to the local tiers and the
+energy/stop metrics drift toward the unplanned baselines — but every
+trip still completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.cloud.service import CloudPlannerService
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.resilience.client import ResilientPlanClient
+from repro.resilience.faults import CloudFaultModel
+from repro.resilience.ladder import TIERS, DegradationLadder
+from repro.route.us25 import us25_greenville_segment
+from repro.sim.closed_loop import ClosedLoopDriver
+from repro.sim.scenario import Us25Scenario
+from repro.units import vehicles_per_hour_to_per_second
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault sweep settings.
+
+    Attributes:
+        drop_rates: Cloud request-drop probabilities to sweep.
+        traffic_vph: Background traffic level.
+        departures: EV departure times per rate (the warmup per drive).
+        seeds: Scenario seeds per departure — the resilience test
+            matrix; every cell must complete its trip.
+        trip_cap_s: Trip-time budget handed to the planner.
+        replan_interval_s: Closed-loop replanning period.
+        fault_seed: Seed of the injected fault schedule.
+        max_attempts: Client wire attempts per request.
+        breaker_threshold: Consecutive failures that trip the breaker.
+        breaker_cooldown_s: Open-state cooldown before a half-open probe.
+        horizon_s: Hard simulation cutoff per drive.
+    """
+
+    drop_rates: Tuple[float, ...] = (0.0, 0.25, 0.5)
+    traffic_vph: float = 300.0
+    departures: Tuple[float, ...] = (300.0,)
+    seeds: Tuple[int, ...] = (13, 21)
+    trip_cap_s: float = 320.0
+    replan_interval_s: float = 15.0
+    fault_seed: int = 7
+    max_attempts: int = 2
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 45.0
+    horizon_s: float = 1800.0
+
+
+@dataclass
+class ResilienceRow:
+    """Aggregates of one fault rate across the drive matrix.
+
+    Attributes:
+        drop_rate: Injected per-attempt drop probability.
+        energy_mah: Mean derived trip energy.
+        trip_time_s: Mean derived trip duration.
+        signal_stops: Total signal stops across the matrix.
+        tier_counts: Applied replans per serving tier, summed.
+        retries: Client retries across the matrix.
+        breaker_opens: Times the breaker tripped open.
+        completed: Drives that finished / total drives.
+    """
+
+    drop_rate: float
+    energy_mah: float
+    trip_time_s: float
+    signal_stops: int
+    tier_counts: Dict[str, int]
+    retries: int
+    breaker_opens: int
+    completed: Tuple[int, int]
+
+
+@dataclass
+class ResilienceResult:
+    """One row per swept fault rate."""
+
+    rows: List[ResilienceRow]
+
+
+def run(config: ResilienceConfig = ResilienceConfig()) -> ResilienceResult:
+    """Sweep the drop rate and drive the closed loop through each."""
+    road = us25_greenville_segment()
+    rate = vehicles_per_hour_to_per_second(config.traffic_vph)
+    planner_config = PlannerConfig(v_step_ms=1.0, s_step_m=25.0)
+    rows: List[ResilienceRow] = []
+    for drop in config.drop_rates:
+        planner = QueueAwareDpPlanner(road, arrival_rates=rate, config=planner_config)
+        service = CloudPlannerService(planner)
+        fault = (
+            CloudFaultModel(drop_rate=drop, seed=config.fault_seed)
+            if drop > 0.0
+            else None
+        )
+        client = ResilientPlanClient(
+            service,
+            fault=fault,
+            max_attempts=config.max_attempts,
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown_s=config.breaker_cooldown_s,
+        )
+        ladder = DegradationLadder(
+            client, road, arrival_rates=rate, config=planner_config
+        )
+        energies: List[float] = []
+        times: List[float] = []
+        stops = 0
+        finished = 0
+        total = 0
+        tier_counts: Dict[str, int] = {}
+        for depart in config.departures:
+            for seed in config.seeds:
+                total += 1
+                scenario = Us25Scenario(
+                    road=road,
+                    arrival_rate_vph=config.traffic_vph,
+                    warmup_s=depart,
+                    seed=seed,
+                )
+                driver = ClosedLoopDriver(
+                    scenario,
+                    ladder=ladder,
+                    replan_interval_s=config.replan_interval_s,
+                )
+                outcome = driver.run(
+                    depart_s=depart,
+                    max_trip_time_s=config.trip_cap_s,
+                    horizon_s=config.horizon_s,
+                )
+                finished += 1
+                energies.append(outcome.ev_trace.energy().net_mah)
+                times.append(outcome.ev_trace.duration_s)
+                stops += outcome.sim.ev_signal_stops(road)
+                for tier, n in outcome.tier_counts.items():
+                    tier_counts[tier] = tier_counts.get(tier, 0) + n
+        rows.append(
+            ResilienceRow(
+                drop_rate=drop,
+                energy_mah=float(np.mean(energies)) if energies else float("nan"),
+                trip_time_s=float(np.mean(times)) if times else float("nan"),
+                signal_stops=stops,
+                tier_counts=tier_counts,
+                retries=client.stats.retries,
+                breaker_opens=client.stats.breaker_opens,
+                completed=(finished, total),
+            )
+        )
+    return ResilienceResult(rows=rows)
+
+
+def report(result: ResilienceResult) -> str:
+    """Degradation table across the fault sweep."""
+    header = (
+        ["drop rate", "E (mAh)", "trip (s)", "stops"]
+        + list(TIERS)
+        + ["retries", "breaker opens", "completed"]
+    )
+    table_rows = []
+    for row in result.rows:
+        table_rows.append(
+            [
+                row.drop_rate,
+                row.energy_mah,
+                row.trip_time_s,
+                row.signal_stops,
+            ]
+            + [row.tier_counts.get(tier, 0) for tier in TIERS]
+            + [
+                row.retries,
+                row.breaker_opens,
+                f"{row.completed[0]}/{row.completed[1]}",
+            ]
+        )
+    table = render_table(header, table_rows)
+    all_done = all(r.completed[0] == r.completed[1] for r in result.rows)
+    verdict = (
+        "every drive completed at every fault rate"
+        if all_done
+        else "SOME DRIVES DID NOT COMPLETE"
+    )
+    return (
+        "Extension — closed-loop resilience under cloud-request faults\n"
+        + table
+        + f"\n{verdict}"
+    )

@@ -20,6 +20,7 @@ from repro.experiments import (
     ext_pareto,
     ext_penetration,
     ext_platoon,
+    ext_resilience,
     ext_sensitivity,
     ext_wear,
     fig3_energy_map,
@@ -46,6 +47,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "ext-penetration": (ext_penetration.run, ext_penetration.report),
     "ext-pareto": (ext_pareto.run, ext_pareto.report),
     "ext-platoon": (ext_platoon.run, ext_platoon.report),
+    "ext-resilience": (ext_resilience.run, ext_resilience.report),
 }
 
 

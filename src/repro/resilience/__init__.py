@@ -1,0 +1,85 @@
+"""Fault injection and graceful degradation for the planning loop.
+
+Real V2I deployments get partial, lossy communication with
+infrastructure; this package makes the reproduction survive that:
+
+* :mod:`repro.resilience.faults` — deterministic, seedable fault models
+  for the cloud link, loop detectors, volume forecasts and signal
+  timing drift.
+* :mod:`repro.resilience.client` — :class:`ResilientPlanClient`:
+  per-request deadlines, bounded retries with jittered exponential
+  backoff and a circuit breaker around
+  :class:`~repro.cloud.service.CloudPlannerService`.
+* :mod:`repro.resilience.ladder` — :class:`DegradationLadder`: the
+  queue-aware DP → green-window DP → GLOSA → speed-limit fallback
+  chain, reporting which tier served every (re)plan.
+
+Quick chaos run::
+
+    from repro.resilience import (
+        CloudFaultModel, DegradationLadder, ResilientPlanClient,
+    )
+
+    service = CloudPlannerService(planner)
+    client = ResilientPlanClient(service, fault=CloudFaultModel(drop_rate=0.5, seed=7))
+    ladder = DegradationLadder(client, road, arrival_rates=rate)
+    driver = ClosedLoopDriver(scenario, ladder=ladder)
+    outcome = driver.run(depart_s=300.0, max_trip_time_s=280.0)
+    outcome.tier_counts   # how far the loop degraded
+"""
+
+from repro.resilience.client import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    ClientStats,
+    ResilientPlanClient,
+)
+from repro.resilience.faults import (
+    CloudFaultDecision,
+    CloudFaultModel,
+    DetectorFaultModel,
+    FaultPlan,
+    FaultyLoopDetector,
+    ForecastFaultModel,
+    OutageWindow,
+    SignalDriftModel,
+    hash_uniform,
+    schedule_bytes,
+)
+from repro.resilience.ladder import (
+    TIER_BASELINE_DP,
+    TIER_GLOSA,
+    TIER_QUEUE_DP,
+    TIER_SPEED_LIMIT,
+    TIERS,
+    DegradationLadder,
+    TierPlan,
+    speed_limit_command,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "ClientStats",
+    "CloudFaultDecision",
+    "CloudFaultModel",
+    "DegradationLadder",
+    "DetectorFaultModel",
+    "FaultPlan",
+    "FaultyLoopDetector",
+    "ForecastFaultModel",
+    "OutageWindow",
+    "ResilientPlanClient",
+    "SignalDriftModel",
+    "TIER_BASELINE_DP",
+    "TIER_GLOSA",
+    "TIER_QUEUE_DP",
+    "TIER_SPEED_LIMIT",
+    "TIERS",
+    "TierPlan",
+    "hash_uniform",
+    "schedule_bytes",
+    "speed_limit_command",
+]

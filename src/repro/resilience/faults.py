@@ -1,0 +1,425 @@
+"""Deterministic, seedable fault injection for the planning loop.
+
+Every fault decision here is a pure function of ``(seed, event key)``,
+computed through a stable hash rather than a stateful RNG stream.  That
+buys two properties the chaos tests rely on:
+
+* **Determinism** — two runs with the same seed produce *byte-identical*
+  fault schedules (see :func:`schedule_bytes`), regardless of platform
+  or call ordering.
+* **Composability** — models can be evaluated in any order and
+  interleaved freely (the closed-loop driver asks about cloud requests
+  while a detector asks about crossings) without one consumer's draws
+  perturbing another's.
+
+The models cover the four failure classes of a V2I deployment: the
+cloud request path (:class:`CloudFaultModel`), the roadside detectors
+feeding the SAE (:class:`DetectorFaultModel` /
+:class:`FaultyLoopDetector`), the volume forecasts themselves
+(:class:`ForecastFaultModel`) and drift between the signal timing the
+planner assumes and what the intersection actually runs
+(:class:`SignalDriftModel`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.route.road import RoadSegment
+from repro.sim.detectors import LoopDetector
+from repro.traffic.volume import VolumeSeries
+from repro.units import SECONDS_PER_HOUR
+
+ArrivalRate = Union[float, Callable[[float], float]]
+
+_TWO_64 = float(2**64)
+
+
+def hash_uniform(seed: int, *key: object) -> float:
+    """A uniform draw in ``[0, 1)`` determined by ``(seed, key)``.
+
+    Stable across processes and platforms (blake2b over the rendered
+    key), so the same event always receives the same draw.
+    """
+    rendered = ":".join([str(int(seed))] + [repr(k) for k in key])
+    digest = hashlib.blake2b(rendered.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / _TWO_64
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A closed-open interval of total cloud unavailability.
+
+    Attributes:
+        start_s: Outage onset (absolute seconds).
+        end_s: First instant service is restored.
+    """
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigurationError(
+                f"outage must end after it starts, got [{self.start_s}, {self.end_s})"
+            )
+
+    def contains(self, time_s: float) -> bool:
+        """Whether ``time_s`` falls inside the outage."""
+        return self.start_s <= time_s < self.end_s
+
+
+@dataclass(frozen=True)
+class CloudFaultDecision:
+    """The fate of one wire attempt against the cloud.
+
+    Attributes:
+        dropped: The request (or its response) was lost.
+        in_outage: The attempt landed inside an outage window (always
+            also ``dropped``).
+        latency_s: Simulated round-trip latency charged to the attempt,
+            whether or not it was dropped.
+    """
+
+    dropped: bool
+    in_outage: bool
+    latency_s: float
+
+
+@dataclass(frozen=True)
+class CloudFaultModel:
+    """Request drop / latency / outage faults on the vehicle↔cloud link.
+
+    Attributes:
+        drop_rate: Probability an individual wire attempt is lost.
+        latency_base_s: Deterministic floor of the simulated round trip.
+        latency_jitter_s: Mean of the additional exponential latency
+            component (0 disables jitter).
+        outages: Absolute-time windows during which every attempt fails.
+        seed: Fault seed; all decisions derive from it.
+    """
+
+    drop_rate: float = 0.0
+    latency_base_s: float = 0.0
+    latency_jitter_s: float = 0.0
+    outages: Tuple[OutageWindow, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ConfigurationError(
+                f"drop rate must be in [0, 1], got {self.drop_rate}"
+            )
+        if self.latency_base_s < 0 or self.latency_jitter_s < 0:
+            raise ConfigurationError("latencies must be >= 0")
+
+    def evaluate(
+        self, request_index: int, attempt: int, now_s: float
+    ) -> CloudFaultDecision:
+        """Decide the fate of one attempt of one request.
+
+        Args:
+            request_index: Monotone per-client request counter.
+            attempt: Zero-based attempt number within the request.
+            now_s: Simulated wall time of the attempt.
+        """
+        in_outage = any(w.contains(now_s) for w in self.outages)
+        u_drop = hash_uniform(self.seed, "drop", request_index, attempt)
+        dropped = in_outage or u_drop < self.drop_rate
+        latency = self.latency_base_s
+        if self.latency_jitter_s > 0.0:
+            u_lat = hash_uniform(self.seed, "latency", request_index, attempt)
+            # Inverse-CDF exponential; clamp the tail so one draw cannot
+            # consume an unbounded share of the request deadline.
+            latency += self.latency_jitter_s * min(-math.log(1.0 - u_lat), 20.0)
+        return CloudFaultDecision(
+            dropped=dropped, in_outage=in_outage, latency_s=latency
+        )
+
+    def schedule(
+        self, n_requests: int, attempts: int = 1, now_s: float = 0.0
+    ) -> List[CloudFaultDecision]:
+        """The first ``n_requests * attempts`` decisions, in order.
+
+        Purely a *view* of the deterministic decision function — calling
+        it does not advance any state, so a client that subsequently
+        evaluates the same indices sees exactly these decisions.
+        """
+        if n_requests < 0 or attempts < 1:
+            raise ConfigurationError("need n_requests >= 0 and attempts >= 1")
+        return [
+            self.evaluate(i, a, now_s)
+            for i in range(n_requests)
+            for a in range(attempts)
+        ]
+
+
+def schedule_bytes(
+    model: CloudFaultModel, n_requests: int, attempts: int = 1, now_s: float = 0.0
+) -> bytes:
+    """A canonical byte serialization of a fault schedule.
+
+    The determinism tests compare these byte strings across runs: the
+    same ``(model, n_requests, attempts, now_s)`` must always serialize
+    identically.
+    """
+    lines = [
+        f"{i // attempts},{i % attempts},{int(d.dropped)},{int(d.in_outage)},{d.latency_s!r}"
+        for i, d in enumerate(model.schedule(n_requests, attempts, now_s))
+    ]
+    return "\n".join(lines).encode("ascii")
+
+
+@dataclass(frozen=True)
+class DetectorFaultModel:
+    """Loop-detector faults: missed crossings and spurious counts.
+
+    Attributes:
+        dropout_rate: Probability a true crossing is not counted.
+        noise_vph: Spurious counts injected, expressed as vehicles/hour
+            (spread deterministically over aggregation windows).
+        seed: Fault seed.
+    """
+
+    dropout_rate: float = 0.0
+    noise_vph: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dropout_rate <= 1.0:
+            raise ConfigurationError(
+                f"dropout rate must be in [0, 1], got {self.dropout_rate}"
+            )
+        if self.noise_vph < 0:
+            raise ConfigurationError("noise rate must be >= 0")
+
+    def drops_crossing(self, vehicle_id: str, window_index: int) -> bool:
+        """Whether one true crossing is lost to dropout."""
+        if self.dropout_rate <= 0.0:
+            return False
+        u = hash_uniform(self.seed, "detector_drop", vehicle_id, window_index)
+        return u < self.dropout_rate
+
+    def spurious_counts(self, window_index: int, window_s: float) -> int:
+        """Deterministic spurious-count injection for one window."""
+        if self.noise_vph <= 0.0:
+            return 0
+        expected = self.noise_vph * window_s / SECONDS_PER_HOUR
+        base = int(expected)
+        u = hash_uniform(self.seed, "detector_noise", window_index)
+        return base + (1 if u < expected - base else 0)
+
+
+@dataclass
+class FaultyLoopDetector(LoopDetector):
+    """A :class:`LoopDetector` degraded by a :class:`DetectorFaultModel`.
+
+    Drop-in replacement: the detector's flow series — and therefore any
+    SAE forecast built from it — reflects the injected dropout and noise.
+    With a ``None`` (or all-zero) fault model it behaves identically to
+    the pristine detector.
+    """
+
+    fault: Optional[DetectorFaultModel] = None
+
+    def observe(self, time_s: float, vehicle_id: str, position_m: float) -> None:
+        if self.fault is None or self.fault.dropout_rate <= 0.0:
+            super().observe(time_s, vehicle_id, position_m)
+            return
+        previous = self._last_positions.get(vehicle_id)
+        window = int(time_s // self.window_s)
+        if (
+            previous is not None
+            and previous < self.position_m <= position_m
+            and self.fault.drops_crossing(vehicle_id, window)
+        ):
+            # Swallow this crossing: update the track, skip the count.
+            self._last_positions[vehicle_id] = position_m
+            return
+        super().observe(time_s, vehicle_id, position_m)
+
+    def count_in_window(self, window_index: int) -> int:
+        count = super().count_in_window(window_index)
+        if self.fault is not None:
+            count += self.fault.spurious_counts(window_index, self.window_s)
+        return count
+
+
+@dataclass(frozen=True)
+class ForecastFaultModel:
+    """Stale or corrupted volume forecasts.
+
+    Attributes:
+        staleness_s: Forecast refresh interval; a degraded rate callable
+            is evaluated at the last refresh instant instead of "now"
+            (0 disables staleness).
+        corruption_pct: Amplitude of deterministic multiplicative error,
+            as a fraction (0.2 → each value scaled by a factor in
+            ``[0.8, 1.2]``).
+        seed: Fault seed.
+    """
+
+    staleness_s: float = 0.0
+    corruption_pct: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.staleness_s < 0:
+            raise ConfigurationError("staleness must be >= 0")
+        if not 0.0 <= self.corruption_pct < 1.0:
+            raise ConfigurationError(
+                f"corruption fraction must be in [0, 1), got {self.corruption_pct}"
+            )
+
+    def _scale(self, *key: object) -> float:
+        if self.corruption_pct <= 0.0:
+            return 1.0
+        u = hash_uniform(self.seed, "forecast", *key)
+        return 1.0 + self.corruption_pct * (2.0 * u - 1.0)
+
+    def degrade_rate(self, rate: ArrivalRate) -> Callable[[float], float]:
+        """A degraded view of an arrival rate (value or callable).
+
+        The result is a callable suitable for
+        :class:`~repro.core.planner.QueueAwareDpPlanner` arrival rates:
+        staleness snaps the evaluation time back to the last refresh,
+        corruption scales the value by a per-refresh factor.
+        """
+
+        def degraded(t: float) -> float:
+            t_eval = t
+            if self.staleness_s > 0.0:
+                t_eval = math.floor(t / self.staleness_s) * self.staleness_s
+            value = rate(t_eval) if callable(rate) else float(rate)
+            epoch = int(t_eval / self.staleness_s) if self.staleness_s > 0.0 else 0
+            return max(value * self._scale(epoch), 0.0)
+
+        return degraded
+
+    def degrade_volumes(self, series: VolumeSeries) -> VolumeSeries:
+        """A degraded copy of an hourly volume series (SAE input)."""
+        volumes = np.asarray(series.volumes_vph, dtype=float).copy()
+        if self.staleness_s > 0.0:
+            hold = max(int(round(self.staleness_s / SECONDS_PER_HOUR)), 1)
+            for i in range(len(volumes)):
+                volumes[i] = volumes[(i // hold) * hold]
+        for i in range(len(volumes)):
+            volumes[i] = max(volumes[i] * self._scale(i), 0.0)
+        return VolumeSeries(volumes)
+
+
+@dataclass(frozen=True)
+class SignalDriftModel:
+    """Drift between assumed and actual signal timing.
+
+    The planner plans against the road definition it was given; the
+    intersection controller may actually run its cycle shifted by a few
+    seconds (clock skew, transition plans).  This model produces the
+    *actual* road by shifting each signal's offset by a deterministic
+    per-signal amount in ``[-max_drift_s, +max_drift_s]``.
+
+    Attributes:
+        max_drift_s: Largest absolute per-signal offset shift (s).
+        seed: Fault seed.
+    """
+
+    max_drift_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_drift_s < 0:
+            raise ConfigurationError("drift must be >= 0")
+
+    def drift_for(self, position_m: float) -> float:
+        """The offset shift applied to the signal at ``position_m``."""
+        if self.max_drift_s <= 0.0:
+            return 0.0
+        u = hash_uniform(self.seed, "signal_drift", position_m)
+        return self.max_drift_s * (2.0 * u - 1.0)
+
+    def drift_road(self, road: RoadSegment) -> RoadSegment:
+        """A copy of ``road`` whose signals run the drifted cycles."""
+        if self.max_drift_s <= 0.0:
+            return road
+        signals = [
+            replace(
+                site,
+                light=replace(
+                    site.light,
+                    offset_s=site.light.offset_s + self.drift_for(site.position_m),
+                ),
+            )
+            for site in road.signals
+        ]
+        return RoadSegment(
+            name=f"{road.name} (drifted)",
+            length_m=road.length_m,
+            zones=list(road.zones),
+            stop_signs=list(road.stop_signs),
+            signals=signals,
+            grade=road.grade,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One composable bundle of every fault class, sharing a seed story.
+
+    A convenience for experiments: construct with the rates/windows of
+    interest and hand the members to the components they degrade.  A
+    default-constructed plan injects nothing.
+
+    Attributes:
+        cloud: Faults on the request path (``None`` = pristine link).
+        detectors: Faults on loop detectors.
+        forecast: Faults on volume forecasts.
+        signal_drift: Timing drift of the actual signals.
+    """
+
+    cloud: Optional[CloudFaultModel] = None
+    detectors: Optional[DetectorFaultModel] = None
+    forecast: Optional[ForecastFaultModel] = None
+    signal_drift: Optional[SignalDriftModel] = None
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        drop_rate: float = 0.0,
+        detector_dropout: float = 0.0,
+        forecast_corruption: float = 0.0,
+        signal_drift_s: float = 0.0,
+    ) -> "FaultPlan":
+        """A plan with every member keyed off one master seed."""
+        return cls(
+            cloud=CloudFaultModel(drop_rate=drop_rate, seed=seed),
+            detectors=DetectorFaultModel(dropout_rate=detector_dropout, seed=seed + 1),
+            forecast=ForecastFaultModel(
+                corruption_pct=forecast_corruption, seed=seed + 2
+            ),
+            signal_drift=SignalDriftModel(max_drift_s=signal_drift_s, seed=seed + 3),
+        )
+
+    @property
+    def injects_nothing(self) -> bool:
+        """True when every member is absent or at zero rates."""
+        cloud_quiet = self.cloud is None or (
+            self.cloud.drop_rate == 0.0
+            and not self.cloud.outages
+            and self.cloud.latency_base_s == 0.0
+            and self.cloud.latency_jitter_s == 0.0
+        )
+        det_quiet = self.detectors is None or (
+            self.detectors.dropout_rate == 0.0 and self.detectors.noise_vph == 0.0
+        )
+        fc_quiet = self.forecast is None or (
+            self.forecast.staleness_s == 0.0 and self.forecast.corruption_pct == 0.0
+        )
+        drift_quiet = self.signal_drift is None or self.signal_drift.max_drift_s == 0.0
+        return cloud_quiet and det_quiet and fc_quiet and drift_quiet

@@ -1,0 +1,340 @@
+"""The graceful-degradation ladder of the planning loop.
+
+When the cloud's queue-aware DP is unreachable the EV should not revert
+to naive driving in one step — there is a spectrum of cheaper, local
+fallbacks between "optimal plan" and "just follow the speed limit":
+
+1. ``queue_dp`` — the cloud's queue-aware DP (through the resilient
+   client).  Full optimality.
+2. ``baseline_dp`` — a locally-run green-window DP
+   (:class:`~repro.core.planner.BaselineDpPlanner`): no queue model, but
+   still schedules signal arrivals into green.
+3. ``glosa`` — the greedy :class:`~repro.core.glosa.GlosaAdvisor`
+   (queue-aware when arrival rates are available): orders of magnitude
+   cheaper, no DP machinery at all.
+4. ``speed_limit`` — track the posted limit; the unconditional floor
+   that always produces a drivable command.
+
+:class:`DegradationLadder` tries the tiers in order on every plan or
+replan and reports which tier served, so closed-loop results can show
+exactly how far the system degraded under injected faults.
+
+Failure semantics: the ladder degrades on *transport* failures
+(:class:`~repro.errors.CloudUnavailableError`) only.  An *infeasible*
+replan (the service answered ``PlanningFailedError`` for both the
+energy and the min-time objective) propagates to the caller, which
+keeps the previous command — the same behaviour the closed-loop driver
+had before the ladder existed, so a fault-free ladder run is
+bit-identical to the direct-planner path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro import obs
+from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.core.glosa import GlosaAdvisor
+from repro.core.planner import (
+    ArrivalRates,
+    BaselineDpPlanner,
+    DpPlannerBase,
+    PlannerConfig,
+)
+from repro.core.profile import VelocityProfile
+from repro.errors import (
+    CloudUnavailableError,
+    ConfigurationError,
+    InfeasibleProblemError,
+    PlanningFailedError,
+    ReproError,
+)
+from repro.resilience.client import ResilientPlanClient
+from repro.route.road import RoadSegment
+from repro.sim.scenario import profile_speed_command
+from repro.vehicle.params import VehicleParams
+
+#: Tier names, best first.
+TIER_QUEUE_DP = "queue_dp"
+TIER_BASELINE_DP = "baseline_dp"
+TIER_GLOSA = "glosa"
+TIER_SPEED_LIMIT = "speed_limit"
+TIERS = (TIER_QUEUE_DP, TIER_BASELINE_DP, TIER_GLOSA, TIER_SPEED_LIMIT)
+
+
+def speed_limit_command(road: RoadSegment) -> Callable[[float], float]:
+    """The tier-3 command: track the posted limit everywhere."""
+
+    length = road.length_m
+
+    def target(position_m: float) -> float:
+        return road.v_max_at(min(max(position_m, 0.0), length))
+
+    return target
+
+
+def speed_limit_trip_time_s(road: RoadSegment, position_m: float = 0.0) -> float:
+    """Crude remaining-trip-time estimate at the posted limits.
+
+    Integrates ``ds / v_max(s)`` over the remaining route; ramps, stops
+    and signals are ignored — this only sizes deadlines when no planner
+    tier produced a trip time.
+    """
+    ds = 10.0
+    total = 0.0
+    s = max(position_m, 0.0)
+    while s < road.length_m:
+        step = min(ds, road.length_m - s)
+        total += step / max(road.v_max_at(s + 0.5 * step), 0.1)
+        s += step
+    return total
+
+
+@dataclass
+class TierPlan:
+    """What one ladder decision produced.
+
+    Attributes:
+        tier: Serving tier name (one of :data:`TIERS`).
+        command: Position-indexed speed command ready for the simulator.
+        profile: The planned profile, when the tier produces one
+            (``None`` for the speed-limit tier).
+        trip_time_s: Planned (or estimated) remaining trip duration.
+        energy_mah: Planned energy when the tier prices it, else ``nan``.
+    """
+
+    tier: str
+    command: Callable[[float], float]
+    profile: Optional[VelocityProfile]
+    trip_time_s: float
+    energy_mah: float
+
+    @property
+    def degraded(self) -> bool:
+        """True when a tier below the primary served."""
+        return self.tier != TIER_QUEUE_DP
+
+
+class DegradationLadder:
+    """Tiered planning with graceful fallback.
+
+    Args:
+        client: Resilient client fronting the cloud's queue-aware DP.
+        road: The corridor (shared with the cloud planner's road).
+        arrival_rates: Arrival-rate forecast for the queue-aware GLOSA
+            tier; ``None`` drops that tier to classic (green-window)
+            GLOSA.
+        vehicle: EV parameters for the local tiers (paper defaults when
+            ``None``).
+        config: Discretization for the local baseline DP tier; ``None``
+            uses :class:`PlannerConfig` defaults.
+        vehicle_id: Id stamped on cloud requests.
+
+    The local tiers are built lazily on first use: a run that never
+    degrades never pays for a second DP table.
+    """
+
+    def __init__(
+        self,
+        client: ResilientPlanClient,
+        road: RoadSegment,
+        arrival_rates: Optional[ArrivalRates] = None,
+        vehicle: Optional[VehicleParams] = None,
+        config: Optional[PlannerConfig] = None,
+        vehicle_id: str = "ev",
+    ) -> None:
+        if not vehicle_id:
+            raise ConfigurationError("vehicle id must be non-empty")
+        self.client = client
+        self.road = road
+        self.arrival_rates = arrival_rates
+        self.vehicle = vehicle
+        self.config = config
+        self.vehicle_id = vehicle_id
+        self._baseline: Optional[DpPlannerBase] = None
+        self._glosa: Optional[GlosaAdvisor] = None
+        self.tier_history: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Lazy local tiers
+    # ------------------------------------------------------------------
+    def _baseline_planner(self) -> DpPlannerBase:
+        if self._baseline is None:
+            self._baseline = BaselineDpPlanner(
+                self.road, vehicle=self.vehicle, config=self.config
+            )
+        return self._baseline
+
+    def _glosa_advisor(self) -> GlosaAdvisor:
+        if self._glosa is None:
+            rates = self.arrival_rates
+            # GLOSA takes one rate for all signals; reduce a mapping to
+            # classic green-window mode rather than guess a rate.
+            if rates is not None and not (callable(rates) or isinstance(rates, (int, float))):
+                rates = None
+            self._glosa = GlosaAdvisor(
+                self.road, vehicle=self.vehicle, arrival_rates=rates
+            )
+        return self._glosa
+
+    # ------------------------------------------------------------------
+    # Tier attempts
+    # ------------------------------------------------------------------
+    def _record(self, plan: TierPlan) -> TierPlan:
+        self.tier_history.append(plan.tier)
+        registry = obs.get_registry()
+        registry.inc(f"resilience.tier.{plan.tier}")
+        if plan.degraded:
+            registry.inc("resilience.degraded")
+        return plan
+
+    def _from_response(self, response: PlanResponse) -> TierPlan:
+        return TierPlan(
+            tier=TIER_QUEUE_DP,
+            command=profile_speed_command(response.profile),
+            profile=response.profile,
+            trip_time_s=response.trip_time_s,
+            energy_mah=response.energy_mah,
+        )
+
+    def _local_tiers(
+        self,
+        time_s: float,
+        position_m: float,
+        speed_ms: float,
+        max_trip_time_s: Optional[float],
+    ) -> TierPlan:
+        """Tiers 1-3, tried in order; tier 3 cannot fail."""
+        try:
+            planner = self._baseline_planner()
+            try:
+                solution = planner.replan(
+                    position_m=position_m,
+                    speed_ms=speed_ms,
+                    time_s=time_s,
+                    max_trip_time_s=max_trip_time_s,
+                ) if (position_m > 0.0 or speed_ms > 0.0) else planner.plan(
+                    start_time_s=time_s, max_trip_time_s=max_trip_time_s
+                )
+            except InfeasibleProblemError:
+                solution = planner.replan(
+                    position_m=position_m,
+                    speed_ms=speed_ms,
+                    time_s=time_s,
+                    minimize="time",
+                ) if (position_m > 0.0 or speed_ms > 0.0) else planner.plan(
+                    start_time_s=time_s, minimize="time"
+                )
+            return TierPlan(
+                tier=TIER_BASELINE_DP,
+                command=profile_speed_command(solution.profile),
+                profile=solution.profile,
+                trip_time_s=solution.trip_time_s,
+                energy_mah=solution.energy_mah,
+            )
+        except ReproError:
+            pass
+        try:
+            advisor = self._glosa_advisor()
+            glosa = advisor.plan(
+                start_time_s=time_s,
+                start_position_m=position_m,
+                start_speed_ms=speed_ms,
+            )
+            profile = glosa.profile
+            trip_time = profile.arrival_time_at(self.road.length_m) - time_s
+            return TierPlan(
+                tier=TIER_GLOSA,
+                command=profile_speed_command(profile),
+                profile=profile,
+                trip_time_s=trip_time,
+                energy_mah=float("nan"),
+            )
+        except ReproError:
+            pass
+        return TierPlan(
+            tier=TIER_SPEED_LIMIT,
+            command=speed_limit_command(self.road),
+            profile=None,
+            trip_time_s=speed_limit_trip_time_s(self.road, position_m),
+            energy_mah=float("nan"),
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def plan(
+        self, start_time_s: float, max_trip_time_s: Optional[float] = None
+    ) -> TierPlan:
+        """Plan a full trip, degrading through the tiers on failure.
+
+        Unlike :meth:`replan`, an infeasible primary plan also degrades:
+        with no previous command to keep, any tier's plan beats none.
+        """
+        try:
+            response = self.client.request(
+                PlanRequest(
+                    vehicle_id=self.vehicle_id,
+                    depart_s=start_time_s,
+                    max_trip_time_s=max_trip_time_s,
+                ),
+                now_s=start_time_s,
+            )
+            return self._record(self._from_response(response))
+        except (CloudUnavailableError, PlanningFailedError):
+            return self._record(
+                self._local_tiers(start_time_s, 0.0, 0.0, max_trip_time_s)
+            )
+
+    def replan(
+        self,
+        position_m: float,
+        speed_ms: float,
+        time_s: float,
+        max_trip_time_s: Optional[float] = None,
+    ) -> TierPlan:
+        """Replan mid-route, degrading on transport failure only.
+
+        Raises:
+            PlanningFailedError: The cloud was *reachable* but found the
+                remaining trip infeasible for both the energy and the
+                min-time objective.  Callers keep their previous command
+                — exactly the pre-ladder closed-loop semantics.
+        """
+        try:
+            response = self.client.request(
+                PlanRequest(
+                    vehicle_id=self.vehicle_id,
+                    depart_s=time_s,
+                    max_trip_time_s=max_trip_time_s,
+                    position_m=position_m,
+                    speed_ms=speed_ms,
+                ),
+                now_s=time_s,
+            )
+            return self._record(self._from_response(response))
+        except CloudUnavailableError:
+            return self._record(
+                self._local_tiers(time_s, position_m, speed_ms, max_trip_time_s)
+            )
+        except PlanningFailedError:
+            pass
+        # Budget infeasible: mirror the driver's min-time fallback through
+        # the same resilient path before declaring the replan infeasible.
+        try:
+            response = self.client.request(
+                PlanRequest(
+                    vehicle_id=self.vehicle_id,
+                    depart_s=time_s,
+                    position_m=position_m,
+                    speed_ms=speed_ms,
+                    minimize="time",
+                ),
+                now_s=time_s,
+            )
+            return self._record(self._from_response(response))
+        except CloudUnavailableError:
+            return self._record(
+                self._local_tiers(time_s, position_m, speed_ms, max_trip_time_s)
+            )

@@ -8,6 +8,7 @@ several lights can be staggered.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -59,11 +60,26 @@ class TrafficLight:
         """Absolute start time of the cycle containing ``t``."""
         return self.offset_s + self.cycle_index(t) * self.cycle_s
 
+    def _snap_to_green(self, t: float, limit: float) -> float:
+        """Nudge ``t`` forward by ulps until ``is_green`` holds.
+
+        ``cycle_start + red_s`` rounds independently of the modulo in
+        :meth:`time_in_cycle`, so a computed green onset can land a few
+        ulps on the red side of the phase test.  Snapping keeps every
+        published green instant green by the predicate itself.
+        """
+        while not self.is_green(t) and t < limit:
+            t = math.nextafter(t, limit)
+        return t
+
     def next_green_start(self, t: float) -> float:
         """Earliest absolute time >= ``t`` at which the light is green."""
         if self.is_green(t):
             return t
-        return self.cycle_start(t) + self.red_s
+        cycle_start = self.cycle_start(t)
+        return self._snap_to_green(
+            cycle_start + self.red_s, cycle_start + self.cycle_s
+        )
 
     def next_red_start(self, t: float) -> float:
         """Earliest absolute time >= ``t`` at which the light turns red."""
@@ -79,8 +95,8 @@ class TrafficLight:
         windows: List[Tuple[float, float]] = []
         cycle_start = self.cycle_start(start_s)
         while cycle_start < end_s:
-            g0 = cycle_start + self.red_s
             g1 = cycle_start + self.cycle_s
+            g0 = self._snap_to_green(cycle_start + self.red_s, g1)
             lo, hi = max(g0, start_s), min(g1, end_s)
             if hi > lo:
                 windows.append((lo, hi))

@@ -7,20 +7,36 @@ closes the loop: the EV periodically reports ``(position, speed, time)``
 and receives a fresh profile for the remainder of the route, restoring
 queue-free window targeting at the signals still ahead — the same
 receding-horizon pattern a production TraCI controller would run.
+
+The driver can plan through either a local planner (the original path)
+or a :class:`~repro.resilience.ladder.DegradationLadder`, which fronts
+the cloud service with a fault-tolerant client and falls back through
+cheaper planning tiers when the cloud is unreachable.  With a
+fault-free ladder the two paths issue identical solver calls, so their
+results are bit-identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.planner import DpPlannerBase
 from repro.core.profile import TimedTrace
-from repro.errors import ConfigurationError, InfeasibleProblemError
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleProblemError,
+    PlanningFailedError,
+    SimulationTimeoutError,
+)
 from repro.sim.scenario import Us25Scenario, profile_speed_command
 from repro.sim.simulator import SimulationResult
+
+#: Tier label recorded when a plain planner (no ladder) serves a replan.
+PLANNER_TIER = "planner"
 
 
 @dataclass
@@ -30,20 +46,37 @@ class ClosedLoopResult:
     Attributes:
         sim: The underlying simulation result (trace, stops, queues).
         replans_attempted: Number of mid-route replanning rounds.
-        replans_applied: Rounds that produced a feasible fresh plan.
-        replans_infeasible: Rounds where no feasible plan existed and the
-            previous command was kept.
+        replans_applied: Rounds that produced a fresh command (at any
+            ladder tier).
+        replans_infeasible: Rounds where the planner was reachable but
+            no feasible plan existed; the previous command was kept.
+        replans_failed: Rounds where a service-backed planner failed
+            (:class:`~repro.errors.PlanningFailedError` without a
+            ladder to absorb it); the previous command was kept.
+        initial_tier: Ladder tier that served the departure plan.
+        replan_tiers: Serving tier of every applied replan, in order.
+        tier_counts: Applied replans per serving tier.
     """
 
     sim: SimulationResult
     replans_attempted: int
     replans_applied: int
     replans_infeasible: int
+    replans_failed: int = 0
+    initial_tier: str = PLANNER_TIER
+    replan_tiers: Tuple[str, ...] = ()
+    tier_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ev_trace(self) -> Optional[TimedTrace]:
         """The EV's derived trace."""
         return self.sim.ev_trace
+
+    @property
+    def degraded_replans(self) -> int:
+        """Applied replans served below the primary tier."""
+        primary = {PLANNER_TIER, "queue_dp"}
+        return sum(n for tier, n in self.tier_counts.items() if tier not in primary)
 
 
 class ClosedLoopDriver:
@@ -52,26 +85,70 @@ class ClosedLoopDriver:
     Args:
         scenario: Corridor scenario (traffic, seed, step size).
         planner: Planner used for both the initial plan and replans.
+            Mutually exclusive with ``ladder``.
         replan_interval_s: Seconds of simulated time between replans.
         deadline_slack_s: The trip deadline is the initial plan's arrival
             plus this slack; replans must respect the remaining budget.
+        ladder: A :class:`~repro.resilience.ladder.DegradationLadder`
+            planning through the resilient cloud path with tiered
+            fallback; when given, ``planner`` must be ``None``.
     """
 
     def __init__(
         self,
         scenario: Us25Scenario,
-        planner: DpPlannerBase,
+        planner: Optional[DpPlannerBase] = None,
         replan_interval_s: float = 15.0,
         deadline_slack_s: float = 20.0,
+        *,
+        ladder: Optional["DegradationLadder"] = None,
     ) -> None:
         if replan_interval_s <= 0:
             raise ConfigurationError("replan interval must be positive")
         if deadline_slack_s < 0:
             raise ConfigurationError("deadline slack must be >= 0")
+        if (planner is None) == (ladder is None):
+            raise ConfigurationError(
+                "provide exactly one of planner (direct) or ladder (resilient)"
+            )
         self.scenario = scenario
         self.planner = planner
+        self.ladder = ladder
         self.replan_interval_s = float(replan_interval_s)
         self.deadline_slack_s = float(deadline_slack_s)
+
+    # ------------------------------------------------------------------
+    # Planning rounds
+    # ------------------------------------------------------------------
+    def _initial_plan(self, depart_s: float, cap: Optional[float]):
+        """(command, trip_time_s, tier) for the departure plan."""
+        if self.ladder is not None:
+            tier_plan = self.ladder.plan(depart_s, max_trip_time_s=cap)
+            return tier_plan.command, tier_plan.trip_time_s, tier_plan.tier
+        solution = self.planner.plan(start_time_s=depart_s, max_trip_time_s=cap)
+        return (
+            profile_speed_command(solution.profile),
+            solution.trip_time_s,
+            PLANNER_TIER,
+        )
+
+    def _replan_direct(self, position_m, speed_ms, time_s, budget_s):
+        """Pre-ladder replanning: energy, then the min-time fallback."""
+        try:
+            solution = self.planner.replan(
+                position_m=position_m,
+                speed_ms=speed_ms,
+                time_s=time_s,
+                max_trip_time_s=budget_s,
+            )
+        except InfeasibleProblemError:
+            solution = self.planner.replan(
+                position_m=position_m,
+                speed_ms=speed_ms,
+                time_s=time_s,
+                minimize="time",
+            )
+        return profile_speed_command(solution.profile), PLANNER_TIER
 
     def run(
         self,
@@ -79,17 +156,22 @@ class ClosedLoopDriver:
         max_trip_time_s: Optional[float] = None,
         horizon_s: float = 1800.0,
     ) -> ClosedLoopResult:
-        """Plan, drive and replan until the EV finishes the corridor."""
+        """Plan, drive and replan until the EV finishes the corridor.
+
+        Raises:
+            SimulationTimeoutError: The EV did not finish within
+                ``horizon_s`` of simulated time.
+        """
+        registry = obs.get_registry()
         cap = max_trip_time_s
-        initial = self.planner.plan(start_time_s=depart_s, max_trip_time_s=cap)
-        deadline = depart_s + initial.trip_time_s + self.deadline_slack_s
+        command, trip_time, initial_tier = self._initial_plan(depart_s, cap)
+        deadline = depart_s + trip_time + self.deadline_slack_s
 
         sim = self.scenario._build_simulator(horizon_s)
-        sim.schedule_ev(
-            depart_s=depart_s, target_speed_at=profile_speed_command(initial.profile)
-        )
+        sim.schedule_ev(depart_s=depart_s, target_speed_at=command)
 
-        attempted = applied = infeasible = 0
+        attempted = applied = infeasible = failed = 0
+        tiers: List[str] = []
         route_end = self.scenario.road.length_m
         next_replan = depart_s + self.replan_interval_s
         ev = sim._trackers["ev"].agent
@@ -104,36 +186,53 @@ class ClosedLoopDriver:
             if ev.position_m >= route_end - 50.0 or ev.stop_sign_wait_s > 0:
                 continue  # nothing useful left to replan
             attempted += 1
-            remaining = deadline - sim.time_s
+            budget = max(deadline - sim.time_s, 1.0)
             try:
-                solution = self.planner.replan(
-                    position_m=ev.position_m,
-                    speed_ms=ev.speed_ms,
-                    time_s=sim.time_s,
-                    max_trip_time_s=max(remaining, 1.0),
-                )
-            except InfeasibleProblemError:
-                try:
-                    solution = self.planner.replan(
+                if self.ladder is not None:
+                    tier_plan = self.ladder.replan(
                         position_m=ev.position_m,
                         speed_ms=ev.speed_ms,
                         time_s=sim.time_s,
-                        minimize="time",
+                        max_trip_time_s=budget,
                     )
-                except InfeasibleProblemError:
+                    fresh_command, tier = tier_plan.command, tier_plan.tier
+                else:
+                    fresh_command, tier = self._replan_direct(
+                        ev.position_m, ev.speed_ms, sim.time_s, budget
+                    )
+            except InfeasibleProblemError:
+                infeasible += 1
+                continue
+            except PlanningFailedError:
+                # A reachable service answered "infeasible" (or a
+                # service-backed planner failed); keep the previous
+                # command and carry on — never abort the drive.
+                if self.ladder is not None:
                     infeasible += 1
-                    continue
-            ev.target_speed_at = profile_speed_command(solution.profile)
+                else:
+                    failed += 1
+                    registry.inc("closed_loop.replans_failed")
+                continue
+            ev.target_speed_at = fresh_command
             applied += 1
+            tiers.append(tier)
 
         result = sim.result()
         if result.ev_exited_at_s is None:
-            raise InfeasibleProblemError(
-                f"closed-loop EV did not finish within {horizon_s} s"
+            raise SimulationTimeoutError(
+                f"closed-loop EV did not finish within {horizon_s} s",
+                horizon_s=horizon_s,
             )
+        counts: Dict[str, int] = {}
+        for tier in tiers:
+            counts[tier] = counts.get(tier, 0) + 1
         return ClosedLoopResult(
             sim=result,
             replans_attempted=attempted,
             replans_applied=applied,
             replans_infeasible=infeasible,
+            replans_failed=failed,
+            initial_tier=initial_tier,
+            replan_tiers=tuple(tiers),
+            tier_counts=counts,
         )

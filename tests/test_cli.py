@@ -56,3 +56,33 @@ class TestMain:
         assert main(FAST_ARGS + ["--rate", "200"]) == 0
         out = capsys.readouterr().out
         assert "trip budget" in out
+
+
+class TestChaosPath:
+    def test_zero_drop_serves_primary_tier(self, capsys):
+        args = FAST_ARGS + ["--rate", "300", "--cap", "320", "--drop-rate", "0.0"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "served by    : queue_dp tier" in out
+        assert "cloud client" in out
+        assert "breaker closed" in out
+
+    def test_total_loss_degrades_to_local_tier(self, capsys):
+        args = FAST_ARGS + ["--rate", "300", "--cap", "320", "--drop-rate", "1.0"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "served by    : baseline_dp tier" in out
+        assert "drop(s)" in out
+
+    def test_degraded_plan_verifies_in_sim(self, capsys):
+        args = FAST_ARGS + [
+            "--rate",
+            "300",
+            "--cap",
+            "320",
+            "--drop-rate",
+            "1.0",
+            "--verify",
+        ]
+        assert main(args) == 0
+        assert "verified in sim" in capsys.readouterr().out

@@ -204,6 +204,87 @@ class TestRevalidation:
         assert again.cache_hit
 
 
+class TestReplanPath:
+    def test_replan_request_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlanRequest(vehicle_id="x", depart_s=0.0, position_m=-1.0)
+        with pytest.raises(ConfigurationError):
+            PlanRequest(vehicle_id="x", depart_s=0.0, speed_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            PlanRequest(vehicle_id="x", depart_s=0.0, minimize="comfort")
+
+    def test_is_replan_property(self):
+        assert not PlanRequest("x", depart_s=0.0).is_replan
+        assert PlanRequest("x", depart_s=0.0, position_m=100.0).is_replan
+        assert PlanRequest("x", depart_s=0.0, speed_ms=5.0).is_replan
+
+    def test_replan_bypasses_cache(self, fresh_service):
+        service = fresh_service
+        service.request(PlanRequest("a", depart_s=100.0, max_trip_time_s=320.0))
+        replan = PlanRequest(
+            "a", depart_s=130.0, max_trip_time_s=290.0, position_m=500.0, speed_ms=12.0
+        )
+        first = service.request(replan)
+        second = service.request(replan)
+        assert not first.cache_hit and not second.cache_hit
+        assert first.compute_time_s > 0
+        # Neither replan seeded the cache with a mid-route profile.
+        cached = service.request(
+            PlanRequest("b", depart_s=160.0, max_trip_time_s=320.0)
+        )
+        assert cached.cache_hit
+        assert cached.profile.positions_m[0] == 0.0
+
+    def test_replan_profile_covers_remaining_route(self, service, us25):
+        response = service.request(
+            PlanRequest("ev", depart_s=130.0, position_m=2000.0, speed_ms=15.0)
+        )
+        assert response.profile.positions_m[0] >= 2000.0
+        assert response.profile.positions_m[-1] == us25.length_m
+        assert response.profile.arrival_times_s[0] >= 130.0
+
+    def test_min_time_objective_uncached(self, fresh_service):
+        service = fresh_service
+        service.request(PlanRequest("a", depart_s=100.0, max_trip_time_s=320.0))
+        fast = service.request(PlanRequest("b", depart_s=160.0, minimize="time"))
+        assert not fast.cache_hit
+
+    def test_stats_invariant_holds_across_replans(self, fresh_service):
+        service = fresh_service
+        service.request(PlanRequest("a", depart_s=100.0, max_trip_time_s=320.0))
+        service.request(PlanRequest("b", depart_s=160.0, max_trip_time_s=320.0))
+        service.request(
+            PlanRequest("a", depart_s=130.0, position_m=500.0, speed_ms=12.0)
+        )
+        with pytest.raises(PlanningFailedError):
+            service.request(
+                PlanRequest(
+                    "a",
+                    depart_s=130.0,
+                    max_trip_time_s=5.0,
+                    position_m=500.0,
+                    speed_ms=12.0,
+                )
+            )
+        stats = service.stats
+        assert stats.requests == 4
+        assert stats.errors == 1
+        assert stats.requests == stats.cache_hits + stats.cache_misses + stats.errors
+
+    def test_infeasible_replan_raises_typed_error(self, fresh_service):
+        with pytest.raises(PlanningFailedError) as excinfo:
+            fresh_service.request(
+                PlanRequest(
+                    "ev",
+                    depart_s=130.0,
+                    max_trip_time_s=5.0,
+                    position_m=2000.0,
+                    speed_ms=15.0,
+                )
+            )
+        assert excinfo.value.vehicle_id == "ev"
+
+
 class TestPackVoltage:
     def test_energy_mah_uses_solver_pack_voltage(self, us25, coarse_config):
         vehicle = VehicleParams(

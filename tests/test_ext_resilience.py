@@ -1,0 +1,77 @@
+"""The resilience extension experiment: sweep runs, aggregates, report."""
+
+import pytest
+
+from repro.experiments import ext_resilience
+from repro.experiments.runner import EXPERIMENTS
+from repro.resilience.ladder import TIER_QUEUE_DP
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ext_resilience.ResilienceConfig(
+        drop_rates=(0.0, 0.5),
+        departures=(300.0,),
+        seeds=(13,),
+    )
+    return ext_resilience.run(config)
+
+
+class TestRun:
+    def test_one_row_per_rate(self, result):
+        assert [row.drop_rate for row in result.rows] == [0.0, 0.5]
+
+    def test_every_drive_completes(self, result):
+        for row in result.rows:
+            assert row.completed == (1, 1)
+
+    def test_zero_rate_never_degrades(self, result):
+        clean = result.rows[0]
+        assert set(clean.tier_counts) <= {TIER_QUEUE_DP}
+        assert clean.retries == 0
+        assert clean.breaker_opens == 0
+
+    def test_faulted_rate_shows_fault_handling(self, result):
+        faulted = result.rows[1]
+        assert faulted.retries > 0
+        assert sum(faulted.tier_counts.values()) > 0
+
+    def test_metrics_are_finite(self, result):
+        for row in result.rows:
+            assert row.energy_mah > 0
+            assert row.trip_time_s > 0
+            assert row.signal_stops >= 0
+
+
+class TestReport:
+    def test_report_renders_table_and_verdict(self, result):
+        text = ext_resilience.report(result)
+        assert "drop rate" in text
+        assert "queue_dp" in text
+        assert "speed_limit" in text
+        assert "every drive completed at every fault rate" in text
+
+    def test_incomplete_matrix_flagged(self, result):
+        crippled = ext_resilience.ResilienceResult(
+            rows=[
+                ext_resilience.ResilienceRow(
+                    drop_rate=1.0,
+                    energy_mah=float("nan"),
+                    trip_time_s=float("nan"),
+                    signal_stops=0,
+                    tier_counts={},
+                    retries=0,
+                    breaker_opens=3,
+                    completed=(0, 1),
+                )
+            ]
+        )
+        assert "SOME DRIVES DID NOT COMPLETE" in ext_resilience.report(crippled)
+
+
+class TestRegistration:
+    def test_registered_in_runner(self):
+        assert EXPERIMENTS["ext-resilience"] == (
+            ext_resilience.run,
+            ext_resilience.report,
+        )

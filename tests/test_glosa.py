@@ -117,3 +117,49 @@ class TestAdvisor:
             GlosaAdvisor(us25, cruise_accel_ms2=0.0)
         with pytest.raises(ConfigurationError):
             GlosaAdvisor(us25, window_margin_s=-1.0)
+
+
+class TestPlanFromState:
+    """Mid-route advisories (the ladder's GLOSA tier)."""
+
+    @pytest.fixture(scope="class")
+    def green(self, us25):
+        return GlosaAdvisor(us25)
+
+    def test_suffix_covers_remaining_route(self, green, us25):
+        plan = green.plan(
+            start_time_s=130.0, start_position_m=2000.0, start_speed_ms=12.0
+        )
+        profile = plan.profile
+        assert profile.positions_m[0] == pytest.approx(2000.0)
+        assert profile.positions_m[-1] == pytest.approx(us25.length_m)
+        assert profile.arrival_times_s[0] == pytest.approx(130.0)
+        assert profile.speeds_ms[0] == pytest.approx(12.0)
+
+    def test_only_signals_ahead_advised(self, green):
+        plan = green.plan(
+            start_time_s=130.0, start_position_m=2000.0, start_speed_ms=12.0
+        )
+        assert set(plan.signal_arrivals) == {3460.0}
+
+    def test_mid_route_arrivals_are_green(self, green, us25):
+        plan = green.plan(
+            start_time_s=130.0, start_position_m=2000.0, start_speed_ms=12.0
+        )
+        for pos, arrival in plan.signal_arrivals.items():
+            site = next(s for s in us25.signals if s.position_m == pos)
+            assert site.light.is_green(arrival)
+
+    def test_default_state_unchanged(self, green):
+        assert (
+            green.plan(0.0).signal_arrivals
+            == green.plan(0.0, start_position_m=0.0, start_speed_ms=0.0).signal_arrivals
+        )
+
+    def test_state_validation(self, green, us25):
+        with pytest.raises(ConfigurationError):
+            green.plan(0.0, start_position_m=-1.0)
+        with pytest.raises(ConfigurationError):
+            green.plan(0.0, start_position_m=us25.length_m)
+        with pytest.raises(ConfigurationError):
+            green.plan(0.0, start_speed_ms=-1.0)

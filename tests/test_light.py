@@ -79,3 +79,35 @@ class TestValidation:
         light = TrafficLight(red_s=0.0, green_s=60.0)
         assert light.is_green(0.0)
         assert light.is_green(59.0)
+
+
+class TestBoundaryConsistency:
+    """Published green boundaries must be green by ``is_green`` itself.
+
+    ``cycle_start + red_s`` rounds independently of the modulo phase
+    test, so an unsnapped window start can sit a few ulps inside red —
+    a plan targeting that instant would "hit the window" yet arrive on
+    red (found by hypothesis on ``red_s=10.000000000000002``).
+    """
+
+    AWKWARD = TrafficLight(red_s=10.000000000000002, green_s=15.0, offset_s=10.0)
+
+    def test_window_starts_are_green(self):
+        for start, end in self.AWKWARD.green_windows(400.0, 0.0):
+            assert self.AWKWARD.is_green(start), (start, end)
+            assert end > start
+
+    def test_next_green_start_is_green(self):
+        t = 0.0
+        while t < 400.0:
+            onset = self.AWKWARD.next_green_start(t)
+            assert self.AWKWARD.is_green(onset), (t, onset)
+            t += 7.3
+
+    def test_snap_preserves_round_timings(self):
+        light = TrafficLight(red_s=30.0, green_s=30.0)
+        assert light.green_windows(180.0, 0.0) == [
+            (30.0, 60.0),
+            (90.0, 120.0),
+            (150.0, 180.0),
+        ]

@@ -1,0 +1,282 @@
+"""Resilient cloud client: deadlines, retries, breaker transitions."""
+
+import pytest
+
+from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.errors import (
+    CloudUnavailableError,
+    ConfigurationError,
+    PlanningFailedError,
+)
+from repro.resilience.client import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    ResilientPlanClient,
+)
+from repro.resilience.faults import CloudFaultModel, OutageWindow
+
+
+class StubService:
+    """Answers every request with a canned response, counting calls."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def request(self, req):
+        self.calls += 1
+        return PlanResponse(
+            vehicle_id=req.vehicle_id,
+            profile=None,
+            energy_mah=100.0,
+            trip_time_s=200.0,
+            cache_hit=False,
+            compute_time_s=0.01,
+        )
+
+
+class InfeasibleService:
+    """A reachable service whose planner always says infeasible."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def request(self, req):
+        self.calls += 1
+        raise PlanningFailedError(
+            "no feasible plan", vehicle_id=req.vehicle_id, depart_s=req.depart_s
+        )
+
+
+def _req(depart_s=0.0, **kwargs):
+    return PlanRequest(vehicle_id="ev", depart_s=depart_s, **kwargs)
+
+
+class TestPassThrough:
+    def test_no_fault_serves_first_attempt(self):
+        service = StubService()
+        client = ResilientPlanClient(service)
+        response = client.request(_req())
+        assert response.energy_mah == 100.0
+        assert service.calls == 1
+        stats = client.stats
+        assert (stats.requests, stats.served, stats.attempts) == (1, 1, 1)
+        assert stats.retries == stats.drops == stats.failures == 0
+        assert stats.breaker_state == BREAKER_CLOSED
+        assert stats.transitions == []
+
+    def test_now_defaults_to_depart(self):
+        fault = CloudFaultModel(outages=(OutageWindow(0.0, 100.0),))
+        client = ResilientPlanClient(StubService(), fault=fault, max_attempts=1)
+        with pytest.raises(CloudUnavailableError) as excinfo:
+            client.request(_req(depart_s=50.0))
+        assert excinfo.value.reason == "outage"
+        client.request(_req(depart_s=150.0))
+        assert client.stats.served == 1
+
+    def test_validation(self):
+        service = StubService()
+        with pytest.raises(ConfigurationError):
+            ResilientPlanClient(service, deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilientPlanClient(service, max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            ResilientPlanClient(service, backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            ResilientPlanClient(service, breaker_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ResilientPlanClient(service, breaker_cooldown_s=0.0)
+
+
+class TestRetries:
+    def test_total_loss_exhausts_attempts(self):
+        service = StubService()
+        fault = CloudFaultModel(drop_rate=1.0, seed=1)
+        client = ResilientPlanClient(service, fault=fault, max_attempts=3)
+        with pytest.raises(CloudUnavailableError) as excinfo:
+            client.request(_req())
+        assert excinfo.value.attempts == 3
+        assert excinfo.value.reason == "drop"
+        assert service.calls == 0
+        stats = client.stats
+        assert stats.attempts == 3
+        assert stats.retries == 2
+        assert stats.drops == 3
+        assert stats.failures == 1
+
+    def test_retry_recovers_after_outage(self):
+        # First attempt lands inside the outage; the backoff wait pushes
+        # the retry past its end.
+        service = StubService()
+        fault = CloudFaultModel(outages=(OutageWindow(0.0, 10.0),), seed=1)
+        client = ResilientPlanClient(
+            service,
+            fault=fault,
+            deadline_s=60.0,
+            max_attempts=2,
+            backoff_base_s=10.0,
+        )
+        response = client.request(_req(depart_s=5.0))
+        assert response is not None
+        assert service.calls == 1
+        stats = client.stats
+        assert stats.retries == 1
+        assert stats.outage_drops == 1
+        assert stats.served == 1
+        assert stats.failures == 0
+
+    def test_backoff_bounds(self):
+        client = ResilientPlanClient(
+            StubService(),
+            fault=CloudFaultModel(seed=3),
+            backoff_base_s=0.2,
+            backoff_factor=2.0,
+            backoff_jitter=0.5,
+        )
+        for index in range(20):
+            for attempt in range(1, 5):
+                wait = client.backoff_s(index, attempt)
+                floor = 0.2 * 2.0 ** (attempt - 1)
+                assert floor <= wait <= floor * 1.5
+
+    def test_backoff_deterministic_and_jittered(self):
+        client = ResilientPlanClient(StubService(), fault=CloudFaultModel(seed=3))
+        assert client.backoff_s(0, 1) == client.backoff_s(0, 1)
+        waits = {client.backoff_s(i, 1) for i in range(10)}
+        assert len(waits) > 1
+
+    def test_latency_exhausts_deadline(self):
+        service = StubService()
+        fault = CloudFaultModel(latency_base_s=10.0, seed=1)
+        client = ResilientPlanClient(service, fault=fault, deadline_s=5.0)
+        with pytest.raises(CloudUnavailableError) as excinfo:
+            client.request(_req())
+        assert excinfo.value.reason == "deadline"
+        assert service.calls == 0
+        assert client.stats.deadline_exceeded == 1
+
+
+class TestBreaker:
+    def _failing_client(self, service=None, **kwargs):
+        fault = CloudFaultModel(drop_rate=1.0, seed=2)
+        defaults = dict(
+            fault=fault,
+            max_attempts=1,
+            breaker_threshold=2,
+            breaker_cooldown_s=60.0,
+        )
+        defaults.update(kwargs)
+        return ResilientPlanClient(service or StubService(), **defaults)
+
+    def test_threshold_trips_open(self):
+        client = self._failing_client()
+        for t in (0.0, 10.0):
+            with pytest.raises(CloudUnavailableError):
+                client.request(_req(), now_s=t)
+        stats = client.stats
+        assert stats.breaker_state == BREAKER_OPEN
+        assert stats.transitions == [(10.0, BREAKER_CLOSED, BREAKER_OPEN)]
+        assert stats.breaker_opens == 1
+
+    def test_open_fast_fails_without_wire_attempts(self):
+        service = StubService()
+        client = self._failing_client(service)
+        for t in (0.0, 10.0):
+            with pytest.raises(CloudUnavailableError):
+                client.request(_req(), now_s=t)
+        attempts_before = client.stats.attempts
+        with pytest.raises(CloudUnavailableError) as excinfo:
+            client.request(_req(), now_s=20.0)
+        assert excinfo.value.reason == "breaker_open"
+        assert excinfo.value.attempts == 0
+        assert client.stats.attempts == attempts_before
+        assert client.stats.fast_fails == 1
+        assert service.calls == 0
+
+    def test_half_open_probe_success_closes(self):
+        service = StubService()
+        fault = CloudFaultModel(outages=(OutageWindow(0.0, 30.0),), seed=2)
+        client = ResilientPlanClient(
+            service,
+            fault=fault,
+            max_attempts=1,
+            breaker_threshold=2,
+            breaker_cooldown_s=60.0,
+        )
+        for t in (0.0, 10.0):
+            with pytest.raises(CloudUnavailableError):
+                client.request(_req(), now_s=t)
+        assert client.stats.breaker_state == BREAKER_OPEN
+        # Past the cooldown and past the outage: the probe succeeds.
+        response = client.request(_req(), now_s=100.0)
+        assert response is not None
+        assert service.calls == 1
+        states = [to for _, _, to in client.stats.transitions]
+        assert states == [BREAKER_OPEN, BREAKER_HALF_OPEN, BREAKER_CLOSED]
+
+    def test_half_open_probe_failure_reopens(self):
+        service = StubService()
+        client = self._failing_client(service, max_attempts=3)
+        # max_attempts=3 but a drop_rate=1.0 link: trip the breaker.
+        for t in (0.0, 10.0):
+            with pytest.raises(CloudUnavailableError):
+                client.request(_req(), now_s=t)
+        attempts_before = client.stats.attempts
+        with pytest.raises(CloudUnavailableError):
+            client.request(_req(), now_s=100.0)
+        # The half-open probe gets exactly one wire attempt, not three.
+        assert client.stats.attempts == attempts_before + 1
+        states = [to for _, _, to in client.stats.transitions]
+        assert states == [BREAKER_OPEN, BREAKER_HALF_OPEN, BREAKER_OPEN]
+        # Cooldown restarts from the failed probe.
+        with pytest.raises(CloudUnavailableError) as excinfo:
+            client.request(_req(), now_s=110.0)
+        assert excinfo.value.reason == "breaker_open"
+
+    def test_success_resets_consecutive_failures(self):
+        # fail, fail-below-threshold, succeed, then the counter restarts.
+        service = StubService()
+        fault = CloudFaultModel(outages=(OutageWindow(0.0, 5.0), OutageWindow(20.0, 25.0)))
+        client = ResilientPlanClient(
+            service, fault=fault, max_attempts=1, breaker_threshold=2
+        )
+        with pytest.raises(CloudUnavailableError):
+            client.request(_req(), now_s=0.0)
+        client.request(_req(), now_s=10.0)  # success resets the streak
+        with pytest.raises(CloudUnavailableError):
+            client.request(_req(), now_s=20.0)
+        assert client.stats.breaker_state == BREAKER_CLOSED
+
+
+class TestPlanningFailure:
+    def test_infeasible_propagates_without_tripping_breaker(self):
+        service = InfeasibleService()
+        client = ResilientPlanClient(service, breaker_threshold=1)
+        for t in (0.0, 10.0, 20.0):
+            with pytest.raises(PlanningFailedError):
+                client.request(_req(), now_s=t)
+        stats = client.stats
+        assert service.calls == 3
+        assert stats.served == 3
+        assert stats.failures == 0
+        assert stats.breaker_state == BREAKER_CLOSED
+        assert stats.transitions == []
+
+    def test_infeasible_answer_closes_half_open_breaker(self):
+        # A PlanningFailedError proves the wire works: it should close a
+        # half-open breaker just like a plan would.
+        service = InfeasibleService()
+        fault = CloudFaultModel(outages=(OutageWindow(0.0, 30.0),))
+        client = ResilientPlanClient(
+            service,
+            fault=fault,
+            max_attempts=1,
+            breaker_threshold=2,
+            breaker_cooldown_s=60.0,
+        )
+        for t in (0.0, 10.0):
+            with pytest.raises(CloudUnavailableError):
+                client.request(_req(), now_s=t)
+        with pytest.raises(PlanningFailedError):
+            client.request(_req(), now_s=100.0)
+        assert client.stats.breaker_state == BREAKER_CLOSED

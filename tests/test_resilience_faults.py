@@ -1,0 +1,208 @@
+"""Deterministic fault models: schedules, detectors, forecasts, drift."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.faults import (
+    CloudFaultModel,
+    DetectorFaultModel,
+    FaultPlan,
+    FaultyLoopDetector,
+    ForecastFaultModel,
+    OutageWindow,
+    SignalDriftModel,
+    hash_uniform,
+    schedule_bytes,
+)
+from repro.sim.detectors import LoopDetector
+from repro.traffic.volume import VolumeSeries
+
+
+class TestHashUniform:
+    def test_deterministic(self):
+        assert hash_uniform(7, "drop", 3, 1) == hash_uniform(7, "drop", 3, 1)
+
+    def test_in_unit_interval(self):
+        draws = [hash_uniform(1, "x", i) for i in range(200)]
+        assert all(0.0 <= u < 1.0 for u in draws)
+
+    def test_key_sensitivity(self):
+        assert hash_uniform(7, "drop", 3) != hash_uniform(7, "drop", 4)
+        assert hash_uniform(7, "drop", 3) != hash_uniform(8, "drop", 3)
+
+    def test_roughly_uniform(self):
+        draws = [hash_uniform(0, "u", i) for i in range(2000)]
+        assert 0.45 < float(np.mean(draws)) < 0.55
+
+
+class TestCloudFaultModel:
+    def test_schedule_bytes_identical_for_same_seed(self):
+        a = CloudFaultModel(drop_rate=0.3, latency_jitter_s=0.2, seed=42)
+        b = CloudFaultModel(drop_rate=0.3, latency_jitter_s=0.2, seed=42)
+        assert schedule_bytes(a, 100, attempts=3) == schedule_bytes(b, 100, attempts=3)
+
+    def test_schedule_bytes_differ_across_seeds(self):
+        a = CloudFaultModel(drop_rate=0.3, latency_jitter_s=0.2, seed=42)
+        b = CloudFaultModel(drop_rate=0.3, latency_jitter_s=0.2, seed=43)
+        assert schedule_bytes(a, 100) != schedule_bytes(b, 100)
+
+    def test_zero_rate_never_drops(self):
+        model = CloudFaultModel(drop_rate=0.0, seed=1)
+        assert not any(d.dropped for d in model.schedule(50, attempts=2))
+
+    def test_full_rate_always_drops(self):
+        model = CloudFaultModel(drop_rate=1.0, seed=1)
+        assert all(d.dropped for d in model.schedule(50))
+
+    def test_drop_fraction_tracks_rate(self):
+        model = CloudFaultModel(drop_rate=0.4, seed=3)
+        dropped = sum(d.dropped for d in model.schedule(2000))
+        assert 0.35 < dropped / 2000 < 0.45
+
+    def test_outage_window_forces_drops(self):
+        model = CloudFaultModel(outages=(OutageWindow(100.0, 200.0),), seed=0)
+        inside = model.evaluate(0, 0, 150.0)
+        outside = model.evaluate(0, 0, 250.0)
+        assert inside.dropped and inside.in_outage
+        assert not outside.dropped
+
+    def test_latency_includes_base_and_bounded_jitter(self):
+        model = CloudFaultModel(latency_base_s=0.5, latency_jitter_s=0.1, seed=2)
+        latencies = [d.latency_s for d in model.schedule(200)]
+        assert all(lat >= 0.5 for lat in latencies)
+        assert max(latencies) <= 0.5 + 0.1 * 20.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CloudFaultModel(drop_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            CloudFaultModel(latency_base_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            OutageWindow(10.0, 10.0)
+
+
+class TestFaultyLoopDetector:
+    def _cross(self, detector, vehicle_id, t0=0.0):
+        detector.observe(t0, vehicle_id, 90.0)
+        detector.observe(t0 + 1.0, vehicle_id, 110.0)
+
+    def test_no_fault_matches_pristine_detector(self):
+        pristine = LoopDetector(position_m=100.0, window_s=60.0)
+        faulty = FaultyLoopDetector(position_m=100.0, window_s=60.0, fault=None)
+        for i in range(20):
+            self._cross(pristine, f"v{i}", t0=i)
+            self._cross(faulty, f"v{i}", t0=i)
+        assert faulty.count_in_window(0) == pristine.count_in_window(0) == 20
+
+    def test_full_dropout_counts_nothing(self):
+        fault = DetectorFaultModel(dropout_rate=1.0, seed=5)
+        detector = FaultyLoopDetector(position_m=100.0, fault=fault)
+        for i in range(20):
+            self._cross(detector, f"v{i}", t0=i)
+        assert detector.count_in_window(0) == 0
+
+    def test_partial_dropout_loses_some(self):
+        fault = DetectorFaultModel(dropout_rate=0.5, seed=5)
+        detector = FaultyLoopDetector(position_m=100.0, fault=fault)
+        for i in range(100):
+            self._cross(detector, f"v{i}", t0=0.0)
+        assert 20 < detector.count_in_window(0) < 80
+
+    def test_noise_adds_spurious_counts(self):
+        fault = DetectorFaultModel(noise_vph=120.0, seed=5)
+        detector = FaultyLoopDetector(position_m=100.0, window_s=60.0, fault=fault)
+        # 120 vph over a 60 s window = 2 spurious counts, zero real ones.
+        assert detector.count_in_window(0) == 2
+
+    def test_flow_series_reflects_faults(self):
+        fault = DetectorFaultModel(noise_vph=60.0, seed=1)
+        detector = FaultyLoopDetector(position_m=100.0, window_s=60.0, fault=fault)
+        series = detector.flow_series(3)
+        assert float(series.volumes_vph[0]) == pytest.approx(60.0)
+
+    def test_dropout_is_deterministic(self):
+        def counts(seed):
+            fault = DetectorFaultModel(dropout_rate=0.5, seed=seed)
+            detector = FaultyLoopDetector(position_m=100.0, fault=fault)
+            for i in range(50):
+                self._cross(detector, f"v{i}", t0=0.0)
+            return detector.count_in_window(0)
+
+        assert counts(9) == counts(9)
+
+
+class TestForecastFaultModel:
+    def test_zero_model_is_identity(self):
+        fault = ForecastFaultModel()
+        degraded = fault.degrade_rate(0.05)
+        assert degraded(0.0) == pytest.approx(0.05)
+        assert degraded(999.0) == pytest.approx(0.05)
+
+    def test_staleness_freezes_between_refreshes(self):
+        fault = ForecastFaultModel(staleness_s=600.0)
+        degraded = fault.degrade_rate(lambda t: t)
+        assert degraded(0.0) == degraded(599.0) == 0.0
+        assert degraded(600.0) == degraded(1100.0) == 600.0
+
+    def test_corruption_bounded(self):
+        fault = ForecastFaultModel(corruption_pct=0.2, seed=4)
+        degraded = fault.degrade_rate(1.0)
+        assert 0.8 <= degraded(0.0) <= 1.2
+
+    def test_degrade_volumes_shape_and_bounds(self):
+        fault = ForecastFaultModel(corruption_pct=0.3, seed=4)
+        series = VolumeSeries(np.full(6, 100.0))
+        degraded = fault.degrade_volumes(series)
+        assert len(degraded.volumes_vph) == 6
+        assert np.all(degraded.volumes_vph >= 70.0)
+        assert np.all(degraded.volumes_vph <= 130.0)
+        assert not np.allclose(degraded.volumes_vph, 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ForecastFaultModel(corruption_pct=1.0)
+        with pytest.raises(ConfigurationError):
+            ForecastFaultModel(staleness_s=-1.0)
+
+
+class TestSignalDriftModel:
+    def test_zero_drift_returns_same_road(self, us25):
+        assert SignalDriftModel(max_drift_s=0.0).drift_road(us25) is us25
+
+    def test_drift_bounded_and_applied(self, us25):
+        model = SignalDriftModel(max_drift_s=5.0, seed=11)
+        drifted = model.drift_road(us25)
+        assert len(drifted.signals) == len(us25.signals)
+        shifts = [
+            d.light.offset_s - o.light.offset_s
+            for d, o in zip(drifted.signals, us25.signals)
+        ]
+        assert all(abs(s) <= 5.0 for s in shifts)
+        assert any(abs(s) > 0.0 for s in shifts)
+
+    def test_drift_deterministic(self, us25):
+        a = SignalDriftModel(max_drift_s=5.0, seed=11).drift_road(us25)
+        b = SignalDriftModel(max_drift_s=5.0, seed=11).drift_road(us25)
+        assert [s.light.offset_s for s in a.signals] == [
+            s.light.offset_s for s in b.signals
+        ]
+
+    def test_timing_preserved_otherwise(self, us25):
+        drifted = SignalDriftModel(max_drift_s=5.0, seed=11).drift_road(us25)
+        for d, o in zip(drifted.signals, us25.signals):
+            assert d.light.cycle_s == o.light.cycle_s
+            assert d.position_m == o.position_m
+
+
+class TestFaultPlan:
+    def test_default_injects_nothing(self):
+        assert FaultPlan().injects_nothing
+
+    def test_seeded_plan_reports_active(self):
+        plan = FaultPlan.seeded(3, drop_rate=0.5)
+        assert not plan.injects_nothing
+        assert plan.cloud.drop_rate == 0.5
+
+    def test_seeded_zero_rates_quiet(self):
+        assert FaultPlan.seeded(3).injects_nothing

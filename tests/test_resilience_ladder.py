@@ -1,0 +1,338 @@
+"""Degradation ladder: tier fallback, closed-loop chaos, determinism."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.cloud.service import CloudPlannerService
+from repro.core.planner import BaselineDpPlanner, QueueAwareDpPlanner
+from repro.errors import (
+    CloudUnavailableError,
+    ConfigurationError,
+    PlanningFailedError,
+    SimulationTimeoutError,
+)
+from repro.resilience.client import ResilientPlanClient
+from repro.resilience.faults import CloudFaultModel
+from repro.resilience.ladder import (
+    TIER_BASELINE_DP,
+    TIER_GLOSA,
+    TIER_QUEUE_DP,
+    TIER_SPEED_LIMIT,
+    TIERS,
+    DegradationLadder,
+    speed_limit_command,
+    speed_limit_trip_time_s,
+)
+from repro.sim.closed_loop import ClosedLoopDriver
+from repro.sim.scenario import Us25Scenario
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+class UnreachableClient:
+    """Every request dies on the wire."""
+
+    def __init__(self):
+        self.requests = []
+
+    def request(self, req, now_s=None):
+        self.requests.append(req)
+        raise CloudUnavailableError(
+            "injected", vehicle_id=req.vehicle_id, attempts=1, reason="drop"
+        )
+
+
+class InfeasibleClient:
+    """The cloud is reachable but finds every objective infeasible."""
+
+    def __init__(self):
+        self.requests = []
+
+    def request(self, req, now_s=None):
+        self.requests.append(req)
+        raise PlanningFailedError(
+            "infeasible", vehicle_id=req.vehicle_id, depart_s=req.depart_s
+        )
+
+
+class BudgetBoundClient:
+    """Energy objective infeasible; the min-time fallback succeeds."""
+
+    def __init__(self, response):
+        self.response = response
+        self.requests = []
+
+    def request(self, req, now_s=None):
+        self.requests.append(req)
+        if req.minimize == "energy":
+            raise PlanningFailedError(
+                "budget too tight", vehicle_id=req.vehicle_id, depart_s=req.depart_s
+            )
+        return self.response
+
+
+def _raise_repro_error():
+    raise ConfigurationError("injected tier failure")
+
+
+class TestTierFallback:
+    @pytest.fixture()
+    def ladder(self, short_road, coarse_config):
+        return DegradationLadder(
+            UnreachableClient(), short_road, config=coarse_config
+        )
+
+    def test_validation(self, short_road):
+        with pytest.raises(ConfigurationError):
+            DegradationLadder(UnreachableClient(), short_road, vehicle_id="")
+
+    def test_cloud_unavailable_falls_to_baseline(self, ladder):
+        plan = ladder.plan(0.0, max_trip_time_s=200.0)
+        assert plan.tier == TIER_BASELINE_DP
+        assert plan.degraded
+        assert plan.profile is not None
+        assert plan.trip_time_s > 0
+        assert callable(plan.command)
+        assert ladder.tier_history == [TIER_BASELINE_DP]
+
+    def test_baseline_failure_falls_to_glosa(self, ladder, monkeypatch):
+        monkeypatch.setattr(
+            ladder, "_baseline_planner", lambda: _raise_repro_error()
+        )
+        plan = ladder.plan(0.0, max_trip_time_s=200.0)
+        assert plan.tier == TIER_GLOSA
+        assert plan.profile is not None
+        assert plan.trip_time_s > 0
+
+    def test_glosa_failure_falls_to_speed_limit(self, ladder, monkeypatch, short_road):
+        monkeypatch.setattr(ladder, "_baseline_planner", lambda: _raise_repro_error())
+        monkeypatch.setattr(ladder, "_glosa_advisor", lambda: _raise_repro_error())
+        plan = ladder.plan(0.0)
+        assert plan.tier == TIER_SPEED_LIMIT
+        assert plan.profile is None
+        assert np.isnan(plan.energy_mah)
+        assert plan.command(0.0) == short_road.v_max_at(0.0)
+        assert plan.trip_time_s == pytest.approx(
+            speed_limit_trip_time_s(short_road), rel=1e-9
+        )
+
+    def test_replan_degrades_on_transport_failure(self, ladder):
+        plan = ladder.replan(position_m=200.0, speed_ms=10.0, time_s=30.0)
+        assert plan.tier == TIER_BASELINE_DP
+        assert plan.profile.positions_m[0] >= 200.0
+
+    def test_tier_recorded_in_obs(self, short_road, coarse_config):
+        registry = obs.get_registry()
+        registry.enabled = True
+        registry.reset()
+        try:
+            ladder = DegradationLadder(
+                UnreachableClient(), short_road, config=coarse_config
+            )
+            ladder.plan(0.0, max_trip_time_s=200.0)
+            assert registry.counter_value("resilience.tier.baseline_dp") == 1
+            assert registry.counter_value("resilience.degraded") == 1
+        finally:
+            registry.enabled = False
+            registry.reset()
+
+
+class TestReplanFailureSemantics:
+    def test_plan_degrades_on_infeasible(self, short_road, coarse_config):
+        # A full-trip plan has no previous command to keep: degrade.
+        ladder = DegradationLadder(
+            InfeasibleClient(), short_road, config=coarse_config
+        )
+        plan = ladder.plan(0.0, max_trip_time_s=200.0)
+        assert plan.tier == TIER_BASELINE_DP
+
+    def test_replan_retries_min_time_then_propagates(self, short_road, coarse_config):
+        client = InfeasibleClient()
+        ladder = DegradationLadder(client, short_road, config=coarse_config)
+        with pytest.raises(PlanningFailedError):
+            ladder.replan(position_m=200.0, speed_ms=10.0, time_s=30.0)
+        assert [req.minimize for req in client.requests] == ["energy", "time"]
+        assert client.requests[1].max_trip_time_s is None
+        assert ladder.tier_history == []
+
+    def test_replan_recovers_through_min_time(self, short_road, coarse_config):
+        solution = BaselineDpPlanner(short_road, config=coarse_config).plan(30.0)
+        response = PlanResponse(
+            vehicle_id="ev",
+            profile=solution.profile,
+            energy_mah=solution.energy_mah,
+            trip_time_s=solution.trip_time_s,
+            cache_hit=False,
+            compute_time_s=0.0,
+        )
+        client = BudgetBoundClient(response)
+        ladder = DegradationLadder(client, short_road, config=coarse_config)
+        plan = ladder.replan(position_m=200.0, speed_ms=10.0, time_s=30.0)
+        assert plan.tier == TIER_QUEUE_DP
+        assert [req.minimize for req in client.requests] == ["energy", "time"]
+
+
+class TestSpeedLimitTier:
+    def test_command_clamps_out_of_range(self, short_road):
+        command = speed_limit_command(short_road)
+        assert command(-5.0) == short_road.v_max_at(0.0)
+        assert command(short_road.length_m + 100.0) == short_road.v_max_at(
+            short_road.length_m
+        )
+
+    def test_trip_time_shrinks_with_progress(self, us25):
+        assert (
+            0.0
+            < speed_limit_trip_time_s(us25, us25.length_m - 100.0)
+            < speed_limit_trip_time_s(us25, 2000.0)
+            < speed_limit_trip_time_s(us25, 0.0)
+        )
+
+
+@pytest.fixture(scope="module")
+def cloud_planner(us25, coarse_config):
+    return QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+
+
+def _scenario(us25, seed=13):
+    return Us25Scenario(road=us25, arrival_rate_vph=300.0, warmup_s=300.0, seed=seed)
+
+
+def _laddered_driver(us25, coarse_config, planner, drop_rate, fault_seed=7, seed=13):
+    fault = (
+        CloudFaultModel(drop_rate=drop_rate, seed=fault_seed)
+        if drop_rate > 0.0
+        else None
+    )
+    client = ResilientPlanClient(
+        CloudPlannerService(planner), fault=fault, max_attempts=2
+    )
+    ladder = DegradationLadder(
+        client, us25, arrival_rates=RATE, config=coarse_config
+    )
+    driver = ClosedLoopDriver(
+        _scenario(us25, seed), ladder=ladder, replan_interval_s=20.0
+    )
+    return driver, client
+
+
+class TestClosedLoopResilience:
+    def test_driver_requires_exactly_one_path(self, us25, coarse_config, cloud_planner):
+        client = ResilientPlanClient(CloudPlannerService(cloud_planner))
+        ladder = DegradationLadder(client, us25, arrival_rates=RATE, config=coarse_config)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopDriver(_scenario(us25), cloud_planner, ladder=ladder)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopDriver(_scenario(us25))
+
+    def test_zero_fault_run_bit_identical_to_direct(
+        self, us25, coarse_config, cloud_planner
+    ):
+        direct = ClosedLoopDriver(
+            _scenario(us25), cloud_planner, replan_interval_s=20.0
+        ).run(depart_s=300.0, max_trip_time_s=320.0)
+        laddered_driver, _ = _laddered_driver(
+            us25, coarse_config, cloud_planner, drop_rate=0.0
+        )
+        laddered = laddered_driver.run(depart_s=300.0, max_trip_time_s=320.0)
+        assert np.array_equal(
+            direct.ev_trace.positions_m, laddered.ev_trace.positions_m
+        )
+        assert np.array_equal(direct.ev_trace.speeds_ms, laddered.ev_trace.speeds_ms)
+        assert direct.ev_trace.energy().net_mah == laddered.ev_trace.energy().net_mah
+        assert (
+            direct.replans_attempted,
+            direct.replans_applied,
+            direct.replans_infeasible,
+        ) == (
+            laddered.replans_attempted,
+            laddered.replans_applied,
+            laddered.replans_infeasible,
+        )
+        assert laddered.initial_tier == TIER_QUEUE_DP
+        assert set(laddered.tier_counts) <= {TIER_QUEUE_DP}
+        assert laddered.degraded_replans == 0
+
+    @pytest.mark.parametrize("seed", [13, 21])
+    def test_half_loss_still_completes(self, us25, coarse_config, cloud_planner, seed):
+        driver, client = _laddered_driver(
+            us25, coarse_config, cloud_planner, drop_rate=0.5, seed=seed
+        )
+        outcome = driver.run(depart_s=300.0, max_trip_time_s=320.0)
+        assert outcome.ev_trace is not None
+        assert outcome.ev_trace.positions_m[-1] >= us25.length_m - 1.0
+        assert (
+            outcome.replans_applied + outcome.replans_infeasible
+            == outcome.replans_attempted
+        )
+        assert sum(outcome.tier_counts.values()) == outcome.replans_applied
+        assert set(outcome.tier_counts) <= set(TIERS)
+        assert client.stats.drops > 0
+
+    def test_same_fault_seed_reproduces_counters(
+        self, us25, coarse_config, cloud_planner
+    ):
+        def run_once():
+            driver, client = _laddered_driver(
+                us25, coarse_config, cloud_planner, drop_rate=0.5
+            )
+            outcome = driver.run(depart_s=300.0, max_trip_time_s=320.0)
+            return outcome, client.stats
+
+        first, stats_a = run_once()
+        second, stats_b = run_once()
+        assert first.replan_tiers == second.replan_tiers
+        assert first.tier_counts == second.tier_counts
+        assert (
+            first.replans_attempted,
+            first.replans_applied,
+            first.replans_infeasible,
+            first.replans_failed,
+        ) == (
+            second.replans_attempted,
+            second.replans_applied,
+            second.replans_infeasible,
+            second.replans_failed,
+        )
+        assert first.ev_trace.energy().net_mah == second.ev_trace.energy().net_mah
+        assert (stats_a.attempts, stats_a.drops, stats_a.retries) == (
+            stats_b.attempts,
+            stats_b.drops,
+            stats_b.retries,
+        )
+
+    def test_horizon_exhaustion_raises_timeout(self, us25, cloud_planner):
+        scenario = Us25Scenario(road=us25, arrival_rate_vph=300.0, warmup_s=0.0, seed=13)
+        driver = ClosedLoopDriver(scenario, cloud_planner, replan_interval_s=20.0)
+        with pytest.raises(SimulationTimeoutError) as excinfo:
+            driver.run(depart_s=0.0, max_trip_time_s=320.0, horizon_s=60.0)
+        assert excinfo.value.horizon_s == 60.0
+
+    def test_direct_service_failure_keeps_driving(self, us25, cloud_planner):
+        class FlakyPlanner:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def plan(self, *args, **kwargs):
+                return self.inner.plan(*args, **kwargs)
+
+            def replan(self, *args, **kwargs):
+                raise PlanningFailedError("backend down", vehicle_id="ev")
+
+        driver = ClosedLoopDriver(
+            _scenario(us25), FlakyPlanner(cloud_planner), replan_interval_s=20.0
+        )
+        outcome = driver.run(depart_s=300.0, max_trip_time_s=320.0)
+        assert outcome.ev_trace is not None
+        assert outcome.ev_trace.positions_m[-1] >= us25.length_m - 1.0
+        assert outcome.replans_failed == outcome.replans_attempted > 0
+        assert outcome.replans_applied == 0
+        assert (
+            outcome.replans_applied
+            + outcome.replans_infeasible
+            + outcome.replans_failed
+            == outcome.replans_attempted
+        )
