@@ -11,6 +11,11 @@ Examples::
     repro-plan --rate 500 --verify --seed 7
     repro-plan --metrics               # plan summary + JSON metrics report
     repro-plan --metrics=run.json      # write the report to a file
+    repro-plan --road route.json --strict   # exit 2 on any contract breach
+
+Exit codes: 0 success, 1 planning failure, 2 input or plan failed its
+validation contract (malformed road file, plan-audit violation under
+``--strict``).
 """
 
 from __future__ import annotations
@@ -26,10 +31,13 @@ from repro.core.planner import (
     QueueAwareDpPlanner,
     UnconstrainedDpPlanner,
 )
-from repro.errors import ReproError
+from repro.errors import InputValidationError, ReproError
 from repro.route.us25 import us25_greenville_segment
 from repro.trace.io import save_trace_csv
 from repro.units import vehicles_per_hour_to_per_second
+
+#: Exit code for contract violations (vs 1 for ordinary planning failure).
+EXIT_INVALID = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,6 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=7,
         help="fault-injection seed for --drop-rate",
     )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="audit the produced plan against the safety contract "
+        "(finite, monotone, within speed/accel envelopes, arrivals "
+        "inside green windows) and print the verdict",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="implies --validate; a plan-audit violation (or any input "
+        "contract breach) exits with code 2 instead of a warning",
+    )
     return parser
 
 
@@ -126,7 +147,11 @@ def main(argv: Optional[list] = None) -> int:
     if args.road:
         from repro.route.io import load_road_json
 
-        road = load_road_json(args.road)
+        try:
+            road = load_road_json(args.road)
+        except InputValidationError as exc:
+            print(f"invalid road file: {exc}", file=sys.stderr)
+            return EXIT_INVALID
     else:
         road = us25_greenville_segment()
     config = PlannerConfig(
@@ -168,6 +193,11 @@ def main(argv: Optional[list] = None) -> int:
             tier_plan = ladder.plan(args.depart, max_trip_time_s=cap)
         else:
             solution = planner.plan(start_time_s=args.depart, max_trip_time_s=cap)
+    except InputValidationError as exc:
+        print(f"invalid input: {exc}", file=sys.stderr)
+        if args.metrics is not None:
+            _emit_metrics(args.metrics, registry)
+        return EXIT_INVALID
     except ReproError as exc:
         print(f"planning failed: {exc}", file=sys.stderr)
         if args.metrics is not None:
@@ -196,6 +226,24 @@ def main(argv: Optional[list] = None) -> int:
             print(f"  signal @ {position:6.0f} m: arrive {arrival:7.1f} s [{status}]")
 
     profile = solution.profile if solution is not None else tier_plan.profile
+    if args.validate or args.strict:
+        from repro.guard.plan_check import PlanValidator
+
+        if profile is None:
+            print("plan audit   : skipped (no profile; speed-limit tier served)")
+        else:
+            verdict = PlanValidator(road).check_profile(
+                profile, planner.signal_constraints(args.depart)
+            )
+            print(f"plan audit   : {verdict.summary()}")
+            if not verdict.ok:
+                for violation in verdict.violations:
+                    print(f"  {violation}", file=sys.stderr)
+                if args.strict:
+                    if args.metrics is not None:
+                        _emit_metrics(args.metrics, registry)
+                    return EXIT_INVALID
+
     if args.csv:
         if profile is None:
             print("no profile to write (speed-limit tier served)", file=sys.stderr)

@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.core.profile import VelocityProfile
 from repro.errors import ConfigurationError
+from repro.guard.contracts import validate_plan_request
 
 
 @dataclass(frozen=True)
@@ -49,6 +50,9 @@ class PlanRequest:
             raise ConfigurationError("replan state must satisfy position, speed >= 0")
         if self.minimize not in ("energy", "time"):
             raise ConfigurationError(f"unknown objective {self.minimize!r}")
+        # The range checks above pass NaN/inf straight through (NaN < 0 is
+        # False); the input contract closes that hole at construction.
+        validate_plan_request(self, source=f"plan request from {self.vehicle_id!r}")
 
     @property
     def is_replan(self) -> bool:

@@ -23,7 +23,14 @@ from repro import obs
 from repro.cloud.messages import PlanRequest, PlanResponse
 from repro.core.planner import DpPlannerBase
 from repro.core.profile import VelocityProfile
-from repro.errors import ConfigurationError, InfeasibleProblemError, PlanningFailedError
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleProblemError,
+    PlanRejectedError,
+    PlanningFailedError,
+)
+from repro.guard.contracts import validate_plan_request
+from repro.guard.plan_check import PlanValidator
 
 
 @dataclass
@@ -77,6 +84,12 @@ class CloudPlannerService:
         budget_quantum_s: Cache key resolution of the trip budget.
         default_budget_slack_s: Slack added to the fastest-feasible trip
             when a request carries no budget.
+        validator: Optional :class:`~repro.guard.plan_check.PlanValidator`;
+            when given, every freshly solved plan is audited against the
+            planner's own arrival windows before it is served or cached.
+            An invalid plan raises :class:`~repro.errors.PlanningFailedError`
+            (accounted like any planner failure) so clients degrade
+            instead of executing a degenerate profile.
     """
 
     def __init__(
@@ -85,12 +98,14 @@ class CloudPlannerService:
         phase_quantum_s: float = 1.0,
         budget_quantum_s: float = 5.0,
         default_budget_slack_s: float = 30.0,
+        validator: Optional[PlanValidator] = None,
     ) -> None:
         if phase_quantum_s <= 0 or budget_quantum_s <= 0:
             raise ConfigurationError("cache quanta must be positive")
         if default_budget_slack_s < 0:
             raise ConfigurationError("budget slack must be >= 0")
         self.planner = planner
+        self.validator = validator
         self.phase_quantum_s = float(phase_quantum_s)
         self.budget_quantum_s = float(budget_quantum_s)
         self.default_budget_slack_s = float(default_budget_slack_s)
@@ -151,14 +166,24 @@ class CloudPlannerService:
                 it and continue.
         """
         registry = obs.get_registry()
+        # Reject malformed requests (NaN fields, off-route positions)
+        # before they touch counters or the solver; this is a caller bug,
+        # not a planning failure, so it raises the typed input error.
+        validate_plan_request(
+            req,
+            route_length_m=self.planner.road.length_m,
+            source=f"plan request from {req.vehicle_id!r}",
+        )
         t_req = _time.perf_counter()
         self.stats.requests += 1
         registry.inc("cloud.requests")
         try:
             response = self._serve(req, registry)
-        except InfeasibleProblemError as exc:
+        except (InfeasibleProblemError, PlanRejectedError) as exc:
             self.stats.errors += 1
             registry.inc("cloud.errors")
+            if isinstance(exc, PlanRejectedError):
+                registry.inc("cloud.guard_rejections")
             registry.observe("cloud.request_s", _time.perf_counter() - t_req)
             raise PlanningFailedError(
                 f"no feasible plan for {req.vehicle_id!r} departing at "
@@ -210,6 +235,7 @@ class CloudPlannerService:
             # service's compute economics stay honest under errors.
             compute = _time.perf_counter() - t0
             self.stats.total_compute_s += compute
+        self._screen(solution, req.depart_s)
         self.stats.cache_misses += 1
         registry.inc("cloud.misses")
         if key is not None:
@@ -259,6 +285,7 @@ class CloudPlannerService:
         finally:
             compute = _time.perf_counter() - t0
             self.stats.total_compute_s += compute
+        self._screen(solution, req.depart_s)
         self.stats.cache_misses += 1
         registry.inc("cloud.misses")
         registry.inc("cloud.replans" if req.is_replan else "cloud.uncached")
@@ -270,6 +297,25 @@ class CloudPlannerService:
             cache_hit=False,
             compute_time_s=compute,
         )
+
+    def _screen(self, solution, depart_s: float) -> None:
+        """Audit a freshly solved plan before it is served or cached.
+
+        Raises:
+            PlanRejectedError: The configured validator found the plan
+                degenerate (non-finite values, envelope breaches, or an
+                arrival outside the planner's own ``T_q``/green windows).
+        """
+        if self.validator is None:
+            return
+        verdict = self.validator.check_solution(
+            solution, constraints=self.planner.signal_constraints(depart_s)
+        )
+        if not verdict.ok:
+            raise PlanRejectedError(
+                "served plan failed its safety audit: " + verdict.summary(),
+                violations=verdict.violations,
+            )
 
     def _revalidate(self, profile: VelocityProfile, depart_s: float) -> bool:
         """Whether a shifted cached profile still hits every arrival window.

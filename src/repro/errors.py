@@ -94,5 +94,66 @@ class CloudUnavailableError(ReproError):
         self.reason = reason
 
 
+class InputValidationError(ConfigurationError, ValueError):
+    """An external input (file, dict, request) violated its contract.
+
+    Raised by :mod:`repro.guard.contracts` and the IO loaders that build
+    on it when untrusted data — a road JSON, a trace CSV, a traffic-volume
+    export, a plan request — fails a structural, range, finiteness or
+    consistency check.  Subclasses both :class:`ConfigurationError` and
+    :class:`ValueError` so existing handlers keep working while new code
+    can catch the typed error and read the exact failure location.
+
+    Attributes:
+        source: The boundary the data crossed (file path or logical name).
+        field: Dotted path of the offending field (e.g.
+            ``"zones[2].v_max_ms"``); empty when the whole input is bad.
+        row: Zero-based data-row index for tabular inputs, ``None``
+            otherwise.
+        reason: Human-readable explanation of the violated contract.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        source: str = "",
+        field: str = "",
+        row=None,
+    ):
+        location = source or "<input>"
+        if field:
+            location += f": {field}"
+        if row is not None:
+            location += f" (row {row})"
+        super().__init__(f"{location}: {reason}")
+        self.source = source
+        self.field = field
+        self.row = row
+        self.reason = reason
+
+
+class PlanRejectedError(ReproError):
+    """A planned profile failed its safety audit and cannot be repaired.
+
+    Raised by :meth:`repro.guard.plan_check.PlanValidator.repair_plan`
+    (and by the :class:`repro.guard.supervisor.SafetySupervisor` when it
+    screens a served plan) when a profile carries violations beyond the
+    repairable envelope — non-finite values, gross speed-limit breaches,
+    or signal arrivals outside every admissible window.  Callers in the
+    degradation ladder treat this like a planning failure and fall to the
+    next tier.
+
+    Attributes:
+        violations: The machine-readable violation list (tuple of
+            :class:`repro.guard.plan_check.Violation`).
+        tier: Ladder tier whose plan was rejected, when known.
+    """
+
+    def __init__(self, message: str, violations=(), tier: str = ""):
+        super().__init__(message)
+        self.violations = tuple(violations)
+        self.tier = tier
+
+
 class PredictionError(ReproError):
     """A traffic predictor was used before training or on bad input."""

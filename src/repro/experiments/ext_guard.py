@@ -1,0 +1,417 @@
+"""Extension: the guard layer under corrupted inputs and degenerate plans.
+
+The paper's pipeline trusts its inputs end to end: road definitions,
+trace CSVs, volume counts and — above all — the plans the cloud returns.
+This extension attacks both trust boundaries deterministically and
+measures what the ``repro.guard`` layer does about it:
+
+* **Corrupted-input campaign** — a corpus of systematically corrupted
+  road dicts, trace rows and volume rows is pushed through the input
+  contracts, once strict and once in repair mode.  Every corruption must
+  be rejected with a typed error in strict mode; repair mode must either
+  salvage the input (reporting what changed) or reject it — never accept
+  it silently.
+
+* **Degenerate-plan campaign** — the closed loop drives with a cloud
+  planner wrapped in a :class:`~repro.resilience.faults.DegeneratePlanner`
+  (NaN speeds, envelope-breaking accelerations, arrivals outside green
+  windows) at increasing corruption rates, with a
+  :class:`~repro.guard.supervisor.SafetySupervisor` installed in the
+  degradation ladder.  Expected shape: at rate 0 the guard is invisible
+  (all plans pass); as the rate grows, corrupted cloud plans are repaired
+  or rejected onto lower ladder tiers — but every commanded plan is
+  valid and every trip completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.cloud.service import CloudPlannerService
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.errors import InputValidationError
+from repro.guard.contracts import (
+    validate_road_dict,
+    validate_trace_rows,
+    validate_volume_rows,
+)
+from repro.guard.plan_check import PlanValidator
+from repro.guard.supervisor import SafetySupervisor
+from repro.resilience.client import ResilientPlanClient
+from repro.resilience.faults import PlanFaultModel, DegeneratePlanner, hash_uniform
+from repro.resilience.ladder import TIERS, DegradationLadder
+from repro.route.io import road_to_dict
+from repro.route.us25 import us25_greenville_segment
+from repro.sim.closed_loop import ClosedLoopDriver
+from repro.sim.scenario import Us25Scenario
+from repro.units import vehicles_per_hour_to_per_second
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Guard campaign settings.
+
+    Attributes:
+        corruption_rates: Plan-corruption probabilities to sweep.
+        traffic_vph: Background traffic level.
+        depart_s: EV departure time (and scenario warmup).
+        seeds: Scenario seeds per rate; every drive must complete.
+        trip_cap_s: Trip-time budget handed to the planner.
+        replan_interval_s: Closed-loop replanning period.
+        fault_seed: Seed of the plan-corruption schedule.
+        input_seed: Seed of the corrupted-input corpus.
+        horizon_s: Hard simulation cutoff per drive.
+    """
+
+    corruption_rates: Tuple[float, ...] = (0.0, 0.5, 1.0)
+    traffic_vph: float = 300.0
+    depart_s: float = 300.0
+    seeds: Tuple[int, ...] = (13,)
+    trip_cap_s: float = 320.0
+    replan_interval_s: float = 20.0
+    fault_seed: int = 11
+    input_seed: int = 5
+    horizon_s: float = 1800.0
+
+
+@dataclass
+class InputRow:
+    """Contract outcomes for one input kind across its corruption corpus.
+
+    Attributes:
+        kind: Input family (``road``, ``trace`` or ``volume``).
+        cases: Corrupted variants pushed through the contract.
+        rejected_strict: Variants the strict contract rejected (must
+            equal ``cases`` — a silent acceptance is a guard failure).
+        repaired: Variants repair mode salvaged (with a change report).
+        rejected_repair: Variants even repair mode refused.
+        silently_accepted: Variants strict mode let through unchanged.
+    """
+
+    kind: str
+    cases: int
+    rejected_strict: int
+    repaired: int
+    rejected_repair: int
+    silently_accepted: int
+
+
+@dataclass
+class PlanRow:
+    """Closed-loop guard outcomes at one plan-corruption rate.
+
+    Attributes:
+        rate: Injected per-solve corruption probability.
+        corrupted: Solves the fault model actually corrupted.
+        plans_checked: Plans the supervisor screened.
+        plans_repaired: Plans served after clamping repairs.
+        plans_rejected: Plans refused (the ladder fell a tier).
+        safe_stops: Safe-stop engagements.
+        violation_counts: Violations seen, by code.
+        tier_counts: Applied replans per serving tier.
+        energy_mah: Mean derived trip energy.
+        trip_time_s: Mean derived trip duration.
+        completed: Drives that finished / total drives.
+    """
+
+    rate: float
+    corrupted: int
+    plans_checked: int
+    plans_repaired: int
+    plans_rejected: int
+    safe_stops: int
+    violation_counts: Dict[str, int]
+    tier_counts: Dict[str, int]
+    energy_mah: float
+    trip_time_s: float
+    completed: Tuple[int, int]
+
+
+@dataclass
+class GuardResult:
+    """Both campaigns: input-contract rows plus plan-guard rows."""
+
+    input_rows: List[InputRow]
+    plan_rows: List[PlanRow]
+
+
+# ----------------------------------------------------------------------
+# Corrupted-input corpus
+# ----------------------------------------------------------------------
+def _corrupt_road(base: dict, case: int, seed: int) -> dict:
+    """One deterministically corrupted copy of a road dict."""
+    data = {
+        **base,
+        "zones": [dict(z) for z in base["zones"]],
+        "signals": [dict(s) for s in base["signals"]],
+        "stop_signs": list(base["stop_signs"]),
+    }
+    u = hash_uniform(seed, "road", case)
+    mode = case % 6
+    if mode == 0:
+        data["length_m"] = float("nan")
+    elif mode == 1:
+        data["zones"][0]["end_m"] = data["zones"][0]["start_m"] - 10.0 * (1.0 + u)
+    elif mode == 2:
+        data["zones"][0]["v_max_ms"] = float("inf")
+    elif mode == 3:
+        data["stop_signs"] = [data["length_m"] * (1.5 + u)]
+    elif mode == 4:
+        data["signals"][0]["green_s"] = 0.0
+    else:
+        data["signals"][0]["turn_ratio"] = 1.5 + u
+    return data
+
+
+def _corrupt_trace(case: int, seed: int) -> List[Tuple[float, float, float]]:
+    """One deterministically corrupted trace-row list."""
+    rows = [(float(i), 10.0 + i, 10.0 * i) for i in range(8)]
+    u = hash_uniform(seed, "trace", case)
+    victim = 1 + int(u * 6)
+    mode = case % 5
+    t, v, s = rows[victim]
+    if mode == 0:
+        rows[victim] = (t, float("nan"), s)
+    elif mode == 1:
+        rows[victim] = (t, -0.2, s)  # small negative: repairable
+    elif mode == 2:
+        rows[victim] = (t, 500.0, s)  # unit error: never repairable
+    elif mode == 3:
+        rows[victim], rows[victim - 1] = rows[victim - 1], rows[victim]
+    else:
+        rows[victim] = (t, v, s - 50.0)  # position runs backwards
+    return rows
+
+
+def _corrupt_volume(case: int, seed: int) -> List[Tuple[int, float]]:
+    """One deterministically corrupted hourly-volume row list."""
+    rows = [(h, 200.0 + 10.0 * h) for h in range(6)]
+    u = hash_uniform(seed, "volume", case)
+    victim = 1 + int(u * 4)
+    mode = case % 3
+    h, vol = rows[victim]
+    if mode == 0:
+        rows[victim] = (h + 3, vol)  # hour gap: never repairable
+    elif mode == 1:
+        rows[victim] = (h, -5.0)  # clampable
+    else:
+        rows[victim] = (h, float("nan"))  # carry-forward-able
+    return rows
+
+
+def _run_inputs(config: GuardConfig) -> List[InputRow]:
+    road = us25_greenville_segment()
+    base = road_to_dict(road)
+    corpora = {
+        "road": [
+            (_corrupt_road(base, i, config.input_seed), "road dict")
+            for i in range(12)
+        ],
+        "trace": [
+            (_corrupt_trace(i, config.input_seed), "trace rows") for i in range(10)
+        ],
+        "volume": [
+            (_corrupt_volume(i, config.input_seed), "volume rows")
+            for i in range(9)
+        ],
+    }
+    validators = {
+        "road": validate_road_dict,
+        "trace": validate_trace_rows,
+        "volume": validate_volume_rows,
+    }
+    rows: List[InputRow] = []
+    for kind, corpus in corpora.items():
+        validate = validators[kind]
+        rejected_strict = repaired = rejected_repair = accepted = 0
+        for payload, source in corpus:
+            try:
+                validate(payload, source=source, repair=False)
+            except InputValidationError:
+                rejected_strict += 1
+            else:
+                accepted += 1
+            try:
+                _data, report = validate(payload, source=source, repair=True)
+            except InputValidationError:
+                rejected_repair += 1
+            else:
+                if report:
+                    repaired += 1
+        rows.append(
+            InputRow(
+                kind=kind,
+                cases=len(corpus),
+                rejected_strict=rejected_strict,
+                repaired=repaired,
+                rejected_repair=rejected_repair,
+                silently_accepted=accepted,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Degenerate-plan closed loop
+# ----------------------------------------------------------------------
+def _run_plans(config: GuardConfig) -> List[PlanRow]:
+    road = us25_greenville_segment()
+    rate_fn = vehicles_per_hour_to_per_second(config.traffic_vph)
+    planner_config = PlannerConfig(v_step_ms=1.0, s_step_m=25.0)
+    rows: List[PlanRow] = []
+    for rate in config.corruption_rates:
+        planner = QueueAwareDpPlanner(
+            road, arrival_rates=rate_fn, config=planner_config
+        )
+        fault = PlanFaultModel(rate=rate, seed=config.fault_seed)
+        degenerate = DegeneratePlanner(planner, fault)
+        service = CloudPlannerService(degenerate)
+        client = ResilientPlanClient(service)
+        supervisor = SafetySupervisor(PlanValidator(road))
+        ladder = DegradationLadder(
+            client,
+            road,
+            arrival_rates=rate_fn,
+            config=planner_config,
+            supervisor=supervisor,
+        )
+        energies: List[float] = []
+        times: List[float] = []
+        finished = 0
+        total = 0
+        tier_counts: Dict[str, int] = {}
+        guard_totals = supervisor.stats.snapshot()
+        for seed in config.seeds:
+            total += 1
+            scenario = Us25Scenario(
+                road=road,
+                arrival_rate_vph=config.traffic_vph,
+                warmup_s=config.depart_s,
+                seed=seed,
+            )
+            driver = ClosedLoopDriver(
+                scenario,
+                ladder=ladder,
+                replan_interval_s=config.replan_interval_s,
+            )
+            outcome = driver.run(
+                depart_s=config.depart_s,
+                max_trip_time_s=config.trip_cap_s,
+                horizon_s=config.horizon_s,
+            )
+            finished += 1
+            energies.append(outcome.ev_trace.energy().net_mah)
+            times.append(outcome.ev_trace.duration_s)
+            for tier, n in outcome.tier_counts.items():
+                tier_counts[tier] = tier_counts.get(tier, 0) + n
+        guard = supervisor.stats.since(guard_totals)
+        rows.append(
+            PlanRow(
+                rate=rate,
+                corrupted=degenerate.corrupted,
+                plans_checked=guard.plans_checked,
+                plans_repaired=guard.plans_repaired,
+                plans_rejected=guard.plans_rejected,
+                safe_stops=guard.safe_stops,
+                violation_counts=guard.violation_counts,
+                tier_counts=tier_counts,
+                energy_mah=float(np.mean(energies)) if energies else float("nan"),
+                trip_time_s=float(np.mean(times)) if times else float("nan"),
+                completed=(finished, total),
+            )
+        )
+    return rows
+
+
+def run(config: GuardConfig = GuardConfig()) -> GuardResult:
+    """Run both guard campaigns."""
+    return GuardResult(
+        input_rows=_run_inputs(config), plan_rows=_run_plans(config)
+    )
+
+
+def report(result: GuardResult) -> str:
+    """Both campaign tables plus a pass/fail verdict."""
+    input_table = render_table(
+        ["input", "cases", "rejected", "repaired", "refused in repair", "accepted"],
+        [
+            [
+                row.kind,
+                row.cases,
+                row.rejected_strict,
+                row.repaired,
+                row.rejected_repair,
+                row.silently_accepted,
+            ]
+            for row in result.input_rows
+        ],
+    )
+    plan_table = render_table(
+        ["corruption", "corrupted", "checked", "repaired", "rejected", "safe stops"]
+        + list(TIERS)
+        + ["E (mAh)", "trip (s)", "completed"],
+        [
+            [
+                row.rate,
+                row.corrupted,
+                row.plans_checked,
+                row.plans_repaired,
+                row.plans_rejected,
+                row.safe_stops,
+            ]
+            + [row.tier_counts.get(tier, 0) for tier in TIERS]
+            + [
+                row.energy_mah,
+                row.trip_time_s,
+                f"{row.completed[0]}/{row.completed[1]}",
+            ]
+            for row in result.plan_rows
+        ],
+    )
+    inputs_clean = all(r.silently_accepted == 0 for r in result.input_rows)
+    drives_done = all(
+        r.completed[0] == r.completed[1] for r in result.plan_rows
+    )
+    corrupt_contained = all(
+        r.corrupted == 0 or (r.plans_repaired + r.plans_rejected) > 0
+        for r in result.plan_rows
+    )
+    verdict = (
+        "no corrupted input accepted; every drive completed; every "
+        "corrupted plan repaired or rejected"
+        if inputs_clean and drives_done and corrupt_contained
+        else "GUARD FAILURE: "
+        + "; ".join(
+            msg
+            for ok, msg in [
+                (inputs_clean, "a corrupted input was silently accepted"),
+                (drives_done, "a drive did not complete"),
+                (corrupt_contained, "a corrupted plan reached the vehicle"),
+            ]
+            if not ok
+        )
+    )
+    codes = sorted(
+        {code for row in result.plan_rows for code in row.violation_counts}
+    )
+    code_lines = "\n".join(
+        f"  {code}: "
+        + ", ".join(
+            f"rate {row.rate:g} -> {row.violation_counts.get(code, 0)}"
+            for row in result.plan_rows
+        )
+        for code in codes
+    )
+    return (
+        "Extension — input contracts and plan-safety guard\n"
+        "corrupted-input campaign (strict + repair modes)\n"
+        + input_table
+        + "\ndegenerate-plan campaign (supervised closed loop)\n"
+        + plan_table
+        + ("\nviolations by code\n" + code_lines if code_lines else "")
+        + f"\n{verdict}"
+    )

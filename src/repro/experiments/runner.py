@@ -17,6 +17,7 @@ from repro import obs
 from repro.analysis.tables import render_table
 from repro.experiments import (
     ext_closed_loop,
+    ext_guard,
     ext_pareto,
     ext_penetration,
     ext_platoon,
@@ -48,6 +49,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "ext-pareto": (ext_pareto.run, ext_pareto.report),
     "ext-platoon": (ext_platoon.run, ext_platoon.report),
     "ext-resilience": (ext_resilience.run, ext_resilience.report),
+    "ext-guard": (ext_guard.run, ext_guard.report),
 }
 
 

@@ -1,0 +1,47 @@
+"""Semantic robustness: input contracts, plan audits, loop supervision.
+
+PR 2's resilience layer made the vehicle-cloud loop survive *transport*
+faults; this package defends against *bad data*:
+
+* :mod:`repro.guard.contracts` — typed validation (with an optional
+  repair mode) for every external input boundary: road JSON, trace CSV,
+  traffic-volume exports and plan requests.  Violations raise a
+  structured :class:`~repro.errors.InputValidationError` carrying the
+  source, field path and row.
+* :mod:`repro.guard.plan_check` — :class:`PlanValidator`, the runtime
+  gate auditing any velocity plan (finiteness, monotone positions,
+  speed-limit and accel-envelope compliance, signal arrivals inside
+  admissible windows) with machine-readable verdicts and a clamping
+  ``repair_plan``.
+* :mod:`repro.guard.supervisor` — :class:`SafetySupervisor`, wired into
+  the closed-loop driver, cloud service and degradation ladder: every
+  served plan is screened before it becomes a vehicle command, rejected
+  plans fall down the ladder, divergence forces early replans, and a
+  safe-stop profile is the floor below the floor.
+"""
+
+from repro.guard.contracts import (
+    Repair,
+    RepairReport,
+    validate_plan_request,
+    validate_road_dict,
+    validate_trace_rows,
+    validate_volume_rows,
+)
+from repro.guard.plan_check import PlanValidator, PlanVerdict, Violation
+from repro.guard.supervisor import TIER_SAFE_STOP, GuardStats, SafetySupervisor
+
+__all__ = [
+    "GuardStats",
+    "PlanValidator",
+    "PlanVerdict",
+    "Repair",
+    "RepairReport",
+    "SafetySupervisor",
+    "TIER_SAFE_STOP",
+    "Violation",
+    "validate_plan_request",
+    "validate_road_dict",
+    "validate_trace_rows",
+    "validate_volume_rows",
+]

@@ -1,0 +1,421 @@
+"""Typed input contracts for every external data boundary.
+
+Everything that enters the system from outside — road JSON dicts, trace
+CSV rows, traffic-volume exports, plan requests — passes through one of
+the ``validate_*`` entry points here before any model object is built.
+Each contract checks structure (required fields, types), finiteness,
+units/ranges, monotonicity and cross-field consistency, and raises a
+structured :class:`~repro.errors.InputValidationError` carrying the
+source, the dotted field path and (for tabular data) the offending row.
+
+Every entry point also supports a *repair* mode: salvageable defects
+(a NaN trace row, a slightly negative speed, a stop sign past the route
+end) are dropped or clamped instead of rejected, and every change is
+recorded in the returned :class:`RepairReport` so callers can audit what
+the boundary did to their data.  Defects that would silently change the
+meaning of the input (a wrong header, a non-monotone hour index, a
+missing section) are never repaired.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.errors import InputValidationError
+
+#: Hard physical ceiling for any speed entering the system (m/s); ~430
+#: km/h, far above any posted limit — only meant to catch unit mistakes
+#: (km/h or mph fed where m/s is expected would usually still pass, but
+#: raw sensor garbage will not).
+SPEED_CEILING_MS = 120.0
+
+#: Hard ceiling for route lengths (m); 200 km of urban corridor is far
+#: beyond anything the DP grid can represent sensibly.
+LENGTH_CEILING_M = 200_000.0
+
+#: Road grades steeper than ~27 degrees are treated as data errors.
+GRADE_CEILING_RAD = 0.5
+
+
+@dataclass(frozen=True)
+class Repair:
+    """One change the repair mode made to an input.
+
+    Attributes:
+        field: Dotted path of the repaired field.
+        row: Data-row index for tabular inputs, ``None`` otherwise.
+        action: ``"dropped"`` or ``"clamped"``.
+        detail: What was wrong and what the value became.
+    """
+
+    field: str
+    row: Optional[int]
+    action: str
+    detail: str
+
+
+@dataclass
+class RepairReport:
+    """Everything the repair mode changed while validating one input.
+
+    Attributes:
+        source: The boundary the data crossed.
+        repairs: The individual changes, in application order.
+    """
+
+    source: str
+    repairs: List[Repair] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.repairs)
+
+    def __len__(self) -> int:
+        return len(self.repairs)
+
+    def add(self, field_path: str, row: Optional[int], action: str, detail: str) -> None:
+        """Record one repair (and count it in the metrics registry)."""
+        self.repairs.append(Repair(field_path, row, action, detail))
+        obs.get_registry().inc("guard.input_repairs")
+
+    def summary(self) -> str:
+        """One line per repair, for logs and CLI output."""
+        lines = []
+        for r in self.repairs:
+            where = r.field + (f" (row {r.row})" if r.row is not None else "")
+            lines.append(f"{self.source}: {where}: {r.action} — {r.detail}")
+        return "\n".join(lines)
+
+
+def _fail(source: str, field_path: str, reason: str, row: Optional[int] = None):
+    obs.get_registry().inc("guard.input_errors")
+    raise InputValidationError(reason, source=source, field=field_path, row=row)
+
+
+def _is_finite_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) and math.isfinite(value)
+
+
+def _require_finite(source: str, field_path: str, value: object, row: Optional[int] = None) -> float:
+    if not _is_finite_number(value):
+        _fail(source, field_path, f"must be a finite number, got {value!r}", row)
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# Road dicts / JSON
+# ----------------------------------------------------------------------
+def validate_road_dict(
+    data: dict, source: str = "<road dict>", repair: bool = False
+) -> Tuple[dict, RepairReport]:
+    """Validate (and optionally repair) a JSON-shaped road definition.
+
+    Checks the full contract of :func:`repro.route.io.road_from_dict`
+    input: required sections, finite values, positive lengths/limits,
+    zones tiling ``[0, length]`` in order, signals/stop signs on the
+    route, sane cycle times and a monotone grade profile.
+
+    Args:
+        data: The parsed JSON dict.
+        source: Label for error messages (usually the file path).
+        repair: Drop/clamp salvageable defects instead of raising.
+
+    Returns:
+        ``(data, report)`` — the (possibly repaired copy of the) dict and
+        the repair report.  Without repairs the input dict is returned
+        as-is.
+
+    Raises:
+        InputValidationError: On any unrepairable (or, in strict mode,
+            any) contract violation.
+    """
+    report = RepairReport(source)
+    if not isinstance(data, dict):
+        _fail(source, "", f"road definition must be a JSON object, got {type(data).__name__}")
+    for section in ("name", "length_m", "zones", "stop_signs", "signals"):
+        if section not in data:
+            _fail(source, section, "required section is missing")
+    length = _require_finite(source, "length_m", data["length_m"])
+    if not 0.0 < length <= LENGTH_CEILING_M:
+        _fail(source, "length_m", f"must be in (0, {LENGTH_CEILING_M:.0f}] m, got {length}")
+
+    zones = data["zones"]
+    if not isinstance(zones, list) or not zones:
+        _fail(source, "zones", "must be a non-empty list")
+    cursor = 0.0
+    for i, zone in enumerate(zones):
+        prefix = f"zones[{i}]"
+        for key in ("start_m", "end_m", "v_max_ms"):
+            if key not in zone:
+                _fail(source, f"{prefix}.{key}", "required field is missing")
+        start = _require_finite(source, f"{prefix}.start_m", zone["start_m"])
+        end = _require_finite(source, f"{prefix}.end_m", zone["end_m"])
+        v_max = _require_finite(source, f"{prefix}.v_max_ms", zone["v_max_ms"])
+        v_min = _require_finite(source, f"{prefix}.v_min_ms", zone.get("v_min_ms", 0.0))
+        if abs(start - cursor) > 1e-6:
+            _fail(
+                source,
+                f"{prefix}.start_m",
+                f"zones must tile the route without gaps: expected start {cursor}, got {start}",
+            )
+        if end <= start:
+            _fail(source, f"{prefix}.end_m", f"zone end {end} must exceed start {start}")
+        if not 0.0 < v_max <= SPEED_CEILING_MS:
+            _fail(
+                source,
+                f"{prefix}.v_max_ms",
+                f"must be in (0, {SPEED_CEILING_MS:.0f}] m/s, got {v_max}",
+            )
+        if v_min < 0.0 or v_min > v_max:
+            if repair and _is_finite_number(zone.get("v_min_ms", 0.0)):
+                clamped = min(max(v_min, 0.0), v_max)
+                zone = dict(zone, v_min_ms=clamped)
+                zones = list(zones)
+                zones[i] = zone
+                data = dict(data, zones=zones)
+                report.add(
+                    f"{prefix}.v_min_ms",
+                    None,
+                    "clamped",
+                    f"{v_min} outside [0, v_max={v_max}] -> {clamped}",
+                )
+            else:
+                _fail(
+                    source,
+                    f"{prefix}.v_min_ms",
+                    f"must lie in [0, v_max={v_max}], got {v_min}",
+                )
+        cursor = end
+    if abs(cursor - length) > 1e-6:
+        _fail(source, "zones", f"zones end at {cursor} m but the route is {length} m long")
+
+    stop_signs = data["stop_signs"]
+    if not isinstance(stop_signs, list):
+        _fail(source, "stop_signs", "must be a list of positions")
+    kept_stops: List[float] = []
+    stops_changed = False
+    for i, position in enumerate(stop_signs):
+        prefix = f"stop_signs[{i}]"
+        if not _is_finite_number(position) or not 0.0 <= float(position) <= length:
+            if repair:
+                report.add(prefix, None, "dropped", f"position {position!r} off the route")
+                stops_changed = True
+                continue
+            _fail(source, prefix, f"position must be a finite value in [0, {length}], got {position!r}")
+        kept_stops.append(float(position))
+    if stops_changed:
+        data = dict(data, stop_signs=kept_stops)
+
+    signals = data["signals"]
+    if not isinstance(signals, list):
+        _fail(source, "signals", "must be a list of signal objects")
+    for i, sig in enumerate(signals):
+        prefix = f"signals[{i}]"
+        for key in ("position_m", "red_s", "green_s"):
+            if key not in sig:
+                _fail(source, f"{prefix}.{key}", "required field is missing")
+        position = _require_finite(source, f"{prefix}.position_m", sig["position_m"])
+        if not 0.0 < position <= length:
+            _fail(source, f"{prefix}.position_m", f"must lie on the route (0, {length}], got {position}")
+        red = _require_finite(source, f"{prefix}.red_s", sig["red_s"])
+        green = _require_finite(source, f"{prefix}.green_s", sig["green_s"])
+        if red <= 0 or green <= 0:
+            _fail(source, f"{prefix}.red_s", f"phase durations must be positive, got red={red}, green={green}")
+        offset = _require_finite(source, f"{prefix}.offset_s", sig.get("offset_s", 0.0))
+        del offset  # finiteness is the contract; any phase offset is legal
+        ratio = _require_finite(source, f"{prefix}.turn_ratio", sig.get("turn_ratio", 1.0))
+        if not 0.0 < ratio <= 1.0:
+            _fail(source, f"{prefix}.turn_ratio", f"must be in (0, 1], got {ratio}")
+        spacing = _require_finite(source, f"{prefix}.queue_spacing_m", sig.get("queue_spacing_m", 8.5))
+        if spacing <= 0:
+            _fail(source, f"{prefix}.queue_spacing_m", f"must be positive, got {spacing}")
+
+    grade = data.get("grade")
+    if grade is not None:
+        for key in ("positions_m", "grades_rad"):
+            if key not in grade:
+                _fail(source, f"grade.{key}", "required field is missing")
+        positions = grade["positions_m"]
+        grades = grade["grades_rad"]
+        if len(positions) != len(grades) or not positions:
+            _fail(
+                source,
+                "grade",
+                f"positions ({len(positions)}) and grades ({len(grades)}) must be equal-length and non-empty",
+            )
+        prev = -math.inf
+        for i, (p, g) in enumerate(zip(positions, grades)):
+            p = _require_finite(source, f"grade.positions_m[{i}]", p)
+            g = _require_finite(source, f"grade.grades_rad[{i}]", g)
+            if p <= prev:
+                _fail(source, f"grade.positions_m[{i}]", f"must be strictly increasing, got {p} after {prev}")
+            if abs(g) > GRADE_CEILING_RAD:
+                _fail(source, f"grade.grades_rad[{i}]", f"|grade| must be <= {GRADE_CEILING_RAD} rad, got {g}")
+            prev = p
+    return data, report
+
+
+# ----------------------------------------------------------------------
+# Trace rows
+# ----------------------------------------------------------------------
+def validate_trace_rows(
+    rows: Sequence[Tuple[float, float, float]],
+    source: str = "<trace>",
+    repair: bool = False,
+) -> Tuple[List[Tuple[float, float, float]], RepairReport]:
+    """Validate ``(time_s, position_m, speed_ms)`` rows from a trace CSV.
+
+    Contract: at least two rows, every value finite, times strictly
+    increasing, positions non-decreasing, speeds in
+    ``[0, SPEED_CEILING_MS]``.  Repair mode drops non-finite rows and
+    rows that step backwards in time or space, and clamps slightly
+    negative speeds to zero; speeds above the ceiling are never repaired
+    (they indicate a unit error, not noise).
+
+    Returns:
+        ``(rows, report)`` with the surviving rows.
+
+    Raises:
+        InputValidationError: On any unrepairable (or, in strict mode,
+            any) contract violation.
+    """
+    report = RepairReport(source)
+    kept: List[Tuple[float, float, float]] = []
+    for i, row in enumerate(rows):
+        if len(row) != 3:
+            _fail(source, "", f"expected 3 columns, got {len(row)}", row=i)
+        t, s, v = row
+        if not (_is_finite_number(t) and _is_finite_number(s) and _is_finite_number(v)):
+            if repair:
+                report.add("row", i, "dropped", f"non-finite sample {row!r}")
+                continue
+            _fail(source, "", f"non-finite sample {row!r}", row=i)
+        t, s, v = float(t), float(s), float(v)
+        if v < 0.0:
+            if repair and v > -0.5:
+                report.add("speed_ms", i, "clamped", f"{v} -> 0.0")
+                v = 0.0
+            else:
+                _fail(source, "speed_ms", f"speed must be >= 0, got {v}", row=i)
+        if v > SPEED_CEILING_MS:
+            _fail(
+                source,
+                "speed_ms",
+                f"speed {v} m/s exceeds the {SPEED_CEILING_MS:.0f} m/s ceiling (unit error?)",
+                row=i,
+            )
+        if kept:
+            if t <= kept[-1][0]:
+                if repair:
+                    report.add("time_s", i, "dropped", f"non-increasing time {t} after {kept[-1][0]}")
+                    continue
+                _fail(source, "time_s", f"times must be strictly increasing, got {t} after {kept[-1][0]}", row=i)
+            if s < kept[-1][1]:
+                if repair:
+                    report.add("position_m", i, "dropped", f"position {s} steps behind {kept[-1][1]}")
+                    continue
+                _fail(source, "position_m", f"positions must be non-decreasing, got {s} after {kept[-1][1]}", row=i)
+        kept.append((t, s, v))
+    if len(kept) < 2:
+        _fail(source, "", f"needs at least two valid samples, {len(kept)} survived validation")
+    return kept, report
+
+
+# ----------------------------------------------------------------------
+# Traffic-volume rows
+# ----------------------------------------------------------------------
+def validate_volume_rows(
+    rows: Sequence[Tuple[int, float]],
+    source: str = "<volume>",
+    repair: bool = False,
+) -> Tuple[List[Tuple[int, float]], RepairReport]:
+    """Validate ``(hour, volume_vph)`` rows from an hourly-count export.
+
+    Contract: non-empty, hour indices consecutive integers, volumes
+    finite and non-negative.  Repair mode clamps negative volumes to
+    zero and replaces a non-finite volume with the previous hour's value
+    (counts are strongly autocorrelated); a gap or shuffle in the hour
+    index is never repaired — it means rows are missing or reordered and
+    any fill-in would fabricate data.
+
+    Returns:
+        ``(rows, report)`` with the repaired rows.
+
+    Raises:
+        InputValidationError: On any unrepairable (or, in strict mode,
+            any) contract violation.
+    """
+    report = RepairReport(source)
+    if not rows:
+        _fail(source, "", "volume series is empty")
+    kept: List[Tuple[int, float]] = []
+    for i, row in enumerate(rows):
+        if len(row) != 2:
+            _fail(source, "", f"expected 2 columns, got {len(row)}", row=i)
+        hour, volume = row
+        if not _is_finite_number(hour) or float(hour) != int(hour):
+            _fail(source, "hour", f"hour index must be an integer, got {hour!r}", row=i)
+        hour = int(hour)
+        if kept and hour != kept[-1][0] + 1:
+            _fail(
+                source,
+                "hour",
+                f"hour index must be consecutive, got {hour} after {kept[-1][0]}",
+                row=i,
+            )
+        if not _is_finite_number(volume):
+            if repair and kept:
+                report.add("volume_vph", i, "clamped", f"non-finite {volume!r} -> previous hour {kept[-1][1]}")
+                volume = kept[-1][1]
+            else:
+                _fail(source, "volume_vph", f"must be a finite number, got {volume!r}", row=i)
+        volume = float(volume)
+        if volume < 0.0:
+            if repair:
+                report.add("volume_vph", i, "clamped", f"{volume} -> 0.0")
+                volume = 0.0
+            else:
+                _fail(source, "volume_vph", f"must be >= 0, got {volume}", row=i)
+        kept.append((hour, volume))
+    return kept, report
+
+
+# ----------------------------------------------------------------------
+# Plan requests
+# ----------------------------------------------------------------------
+def validate_plan_request(
+    req: "PlanRequest",
+    route_length_m: Optional[float] = None,
+    source: str = "plan request",
+) -> None:
+    """Validate one cloud plan request beyond its constructor checks.
+
+    :class:`~repro.cloud.messages.PlanRequest` rejects negative fields at
+    construction, but NaN/inf sail through ``< 0`` comparisons and a
+    position past the route end is only detectable with the road in
+    hand.  The service calls this with its route length before serving.
+
+    Raises:
+        InputValidationError: On a non-finite field, an off-route
+            position, or a speed above the physical ceiling.
+    """
+    fields: Dict[str, float] = {
+        "depart_s": req.depart_s,
+        "position_m": req.position_m,
+        "speed_ms": req.speed_ms,
+    }
+    if req.max_trip_time_s is not None:
+        fields["max_trip_time_s"] = req.max_trip_time_s
+    for name, value in fields.items():
+        if not _is_finite_number(value):
+            _fail(source, name, f"must be a finite number, got {value!r}")
+    if req.speed_ms > SPEED_CEILING_MS:
+        _fail(source, "speed_ms", f"{req.speed_ms} m/s exceeds the {SPEED_CEILING_MS:.0f} m/s ceiling")
+    if route_length_m is not None and req.position_m >= route_length_m:
+        _fail(
+            source,
+            "position_m",
+            f"{req.position_m} m is at or past the route end ({route_length_m} m)",
+        )

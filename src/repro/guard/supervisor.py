@@ -1,0 +1,291 @@
+"""The runtime safety supervisor of the closed planning loop.
+
+:class:`SafetySupervisor` sits between every plan source and the vehicle
+command: each served plan is audited by a
+:class:`~repro.guard.plan_check.PlanValidator`, small kinematic
+violations are repaired in place (when repair is enabled), and anything
+irreparable is rejected so the caller's degradation ladder can fall to
+its next tier.  The supervisor also watches the executing trip for
+divergence between the plan's predicted arrival timing and the observed
+state (forcing an early replan past a threshold) and supplies the
+safe-stop command of last resort — a smooth deceleration to standstill —
+for the case where *no* tier produced a valid plan.
+
+All decisions are counted twice: in the process-wide ``repro.obs``
+registry (``guard.*`` counters) and in the supervisor's own
+:class:`GuardStats`, which the closed-loop driver snapshots per drive so
+each :class:`~repro.sim.closed_loop.ClosedLoopResult` carries exactly
+the guard activity of its own trip.
+
+With valid inputs and zero faults the supervisor is transparent: audits
+pass, no repair or rejection fires, and the served plan object reaches
+the vehicle unchanged — closed-loop results are bit-identical to a run
+without the supervisor.  Divergence monitoring is opt-in
+(``divergence_threshold_s=None`` by default) because forcing early
+replans changes the loop's timing even on healthy trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.dp import TimeWindowConstraint
+from repro.core.profile import VelocityProfile
+from repro.errors import PlanRejectedError
+from repro.guard.plan_check import PlanValidator, PlanVerdict
+
+#: Tier label of the last-resort stop profile.
+TIER_SAFE_STOP = "safe_stop"
+
+
+@dataclass
+class GuardStats:
+    """Cumulative supervisor decisions (snapshot/diff-able per drive).
+
+    Attributes:
+        plans_checked: Plans screened.
+        plans_passed: Plans that passed unmodified.
+        plans_repaired: Plans served after clamping repairs.
+        plans_rejected: Plans refused (caller fell to the next tier).
+        early_replans: Replans forced by divergence monitoring.
+        safe_stops: Times the safe-stop profile was engaged.
+        violation_counts: Violations seen, by code, across all screens.
+    """
+
+    plans_checked: int = 0
+    plans_passed: int = 0
+    plans_repaired: int = 0
+    plans_rejected: int = 0
+    early_replans: int = 0
+    safe_stops: int = 0
+    violation_counts: Dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "GuardStats":
+        """An independent copy, for per-drive accounting."""
+        return GuardStats(
+            plans_checked=self.plans_checked,
+            plans_passed=self.plans_passed,
+            plans_repaired=self.plans_repaired,
+            plans_rejected=self.plans_rejected,
+            early_replans=self.early_replans,
+            safe_stops=self.safe_stops,
+            violation_counts=dict(self.violation_counts),
+        )
+
+    def since(self, earlier: "GuardStats") -> "GuardStats":
+        """The activity between an earlier snapshot and now."""
+        codes: Dict[str, int] = {}
+        for code, n in self.violation_counts.items():
+            delta = n - earlier.violation_counts.get(code, 0)
+            if delta:
+                codes[code] = delta
+        return GuardStats(
+            plans_checked=self.plans_checked - earlier.plans_checked,
+            plans_passed=self.plans_passed - earlier.plans_passed,
+            plans_repaired=self.plans_repaired - earlier.plans_repaired,
+            plans_rejected=self.plans_rejected - earlier.plans_rejected,
+            early_replans=self.early_replans - earlier.early_replans,
+            safe_stops=self.safe_stops - earlier.safe_stops,
+            violation_counts=codes,
+        )
+
+
+class SafetySupervisor:
+    """Screens every served plan and supervises the executing trip.
+
+    Args:
+        validator: The plan auditor (carries road + vehicle envelopes).
+        repair: Attempt to clamp repairable violations instead of
+            rejecting the plan outright.
+        divergence_threshold_s: Absolute plan-vs-observed arrival-time
+            error (s) beyond which :meth:`should_replan` requests an
+            early replan; ``None`` disables divergence monitoring.
+        safe_stop_decel_ms2: Deceleration magnitude of the safe-stop
+            profile (gentler than the comfort floor by default).
+    """
+
+    def __init__(
+        self,
+        validator: PlanValidator,
+        repair: bool = True,
+        divergence_threshold_s: Optional[float] = None,
+        safe_stop_decel_ms2: float = 1.0,
+    ) -> None:
+        if safe_stop_decel_ms2 <= 0:
+            raise ValueError("safe-stop deceleration must be positive")
+        if divergence_threshold_s is not None and divergence_threshold_s <= 0:
+            raise ValueError("divergence threshold must be positive")
+        self.validator = validator
+        self.repair = bool(repair)
+        self.divergence_threshold_s = divergence_threshold_s
+        self.safe_stop_decel_ms2 = float(safe_stop_decel_ms2)
+        self.stats = GuardStats()
+
+    # ------------------------------------------------------------------
+    # Screening
+    # ------------------------------------------------------------------
+    def screen_profile(
+        self,
+        profile: VelocityProfile,
+        constraints: Optional[Sequence[TimeWindowConstraint]] = None,
+        tier: str = "planner",
+    ) -> Tuple[VelocityProfile, PlanVerdict, bool]:
+        """Audit one profile; repair it if allowed and needed.
+
+        Returns:
+            ``(profile, verdict, repaired)`` — the original object when
+            the audit passed, the clamped replacement when a repair
+            served, plus the (pre-repair) verdict.
+
+        Raises:
+            PlanRejectedError: The plan is irreparable (or repair is
+                disabled and the audit failed).
+        """
+        registry = obs.get_registry()
+        self.stats.plans_checked += 1
+        verdict = self.validator.check_profile(profile, constraints)
+        for code in verdict.codes:
+            self.stats.violation_counts[code] = (
+                self.stats.violation_counts.get(code, 0) + 1
+            )
+        if verdict.ok:
+            self.stats.plans_passed += 1
+            return profile, verdict, False
+        if self.repair and verdict.repairable:
+            try:
+                repaired, _report = self.validator.repair_plan(profile, constraints)
+            except PlanRejectedError:
+                pass  # clamping could not restore the invariants
+            else:
+                self.stats.plans_repaired += 1
+                return repaired, verdict, True
+        self.stats.plans_rejected += 1
+        registry.inc("guard.plans_rejected")
+        raise PlanRejectedError(
+            f"{tier} plan rejected: " + "; ".join(str(v) for v in verdict.violations),
+            violations=verdict.violations,
+            tier=tier,
+        )
+
+    def screen_tier_plan(self, plan, constraints=None):
+        """Screen a ladder :class:`~repro.resilience.ladder.TierPlan`.
+
+        A profile-less plan (the speed-limit tier) passes trivially — its
+        command tracks posted limits by construction.  When a repair
+        served, the returned plan carries the clamped profile and a
+        rebuilt command.
+
+        Raises:
+            PlanRejectedError: The tier's plan failed its audit.
+        """
+        if plan.profile is None:
+            return plan
+        profile, _verdict, repaired = self.screen_profile(
+            plan.profile, constraints, tier=plan.tier
+        )
+        if not repaired:
+            return plan
+        from repro.sim.scenario import profile_speed_command
+
+        return replace(
+            plan, profile=profile, command=profile_speed_command(profile)
+        )
+
+    def screen_command(
+        self,
+        command: Callable[[float], float],
+        position_m: float = 0.0,
+        sample_step_m: float = 25.0,
+        tier: str = "speed_limit",
+    ) -> None:
+        """Audit a raw position-indexed command (the profile-less tiers).
+
+        Samples the command from the vehicle's position to the route end
+        and requires every commanded speed to be finite, non-negative and
+        at or below the local limit (within the validator's tolerance).
+        This is how corrupted road data (a NaN or absurd ``v_max``) is
+        caught even at the speed-limit tier, forcing the safe-stop floor.
+
+        Raises:
+            PlanRejectedError: A sampled command value broke an invariant.
+        """
+        road = self.validator.road
+        tol = self.validator.speed_tol_ms
+        self.stats.plans_checked += 1
+        s = max(float(position_m), 0.0)
+        while s <= road.length_m:
+            v = command(s)
+            v_max = road.v_max_at(min(s, road.length_m))
+            if not (np.isfinite(v) and np.isfinite(v_max) and 0.0 <= v <= v_max + tol):
+                self.stats.plans_rejected += 1
+                self.stats.violation_counts["command"] = (
+                    self.stats.violation_counts.get("command", 0) + 1
+                )
+                obs.get_registry().inc("guard.plans_rejected")
+                raise PlanRejectedError(
+                    f"{tier} command rejected: speed {v!r} vs limit {v_max!r} "
+                    f"at {s:.0f} m",
+                    tier=tier,
+                )
+            s += sample_step_m
+        self.stats.plans_passed += 1
+
+    # ------------------------------------------------------------------
+    # Divergence monitoring
+    # ------------------------------------------------------------------
+    def divergence_s(
+        self, profile: VelocityProfile, position_m: float, time_s: float
+    ) -> float:
+        """Observed-minus-planned arrival error at the vehicle's position.
+
+        Positive values mean the vehicle is running late against its
+        plan (e.g. a residual queue held it), negative values early.
+        Positions outside the profile's span report zero divergence.
+        """
+        lo = float(profile.positions_m[0])
+        hi = float(profile.positions_m[-1])
+        if not lo <= position_m <= hi:
+            return 0.0
+        return float(time_s - profile.arrival_time_at(position_m))
+
+    def should_replan(
+        self, profile: Optional[VelocityProfile], position_m: float, time_s: float
+    ) -> bool:
+        """Whether divergence warrants an early replan (and count it)."""
+        if self.divergence_threshold_s is None or profile is None:
+            return False
+        if abs(self.divergence_s(profile, position_m, time_s)) <= self.divergence_threshold_s:
+            return False
+        self.stats.early_replans += 1
+        obs.get_registry().inc("guard.early_replans")
+        return True
+
+    # ------------------------------------------------------------------
+    # Safe stop
+    # ------------------------------------------------------------------
+    def safe_stop_command(
+        self, position_m: float, speed_ms: float
+    ) -> Callable[[float], float]:
+        """The last-resort command: decelerate smoothly to a standstill.
+
+        From the engage state ``(position_m, speed_ms)`` the commanded
+        speed follows ``v(s) = sqrt(v0^2 - 2 d (s - s0))`` down to zero
+        and stays zero beyond the stopping point — the kinematic ramp of
+        a constant ``safe_stop_decel_ms2`` brake.
+        """
+        self.stats.safe_stops += 1
+        obs.get_registry().inc("guard.safe_stops")
+        v0_sq = float(speed_ms) * float(speed_ms)
+        s0 = float(position_m)
+        decel = self.safe_stop_decel_ms2
+
+        def target(s: float) -> float:
+            if s <= s0:
+                return float(np.sqrt(v0_sq))
+            return float(np.sqrt(max(v0_sq - 2.0 * decel * (s - s0), 0.0)))
+
+        return target

@@ -367,6 +367,131 @@ class SignalDriftModel:
         )
 
 
+#: Corruption modes :class:`PlanFaultModel` can apply to a solved plan.
+PLAN_FAULT_MODES = ("nan_speed", "overspeed", "accel_spike", "window_miss")
+
+
+@dataclass(frozen=True)
+class PlanFaultModel:
+    """Degenerate-plan injection: corrupt solver output before it serves.
+
+    Models the failure class the safety guard exists for — a planner bug,
+    a serialization fault or a stale cache entry producing a plan that is
+    *structurally* a plan but physically or semantically wrong.  Each
+    corrupted solution exhibits one of :data:`PLAN_FAULT_MODES`:
+
+    * ``nan_speed`` — a mid-profile speed becomes NaN (the class of
+      defect range checks like ``v < 0`` silently pass).
+    * ``overspeed`` — a mid-profile speed jumps ``overspeed_delta_ms``
+      above the posted limit.
+    * ``accel_spike`` — one segment demands acceleration far beyond the
+      vehicle envelope.
+    * ``window_miss`` — every speed is scaled by ``slow_factor`` so the
+      signal arrivals drift out of their planned windows.
+
+    Attributes:
+        rate: Probability a given solve is corrupted.
+        modes: The corruption modes to draw from.
+        overspeed_delta_ms: Speed excess injected by ``overspeed``.
+        accel_spike_ms2: Acceleration demanded by the ``accel_spike``
+            segment (well past any sane vehicle envelope by default).
+        slow_factor: Speed scale applied by ``window_miss``.
+        seed: Fault seed; mode and victim index derive from it.
+    """
+
+    rate: float = 1.0
+    modes: Tuple[str, ...] = PLAN_FAULT_MODES
+    overspeed_delta_ms: float = 15.0
+    accel_spike_ms2: float = 8.0
+    slow_factor: float = 0.75
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {self.rate}")
+        if not self.modes:
+            raise ConfigurationError("need at least one corruption mode")
+        unknown = set(self.modes) - set(PLAN_FAULT_MODES)
+        if unknown:
+            raise ConfigurationError(f"unknown plan-fault modes {sorted(unknown)}")
+        if not 0.0 < self.slow_factor < 1.0:
+            raise ConfigurationError("slow factor must be in (0, 1)")
+
+    def corrupts(self, call_index: int) -> bool:
+        """Whether solve ``call_index`` is corrupted."""
+        return hash_uniform(self.seed, "plan_fault", call_index) < self.rate
+
+    def mode_for(self, call_index: int) -> str:
+        """The corruption mode applied to solve ``call_index``."""
+        u = hash_uniform(self.seed, "plan_fault_mode", call_index)
+        return self.modes[min(int(u * len(self.modes)), len(self.modes) - 1)]
+
+    def corrupt_profile(self, profile, call_index: int):
+        """A corrupted copy of ``profile`` (imports deferred: no cycle)."""
+        from repro.core.profile import VelocityProfile
+
+        pos = np.asarray(profile.positions_m, dtype=float)
+        spd = np.asarray(profile.speeds_ms, dtype=float).copy()
+        mode = self.mode_for(call_index)
+        # Victim: an interior point, deterministically chosen.  Interior
+        # points keep the profile constructible (endpoints often pin
+        # boundary conditions like the final stop).
+        u = hash_uniform(self.seed, "plan_fault_victim", call_index)
+        victim = 1 + min(int(u * max(pos.size - 2, 1)), max(pos.size - 3, 0))
+        if mode == "nan_speed":
+            spd[victim] = float("nan")
+        elif mode == "overspeed":
+            spd[victim] += self.overspeed_delta_ms
+        elif mode == "accel_spike":
+            ds = pos[victim] - pos[victim - 1]
+            spd[victim] = math.sqrt(
+                spd[victim - 1] ** 2 + 2.0 * self.accel_spike_ms2 * ds
+            )
+        else:  # window_miss
+            # Uniform slowdown: zero speeds (stops) stay zero, every
+            # positive average speed stays positive, arrivals drift late.
+            spd *= self.slow_factor
+        return VelocityProfile(
+            pos, spd, dwell_s=profile.dwell_s, start_time_s=profile.start_time_s
+        )
+
+
+class DegeneratePlanner:
+    """A planner wrapper that serves :class:`PlanFaultModel`-corrupted plans.
+
+    Drop-in for any :class:`~repro.core.planner.DpPlannerBase`: ``plan``
+    and ``replan`` run the wrapped planner and then (deterministically,
+    per solve index) corrupt the solution's profile; every other
+    attribute — ``road``, ``config``, ``signal_constraints``,
+    ``min_trip_time`` — delegates to the wrapped planner, so services
+    and ladders accept it wherever a real planner fits.
+    """
+
+    def __init__(self, planner, fault: PlanFaultModel) -> None:
+        self._planner = planner
+        self.fault = fault
+        self.calls = 0
+        self.corrupted = 0
+
+    def _deliver(self, solution):
+        index = self.calls
+        self.calls += 1
+        if not self.fault.corrupts(index):
+            return solution
+        self.corrupted += 1
+        profile = self.fault.corrupt_profile(solution.profile, index)
+        return replace(solution, profile=profile)
+
+    def plan(self, *args, **kwargs):
+        return self._deliver(self._planner.plan(*args, **kwargs))
+
+    def replan(self, *args, **kwargs):
+        return self._deliver(self._planner.replan(*args, **kwargs))
+
+    def __getattr__(self, name):
+        return getattr(self._planner, name)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """One composable bundle of every fault class, sharing a seed story.

@@ -47,20 +47,24 @@ from repro.errors import (
     CloudUnavailableError,
     ConfigurationError,
     InfeasibleProblemError,
+    PlanRejectedError,
     PlanningFailedError,
     ReproError,
 )
+from repro.guard.supervisor import TIER_SAFE_STOP, SafetySupervisor
 from repro.resilience.client import ResilientPlanClient
 from repro.route.road import RoadSegment
 from repro.sim.scenario import profile_speed_command
 from repro.vehicle.params import VehicleParams
 
-#: Tier names, best first.
+#: Tier names, best first.  ``safe_stop`` is the supervisor's floor below
+#: the floor: it only ever serves when a safety supervisor is attached
+#: and even the speed-limit command failed its audit.
 TIER_QUEUE_DP = "queue_dp"
 TIER_BASELINE_DP = "baseline_dp"
 TIER_GLOSA = "glosa"
 TIER_SPEED_LIMIT = "speed_limit"
-TIERS = (TIER_QUEUE_DP, TIER_BASELINE_DP, TIER_GLOSA, TIER_SPEED_LIMIT)
+TIERS = (TIER_QUEUE_DP, TIER_BASELINE_DP, TIER_GLOSA, TIER_SPEED_LIMIT, TIER_SAFE_STOP)
 
 
 def speed_limit_command(road: RoadSegment) -> Callable[[float], float]:
@@ -130,6 +134,12 @@ class DegradationLadder:
         config: Discretization for the local baseline DP tier; ``None``
             uses :class:`PlannerConfig` defaults.
         vehicle_id: Id stamped on cloud requests.
+        supervisor: Optional :class:`~repro.guard.supervisor.SafetySupervisor`.
+            When given, every tier's plan is screened before it serves:
+            repairable violations are clamped, a rejected plan falls to
+            the next tier, and if even the speed-limit command fails its
+            audit the supervisor's safe-stop profile serves as the
+            ``safe_stop`` tier.
 
     The local tiers are built lazily on first use: a run that never
     degrades never pays for a second DP table.
@@ -143,6 +153,7 @@ class DegradationLadder:
         vehicle: Optional[VehicleParams] = None,
         config: Optional[PlannerConfig] = None,
         vehicle_id: str = "ev",
+        supervisor: Optional[SafetySupervisor] = None,
     ) -> None:
         if not vehicle_id:
             raise ConfigurationError("vehicle id must be non-empty")
@@ -152,6 +163,7 @@ class DegradationLadder:
         self.vehicle = vehicle
         self.config = config
         self.vehicle_id = vehicle_id
+        self.supervisor = supervisor
         self._baseline: Optional[DpPlannerBase] = None
         self._glosa: Optional[GlosaAdvisor] = None
         self.tier_history: List[str] = []
@@ -189,13 +201,26 @@ class DegradationLadder:
             registry.inc("resilience.degraded")
         return plan
 
+    def _screened(self, plan: TierPlan) -> TierPlan:
+        """Screen one tier's plan through the supervisor, if attached.
+
+        Raises:
+            PlanRejectedError: The plan failed its audit and could not be
+                repaired; the caller falls to the next tier.
+        """
+        if self.supervisor is None:
+            return plan
+        return self.supervisor.screen_tier_plan(plan)
+
     def _from_response(self, response: PlanResponse) -> TierPlan:
-        return TierPlan(
-            tier=TIER_QUEUE_DP,
-            command=profile_speed_command(response.profile),
-            profile=response.profile,
-            trip_time_s=response.trip_time_s,
-            energy_mah=response.energy_mah,
+        return self._screened(
+            TierPlan(
+                tier=TIER_QUEUE_DP,
+                command=profile_speed_command(response.profile),
+                profile=response.profile,
+                trip_time_s=response.trip_time_s,
+                energy_mah=response.energy_mah,
+            )
         )
 
     def _local_tiers(
@@ -205,7 +230,12 @@ class DegradationLadder:
         speed_ms: float,
         max_trip_time_s: Optional[float],
     ) -> TierPlan:
-        """Tiers 1-3, tried in order; tier 3 cannot fail."""
+        """Tiers 1-3, tried in order, each screened by the supervisor.
+
+        The speed-limit tier normally cannot fail; with a supervisor
+        attached its command is still audited, and a failure there (a
+        corrupted road) serves the safe-stop profile instead.
+        """
         try:
             planner = self._baseline_planner()
             try:
@@ -226,15 +256,17 @@ class DegradationLadder:
                 ) if (position_m > 0.0 or speed_ms > 0.0) else planner.plan(
                     start_time_s=time_s, minimize="time"
                 )
-            return TierPlan(
-                tier=TIER_BASELINE_DP,
-                command=profile_speed_command(solution.profile),
-                profile=solution.profile,
-                trip_time_s=solution.trip_time_s,
-                energy_mah=solution.energy_mah,
+            return self._screened(
+                TierPlan(
+                    tier=TIER_BASELINE_DP,
+                    command=profile_speed_command(solution.profile),
+                    profile=solution.profile,
+                    trip_time_s=solution.trip_time_s,
+                    energy_mah=solution.energy_mah,
+                )
             )
         except ReproError:
-            pass
+            pass  # includes PlanRejectedError: a bad plan falls through
         try:
             advisor = self._glosa_advisor()
             glosa = advisor.plan(
@@ -244,18 +276,34 @@ class DegradationLadder:
             )
             profile = glosa.profile
             trip_time = profile.arrival_time_at(self.road.length_m) - time_s
-            return TierPlan(
-                tier=TIER_GLOSA,
-                command=profile_speed_command(profile),
-                profile=profile,
-                trip_time_s=trip_time,
-                energy_mah=float("nan"),
+            return self._screened(
+                TierPlan(
+                    tier=TIER_GLOSA,
+                    command=profile_speed_command(profile),
+                    profile=profile,
+                    trip_time_s=trip_time,
+                    energy_mah=float("nan"),
+                )
             )
         except ReproError:
             pass
+        command = speed_limit_command(self.road)
+        if self.supervisor is not None:
+            try:
+                self.supervisor.screen_command(
+                    command, position_m, tier=TIER_SPEED_LIMIT
+                )
+            except PlanRejectedError:
+                return TierPlan(
+                    tier=TIER_SAFE_STOP,
+                    command=self.supervisor.safe_stop_command(position_m, speed_ms),
+                    profile=None,
+                    trip_time_s=speed_limit_trip_time_s(self.road, position_m),
+                    energy_mah=float("nan"),
+                )
         return TierPlan(
             tier=TIER_SPEED_LIMIT,
-            command=speed_limit_command(self.road),
+            command=command,
             profile=None,
             trip_time_s=speed_limit_trip_time_s(self.road, position_m),
             energy_mah=float("nan"),
@@ -282,7 +330,7 @@ class DegradationLadder:
                 now_s=start_time_s,
             )
             return self._record(self._from_response(response))
-        except (CloudUnavailableError, PlanningFailedError):
+        except (CloudUnavailableError, PlanningFailedError, PlanRejectedError):
             return self._record(
                 self._local_tiers(start_time_s, 0.0, 0.0, max_trip_time_s)
             )
@@ -314,7 +362,9 @@ class DegradationLadder:
                 now_s=time_s,
             )
             return self._record(self._from_response(response))
-        except CloudUnavailableError:
+        except (CloudUnavailableError, PlanRejectedError):
+            # Unreachable cloud and a cloud plan that failed its safety
+            # audit degrade the same way: a local tier serves.
             return self._record(
                 self._local_tiers(time_s, position_m, speed_ms, max_trip_time_s)
             )
@@ -334,7 +384,7 @@ class DegradationLadder:
                 now_s=time_s,
             )
             return self._record(self._from_response(response))
-        except CloudUnavailableError:
+        except (CloudUnavailableError, PlanRejectedError):
             return self._record(
                 self._local_tiers(time_s, position_m, speed_ms, max_trip_time_s)
             )

@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InputValidationError
+from repro.guard.contracts import RepairReport, validate_road_dict
 from repro.route.road import (
     GradeProfile,
     RoadSegment,
@@ -64,15 +65,35 @@ def road_to_dict(road: RoadSegment) -> dict:
     }
 
 
-def road_from_dict(data: dict) -> RoadSegment:
+def road_from_dict(
+    data: dict, source: str = "<road dict>", repair: bool = False
+) -> RoadSegment:
     """Rebuild a road segment from its JSON representation.
 
+    The dict passes the full :func:`repro.guard.contracts.validate_road_dict`
+    contract first, so malformed input fails with a field-level
+    :class:`~repro.errors.InputValidationError` instead of a raw
+    ``KeyError``/``TypeError`` from deep inside construction.
+
+    Args:
+        data: Parsed JSON object.
+        source: Label used in validation errors (the file path when
+            called from :func:`load_road_json`).
+        repair: Forwarded to the contract: drop/clamp salvageable
+            defects instead of rejecting the input.
+
     Raises:
-        ConfigurationError: On unknown format versions or missing keys.
+        ConfigurationError: On unknown format versions.
+        InputValidationError: On any contract violation in the data.
     """
-    version = data.get("format_version")
+    version = data.get("format_version") if isinstance(data, dict) else None
     if version != FORMAT_VERSION:
-        raise ConfigurationError(f"unsupported road format version {version!r}")
+        raise InputValidationError(
+            f"unsupported road format version {version!r}",
+            source=source,
+            field="format_version",
+        )
+    data, _report = validate_road_dict(data, source=source, repair=repair)
     try:
         zones = [
             SpeedLimitZone(
@@ -114,6 +135,48 @@ def save_road_json(road: RoadSegment, path: Union[str, Path]) -> None:
     target.write_text(json.dumps(road_to_dict(road), indent=2) + "\n")
 
 
-def load_road_json(path: Union[str, Path]) -> RoadSegment:
-    """Read a road from a JSON file written by :func:`save_road_json`."""
-    return road_from_dict(json.loads(Path(path).read_text()))
+def load_road_json(
+    path: Union[str, Path], repair: bool = False
+) -> RoadSegment:
+    """Read a road from a JSON file written by :func:`save_road_json`.
+
+    Args:
+        path: The JSON file.
+        repair: Drop/clamp salvageable defects instead of rejecting.
+
+    Raises:
+        InputValidationError: The file is missing, not JSON, or violates
+            the road contract; the error names the file and field.
+    """
+    source = str(path)
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise InputValidationError(f"cannot read file: {exc}", source=source) from exc
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise InputValidationError(f"not valid JSON: {exc}", source=source) from exc
+    return road_from_dict(data, source=source, repair=repair)
+
+
+def load_road_json_repaired(
+    path: Union[str, Path],
+) -> Tuple[RoadSegment, RepairReport]:
+    """Like :func:`load_road_json` with repairs on, returning the report."""
+    source = str(path)
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise InputValidationError(f"cannot read file: {exc}", source=source) from exc
+    except ValueError as exc:
+        raise InputValidationError(f"not valid JSON: {exc}", source=source) from exc
+    version = data.get("format_version") if isinstance(data, dict) else None
+    if version != FORMAT_VERSION:
+        raise InputValidationError(
+            f"unsupported road format version {version!r}",
+            source=source,
+            field="format_version",
+        )
+    data, report = validate_road_dict(data, source=source, repair=True)
+    return road_from_dict(data, source=source), report

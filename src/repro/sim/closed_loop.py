@@ -25,13 +25,15 @@ import numpy as np
 
 from repro import obs
 from repro.core.planner import DpPlannerBase
-from repro.core.profile import TimedTrace
+from repro.core.profile import TimedTrace, VelocityProfile
 from repro.errors import (
     ConfigurationError,
     InfeasibleProblemError,
+    PlanRejectedError,
     PlanningFailedError,
     SimulationTimeoutError,
 )
+from repro.guard.supervisor import GuardStats, SafetySupervisor
 from repro.sim.scenario import Us25Scenario, profile_speed_command
 from repro.sim.simulator import SimulationResult
 
@@ -53,9 +55,14 @@ class ClosedLoopResult:
         replans_failed: Rounds where a service-backed planner failed
             (:class:`~repro.errors.PlanningFailedError` without a
             ladder to absorb it); the previous command was kept.
+        replans_rejected: Rounds where the safety supervisor refused the
+            fresh plan (direct path only — a ladder absorbs rejections
+            by falling to its next tier); the previous command was kept.
         initial_tier: Ladder tier that served the departure plan.
         replan_tiers: Serving tier of every applied replan, in order.
         tier_counts: Applied replans per serving tier.
+        guard: Supervisor activity during this drive (``None`` when the
+            loop ran unsupervised).
     """
 
     sim: SimulationResult
@@ -63,9 +70,11 @@ class ClosedLoopResult:
     replans_applied: int
     replans_infeasible: int
     replans_failed: int = 0
+    replans_rejected: int = 0
     initial_tier: str = PLANNER_TIER
     replan_tiers: Tuple[str, ...] = ()
     tier_counts: Dict[str, int] = field(default_factory=dict)
+    guard: Optional[GuardStats] = None
 
     @property
     def ev_trace(self) -> Optional[TimedTrace]:
@@ -77,6 +86,26 @@ class ClosedLoopResult:
         """Applied replans served below the primary tier."""
         primary = {PLANNER_TIER, "queue_dp"}
         return sum(n for tier, n in self.tier_counts.items() if tier not in primary)
+
+    @property
+    def plans_repaired(self) -> int:
+        """Plans served after supervisor repair (0 when unsupervised)."""
+        return self.guard.plans_repaired if self.guard is not None else 0
+
+    @property
+    def plans_rejected(self) -> int:
+        """Plans the supervisor refused (0 when unsupervised)."""
+        return self.guard.plans_rejected if self.guard is not None else 0
+
+    @property
+    def early_replans(self) -> int:
+        """Replans forced by divergence monitoring (0 when unsupervised)."""
+        return self.guard.early_replans if self.guard is not None else 0
+
+    @property
+    def safe_stops(self) -> int:
+        """Safe-stop engagements (0 when unsupervised)."""
+        return self.guard.safe_stops if self.guard is not None else 0
 
 
 class ClosedLoopDriver:
@@ -92,6 +121,13 @@ class ClosedLoopDriver:
         ladder: A :class:`~repro.resilience.ladder.DegradationLadder`
             planning through the resilient cloud path with tiered
             fallback; when given, ``planner`` must be ``None``.
+        supervisor: A :class:`~repro.guard.supervisor.SafetySupervisor`
+            screening every plan before it becomes a vehicle command.
+            On the direct path it audits planner output itself; on the
+            ladder path it is installed into the ladder (which screens
+            each tier) and the driver adds divergence monitoring.  With
+            valid inputs and zero faults a supervised drive is
+            bit-identical to an unsupervised one.
     """
 
     def __init__(
@@ -102,6 +138,7 @@ class ClosedLoopDriver:
         deadline_slack_s: float = 20.0,
         *,
         ladder: Optional["DegradationLadder"] = None,
+        supervisor: Optional[SafetySupervisor] = None,
     ) -> None:
         if replan_interval_s <= 0:
             raise ConfigurationError("replan interval must be positive")
@@ -114,22 +151,57 @@ class ClosedLoopDriver:
         self.scenario = scenario
         self.planner = planner
         self.ladder = ladder
+        if supervisor is not None and ladder is not None:
+            if ladder.supervisor is None:
+                ladder.supervisor = supervisor
+            elif ladder.supervisor is not supervisor:
+                raise ConfigurationError(
+                    "ladder already carries a different supervisor"
+                )
+        if supervisor is None and ladder is not None:
+            supervisor = ladder.supervisor
+        self.supervisor = supervisor
         self.replan_interval_s = float(replan_interval_s)
         self.deadline_slack_s = float(deadline_slack_s)
 
     # ------------------------------------------------------------------
     # Planning rounds
     # ------------------------------------------------------------------
+    def _screen(self, profile: VelocityProfile, time_s: float) -> VelocityProfile:
+        """Audit a direct-path profile before it becomes a command.
+
+        A valid profile is returned as the very same object (keeping
+        supervised fault-free drives bit-identical to unsupervised
+        ones); a repairable one comes back clamped.
+
+        Raises:
+            PlanRejectedError: The profile is irreparable.
+        """
+        if self.supervisor is None:
+            return profile
+        constraints = self.planner.signal_constraints(time_s)
+        screened, _verdict, _repaired = self.supervisor.screen_profile(
+            profile, constraints, tier=PLANNER_TIER
+        )
+        return screened
+
     def _initial_plan(self, depart_s: float, cap: Optional[float]):
-        """(command, trip_time_s, tier) for the departure plan."""
+        """(command, trip_time_s, tier, profile) for the departure plan."""
         if self.ladder is not None:
             tier_plan = self.ladder.plan(depart_s, max_trip_time_s=cap)
-            return tier_plan.command, tier_plan.trip_time_s, tier_plan.tier
+            return (
+                tier_plan.command,
+                tier_plan.trip_time_s,
+                tier_plan.tier,
+                tier_plan.profile,
+            )
         solution = self.planner.plan(start_time_s=depart_s, max_trip_time_s=cap)
+        profile = self._screen(solution.profile, depart_s)
         return (
-            profile_speed_command(solution.profile),
+            profile_speed_command(profile),
             solution.trip_time_s,
             PLANNER_TIER,
+            profile,
         )
 
     def _replan_direct(self, position_m, speed_ms, time_s, budget_s):
@@ -148,7 +220,8 @@ class ClosedLoopDriver:
                 time_s=time_s,
                 minimize="time",
             )
-        return profile_speed_command(solution.profile), PLANNER_TIER
+        profile = self._screen(solution.profile, time_s)
+        return profile_speed_command(profile), PLANNER_TIER, profile
 
     def run(
         self,
@@ -163,23 +236,43 @@ class ClosedLoopDriver:
                 ``horizon_s`` of simulated time.
         """
         registry = obs.get_registry()
+        baseline = (
+            self.supervisor.stats.snapshot() if self.supervisor is not None else None
+        )
         cap = max_trip_time_s
-        command, trip_time, initial_tier = self._initial_plan(depart_s, cap)
+        command, trip_time, initial_tier, current_profile = self._initial_plan(
+            depart_s, cap
+        )
         deadline = depart_s + trip_time + self.deadline_slack_s
 
         sim = self.scenario._build_simulator(horizon_s)
         sim.schedule_ev(depart_s=depart_s, target_speed_at=command)
 
-        attempted = applied = infeasible = failed = 0
+        attempted = applied = infeasible = failed = rejected = 0
         tiers: List[str] = []
         route_end = self.scenario.road.length_m
         next_replan = depart_s + self.replan_interval_s
+        last_forced = -np.inf
         ev = sim._trackers["ev"].agent
         while sim.time_s < horizon_s:
             sim.step()
             if ev.exited_at_s is not None:
                 break
             inserted = bool(sim._trackers["ev"].log)
+            if (
+                inserted
+                and self.supervisor is not None
+                and sim.time_s < next_replan
+                and sim.time_s - last_forced >= self.replan_interval_s
+                and ev.position_m < route_end - 50.0
+                and self.supervisor.should_replan(
+                    current_profile, ev.position_m, sim.time_s
+                )
+            ):
+                # The trip has drifted past the divergence threshold:
+                # pull the next replanning round forward to right now.
+                next_replan = sim.time_s
+                last_forced = sim.time_s
             if not inserted or sim.time_s < next_replan:
                 continue
             next_replan += self.replan_interval_s
@@ -196,12 +289,20 @@ class ClosedLoopDriver:
                         max_trip_time_s=budget,
                     )
                     fresh_command, tier = tier_plan.command, tier_plan.tier
+                    fresh_profile = tier_plan.profile
                 else:
-                    fresh_command, tier = self._replan_direct(
+                    fresh_command, tier, fresh_profile = self._replan_direct(
                         ev.position_m, ev.speed_ms, sim.time_s, budget
                     )
             except InfeasibleProblemError:
                 infeasible += 1
+                continue
+            except PlanRejectedError:
+                # The supervisor refused the fresh plan and there is no
+                # ladder tier to fall to; the previous (already audited)
+                # command stays in force.
+                rejected += 1
+                registry.inc("closed_loop.replans_rejected")
                 continue
             except PlanningFailedError:
                 # A reachable service answered "infeasible" (or a
@@ -214,6 +315,7 @@ class ClosedLoopDriver:
                     registry.inc("closed_loop.replans_failed")
                 continue
             ev.target_speed_at = fresh_command
+            current_profile = fresh_profile
             applied += 1
             tiers.append(tier)
 
@@ -232,7 +334,13 @@ class ClosedLoopDriver:
             replans_applied=applied,
             replans_infeasible=infeasible,
             replans_failed=failed,
+            replans_rejected=rejected,
             initial_tier=initial_tier,
             replan_tiers=tuple(tiers),
             tier_counts=counts,
+            guard=(
+                self.supervisor.stats.since(baseline)
+                if self.supervisor is not None
+                else None
+            ),
         )

@@ -1,18 +1,24 @@
 """CSV persistence for time-sampled driving traces.
 
 Format: a header row then ``time_s,position_m,speed_ms`` per sample —
-the shape GPS/CAN trace exports typically take.
+the shape GPS/CAN trace exports typically take.  Loading validates the
+rows against the trace contract (finite values, strictly increasing
+times, non-decreasing positions, sane speeds) and reports malformed
+input with file/row context instead of a bare ``ValueError`` from a
+``float()`` call.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
 from repro.core.profile import TimedTrace
+from repro.errors import InputValidationError
+from repro.guard.contracts import RepairReport, validate_trace_rows
 
 _HEADER = ["time_s", "position_m", "speed_ms"]
 
@@ -28,20 +34,60 @@ def save_trace_csv(trace: TimedTrace, path: Union[str, Path]) -> None:
             writer.writerow([f"{t:.3f}", f"{s:.3f}", f"{v:.4f}"])
 
 
-def load_trace_csv(path: Union[str, Path]) -> TimedTrace:
-    """Read a trace written by :func:`save_trace_csv`.
-
-    Raises:
-        ValueError: On a malformed header or empty file.
-    """
-    source = Path(path)
-    with source.open() as handle:
+def _read_rows(path: Union[str, Path]):
+    source = str(path)
+    try:
+        handle = Path(path).open()
+    except OSError as exc:
+        raise InputValidationError(f"cannot read file: {exc}", source=source) from exc
+    with handle:
         reader = csv.reader(handle)
         header = next(reader, None)
         if header != _HEADER:
-            raise ValueError(f"unexpected trace header {header!r} in {source}")
-        rows = [(float(r[0]), float(r[1]), float(r[2])) for r in reader]
-    if len(rows) < 2:
-        raise ValueError(f"trace {source} has fewer than two samples")
+            raise InputValidationError(
+                f"unexpected trace header {header!r} (want {_HEADER})",
+                source=source,
+                field="header",
+            )
+        rows = []
+        for i, raw in enumerate(reader):
+            if len(raw) != 3:
+                raise InputValidationError(
+                    f"expected 3 columns, got {len(raw)}", source=source, row=i
+                )
+            try:
+                rows.append((float(raw[0]), float(raw[1]), float(raw[2])))
+            except ValueError as exc:
+                raise InputValidationError(
+                    f"non-numeric sample {raw!r}", source=source, row=i
+                ) from exc
+    return rows, source
+
+
+def load_trace_csv(path: Union[str, Path], repair: bool = False) -> TimedTrace:
+    """Read a trace written by :func:`save_trace_csv`.
+
+    Args:
+        path: The CSV file.
+        repair: Drop/clamp salvageable rows instead of rejecting.
+
+    Raises:
+        InputValidationError: On a missing file, malformed header,
+            non-numeric cell, or any trace-contract violation — the
+            error carries the file and the offending row.
+    """
+    rows, source = _read_rows(path)
+    rows, _report = validate_trace_rows(rows, source=source, repair=repair)
     data = np.asarray(rows)
     return TimedTrace(times_s=data[:, 0], speeds_ms=data[:, 2], positions_m=data[:, 1])
+
+
+def load_trace_csv_repaired(
+    path: Union[str, Path],
+) -> Tuple[TimedTrace, RepairReport]:
+    """Like :func:`load_trace_csv` with repairs on, returning the report."""
+    rows, source = _read_rows(path)
+    rows, report = validate_trace_rows(rows, source=source, repair=True)
+    data = np.asarray(rows)
+    trace = TimedTrace(times_s=data[:, 0], speeds_ms=data[:, 2], positions_m=data[:, 1])
+    return trace, report

@@ -2,17 +2,21 @@
 
 The format mirrors public DOT hourly-count exports (the paper's SCDOT
 source): one row per hour with the absolute hour index and the volume.
+Loading validates the rows against the volume contract (consecutive hour
+index, finite non-negative volumes) and reports malformed input with
+file/row context instead of a bare ``ValueError`` from an ``int()`` call.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import InputValidationError
+from repro.guard.contracts import RepairReport, validate_volume_rows
 from repro.traffic.volume import VolumeSeries
 
 _HEADER = ["hour", "volume_vph"]
@@ -29,24 +33,60 @@ def save_volume_csv(series: VolumeSeries, path: Union[str, Path]) -> None:
             writer.writerow([int(hour), f"{volume:.3f}"])
 
 
-def load_volume_csv(path: Union[str, Path]) -> VolumeSeries:
-    """Read a series written by :func:`save_volume_csv`.
-
-    Raises:
-        ConfigurationError: On a malformed header, gaps in the hour index
-            or an empty file.
-    """
-    source = Path(path)
-    with source.open() as handle:
+def _read_rows(path: Union[str, Path]):
+    source = str(path)
+    try:
+        handle = Path(path).open()
+    except OSError as exc:
+        raise InputValidationError(f"cannot read file: {exc}", source=source) from exc
+    with handle:
         reader = csv.reader(handle)
         header = next(reader, None)
         if header != _HEADER:
-            raise ConfigurationError(f"unexpected volume header {header!r} in {source}")
-        rows = [(int(r[0]), float(r[1])) for r in reader]
-    if not rows:
-        raise ConfigurationError(f"volume file {source} is empty")
-    hours = np.asarray([r[0] for r in rows])
-    if np.any(np.diff(hours) != 1):
-        raise ConfigurationError(f"volume file {source} has gaps in its hour index")
+            raise InputValidationError(
+                f"unexpected volume header {header!r} (want {_HEADER})",
+                source=source,
+                field="header",
+            )
+        rows = []
+        for i, raw in enumerate(reader):
+            if len(raw) != 2:
+                raise InputValidationError(
+                    f"expected 2 columns, got {len(raw)}", source=source, row=i
+                )
+            try:
+                rows.append((int(raw[0]), float(raw[1])))
+            except ValueError as exc:
+                raise InputValidationError(
+                    f"non-numeric row {raw!r}", source=source, row=i
+                ) from exc
+    return rows, source
+
+
+def load_volume_csv(path: Union[str, Path], repair: bool = False) -> VolumeSeries:
+    """Read a series written by :func:`save_volume_csv`.
+
+    Args:
+        path: The CSV file.
+        repair: Clamp salvageable defects (negative or missing volumes)
+            instead of rejecting; hour-index gaps are never repaired.
+
+    Raises:
+        InputValidationError: On a missing file, malformed header,
+            non-numeric cell, hour-index gap or any other volume-contract
+            violation — the error carries the file and the offending row.
+    """
+    rows, source = _read_rows(path)
+    rows, _report = validate_volume_rows(rows, source=source, repair=repair)
     volumes = np.asarray([r[1] for r in rows])
-    return VolumeSeries(volumes, start_hour=int(hours[0]))
+    return VolumeSeries(volumes, start_hour=int(rows[0][0]))
+
+
+def load_volume_csv_repaired(
+    path: Union[str, Path],
+) -> Tuple[VolumeSeries, RepairReport]:
+    """Like :func:`load_volume_csv` with repairs on, returning the report."""
+    rows, source = _read_rows(path)
+    rows, report = validate_volume_rows(rows, source=source, repair=True)
+    volumes = np.asarray([r[1] for r in rows])
+    return VolumeSeries(volumes, start_hour=int(rows[0][0])), report

@@ -86,3 +86,46 @@ class TestChaosPath:
         ]
         assert main(args) == 0
         assert "verified in sim" in capsys.readouterr().out
+
+
+class TestGuardPath:
+    def test_validate_prints_audit_line(self, capsys):
+        args = FAST_ARGS + ["--rate", "300", "--cap", "320", "--validate"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "plan audit" in out
+        assert "plan valid" in out
+
+    def test_strict_implies_validate(self, capsys):
+        args = FAST_ARGS + ["--rate", "300", "--cap", "320", "--strict"]
+        assert main(args) == 0
+        assert "plan audit" in capsys.readouterr().out
+
+    def test_strict_rejects_malformed_road_file_with_exit_2(self, tmp_path, capsys):
+        import json
+
+        bad = {
+            "format_version": 1,
+            "name": "bad",
+            "length_m": -4000.0,
+            "zones": [],
+            "stop_signs": [],
+            "signals": [],
+            "grade": {"positions_m": [0.0], "grades_rad": [0.0]},
+        }
+        path = tmp_path / "bad_road.json"
+        path.write_text(json.dumps(bad))
+        code = main(FAST_ARGS + ["--road", str(path), "--strict"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid road file" in err
+        assert err.count("\n") == 1  # one line, not a traceback
+
+    def test_speed_limit_tier_skips_audit_gracefully(self, capsys):
+        args = FAST_ARGS + [
+            "--rate", "300", "--cap", "320",
+            "--drop-rate", "1.0", "--chaos-seed", "7", "--validate",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "plan audit" in out

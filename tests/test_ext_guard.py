@@ -1,0 +1,66 @@
+"""The ext-guard experiment: both campaigns must contain every fault."""
+
+import pytest
+
+from repro.experiments import ext_guard
+from repro.experiments.runner import EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ext_guard.GuardConfig(corruption_rates=(0.0, 1.0), seeds=(13,))
+    return ext_guard.run(config)
+
+
+class TestInputCampaign:
+    def test_no_corruption_is_silently_accepted(self, result):
+        assert result.input_rows
+        for row in result.input_rows:
+            assert row.cases > 0
+            assert row.silently_accepted == 0, row.kind
+            assert row.rejected_strict == row.cases, row.kind
+
+    def test_repair_mode_salvages_or_rejects_every_case(self, result):
+        for row in result.input_rows:
+            assert row.repaired + row.rejected_repair == row.cases, row.kind
+            assert row.repaired > 0, f"{row.kind}: corpus has no repairable cases"
+
+    def test_all_three_input_kinds_covered(self, result):
+        assert {row.kind for row in result.input_rows} == {"road", "trace", "volume"}
+
+
+class TestPlanCampaign:
+    def test_zero_rate_guard_is_invisible(self, result):
+        clean = next(r for r in result.plan_rows if r.rate == 0.0)
+        assert clean.corrupted == 0
+        assert clean.plans_checked > 0
+        assert clean.plans_repaired == 0
+        assert clean.plans_rejected == 0
+        assert clean.safe_stops == 0
+        assert clean.completed[0] == clean.completed[1]
+
+    def test_full_rate_every_corruption_contained(self, result):
+        hot = next(r for r in result.plan_rows if r.rate == 1.0)
+        assert hot.corrupted > 0
+        assert hot.plans_rejected + hot.plans_repaired > 0
+        assert hot.violation_counts
+        assert hot.completed[0] == hot.completed[1]
+        # Rejections pushed the loop onto local tiers.
+        degraded = sum(
+            n for tier, n in hot.tier_counts.items() if tier != "queue_dp"
+        )
+        assert degraded > 0
+
+    def test_report_renders_success_verdict(self, result):
+        text = ext_guard.report(result)
+        assert "GUARD FAILURE" not in text
+        assert "no corrupted input accepted" in text
+        for row in result.plan_rows:
+            assert f"{row.rate:.2f}" in text
+
+
+def test_registered_with_the_runner():
+    assert "ext-guard" in EXPERIMENTS
+    run_fn, report_fn = EXPERIMENTS["ext-guard"]
+    assert run_fn is ext_guard.run
+    assert report_fn is ext_guard.report

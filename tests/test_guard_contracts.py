@@ -1,0 +1,301 @@
+"""Input contracts: fuzzed garbage through every validate_* entry point."""
+
+import math
+
+import pytest
+
+from repro.cloud.messages import PlanRequest
+from repro.errors import ConfigurationError, InputValidationError
+from repro.guard.contracts import (
+    SPEED_CEILING_MS,
+    validate_plan_request,
+    validate_road_dict,
+    validate_trace_rows,
+    validate_volume_rows,
+)
+from repro.route.io import road_to_dict
+from repro.route.us25 import us25_greenville_segment
+
+NAN = float("nan")
+INF = float("inf")
+
+
+@pytest.fixture()
+def road_dict(us25):
+    return road_to_dict(us25)
+
+
+def _clone(data):
+    return {
+        **data,
+        "zones": [dict(z) for z in data["zones"]],
+        "signals": [dict(s) for s in data["signals"]],
+        "stop_signs": list(data["stop_signs"]),
+        "grade": {k: list(v) for k, v in data["grade"].items()},
+    }
+
+
+class TestRoadContract:
+    def test_valid_road_passes_unchanged(self, road_dict):
+        data, report = validate_road_dict(road_dict, source="us25")
+        assert data is road_dict
+        assert not report
+
+    def test_error_is_also_configuration_and_value_error(self, road_dict):
+        bad = _clone(road_dict)
+        bad["length_m"] = NAN
+        with pytest.raises(InputValidationError) as err:
+            validate_road_dict(bad)
+        assert isinstance(err.value, ConfigurationError)
+        assert isinstance(err.value, ValueError)
+        assert err.value.field == "length_m"
+
+    @pytest.mark.parametrize("length", [NAN, INF, -INF, 0.0, -4000.0, 300_000.0])
+    def test_degenerate_lengths_rejected(self, road_dict, length):
+        bad = _clone(road_dict)
+        bad["length_m"] = length
+        with pytest.raises(InputValidationError):
+            validate_road_dict(bad)
+
+    @pytest.mark.parametrize("section", ["name", "length_m", "zones", "stop_signs", "signals"])
+    def test_missing_sections_rejected(self, road_dict, section):
+        bad = _clone(road_dict)
+        del bad[section]
+        with pytest.raises(InputValidationError) as err:
+            validate_road_dict(bad)
+        assert err.value.field == section
+
+    def test_zone_gap_rejected(self, road_dict):
+        bad = _clone(road_dict)
+        bad["zones"][0]["start_m"] = 5.0  # route starts at 0: a gap
+        with pytest.raises(InputValidationError, match="without gaps"):
+            validate_road_dict(bad)
+
+    def test_zones_short_of_route_end_rejected(self, road_dict):
+        bad = _clone(road_dict)
+        bad["zones"][-1]["end_m"] -= 50.0
+        with pytest.raises(InputValidationError, match="route is"):
+            validate_road_dict(bad)
+
+    @pytest.mark.parametrize("v_max", [NAN, 0.0, -5.0, SPEED_CEILING_MS + 1.0])
+    def test_zone_speed_limits_fuzzed(self, road_dict, v_max):
+        bad = _clone(road_dict)
+        bad["zones"][0]["v_max_ms"] = v_max
+        with pytest.raises(InputValidationError):
+            validate_road_dict(bad)
+
+    def test_negative_zone_length_rejected(self, road_dict):
+        bad = _clone(road_dict)
+        bad["zones"][0]["end_m"] = bad["zones"][0]["start_m"] - 1.0
+        with pytest.raises(InputValidationError, match="must exceed start"):
+            validate_road_dict(bad)
+
+    def test_v_min_above_v_max_clamped_in_repair_mode(self, road_dict):
+        bad = _clone(road_dict)
+        v_max = bad["zones"][0]["v_max_ms"]
+        bad["zones"][0]["v_min_ms"] = v_max + 3.0
+        with pytest.raises(InputValidationError):
+            validate_road_dict(bad)
+        repaired, report = validate_road_dict(bad, repair=True)
+        assert repaired["zones"][0]["v_min_ms"] == v_max
+        assert len(report) == 1 and report.repairs[0].action == "clamped"
+        assert "v_min_ms" in report.summary()
+
+    def test_off_route_stop_sign_dropped_in_repair_mode(self, road_dict):
+        bad = _clone(road_dict)
+        bad["stop_signs"].append(bad["length_m"] + 100.0)
+        with pytest.raises(InputValidationError):
+            validate_road_dict(bad)
+        repaired, report = validate_road_dict(bad, repair=True)
+        assert repaired["stop_signs"] == road_dict["stop_signs"]
+        assert report.repairs[0].action == "dropped"
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d["signals"][0].__setitem__("position_m", -10.0),
+        lambda d: d["signals"][0].__setitem__("position_m", NAN),
+        lambda d: d["signals"][0].__setitem__("red_s", 0.0),
+        lambda d: d["signals"][0].__setitem__("green_s", -20.0),
+        lambda d: d["signals"][0].__setitem__("turn_ratio", 0.0),
+        lambda d: d["signals"][0].__setitem__("turn_ratio", 1.7),
+        lambda d: d["signals"][0].__setitem__("queue_spacing_m", 0.0),
+        lambda d: d["signals"][0].pop("red_s"),
+    ])
+    def test_signal_fields_fuzzed(self, road_dict, mutate):
+        bad = _clone(road_dict)
+        mutate(bad)
+        with pytest.raises(InputValidationError):
+            validate_road_dict(bad)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda g: g["positions_m"].__setitem__(0, NAN),
+        lambda g: g["grades_rad"].__setitem__(0, 1.2),
+        lambda g: g["grades_rad"].pop(),
+    ])
+    def test_grade_fuzzed(self, road_dict, mutate):
+        bad = _clone(road_dict)
+        mutate(bad["grade"])
+        with pytest.raises(InputValidationError):
+            validate_road_dict(bad)
+
+    def test_shuffled_grade_positions_rejected(self, road_dict):
+        bad = _clone(road_dict)
+        bad["grade"] = {"positions_m": [100.0, 0.0], "grades_rad": [0.0, 0.01]}
+        with pytest.raises(InputValidationError, match="strictly increasing"):
+            validate_road_dict(bad)
+
+
+class TestTraceContract:
+    ROWS = [(float(i), 10.0 * i, 10.0) for i in range(6)]
+
+    def test_valid_rows_survive(self):
+        rows, report = validate_trace_rows(self.ROWS)
+        assert rows == self.ROWS
+        assert not report
+
+    @pytest.mark.parametrize("value", [NAN, INF, -INF])
+    def test_nonfinite_cells_rejected_then_dropped(self, value):
+        rows = list(self.ROWS)
+        rows[2] = (2.0, 20.0, value)
+        with pytest.raises(InputValidationError) as err:
+            validate_trace_rows(rows, source="t.csv")
+        assert err.value.row == 2 and err.value.source == "t.csv"
+        kept, report = validate_trace_rows(rows, repair=True)
+        assert len(kept) == 5 and len(report) == 1
+
+    def test_small_negative_speed_clamped_large_rejected(self):
+        rows = list(self.ROWS)
+        rows[1] = (1.0, 10.0, -0.2)
+        kept, report = validate_trace_rows(rows, repair=True)
+        assert kept[1][2] == 0.0 and report.repairs[0].action == "clamped"
+        rows[1] = (1.0, 10.0, -30.0)
+        with pytest.raises(InputValidationError):
+            validate_trace_rows(rows, repair=True)
+
+    def test_speed_above_ceiling_never_repaired(self):
+        rows = list(self.ROWS)
+        rows[3] = (3.0, 30.0, SPEED_CEILING_MS + 50.0)
+        with pytest.raises(InputValidationError, match="unit error"):
+            validate_trace_rows(rows, repair=True)
+
+    def test_shuffled_timestamps_rejected_then_dropped(self):
+        rows = list(self.ROWS)
+        rows[2], rows[3] = rows[3], rows[2]
+        with pytest.raises(InputValidationError, match="strictly increasing"):
+            validate_trace_rows(rows)
+        kept, report = validate_trace_rows(rows, repair=True)
+        assert [r[0] for r in kept] == sorted(r[0] for r in kept)
+        assert len(report) == 1
+
+    def test_backwards_position_rejected_then_dropped(self):
+        rows = list(self.ROWS)
+        rows[4] = (4.0, 5.0, 10.0)
+        with pytest.raises(InputValidationError, match="non-decreasing"):
+            validate_trace_rows(rows)
+        kept, _ = validate_trace_rows(rows, repair=True)
+        assert len(kept) == 5
+
+    def test_too_few_survivors_rejected_even_in_repair_mode(self):
+        rows = [(0.0, 0.0, NAN), (1.0, 10.0, NAN), (2.0, 20.0, 5.0)]
+        with pytest.raises(InputValidationError, match="at least two"):
+            validate_trace_rows(rows, repair=True)
+
+
+class TestVolumeContract:
+    ROWS = [(h, 100.0 + h) for h in range(5)]
+
+    def test_valid_rows_survive(self):
+        rows, report = validate_volume_rows(self.ROWS)
+        assert rows == self.ROWS
+        assert not report
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(InputValidationError, match="empty"):
+            validate_volume_rows([])
+
+    def test_hour_gap_never_repaired(self):
+        rows = [(0, 100.0), (1, 110.0), (5, 120.0)]
+        for repair in (False, True):
+            with pytest.raises(InputValidationError, match="consecutive"):
+                validate_volume_rows(rows, repair=repair)
+
+    def test_shuffled_hours_never_repaired(self):
+        rows = [(1, 100.0), (0, 110.0), (2, 120.0)]
+        with pytest.raises(InputValidationError):
+            validate_volume_rows(rows, repair=True)
+
+    def test_fractional_hour_rejected(self):
+        with pytest.raises(InputValidationError, match="integer"):
+            validate_volume_rows([(0.5, 100.0), (1.5, 110.0)])
+
+    def test_negative_volume_clamped(self):
+        rows = [(0, 100.0), (1, -20.0), (2, 120.0)]
+        with pytest.raises(InputValidationError):
+            validate_volume_rows(rows)
+        kept, report = validate_volume_rows(rows, repair=True)
+        assert kept[1] == (1, 0.0) and len(report) == 1
+
+    def test_nan_volume_carries_previous_hour_forward(self):
+        rows = [(0, 100.0), (1, NAN), (2, 120.0)]
+        kept, report = validate_volume_rows(rows, repair=True)
+        assert kept[1] == (1, 100.0)
+        assert "previous hour" in report.repairs[0].detail
+
+    def test_leading_nan_volume_unrepairable(self):
+        rows = [(0, NAN), (1, 100.0)]
+        with pytest.raises(InputValidationError):
+            validate_volume_rows(rows, repair=True)
+
+
+class TestPlanRequestContract:
+    @pytest.mark.parametrize("kwargs", [
+        {"depart_s": NAN},
+        {"depart_s": INF},
+        {"speed_ms": NAN},
+        {"position_m": NAN},
+        {"max_trip_time_s": NAN},
+        {"speed_ms": SPEED_CEILING_MS + 1.0},
+    ])
+    def test_nonfinite_fields_rejected_at_construction(self, kwargs):
+        with pytest.raises(InputValidationError):
+            PlanRequest(**{"vehicle_id": "ev", "depart_s": 0.0, **kwargs})
+
+    def test_off_route_position_needs_route_length(self):
+        req = PlanRequest(vehicle_id="ev", depart_s=0.0, position_m=9000.0, speed_ms=1.0)
+        validate_plan_request(req)  # length unknown: passes
+        with pytest.raises(InputValidationError, match="past the route end"):
+            validate_plan_request(req, route_length_m=4180.0)
+
+    def test_valid_request_still_constructs(self):
+        req = PlanRequest(vehicle_id="ev", depart_s=10.0, max_trip_time_s=300.0)
+        assert req.depart_s == 10.0
+
+    def test_error_message_carries_field_path(self):
+        with pytest.raises(InputValidationError) as err:
+            PlanRequest(vehicle_id="ev", depart_s=NAN)
+        assert err.value.field == "depart_s"
+        assert "depart_s" in str(err.value)
+
+
+class TestErrorStructure:
+    def test_row_and_field_render_in_message(self):
+        with pytest.raises(InputValidationError) as err:
+            validate_trace_rows([(0.0, 0.0, 1.0), (1.0, 1.0, -9.0)], source="x.csv")
+        msg = str(err.value)
+        assert "x.csv" in msg and "row 1" in msg and "speed_ms" in msg
+        assert err.value.reason.startswith("speed must be")
+
+    def test_obs_counters_increment(self):
+        from repro import obs
+
+        registry = obs.get_registry()
+        registry.enabled = True
+        registry.reset()
+        try:
+            with pytest.raises(InputValidationError):
+                validate_volume_rows([(0, -1.0)])
+            validate_volume_rows([(0, -1.0)], repair=True)
+            assert registry.counter_value("guard.input_errors") == 1
+            assert registry.counter_value("guard.input_repairs") == 1
+        finally:
+            registry.enabled = False
+            registry.reset()

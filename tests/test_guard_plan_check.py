@@ -1,0 +1,236 @@
+"""Plan audits: PlanValidator verdicts and the repair pass."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.planner import QueueAwareDpPlanner
+from repro.core.profile import VelocityProfile
+from repro.errors import PlanRejectedError
+from repro.guard.plan_check import (
+    CODE_ACCEL,
+    CODE_ARRIVAL_WINDOW,
+    CODE_DECEL,
+    CODE_NONFINITE,
+    CODE_ORDER,
+    CODE_SPEED_LIMIT,
+    PlanValidator,
+    PlanVerdict,
+)
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+@pytest.fixture(scope="module")
+def validator(us25):
+    return PlanValidator(us25)
+
+
+@pytest.fixture(scope="module")
+def solution(us25, coarse_config):
+    planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+    return planner.plan(0.0, max_trip_time_s=320.0)
+
+
+def _steady(us25, speed=15.0, n=9):
+    positions = np.linspace(0.0, us25.length_m, n)
+    speeds = np.full(n, speed)
+    speeds[0] = speeds[-1] = 5.0  # gentle ends, no zero-average segments
+    return VelocityProfile(positions, speeds, start_time_s=0.0)
+
+
+class TestVerdicts:
+    def test_dp_solution_passes_its_own_constraints(
+        self, validator, solution, us25, coarse_config
+    ):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        verdict = validator.check_profile(
+            solution.profile, planner.signal_constraints(0.0)
+        )
+        assert verdict.ok
+        assert verdict.summary() == "plan valid: all safety invariants hold"
+
+    def test_nan_speed_is_fatal(self, validator, solution):
+        spd = solution.profile.speeds_ms.copy()
+        spd[len(spd) // 2] = np.nan
+        profile = VelocityProfile(
+            solution.profile.positions_m, spd, dwell_s=solution.profile.dwell_s
+        )
+        verdict = validator.check_profile(profile)
+        assert not verdict.ok and not verdict.repairable
+        assert verdict.codes == (CODE_NONFINITE,)
+
+    def test_nan_position_reported_before_kinematics(self, validator, us25):
+        profile = _steady(us25)
+        pos = profile.positions_m.copy()
+        pos[3] = np.nan  # VelocityProfile's own check passes NaN silently
+        broken = object.__new__(VelocityProfile)
+        broken.positions_m = pos
+        broken.speeds_ms = profile.speeds_ms
+        broken.dwell_s = profile.dwell_s
+        broken.start_time_s = 0.0
+        verdict = validator.check_profile(broken)
+        assert CODE_NONFINITE in verdict.codes
+        assert CODE_SPEED_LIMIT not in verdict.codes
+
+    def test_non_monotone_positions_fatal(self, validator, us25):
+        profile = _steady(us25)
+        broken = object.__new__(VelocityProfile)
+        broken.positions_m = profile.positions_m.copy()
+        broken.positions_m[4] = broken.positions_m[2]
+        broken.speeds_ms = profile.speeds_ms
+        broken.dwell_s = profile.dwell_s
+        broken.start_time_s = 0.0
+        verdict = validator.check_profile(broken)
+        assert verdict.codes == (CODE_ORDER,)
+
+    def test_small_overspeed_repairable_large_fatal(self, validator, us25, solution):
+        base = solution.profile
+        for delta, expect_repairable in ((1.5, True), (20.0, False)):
+            spd = base.speeds_ms.copy()
+            i = len(spd) // 2
+            spd[i] = us25.v_max_at(float(base.positions_m[i])) + delta
+            profile = VelocityProfile(base.positions_m, spd, dwell_s=base.dwell_s)
+            verdict = validator.check_profile(profile)
+            assert not verdict.ok
+            assert CODE_SPEED_LIMIT in verdict.codes
+            speeding = [v for v in verdict.violations if v.code == CODE_SPEED_LIMIT]
+            assert all(v.repairable is expect_repairable for v in speeding)
+
+    def test_accel_spike_flagged(self, validator, us25):
+        profile = _steady(us25, speed=10.0)
+        spd = profile.speeds_ms.copy()
+        ds = float(np.diff(profile.positions_m)[3])
+        spd[4] = np.sqrt(spd[3] ** 2 + 2.0 * 8.0 * ds)  # 8 m/s^2 demand
+        spiked = VelocityProfile(profile.positions_m, spd)
+        verdict = validator.check_profile(spiked, constraints=[])
+        assert CODE_ACCEL in verdict.codes
+
+    def test_hard_brake_flagged_as_decel(self, validator, us25):
+        profile = _steady(us25, speed=14.0, n=85)  # ~50 m segments
+        spd = profile.speeds_ms.copy()
+        spd[40] = 1.0  # from 14 m/s over one 50 m segment: ~-2 m/s^2
+        braking = VelocityProfile(profile.positions_m, spd)
+        verdict = validator.check_profile(braking, constraints=[])
+        assert CODE_DECEL in verdict.codes
+
+    def test_arrival_outside_green_flagged(self, validator, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        good = planner.plan(0.0, max_trip_time_s=320.0).profile
+        slowed = VelocityProfile(
+            good.positions_m,
+            good.speeds_ms * 0.75,
+            dwell_s=good.dwell_s,
+            start_time_s=good.start_time_s,
+        )
+        verdict = validator.check_profile(slowed, planner.signal_constraints(0.0))
+        assert not verdict.ok
+        assert CODE_ARRIVAL_WINDOW in verdict.codes
+        miss = [v for v in verdict.violations if v.code == CODE_ARRIVAL_WINDOW][0]
+        assert not miss.repairable
+        assert miss.position_m in {s.position_m for s in us25.signals}
+
+    def test_plan_dwelling_at_signal_exempt_from_window_check(self, validator, us25):
+        sig = us25.signals[0].position_m
+        positions = np.asarray([0.0, sig, us25.length_m])
+        speeds = np.asarray([5.0, 0.0, 5.0])
+        dwell = np.asarray([0.0, 30.0, 0.0])
+        profile = VelocityProfile(positions, speeds, dwell_s=dwell)
+        verdict = validator.check_profile(profile)
+        assert CODE_ARRIVAL_WINDOW not in verdict.codes
+
+    def test_check_solution_rejects_nonfinite_metrics(self, validator, solution):
+        broken = dataclasses.replace(solution, energy_j=float("nan"))
+        verdict = validator.check_solution(
+            broken, constraints=[]
+        )
+        assert not verdict.ok
+        assert any("energy_j" in v.detail for v in verdict.violations)
+
+    def test_verdict_repairable_needs_all_repairable(self):
+        from repro.guard.plan_check import Violation
+
+        fixable = Violation("speed_limit", 0.0, 1.0, 0.0, repairable=True)
+        fatal = Violation("nonfinite", 0.0, 1.0, 0.0, repairable=False)
+        assert PlanVerdict(ok=False, violations=(fixable,)).repairable
+        assert not PlanVerdict(ok=False, violations=(fixable, fatal)).repairable
+        assert not PlanVerdict(ok=True).repairable
+
+
+class TestRepair:
+    def test_valid_plan_returned_as_same_object(self, validator, solution, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        repaired, report = validator.repair_plan(
+            solution.profile, planner.signal_constraints(0.0)
+        )
+        assert repaired is solution.profile
+        assert not report
+
+    def test_small_overspeed_clamped_back_to_limit(self, validator, us25, solution):
+        base = solution.profile
+        spd = base.speeds_ms.copy()
+        i = len(spd) // 2
+        limit = us25.v_max_at(float(base.positions_m[i]))
+        spd[i] = limit + 2.0
+        profile = VelocityProfile(
+            base.positions_m, spd, dwell_s=base.dwell_s, start_time_s=base.start_time_s
+        )
+        repaired, report = validator.repair_plan(profile, constraints=[])
+        assert report
+        assert repaired.speeds_ms[i] <= limit + 1e-9
+        assert validator.check_profile(repaired, constraints=[]).ok
+
+    def test_repair_respects_envelope_not_just_limits(self, validator, us25):
+        profile = _steady(us25, speed=12.0)
+        spd = profile.speeds_ms.copy()
+        i = 4
+        limit = us25.v_max_at(float(profile.positions_m[i]))
+        spd[i] = limit + 2.5
+        bumped = VelocityProfile(profile.positions_m, spd)
+        repaired, _ = validator.repair_plan(bumped, constraints=[])
+        accels = repaired.accelerations()
+        assert np.all(accels <= validator.vehicle.max_accel_ms2 + validator.accel_tol_ms2)
+        assert np.all(accels >= validator.vehicle.min_accel_ms2 - validator.accel_tol_ms2)
+
+    def test_fatal_plan_refused(self, validator, solution):
+        spd = solution.profile.speeds_ms.copy()
+        spd[len(spd) // 2] = np.nan
+        profile = VelocityProfile(
+            solution.profile.positions_m, spd, dwell_s=solution.profile.dwell_s
+        )
+        with pytest.raises(PlanRejectedError) as err:
+            validator.repair_plan(profile)
+        assert err.value.violations
+        assert err.value.violations[0].code == CODE_NONFINITE
+
+    def test_repair_that_breaks_windows_is_refused(self, validator, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        good = planner.plan(0.0, max_trip_time_s=320.0).profile
+        spd = good.speeds_ms.copy()
+        fast = spd > 2.0
+        spd[fast] = np.minimum(
+            spd[fast] + 2.0,
+            [us25.v_max_at(float(s)) + 2.0 for s in good.positions_m[fast]],
+        )
+        hurried = VelocityProfile(
+            good.positions_m, spd, dwell_s=good.dwell_s, start_time_s=good.start_time_s
+        )
+        verdict = validator.check_profile(hurried, planner.signal_constraints(0.0))
+        if verdict.repairable:
+            # Clamping back to limits slows the plan; if the re-audit finds
+            # arrivals pushed out of their windows the repair must refuse.
+            try:
+                repaired, _ = validator.repair_plan(
+                    hurried, planner.signal_constraints(0.0)
+                )
+            except PlanRejectedError:
+                pass
+            else:
+                assert validator.check_profile(
+                    repaired, planner.signal_constraints(0.0)
+                ).ok
+        else:
+            with pytest.raises(PlanRejectedError):
+                validator.repair_plan(hurried, planner.signal_constraints(0.0))

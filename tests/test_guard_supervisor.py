@@ -1,0 +1,367 @@
+"""Safety supervisor: transparency, ladder fall-through, safe stop."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.messages import PlanResponse
+from repro.cloud.service import CloudPlannerService
+from repro.core.planner import QueueAwareDpPlanner
+from repro.core.profile import VelocityProfile
+from repro.errors import ConfigurationError, PlanRejectedError, PlanningFailedError
+from repro.guard.plan_check import PlanValidator
+from repro.guard.supervisor import TIER_SAFE_STOP, GuardStats, SafetySupervisor
+from repro.resilience.client import ResilientPlanClient
+from repro.resilience.faults import DegeneratePlanner, PlanFaultModel
+from repro.resilience.ladder import (
+    TIER_BASELINE_DP,
+    TIER_QUEUE_DP,
+    TIERS,
+    DegradationLadder,
+)
+from repro.sim.closed_loop import ClosedLoopDriver
+from repro.sim.scenario import Us25Scenario
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+class _NanLimitRoad:
+    """A road whose posted limit reads back as NaN (corrupt data)."""
+
+    def __init__(self, road):
+        self._road = road
+
+    def __getattr__(self, name):
+        return getattr(self._road, name)
+
+    def v_max_at(self, position_m):
+        return float("nan")
+
+
+@pytest.fixture(scope="module")
+def validator(us25):
+    return PlanValidator(us25)
+
+
+def _corrupt_response(planner, mode, depart=0.0, cap=320.0, seed=3):
+    fault = PlanFaultModel(rate=1.0, modes=(mode,), seed=seed)
+    degenerate = DegeneratePlanner(planner, fault)
+    solution = degenerate.plan(depart, max_trip_time_s=cap)
+    return PlanResponse(
+        vehicle_id="ev",
+        profile=solution.profile,
+        energy_mah=solution.energy_mah,
+        trip_time_s=solution.trip_time_s,
+        cache_hit=False,
+        compute_time_s=0.0,
+    )
+
+
+class TestGuardStats:
+    def test_snapshot_is_independent(self):
+        stats = GuardStats(plans_checked=3, violation_counts={"accel": 2})
+        snap = stats.snapshot()
+        stats.plans_checked = 5
+        stats.violation_counts["accel"] = 9
+        assert snap.plans_checked == 3
+        assert snap.violation_counts == {"accel": 2}
+
+    def test_since_diffs_all_counters(self):
+        early = GuardStats(plans_checked=2, plans_passed=1, violation_counts={"a": 1})
+        late = GuardStats(
+            plans_checked=7,
+            plans_passed=4,
+            plans_rejected=2,
+            violation_counts={"a": 3, "b": 1},
+        )
+        diff = late.since(early)
+        assert diff.plans_checked == 5
+        assert diff.plans_passed == 3
+        assert diff.plans_rejected == 2
+        assert diff.violation_counts == {"a": 2, "b": 1}
+
+    def test_validation(self, validator):
+        with pytest.raises(ValueError):
+            SafetySupervisor(validator, safe_stop_decel_ms2=0.0)
+        with pytest.raises(ValueError):
+            SafetySupervisor(validator, divergence_threshold_s=-1.0)
+
+
+class TestScreening:
+    def test_valid_profile_passes_through_as_same_object(
+        self, validator, us25, coarse_config
+    ):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        profile = planner.plan(0.0, max_trip_time_s=320.0).profile
+        supervisor = SafetySupervisor(validator)
+        screened, verdict, repaired = supervisor.screen_profile(
+            profile, planner.signal_constraints(0.0)
+        )
+        assert screened is profile
+        assert verdict.ok and not repaired
+        assert supervisor.stats.plans_passed == 1
+
+    def test_degenerate_profile_rejected_with_violations(
+        self, validator, us25, coarse_config
+    ):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        response = _corrupt_response(planner, "nan_speed")
+        supervisor = SafetySupervisor(validator)
+        with pytest.raises(PlanRejectedError) as err:
+            supervisor.screen_profile(response.profile, tier="queue_dp")
+        assert err.value.tier == "queue_dp"
+        assert err.value.violations
+        assert supervisor.stats.plans_rejected == 1
+        assert "nonfinite" in supervisor.stats.violation_counts
+
+    def test_repairable_profile_served_after_clamping(self, validator, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        base = planner.plan(0.0, max_trip_time_s=320.0).profile
+        spd = base.speeds_ms.copy()
+        i = len(spd) // 2
+        spd[i] = us25.v_max_at(float(base.positions_m[i])) + 1.0
+        bumped = VelocityProfile(
+            base.positions_m, spd, dwell_s=base.dwell_s, start_time_s=base.start_time_s
+        )
+        supervisor = SafetySupervisor(validator)
+        screened, verdict, repaired = supervisor.screen_profile(bumped, constraints=[])
+        assert repaired and not verdict.ok
+        assert screened is not bumped
+        assert supervisor.stats.plans_repaired == 1
+        assert validator.check_profile(screened, constraints=[]).ok
+
+    def test_repair_disabled_rejects_repairable_plans(self, validator, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        base = planner.plan(0.0, max_trip_time_s=320.0).profile
+        spd = base.speeds_ms.copy()
+        i = len(spd) // 2
+        spd[i] = us25.v_max_at(float(base.positions_m[i])) + 1.0
+        bumped = VelocityProfile(
+            base.positions_m, spd, dwell_s=base.dwell_s, start_time_s=base.start_time_s
+        )
+        supervisor = SafetySupervisor(validator, repair=False)
+        with pytest.raises(PlanRejectedError):
+            supervisor.screen_profile(bumped, constraints=[])
+
+    def test_screen_command_rejects_nonfinite_and_overspeed(self, validator, us25):
+        supervisor = SafetySupervisor(validator)
+        with pytest.raises(PlanRejectedError):
+            supervisor.screen_command(lambda s: float("nan"), tier="speed_limit")
+        with pytest.raises(PlanRejectedError):
+            supervisor.screen_command(lambda s: 80.0, tier="speed_limit")
+        assert supervisor.stats.plans_rejected == 2
+        assert supervisor.stats.violation_counts["command"] == 2
+        # A limit-tracking command on a healthy road passes.
+        supervisor.screen_command(lambda s: us25.v_max_at(min(s, us25.length_m)))
+        assert supervisor.stats.plans_passed == 1
+
+    def test_screen_command_rejects_corrupt_road(self, us25):
+        supervisor = SafetySupervisor(PlanValidator(_NanLimitRoad(us25)))
+        with pytest.raises(PlanRejectedError):
+            supervisor.screen_command(lambda s: 10.0, tier="speed_limit")
+        assert supervisor.stats.plans_rejected == 1
+
+    def test_safe_stop_command_ramps_to_zero(self, validator):
+        supervisor = SafetySupervisor(validator, safe_stop_decel_ms2=1.0)
+        command = supervisor.safe_stop_command(position_m=100.0, speed_ms=10.0)
+        assert command(100.0) == pytest.approx(10.0)
+        assert command(50.0) == pytest.approx(10.0)  # behind: hold speed
+        assert 0.0 < command(120.0) < 10.0
+        assert command(150.0) == 0.0  # v^2/(2d) = 50 m stopping distance
+        assert command(1000.0) == 0.0
+        assert supervisor.stats.safe_stops == 1
+
+
+class TestDivergence:
+    def test_zero_outside_span_and_threshold_gating(self, validator, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        profile = planner.plan(0.0, max_trip_time_s=320.0).profile
+        supervisor = SafetySupervisor(validator, divergence_threshold_s=10.0)
+        assert supervisor.divergence_s(profile, -5.0, 0.0) == 0.0
+        mid = float(profile.positions_m[len(profile.positions_m) // 2])
+        on_time = profile.arrival_time_at(mid)
+        assert supervisor.divergence_s(profile, mid, on_time) == pytest.approx(0.0)
+        assert supervisor.divergence_s(profile, mid, on_time + 30.0) == pytest.approx(30.0)
+        assert not supervisor.should_replan(profile, mid, on_time + 5.0)
+        assert supervisor.should_replan(profile, mid, on_time + 30.0)
+        assert supervisor.stats.early_replans == 1
+
+    def test_disabled_by_default(self, validator, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        profile = planner.plan(0.0, max_trip_time_s=320.0).profile
+        supervisor = SafetySupervisor(validator)
+        assert not supervisor.should_replan(profile, 100.0, 1e6)
+        assert not supervisor.should_replan(None, 100.0, 1e6)
+
+
+class TestLadderIntegration:
+    def _ladder(self, us25, coarse_config, planner, supervisor, rate=1.0, modes=None, seed=3):
+        fault = PlanFaultModel(
+            rate=rate, modes=modes or ("nan_speed",), seed=seed
+        )
+        degenerate = DegeneratePlanner(planner, fault)
+        service = CloudPlannerService(degenerate)
+        client = ResilientPlanClient(service)
+        return DegradationLadder(
+            client,
+            us25,
+            arrival_rates=RATE,
+            config=coarse_config,
+            supervisor=supervisor,
+        )
+
+    def test_rejected_cloud_plan_falls_to_baseline(self, validator, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        supervisor = SafetySupervisor(validator)
+        ladder = self._ladder(us25, coarse_config, planner, supervisor)
+        plan = ladder.plan(0.0, max_trip_time_s=320.0)
+        assert plan.tier == TIER_BASELINE_DP
+        assert supervisor.stats.plans_rejected >= 1
+        # The plan that actually serves passed its own audit.
+        assert validator.check_profile(plan.profile).ok
+
+    def test_unsupervised_ladder_would_serve_the_corrupt_plan(
+        self, us25, coarse_config
+    ):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        ladder = self._ladder(us25, coarse_config, planner, supervisor=None)
+        plan = ladder.plan(0.0, max_trip_time_s=320.0)
+        assert plan.tier == TIER_QUEUE_DP
+        assert np.isnan(plan.profile.speeds_ms).any()
+
+    def test_safe_stop_is_last_tier_constant(self):
+        assert TIERS[-1] == TIER_SAFE_STOP
+
+    def test_safe_stop_when_every_tier_fails(self, monkeypatch, us25, coarse_config):
+        bad_road = _NanLimitRoad(us25)
+        supervisor = SafetySupervisor(PlanValidator(bad_road))
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        ladder = self._ladder(us25, coarse_config, planner, supervisor)
+        ladder.road = bad_road
+
+        def broken_tier():
+            raise ConfigurationError("tier unavailable")
+
+        monkeypatch.setattr(ladder, "_baseline_planner", broken_tier)
+        monkeypatch.setattr(ladder, "_glosa_advisor", broken_tier)
+        plan = ladder.plan(0.0, max_trip_time_s=320.0)
+        assert plan.tier == TIER_SAFE_STOP
+        assert plan.profile is None
+        assert plan.command(0.0) == 0.0  # engaged at standstill: stay put
+        assert supervisor.stats.safe_stops == 1
+
+
+class TestClosedLoopSupervised:
+    def _drive(self, us25, coarse_config, supervisor, seed=13):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        scenario = Us25Scenario(
+            road=us25, arrival_rate_vph=300.0, warmup_s=300.0, seed=seed
+        )
+        driver = ClosedLoopDriver(
+            scenario, planner, replan_interval_s=20.0, supervisor=supervisor
+        )
+        return driver.run(depart_s=300.0, max_trip_time_s=320.0)
+
+    def test_bit_identical_with_and_without_supervisor(self, validator, us25, coarse_config):
+        plain = self._drive(us25, coarse_config, supervisor=None)
+        guarded = self._drive(us25, coarse_config, SafetySupervisor(validator))
+        a, b = plain.ev_trace, guarded.ev_trace
+        assert np.array_equal(a.times_s, b.times_s)
+        assert np.array_equal(a.positions_m, b.positions_m)
+        assert np.array_equal(a.speeds_ms, b.speeds_ms)
+
+    def test_guard_stats_scoped_to_the_drive(self, validator, us25, coarse_config):
+        supervisor = SafetySupervisor(validator)
+        first = self._drive(us25, coarse_config, supervisor)
+        second = self._drive(us25, coarse_config, supervisor)
+        assert first.guard is not None and second.guard is not None
+        assert first.guard.plans_checked >= 1
+        assert second.guard.plans_checked >= 1
+        # Cumulative supervisor totals cover both drives; each result only its own.
+        assert supervisor.stats.plans_checked == (
+            first.guard.plans_checked + second.guard.plans_checked
+        )
+        assert first.guard.plans_rejected == 0
+        assert first.plans_repaired == 0 and first.safe_stops == 0
+
+    def test_unsupervised_result_reports_no_guard(self, us25, coarse_config):
+        outcome = self._drive(us25, coarse_config, supervisor=None)
+        assert outcome.guard is None
+        assert outcome.plans_repaired == 0
+        assert outcome.plans_rejected == 0
+        assert outcome.early_replans == 0
+        assert outcome.safe_stops == 0
+
+    def test_degenerate_plans_never_reach_vehicle_commands(
+        self, validator, us25, coarse_config
+    ):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        fault = PlanFaultModel(rate=1.0, seed=11)
+        degenerate = DegeneratePlanner(planner, fault)
+        service = CloudPlannerService(degenerate)
+        client = ResilientPlanClient(service)
+        supervisor = SafetySupervisor(validator)
+        ladder = DegradationLadder(
+            client, us25, arrival_rates=RATE, config=coarse_config, supervisor=supervisor
+        )
+        scenario = Us25Scenario(
+            road=us25, arrival_rate_vph=300.0, warmup_s=300.0, seed=13
+        )
+        driver = ClosedLoopDriver(scenario, ladder=ladder, replan_interval_s=20.0)
+        outcome = driver.run(depart_s=300.0, max_trip_time_s=320.0)
+        assert outcome.ev_trace is not None
+        assert outcome.ev_trace.positions_m[-1] >= us25.length_m - 1.0
+        assert degenerate.corrupted > 0
+        guard = outcome.guard
+        assert guard.plans_rejected + guard.plans_repaired > 0
+        # Nothing the vehicle executed was corrupt: every commanded speed
+        # stayed finite and under the local limit.
+        trace = outcome.ev_trace
+        assert np.all(np.isfinite(trace.speeds_ms))
+        limits = np.asarray([us25.v_max_at(min(s, us25.length_m)) for s in trace.positions_m])
+        assert np.all(trace.speeds_ms <= limits + 0.5)
+        # Rejections pushed replans off the primary tier.
+        assert outcome.tier_counts.get(TIER_QUEUE_DP, 0) < outcome.replans_applied
+
+    def test_supervisor_conflict_detected(self, validator, us25, coarse_config):
+        supervisor_a = SafetySupervisor(validator)
+        supervisor_b = SafetySupervisor(validator)
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        service = CloudPlannerService(planner)
+        ladder = DegradationLadder(
+            ResilientPlanClient(service),
+            us25,
+            arrival_rates=RATE,
+            config=coarse_config,
+            supervisor=supervisor_a,
+        )
+        scenario = Us25Scenario(road=us25, arrival_rate_vph=300.0, warmup_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopDriver(scenario, ladder=ladder, supervisor=supervisor_b)
+        driver = ClosedLoopDriver(scenario, ladder=ladder)
+        assert driver.supervisor is supervisor_a
+
+
+class TestServiceScreening:
+    def test_service_validator_rejects_before_caching(self, validator, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        degenerate = DegeneratePlanner(planner, PlanFaultModel(rate=1.0, seed=11))
+        service = CloudPlannerService(degenerate, validator=validator)
+        from repro.cloud.messages import PlanRequest
+
+        with pytest.raises(PlanningFailedError):
+            service.request(PlanRequest(vehicle_id="ev", depart_s=0.0, max_trip_time_s=320.0))
+        stats = service.stats
+        assert stats.errors == 1
+        assert stats.requests == stats.cache_hits + stats.cache_misses + stats.errors
+
+    def test_service_validator_transparent_for_valid_plans(self, validator, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        service = CloudPlannerService(planner, validator=validator)
+        from repro.cloud.messages import PlanRequest
+
+        response = service.request(
+            PlanRequest(vehicle_id="ev", depart_s=0.0, max_trip_time_s=320.0)
+        )
+        assert response.profile is not None
+        assert service.stats.errors == 0

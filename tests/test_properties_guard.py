@@ -1,0 +1,177 @@
+"""Property-based fuzzing of the input contracts (hypothesis).
+
+The contracts promise two invariants worth fuzzing rather than
+enumerating:
+
+1. **Strict mode never accepts junk** — any non-finite or out-of-range
+   value in a fuzzed input either round-trips unchanged (it was valid)
+   or raises a typed :class:`~repro.errors.InputValidationError`;
+   nothing else escapes (no bare ``ValueError`` from a ``float()`` call,
+   no silent acceptance).
+2. **Repair output is contract-clean** — whatever repair mode returns
+   must itself pass strict validation unchanged.  Repair may refuse, but
+   it may never emit a half-fixed input.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.messages import PlanRequest
+from repro.errors import InputValidationError
+from repro.guard.contracts import (
+    SPEED_CEILING_MS,
+    validate_plan_request,
+    validate_road_dict,
+    validate_trace_rows,
+    validate_volume_rows,
+)
+from repro.route.io import road_to_dict
+from repro.route.us25 import us25_greenville_segment
+
+any_float = st.floats(allow_nan=True, allow_infinity=True, width=32)
+sane_speed = st.floats(min_value=0.0, max_value=30.0)
+
+
+def _fresh_road_dict():
+    return road_to_dict(us25_greenville_segment())
+
+
+ROAD_SCALAR_FIELDS = ("length_m",)
+ZONE_FIELDS = ("start_m", "end_m", "v_max_ms", "v_min_ms")
+SIGNAL_FIELDS = ("position_m", "red_s", "green_s", "offset_s", "turn_ratio")
+
+
+class TestRoadDictFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        value=any_float,
+        field=st.sampled_from(ROAD_SCALAR_FIELDS + ZONE_FIELDS + SIGNAL_FIELDS),
+        repair=st.booleans(),
+    )
+    def test_fuzzed_field_rejected_or_contract_clean(self, value, field, repair):
+        data = _fresh_road_dict()
+        if field in ROAD_SCALAR_FIELDS:
+            data[field] = value
+        elif field in ZONE_FIELDS:
+            data["zones"][0] = {**data["zones"][0], field: value}
+        else:
+            data["signals"][0] = {**data["signals"][0], field: value}
+        try:
+            cleaned, _report = validate_road_dict(data, repair=repair)
+        except InputValidationError:
+            return
+        # Accepted: the result must survive a strict re-validation.
+        revalidated, report = validate_road_dict(cleaned, repair=False)
+        assert not report
+
+    @settings(max_examples=30, deadline=None)
+    @given(extra=any_float, repair=st.booleans())
+    def test_fuzzed_stop_sign_rejected_dropped_or_valid(self, extra, repair):
+        data = _fresh_road_dict()
+        data["stop_signs"] = list(data["stop_signs"]) + [extra]
+        try:
+            cleaned, _ = validate_road_dict(data, repair=repair)
+        except InputValidationError:
+            return
+        for stop in cleaned["stop_signs"]:
+            assert math.isfinite(stop) and 0.0 <= stop <= cleaned["length_m"]
+
+    def test_valid_road_round_trips_in_both_modes(self):
+        data = _fresh_road_dict()
+        for repair in (False, True):
+            cleaned, report = validate_road_dict(data, repair=repair)
+            assert not report
+            assert json.dumps(cleaned, sort_keys=True) == json.dumps(
+                data, sort_keys=True
+            )
+
+
+class TestTraceRowsFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        times=st.lists(any_float, min_size=3, max_size=8),
+        speeds=st.lists(st.one_of(any_float, sane_speed), min_size=3, max_size=8),
+        repair=st.booleans(),
+    )
+    def test_fuzzed_rows_rejected_or_contract_clean(self, times, speeds, repair):
+        n = min(len(times), len(speeds))
+        rows = [(times[i], 10.0 * i, speeds[i]) for i in range(n)]
+        try:
+            cleaned, _ = validate_trace_rows(rows, repair=repair)
+        except InputValidationError:
+            return
+        revalidated, report = validate_trace_rows(cleaned, repair=False)
+        assert not report
+        for t, s, v in cleaned:
+            assert math.isfinite(t) and math.isfinite(s) and math.isfinite(v)
+            assert 0.0 <= v <= SPEED_CEILING_MS
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        order=st.permutations(list(range(5))),
+        repair=st.booleans(),
+    )
+    def test_shuffled_timestamps_rejected_or_reordered_subset(self, order, repair):
+        rows = [(float(order[i]), 10.0 * i, 5.0) for i in range(5)]
+        try:
+            cleaned, _ = validate_trace_rows(rows, repair=repair)
+        except InputValidationError:
+            return
+        times = [t for t, _, _ in cleaned]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+
+class TestVolumeRowsFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        volumes=st.lists(st.one_of(any_float, sane_speed), min_size=1, max_size=8),
+        repair=st.booleans(),
+    )
+    def test_fuzzed_volumes_rejected_or_contract_clean(self, volumes, repair):
+        rows = [(i, v) for i, v in enumerate(volumes)]
+        try:
+            cleaned, _ = validate_volume_rows(rows, repair=repair)
+        except InputValidationError:
+            return
+        revalidated, report = validate_volume_rows(cleaned, repair=False)
+        assert not report
+        for _hour, volume in cleaned:
+            assert math.isfinite(volume) and volume >= 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(gap_at=st.integers(min_value=1, max_value=4), repair=st.booleans())
+    def test_hour_gaps_never_survive(self, gap_at, repair):
+        rows = [(i if i < gap_at else i + 1, 10.0) for i in range(5)]
+        with pytest.raises(InputValidationError):
+            validate_volume_rows(rows, repair=repair)
+
+
+class TestPlanRequestFuzz:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        depart=any_float,
+        speed=st.one_of(any_float, sane_speed),
+        position=st.one_of(any_float, st.floats(min_value=0.0, max_value=5000.0)),
+    )
+    def test_fuzzed_request_rejected_or_physically_sane(self, depart, speed, position):
+        try:
+            req = PlanRequest(
+                vehicle_id="ev",
+                depart_s=depart,
+                position_m=position,
+                speed_ms=speed,
+            )
+        except Exception:
+            return  # the constructor's own checks fired first
+        try:
+            validate_plan_request(req, route_length_m=4200.0)
+        except InputValidationError:
+            return
+        assert math.isfinite(req.depart_s)
+        assert math.isfinite(req.speed_ms) and req.speed_ms <= SPEED_CEILING_MS
+        assert math.isfinite(req.position_m) and req.position_m < 4200.0

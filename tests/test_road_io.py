@@ -120,3 +120,52 @@ class TestRealWorldPlausibility:
     def test_negative_aux_rejected(self):
         with pytest.raises(ConfigurationError):
             VehicleParams(aux_power_w=-1.0)
+
+
+class TestRoadLoaderContract:
+    """Loader failures surface as typed, located InputValidationError."""
+
+    def test_missing_file_is_typed(self, tmp_path):
+        from repro.errors import InputValidationError
+        from repro.route.io import load_road_json
+
+        with pytest.raises(InputValidationError) as err:
+            load_road_json(tmp_path / "absent.json")
+        assert err.value.source is not None and "absent.json" in err.value.source
+
+    def test_broken_json_is_typed(self, tmp_path):
+        from repro.errors import InputValidationError
+        from repro.route.io import load_road_json
+
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(InputValidationError) as err:
+            load_road_json(path)
+        assert "JSON" in str(err.value)
+
+    def test_contract_violation_names_the_field(self, tmp_path):
+        from repro.errors import InputValidationError
+        from repro.route.io import load_road_json, save_road_json
+
+        path = tmp_path / "bad.json"
+        save_road_json(us25_greenville_segment(), path)
+        data = json.loads(path.read_text())
+        data["length_m"] = float("nan")
+        path.write_text(json.dumps(data))
+        with pytest.raises(InputValidationError) as err:
+            load_road_json(path)
+        assert err.value.field == "length_m"
+        assert isinstance(err.value, ConfigurationError)
+
+    def test_repair_mode_salvages_and_reports(self, tmp_path):
+        from repro.route.io import load_road_json_repaired, save_road_json
+
+        road = us25_greenville_segment()
+        path = tmp_path / "salvage.json"
+        save_road_json(road, path)
+        data = json.loads(path.read_text())
+        data["stop_signs"] = list(data["stop_signs"]) + [road.length_m + 500.0]
+        path.write_text(json.dumps(data))
+        loaded, report = load_road_json_repaired(path)
+        assert len(loaded.stop_signs) == len(road.stop_signs)
+        assert report and "stop" in report.summary()

@@ -84,3 +84,38 @@ class TestTraceIo:
         path.write_text("time_s,position_m,speed_ms\n0.0,0.0,1.0\n")
         with pytest.raises(ValueError):
             load_trace_csv(path)
+
+
+class TestTraceLoaderContract:
+    """Loader failures surface as typed, located InputValidationError."""
+
+    HEADER = "time_s,position_m,speed_ms\n"
+
+    def test_missing_file_is_typed(self, tmp_path):
+        from repro.errors import InputValidationError
+
+        with pytest.raises(InputValidationError) as err:
+            load_trace_csv(tmp_path / "absent.csv")
+        assert err.value.source is not None and "absent.csv" in err.value.source
+
+    def test_non_numeric_cell_names_the_row(self, tmp_path):
+        from repro.errors import InputValidationError
+
+        path = tmp_path / "junk.csv"
+        path.write_text(self.HEADER + "0.0,0.0,1.0\n1.0,ten,1.0\n2.0,20.0,1.0\n")
+        with pytest.raises(InputValidationError) as err:
+            load_trace_csv(path)
+        assert err.value.row == 1
+        assert isinstance(err.value, ConfigurationError)
+
+    def test_nan_row_rejected_strict_dropped_on_repair(self, tmp_path):
+        from repro.errors import InputValidationError
+        from repro.trace.io import load_trace_csv_repaired
+
+        path = tmp_path / "nan.csv"
+        path.write_text(self.HEADER + "0.0,0.0,1.0\n1.0,nan,1.0\n2.0,20.0,1.0\n")
+        with pytest.raises(InputValidationError):
+            load_trace_csv(path)
+        trace, report = load_trace_csv_repaired(path)
+        assert len(trace.times_s) == 2
+        assert report and "row 1" in report.summary()

@@ -82,3 +82,45 @@ class TestSaePersistence:
     def test_save_before_fit_rejected(self, tmp_path):
         with pytest.raises(PredictionError):
             SAEPredictor().save(tmp_path / "x.npz")
+
+
+class TestVolumeLoaderContract:
+    """Loader failures surface as typed, located InputValidationError."""
+
+    def test_missing_file_is_typed(self, tmp_path):
+        from repro.errors import InputValidationError
+
+        with pytest.raises(InputValidationError) as err:
+            load_volume_csv(tmp_path / "absent.csv")
+        assert err.value.source is not None and "absent.csv" in err.value.source
+
+    def test_non_numeric_cell_names_the_row(self, tmp_path):
+        from repro.errors import InputValidationError
+
+        path = tmp_path / "junk.csv"
+        path.write_text("hour,volume_vph\n0,10.0\n1,lots\n")
+        with pytest.raises(InputValidationError) as err:
+            load_volume_csv(path)
+        assert err.value.row == 1
+        assert isinstance(err.value, ConfigurationError)
+
+    def test_negative_volume_clamped_only_in_repair(self, tmp_path):
+        from repro.errors import InputValidationError
+        from repro.traffic.io import load_volume_csv_repaired
+
+        path = tmp_path / "neg.csv"
+        path.write_text("hour,volume_vph\n0,10.0\n1,-5.0\n2,20.0\n")
+        with pytest.raises(InputValidationError):
+            load_volume_csv(path)
+        series, report = load_volume_csv_repaired(path)
+        assert series.volumes_vph[1] == 0.0
+        assert report
+
+    def test_hour_gap_never_repaired(self, tmp_path):
+        from repro.errors import InputValidationError
+        from repro.traffic.io import load_volume_csv_repaired
+
+        path = tmp_path / "gap.csv"
+        path.write_text("hour,volume_vph\n0,10.0\n2,20.0\n")
+        with pytest.raises(InputValidationError):
+            load_volume_csv_repaired(path)
