@@ -1,0 +1,82 @@
+"""Engine-layer benches: artifact reuse vs rebuild on the replan path.
+
+The PR 4 split moves the corridor precomputation out of the solver; these
+benches measure exactly the quantity that split buys — the wall time of
+"stand up a planner and answer a replan", which is what a vehicle pays
+when its planning context is constructed per request:
+
+* cold: no store — every round rebuilds the corridor artifacts,
+* warm: a shared store — every round after the first is served the
+  prebuilt artifacts and pays only the solve.
+
+The gated pair uses a *final-approach* replan (400 m before the corridor
+end, past the last signal): the remaining-corridor solve is small, so
+the cold path's full-corridor artifact rebuild dominates and the store
+win is sharpest.  ``benchmarks/bench_pr4.py`` runs the same workload
+standalone and writes the committed ``BENCH_pr4.json`` numbers,
+including a solve-dominated mid-route replan for comparison.
+"""
+
+import numpy as np
+
+from repro.cloud.messages import PlanRequest
+from repro.cloud.service import CloudPlannerService
+from repro.core.engine import ArtifactStore
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.route.us25 import us25_greenville_segment
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+CONFIG = PlannerConfig(v_step_ms=1.0, s_step_m=25.0, t_bin_s=2.0)
+REPLAN_STATE = dict(position_m=3800.0, speed_ms=10.0, time_s=310.0)
+
+
+def _replan(road, store):
+    planner = QueueAwareDpPlanner(
+        road, arrival_rates=RATE, config=CONFIG, store=store
+    )
+    return planner.replan(**REPLAN_STATE)
+
+
+def test_bench_replan_cold(benchmark):
+    """Planner construction + final-approach replan, rebuilding artifacts."""
+    road = us25_greenville_segment()
+    solution = benchmark.pedantic(lambda: _replan(road, None), rounds=3, iterations=1)
+    assert solution.trip_time_s > 0
+
+
+def test_bench_replan_warm_store(benchmark):
+    """Planner construction + final-approach replan against a warm store."""
+    road = us25_greenville_segment()
+    store = ArtifactStore()
+    _replan(road, store)  # populate outside the timed region
+
+    solution = benchmark.pedantic(lambda: _replan(road, store), rounds=3, iterations=1)
+    assert solution.trip_time_s > 0
+    stats = store.stats()
+    assert stats.misses == 1  # only the warm-up built
+    benchmark.extra_info["store_hits"] = stats.hits
+
+
+def test_bench_fleet_8_vehicles_shared_store(benchmark):
+    """Eight plan requests through the cloud service over one store."""
+    road = us25_greenville_segment()
+    departures = np.linspace(0.0, 180.0, 8)
+
+    def serve_fleet():
+        store = ArtifactStore()
+        planner = QueueAwareDpPlanner(
+            road, arrival_rates=RATE, config=CONFIG, store=store
+        )
+        service = CloudPlannerService(planner)
+        responses = [
+            service.request(
+                PlanRequest(vehicle_id=f"ev{i}", depart_s=float(d), max_trip_time_s=290.0)
+            )
+            for i, d in enumerate(departures)
+        ]
+        return service, responses
+
+    service, responses = benchmark.pedantic(serve_fleet, rounds=3, iterations=1)
+    assert len(responses) == 8
+    benchmark.extra_info["plan_cache_hit_rate"] = service.stats.hit_rate

@@ -104,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection seed for --drop-rate",
     )
     parser.add_argument(
+        "--no-artifact-cache",
+        action="store_true",
+        help="build the corridor artifacts directly instead of through the "
+        "shared artifact store (solutions are bit-identical either way; "
+        "this only disables reuse across planner/ladder tiers)",
+    )
+    parser.add_argument(
         "--validate",
         action="store_true",
         help="audit the produced plan against the safety contract "
@@ -158,12 +165,18 @@ def main(argv: Optional[list] = None) -> int:
         v_step_ms=args.v_step, s_step_m=args.s_step, window_margin_s=args.margin
     )
     rate = vehicles_per_hour_to_per_second(args.rate)
-    if args.planner == "proposed":
-        planner = QueueAwareDpPlanner(road, arrival_rates=rate, config=config)
-    elif args.planner == "baseline":
-        planner = BaselineDpPlanner(road, config=config)
+    if args.no_artifact_cache:
+        store = None
     else:
-        planner = UnconstrainedDpPlanner(road, config=config)
+        from repro.core.engine import ArtifactStore
+
+        store = ArtifactStore()
+    if args.planner == "proposed":
+        planner = QueueAwareDpPlanner(road, arrival_rates=rate, config=config, store=store)
+    elif args.planner == "baseline":
+        planner = BaselineDpPlanner(road, config=config, store=store)
+    else:
+        planner = UnconstrainedDpPlanner(road, config=config, store=store)
 
     solution = None
     tier_plan = None
@@ -189,6 +202,7 @@ def main(argv: Optional[list] = None) -> int:
                 road,
                 arrival_rates=rate if args.planner == "proposed" else None,
                 config=config,
+                store=store,
             )
             tier_plan = ladder.plan(args.depart, max_trip_time_s=cap)
         else:
@@ -270,6 +284,8 @@ def main(argv: Optional[list] = None) -> int:
         )
 
     if args.metrics is not None:
+        if store is not None:
+            print(f"artifact store: {store.stats().summary()}")
         _emit_metrics(args.metrics, registry)
     return 0
 

@@ -18,6 +18,7 @@ import numpy as np
 from repro import obs
 from repro.cloud.messages import PlanRequest
 from repro.cloud.service import CloudPlannerService, ServiceStats
+from repro.core.engine import StoreStats
 from repro.errors import ConfigurationError, PlanningFailedError
 from repro.route.road import RoadSegment
 from repro.trace.driver import fast_driver, mild_driver, synthesize_trace
@@ -41,6 +42,8 @@ class FleetResult:
         service: Planning-service counters (cache hits, errors, compute
             time).
         failed_vehicle_ids: Ids of the unplannable departures, in order.
+        store: Corridor-artifact store counters at the end of the run
+            (``None`` when the service's planner holds no shared store).
     """
 
     n_vehicles: int
@@ -51,6 +54,18 @@ class FleetResult:
     mean_trip_time_s: float
     service: ServiceStats
     failed_vehicle_ids: List[str] = field(default_factory=list)
+    store: Optional[StoreStats] = None
+
+    def summary(self) -> str:
+        """One-line roll-up for reports and CLI output."""
+        line = (
+            f"{self.n_vehicles} served / {self.n_failed} failed, "
+            f"savings {self.savings_pct:.1f}%, "
+            f"plan-cache hit rate {self.service.hit_rate:.2f}"
+        )
+        if self.store is not None:
+            line += f", artifact store: {self.store.summary()}"
+        return line
 
 
 class FleetStudy:
@@ -168,4 +183,9 @@ class FleetStudy:
             mean_trip_time_s=float(np.mean(trip_times)) if trip_times else 0.0,
             service=self.service.stats,
             failed_vehicle_ids=failed_ids,
+            store=(
+                store.stats()
+                if (store := self.service.artifact_store) is not None
+                else None
+            ),
         )

@@ -112,6 +112,7 @@ class CloudPlannerService:
         self.stats = ServiceStats()
         self._cache: Dict[Tuple[int, int], Tuple[VelocityProfile, float, float]] = {}
         self._min_time_cache: Dict[int, float] = {}
+        self._min_time_exact: Dict[float, float] = {}
         self._period_s = self._common_signal_period()
         self._cacheable = self._period_s is not None and not self._rates_time_varying()
 
@@ -333,13 +334,25 @@ class CloudPlannerService:
         return True
 
     def _fastest_trip(self, depart_s: float) -> float:
-        """Minimum feasible trip time, phase-cached like the plans."""
+        """Minimum feasible trip time, memoized per departure bin.
+
+        Cacheable (periodic) planners share one entry per quantized phase
+        bin.  Uncacheable planners (time-varying rates) still memoize per
+        *exact* departure — the solve is deterministic, so repeated
+        budget-less requests at one departure pay a single ``minimize=
+        "time"`` DP instead of one each, without any quantization that
+        could alter budgets (and therefore plans).
+        """
         if not self._cacheable:
-            t0 = _time.perf_counter()
-            try:
-                return self.planner.min_trip_time(depart_s)
-            finally:
-                self.stats.total_compute_s += _time.perf_counter() - t0
+            cached = self._min_time_exact.get(depart_s)
+            if cached is None:
+                t0 = _time.perf_counter()
+                try:
+                    cached = self.planner.min_trip_time(depart_s)
+                finally:
+                    self.stats.total_compute_s += _time.perf_counter() - t0
+                self._min_time_exact[depart_s] = cached
+            return cached
         phase_bin = int((depart_s % self._period_s) / self.phase_quantum_s)
         cached = self._min_time_cache.get(phase_bin)
         if cached is None:
@@ -361,7 +374,19 @@ class CloudPlannerService:
             start_time_s=depart_s,
         )
 
+    @property
+    def artifact_store(self):
+        """The planner's shared corridor-artifact store, if it has one.
+
+        The service itself never builds corridor artifacts — the planner's
+        solver does, once, at construction — but fleet/CLI summaries want
+        the store counters next to the plan-cache counters, so the store
+        is surfaced here.
+        """
+        return getattr(self.planner, "store", None)
+
     def clear_cache(self) -> None:
         """Drop all cached plans (e.g. after a forecast update)."""
         self._cache.clear()
         self._min_time_cache.clear()
+        self._min_time_exact.clear()

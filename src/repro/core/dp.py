@@ -34,7 +34,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.core.cost import SegmentEnergyTable, WindowSet
+from repro.core.cost import WindowSet
+from repro.core.engine.artifacts import CorridorArtifacts, corridor_digest
+from repro.core.engine.stage_kernel import (
+    expand_stage,
+    first_per_group as _first_per_group,  # re-exported: pre-engine import path
+    select_labels,
+)
+from repro.core.engine.store import ArtifactStore
 from repro.core.profile import VelocityProfile
 from repro.errors import ConfigurationError, InfeasibleProblemError
 from repro.route.road import RoadSegment
@@ -42,6 +49,18 @@ from repro.signal.queue import QueueWindow
 from repro.units import joules_to_mah
 from repro.vehicle.dynamics import LongitudinalModel
 from repro.vehicle.params import VehicleParams
+
+
+def _default_pack_voltage_v() -> float:
+    """The canonical default pack voltage, derived from the vehicle model.
+
+    :class:`DpSolution` needs a default for solutions constructed without
+    an explicit voltage (tests, synthetic fixtures); deriving it from
+    :class:`~repro.vehicle.params.VehicleParams` keeps it in lockstep
+    with the paper's pack instead of duplicating a hardcoded 399.0 that
+    could silently drift from the vehicle defaults.
+    """
+    return VehicleParams().battery.voltage_v
 
 
 @dataclass(frozen=True)
@@ -93,7 +112,7 @@ class DpSolution:
     windows_hit: Dict[float, bool] = field(default_factory=dict)
     solve_time_s: float = 0.0
     expanded_transitions: int = 0
-    pack_voltage_v: float = 399.0
+    pack_voltage_v: float = field(default_factory=_default_pack_voltage_v)
 
     @property
     def energy_mah(self) -> float:
@@ -124,6 +143,14 @@ class DpSolver:
             ``(v_lo, v_hi)`` admissible band, intersected with the road
             limits.  The coarse-to-fine accelerator uses this to restrict
             the fine search to a corridor around a coarse solution.
+        artifacts: Prebuilt :class:`~repro.core.engine.CorridorArtifacts`
+            to solve on.  Must match this solver's corridor inputs (the
+            content digest is checked); the solver then skips its own
+            precomputation entirely.
+        store: An :class:`~repro.core.engine.ArtifactStore` to obtain the
+            artifacts from (warm hit or one shared build).  Ignored when
+            ``artifacts`` is given.  With neither, the solver builds
+            privately — the pre-engine behaviour.
     """
 
     def __init__(
@@ -137,6 +164,8 @@ class DpSolver:
         stop_dwell_s: float = 2.0,
         enforce_min_speed: bool = True,
         velocity_bounds=None,
+        artifacts: Optional[CorridorArtifacts] = None,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         if v_step_ms <= 0 or s_step_m <= 0 or t_bin_s <= 0 or horizon_s <= 0:
             raise ConfigurationError("grid resolutions and horizon must be positive")
@@ -152,98 +181,67 @@ class DpSolver:
         self.stop_dwell_s = float(stop_dwell_s)
         self.enforce_min_speed = bool(enforce_min_speed)
         self.velocity_bounds = velocity_bounds
+        self.store = store
 
-        self.positions = road.grid(s_step_m)
-        v_max_global = max(zone.v_max_ms for zone in road.zones)
-        n_levels = int(np.floor(v_max_global / v_step_ms + 1e-9)) + 1
-        self.v_grid = np.arange(n_levels) * v_step_ms
-        if self.v_grid[-1] < v_max_global - 1e-9:
-            # Keep the exact speed limit reachable: losing the top sliver
-            # of speed compounds into several seconds over a long corridor,
-            # enough to miss tight windows.
-            self.v_grid = np.append(self.v_grid, v_max_global)
         with obs.get_registry().span("dp.table_build") as span:
-            self._allowed = self._build_allowed_masks()
-            self._dwell_at = self._build_dwells()
-            self._tables: List[SegmentEnergyTable] = self._build_tables()
-            self._min_time_to_go = self._build_min_time_to_go()
+            reused = artifacts is not None or store is not None
+            if artifacts is not None:
+                expected = corridor_digest(
+                    road,
+                    self.vehicle,
+                    v_step_ms=self.v_step_ms,
+                    s_step_m=self.s_step_m,
+                    stop_dwell_s=self.stop_dwell_s,
+                    enforce_min_speed=self.enforce_min_speed,
+                )
+                if artifacts.digest != expected:
+                    raise ConfigurationError(
+                        "corridor artifacts were built for different inputs "
+                        f"(digest {artifacts.digest} != expected {expected})"
+                    )
+            elif store is not None:
+                artifacts = store.get_or_build(
+                    road,
+                    self.vehicle,
+                    v_step_ms=self.v_step_ms,
+                    s_step_m=self.s_step_m,
+                    stop_dwell_s=self.stop_dwell_s,
+                    enforce_min_speed=self.enforce_min_speed,
+                )
+            else:
+                artifacts = CorridorArtifacts.build(
+                    road,
+                    self.vehicle,
+                    v_step_ms=self.v_step_ms,
+                    s_step_m=self.s_step_m,
+                    stop_dwell_s=self.stop_dwell_s,
+                    enforce_min_speed=self.enforce_min_speed,
+                )
+            self.artifacts = artifacts
+            self.positions = artifacts.positions
+            self.v_grid = artifacts.v_grid
+            self._dwell_at = artifacts.dwell_at
+            self._tables = artifacts.tables
+            self._min_time_to_go = artifacts.min_time_to_go
+            if velocity_bounds is None:
+                self._allowed = artifacts.allowed
+                self._pairs = artifacts.pairs
+            else:
+                # A solver-local band cannot live in shared artifacts; the
+                # base masks are intersected here and the (much cheaper)
+                # pair extraction happens lazily per segment.
+                self._allowed = artifacts.restrict_allowed(velocity_bounds)
+                self._pairs = None
             span.add(
-                segments=len(self._tables), velocity_levels=int(self.v_grid.size)
+                segments=len(self._tables),
+                velocity_levels=int(self.v_grid.size),
+                artifacts_reused=int(reused),
             )
-
-    # ------------------------------------------------------------------
-    # Grid construction
-    # ------------------------------------------------------------------
-    def _build_allowed_masks(self) -> np.ndarray:
-        """Per-point boolean masks of admissible velocity indices (Eq. 7a/7c)."""
-        stops = np.asarray(self.road.mandatory_stop_positions())
-        n_pts = self.positions.size
-        allowed = np.zeros((n_pts, self.v_grid.size), dtype=bool)
-        for i, s in enumerate(self.positions):
-            if np.min(np.abs(stops - s)) < 1e-6:
-                allowed[i, 0] = True  # mandatory stop: only v = 0
-                continue
-            v_max = self.road.v_max_at(float(s))
-            mask = (self.v_grid > 0.0) & (self.v_grid <= v_max + 1e-9)
-            if self.enforce_min_speed:
-                v_min = self.road.v_min_at(float(s))
-                if v_min > 0:
-                    ramp = max(
-                        v_min * v_min / (2.0 * abs(self.vehicle.min_accel_ms2)),
-                        v_min * v_min / (2.0 * self.vehicle.max_accel_ms2),
-                    ) + self.s_step_m
-                    if np.min(np.abs(stops - s)) > ramp:
-                        mask &= self.v_grid >= v_min - 1e-9
-            if self.velocity_bounds is not None:
-                lo, hi = self.velocity_bounds(float(s))
-                mask &= (self.v_grid >= lo - 1e-9) & (self.v_grid <= hi + 1e-9)
-            if not mask.any():
-                raise ConfigurationError(
-                    f"no admissible velocity at {s:.1f} m; check zone limits vs grid step"
-                )
-            allowed[i] = mask
-        return allowed
-
-    def _build_dwells(self) -> np.ndarray:
-        """Dwell time charged when departing each grid point (stop signs only)."""
-        dwells = np.zeros(self.positions.size)
-        for sign in self.road.stop_signs:
-            idx = int(np.argmin(np.abs(self.positions - sign.position_m)))
-            dwells[idx] = self.stop_dwell_s
-        return dwells
-
-    def _build_tables(self) -> List[SegmentEnergyTable]:
-        """Per-segment energy/time tables (cached across solves)."""
-        tables = []
-        a_min, a_max = self.vehicle.min_accel_ms2, self.vehicle.max_accel_ms2
-        for i in range(self.positions.size - 1):
-            ds = float(self.positions[i + 1] - self.positions[i])
-            mid = float(0.5 * (self.positions[i] + self.positions[i + 1]))
-            tables.append(
-                SegmentEnergyTable(
-                    self.model, self.v_grid, ds, self.road.grade_at(mid), a_min, a_max
-                )
-            )
-        return tables
-
-    def _build_min_time_to_go(self) -> np.ndarray:
-        """Optimistic remaining travel time from each grid point (s).
-
-        An admissible bound — the fastest any label could still finish —
-        used to prune labels that can no longer make the trip-time cap.
-        Uses each segment's cheapest feasible traversal time plus the
-        mandatory stop-sign dwells.
-        """
-        n_pts = self.positions.size
-        to_go = np.zeros(n_pts)
-        for i in range(n_pts - 2, -1, -1):
-            finite = self._tables[i].travel_s[self._tables[i].feasible]
-            best = float(finite.min()) if finite.size else np.inf
-            to_go[i] = to_go[i + 1] + best + self._dwell_at[i]
-        return to_go
 
     def _segment_pairs(self, i: int) -> tuple:
         """Feasible (j, j2, energy, dt) transition arrays for segment ``i``."""
+        if self._pairs is not None:
+            return self._pairs[i]
         table = self._tables[i]
         feasible = table.feasible & self._allowed[i][:, None] & self._allowed[i + 1][None, :]
         j_arr, j2_arr = np.nonzero(feasible)
@@ -351,31 +349,17 @@ class DpSolver:
                         f"({self.positions[i]:.0f}-{self.positions[i + 1]:.0f} m)"
                     )
 
-                # Expand every (source label, feasible successor) combination.
-                order_v = np.argsort(lab_v, kind="stable")
-                src_sorted_v = lab_v[order_v]
-                counts = np.bincount(src_sorted_v, minlength=self.v_grid.size)
-                starts = np.concatenate([[0], np.cumsum(counts)])
-                src_chunks, j2_chunks, e_chunks, dt_chunks = [], [], [], []
-                for j in np.unique(src_sorted_v):
-                    pairs = j_arr == j
-                    if not pairs.any():
-                        continue
-                    labels_here = order_v[starts[j]: starts[j + 1]]
-                    succ = j2_arr[pairs]
-                    src_chunks.append(np.repeat(labels_here, succ.size))
-                    j2_chunks.append(np.tile(succ, labels_here.size))
-                    e_chunks.append(np.tile(e_arr[pairs], labels_here.size))
-                    dt_chunks.append(np.tile(dt_arr[pairs], labels_here.size))
-                if not src_chunks:
+                # Expand every (source label, feasible successor)
+                # combination through the pure stage kernel.
+                src, cj2, cc, ct = expand_stage(
+                    lab_v, lab_t, lab_c, j_arr, j2_arr, e_arr, dt_arr,
+                    self.v_grid.size,
+                )
+                if src.size == 0:
                     raise InfeasibleProblemError(
                         f"all labels stranded entering segment {i} "
                         f"({self.positions[i]:.0f}-{self.positions[i + 1]:.0f} m)"
                     )
-                src = np.concatenate(src_chunks)
-                cj2 = np.concatenate(j2_chunks)
-                cc = np.concatenate(e_chunks) + lab_c[src]
-                ct = np.concatenate(dt_chunks) + lab_t[src]
                 expanded += src.size
                 expand_span.add(transitions=int(src.size))
 
@@ -399,16 +383,8 @@ class DpSolver:
 
             with registry.span("select") as select_span:
                 # Label selection per (v', time bin): keep BOTH the cheapest
-                # candidate and the earliest candidate.  The cheapest slot
-                # drives energy optimality; the earliest slot preserves the
-                # fast time-frontier exactly, so tight windows downstream stay
-                # reachable (a cheaper-but-later label can never displace the
-                # fastest lineage).
-                k2 = np.round((ct - start_time_s) / self.t_bin_s).astype(np.int64)
-                tgt = cj2.astype(np.int64) * n_bins + k2
-                sel_cheap = _first_per_group(tgt, np.lexsort((ct, cc, tgt)))
-                sel_fast = _first_per_group(tgt, np.lexsort((cc, ct, tgt)))
-                sel = np.unique(np.concatenate([sel_cheap, sel_fast]))
+                # candidate and the earliest candidate (see select_labels).
+                sel = select_labels(cj2, cc, ct, start_time_s, self.t_bin_s, n_bins)
 
                 prev_of.append(src[sel].astype(np.int32))
                 lab_v = cj2[sel].astype(np.int16)
@@ -514,19 +490,6 @@ class DpSolver:
         if label != 0:
             raise InfeasibleProblemError("backtrack did not terminate at the seed state")
         return speeds
-
-
-def _first_per_group(groups: np.ndarray, order: np.ndarray) -> np.ndarray:
-    """Indices of the first element of each group under a given sort order.
-
-    ``order`` must sort ``groups`` into contiguous runs (e.g. a lexsort
-    whose primary key is ``groups``); the first element of each run is the
-    winner under the secondary sort keys.
-    """
-    sorted_groups = groups[order]
-    first = np.ones(order.size, dtype=bool)
-    first[1:] = sorted_groups[1:] != sorted_groups[:-1]
-    return order[first]
 
 
 def green_windows_for_signal(light, start_s: float, horizon_s: float) -> List[QueueWindow]:

@@ -1,0 +1,389 @@
+"""Precomputed corridor artifacts: the offline half of the DP split.
+
+Everything the DP prices a ``(segment, v, v')`` transition from is static
+corridor data — the velocity grid, the per-segment Eq. 9 energy tables,
+the admissible-velocity masks, the stop-sign dwells and the optimistic
+min-time-to-go bound.  Real-time eco-driving systems get their latency
+budget precisely by separating this *offline corridor precomputation*
+from the *online solve*; :class:`CorridorArtifacts` is that offline
+product, built once by :meth:`CorridorArtifacts.build` and shared by
+every solver over the same corridor.
+
+Identity is content-addressed: :func:`corridor_digest` renders the
+canonical build inputs — road geometry, vehicle physics and grid
+resolutions — to a stable text form (in the spirit of
+:func:`repro.resilience.faults.schedule_bytes`) and hashes it with
+blake2b.  Two builds with equal digests produce bit-identical arrays,
+which is what lets the :class:`~repro.core.engine.store.ArtifactStore`
+hand the same artifacts to the cloud planner, every degradation-ladder
+tier and a whole fleet sweep.
+
+Signal *timing* (red/green/offset) is deliberately absent from the
+digest: the artifacts depend on where signals sit (their positions snap
+into the distance grid), never on when they turn green — so replans
+across cycle phases, drifted timing plans and re-offset corridors all
+share one build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cost import SegmentEnergyTable
+from repro.errors import ConfigurationError
+from repro.route.road import RoadSegment
+from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.params import VehicleParams
+
+__all__ = ["CorridorArtifacts", "corridor_digest"]
+
+#: Bump when the canonical rendering (or the artifact contents derived
+#: from it) changes shape; digests from different versions never collide.
+_DIGEST_VERSION = "corridor-artifacts-v1"
+
+#: Per-segment feasible transition arrays ``(j, j2, energy_j, dt_s)``.
+SegmentPairs = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _canonical_parts(
+    road: RoadSegment,
+    vehicle: VehicleParams,
+    v_step_ms: float,
+    s_step_m: float,
+    stop_dwell_s: float,
+    enforce_min_speed: bool,
+) -> Iterator[str]:
+    """Render every digest-relevant input as stable text fragments.
+
+    Floats are rendered with ``repr`` (shortest round-trip form), so the
+    rendering — and therefore the digest — is identical across platforms
+    and processes for equal inputs.
+    """
+    yield _DIGEST_VERSION
+    yield f"grid:{v_step_ms!r},{s_step_m!r},{stop_dwell_s!r},{int(enforce_min_speed)}"
+    yield f"road:{float(road.length_m)!r}"
+    for zone in road.zones:
+        yield (
+            f"zone:{float(zone.start_m)!r},{float(zone.end_m)!r},"
+            f"{float(zone.v_max_ms)!r},{float(zone.v_min_ms)!r}"
+        )
+    for sign in road.stop_signs:
+        yield f"stop:{float(sign.position_m)!r}"
+    for site in road.signals:
+        # Position only: timing never reaches the artifacts (see module doc).
+        yield f"signal:{float(site.position_m)!r}"
+    grade_pos, grade_rad = road.grade.breakpoints()
+    yield "grade:" + ",".join(repr(float(g)) for g in grade_pos)
+    yield "grade:" + ",".join(repr(float(g)) for g in grade_rad)
+    battery = vehicle.battery
+    yield (
+        "vehicle:"
+        + ",".join(
+            repr(float(value))
+            for value in (
+                vehicle.mass_kg,
+                vehicle.frontal_area_m2,
+                vehicle.drag_coefficient,
+                vehicle.rolling_resistance,
+                vehicle.air_density,
+                vehicle.battery_efficiency,
+                vehicle.powertrain_efficiency,
+                vehicle.regen_efficiency,
+                vehicle.aux_power_w,
+                vehicle.max_accel_ms2,
+                vehicle.min_accel_ms2,
+            )
+        )
+    )
+    yield (
+        "battery:"
+        + ",".join(
+            repr(float(value))
+            for value in (battery.voltage_v, battery.capacity_ah, battery.cell_capacity_ah)
+        )
+        + f",{battery.series_cells},{battery.parallel_strings}"
+    )
+
+
+def corridor_digest(
+    road: RoadSegment,
+    vehicle: VehicleParams,
+    *,
+    v_step_ms: float,
+    s_step_m: float,
+    stop_dwell_s: float = 2.0,
+    enforce_min_speed: bool = True,
+) -> str:
+    """Stable content digest of one corridor-artifact build's inputs.
+
+    Equal inputs always hash equal (blake2b over the canonical text
+    rendering); any change to the road geometry, the vehicle physics or
+    the grid resolutions yields a new digest.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in _canonical_parts(
+        road, vehicle, float(v_step_ms), float(s_step_m), float(stop_dwell_s),
+        bool(enforce_min_speed),
+    ):
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True, eq=False)
+class CorridorArtifacts:
+    """Immutable bundle of everything the DP derives from static inputs.
+
+    Attributes:
+        digest: Content digest of the build inputs (the store key).
+        road: The corridor the artifacts were built for.
+        vehicle: The vehicle whose physics priced the energy tables.
+        v_step_ms: Velocity grid resolution (m/s).
+        s_step_m: Distance grid resolution (m).
+        stop_dwell_s: Mandatory stop-sign dwell baked into ``dwell_at``.
+        enforce_min_speed: Whether the Eq. 7a lower bound shaped ``allowed``.
+        positions: Route grid points (m), stops and signals snapped in.
+        v_grid: Velocity grid values (m/s).
+        allowed: Per-point boolean masks of admissible velocity indices
+            (Eq. 7a/7c), *without* any solver-local velocity bounds.
+        dwell_at: Dwell charged when departing each grid point (s).
+        tables: Per-segment Eq. 9 energy/time tables.
+        min_time_to_go: Optimistic remaining travel time per point (s).
+        pairs: Per-segment feasible ``(j, j2, energy, dt)`` transition
+            arrays with ``allowed`` already applied — the form the stage
+            kernel consumes directly.
+
+    The arrays are shared, not copied, between every solver holding the
+    same artifacts; nothing in the solve path mutates them.
+    """
+
+    digest: str
+    road: RoadSegment
+    vehicle: VehicleParams
+    v_step_ms: float
+    s_step_m: float
+    stop_dwell_s: float
+    enforce_min_speed: bool
+    positions: np.ndarray
+    v_grid: np.ndarray
+    allowed: np.ndarray
+    dwell_at: np.ndarray
+    tables: Tuple[SegmentEnergyTable, ...]
+    min_time_to_go: np.ndarray
+    pairs: Tuple[SegmentPairs, ...]
+
+    @classmethod
+    def build(
+        cls,
+        road: RoadSegment,
+        vehicle: Optional[VehicleParams] = None,
+        *,
+        v_step_ms: float = 0.5,
+        s_step_m: float = 10.0,
+        stop_dwell_s: float = 2.0,
+        enforce_min_speed: bool = True,
+    ) -> "CorridorArtifacts":
+        """Build the full artifact set from the canonical inputs.
+
+        This is the offline (amortizable) half of every DP solve; the
+        construction replicates the pre-split solver's operations
+        exactly, so a solver running on built artifacts produces
+        bit-identical solutions to one building its own.
+        """
+        if v_step_ms <= 0 or s_step_m <= 0:
+            raise ConfigurationError("grid resolutions must be positive")
+        if stop_dwell_s < 0:
+            raise ConfigurationError(f"stop dwell must be >= 0, got {stop_dwell_s}")
+        vehicle = vehicle if vehicle is not None else VehicleParams()
+        model = LongitudinalModel(vehicle)
+        positions = road.grid(s_step_m)
+        v_max_global = max(zone.v_max_ms for zone in road.zones)
+        n_levels = int(np.floor(v_max_global / v_step_ms + 1e-9)) + 1
+        v_grid = np.arange(n_levels) * v_step_ms
+        if v_grid[-1] < v_max_global - 1e-9:
+            # Keep the exact speed limit reachable: losing the top sliver
+            # of speed compounds into several seconds over a long corridor,
+            # enough to miss tight windows.
+            v_grid = np.append(v_grid, v_max_global)
+
+        allowed = _build_allowed_masks(
+            road, vehicle, positions, v_grid, s_step_m, enforce_min_speed
+        )
+        dwell_at = _build_dwells(road, positions, stop_dwell_s)
+        tables = _build_tables(road, vehicle, model, positions, v_grid)
+        min_time_to_go = _build_min_time_to_go(tables, dwell_at)
+        pairs = tuple(
+            _segment_pairs(tables[i], allowed, dwell_at, i)
+            for i in range(positions.size - 1)
+        )
+        return cls(
+            digest=corridor_digest(
+                road,
+                vehicle,
+                v_step_ms=v_step_ms,
+                s_step_m=s_step_m,
+                stop_dwell_s=stop_dwell_s,
+                enforce_min_speed=enforce_min_speed,
+            ),
+            road=road,
+            vehicle=vehicle,
+            v_step_ms=float(v_step_ms),
+            s_step_m=float(s_step_m),
+            stop_dwell_s=float(stop_dwell_s),
+            enforce_min_speed=bool(enforce_min_speed),
+            positions=positions,
+            v_grid=v_grid,
+            allowed=allowed,
+            dwell_at=dwell_at,
+            tables=tables,
+            min_time_to_go=min_time_to_go,
+            pairs=pairs,
+        )
+
+    @property
+    def n_segments(self) -> int:
+        """Number of route segments covered by the tables."""
+        return len(self.tables)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the array payload (bytes).
+
+        Store sizing guidance: one default-resolution US-25 build is a
+        few tens of MB; size the store capacity so
+        ``capacity * nbytes`` fits comfortably in memory.
+        """
+        total = (
+            self.positions.nbytes
+            + self.v_grid.nbytes
+            + self.allowed.nbytes
+            + self.dwell_at.nbytes
+            + self.min_time_to_go.nbytes
+        )
+        for table in self.tables:
+            total += table.energy_j.nbytes + table.travel_s.nbytes + table.feasible.nbytes
+        for j_arr, j2_arr, e_arr, dt_arr in self.pairs:
+            total += j_arr.nbytes + j2_arr.nbytes + e_arr.nbytes + dt_arr.nbytes
+        return total
+
+    def restrict_allowed(
+        self, velocity_bounds: Callable[[float], Tuple[float, float]]
+    ) -> np.ndarray:
+        """The admissible-velocity masks intersected with an extra band.
+
+        The coarse-to-fine accelerator restricts the fine search to a
+        corridor around a coarse solution; the band is solver-local (an
+        arbitrary callable), so it is applied *on top* of the shared base
+        masks rather than baked into cached artifacts.
+
+        Raises:
+            ConfigurationError: The band empties some position's mask.
+        """
+        restricted = self.allowed.copy()
+        for i, s in enumerate(self.positions):
+            lo, hi = velocity_bounds(float(s))
+            restricted[i] &= (self.v_grid >= lo - 1e-9) & (self.v_grid <= hi + 1e-9)
+            if not restricted[i].any():
+                raise ConfigurationError(
+                    f"no admissible velocity at {s:.1f} m; check zone limits vs grid step"
+                )
+        return restricted
+
+
+def _build_allowed_masks(
+    road: RoadSegment,
+    vehicle: VehicleParams,
+    positions: np.ndarray,
+    v_grid: np.ndarray,
+    s_step_m: float,
+    enforce_min_speed: bool,
+) -> np.ndarray:
+    """Per-point boolean masks of admissible velocity indices (Eq. 7a/7c)."""
+    stops = np.asarray(road.mandatory_stop_positions())
+    n_pts = positions.size
+    allowed = np.zeros((n_pts, v_grid.size), dtype=bool)
+    for i, s in enumerate(positions):
+        if np.min(np.abs(stops - s)) < 1e-6:
+            allowed[i, 0] = True  # mandatory stop: only v = 0
+            continue
+        v_max = road.v_max_at(float(s))
+        mask = (v_grid > 0.0) & (v_grid <= v_max + 1e-9)
+        if enforce_min_speed:
+            v_min = road.v_min_at(float(s))
+            if v_min > 0:
+                ramp = max(
+                    v_min * v_min / (2.0 * abs(vehicle.min_accel_ms2)),
+                    v_min * v_min / (2.0 * vehicle.max_accel_ms2),
+                ) + s_step_m
+                if np.min(np.abs(stops - s)) > ramp:
+                    mask &= v_grid >= v_min - 1e-9
+        if not mask.any():
+            raise ConfigurationError(
+                f"no admissible velocity at {s:.1f} m; check zone limits vs grid step"
+            )
+        allowed[i] = mask
+    return allowed
+
+
+def _build_dwells(
+    road: RoadSegment, positions: np.ndarray, stop_dwell_s: float
+) -> np.ndarray:
+    """Dwell time charged when departing each grid point (stop signs only)."""
+    dwells = np.zeros(positions.size)
+    for sign in road.stop_signs:
+        idx = int(np.argmin(np.abs(positions - sign.position_m)))
+        dwells[idx] = stop_dwell_s
+    return dwells
+
+
+def _build_tables(
+    road: RoadSegment,
+    vehicle: VehicleParams,
+    model: LongitudinalModel,
+    positions: np.ndarray,
+    v_grid: np.ndarray,
+) -> Tuple[SegmentEnergyTable, ...]:
+    """Per-segment energy/time tables (the Eq. 9 ``zeta`` matrices)."""
+    tables = []
+    a_min, a_max = vehicle.min_accel_ms2, vehicle.max_accel_ms2
+    for i in range(positions.size - 1):
+        ds = float(positions[i + 1] - positions[i])
+        mid = float(0.5 * (positions[i] + positions[i + 1]))
+        tables.append(
+            SegmentEnergyTable(model, v_grid, ds, road.grade_at(mid), a_min, a_max)
+        )
+    return tuple(tables)
+
+
+def _build_min_time_to_go(
+    tables: Tuple[SegmentEnergyTable, ...], dwell_at: np.ndarray
+) -> np.ndarray:
+    """Optimistic remaining travel time from each grid point (s).
+
+    An admissible bound — the fastest any label could still finish —
+    used to prune labels that can no longer make the trip-time cap.
+    Uses each segment's cheapest feasible traversal time plus the
+    mandatory stop-sign dwells.
+    """
+    n_pts = len(tables) + 1
+    to_go = np.zeros(n_pts)
+    for i in range(n_pts - 2, -1, -1):
+        finite = tables[i].travel_s[tables[i].feasible]
+        best = float(finite.min()) if finite.size else np.inf
+        to_go[i] = to_go[i + 1] + best + dwell_at[i]
+    return to_go
+
+
+def _segment_pairs(
+    table: SegmentEnergyTable, allowed: np.ndarray, dwell_at: np.ndarray, i: int
+) -> SegmentPairs:
+    """Feasible ``(j, j2, energy, dt)`` transition arrays for segment ``i``."""
+    feasible = table.feasible & allowed[i][:, None] & allowed[i + 1][None, :]
+    j_arr, j2_arr = np.nonzero(feasible)
+    e_arr = table.energy_j[j_arr, j2_arr]
+    dt_arr = table.travel_s[j_arr, j2_arr] + dwell_at[i]
+    return j_arr, j2_arr, e_arr, dt_arr

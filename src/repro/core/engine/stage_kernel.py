@@ -1,0 +1,115 @@
+"""The DP's inner stage relaxation as pure array kernels.
+
+These functions are the computational core of
+:meth:`repro.core.dp.DpSolver._solve`, hoisted out so the hot path can be
+benchmarked, profiled and property-tested in isolation.  They operate
+only on plain numpy arrays — no solver state, no road or vehicle objects
+— which makes each call a pure function of its inputs.
+
+A stage takes the surviving labels at route point ``i`` (velocity index,
+exact arrival time, exact cost-to-come) plus the feasible transition
+arrays of segment ``i`` (from the corridor artifacts) and produces the
+candidate labels at point ``i + 1``; selection then thins the candidates
+to one cheapest and one earliest survivor per ``(velocity, time-bin)``
+slot.  The refactor is behavior-preserving: the operations and their
+order are exactly those of the pre-split solver, so solutions are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["expand_stage", "first_per_group", "select_labels"]
+
+
+def expand_stage(
+    lab_v: np.ndarray,
+    lab_t: np.ndarray,
+    lab_c: np.ndarray,
+    j_arr: np.ndarray,
+    j2_arr: np.ndarray,
+    e_arr: np.ndarray,
+    dt_arr: np.ndarray,
+    n_levels: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Expand every (source label, feasible successor) combination.
+
+    Args:
+        lab_v: Velocity index of each surviving label at the stage entry.
+        lab_t: Exact arrival time of each label (s).
+        lab_c: Exact cost-to-come of each label (J).
+        j_arr: Source velocity index of each feasible transition.
+        j2_arr: Successor velocity index of each feasible transition.
+        e_arr: Energy of each feasible transition (J).
+        dt_arr: Traversal time of each feasible transition, including the
+            departure dwell (s).
+        n_levels: Size of the velocity grid.
+
+    Returns:
+        ``(src, cj2, cc, ct)``: for every candidate, the index of its
+        source label, its successor velocity index, its cost-to-come and
+        its arrival time.  All four are empty when no label has a
+        feasible continuation (the caller decides how to fail).
+    """
+    order_v = np.argsort(lab_v, kind="stable")
+    src_sorted_v = lab_v[order_v]
+    counts = np.bincount(src_sorted_v, minlength=n_levels)
+    starts = np.concatenate([[0], np.cumsum(counts)])
+    src_chunks, j2_chunks, e_chunks, dt_chunks = [], [], [], []
+    for j in np.unique(src_sorted_v):
+        pairs = j_arr == j
+        if not pairs.any():
+            continue
+        labels_here = order_v[starts[j]: starts[j + 1]]
+        succ = j2_arr[pairs]
+        src_chunks.append(np.repeat(labels_here, succ.size))
+        j2_chunks.append(np.tile(succ, labels_here.size))
+        e_chunks.append(np.tile(e_arr[pairs], labels_here.size))
+        dt_chunks.append(np.tile(dt_arr[pairs], labels_here.size))
+    if not src_chunks:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0), np.empty(0)
+    src = np.concatenate(src_chunks)
+    cj2 = np.concatenate(j2_chunks)
+    cc = np.concatenate(e_chunks) + lab_c[src]
+    ct = np.concatenate(dt_chunks) + lab_t[src]
+    return src, cj2, cc, ct
+
+
+def select_labels(
+    cj2: np.ndarray,
+    cc: np.ndarray,
+    ct: np.ndarray,
+    start_time_s: float,
+    t_bin_s: float,
+    n_bins: int,
+) -> np.ndarray:
+    """Indices of the candidates surviving per-``(velocity, bin)`` selection.
+
+    For every ``(successor velocity, time bin)`` slot BOTH the cheapest
+    and the earliest candidate are kept: the cheapest slot drives energy
+    optimality, the earliest preserves the fast time-frontier exactly so
+    tight windows downstream stay reachable (a cheaper-but-later label
+    can never displace the fastest lineage).
+    """
+    k2 = np.round((ct - start_time_s) / t_bin_s).astype(np.int64)
+    tgt = cj2.astype(np.int64) * n_bins + k2
+    sel_cheap = first_per_group(tgt, np.lexsort((ct, cc, tgt)))
+    sel_fast = first_per_group(tgt, np.lexsort((cc, ct, tgt)))
+    return np.unique(np.concatenate([sel_cheap, sel_fast]))
+
+
+def first_per_group(groups: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Indices of the first element of each group under a given sort order.
+
+    ``order`` must sort ``groups`` into contiguous runs (e.g. a lexsort
+    whose primary key is ``groups``); the first element of each run is the
+    winner under the secondary sort keys.
+    """
+    sorted_groups = groups[order]
+    first = np.ones(order.size, dtype=bool)
+    first[1:] = sorted_groups[1:] != sorted_groups[:-1]
+    return order[first]

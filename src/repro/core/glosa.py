@@ -16,11 +16,14 @@ the DP planners:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.profile import VelocityProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import ArtifactStore
 from repro.errors import ConfigurationError, InfeasibleProblemError
 from repro.route.road import RoadSegment
 from repro.signal.queue import QueueLengthModel, QueueWindow
@@ -100,6 +103,10 @@ class GlosaAdvisor:
             (gentler than the comfort maximum, as advisories are).
         window_margin_s: Seconds inside each window edge to aim for.
         stop_dwell_s: Dwell at stop signs.
+        store: Accepted for constructor uniformity with the DP planners
+            (the degradation ladder builds every tier with the same
+            ``store=`` keyword); the analytic advisor precomputes no
+            corridor artifacts, so the store is held but never consulted.
     """
 
     def __init__(
@@ -110,6 +117,7 @@ class GlosaAdvisor:
         cruise_accel_ms2: float = 1.2,
         window_margin_s: float = 1.0,
         stop_dwell_s: float = 2.0,
+        store: Optional["ArtifactStore"] = None,
     ) -> None:
         if cruise_accel_ms2 <= 0:
             raise ConfigurationError("cruise acceleration must be positive")
@@ -118,6 +126,7 @@ class GlosaAdvisor:
         self.road = road
         self.vehicle = vehicle if vehicle is not None else VehicleParams()
         self.arrival_rates = arrival_rates
+        self.store = store
         self.a_up = min(cruise_accel_ms2, self.vehicle.max_accel_ms2)
         self.a_down = min(cruise_accel_ms2, abs(self.vehicle.min_accel_ms2))
         self.window_margin_s = window_margin_s

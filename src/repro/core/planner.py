@@ -21,6 +21,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Union
 
 from repro.core.cost import WindowSet
 from repro.core.dp import DpSolution, DpSolver, TimeWindowConstraint
+from repro.core.engine import ArtifactStore
 from repro.errors import ConfigurationError
 from repro.route.road import RoadSegment, SignalSite
 from repro.signal.queue import QueueLengthModel, QueueWindow
@@ -80,10 +81,12 @@ class DpPlannerBase:
         road: RoadSegment,
         vehicle: Optional[VehicleParams] = None,
         config: Optional[PlannerConfig] = None,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         self.road = road
         self.vehicle = vehicle if vehicle is not None else VehicleParams()
         self.config = config if config is not None else PlannerConfig()
+        self.store = store
         self.solver = DpSolver(
             road=road,
             vehicle=self.vehicle,
@@ -93,6 +96,7 @@ class DpPlannerBase:
             horizon_s=self.config.horizon_s,
             stop_dwell_s=self.config.stop_dwell_s,
             enforce_min_speed=self.config.enforce_min_speed,
+            store=store,
         )
 
     def _signal_constraints(
@@ -207,6 +211,9 @@ class QueueAwareDpPlanner(DpPlannerBase):
             forecast plugs in.
         vehicle: EV parameters (paper defaults when ``None``).
         config: Discretization settings.
+        store: Optional shared :class:`~repro.core.engine.ArtifactStore`;
+            when given, the corridor precomputation is served from (and
+            kept in) the store instead of rebuilt per planner.
     """
 
     def __init__(
@@ -215,8 +222,9 @@ class QueueAwareDpPlanner(DpPlannerBase):
         arrival_rates: ArrivalRates,
         vehicle: Optional[VehicleParams] = None,
         config: Optional[PlannerConfig] = None,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
-        super().__init__(road, vehicle, config)
+        super().__init__(road, vehicle, config, store=store)
         self.arrival_rates = arrival_rates
         self._queue_models: Dict[float, QueueLengthModel] = {}
         for site in road.signals:

@@ -24,6 +24,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.dp import DpSolution, DpSolver, TimeWindowConstraint
+from repro.core.engine import ArtifactStore, CorridorArtifacts
 from repro.errors import ConfigurationError, InfeasibleProblemError
 from repro.route.road import RoadSegment
 from repro.vehicle.params import VehicleParams
@@ -72,6 +73,11 @@ class CoarseToFineSolver:
         horizon_s: Clock horizon.
         stop_dwell_s: Stop-sign dwell.
         enforce_min_speed: Eq. 7a lower bound handling.
+        store: Optional shared :class:`~repro.core.engine.ArtifactStore`.
+            Both passes pull their corridor artifacts from it; without a
+            store the fine artifacts are still built exactly once here
+            (instead of on every :meth:`solve`) and reused by the
+            band-restricted pass and its unrestricted fallback alike.
     """
 
     def __init__(
@@ -86,6 +92,7 @@ class CoarseToFineSolver:
         horizon_s: float = 600.0,
         stop_dwell_s: float = 2.0,
         enforce_min_speed: bool = True,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         if coarse_factor < 2:
             raise ConfigurationError(f"coarse factor must be >= 2, got {coarse_factor}")
@@ -102,6 +109,7 @@ class CoarseToFineSolver:
         v_max = max(zone.v_max_ms for zone in road.zones)
         needed = v_max * coarse_v_step / abs(self.vehicle.min_accel_ms2)
         coarse_s_step = max(s_step_m, float(np.ceil(needed / 5.0) * 5.0))
+        self.store = store
         self._coarse = DpSolver(
             road,
             vehicle=self.vehicle,
@@ -111,6 +119,7 @@ class CoarseToFineSolver:
             horizon_s=horizon_s,
             stop_dwell_s=stop_dwell_s,
             enforce_min_speed=enforce_min_speed,
+            store=store,
         )
         self._fine_kwargs = dict(
             vehicle=self.vehicle,
@@ -121,6 +130,27 @@ class CoarseToFineSolver:
             stop_dwell_s=stop_dwell_s,
             enforce_min_speed=enforce_min_speed,
         )
+        # The fine corridor artifacts do not depend on the per-solve band,
+        # so build (or fetch) them once and share them across every fine
+        # pass and fallback instead of rebuilding on each solve().
+        if store is not None:
+            self._fine_artifacts = store.get_or_build(
+                road,
+                self.vehicle,
+                v_step_ms=fine_v_step_ms,
+                s_step_m=s_step_m,
+                stop_dwell_s=stop_dwell_s,
+                enforce_min_speed=enforce_min_speed,
+            )
+        else:
+            self._fine_artifacts = CorridorArtifacts.build(
+                road,
+                self.vehicle,
+                v_step_ms=fine_v_step_ms,
+                s_step_m=s_step_m,
+                stop_dwell_s=stop_dwell_s,
+                enforce_min_speed=enforce_min_speed,
+            )
         self.last_stats: Optional[RefinementStats] = None
 
     def solve(
@@ -149,7 +179,12 @@ class CoarseToFineSolver:
             centre = profile.speed_at(clamped)
             return (max(centre - band, 0.0), centre + band)
 
-        fine_solver = DpSolver(self.road, velocity_bounds=bounds, **self._fine_kwargs)
+        fine_solver = DpSolver(
+            self.road,
+            velocity_bounds=bounds,
+            artifacts=self._fine_artifacts,
+            **self._fine_kwargs,
+        )
         t1 = _time.perf_counter()
         try:
             fine = fine_solver.solve(
@@ -160,7 +195,9 @@ class CoarseToFineSolver:
             )
         except InfeasibleProblemError:
             # Corridor clipped the only feasible fine paths: fall back.
-            fallback = DpSolver(self.road, **self._fine_kwargs)
+            fallback = DpSolver(
+                self.road, artifacts=self._fine_artifacts, **self._fine_kwargs
+            )
             fine = fallback.solve(
                 constraints=constraints,
                 start_time_s=start_time_s,

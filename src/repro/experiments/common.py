@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.core.engine import ArtifactStore
 from repro.core.planner import BaselineDpPlanner, PlannerConfig, QueueAwareDpPlanner
 from repro.core.profile import TimedTrace
 from repro.route.road import RoadSegment
@@ -69,17 +70,29 @@ class TripLab:
 
     PROFILES = ("mild", "fast", "baseline_dp", "proposed")
 
-    def __init__(self, setup: TripSetup = TripSetup(), road: Optional[RoadSegment] = None):
+    def __init__(
+        self,
+        setup: TripSetup = TripSetup(),
+        road: Optional[RoadSegment] = None,
+        store: Optional[ArtifactStore] = None,
+    ):
         self.setup = setup
         self.road = road if road is not None else us25_greenville_segment()
         rate = vehicles_per_hour_to_per_second(setup.arrival_rate_vph)
+        # Both planners use the same grid; sharing a store means one
+        # corridor build for the pair (window margins are solve-time
+        # inputs, not artifact inputs).
+        self.store = store if store is not None else ArtifactStore()
         self.proposed = QueueAwareDpPlanner(
             self.road,
             arrival_rates=rate,
             config=PlannerConfig(window_margin_s=setup.queue_margin_s),
+            store=self.store,
         )
         self.baseline = BaselineDpPlanner(
-            self.road, config=PlannerConfig(window_margin_s=setup.baseline_margin_s)
+            self.road,
+            config=PlannerConfig(window_margin_s=setup.baseline_margin_s),
+            store=self.store,
         )
 
     def _scenario(self, depart_s: float, ev_car_following=None) -> Us25Scenario:

@@ -17,6 +17,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.analysis.tables import render_table
+from repro.core.engine import ArtifactStore
 from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
 from repro.route.us25 import us25_greenville_segment
 from repro.sim.closed_loop import ClosedLoopDriver
@@ -51,12 +52,16 @@ def run(config: ClosedLoopConfig = ClosedLoopConfig()) -> ClosedLoopComparison:
     """Drive open-loop and closed-loop across the traffic sweep."""
     road = us25_greenville_segment()
     planner_config = PlannerConfig(v_step_ms=1.0, s_step_m=25.0)
+    # The traffic sweep re-keys only the arrival rate; one store serves
+    # every traffic level from a single corridor build.
+    store = ArtifactStore()
     rows: List[Tuple[float, float, float, int, int, float]] = []
     for vph in config.traffic_levels_vph:
         planner = QueueAwareDpPlanner(
             road,
             arrival_rates=vehicles_per_hour_to_per_second(vph),
             config=planner_config,
+            store=store,
         )
         open_e: List[float] = []
         closed_e: List[float] = []

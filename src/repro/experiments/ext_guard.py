@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.analysis.tables import render_table
 from repro.cloud.service import CloudPlannerService
+from repro.core.engine import ArtifactStore
 from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
 from repro.errors import InputValidationError
 from repro.guard.contracts import (
@@ -262,10 +263,11 @@ def _run_plans(config: GuardConfig) -> List[PlanRow]:
     road = us25_greenville_segment()
     rate_fn = vehicles_per_hour_to_per_second(config.traffic_vph)
     planner_config = PlannerConfig(v_step_ms=1.0, s_step_m=25.0)
+    store = ArtifactStore()
     rows: List[PlanRow] = []
     for rate in config.corruption_rates:
         planner = QueueAwareDpPlanner(
-            road, arrival_rates=rate_fn, config=planner_config
+            road, arrival_rates=rate_fn, config=planner_config, store=store
         )
         fault = PlanFaultModel(rate=rate, seed=config.fault_seed)
         degenerate = DegeneratePlanner(planner, fault)
@@ -278,6 +280,7 @@ def _run_plans(config: GuardConfig) -> List[PlanRow]:
             arrival_rates=rate_fn,
             config=planner_config,
             supervisor=supervisor,
+            store=store,
         )
         energies: List[float] = []
         times: List[float] = []

@@ -10,12 +10,13 @@ plan into a different signal cycle shows up as a step).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.ascii_plot import ascii_plot
 from repro.analysis.tables import render_table
+from repro.core.engine import ArtifactStore, StoreStats
 from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
 from repro.errors import InfeasibleProblemError
 from repro.route.us25 import us25_greenville_segment
@@ -41,19 +42,27 @@ class ParetoResult:
         points: (trip-time cap s, achieved trip s, energy mAh) triples,
             feasible caps only.
         min_feasible_trip_s: The fastest constraint-feasible trip.
+        store: Artifact-store counters of the sweep — the whole cap sweep
+            shares one corridor build, which the counters make auditable.
     """
 
     points: List[Tuple[float, float, float]]
     min_feasible_trip_s: float
+    store: Optional[StoreStats] = None
 
 
-def run(config: ParetoConfig = ParetoConfig()) -> ParetoResult:
+def run(
+    config: ParetoConfig = ParetoConfig(),
+    store: Optional[ArtifactStore] = None,
+) -> ParetoResult:
     """Sweep trip-time caps from the feasibility floor upward."""
     road = us25_greenville_segment()
+    store = store if store is not None else ArtifactStore()
     planner = QueueAwareDpPlanner(
         road,
         arrival_rates=vehicles_per_hour_to_per_second(config.arrival_rate_vph),
         config=PlannerConfig(v_step_ms=1.0, s_step_m=25.0, window_margin_s=config.margin_s),
+        store=store,
     )
     floor = planner.min_trip_time(config.depart_s)
     points: List[Tuple[float, float, float]] = []
@@ -64,7 +73,9 @@ def run(config: ParetoConfig = ParetoConfig()) -> ParetoResult:
         except InfeasibleProblemError:
             continue
         points.append((cap, solution.trip_time_s, solution.energy_mah))
-    return ParetoResult(points=points, min_feasible_trip_s=floor)
+    return ParetoResult(
+        points=points, min_feasible_trip_s=floor, store=store.stats()
+    )
 
 
 def report(result: ParetoResult) -> str:
@@ -85,4 +96,7 @@ def report(result: ParetoResult) -> str:
         "",
         chart,
     ]
+    if result.store is not None:
+        lines.append("")
+        lines.append(f"artifact store: {result.store.summary()}")
     return "\n".join(lines)

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.analysis.tables import render_table
 from repro.cloud.service import CloudPlannerService
+from repro.core.engine import ArtifactStore
 from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
 from repro.resilience.client import ResilientPlanClient
 from repro.resilience.faults import CloudFaultModel
@@ -101,9 +102,14 @@ def run(config: ResilienceConfig = ResilienceConfig()) -> ResilienceResult:
     road = us25_greenville_segment()
     rate = vehicles_per_hour_to_per_second(config.traffic_vph)
     planner_config = PlannerConfig(v_step_ms=1.0, s_step_m=25.0)
+    # One store across the whole drop-rate sweep: the corridor never
+    # changes, so every planner and ladder tier after the first is a hit.
+    store = ArtifactStore()
     rows: List[ResilienceRow] = []
     for drop in config.drop_rates:
-        planner = QueueAwareDpPlanner(road, arrival_rates=rate, config=planner_config)
+        planner = QueueAwareDpPlanner(
+            road, arrival_rates=rate, config=planner_config, store=store
+        )
         service = CloudPlannerService(planner)
         fault = (
             CloudFaultModel(drop_rate=drop, seed=config.fault_seed)
@@ -118,7 +124,7 @@ def run(config: ResilienceConfig = ResilienceConfig()) -> ResilienceResult:
             breaker_cooldown_s=config.breaker_cooldown_s,
         )
         ladder = DegradationLadder(
-            client, road, arrival_rates=rate, config=planner_config
+            client, road, arrival_rates=rate, config=planner_config, store=store
         )
         energies: List[float] = []
         times: List[float] = []

@@ -13,11 +13,12 @@ makes precise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.tables import render_table
+from repro.core.engine import ArtifactStore, StoreStats
 from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
 from repro.errors import InfeasibleProblemError
 from repro.route.us25 import us25_greenville_segment
@@ -42,17 +43,29 @@ class SensitivityResult:
     Attributes:
         rows: (error, t_star shift in s, fraction of arrivals still inside
             the true queue-free windows, mean planned energy mAh).
+        store: Artifact-store counters of the sweep.  Forecast error
+            perturbs only the arrival rate — not the corridor — so the
+            whole sweep resolves to one digest: one build, and a hit for
+            every other planner in the sweep.
     """
 
     rows: List[Tuple[float, float, float, float]]
+    store: Optional[StoreStats] = None
 
 
-def run(config: SensitivityConfig = SensitivityConfig()) -> SensitivityResult:
+def run(
+    config: SensitivityConfig = SensitivityConfig(),
+    store: Optional[ArtifactStore] = None,
+) -> SensitivityResult:
     """Plan with biased rates, audit against true-rate windows."""
     road = us25_greenville_segment()
+    store = store if store is not None else ArtifactStore()
     true_rate = vehicles_per_hour_to_per_second(config.true_rate_vph)
     truth_planner = QueueAwareDpPlanner(
-        road, arrival_rates=true_rate, config=PlannerConfig(window_margin_s=0.0)
+        road,
+        arrival_rates=true_rate,
+        config=PlannerConfig(window_margin_s=0.0),
+        store=store,
     )
     true_models = {
         pos: truth_planner.queue_model(pos) for pos in road.signal_positions()
@@ -68,6 +81,7 @@ def run(config: SensitivityConfig = SensitivityConfig()) -> SensitivityResult:
             road,
             arrival_rates=biased,
             config=PlannerConfig(window_margin_s=config.margin_s),
+            store=store,
         )
         shifts = []
         for pos, model in planner._queue_models.items():
@@ -97,7 +111,7 @@ def run(config: SensitivityConfig = SensitivityConfig()) -> SensitivityResult:
         hit_frac = hits / total if total else 0.0
         mean_energy = float(np.mean(energies)) if energies else float("nan")
         rows.append((err, mean_shift, hit_frac, mean_energy))
-    return SensitivityResult(rows=rows)
+    return SensitivityResult(rows=rows, store=store.stats())
 
 
 def report(result: SensitivityResult) -> str:
@@ -117,9 +131,12 @@ def report(result: SensitivityResult) -> str:
         f"within SAE-level error (+-10%): worst hit rate "
         f"{min(r[2] for r in sae_band):.2f} (perfect = 1.00)"
     )
-    return (
+    text = (
         "Extension — sensitivity of T_q targeting to arrival-rate forecast error\n"
         + table
         + "\n"
         + verdict
     )
+    if result.store is not None:
+        text += f"\nartifact store: {result.store.summary()}"
+    return text

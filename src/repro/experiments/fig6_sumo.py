@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.analysis.tables import render_table
+from repro.core.engine import ArtifactStore
 from repro.core.planner import BaselineDpPlanner, PlannerConfig, QueueAwareDpPlanner
 from repro.core.profile import TimedTrace
 from repro.route.us25 import us25_greenville_segment
@@ -78,9 +79,15 @@ def run(config: Fig6Config = Fig6Config()) -> Fig6Result:
     """
     road = us25_greenville_segment()
     rate = vehicles_per_hour_to_per_second(config.arrival_rate_vph)
-    baseline = BaselineDpPlanner(road, config=PlannerConfig(window_margin_s=0.0))
+    store = ArtifactStore()
+    baseline = BaselineDpPlanner(
+        road, config=PlannerConfig(window_margin_s=0.0), store=store
+    )
     proposed = QueueAwareDpPlanner(
-        road, arrival_rates=rate, config=PlannerConfig(window_margin_s=config.queue_margin_s)
+        road,
+        arrival_rates=rate,
+        config=PlannerConfig(window_margin_s=config.queue_margin_s),
+        store=store,
     )
     signal_positions = road.signal_positions()
 

@@ -35,6 +35,7 @@ from typing import Callable, List, Optional
 
 from repro import obs
 from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.core.engine import ArtifactStore
 from repro.core.glosa import GlosaAdvisor
 from repro.core.planner import (
     ArrivalRates,
@@ -140,6 +141,11 @@ class DegradationLadder:
             the next tier, and if even the speed-limit command fails its
             audit the supervisor's safe-stop profile serves as the
             ``safe_stop`` tier.
+        store: Optional shared :class:`~repro.core.engine.ArtifactStore`.
+            The lazily-built local tiers pull their corridor artifacts
+            from it, so a ladder degrading next to a cloud planner that
+            shares the store skips the baseline tier's table build
+            entirely (same road, vehicle and grid ⇒ same digest).
 
     The local tiers are built lazily on first use: a run that never
     degrades never pays for a second DP table.
@@ -154,6 +160,7 @@ class DegradationLadder:
         config: Optional[PlannerConfig] = None,
         vehicle_id: str = "ev",
         supervisor: Optional[SafetySupervisor] = None,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
         if not vehicle_id:
             raise ConfigurationError("vehicle id must be non-empty")
@@ -164,6 +171,7 @@ class DegradationLadder:
         self.config = config
         self.vehicle_id = vehicle_id
         self.supervisor = supervisor
+        self.store = store
         self._baseline: Optional[DpPlannerBase] = None
         self._glosa: Optional[GlosaAdvisor] = None
         self.tier_history: List[str] = []
@@ -174,7 +182,7 @@ class DegradationLadder:
     def _baseline_planner(self) -> DpPlannerBase:
         if self._baseline is None:
             self._baseline = BaselineDpPlanner(
-                self.road, vehicle=self.vehicle, config=self.config
+                self.road, vehicle=self.vehicle, config=self.config, store=self.store
             )
         return self._baseline
 
@@ -186,7 +194,7 @@ class DegradationLadder:
             if rates is not None and not (callable(rates) or isinstance(rates, (int, float))):
                 rates = None
             self._glosa = GlosaAdvisor(
-                self.road, vehicle=self.vehicle, arrival_rates=rates
+                self.road, vehicle=self.vehicle, arrival_rates=rates, store=self.store
             )
         return self._glosa
 

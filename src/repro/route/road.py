@@ -119,6 +119,14 @@ class GradeProfile:
         """Grade (radians) at a position along the road."""
         return float(np.interp(position_m, self._pos, self._grd))
 
+    def breakpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(positions_m, grades_rad)`` breakpoint arrays (read-only copies).
+
+        The engine layer folds these into the corridor-artifact digest;
+        copies keep the profile immutable from the caller's side.
+        """
+        return self._pos.copy(), self._grd.copy()
+
 
 @dataclass
 class RoadSegment:

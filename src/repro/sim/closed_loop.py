@@ -19,12 +19,16 @@ results are bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.core.planner import DpPlannerBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import ArtifactStore
+    from repro.resilience.ladder import DegradationLadder
 from repro.core.profile import TimedTrace, VelocityProfile
 from repro.errors import (
     ConfigurationError,
@@ -128,6 +132,12 @@ class ClosedLoopDriver:
             each tier) and the driver adds divergence monitoring.  With
             valid inputs and zero faults a supervised drive is
             bit-identical to an unsupervised one.
+        store: A shared :class:`~repro.core.engine.ArtifactStore` to
+            install into the ladder (mirroring the supervisor pattern),
+            so the ladder's local fallback tiers reuse the cloud
+            planner's corridor build instead of repeating it.  On the
+            direct path the planner already carries its own store (set
+            at planner construction), so passing one here is rejected.
     """
 
     def __init__(
@@ -139,6 +149,7 @@ class ClosedLoopDriver:
         *,
         ladder: Optional["DegradationLadder"] = None,
         supervisor: Optional[SafetySupervisor] = None,
+        store: Optional["ArtifactStore"] = None,
     ) -> None:
         if replan_interval_s <= 0:
             raise ConfigurationError("replan interval must be positive")
@@ -161,6 +172,19 @@ class ClosedLoopDriver:
         if supervisor is None and ladder is not None:
             supervisor = ladder.supervisor
         self.supervisor = supervisor
+        if store is not None:
+            if ladder is None:
+                raise ConfigurationError(
+                    "store= applies to the ladder path; build the direct "
+                    "planner with its own store instead"
+                )
+            if ladder.store is None:
+                ladder.store = store
+            elif ladder.store is not store:
+                raise ConfigurationError("ladder already carries a different store")
+        self.store = store if store is not None else (
+            ladder.store if ladder is not None else getattr(planner, "store", None)
+        )
         self.replan_interval_s = float(replan_interval_s)
         self.deadline_slack_s = float(deadline_slack_s)
 

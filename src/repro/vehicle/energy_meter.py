@@ -9,7 +9,7 @@ Section III-B-3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -36,7 +36,9 @@ class TripEnergy:
     regenerated_mah: float
     duration_s: float
     distance_m: float
-    pack_voltage_v: float = 399.0
+    pack_voltage_v: float = field(
+        default_factory=lambda: VehicleParams().battery.voltage_v
+    )
 
     @property
     def net_mah(self) -> float:
