@@ -111,6 +111,15 @@ def build_parser() -> argparse.ArgumentParser:
         "this only disables reuse across planner/ladder tiers)",
     )
     parser.add_argument(
+        "--service-stats-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the composed serving-stack counters (service, plan "
+        "caches, resilient client, artifact store) to PATH as one JSON "
+        "document (schema repro.cloud.stats/v1)",
+    )
+    parser.add_argument(
         "--validate",
         action="store_true",
         help="audit the produced plan against the safety contract "
@@ -284,9 +293,34 @@ def main(argv: Optional[list] = None) -> int:
         )
 
     if args.metrics is not None:
+        if client is not None:
+            plan_cache, _, _ = client.service.cache_stats()
+            print(f"plan cache   : {plan_cache.summary()}")
         if store is not None:
             print(f"artifact store: {store.stats().summary()}")
         _emit_metrics(args.metrics, registry)
+
+    if args.service_stats_json:
+        import json
+
+        from repro.cloud.stats import compose_stats_document
+
+        document = compose_stats_document(
+            service=client.service if client is not None else None,
+            client=client,
+            store=store,
+        )
+        try:
+            with open(args.service_stats_json, "w", encoding="utf-8") as fh:
+                json.dump(document, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(
+                f"could not write service stats to {args.service_stats_json!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"service stats written to {args.service_stats_json}")
     return 0
 
 

@@ -3,25 +3,45 @@
 The paper's introduction describes the deployment model of [6, 7]: each
 vehicle uploads its state (starting time and route) to a cloud service
 over wireless, and the cloud computes the optimal velocity profile.  This
-subpackage implements that service layer on top of the planners:
+subpackage implements that service as a four-layer serving stack on top
+of the planners:
 
 * :mod:`repro.cloud.messages` — the request/response records vehicles
   exchange with the service.
-* :mod:`repro.cloud.service` — the planning service with a phase-aware
-  plan cache (plans repeat every signal cycle, so most requests are hits).
+* :mod:`repro.cloud.wire` — the wire layer: a versioned, schema-checked
+  codec between those records and canonical JSON bytes (bit-exact round
+  trips; malformed payloads raise typed errors).
+* :mod:`repro.cloud.plan_cache` — the cache layer: a bounded,
+  thread-safe LRU+TTL store with full hit/miss/eviction accounting.
+* :mod:`repro.cloud.service` — the serving layer: a thin phase-aware
+  facade that validates, consults the caches and plans on misses.
+* :mod:`repro.cloud.dispatcher` — the dispatch layer: a worker pool with
+  single-flight coalescing and per-request deadlines.
+* :mod:`repro.cloud.stats` — one JSON document composing every
+  serving-stack counter.
 * :mod:`repro.cloud.fleet` — fleet-scale evaluation: many EVs request
-  plans over a horizon and drive them through the corridor simulator.
+  plans (serially or through the dispatcher) and the study aggregates
+  fleet energy against human-driving references.
 """
 
 from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.cloud.plan_cache import CacheStats, PlanCache
 from repro.cloud.service import CloudPlannerService, ServiceStats
+from repro.cloud.dispatcher import DispatcherStats, PlanDispatcher
 from repro.cloud.fleet import FleetStudy, FleetResult
+from repro.cloud.stats import STATS_SCHEMA, compose_stats_document
 
 __all__ = [
+    "CacheStats",
     "CloudPlannerService",
+    "DispatcherStats",
     "FleetResult",
     "FleetStudy",
+    "PlanCache",
+    "PlanDispatcher",
     "PlanRequest",
     "PlanResponse",
+    "STATS_SCHEMA",
     "ServiceStats",
+    "compose_stats_document",
 ]

@@ -1,0 +1,314 @@
+"""Dispatch layer: concurrency and single-flight coalescing for serving.
+
+:class:`PlanDispatcher` puts a thread pool in front of
+:meth:`~repro.cloud.service.CloudPlannerService.request` so a fleet's
+requests are served concurrently, and adds **single-flight request
+coalescing**: concurrent requests that quantize to the same service
+cache key (:meth:`CloudPlannerService.coalesce_key`) run exactly one
+planner solve — the first submission becomes the *leader*, everyone else
+a *follower* that waits for the leader to finish and is then answered
+from the warm plan cache (a cheap shift + revalidate, no DP).
+
+Leadership is decided synchronously **at submission time**, in the
+caller's thread, not at task-execution time.  That makes the leader
+deterministic — the first request submitted for a key solves, exactly as
+it would in a serial loop — which is what keeps dispatcher-threaded
+serving bit-identical to serial serving (and testable as such).
+
+Deadlines are wall-clock budgets from submission: a request still queued
+behind a saturated pool, or still waiting on another request's in-flight
+solve, when its deadline lapses fails fast with the typed
+:class:`~repro.errors.DispatchDeadlineError` instead of hanging.  A
+leader that has already started solving runs to completion (the DP is
+not interruptible); its own deadline is only checked before the solve
+starts.
+
+If a leader's solve fails, its followers are *not* failed with it: each
+falls back to its own ``service.request`` call, preserving the serial
+semantics where every infeasible request fails (and is accounted)
+individually.
+
+Exact counters live in :class:`DispatcherStats` (mutated under a lock);
+the mirrored :mod:`repro.obs` counters (``cloud.dispatch.*``) are
+best-effort under concurrency, like all registry counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Hashable, List, Optional, Sequence, Union
+
+from repro import obs
+from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.cloud.service import CloudPlannerService
+from repro.errors import ConfigurationError, DispatchDeadlineError
+
+__all__ = ["DispatcherStats", "PlanDispatcher"]
+
+
+@dataclass(frozen=True)
+class DispatcherStats:
+    """Immutable snapshot of one dispatcher's counters.
+
+    Attributes:
+        submitted: Requests accepted by :meth:`PlanDispatcher.submit`.
+        completed: Requests that produced a response.
+        errors: Requests that raised (planning failures included).
+        leaders: Requests that ran their own service call with a
+            coalescing key registered (first in flight for their key).
+        coalesced: Requests served as followers of another request's
+            in-flight solve.
+        deadline_exceeded: Requests failed on an expired deadline.
+        workers: The pool size.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    errors: int = 0
+    leaders: int = 0
+    coalesced: int = 0
+    deadline_exceeded: int = 0
+    workers: int = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet completed or failed."""
+        return self.submitted - self.completed - self.errors
+
+    def summary(self) -> str:
+        """One-line human-readable form for CLI/report output."""
+        return (
+            f"{self.submitted} submitted, {self.coalesced} coalesced, "
+            f"{self.errors} error(s), {self.deadline_exceeded} deadline-expired "
+            f"({self.workers} workers)"
+        )
+
+
+class _Flight:
+    """One in-flight solve: followers wait on ``done``."""
+
+    __slots__ = ("done",)
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+
+
+class PlanDispatcher:
+    """Thread-pooled, single-flight front end for a planning service.
+
+    Args:
+        service: The synchronous service the workers call into.  Its
+            caches and stats are thread-safe; its planner is read-only
+            during solves, so concurrent solves of *different* keys are
+            safe.
+        workers: Worker-thread count (>= 1).
+        name: Metrics namespace for the :mod:`repro.obs` counters.
+
+    Use as a context manager, or call :meth:`shutdown` when done.
+    """
+
+    def __init__(
+        self,
+        service: CloudPlannerService,
+        workers: int = 4,
+        name: str = "cloud.dispatch",
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"dispatcher needs >= 1 worker, got {workers}")
+        self.service = service
+        self.workers = int(workers)
+        self.name = name
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="plan-dispatch"
+        )
+        self._flights: Dict[Hashable, _Flight] = {}
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._errors = 0
+        self._leaders = 0
+        self._coalesced = 0
+        self._deadline_exceeded = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, req: PlanRequest, deadline_s: Optional[float] = None
+    ) -> "Future[PlanResponse]":
+        """Enqueue one request; returns a future of its response.
+
+        Args:
+            req: The plan request.
+            deadline_s: Optional wall-clock budget (seconds from now);
+                expired requests raise
+                :class:`~repro.errors.DispatchDeadlineError` from the
+                future instead of being served late.
+        """
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigurationError(f"deadline must be positive, got {deadline_s}")
+        registry = obs.get_registry()
+        submitted_at = _time.monotonic()
+        key = self.service.coalesce_key(req)
+        leader = False
+        flight: Optional[_Flight] = None
+        if key is not None:
+            # Leadership is claimed here, synchronously, so the first
+            # submission for a key is the one that solves — matching the
+            # order a serial loop would have run.
+            with self._lock:
+                flight = self._flights.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._flights[key] = flight
+                    leader = True
+        with self._lock:
+            self._submitted += 1
+        registry.inc(f"{self.name}.submitted")
+        return self._pool.submit(
+            self._run, req, key, flight, leader, deadline_s, submitted_at
+        )
+
+    def submit_many(
+        self,
+        requests: Sequence[PlanRequest],
+        deadline_s: Optional[float] = None,
+        return_exceptions: bool = False,
+    ) -> List[Union[PlanResponse, Exception]]:
+        """Submit a batch (in order) and gather the responses (in order).
+
+        Submission order decides coalescing leadership, so a batch of
+        same-key requests is served exactly as a serial loop would serve
+        it: the first solves, the rest hit the warm cache.
+
+        Args:
+            requests: The batch.
+            deadline_s: Optional shared per-request deadline.
+            return_exceptions: When true, a failed request contributes
+                its exception to the result list instead of raising, so
+                one infeasible departure does not mask the others.
+        """
+        futures = [self.submit(req, deadline_s=deadline_s) for req in requests]
+        results: List[Union[PlanResponse, Exception]] = []
+        first_error: Optional[Exception] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                if not return_exceptions and first_error is None:
+                    first_error = exc
+                results.append(exc)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def request(
+        self, req: PlanRequest, deadline_s: Optional[float] = None
+    ) -> PlanResponse:
+        """Synchronous convenience wrapper: submit and wait."""
+        return self.submit(req, deadline_s=deadline_s).result()
+
+    # ------------------------------------------------------------------
+    # Worker body
+    # ------------------------------------------------------------------
+    def _check_deadline(
+        self,
+        req: PlanRequest,
+        deadline_s: Optional[float],
+        submitted_at: float,
+        while_doing: str,
+    ) -> float:
+        """Remaining budget (inf when unbounded); raises when expired."""
+        if deadline_s is None:
+            return float("inf")
+        remaining = deadline_s - (_time.monotonic() - submitted_at)
+        if remaining <= 0:
+            with self._lock:
+                self._deadline_exceeded += 1
+                self._errors += 1
+            registry = obs.get_registry()
+            registry.inc(f"{self.name}.deadline_exceeded")
+            registry.inc(f"{self.name}.errors")
+            raise DispatchDeadlineError(
+                f"request for {req.vehicle_id!r} missed its {deadline_s:.2f} s "
+                f"deadline {while_doing}",
+                vehicle_id=req.vehicle_id,
+                deadline_s=deadline_s,
+            )
+        return remaining
+
+    def _run(
+        self,
+        req: PlanRequest,
+        key: Optional[Hashable],
+        flight: Optional[_Flight],
+        leader: bool,
+        deadline_s: Optional[float],
+        submitted_at: float,
+    ) -> PlanResponse:
+        registry = obs.get_registry()
+        self._check_deadline(req, deadline_s, submitted_at, "while queued")
+        if key is not None and not leader:
+            # Follower: wait for the leader's solve, then serve from the
+            # warm cache with an ordinary (cheap) service call.
+            remaining = self._check_deadline(
+                req, deadline_s, submitted_at, "while queued"
+            )
+            timeout = None if remaining == float("inf") else remaining
+            if not flight.done.wait(timeout=timeout):
+                self._check_deadline(
+                    req, deadline_s, submitted_at, "waiting on a coalesced solve"
+                )
+            with self._lock:
+                self._coalesced += 1
+            registry.inc(f"{self.name}.coalesced")
+        elif leader:
+            with self._lock:
+                self._leaders += 1
+            registry.inc(f"{self.name}.leaders")
+        try:
+            response = self.service.request(req)
+        except Exception:
+            with self._lock:
+                self._errors += 1
+            registry.inc(f"{self.name}.errors")
+            raise
+        else:
+            with self._lock:
+                self._completed += 1
+            registry.inc(f"{self.name}.completed")
+            return response
+        finally:
+            if leader:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.done.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle / stats
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool (idempotent)."""
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PlanDispatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    def stats(self) -> DispatcherStats:
+        """An immutable snapshot of the counters."""
+        with self._lock:
+            return DispatcherStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                errors=self._errors,
+                leaders=self._leaders,
+                coalesced=self._coalesced,
+                deadline_exceeded=self._deadline_exceeded,
+                workers=self.workers,
+            )

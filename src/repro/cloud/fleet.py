@@ -6,6 +6,21 @@ the fleet's planned energy against what the same fleet would burn driving
 like the paper's human references (a mild/fast mix).  Also surfaces the
 service-side economics — the phase cache means fleet cost grows with the
 number of *distinct phases*, not the number of vehicles.
+
+Two serving modes share one aggregation path:
+
+* **serial** (``workers=0``, the default) — each request is served in
+  the caller's thread, exactly as before;
+* **dispatched** (``workers>0``) — the Poisson stream is submitted
+  through a :class:`~repro.cloud.dispatcher.PlanDispatcher`, which
+  serves distinct phases concurrently and coalesces same-phase requests
+  into single solves.  Submission order matches departure order, so
+  coalescing leadership (and therefore every served profile) is
+  bit-identical to the serial mode.
+
+With ``wire_roundtrip=True`` every request and response crosses the
+:mod:`repro.cloud.wire` codec — a realistic serialization boundary whose
+bit-exactness keeps results unchanged.
 """
 
 from __future__ import annotations
@@ -16,7 +31,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro import obs
-from repro.cloud.messages import PlanRequest
+from repro.cloud import wire
+from repro.cloud.dispatcher import DispatcherStats, PlanDispatcher
+from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.cloud.plan_cache import CacheStats
 from repro.cloud.service import CloudPlannerService, ServiceStats
 from repro.core.engine import StoreStats
 from repro.errors import ConfigurationError, PlanningFailedError
@@ -27,6 +45,10 @@ from repro.trace.driver import fast_driver, mild_driver, synthesize_trace
 @dataclass
 class FleetResult:
     """Aggregates of one fleet study.
+
+    Every stats field is a point-in-time *snapshot* taken when
+    :meth:`FleetStudy.run` returned — serving more requests through the
+    same service afterwards cannot mutate a finished result.
 
     Attributes:
         n_vehicles: Fleet size served (successfully planned).
@@ -40,10 +62,12 @@ class FleetResult:
         savings_pct: Fleet-level energy saving of the optimized plans.
         mean_trip_time_s: Mean planned trip duration.
         service: Planning-service counters (cache hits, errors, compute
-            time).
+            time), snapshotted at the end of the run.
         failed_vehicle_ids: Ids of the unplannable departures, in order.
         store: Corridor-artifact store counters at the end of the run
             (``None`` when the service's planner holds no shared store).
+        cache: Plan-cache (LRU+TTL) counters at the end of the run.
+        dispatch: Dispatcher counters (``None`` for serial runs).
     """
 
     n_vehicles: int
@@ -55,6 +79,8 @@ class FleetResult:
     service: ServiceStats
     failed_vehicle_ids: List[str] = field(default_factory=list)
     store: Optional[StoreStats] = None
+    cache: Optional[CacheStats] = None
+    dispatch: Optional[DispatcherStats] = None
 
     def summary(self) -> str:
         """One-line roll-up for reports and CLI output."""
@@ -63,6 +89,10 @@ class FleetResult:
             f"savings {self.savings_pct:.1f}%, "
             f"plan-cache hit rate {self.service.hit_rate:.2f}"
         )
+        if self.cache is not None:
+            line += f", plan cache: {self.cache.summary()}"
+        if self.dispatch is not None:
+            line += f", dispatcher: {self.dispatch.summary()}"
         if self.store is not None:
             line += f", artifact store: {self.store.summary()}"
         return line
@@ -79,6 +109,10 @@ class FleetStudy:
             mild style (the rest drive fast).
         background_vph: Background traffic used for the human references.
         seed: Departure sampling and style assignment seed.
+        workers: Dispatcher worker threads; 0 (the default) serves the
+            stream serially in the caller's thread.
+        wire_roundtrip: Round-trip every request and response through
+            the wire codec (bit-exact; results unchanged).
     """
 
     def __init__(
@@ -89,17 +123,56 @@ class FleetStudy:
         mild_fraction: float = 0.5,
         background_vph: float = 300.0,
         seed: int = 0,
+        workers: int = 0,
+        wire_roundtrip: bool = False,
     ) -> None:
         if fleet_rate_vph <= 0:
             raise ConfigurationError("fleet rate must be positive")
         if not 0.0 <= mild_fraction <= 1.0:
             raise ConfigurationError("mild fraction must be in [0, 1]")
+        if workers < 0:
+            raise ConfigurationError("workers must be >= 0 (0 = serial)")
         self.service = service
         self.road = road
         self.fleet_rate_vph = fleet_rate_vph
         self.mild_fraction = mild_fraction
         self.background_vph = background_vph
         self.seed = seed
+        self.workers = int(workers)
+        self.wire_roundtrip = bool(wire_roundtrip)
+
+    def _make_request(self, vehicle_id: str, depart_s: float) -> PlanRequest:
+        req = PlanRequest(vehicle_id=vehicle_id, depart_s=depart_s)
+        if self.wire_roundtrip:
+            req = wire.roundtrip_request(req)
+        return req
+
+    def _serve_stream(self, departures: np.ndarray):
+        """Serve all departures; yields ``(vehicle_id, response-or-error)``.
+
+        Both modes produce results in departure order, so aggregation
+        downstream is identical (and sums bit-identical) either way.
+        """
+        requests = [
+            self._make_request(f"ev{i}", float(depart))
+            for i, depart in enumerate(departures)
+        ]
+        if self.workers > 0:
+            dispatcher = PlanDispatcher(self.service, workers=self.workers)
+            try:
+                outcomes = dispatcher.submit_many(requests, return_exceptions=True)
+            finally:
+                dispatcher.shutdown()
+            self._dispatch_stats = dispatcher.stats()
+            for req, outcome in zip(requests, outcomes):
+                yield req.vehicle_id, outcome
+            return
+        self._dispatch_stats = None
+        for req in requests:
+            try:
+                yield req.vehicle_id, self.service.request(req)
+            except PlanningFailedError as exc:
+                yield req.vehicle_id, exc
 
     def run(
         self,
@@ -135,16 +208,18 @@ class FleetStudy:
             served_mild = 0
             served_fast = 0
             failed_ids: List[str] = []
-            for i, depart in enumerate(departures):
-                vehicle_id = f"ev{i}"
-                try:
-                    response = self.service.request(
-                        PlanRequest(vehicle_id=vehicle_id, depart_s=float(depart))
-                    )
-                except PlanningFailedError:
+            for i, (vehicle_id, outcome) in enumerate(
+                self._serve_stream(departures)
+            ):
+                if isinstance(outcome, PlanningFailedError):
                     failed_ids.append(vehicle_id)
                     registry.inc("fleet.failed")
                     continue
+                if isinstance(outcome, Exception):
+                    raise outcome
+                response: PlanResponse = outcome
+                if self.wire_roundtrip:
+                    response = wire.roundtrip_response(response)
                 planned_total += response.energy_mah
                 trip_times.append(response.trip_time_s)
                 if styles[i]:
@@ -181,11 +256,13 @@ class FleetStudy:
             human_energy_mah=human_total,
             savings_pct=savings,
             mean_trip_time_s=float(np.mean(trip_times)) if trip_times else 0.0,
-            service=self.service.stats,
+            service=self.service.stats_snapshot(),
             failed_vehicle_ids=failed_ids,
             store=(
                 store.stats()
                 if (store := self.service.artifact_store) is not None
                 else None
             ),
+            cache=self.service.plan_cache.stats(),
+            dispatch=self._dispatch_stats,
         )

@@ -52,6 +52,9 @@ class PlanRequest:
             raise ConfigurationError(f"unknown objective {self.minimize!r}")
         # The range checks above pass NaN/inf straight through (NaN < 0 is
         # False); the input contract closes that hole at construction.
+        # This is the ONLY place the field contract runs: the request is
+        # frozen, so the service trusts it and adds just the
+        # route-length check it alone can perform (check_fields=False).
         validate_plan_request(self, source=f"plan request from {self.vehicle_id!r}")
 
     @property

@@ -1,4 +1,4 @@
-"""The cloud planning service with a phase-aware plan cache.
+"""The cloud planning service: a thin facade over the serving layers.
 
 With fixed-time signals and a stationary arrival-rate forecast, the
 planning problem is periodic: a departure at ``t`` and one at
@@ -8,19 +8,40 @@ are keyed by the departure's phase within ``P`` (quantized) and the trip
 budget, so a warm cache answers most of a fleet's requests without
 running the DP at all.  This is what makes the vehicular-cloud deployment
 of [6, 7] economical.
+
+The service itself is deliberately thin.  It owns the serving *policy*
+(quantization, revalidation, budget defaults, the accounting invariant)
+and composes the mechanism layers:
+
+* :mod:`repro.cloud.plan_cache` — the bounded, thread-safe LRU+TTL
+  caches behind the phase cache and both min-time memos (previously
+  three unbounded dicts);
+* :mod:`repro.cloud.dispatcher` — concurrency and request coalescing on
+  top of :meth:`CloudPlannerService.request` (the service stays
+  synchronous; the dispatcher threads it);
+* :mod:`repro.cloud.wire` — the serialization boundary, exercised by
+  clients that round-trip requests/responses through the codec.
+
+Thread-safety: :meth:`request` may be called from multiple dispatcher
+workers concurrently.  The caches lock internally and the stats counters
+mutate under the service's own lock, so the
+``requests == cache_hits + cache_misses + errors`` invariant holds under
+concurrency too.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time as _time
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.cloud.plan_cache import CacheStats, PlanCache
 from repro.core.planner import DpPlannerBase
 from repro.core.profile import VelocityProfile
 from repro.errors import (
@@ -40,7 +61,8 @@ class ServiceStats:
     Every request increments exactly one of ``cache_hits``,
     ``cache_misses`` or ``errors``, so
     ``requests == cache_hits + cache_misses + errors`` always holds —
-    including when the planner raises mid-request.
+    including when the planner raises mid-request, and under concurrent
+    dispatch (the service mutates these under a lock).
 
     Attributes:
         requests: Total requests received (served or not).
@@ -90,6 +112,11 @@ class CloudPlannerService:
             An invalid plan raises :class:`~repro.errors.PlanningFailedError`
             (accounted like any planner failure) so clients degrade
             instead of executing a degenerate profile.
+        cache_capacity: Bound of each of the three serving caches (the
+            phase-keyed plan cache and both min-time memos).
+        cache_ttl_s: Optional TTL on cache entries (``None`` = no age
+            expiry; with fixed-time signals plans only go stale on
+            forecast updates, which call :meth:`clear_cache`).
     """
 
     def __init__(
@@ -99,6 +126,8 @@ class CloudPlannerService:
         budget_quantum_s: float = 5.0,
         default_budget_slack_s: float = 30.0,
         validator: Optional[PlanValidator] = None,
+        cache_capacity: int = 256,
+        cache_ttl_s: Optional[float] = None,
     ) -> None:
         if phase_quantum_s <= 0 or budget_quantum_s <= 0:
             raise ConfigurationError("cache quanta must be positive")
@@ -110,9 +139,16 @@ class CloudPlannerService:
         self.budget_quantum_s = float(budget_quantum_s)
         self.default_budget_slack_s = float(default_budget_slack_s)
         self.stats = ServiceStats()
-        self._cache: Dict[Tuple[int, int], Tuple[VelocityProfile, float, float]] = {}
-        self._min_time_cache: Dict[int, float] = {}
-        self._min_time_exact: Dict[float, float] = {}
+        self._mutex = threading.Lock()
+        self.plan_cache = PlanCache(
+            capacity=cache_capacity, ttl_s=cache_ttl_s, name="cloud.plan_cache"
+        )
+        self.min_time_cache = PlanCache(
+            capacity=cache_capacity, ttl_s=cache_ttl_s, name="cloud.min_time_cache"
+        )
+        self.min_time_exact = PlanCache(
+            capacity=cache_capacity, ttl_s=cache_ttl_s, name="cloud.min_time_exact"
+        )
         self._period_s = self._common_signal_period()
         self._cacheable = self._period_s is not None and not self._rates_time_varying()
 
@@ -146,6 +182,32 @@ class CloudPlannerService:
         return self._cacheable
 
     # ------------------------------------------------------------------
+    # Cache keys
+    # ------------------------------------------------------------------
+    def _phase_bin(self, depart_s: float) -> int:
+        return int((depart_s % self._period_s) / self.phase_quantum_s)
+
+    def coalesce_key(self, req: PlanRequest) -> Optional[Tuple]:
+        """The key under which concurrent requests may share one solve.
+
+        Two requests with equal keys are guaranteed to resolve to the
+        same plan-cache entry, so the dispatch layer lets one of them
+        solve and serves the rest from the warm cache.  ``None`` means
+        the request is uncoalescable (uncacheable planner, mid-route
+        replan, or a non-energy objective) and must run on its own.
+
+        A budget-less request keys on ``(phase_bin, None)``: its budget
+        derives deterministically from the phase bin (min-time memo +
+        slack), so equal bins imply equal budgets.
+        """
+        if not self._cacheable or req.is_replan or req.minimize != "energy":
+            return None
+        phase_bin = self._phase_bin(req.depart_s)
+        if req.max_trip_time_s is None:
+            return (phase_bin, None)
+        return (phase_bin, int(req.max_trip_time_s / self.budget_quantum_s))
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def request(self, req: PlanRequest) -> PlanResponse:
@@ -167,21 +229,26 @@ class CloudPlannerService:
                 it and continue.
         """
         registry = obs.get_registry()
-        # Reject malformed requests (NaN fields, off-route positions)
-        # before they touch counters or the solver; this is a caller bug,
-        # not a planning failure, so it raises the typed input error.
+        # Screen the one thing the frozen request could not check about
+        # itself: its position against this service's route.  The
+        # request's own field contract (finiteness, ceilings) already ran
+        # in ``PlanRequest.__post_init__`` and the request is immutable,
+        # so those checks are skipped here rather than run twice.
         validate_plan_request(
             req,
             route_length_m=self.planner.road.length_m,
             source=f"plan request from {req.vehicle_id!r}",
+            check_fields=False,
         )
         t_req = _time.perf_counter()
-        self.stats.requests += 1
+        with self._mutex:
+            self.stats.requests += 1
         registry.inc("cloud.requests")
         try:
             response = self._serve(req, registry)
         except (InfeasibleProblemError, PlanRejectedError) as exc:
-            self.stats.errors += 1
+            with self._mutex:
+                self.stats.errors += 1
             registry.inc("cloud.errors")
             if isinstance(exc, PlanRejectedError):
                 registry.inc("cloud.guard_rejections")
@@ -205,15 +272,14 @@ class CloudPlannerService:
 
         key = None
         if self._cacheable:
-            phase_bin = int((req.depart_s % self._period_s) / self.phase_quantum_s)
-            budget_bin = int(budget / self.budget_quantum_s)
-            key = (phase_bin, budget_bin)
-            cached = self._cache.get(key)
+            key = (self._phase_bin(req.depart_s), int(budget / self.budget_quantum_s))
+            cached = self.plan_cache.get(key)
             if cached is not None:
                 profile, energy_mah, trip_time = cached
                 shifted = self._shift_profile(profile, req.depart_s)
                 if self._revalidate(shifted, req.depart_s):
-                    self.stats.cache_hits += 1
+                    with self._mutex:
+                        self.stats.cache_hits += 1
                     registry.inc("cloud.hits")
                     return PlanResponse(
                         vehicle_id=req.vehicle_id,
@@ -223,7 +289,9 @@ class CloudPlannerService:
                         cache_hit=True,
                         compute_time_s=0.0,
                     )
-                self.stats.revalidation_misses += 1
+                self.plan_cache.note_revalidation_miss()
+                with self._mutex:
+                    self.stats.revalidation_misses += 1
                 registry.inc("cloud.revalidation_misses")
 
         t0 = _time.perf_counter()
@@ -235,15 +303,16 @@ class CloudPlannerService:
             # Failed solves burn real planner time too; account it so the
             # service's compute economics stay honest under errors.
             compute = _time.perf_counter() - t0
-            self.stats.total_compute_s += compute
+            with self._mutex:
+                self.stats.total_compute_s += compute
         self._screen(solution, req.depart_s)
-        self.stats.cache_misses += 1
+        with self._mutex:
+            self.stats.cache_misses += 1
         registry.inc("cloud.misses")
         if key is not None:
-            self._cache[key] = (
-                solution.profile,
-                solution.energy_mah,
-                solution.trip_time_s,
+            self.plan_cache.put(
+                key,
+                (solution.profile, solution.energy_mah, solution.trip_time_s),
             )
         return PlanResponse(
             vehicle_id=req.vehicle_id,
@@ -285,9 +354,11 @@ class CloudPlannerService:
                 )
         finally:
             compute = _time.perf_counter() - t0
-            self.stats.total_compute_s += compute
+            with self._mutex:
+                self.stats.total_compute_s += compute
         self._screen(solution, req.depart_s)
-        self.stats.cache_misses += 1
+        with self._mutex:
+            self.stats.cache_misses += 1
         registry.inc("cloud.misses")
         registry.inc("cloud.replans" if req.is_replan else "cloud.uncached")
         return PlanResponse(
@@ -344,24 +415,26 @@ class CloudPlannerService:
         could alter budgets (and therefore plans).
         """
         if not self._cacheable:
-            cached = self._min_time_exact.get(depart_s)
+            cached = self.min_time_exact.get(depart_s)
             if cached is None:
                 t0 = _time.perf_counter()
                 try:
                     cached = self.planner.min_trip_time(depart_s)
                 finally:
-                    self.stats.total_compute_s += _time.perf_counter() - t0
-                self._min_time_exact[depart_s] = cached
+                    with self._mutex:
+                        self.stats.total_compute_s += _time.perf_counter() - t0
+                self.min_time_exact.put(depart_s, cached)
             return cached
-        phase_bin = int((depart_s % self._period_s) / self.phase_quantum_s)
-        cached = self._min_time_cache.get(phase_bin)
+        phase_bin = self._phase_bin(depart_s)
+        cached = self.min_time_cache.get(phase_bin)
         if cached is None:
             t0 = _time.perf_counter()
             try:
                 cached = self.planner.min_trip_time(depart_s)
             finally:
-                self.stats.total_compute_s += _time.perf_counter() - t0
-            self._min_time_cache[phase_bin] = cached
+                with self._mutex:
+                    self.stats.total_compute_s += _time.perf_counter() - t0
+            self.min_time_cache.put(phase_bin, cached)
         return cached
 
     @staticmethod
@@ -385,8 +458,27 @@ class CloudPlannerService:
         """
         return getattr(self.planner, "store", None)
 
+    def stats_snapshot(self) -> ServiceStats:
+        """A point-in-time copy of the counters, safe to keep in results.
+
+        ``stats`` itself is the *live* mutable record — later requests
+        keep mutating it.  Result objects (fleet studies, benchmarks)
+        must hold this snapshot instead, so a finished study's numbers
+        cannot drift afterwards.
+        """
+        with self._mutex:
+            return replace(self.stats)
+
+    def cache_stats(self) -> Tuple[CacheStats, CacheStats, CacheStats]:
+        """Snapshots of (plan cache, min-time memo, exact min-time memo)."""
+        return (
+            self.plan_cache.stats(),
+            self.min_time_cache.stats(),
+            self.min_time_exact.stats(),
+        )
+
     def clear_cache(self) -> None:
         """Drop all cached plans (e.g. after a forecast update)."""
-        self._cache.clear()
-        self._min_time_cache.clear()
-        self._min_time_exact.clear()
+        self.plan_cache.clear()
+        self.min_time_cache.clear()
+        self.min_time_exact.clear()

@@ -1,0 +1,96 @@
+"""One JSON document composing every serving-stack counter.
+
+Downstream tooling (dashboards, regression trackers, the CLI's
+``--service-stats-json``) wants the whole serving picture in one place:
+service accounting, the three plan caches, the dispatcher, the resilient
+client and the corridor-artifact store.  :func:`compose_stats_document`
+snapshots whichever components the caller has and renders them as plain
+JSON-serializable types — absent components are simply omitted, so the
+document shape is stable regardless of how much of the stack a run
+stood up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+#: Document schema tag; bump on incompatible layout changes.
+STATS_SCHEMA = "repro.cloud.stats/v1"
+
+__all__ = ["STATS_SCHEMA", "compose_stats_document"]
+
+
+def _service_section(service) -> Dict[str, Any]:
+    stats = service.stats_snapshot()
+    section = asdict(stats)
+    section["hit_rate"] = stats.hit_rate
+    section["cache_enabled"] = service.cache_enabled
+    return section
+
+
+def _cache_section(cache_stats) -> Dict[str, Any]:
+    section = asdict(cache_stats)
+    section["hit_rate"] = cache_stats.hit_rate
+    return section
+
+
+def _client_section(client) -> Dict[str, Any]:
+    stats = client.stats
+    return {
+        "requests": stats.requests,
+        "served": stats.served,
+        "attempts": stats.attempts,
+        "retries": stats.retries,
+        "drops": stats.drops,
+        "outage_drops": stats.outage_drops,
+        "deadline_exceeded": stats.deadline_exceeded,
+        "failures": stats.failures,
+        "fast_fails": stats.fast_fails,
+        "wire_roundtrips": stats.wire_roundtrips,
+        "breaker_state": stats.breaker_state,
+        "breaker_opens": stats.breaker_opens,
+    }
+
+
+def compose_stats_document(
+    service=None,
+    dispatcher=None,
+    client=None,
+    store=None,
+) -> Dict[str, Any]:
+    """The composed serving-stack counters as one JSON-ready dict.
+
+    Args:
+        service: Optional :class:`~repro.cloud.service.CloudPlannerService`;
+            contributes the ``service`` section plus one section per
+            serving cache (``plan_cache``, ``min_time_cache``,
+            ``min_time_exact``) and, when the planner holds a store and
+            none was passed explicitly, the ``artifact_store`` section.
+        dispatcher: Optional :class:`~repro.cloud.dispatcher.PlanDispatcher`.
+        client: Optional :class:`~repro.resilience.client.ResilientPlanClient`.
+        store: Optional :class:`~repro.core.engine.ArtifactStore`
+            (overrides the service's own).
+    """
+    document: Dict[str, Any] = {"schema": STATS_SCHEMA}
+    if service is not None:
+        document["service"] = _service_section(service)
+        plan, min_time, min_time_exact = service.cache_stats()
+        document["plan_cache"] = _cache_section(plan)
+        document["min_time_cache"] = _cache_section(min_time)
+        document["min_time_exact"] = _cache_section(min_time_exact)
+        if store is None:
+            store = service.artifact_store
+    if dispatcher is not None:
+        stats = dispatcher.stats()
+        section = asdict(stats)
+        section["in_flight"] = stats.in_flight
+        document["dispatcher"] = section
+    if client is not None:
+        document["client"] = _client_section(client)
+    if store is not None:
+        store_stats = store.stats()
+        section = asdict(store_stats)
+        section["hit_rate"] = store_stats.hit_rate
+        document["artifact_store"] = section
+    return document

@@ -1,0 +1,348 @@
+"""Wire layer: a versioned, schema-checked codec for the serving stack.
+
+The deployment model of [6, 7] has vehicles exchanging plan requests and
+velocity profiles with the cloud over wireless — which means a real
+serialization boundary, not in-process object passing.  This module is
+that boundary: :class:`~repro.cloud.messages.PlanRequest`,
+:class:`~repro.cloud.messages.PlanResponse` and
+:class:`~repro.core.profile.VelocityProfile` convert to plain dicts and
+to canonical JSON bytes, and back, **bit-exactly**:
+
+* floats are emitted with Python's shortest-repr rendering, which
+  round-trips every finite IEEE-754 double exactly (including ``-0.0``);
+* NaN/inf are rejected at encode time (``allow_nan=False``) and the
+  decoder refuses the ``NaN``/``Infinity`` JSON extensions, so
+  non-finite values can never cross the wire in either direction;
+* dict keys are sorted and separators minimal, so equal messages encode
+  to equal bytes (safe to hash, dedupe, or diff).
+
+Every payload carries ``wire_version`` (:data:`WIRE_VERSION`) and a
+``kind`` tag.  Decoding is strict: broken JSON, an unknown version, a
+wrong kind, missing or unknown keys, and mistyped fields all raise the
+typed :class:`~repro.errors.WireProtocolError` (a
+:class:`~repro.errors.InputValidationError`, so the guard layer's
+handlers apply unchanged).  Payloads that parse but violate the request
+contract (negative departure, unknown objective, …) are re-raised as
+:class:`WireProtocolError` too — the wire is one boundary with one
+error type.
+
+Version policy: ``wire_version`` is bumped only for **incompatible**
+schema changes (a removed/renamed key, a semantic change to an existing
+key).  Decoders accept exactly the versions they implement and reject
+everything else loudly — there is no silent best-effort parsing of
+foreign versions; a rolling fleet upgrade keeps old decoders alive until
+no old producer remains.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.profile import VelocityProfile
+from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.errors import ConfigurationError, WireProtocolError
+
+__all__ = [
+    "WIRE_VERSION",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "profile_from_dict",
+    "profile_to_dict",
+    "request_from_dict",
+    "request_to_dict",
+    "response_from_dict",
+    "response_to_dict",
+    "roundtrip_request",
+    "roundtrip_response",
+]
+
+#: Current wire schema version; see the module docstring for the bump policy.
+WIRE_VERSION = 1
+
+#: ``kind`` tags distinguishing the two message types on the wire.
+REQUEST_KIND = "plan_request"
+RESPONSE_KIND = "plan_response"
+
+_REQUEST_KEYS = {
+    "wire_version", "kind", "vehicle_id", "depart_s", "max_trip_time_s",
+    "position_m", "speed_ms", "minimize",
+}
+_RESPONSE_KEYS = {
+    "wire_version", "kind", "vehicle_id", "profile", "energy_mah",
+    "trip_time_s", "cache_hit", "compute_time_s",
+}
+_PROFILE_KEYS = {"positions_m", "speeds_ms", "dwell_s", "start_time_s"}
+
+
+# ----------------------------------------------------------------------
+# Schema checking helpers
+# ----------------------------------------------------------------------
+def _reject_nonfinite_token(token: str) -> None:
+    """``parse_constant`` hook: refuse the NaN/Infinity JSON extensions."""
+    raise WireProtocolError(f"non-finite JSON constant {token!r} is not allowed")
+
+
+def _require_mapping(payload: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(payload, dict):
+        raise WireProtocolError(
+            f"{what} must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_keys(payload: Dict[str, Any], expected: set, what: str) -> None:
+    missing = expected - payload.keys()
+    if missing:
+        raise WireProtocolError(
+            f"{what} is missing key(s) {sorted(missing)}", field=sorted(missing)[0]
+        )
+    unknown = payload.keys() - expected
+    if unknown:
+        raise WireProtocolError(
+            f"{what} carries unknown key(s) {sorted(unknown)}", field=sorted(unknown)[0]
+        )
+
+
+def _check_version_and_kind(payload: Dict[str, Any], kind: str, what: str) -> None:
+    version = payload.get("wire_version")
+    if version != WIRE_VERSION:
+        raise WireProtocolError(
+            f"{what} has wire_version {version!r}; this decoder speaks "
+            f"version {WIRE_VERSION} only",
+            field="wire_version",
+            version=version,
+        )
+    if payload.get("kind") != kind:
+        raise WireProtocolError(
+            f"{what} has kind {payload.get('kind')!r}, expected {kind!r}",
+            field="kind",
+        )
+
+
+def _finite_float(value: Any, field: str, what: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireProtocolError(
+            f"{what}.{field} must be a number, got {type(value).__name__}",
+            field=field,
+        )
+    value = float(value)
+    if not math.isfinite(value):
+        raise WireProtocolError(f"{what}.{field} must be finite, got {value!r}", field=field)
+    return value
+
+
+def _float_list(value: Any, field: str, what: str) -> List[float]:
+    if not isinstance(value, list):
+        raise WireProtocolError(
+            f"{what}.{field} must be an array, got {type(value).__name__}",
+            field=field,
+        )
+    return [_finite_float(v, f"{field}[{i}]", what) for i, v in enumerate(value)]
+
+
+def _dumps(document: Dict[str, Any], what: str) -> bytes:
+    try:
+        text = json.dumps(
+            document, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError as exc:
+        # json's own refusal of NaN/inf — surface it as the wire error.
+        raise WireProtocolError(f"{what} carries a non-finite value: {exc}") from exc
+    return text.encode("ascii")
+
+
+def _loads(data: Union[bytes, bytearray, str], what: str) -> Any:
+    if isinstance(data, (bytes, bytearray)):
+        try:
+            data = bytes(data).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireProtocolError(f"{what} is not valid UTF-8: {exc}") from exc
+    try:
+        return json.loads(data, parse_constant=_reject_nonfinite_token)
+    except WireProtocolError:
+        raise
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise WireProtocolError(f"{what} is not valid JSON: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# VelocityProfile <-> dict
+# ----------------------------------------------------------------------
+def profile_to_dict(profile: VelocityProfile) -> Dict[str, Any]:
+    """A :class:`VelocityProfile` as a plain JSON-ready dict."""
+    return {
+        "positions_m": [float(v) for v in profile.positions_m],
+        "speeds_ms": [float(v) for v in profile.speeds_ms],
+        "dwell_s": [float(v) for v in profile.dwell_s],
+        "start_time_s": float(profile.start_time_s),
+    }
+
+
+def profile_from_dict(payload: Dict[str, Any]) -> VelocityProfile:
+    """Rebuild a :class:`VelocityProfile` from its dict form, strictly.
+
+    Raises:
+        WireProtocolError: Missing/unknown keys, mistyped or non-finite
+            entries, or arrays the profile's own invariants reject
+            (non-increasing positions, negative speeds, …).
+    """
+    payload = _require_mapping(payload, "profile")
+    _check_keys(payload, _PROFILE_KEYS, "profile")
+    positions = _float_list(payload["positions_m"], "positions_m", "profile")
+    speeds = _float_list(payload["speeds_ms"], "speeds_ms", "profile")
+    dwell = _float_list(payload["dwell_s"], "dwell_s", "profile")
+    start = _finite_float(payload["start_time_s"], "start_time_s", "profile")
+    try:
+        return VelocityProfile(
+            positions_m=positions, speeds_ms=speeds, dwell_s=dwell, start_time_s=start
+        )
+    except ConfigurationError as exc:
+        raise WireProtocolError(f"profile violates its invariants: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# PlanRequest <-> dict <-> bytes
+# ----------------------------------------------------------------------
+def request_to_dict(req: PlanRequest) -> Dict[str, Any]:
+    """A :class:`PlanRequest` as a plain, versioned JSON-ready dict."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": REQUEST_KIND,
+        "vehicle_id": req.vehicle_id,
+        "depart_s": float(req.depart_s),
+        "max_trip_time_s": (
+            None if req.max_trip_time_s is None else float(req.max_trip_time_s)
+        ),
+        "position_m": float(req.position_m),
+        "speed_ms": float(req.speed_ms),
+        "minimize": req.minimize,
+    }
+
+
+def request_from_dict(payload: Dict[str, Any]) -> PlanRequest:
+    """Rebuild a :class:`PlanRequest` from its dict form, strictly."""
+    payload = _require_mapping(payload, "plan request")
+    _check_keys(payload, _REQUEST_KEYS, "plan request")
+    _check_version_and_kind(payload, REQUEST_KIND, "plan request")
+    vehicle_id = payload["vehicle_id"]
+    if not isinstance(vehicle_id, str):
+        raise WireProtocolError(
+            f"plan request vehicle_id must be a string, got {type(vehicle_id).__name__}",
+            field="vehicle_id",
+        )
+    minimize = payload["minimize"]
+    if not isinstance(minimize, str):
+        raise WireProtocolError(
+            f"plan request minimize must be a string, got {type(minimize).__name__}",
+            field="minimize",
+        )
+    budget: Optional[float] = None
+    if payload["max_trip_time_s"] is not None:
+        budget = _finite_float(payload["max_trip_time_s"], "max_trip_time_s", "plan request")
+    try:
+        return PlanRequest(
+            vehicle_id=vehicle_id,
+            depart_s=_finite_float(payload["depart_s"], "depart_s", "plan request"),
+            max_trip_time_s=budget,
+            position_m=_finite_float(payload["position_m"], "position_m", "plan request"),
+            speed_ms=_finite_float(payload["speed_ms"], "speed_ms", "plan request"),
+            minimize=minimize,
+        )
+    except ConfigurationError as exc:
+        # Includes InputValidationError from the request's own contract.
+        raise WireProtocolError(f"plan request violates its contract: {exc}") from exc
+
+
+def encode_request(req: PlanRequest) -> bytes:
+    """Canonical JSON bytes of a request (equal requests → equal bytes)."""
+    return _dumps(request_to_dict(req), "plan request")
+
+
+def decode_request(data: Union[bytes, bytearray, str]) -> PlanRequest:
+    """Parse and validate wire bytes into a :class:`PlanRequest`.
+
+    Raises:
+        WireProtocolError: Broken JSON, unknown ``wire_version``, wrong
+            ``kind``, missing/unknown keys, mistyped or non-finite
+            fields, or a payload violating the request contract.
+    """
+    return request_from_dict(_loads(data, "plan request"))
+
+
+# ----------------------------------------------------------------------
+# PlanResponse <-> dict <-> bytes
+# ----------------------------------------------------------------------
+def response_to_dict(resp: PlanResponse) -> Dict[str, Any]:
+    """A :class:`PlanResponse` as a plain, versioned JSON-ready dict.
+
+    ``profile`` may be ``None`` (degraded tiers can answer without one);
+    it is encoded as JSON ``null``.
+    """
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": RESPONSE_KIND,
+        "vehicle_id": resp.vehicle_id,
+        "profile": None if resp.profile is None else profile_to_dict(resp.profile),
+        "energy_mah": float(resp.energy_mah),
+        "trip_time_s": float(resp.trip_time_s),
+        "cache_hit": bool(resp.cache_hit),
+        "compute_time_s": float(resp.compute_time_s),
+    }
+
+
+def response_from_dict(payload: Dict[str, Any]) -> PlanResponse:
+    """Rebuild a :class:`PlanResponse` from its dict form, strictly."""
+    payload = _require_mapping(payload, "plan response")
+    _check_keys(payload, _RESPONSE_KEYS, "plan response")
+    _check_version_and_kind(payload, RESPONSE_KIND, "plan response")
+    vehicle_id = payload["vehicle_id"]
+    if not isinstance(vehicle_id, str) or not vehicle_id:
+        raise WireProtocolError(
+            "plan response vehicle_id must be a non-empty string", field="vehicle_id"
+        )
+    if not isinstance(payload["cache_hit"], bool):
+        raise WireProtocolError(
+            "plan response cache_hit must be a boolean", field="cache_hit"
+        )
+    profile = (
+        None if payload["profile"] is None else profile_from_dict(payload["profile"])
+    )
+    return PlanResponse(
+        vehicle_id=vehicle_id,
+        profile=profile,
+        energy_mah=_finite_float(payload["energy_mah"], "energy_mah", "plan response"),
+        trip_time_s=_finite_float(payload["trip_time_s"], "trip_time_s", "plan response"),
+        cache_hit=payload["cache_hit"],
+        compute_time_s=_finite_float(
+            payload["compute_time_s"], "compute_time_s", "plan response"
+        ),
+    )
+
+
+def encode_response(resp: PlanResponse) -> bytes:
+    """Canonical JSON bytes of a response (equal responses → equal bytes)."""
+    return _dumps(response_to_dict(resp), "plan response")
+
+
+def decode_response(data: Union[bytes, bytearray, str]) -> PlanResponse:
+    """Parse and validate wire bytes into a :class:`PlanResponse`.
+
+    Raises:
+        WireProtocolError: Broken JSON, unknown ``wire_version``, wrong
+            ``kind``, missing/unknown keys, or mistyped/non-finite fields.
+    """
+    return response_from_dict(_loads(data, "plan response"))
+
+
+def roundtrip_request(req: PlanRequest) -> PlanRequest:
+    """``decode(encode(req))`` — the full serialization boundary, bit-exact."""
+    return decode_request(encode_request(req))
+
+
+def roundtrip_response(resp: PlanResponse) -> PlanResponse:
+    """``decode(encode(resp))`` — the full serialization boundary, bit-exact."""
+    return decode_response(encode_response(resp))

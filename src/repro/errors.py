@@ -132,6 +132,55 @@ class InputValidationError(ConfigurationError, ValueError):
         self.reason = reason
 
 
+class WireProtocolError(InputValidationError):
+    """A wire payload violated the cloud serving protocol.
+
+    Raised by :mod:`repro.cloud.wire` when bytes arriving at (or leaving)
+    the serialization boundary are not a valid protocol message: broken
+    JSON, a missing or unknown ``wire_version``, a wrong ``kind``,
+    missing/unknown keys, mistyped or non-finite fields.  Subclasses
+    :class:`InputValidationError` so existing guard-layer handlers (and
+    the CLI's exit-code-2 path) treat wire garbage like any other
+    contract breach.
+
+    Attributes:
+        version: The offending payload's ``wire_version`` when it could
+            be read, ``None`` otherwise.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        source: str = "wire",
+        field: str = "",
+        row=None,
+        version=None,
+    ):
+        super().__init__(reason, source=source, field=field, row=row)
+        self.version = version
+
+
+class DispatchDeadlineError(ReproError):
+    """A dispatched plan request missed its per-request deadline.
+
+    Raised by :class:`repro.cloud.dispatcher.PlanDispatcher` when a
+    request's wall-clock deadline expires before the request could be
+    served — either while queued behind a saturated worker pool or while
+    waiting (coalesced) on another request's in-flight solve.  This is a
+    *serving latency* failure: the planning problem itself may be
+    perfectly feasible on a retry.
+
+    Attributes:
+        vehicle_id: The requesting vehicle.
+        deadline_s: The expired deadline (wall seconds from submission).
+    """
+
+    def __init__(self, message: str, vehicle_id: str = "", deadline_s: float = 0.0):
+        super().__init__(message)
+        self.vehicle_id = vehicle_id
+        self.deadline_s = deadline_s
+
+
 class PlanRejectedError(ReproError):
     """A planned profile failed its safety audit and cannot be repaired.
 

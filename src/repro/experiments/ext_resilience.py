@@ -16,13 +16,14 @@ trip still completes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.tables import render_table
+from repro.cloud.plan_cache import CacheStats
 from repro.cloud.service import CloudPlannerService
-from repro.core.engine import ArtifactStore
+from repro.core.engine import ArtifactStore, StoreStats
 from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
 from repro.resilience.client import ResilientPlanClient
 from repro.resilience.faults import CloudFaultModel
@@ -78,6 +79,8 @@ class ResilienceRow:
         retries: Client retries across the matrix.
         breaker_opens: Times the breaker tripped open.
         completed: Drives that finished / total drives.
+        cache: This rate's service plan-cache counters, snapshotted
+            when its drive matrix finished.
     """
 
     drop_rate: float
@@ -88,13 +91,21 @@ class ResilienceRow:
     retries: int
     breaker_opens: int
     completed: Tuple[int, int]
+    cache: Optional[CacheStats] = None
 
 
 @dataclass
 class ResilienceResult:
-    """One row per swept fault rate."""
+    """One row per swept fault rate.
+
+    Attributes:
+        rows: Per-rate aggregates.
+        store: Counters of the artifact store shared across the whole
+            sweep, snapshotted at the end.
+    """
 
     rows: List[ResilienceRow]
+    store: Optional[StoreStats] = None
 
 
 def run(config: ResilienceConfig = ResilienceConfig()) -> ResilienceResult:
@@ -167,9 +178,10 @@ def run(config: ResilienceConfig = ResilienceConfig()) -> ResilienceResult:
                 retries=client.stats.retries,
                 breaker_opens=client.stats.breaker_opens,
                 completed=(finished, total),
+                cache=service.plan_cache.stats(),
             )
         )
-    return ResilienceResult(rows=rows)
+    return ResilienceResult(rows=rows, store=store.stats())
 
 
 def report(result: ResilienceResult) -> str:
@@ -202,8 +214,21 @@ def report(result: ResilienceResult) -> str:
         if all_done
         else "SOME DRIVES DID NOT COMPLETE"
     )
+    footer = [verdict]
+    caches = [row.cache for row in result.rows if row.cache is not None]
+    if caches:
+        hits = sum(c.hits for c in caches)
+        lookups = sum(c.lookups for c in caches)
+        evictions = sum(c.evictions for c in caches)
+        footer.append(
+            f"plan caches: {hits}/{lookups} hit(s), {evictions} eviction(s) "
+            f"across {len(caches)} service(s)"
+        )
+    if result.store is not None:
+        footer.append(f"artifact store: {result.store.summary()}")
     return (
         "Extension — closed-loop resilience under cloud-request faults\n"
         + table
-        + f"\n{verdict}"
+        + "\n"
+        + "\n".join(footer)
     )

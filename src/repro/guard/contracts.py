@@ -389,6 +389,7 @@ def validate_plan_request(
     req: "PlanRequest",
     route_length_m: Optional[float] = None,
     source: str = "plan request",
+    check_fields: bool = True,
 ) -> None:
     """Validate one cloud plan request beyond its constructor checks.
 
@@ -397,22 +398,34 @@ def validate_plan_request(
     position past the route end is only detectable with the road in
     hand.  The service calls this with its route length before serving.
 
+    Args:
+        req: The request under test.
+        route_length_m: When given, also reject positions at/past the
+            route end.
+        source: Error-message prefix naming the boundary.
+        check_fields: Run the per-field finiteness/ceiling checks.  A
+            frozen :class:`PlanRequest` already passed them in
+            ``__post_init__`` and cannot have changed since, so the
+            service passes ``False`` and only adds the route-length
+            check it alone can perform — no double validation.
+
     Raises:
         InputValidationError: On a non-finite field, an off-route
             position, or a speed above the physical ceiling.
     """
-    fields: Dict[str, float] = {
-        "depart_s": req.depart_s,
-        "position_m": req.position_m,
-        "speed_ms": req.speed_ms,
-    }
-    if req.max_trip_time_s is not None:
-        fields["max_trip_time_s"] = req.max_trip_time_s
-    for name, value in fields.items():
-        if not _is_finite_number(value):
-            _fail(source, name, f"must be a finite number, got {value!r}")
-    if req.speed_ms > SPEED_CEILING_MS:
-        _fail(source, "speed_ms", f"{req.speed_ms} m/s exceeds the {SPEED_CEILING_MS:.0f} m/s ceiling")
+    if check_fields:
+        fields: Dict[str, float] = {
+            "depart_s": req.depart_s,
+            "position_m": req.position_m,
+            "speed_ms": req.speed_ms,
+        }
+        if req.max_trip_time_s is not None:
+            fields["max_trip_time_s"] = req.max_trip_time_s
+        for name, value in fields.items():
+            if not _is_finite_number(value):
+                _fail(source, name, f"must be a finite number, got {value!r}")
+        if req.speed_ms > SPEED_CEILING_MS:
+            _fail(source, "speed_ms", f"{req.speed_ms} m/s exceeds the {SPEED_CEILING_MS:.0f} m/s ceiling")
     if route_length_m is not None and req.position_m >= route_length_m:
         _fail(
             source,

@@ -25,6 +25,14 @@ both in :class:`ClientStats` and the active :mod:`repro.obs` registry.
 
 With no fault model attached the client is a pure pass-through — the
 service sees exactly the requests it would have seen without the client.
+
+With ``wire_roundtrip=True`` every request is encoded to canonical wire
+bytes and decoded back before it reaches the service, and every response
+makes the same trip on the way out — the realistic serialization
+boundary of a deployed vehicle↔cloud link.  The codec is bit-exact
+(:mod:`repro.cloud.wire`), so results are unchanged; what it buys is
+coverage: any non-wire-representable message fails loudly at the client
+instead of silently crossing a boundary a real deployment could not.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro import obs
+from repro.cloud import wire
 from repro.cloud.messages import PlanRequest, PlanResponse
 from repro.cloud.service import CloudPlannerService
 from repro.errors import (
@@ -66,6 +75,8 @@ class ClientStats:
             exhausted the request deadline.
         failures: Requests that produced no service answer (transport).
         fast_fails: Requests rejected immediately by an open breaker.
+        wire_roundtrips: Messages round-tripped through the wire codec
+            (requests and responses each count one).
         breaker_state: Current breaker state.
         transitions: Breaker history as ``(now_s, from, to)`` tuples.
     """
@@ -79,6 +90,7 @@ class ClientStats:
     deadline_exceeded: int = 0
     failures: int = 0
     fast_fails: int = 0
+    wire_roundtrips: int = 0
     breaker_state: str = BREAKER_CLOSED
     transitions: List[Tuple[float, str, str]] = field(default_factory=list)
 
@@ -105,6 +117,8 @@ class ResilientPlanClient:
             breaker open.
         breaker_cooldown_s: Simulated seconds the breaker stays open
             before admitting a half-open probe.
+        wire_roundtrip: Encode/decode every request and response through
+            the canonical wire codec (bit-exact; results unchanged).
     """
 
     def __init__(
@@ -118,6 +132,7 @@ class ResilientPlanClient:
         backoff_jitter: float = 0.5,
         breaker_threshold: int = 3,
         breaker_cooldown_s: float = 60.0,
+        wire_roundtrip: bool = False,
     ) -> None:
         if deadline_s <= 0:
             raise ConfigurationError("request deadline must be positive")
@@ -140,6 +155,7 @@ class ResilientPlanClient:
         self.backoff_jitter = float(backoff_jitter)
         self.breaker_threshold = int(breaker_threshold)
         self.breaker_cooldown_s = float(breaker_cooldown_s)
+        self.wire_roundtrip = bool(wire_roundtrip)
         self.stats = ClientStats()
         self._request_index = 0
         self._consecutive_failures = 0
@@ -238,6 +254,12 @@ class ResilientPlanClient:
                 reason="breaker_open",
             )
 
+        if self.wire_roundtrip:
+            # Build the upload payload once; retries re-send the same bytes.
+            req = wire.roundtrip_request(req)
+            self.stats.wire_roundtrips += 1
+            registry.inc("resilience.wire_roundtrips")
+
         elapsed = 0.0
         reason = "drop"
         attempts_allowed = (
@@ -290,6 +312,10 @@ class ResilientPlanClient:
             self.stats.served += 1
             registry.observe("resilience.request_elapsed_s", elapsed)
             self._record_success(t + elapsed)
+            if self.wire_roundtrip:
+                response = wire.roundtrip_response(response)
+                self.stats.wire_roundtrips += 1
+                registry.inc("resilience.wire_roundtrips")
             return response
 
         self.stats.failures += 1

@@ -88,6 +88,47 @@ class TestChaosPath:
         assert "verified in sim" in capsys.readouterr().out
 
 
+class TestServiceStatsJson:
+    def test_composed_document_written(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "svc.json"
+        args = FAST_ARGS + [
+            "--rate", "300", "--cap", "320",
+            "--drop-rate", "0.0",
+            "--service-stats-json", str(target),
+        ]
+        assert main(args) == 0
+        assert "service stats written to" in capsys.readouterr().out
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == "repro.cloud.stats/v1"
+        for section in ("service", "plan_cache", "client", "artifact_store"):
+            assert section in doc
+        service = doc["service"]
+        assert service["requests"] == (
+            service["cache_hits"] + service["cache_misses"] + service["errors"]
+        )
+
+    def test_without_drop_rate_still_emits_store_section(self, tmp_path):
+        import json
+
+        target = tmp_path / "svc.json"
+        args = FAST_ARGS + ["--cap", "320", "--service-stats-json", str(target)]
+        assert main(args) == 0
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == "repro.cloud.stats/v1"
+        assert "artifact_store" in doc
+        assert "service" not in doc  # no cloud path stood up
+
+    def test_unwritable_path_exits_1(self, capsys):
+        args = FAST_ARGS + [
+            "--cap", "320",
+            "--service-stats-json", "/nonexistent-dir/svc.json",
+        ]
+        assert main(args) == 1
+        assert "could not write service stats" in capsys.readouterr().err
+
+
 class TestGuardPath:
     def test_validate_prints_audit_line(self, capsys):
         args = FAST_ARGS + ["--rate", "300", "--cap", "320", "--validate"]

@@ -186,7 +186,7 @@ class TestRevalidation:
         first = service.request(PlanRequest("a", depart_s=100.0, max_trip_time_s=320.0))
         # Replace the cached plan with a full-throttle profile that blows
         # through every signal window.
-        (key,) = service._cache
+        (key,) = service.plan_cache.keys()
         profile = first.profile
         bogus = VelocityProfile(
             positions_m=profile.positions_m,
@@ -194,7 +194,7 @@ class TestRevalidation:
             dwell_s=np.zeros_like(profile.dwell_s),
             start_time_s=100.0,
         )
-        service._cache[key] = (bogus, 1.0, 1.0)
+        service.plan_cache.put(key, (bogus, 1.0, 1.0))
         response = service.request(PlanRequest("b", depart_s=160.0, max_trip_time_s=320.0))
         assert not response.cache_hit
         assert service.stats.revalidation_misses == 1

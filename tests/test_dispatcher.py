@@ -1,0 +1,250 @@
+"""Dispatch layer: single-flight coalescing, deadlines, fleet bit-identity."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cloud import (
+    CloudPlannerService,
+    FleetStudy,
+    PlanDispatcher,
+    PlanRequest,
+    PlanResponse,
+)
+from repro.core.planner import QueueAwareDpPlanner
+from repro.errors import (
+    ConfigurationError,
+    DispatchDeadlineError,
+    PlanningFailedError,
+)
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+@pytest.fixture
+def fresh_service(us25, coarse_config):
+    planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+    return CloudPlannerService(planner)
+
+
+def _response(vehicle_id: str) -> PlanResponse:
+    return PlanResponse(
+        vehicle_id=vehicle_id,
+        profile=None,
+        energy_mah=1.0,
+        trip_time_s=1.0,
+        cache_hit=False,
+        compute_time_s=0.0,
+    )
+
+
+class StubService:
+    """Duck-typed service with controllable keys, blocking and failures."""
+
+    def __init__(self, key=None, block=None, fail_first=False):
+        self.key = key
+        self.block = block  # threading.Event the request waits on
+        self.fail_first = fail_first
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def coalesce_key(self, req):
+        return self.key
+
+    def request(self, req):
+        with self._lock:
+            self.calls += 1
+            first = self.calls == 1
+        if self.block is not None:
+            assert self.block.wait(timeout=10.0), "stub never unblocked"
+        if self.fail_first and first:
+            raise PlanningFailedError("leader solve failed")
+        return _response(req.vehicle_id)
+
+
+class TestSingleFlight:
+    def test_n_identical_concurrent_requests_run_one_solve(self, fresh_service):
+        """The coalescing guarantee: N same-phase requests, exactly 1 DP."""
+        service = fresh_service
+        n = 6
+        requests = [
+            PlanRequest(f"ev{i}", depart_s=100.0 + 60.0 * i, max_trip_time_s=320.0)
+            for i in range(n)  # same phase (60 s period), same budget
+        ]
+        with PlanDispatcher(service, workers=4) as dispatcher:
+            responses = dispatcher.submit_many(requests)
+        assert len(responses) == n
+        # Exactly one solve: one miss, the rest warm-cache hits.
+        assert service.stats.cache_misses == 1
+        assert service.stats.cache_hits == n - 1
+        assert sum(1 for r in responses if not r.cache_hit) == 1
+        # The invariant survives the dispatcher.
+        stats = service.stats
+        assert stats.requests == stats.cache_hits + stats.cache_misses + stats.errors
+        dstats = dispatcher.stats()
+        assert dstats.leaders == 1
+        assert dstats.coalesced == n - 1
+        assert dstats.completed == n
+        assert dstats.in_flight == 0
+
+    def test_first_submitted_request_is_the_leader(self, fresh_service):
+        """Leadership is claimed at submission, so ev0 solves — like serial."""
+        with PlanDispatcher(fresh_service, workers=4) as dispatcher:
+            responses = dispatcher.submit_many(
+                [
+                    PlanRequest(f"ev{i}", depart_s=100.0, max_trip_time_s=320.0)
+                    for i in range(4)
+                ]
+            )
+        assert not responses[0].cache_hit
+        assert all(r.cache_hit for r in responses[1:])
+        # Responses keep per-request identity.
+        assert [r.vehicle_id for r in responses] == [f"ev{i}" for i in range(4)]
+
+    def test_distinct_keys_do_not_coalesce(self, fresh_service):
+        with PlanDispatcher(fresh_service, workers=2) as dispatcher:
+            dispatcher.submit_many(
+                [
+                    PlanRequest("a", depart_s=100.0, max_trip_time_s=320.0),
+                    PlanRequest("b", depart_s=130.0, max_trip_time_s=320.0),
+                ]
+            )
+        stats = dispatcher.stats()
+        assert stats.leaders == 2
+        assert stats.coalesced == 0
+
+    def test_leader_failure_does_not_fail_followers(self):
+        stub = StubService(key="k", fail_first=True)
+        with PlanDispatcher(stub, workers=2) as dispatcher:
+            requests = [PlanRequest(f"v{i}", depart_s=10.0) for i in range(3)]
+            outcomes = dispatcher.submit_many(requests, return_exceptions=True)
+        failures = [o for o in outcomes if isinstance(o, PlanningFailedError)]
+        served = [o for o in outcomes if isinstance(o, PlanResponse)]
+        # Only the leader failed; each follower fell back to its own call.
+        assert len(failures) == 1
+        assert len(served) == 2
+
+    def test_submit_many_reraises_first_error_by_default(self):
+        stub = StubService(key=None, fail_first=True)
+        with PlanDispatcher(stub, workers=1) as dispatcher:
+            with pytest.raises(PlanningFailedError):
+                dispatcher.submit_many(
+                    [PlanRequest(f"v{i}", depart_s=10.0) for i in range(3)]
+                )
+
+
+class TestDeadlines:
+    def test_queued_request_fails_fast_on_expired_deadline(self):
+        gate = threading.Event()
+        stub = StubService(key=None, block=gate)
+        dispatcher = PlanDispatcher(stub, workers=1)
+        try:
+            blocker = dispatcher.submit(PlanRequest("slow", depart_s=10.0))
+            queued = dispatcher.submit(
+                PlanRequest("late", depart_s=10.0), deadline_s=0.05
+            )
+            time.sleep(0.15)  # let the deadline lapse while queued
+            gate.set()
+            blocker.result(timeout=10.0)
+            with pytest.raises(DispatchDeadlineError) as excinfo:
+                queued.result(timeout=10.0)
+            assert excinfo.value.vehicle_id == "late"
+        finally:
+            gate.set()
+            dispatcher.shutdown()
+        stats = dispatcher.stats()
+        assert stats.deadline_exceeded == 1
+        assert stats.errors == 1
+        assert stats.completed == 1
+
+    def test_follower_times_out_waiting_on_a_stuck_leader(self):
+        gate = threading.Event()
+        stub = StubService(key="k", block=gate)
+        dispatcher = PlanDispatcher(stub, workers=2)
+        try:
+            leader = dispatcher.submit(PlanRequest("leader", depart_s=10.0))
+            follower = dispatcher.submit(
+                PlanRequest("follower", depart_s=10.0), deadline_s=0.05
+            )
+            with pytest.raises(DispatchDeadlineError):
+                follower.result(timeout=10.0)
+            gate.set()
+            assert leader.result(timeout=10.0).vehicle_id == "leader"
+        finally:
+            gate.set()
+            dispatcher.shutdown()
+
+    def test_invalid_deadline_and_workers_rejected(self, fresh_service):
+        with pytest.raises(ConfigurationError):
+            PlanDispatcher(fresh_service, workers=0)
+        with PlanDispatcher(fresh_service, workers=1) as dispatcher:
+            with pytest.raises(ConfigurationError):
+                dispatcher.submit(PlanRequest("a", depart_s=1.0), deadline_s=0.0)
+
+
+class TestFleetConcurrency:
+    def test_dispatched_fleet_is_bit_identical_to_serial(self, us25, coarse_config):
+        def build():
+            planner = QueueAwareDpPlanner(
+                us25, arrival_rates=RATE, config=coarse_config
+            )
+            return CloudPlannerService(planner)
+
+        serial = FleetStudy(build(), us25, fleet_rate_vph=80.0, seed=5).run(
+            duration_s=900.0
+        )
+        threaded = FleetStudy(
+            build(), us25, fleet_rate_vph=80.0, seed=5, workers=4
+        ).run(duration_s=900.0)
+
+        # Bit identity, not approximation: same solves, same shifts.
+        assert threaded.planned_energy_mah == serial.planned_energy_mah
+        assert threaded.human_energy_mah == serial.human_energy_mah
+        assert threaded.mean_trip_time_s == serial.mean_trip_time_s
+        assert threaded.n_vehicles == serial.n_vehicles
+        assert threaded.n_failed == serial.n_failed
+        # Same serving economics.
+        assert threaded.service.cache_hits == serial.service.cache_hits
+        assert threaded.service.cache_misses == serial.service.cache_misses
+        # The dispatcher actually ran and its books balance.
+        assert threaded.dispatch is not None
+        assert threaded.dispatch.submitted == serial.service.requests
+        assert threaded.dispatch.in_flight == 0
+        assert serial.dispatch is None
+
+    def test_wire_roundtrip_fleet_is_bit_identical(self, us25, coarse_config):
+        def build():
+            planner = QueueAwareDpPlanner(
+                us25, arrival_rates=RATE, config=coarse_config
+            )
+            return CloudPlannerService(planner)
+
+        plain = FleetStudy(build(), us25, fleet_rate_vph=60.0, seed=3).run(
+            duration_s=600.0
+        )
+        wired = FleetStudy(
+            build(), us25, fleet_rate_vph=60.0, seed=3, workers=2, wire_roundtrip=True
+        ).run(duration_s=600.0)
+        assert wired.planned_energy_mah == plain.planned_energy_mah
+        assert wired.mean_trip_time_s == plain.mean_trip_time_s
+
+    def test_fleet_result_stats_are_snapshots(self, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        service = CloudPlannerService(planner)
+        study = FleetStudy(service, us25, fleet_rate_vph=80.0, seed=5)
+        result = study.run(duration_s=900.0)
+        before = (result.service.requests, result.cache.lookups)
+        # Later traffic through the same service must not rewrite history.
+        service.request(PlanRequest("late", depart_s=100.0, max_trip_time_s=320.0))
+        assert result.service.requests == before[0]
+        assert result.cache.lookups == before[1]
+
+    def test_fleet_workers_validation(self, us25, coarse_config):
+        planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+        service = CloudPlannerService(planner)
+        with pytest.raises(ConfigurationError):
+            FleetStudy(service, us25, workers=-1)

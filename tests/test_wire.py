@@ -1,0 +1,200 @@
+"""Wire-layer codec: bit-exact round trips and strict schema rejection."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import wire
+from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.core.profile import VelocityProfile
+from repro.errors import InputValidationError, WireProtocolError
+
+finite_double = st.floats(allow_nan=False, allow_infinity=False, width=64)
+speed = st.floats(min_value=0.5, max_value=30.0, width=64)
+dwell = st.floats(min_value=0.0, max_value=120.0, width=64)
+
+
+@st.composite
+def profiles(draw):
+    """Random valid profiles: increasing positions, positive speeds."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    steps = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=500.0, width=64),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    positions = [0.0]
+    for step in steps:
+        positions.append(positions[-1] + step)
+    speeds = draw(st.lists(speed, min_size=n, max_size=n))
+    dwells = draw(st.lists(dwell, min_size=n, max_size=n))
+    start = draw(st.floats(min_value=0.0, max_value=1e6, width=64))
+    return VelocityProfile(
+        positions_m=positions, speeds_ms=speeds, dwell_s=dwells, start_time_s=start
+    )
+
+
+@st.composite
+def requests(draw):
+    budget = draw(st.none() | st.floats(min_value=1.0, max_value=1e5, width=64))
+    return PlanRequest(
+        vehicle_id=draw(st.text(min_size=1, max_size=12)),
+        depart_s=draw(st.floats(min_value=0.0, max_value=1e6, width=64)),
+        max_trip_time_s=budget,
+        position_m=draw(st.floats(min_value=0.0, max_value=1e5, width=64)),
+        speed_ms=draw(st.floats(min_value=0.0, max_value=30.0, width=64)),
+        minimize=draw(st.sampled_from(["energy", "time"])),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(req=requests())
+    def test_request_roundtrip_bit_exact(self, req):
+        back = wire.roundtrip_request(req)
+        assert back == req
+        # Canonical encoding: equal messages -> equal bytes.
+        assert wire.encode_request(back) == wire.encode_request(req)
+
+    @settings(max_examples=60, deadline=None)
+    @given(profile=profiles(), energy=finite_double, hit=st.booleans())
+    def test_response_roundtrip_bit_exact(self, profile, energy, hit):
+        resp = PlanResponse(
+            vehicle_id="ev1",
+            profile=profile,
+            energy_mah=energy,
+            trip_time_s=123.456,
+            cache_hit=hit,
+            compute_time_s=0.25,
+        )
+        back = wire.roundtrip_response(resp)
+        assert back.vehicle_id == resp.vehicle_id
+        # Bit-exact float round trips, including the arrays.
+        assert back.energy_mah == resp.energy_mah
+        np.testing.assert_array_equal(back.profile.positions_m, profile.positions_m)
+        np.testing.assert_array_equal(back.profile.speeds_ms, profile.speeds_ms)
+        np.testing.assert_array_equal(back.profile.dwell_s, profile.dwell_s)
+        assert back.profile.start_time_s == profile.start_time_s
+        assert wire.encode_response(back) == wire.encode_response(resp)
+
+    def test_negative_zero_and_tiny_floats_survive(self):
+        req = PlanRequest(vehicle_id="z", depart_s=0.0, speed_ms=5e-324)
+        back = wire.roundtrip_request(req)
+        assert math.copysign(1.0, back.position_m) == math.copysign(1.0, 0.0)
+        assert back.speed_ms == 5e-324
+
+    def test_profile_none_encodes_as_null(self):
+        resp = PlanResponse(
+            vehicle_id="ev1",
+            profile=None,
+            energy_mah=0.0,
+            trip_time_s=10.0,
+            cache_hit=False,
+            compute_time_s=0.0,
+        )
+        payload = json.loads(wire.encode_response(resp))
+        assert payload["profile"] is None
+        assert wire.roundtrip_response(resp).profile is None
+
+
+class TestRejection:
+    def _request_payload(self, **overrides):
+        payload = wire.request_to_dict(PlanRequest(vehicle_id="a", depart_s=10.0))
+        payload.update(overrides)
+        return payload
+
+    def test_unknown_version_rejected(self):
+        payload = self._request_payload(wire_version=wire.WIRE_VERSION + 1)
+        with pytest.raises(WireProtocolError) as excinfo:
+            wire.request_from_dict(payload)
+        assert excinfo.value.version == wire.WIRE_VERSION + 1
+
+    def test_wrong_kind_rejected(self):
+        payload = self._request_payload(kind="plan_response")
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(payload)
+
+    def test_missing_and_unknown_keys_rejected(self):
+        payload = self._request_payload()
+        del payload["depart_s"]
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(payload)
+        payload = self._request_payload(surprise=1)
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(payload)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(WireProtocolError):
+            wire.decode_request(b"{not json")
+        with pytest.raises(WireProtocolError):
+            wire.decode_request(b"\xff\xfe")
+        with pytest.raises(WireProtocolError):
+            wire.decode_request(b"[1, 2, 3]")
+
+    def test_nan_inf_rejected_both_directions(self):
+        # Decode: the NaN/Infinity JSON extensions are refused.
+        payload = self._request_payload()
+        text = json.dumps(payload).replace("10.0", "NaN")
+        with pytest.raises(WireProtocolError):
+            wire.decode_request(text)
+        # Dict path: a NaN float field is refused.
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(self._request_payload(depart_s=float("nan")))
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(self._request_payload(speed_ms=float("inf")))
+
+    def test_mistyped_fields_rejected(self):
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(self._request_payload(vehicle_id=7))
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(self._request_payload(depart_s="10"))
+        with pytest.raises(WireProtocolError):
+            # bool is not an acceptable number.
+            wire.request_from_dict(self._request_payload(depart_s=True))
+
+    def test_contract_violations_surface_as_wire_errors(self):
+        payload = self._request_payload(minimize="comfort")
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(payload)
+        payload = self._request_payload(depart_s=-5.0)
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(payload)
+
+    def test_wire_error_is_an_input_validation_error(self):
+        # The guard layer's handlers catch wire errors unchanged.
+        assert issubclass(WireProtocolError, InputValidationError)
+
+    @settings(max_examples=40, deadline=None)
+    @given(blob=st.binary(max_size=64))
+    def test_random_bytes_never_escape_the_typed_error(self, blob):
+        try:
+            wire.decode_request(blob)
+        except WireProtocolError:
+            pass
+
+    def test_bad_profile_arrays_rejected(self):
+        good = wire.profile_to_dict(
+            VelocityProfile(
+                positions_m=[0.0, 100.0],
+                speeds_ms=[5.0, 6.0],
+                dwell_s=[0.0, 0.0],
+                start_time_s=0.0,
+            )
+        )
+        bad = dict(good, positions_m=[100.0, 0.0])  # non-increasing
+        with pytest.raises(WireProtocolError):
+            wire.profile_from_dict(bad)
+        bad = dict(good, speeds_ms=[5.0, float("nan")])
+        with pytest.raises(WireProtocolError):
+            wire.profile_from_dict(bad)
+        bad = dict(good, speeds_ms="fast")
+        with pytest.raises(WireProtocolError):
+            wire.profile_from_dict(bad)
