@@ -16,7 +16,9 @@ Two serving modes share one aggregation path:
   serves distinct phases concurrently and coalesces same-phase requests
   into single solves.  Submission order matches departure order, so
   coalescing leadership (and therefore every served profile) is
-  bit-identical to the serial mode.
+  bit-identical to the serial mode.  The dispatcher's batched
+  (``batch_window_s``) and process (``backend="process"``) variants
+  plug in here unchanged — all of them serve bit-identical plans.
 
 With ``wire_roundtrip=True`` every request and response crosses the
 :mod:`repro.cloud.wire` codec — a realistic serialization boundary whose
@@ -113,6 +115,13 @@ class FleetStudy:
             stream serially in the caller's thread.
         wire_roundtrip: Round-trip every request and response through
             the wire codec (bit-exact; results unchanged).
+        backend: Dispatcher backend when ``workers > 0``: ``"thread"``
+            (default) or ``"process"`` (key-sharded worker processes
+            over shared-memory artifacts).
+        batch_window_s: When set (thread backend), the dispatcher
+            micro-batches the stream: same-window requests solve as one
+            vectorized DP (see
+            :meth:`~repro.cloud.service.CloudPlannerService.request_batch`).
     """
 
     def __init__(
@@ -125,6 +134,8 @@ class FleetStudy:
         seed: int = 0,
         workers: int = 0,
         wire_roundtrip: bool = False,
+        backend: str = "thread",
+        batch_window_s: Optional[float] = None,
     ) -> None:
         if fleet_rate_vph <= 0:
             raise ConfigurationError("fleet rate must be positive")
@@ -140,6 +151,8 @@ class FleetStudy:
         self.seed = seed
         self.workers = int(workers)
         self.wire_roundtrip = bool(wire_roundtrip)
+        self.backend = backend
+        self.batch_window_s = batch_window_s
 
     def _make_request(self, vehicle_id: str, depart_s: float) -> PlanRequest:
         req = PlanRequest(vehicle_id=vehicle_id, depart_s=depart_s)
@@ -158,7 +171,12 @@ class FleetStudy:
             for i, depart in enumerate(departures)
         ]
         if self.workers > 0:
-            dispatcher = PlanDispatcher(self.service, workers=self.workers)
+            dispatcher = PlanDispatcher(
+                self.service,
+                workers=self.workers,
+                backend=self.backend,
+                batch_window_s=self.batch_window_s,
+            )
             try:
                 outcomes = dispatcher.submit_many(requests, return_exceptions=True)
             finally:

@@ -70,6 +70,29 @@ class SegmentEnergyTable:
         self.travel_s = np.where(feasible, self.travel_s, np.inf)
         self.feasible = feasible
 
+    @classmethod
+    def from_arrays(
+        cls,
+        distance_m: float,
+        energy_j: np.ndarray,
+        travel_s: np.ndarray,
+        feasible: np.ndarray,
+    ) -> "SegmentEnergyTable":
+        """Rehydrate a table from already-priced arrays, without a model.
+
+        The shared-memory attach path
+        (:class:`repro.core.engine.shm.SharedCorridor`) rebuilds tables
+        from exported arrays; re-pricing them would defeat the zero-copy
+        mapping (and double the memory).  The arrays are adopted as-is —
+        the caller vouches they came from an equivalent pricing run.
+        """
+        table = cls.__new__(cls)
+        table.distance_m = float(distance_m)
+        table.energy_j = energy_j
+        table.travel_s = travel_s
+        table.feasible = feasible
+        return table
+
     def successors(self, j: int) -> np.ndarray:
         """Indices ``j2`` reachable from grid velocity index ``j``."""
         return np.flatnonzero(self.feasible[j])

@@ -17,12 +17,12 @@ windows they impose at signalized intersections:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.cost import WindowSet
-from repro.core.dp import DpSolution, DpSolver, TimeWindowConstraint
+from repro.core.dp import BatchProblem, DpSolution, DpSolver, TimeWindowConstraint
 from repro.core.engine import ArtifactStore
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InfeasibleProblemError
 from repro.route.road import RoadSegment, SignalSite
 from repro.signal.queue import QueueLengthModel, QueueWindow
 from repro.signal.vm import VehicleMovementModel
@@ -153,6 +153,48 @@ class DpPlannerBase:
             start_state=(position_m, speed_ms),
         )
 
+    def plan_batch(
+        self,
+        specs: Sequence[Tuple[float, Optional[float]]],
+        minimize: str = "energy",
+    ) -> List[Union[DpSolution, InfeasibleProblemError]]:
+        """Solve many full-trip plans as one batched DP program.
+
+        Args:
+            specs: ``(start_time_s, max_trip_time_s)`` per plan;
+                ``max_trip_time_s`` may be ``None`` (horizon default).
+            minimize: Shared objective for the whole batch.
+
+        Returns:
+            One entry per spec, in order: the :class:`DpSolution` —
+            bit-identical to a serial :meth:`plan` with the same
+            arguments — or the :class:`InfeasibleProblemError` a serial
+            solve would have raised.  Mid-route replans are not
+            batchable; serve those through :meth:`replan`.
+        """
+        problems = [
+            BatchProblem(
+                constraints=self._signal_constraints(start_time_s),
+                start_time_s=start_time_s,
+                max_trip_time_s=max_trip_time_s,
+            )
+            for start_time_s, max_trip_time_s in specs
+        ]
+        return self.solver.solve_batch(problems, minimize=minimize)
+
+    #: Slack over the unconstrained lower bound when capping a min-time
+    #: (budget-calibration) solve: one worst-case signal wait (the longest
+    #: common cycle in the corridor catalog is 60 s) plus margin for
+    #: queue-shrunk windows and time quantization.  The cap only narrows
+    #: the DP's search to trips at most that far above the physical
+    #: floor — any fastest trip inside the cap is found as usual, and an
+    #: infeasible capped solve falls back to the full horizon, so the
+    #: result never silently degrades.
+    MIN_TIME_CAP_SLACK_S = 90.0
+
+    def _min_time_cap(self) -> float:
+        return self.solver.unconstrained_min_time_s + self.MIN_TIME_CAP_SLACK_S
+
     def min_trip_time(self, start_time_s: float = 0.0) -> float:
         """The fastest constraint-feasible trip duration from a departure.
 
@@ -160,8 +202,47 @@ class DpPlannerBase:
         reference human drive threaded the signals faster than the plan's
         windows allow (e.g. the queue-free windows start a few seconds
         into each green).
+
+        The solve is capped at the unconstrained traversal bound plus
+        :attr:`MIN_TIME_CAP_SLACK_S` — a far smaller label lattice than
+        the full horizon — and falls back to an uncapped solve in the
+        rare case no trip fits under the cap.
         """
-        return self.plan(start_time_s=start_time_s, minimize="time").trip_time_s
+        cap = self._min_time_cap()
+        try:
+            return self.plan(
+                start_time_s=start_time_s, max_trip_time_s=cap, minimize="time"
+            ).trip_time_s
+        except InfeasibleProblemError:
+            return self.plan(start_time_s=start_time_s, minimize="time").trip_time_s
+
+    def min_trip_time_batch(
+        self, departures: Sequence[float]
+    ) -> List[Union[float, InfeasibleProblemError]]:
+        """Batched :meth:`min_trip_time`: one vectorized DP for many departures.
+
+        Per departure the call sequence (capped solve, uncapped fallback
+        on infeasibility) matches :meth:`min_trip_time` exactly, so each
+        returned duration is bit-identical to the serial call.  A
+        departure that is infeasible even at the full horizon yields the
+        :class:`InfeasibleProblemError` the serial call would have
+        raised, without poisoning the rest of the batch.
+        """
+        cap = self._min_time_cap()
+        sols = self.plan_batch([(d, cap) for d in departures], minimize="time")
+        retry = [
+            i for i, sol in enumerate(sols) if isinstance(sol, InfeasibleProblemError)
+        ]
+        if retry:
+            again = self.plan_batch(
+                [(departures[i], None) for i in retry], minimize="time"
+            )
+            for i, sol in zip(retry, again):
+                sols[i] = sol
+        return [
+            sol if isinstance(sol, InfeasibleProblemError) else sol.trip_time_s
+            for sol in sols
+        ]
 
     def _constraint_from_windows(
         self, site: SignalSite, windows: WindowSet

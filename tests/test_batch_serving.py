@@ -1,0 +1,152 @@
+"""Batched solving: bit-identity of the vectorized paths vs serial.
+
+PR 6's throughput comes from stacking same-corridor DP programs along a
+leading axis (``DpSolver.solve_batch``) and serving whole request windows
+through one batched flow (``CloudPlannerService.request_batch``).  The
+speed is only usable because every batched artifact is **bit-identical**
+to what the serial code path produces — these tests pin that contract at
+each layer: planner batch, min-time calibration batch, and the service's
+flow serving (cache economics included).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud import CloudPlannerService, PlanRequest, PlanResponse
+from repro.core.planner import QueueAwareDpPlanner
+from repro.errors import InfeasibleProblemError, PlanningFailedError
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+@pytest.fixture
+def planner(us25, coarse_config):
+    return QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+
+
+def _assert_same_solution(got, want):
+    assert got.energy_j == want.energy_j
+    assert got.trip_time_s == want.trip_time_s
+    assert np.array_equal(got.profile.positions_m, want.profile.positions_m)
+    assert np.array_equal(got.profile.speeds_ms, want.profile.speeds_ms)
+    assert np.array_equal(got.profile.arrival_times_s, want.profile.arrival_times_s)
+    assert got.signal_arrivals == want.signal_arrivals
+    assert got.windows_hit == want.windows_hit
+
+
+class TestPlanBatch:
+    def test_plan_batch_matches_serial_plans(self, planner):
+        specs = [(100.0, None), (137.0, 320.0), (260.0, None), (100.0, 320.0)]
+        batch = planner.plan_batch(specs)
+        for spec, got in zip(specs, batch):
+            want = planner.plan(start_time_s=spec[0], max_trip_time_s=spec[1])
+            _assert_same_solution(got, want)
+
+    def test_plan_batch_minimize_time_matches_serial(self, planner):
+        specs = [(100.0, None), (137.0, None)]
+        batch = planner.plan_batch(specs, minimize="time")
+        for spec, got in zip(specs, batch):
+            want = planner.plan(start_time_s=spec[0], minimize="time")
+            _assert_same_solution(got, want)
+
+    def test_plan_batch_surfaces_per_problem_infeasibility(self, planner):
+        """A hopeless cap fails its own slot without poisoning the batch."""
+        specs = [(100.0, None), (100.0, 30.0), (137.0, 320.0)]
+        batch = planner.plan_batch(specs)
+        assert isinstance(batch[1], InfeasibleProblemError)
+        with pytest.raises(InfeasibleProblemError):
+            planner.plan(start_time_s=100.0, max_trip_time_s=30.0)
+        _assert_same_solution(batch[0], planner.plan(start_time_s=100.0))
+        _assert_same_solution(
+            batch[2], planner.plan(start_time_s=137.0, max_trip_time_s=320.0)
+        )
+
+    def test_min_trip_time_batch_matches_serial(self, planner):
+        departures = [100.0, 137.0, 260.0]
+        batch = planner.min_trip_time_batch(departures)
+        for depart, got in zip(departures, batch):
+            assert got == planner.min_trip_time(depart)
+
+
+class TestRequestBatch:
+    @staticmethod
+    def _service(us25, coarse_config):
+        planner = QueueAwareDpPlanner(
+            us25, arrival_rates=RATE, config=coarse_config
+        )
+        return CloudPlannerService(planner)
+
+    def test_request_batch_replays_the_serial_story(self, us25, coarse_config):
+        """One flow-served window == the same requests served one by one.
+
+        Covers the budget-less fleet path end to end: min-time floors,
+        budget binning, cold solves, and warm phase-shifted cache hits —
+        responses *and* counters must match the serial service exactly.
+        """
+        departs = [100.0, 111.0, 160.0, 123.0, 171.0, 280.0]  # phase repeats
+        requests = [
+            PlanRequest(f"ev{i}", depart_s=d) for i, d in enumerate(departs)
+        ]
+
+        serial_service = self._service(us25, coarse_config)
+        serial = []
+        for req in requests:
+            try:
+                serial.append(serial_service.request(req))
+            except PlanningFailedError as exc:
+                serial.append(exc)
+
+        batch_service = self._service(us25, coarse_config)
+        batch = batch_service.request_batch(requests)
+
+        for got, want in zip(batch, serial):
+            if isinstance(want, Exception):
+                assert isinstance(got, Exception)
+                assert str(got) == str(want)
+                continue
+            assert isinstance(got, PlanResponse)
+            assert got.vehicle_id == want.vehicle_id
+            assert got.energy_mah == want.energy_mah
+            assert got.trip_time_s == want.trip_time_s
+            assert got.cache_hit == want.cache_hit
+            assert np.array_equal(
+                got.profile.positions_m, want.profile.positions_m
+            )
+            assert np.array_equal(got.profile.speeds_ms, want.profile.speeds_ms)
+
+        # Cache economics are replayed, not re-derived: same books.
+        assert batch_service.stats.requests == serial_service.stats.requests
+        assert batch_service.stats.cache_hits == serial_service.stats.cache_hits
+        assert (
+            batch_service.stats.cache_misses == serial_service.stats.cache_misses
+        )
+        assert batch_service.stats.errors == serial_service.stats.errors
+        assert sorted(batch_service.plan_cache.keys()) == sorted(
+            serial_service.plan_cache.keys()
+        )
+
+    def test_request_batch_captures_failures_in_place(self, us25, coarse_config):
+        service = self._service(us25, coarse_config)
+        requests = [
+            PlanRequest("ok", depart_s=100.0, max_trip_time_s=320.0),
+            PlanRequest("doomed", depart_s=100.0, max_trip_time_s=5.0),
+            PlanRequest("also-ok", depart_s=160.0, max_trip_time_s=320.0),
+        ]
+        outcomes = service.request_batch(requests)
+        assert isinstance(outcomes[0], PlanResponse)
+        assert isinstance(outcomes[1], PlanningFailedError)
+        assert outcomes[1].vehicle_id == "doomed"
+        assert isinstance(outcomes[1].__cause__, InfeasibleProblemError)
+        assert isinstance(outcomes[2], PlanResponse)
+        assert outcomes[2].cache_hit  # same phase+budget as the first
+
+    def test_singleton_batch_equals_request(self, us25, coarse_config):
+        req = PlanRequest("solo", depart_s=100.0)
+        want = self._service(us25, coarse_config).request(req)
+        (got,) = self._service(us25, coarse_config).request_batch([req])
+        assert got.energy_mah == want.energy_mah
+        assert got.trip_time_s == want.trip_time_s
+        assert got.cache_hit == want.cache_hit

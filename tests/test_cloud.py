@@ -323,7 +323,10 @@ class TestFleet:
 
         def flaky_plan(*args, **kwargs):
             calls["n"] += 1
-            if calls["n"] == 1:
+            # The first vehicle's min-time calibration runs a capped solve
+            # and, on infeasibility, an uncapped fallback — fail both so
+            # the failure actually reaches the vehicle.
+            if calls["n"] <= 2:
                 raise InfeasibleProblemError("forced for test")
             return real_plan(*args, **kwargs)
 

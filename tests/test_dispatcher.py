@@ -5,6 +5,7 @@ from __future__ import annotations
 import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro.cloud import (
@@ -136,6 +137,37 @@ class TestSingleFlight:
                     [PlanRequest(f"v{i}", depart_s=10.0) for i in range(3)]
                 )
 
+    def test_followers_of_a_failed_leader_are_not_counted_coalesced(self):
+        """Regression: ``coalesced`` used to be claimed before serving.
+
+        When the leader's solve failed, each follower fell back to a full
+        solve of its own — yet the books still said the solves were saved.
+        The counter now reflects what actually happened: a follower is
+        coalesced only when its response came from the leader's warm cache.
+        """
+        gate = threading.Event()
+        stub = StubService(key="k", block=gate, fail_first=True)
+        with PlanDispatcher(stub, workers=1) as dispatcher:
+            futures = [
+                dispatcher.submit(PlanRequest(f"v{i}", depart_s=10.0))
+                for i in range(3)
+            ]
+            gate.set()  # every submission coalesced before the leader fails
+            outcomes = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result(timeout=10.0))
+                except PlanningFailedError as exc:
+                    outcomes.append(exc)
+        assert isinstance(outcomes[0], PlanningFailedError)
+        assert all(isinstance(o, PlanResponse) for o in outcomes[1:])
+        stats = dispatcher.stats()
+        assert stats.leaders == 1
+        assert stats.coalesced == 0  # both followers full-solved
+        assert stats.errors == 1
+        assert stats.completed == 2
+        assert stats.in_flight == 0
+
 
 class TestDeadlines:
     def test_queued_request_fails_fast_on_expired_deadline(self):
@@ -177,6 +209,49 @@ class TestDeadlines:
         finally:
             gate.set()
             dispatcher.shutdown()
+
+    def test_expired_leader_releases_its_followers(self):
+        """Regression: the leader's queued-deadline check used to raise
+        *before* the flight bookkeeping's try/finally, so the flight was
+        never marked done and a follower with no deadline of its own hung
+        forever on it.
+        """
+        gate = threading.Event()
+
+        class Stub:
+            """Keyless blocker to jam the worker; everyone else shares a key."""
+
+            def coalesce_key(self, req):
+                return None if req.vehicle_id == "blocker" else "k"
+
+            def request(self, req):
+                if req.vehicle_id == "blocker":
+                    assert gate.wait(timeout=10.0), "stub never unblocked"
+                return _response(req.vehicle_id)
+
+        dispatcher = PlanDispatcher(Stub(), workers=1)
+        try:
+            blocker = dispatcher.submit(PlanRequest("blocker", depart_s=10.0))
+            leader = dispatcher.submit(
+                PlanRequest("leader", depart_s=10.0), deadline_s=0.05
+            )
+            follower = dispatcher.submit(PlanRequest("follower", depart_s=10.0))
+            time.sleep(0.15)  # the leader's deadline lapses while queued
+            gate.set()
+            blocker.result(timeout=10.0)
+            with pytest.raises(DispatchDeadlineError):
+                leader.result(timeout=10.0)
+            # The deadline-free follower must fall back to its own solve,
+            # not wait forever on the flight the leader abandoned.
+            assert follower.result(timeout=10.0).vehicle_id == "follower"
+        finally:
+            gate.set()
+            dispatcher.shutdown()
+        stats = dispatcher.stats()
+        assert stats.deadline_exceeded == 1
+        assert stats.errors == 1
+        assert stats.completed == 2
+        assert stats.in_flight == 0
 
     def test_invalid_deadline_and_workers_rejected(self, fresh_service):
         with pytest.raises(ConfigurationError):
@@ -248,3 +323,111 @@ class TestFleetConcurrency:
         service = CloudPlannerService(planner)
         with pytest.raises(ConfigurationError):
             FleetStudy(service, us25, workers=-1)
+
+
+def _build_service(us25, coarse_config):
+    planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+    return CloudPlannerService(planner)
+
+
+def _serve_serially(service, requests):
+    outcomes = []
+    for req in requests:
+        try:
+            outcomes.append(service.request(req))
+        except Exception as exc:  # noqa: BLE001 - an outcome, not a crash
+            outcomes.append(exc)
+    return outcomes
+
+
+def _assert_same_outcomes(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        if isinstance(w, Exception):
+            assert isinstance(g, Exception)
+            assert str(g) == str(w)
+            continue
+        assert isinstance(g, PlanResponse)
+        assert g.vehicle_id == w.vehicle_id
+        assert g.energy_mah == w.energy_mah
+        assert g.trip_time_s == w.trip_time_s
+        assert g.cache_hit == w.cache_hit
+        assert np.array_equal(g.profile.positions_m, w.profile.positions_m)
+        assert np.array_equal(g.profile.speeds_ms, w.profile.speeds_ms)
+
+
+class TestMicroBatching:
+    def test_batched_dispatch_is_bit_identical_to_serial(self, us25, coarse_config):
+        """Budget-less fleet requests through the batcher == a serial loop."""
+        departs = [100.0, 111.0, 123.0, 160.0, 171.0, 280.0]  # phase repeats
+        requests = [
+            PlanRequest(f"ev{i}", depart_s=d) for i, d in enumerate(departs)
+        ]
+        serial = _serve_serially(_build_service(us25, coarse_config), requests)
+
+        batched_service = _build_service(us25, coarse_config)
+        with PlanDispatcher(
+            batched_service, workers=2, batch_window_s=0.05
+        ) as dispatcher:
+            outcomes = dispatcher.submit_many(requests, return_exceptions=True)
+        _assert_same_outcomes(outcomes, serial)
+        stats = dispatcher.stats()
+        assert stats.batched == len(requests)
+        assert stats.batches >= 1
+        assert stats.completed == len(requests)
+        assert stats.in_flight == 0
+        # A first-of-key request counts as a leader, later same-key arrivals
+        # served from the warm cache count as coalesced — like thread mode.
+        assert stats.leaders + stats.coalesced == len(requests)
+        assert stats.coalesced == sum(1 for o in outcomes if o.cache_hit)
+        # Service-side economics match the serial story exactly.
+        assert batched_service.stats.cache_hits > 0
+
+    def test_keyless_requests_bypass_the_batcher(self):
+        stub = StubService(key=None)
+        with PlanDispatcher(stub, workers=2, batch_window_s=0.05) as dispatcher:
+            outcomes = dispatcher.submit_many(
+                [PlanRequest(f"v{i}", depart_s=10.0) for i in range(3)]
+            )
+        assert len(outcomes) == 3
+        stats = dispatcher.stats()
+        assert stats.batched == 0  # uncacheable work never waits for a window
+        assert stats.batches == 0
+        assert stats.completed == 3
+
+    def test_micro_batching_rejects_the_process_backend(self, fresh_service):
+        with pytest.raises(ConfigurationError):
+            PlanDispatcher(
+                fresh_service, workers=2, backend="process", batch_window_s=0.05
+            )
+        with pytest.raises(ConfigurationError):
+            PlanDispatcher(fresh_service, workers=2, batch_window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            PlanDispatcher(fresh_service, workers=2, backend="fiber")
+
+
+class TestProcessBackend:
+    def test_same_key_stress_is_bit_identical_to_serial(self, us25, coarse_config):
+        """Many same-key requests against worker processes.
+
+        Key-sharded dispatch sends every same-key request to the same
+        worker, whose private cache then behaves exactly like the serial
+        service's: one cold solve, the rest warm phase-shifted hits.
+        """
+        n = 10
+        requests = [
+            PlanRequest(f"ev{i}", depart_s=100.0 + 60.0 * i, max_trip_time_s=320.0)
+            for i in range(n)  # same phase (60 s period), same budget
+        ]
+        serial = _serve_serially(_build_service(us25, coarse_config), requests)
+
+        with PlanDispatcher(
+            _build_service(us25, coarse_config), workers=2, backend="process"
+        ) as dispatcher:
+            outcomes = dispatcher.submit_many(requests, return_exceptions=True)
+        _assert_same_outcomes(outcomes, serial)
+        stats = dispatcher.stats()
+        assert stats.completed == n
+        assert stats.coalesced == n - 1  # one cold solve in the shard's worker
+        assert stats.errors == 0
+        assert stats.in_flight == 0

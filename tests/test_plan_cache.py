@@ -106,6 +106,63 @@ class TestTtl:
         clock.advance(1e9)
         assert cache.get("a") == 1
 
+    def test_contains_drops_the_expired_entry_and_counts_it(self):
+        """Regression: ``in`` used to leave the stale entry in the dict.
+
+        The entry then occupied a capacity slot uncounted until some later
+        ``get`` or eviction tripped over it, so ``size`` disagreed with
+        what any lookup would observe.
+        """
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_s=5.0, name="t.cexp", clock=clock)
+        cache.put("a", 1)
+        clock.advance(6.0)
+        assert "a" not in cache
+        stats = cache.stats()
+        assert stats.size == 0  # dropped, not just hidden
+        assert stats.expirations == 1
+        assert stats.lookups == 0  # still no hit/miss: membership != lookup
+
+    def test_contains_expiry_keeps_the_eviction_books_honest(self):
+        """A stale entry seen by ``in`` must not later count as an eviction."""
+        clock = FakeClock()
+        cache = PlanCache(capacity=2, ttl_s=5.0, name="t.cexp2", clock=clock)
+        cache.put("a", 1)
+        clock.advance(6.0)
+        cache.put("b", 2)
+        assert "a" not in cache  # drops the stale slot now
+        cache.put("c", 3)  # fits: b + c, nothing to evict
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.evictions == 0
+        assert cache.keys() == ["b", "c"]
+
+
+class TestPeek:
+    def test_peek_is_side_effect_free(self):
+        cache = PlanCache(capacity=2, name="t.peek")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.peek("zzz") is None
+        stats = cache.stats()
+        assert stats.lookups == 0  # neither peek counted
+        # Recency was not refreshed: "a" is still the LRU entry.
+        cache.put("c", 3)
+        assert cache.keys() == ["b", "c"]
+
+    def test_peek_leaves_expired_entries_for_get_to_account(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_s=5.0, name="t.peek2", clock=clock)
+        cache.put("a", 1)
+        clock.advance(6.0)
+        assert cache.peek("a") is None  # reads as absent...
+        assert cache.stats().expirations == 0  # ...but nothing was dropped
+        assert cache.get("a") is None  # the replayed lookup does the books
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.misses == 1
+
 
 class TestCounters:
     def test_stats_snapshot_is_immutable_and_complete(self):
