@@ -1,0 +1,331 @@
+"""Standalone PR 7 bench: writes the committed ``BENCH_pr7.json``.
+
+PR 7 put a network front door on the serving stack: an asyncio TCP
+server speaking the versioned wire protocol over length-prefixed
+frames, with a bounded admission queue that sheds excess load as typed
+BUSY errors.  This bench measures that door under open-loop Poisson
+load and gates the two properties that make it a *front door* rather
+than a liability:
+
+* **identity** — a cold fleet served over the wire must be
+  bit-identical to the same fleet served in-process (profile arrays,
+  energies, trip times, cache economics per vehicle);
+* **bounded admitted latency under overload** — with a small admission
+  queue and arrivals far above solve capacity, the p99 latency of
+  *admitted* requests stays bounded (the queue cannot grow), and every
+  excess request is shed as a typed BUSY rejection, never a timeout.
+
+Two load phases run against live servers:
+
+* ``moderate`` — warm-cache requests at an easily sustainable rate;
+  measures the wire floor (p50/p99) and sustained RPS with essentially
+  no shedding;
+* ``overload`` — cold-cache requests (every one a real DP solve) at an
+  arrival rate several times solve capacity against ``max_pending=2``;
+  measures shed rate and the bounded p99 of the admitted.
+
+The harness is open-loop: each request fires at its scheduled Poisson
+arrival offset from a thread pool regardless of earlier completions,
+so server slowness cannot hide behind client back-off.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr7.py [--out BENCH_pr7.json]
+    PYTHONPATH=src python benchmarks/bench_pr7.py --reduced
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.cloud.netclient import NetworkPlanTransport
+from repro.cloud.server import serve_in_background
+from repro.cloud.service import CloudPlannerService
+from repro.core.engine import ArtifactStore
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.errors import CloudUnavailableError, ServerOverloadError
+from repro.route.us25 import us25_greenville_segment
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+CONFIG = PlannerConfig(
+    v_step_ms=1.0, s_step_m=50.0, t_bin_s=2.0, horizon_s=500.0,
+    window_margin_s=2.0,
+)
+MAX_TRIP_TIME_S = 320.0
+SEED = 7
+
+
+def _build_service() -> CloudPlannerService:
+    road = us25_greenville_segment()
+    planner = QueueAwareDpPlanner(
+        road, arrival_rates=RATE, config=CONFIG, store=ArtifactStore()
+    )
+    return CloudPlannerService(planner)
+
+
+def _identity_requests(n: int) -> List[PlanRequest]:
+    return [
+        PlanRequest(
+            vehicle_id=f"ev{i}",
+            depart_s=float(9 * i % 40),
+            max_trip_time_s=MAX_TRIP_TIME_S,
+        )
+        for i in range(n)
+    ]
+
+
+def _assert_identical(got: PlanResponse, want: PlanResponse) -> None:
+    assert got.vehicle_id == want.vehicle_id
+    assert got.energy_mah == want.energy_mah, "energy diverged over the wire"
+    assert got.trip_time_s == want.trip_time_s, "trip time diverged"
+    assert got.cache_hit == want.cache_hit, "cache economics diverged"
+    assert np.array_equal(got.profile.positions_m, want.profile.positions_m)
+    assert np.array_equal(got.profile.speeds_ms, want.profile.speeds_ms)
+    assert np.array_equal(got.profile.arrival_times_s, want.profile.arrival_times_s)
+
+
+def _identity_phase(n: int) -> Dict[str, object]:
+    """Cold wire serving must be bit-identical to cold in-process serving."""
+    requests = _identity_requests(n)
+    reference = [_build_service().request(req) for req in requests]
+    with serve_in_background(_build_service(), request_timeout_s=120.0) as handle:
+        transport = NetworkPlanTransport(*handle.address, timeout_s=120.0)
+        try:
+            wired = [transport.request(req) for req in requests]
+        finally:
+            transport.close()
+        wire_stats = transport.stats_snapshot()
+        document = handle.drain()
+    for got, want in zip(wired, reference):
+        _assert_identical(got, want)
+    assert document["server"]["served"] == n
+    return {
+        "requests": n,
+        "identical_to_in_process": True,
+        "bytes_sent": wire_stats.bytes_sent,
+        "bytes_received": wire_stats.bytes_received,
+    }
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def _open_loop(
+    address: Tuple[str, int],
+    requests: List[PlanRequest],
+    rate_rps: float,
+    seed: int,
+    timeout_s: float = 60.0,
+    max_workers: int = 32,
+) -> Dict[str, object]:
+    """Fire each request at its Poisson arrival offset; tally outcomes.
+
+    Open loop: arrival times are drawn up front and each send fires on
+    schedule (subject to the worker-pool cap) whether or not earlier
+    requests have completed.  Each worker thread keeps one persistent
+    connection, mirroring a fleet of independent vehicles.
+    """
+    rng = np.random.default_rng(seed)
+    offsets = np.cumsum(rng.exponential(1.0 / rate_rps, size=len(requests)))
+    local = threading.local()
+    lock = threading.Lock()
+    transports: List[NetworkPlanTransport] = []
+    served: List[float] = []
+    busy: List[float] = []
+    other: List[str] = []
+    start = time.perf_counter()
+
+    def fire(req: PlanRequest, offset: float) -> None:
+        transport = getattr(local, "transport", None)
+        if transport is None:
+            transport = NetworkPlanTransport(*address, timeout_s=timeout_s)
+            local.transport = transport
+            with lock:
+                transports.append(transport)
+        delay = offset - (time.perf_counter() - start)
+        if delay > 0:
+            time.sleep(delay)
+        t0 = time.perf_counter()
+        try:
+            transport.request(req)
+            outcome, bucket = "served", served
+        except ServerOverloadError:
+            outcome, bucket = "busy", busy
+        except CloudUnavailableError as exc:
+            outcome, bucket = exc.reason, None
+        latency = time.perf_counter() - t0
+        with lock:
+            if bucket is None:
+                other.append(outcome)
+            else:
+                bucket.append(latency)
+
+    try:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(fire, req, off)
+                for req, off in zip(requests, offsets)
+            ]
+            for future in futures:
+                future.result()
+    finally:
+        for transport in transports:
+            transport.close()
+    wall = time.perf_counter() - start
+
+    n = len(requests)
+    return {
+        "requests": n,
+        "offered_rps": round(rate_rps, 2),
+        "wall_s": round(wall, 4),
+        "served": len(served),
+        "busy_rejections": len(busy),
+        "other_failures": len(other),
+        "other_reasons": sorted(set(other)),
+        "rejection_rate": round(len(busy) / n, 4),
+        "sustained_rps": round(len(served) / wall, 2),
+        "admitted_p50_ms": round(_percentile(served, 50) * 1e3, 2) if served else None,
+        "admitted_p99_ms": round(_percentile(served, 99) * 1e3, 2) if served else None,
+        "busy_p99_ms": round(_percentile(busy, 99) * 1e3, 2) if busy else None,
+    }
+
+
+def _moderate_phase(n: int, rate_rps: float) -> Dict[str, object]:
+    """Warm-cache load at a sustainable rate: the wire's latency floor."""
+    warm = _identity_requests(8)
+    requests = [
+        PlanRequest(
+            vehicle_id=f"mod{i}",
+            depart_s=warm[i % len(warm)].depart_s,
+            max_trip_time_s=MAX_TRIP_TIME_S,
+        )
+        for i in range(n)
+    ]
+    with serve_in_background(_build_service(), request_timeout_s=120.0) as handle:
+        transport = NetworkPlanTransport(*handle.address, timeout_s=120.0)
+        try:
+            for req in warm:
+                transport.request(req)
+        finally:
+            transport.close()
+        phase = _open_loop(handle.address, requests, rate_rps, seed=SEED)
+        document = handle.drain()
+    phase["server"] = {
+        "served": document["server"]["served"],
+        "busy_rejections": document["server"]["busy_rejections"],
+    }
+    return phase
+
+
+def _overload_phase(n: int, rate_rps: float, max_pending: int) -> Dict[str, object]:
+    """Cold solves offered far above capacity against a tiny queue.
+
+    Every request lands in a distinct plan-cache bin, so each admitted
+    request costs a real DP solve.  The bounded queue is the whole
+    mechanism under test: admitted latency stays bounded at roughly
+    (queue depth + workers) solves, and everything else is shed BUSY.
+    """
+    requests = [
+        PlanRequest(
+            vehicle_id=f"ovl{i}",
+            depart_s=float(7 * i),
+            max_trip_time_s=MAX_TRIP_TIME_S,
+        )
+        for i in range(n)
+    ]
+    with serve_in_background(
+        _build_service(),
+        max_pending=max_pending,
+        workers=1,
+        request_timeout_s=120.0,
+    ) as handle:
+        phase = _open_loop(handle.address, requests, rate_rps, seed=SEED + 1)
+        document = handle.drain()
+    phase["max_pending"] = max_pending
+    phase["server"] = {
+        "served": document["server"]["served"],
+        "busy_rejections": document["server"]["busy_rejections"],
+    }
+    return phase
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="PR 7 network front-door bench (admission + backpressure)."
+    )
+    parser.add_argument("--out", default="BENCH_pr7.json", help="report destination")
+    parser.add_argument(
+        "--reduced",
+        action="store_true",
+        help="CI smoke: fewer requests per phase, relaxed p99 bound",
+    )
+    parser.add_argument(
+        "--p99-bound-s",
+        type=float,
+        default=None,
+        help="fail if admitted p99 under overload exceeds this "
+        "(default: 10 s full, 30 s reduced)",
+    )
+    args = parser.parse_args(argv)
+    identity_n = 4 if args.reduced else 12
+    moderate_n = 40 if args.reduced else 200
+    moderate_rps = 25.0 if args.reduced else 60.0
+    overload_n = 24 if args.reduced else 60
+    overload_rps = 20.0 if args.reduced else 30.0
+    p99_bound = args.p99_bound_s if args.p99_bound_s is not None else (
+        30.0 if args.reduced else 10.0
+    )
+
+    print(f"identity: {identity_n} cold requests, wire vs in-process")
+    identity = _identity_phase(identity_n)
+    print(f"moderate: {moderate_n} warm requests at {moderate_rps:.0f} rps")
+    moderate = _moderate_phase(moderate_n, moderate_rps)
+    print(f"overload: {overload_n} cold solves at {overload_rps:.0f} rps, "
+          "max_pending=2")
+    overload = _overload_phase(overload_n, overload_rps, max_pending=2)
+
+    report = {
+        "bench": "pr7-network-front-door",
+        "grid": {"v_step_ms": 1.0, "s_step_m": 50.0, "t_bin_s": 2.0},
+        "reduced": bool(args.reduced),
+        "seed": SEED,
+        "identity": identity,
+        "moderate": moderate,
+        "overload": overload,
+        "p99_bound_s": p99_bound,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+    # Gates.  Moderate load must be essentially shed-free and sustained;
+    # overload must actually shed, shed *only* as typed BUSY, and keep
+    # the admitted p99 bounded by the tiny queue.
+    assert moderate["served"] >= 0.95 * moderate_n, "moderate load was shed"
+    assert moderate["other_failures"] == 0, moderate["other_reasons"]
+    assert moderate["sustained_rps"] > 0
+    assert overload["busy_rejections"] > 0, "overload never shed: queue unbounded?"
+    assert overload["other_failures"] == 0, (
+        f"untyped overload failures: {overload['other_reasons']}"
+    )
+    assert overload["served"] > 0, "overload shed everything"
+    assert overload["admitted_p99_ms"] <= p99_bound * 1e3, (
+        f"admitted p99 {overload['admitted_p99_ms']:.0f} ms exceeds "
+        f"{p99_bound:.0f} s: admission queue is not bounding latency"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,8 @@ Examples::
     repro-plan --metrics               # plan summary + JSON metrics report
     repro-plan --metrics=run.json      # write the report to a file
     repro-plan --road route.json --strict   # exit 2 on any contract breach
+    repro-plan --via-server            # plan over a real loopback TCP server
+    repro-plan --via-server --drop-rate 0.3  # ... through a chaos proxy
 
 Exit codes: 0 success, 1 planning failure, 2 input or plan failed its
 validation contract (malformed road file, plan-audit violation under
@@ -104,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection seed for --drop-rate",
     )
     parser.add_argument(
+        "--via-server",
+        action="store_true",
+        help="serve the plan over a real loopback TCP server (the asyncio "
+        "front door) through the socket transport and resilient client; "
+        "with --drop-rate P the wire additionally crosses a seeded chaos "
+        "proxy that drops/delays/truncates/duplicates frames at rate P",
+    )
+    parser.add_argument(
         "--no-artifact-cache",
         action="store_true",
         help="build the corridor artifacts directly instead of through the "
@@ -190,11 +200,52 @@ def main(argv: Optional[list] = None) -> int:
     solution = None
     tier_plan = None
     client = None
+    cloud_service = None
+    served_via = None
     try:
         cap = args.cap
         if cap is None:
             cap = planner.min_trip_time(args.depart) + 30.0
-        if args.drop_rate is not None:
+        if args.via_server:
+            from repro.cloud.netclient import NetworkPlanTransport
+            from repro.cloud.server import serve_in_background
+            from repro.cloud.service import CloudPlannerService
+            from repro.resilience.client import ResilientPlanClient
+            from repro.resilience.ladder import DegradationLadder
+
+            cloud_service = CloudPlannerService(planner)
+            handle = serve_in_background(cloud_service)
+            proxy = None
+            target = handle.address
+            if args.drop_rate:
+                from repro.resilience.netfaults import ChaosProxy, NetFaultSpec
+
+                proxy = ChaosProxy(
+                    handle.address,
+                    NetFaultSpec.uniform(args.drop_rate, seed=args.chaos_seed),
+                )
+                target = proxy.address
+            transport = NetworkPlanTransport(target[0], target[1], timeout_s=5.0)
+            client = ResilientPlanClient(transport, max_attempts=4, deadline_s=30.0)
+            ladder = DegradationLadder(
+                client,
+                road,
+                arrival_rates=rate if args.planner == "proposed" else None,
+                config=config,
+                store=store,
+            )
+            served_via = (
+                f"tcp {handle.address[0]}:{handle.address[1]}"
+                + (f" through chaos proxy (p={args.drop_rate})" if proxy else "")
+            )
+            try:
+                tier_plan = ladder.plan(args.depart, max_trip_time_s=cap)
+            finally:
+                transport.close()
+                if proxy is not None:
+                    proxy.close()
+                handle.drain()
+        elif args.drop_rate is not None:
             from repro.cloud.service import CloudPlannerService
             from repro.resilience.client import ResilientPlanClient
             from repro.resilience.faults import CloudFaultModel
@@ -205,7 +256,8 @@ def main(argv: Optional[list] = None) -> int:
                 if args.drop_rate > 0.0
                 else None
             )
-            client = ResilientPlanClient(CloudPlannerService(planner), fault=fault)
+            cloud_service = CloudPlannerService(planner)
+            client = ResilientPlanClient(cloud_service, fault=fault)
             ladder = DegradationLadder(
                 client,
                 road,
@@ -232,6 +284,8 @@ def main(argv: Optional[list] = None) -> int:
     print(f"trip budget  : {cap:.1f} s")
     if tier_plan is not None:
         print(f"served by    : {tier_plan.tier} tier")
+        if served_via is not None:
+            print(f"served via   : {served_via}")
         print(f"planned trip : {tier_plan.trip_time_s:.1f} s")
         print(f"planned energy: {tier_plan.energy_mah:.1f} mAh")
         stats = client.stats
@@ -293,8 +347,8 @@ def main(argv: Optional[list] = None) -> int:
         )
 
     if args.metrics is not None:
-        if client is not None:
-            plan_cache, _, _ = client.service.cache_stats()
+        if cloud_service is not None:
+            plan_cache, _, _ = cloud_service.cache_stats()
             print(f"plan cache   : {plan_cache.summary()}")
         if store is not None:
             print(f"artifact store: {store.stats().summary()}")
@@ -306,7 +360,7 @@ def main(argv: Optional[list] = None) -> int:
         from repro.cloud.stats import compose_stats_document
 
         document = compose_stats_document(
-            service=client.service if client is not None else None,
+            service=cloud_service,
             client=client,
             store=store,
         )

@@ -22,6 +22,13 @@ of the planners:
 * :mod:`repro.cloud.fleet` — fleet-scale evaluation: many EVs request
   plans (serially or through the dispatcher) and the study aggregates
   fleet energy against human-driving references.
+* :mod:`repro.cloud.framing` — length-prefixed frames restoring message
+  boundaries on a TCP byte stream, with typed truncation/oversize errors.
+* :mod:`repro.cloud.server` — the network front door: an asyncio TCP
+  server with bounded admission (typed BUSY sheds), per-connection
+  deadlines, malformed-frame containment and graceful drain.
+* :mod:`repro.cloud.netclient` — the vehicle-side socket transport,
+  mapping every wire failure into the resilience stack's typed errors.
 """
 
 from repro.cloud.messages import PlanRequest, PlanResponse
@@ -29,6 +36,9 @@ from repro.cloud.plan_cache import CacheStats, PlanCache
 from repro.cloud.service import CloudPlannerService, ServiceStats
 from repro.cloud.dispatcher import DispatcherStats, PlanDispatcher
 from repro.cloud.fleet import FleetStudy, FleetResult
+from repro.cloud.framing import FrameAssembler, encode_frame, split_frames
+from repro.cloud.netclient import NetworkPlanTransport, TransportStats
+from repro.cloud.server import PlanServer, ServerHandle, ServerStats, serve_in_background
 from repro.cloud.stats import STATS_SCHEMA, compose_stats_document
 
 __all__ = [
@@ -37,11 +47,20 @@ __all__ = [
     "DispatcherStats",
     "FleetResult",
     "FleetStudy",
+    "FrameAssembler",
+    "NetworkPlanTransport",
     "PlanCache",
     "PlanDispatcher",
     "PlanRequest",
     "PlanResponse",
+    "PlanServer",
     "STATS_SCHEMA",
+    "ServerHandle",
+    "ServerStats",
     "ServiceStats",
+    "TransportStats",
     "compose_stats_document",
+    "encode_frame",
+    "serve_in_background",
+    "split_frames",
 ]

@@ -39,7 +39,11 @@ from repro.cloud.messages import PlanRequest, PlanResponse
 from repro.cloud.plan_cache import CacheStats
 from repro.cloud.service import CloudPlannerService, ServiceStats
 from repro.core.engine import StoreStats
-from repro.errors import ConfigurationError, PlanningFailedError
+from repro.errors import (
+    CloudUnavailableError,
+    ConfigurationError,
+    PlanningFailedError,
+)
 from repro.route.road import RoadSegment
 from repro.trace.driver import fast_driver, mild_driver, synthesize_trace
 
@@ -54,9 +58,11 @@ class FleetResult:
 
     Attributes:
         n_vehicles: Fleet size served (successfully planned).
-        n_failed: Departures the service could not plan
-            (:class:`~repro.errors.PlanningFailedError`); the study keeps
-            going and reports them here instead of aborting.
+        n_failed: Departures that produced no plan — unplannable ones
+            (:class:`~repro.errors.PlanningFailedError`) and, when
+            serving ``via`` a network target, transport-dead ones
+            (:class:`~repro.errors.CloudUnavailableError`); the study
+            keeps going and reports them here instead of aborting.
         planned_energy_mah: Sum of planned (optimized) trip energies.
         human_energy_mah: Sum of the reference human-driving energies for
             the *served* departures (mild/fast mix) — failed departures
@@ -122,6 +128,17 @@ class FleetStudy:
             micro-batches the stream: same-window requests solve as one
             vectorized DP (see
             :meth:`~repro.cloud.service.CloudPlannerService.request_batch`).
+        via: Alternate request target for serial mode — anything with a
+            compatible ``request(req)`` (a
+            :class:`~repro.cloud.netclient.NetworkPlanTransport`
+            pointing at a plan server, or a
+            :class:`~repro.resilience.client.ResilientPlanClient`
+            wrapping one).  ``service`` is still required: it is the
+            stats authority the result snapshots.  Departures the
+            target fails with :class:`~repro.errors.CloudUnavailableError`
+            (timeouts, resets, BUSY sheds that survive the client's
+            retries) are recorded as failed, like unplannable ones.
+            Mutually exclusive with ``workers > 0``.
     """
 
     def __init__(
@@ -136,6 +153,7 @@ class FleetStudy:
         wire_roundtrip: bool = False,
         backend: str = "thread",
         batch_window_s: Optional[float] = None,
+        via=None,
     ) -> None:
         if fleet_rate_vph <= 0:
             raise ConfigurationError("fleet rate must be positive")
@@ -143,7 +161,12 @@ class FleetStudy:
             raise ConfigurationError("mild fraction must be in [0, 1]")
         if workers < 0:
             raise ConfigurationError("workers must be >= 0 (0 = serial)")
+        if via is not None and workers > 0:
+            raise ConfigurationError(
+                "via= serves serially; combine it with workers=0"
+            )
         self.service = service
+        self.via = via
         self.road = road
         self.fleet_rate_vph = fleet_rate_vph
         self.mild_fraction = mild_fraction
@@ -186,10 +209,11 @@ class FleetStudy:
                 yield req.vehicle_id, outcome
             return
         self._dispatch_stats = None
+        target = self.via if self.via is not None else self.service
         for req in requests:
             try:
-                yield req.vehicle_id, self.service.request(req)
-            except PlanningFailedError as exc:
+                yield req.vehicle_id, target.request(req)
+            except (PlanningFailedError, CloudUnavailableError) as exc:
                 yield req.vehicle_id, exc
 
     def run(
@@ -229,7 +253,7 @@ class FleetStudy:
             for i, (vehicle_id, outcome) in enumerate(
                 self._serve_stream(departures)
             ):
-                if isinstance(outcome, PlanningFailedError):
+                if isinstance(outcome, (PlanningFailedError, CloudUnavailableError)):
                     failed_ids.append(vehicle_id)
                     registry.inc("fleet.failed")
                     continue

@@ -1,0 +1,182 @@
+"""Length-prefixed framing for the wire protocol's byte stream.
+
+TCP delivers a byte stream, not messages; the framing layer restores
+message boundaries so the codec in :mod:`repro.cloud.wire` always sees
+one complete payload.  A frame is a 4-byte big-endian unsigned length
+``N`` followed by exactly ``N`` payload bytes.
+
+The decode side is defensive — this is the first code that touches
+attacker-controllable bytes, so it never lets a raw ``struct`` or
+slicing error escape:
+
+* a declared length of zero, or above the frame cap, raises a typed
+  :class:`~repro.errors.WireProtocolError` carrying the **byte offset**
+  of the offending header and the declared/available byte counts;
+* a stream that ends mid-header or mid-body (truncation) raises the
+  same typed error from :meth:`FrameAssembler.finish`, again with
+  offsets, instead of silently dropping the partial frame;
+* :class:`FrameAssembler` is incremental — feed it chunks as they
+  arrive off a socket and collect whole payloads — so a slow sender
+  never blocks on artificial read sizes.
+
+The frame cap bounds per-connection memory *before* any allocation: an
+adversarial 4 GiB length prefix is rejected from its 4 header bytes
+alone.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Union
+
+from repro.errors import ConfigurationError, WireProtocolError
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "HEADER_BYTES",
+    "FrameAssembler",
+    "encode_frame",
+    "split_frames",
+]
+
+#: Bytes of the big-endian unsigned length prefix.
+HEADER_BYTES = 4
+
+#: Default cap on one frame's payload.  Generous for this protocol — the
+#: largest legitimate message (a plan response over a fine grid) is tens
+#: of kilobytes — while keeping a hostile length prefix cheap to refuse.
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(
+    payload: Union[bytes, bytearray],
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """``payload`` wrapped in its length prefix.
+
+    Raises:
+        WireProtocolError: Empty payload, or payload above the cap —
+            refusing at encode time keeps a compliant peer from ever
+            producing a frame its counterpart must reject.
+    """
+    size = len(payload)
+    if size == 0:
+        raise WireProtocolError("cannot encode an empty frame")
+    if size > max_frame_bytes:
+        raise WireProtocolError(
+            f"frame payload of {size} bytes exceeds the {max_frame_bytes}-byte cap",
+            expected_bytes=max_frame_bytes,
+            got_bytes=size,
+        )
+    return _HEADER.pack(size) + bytes(payload)
+
+
+class FrameAssembler:
+    """Incremental frame decoder over an arriving byte stream.
+
+    Feed it chunks in arrival order; it returns every completed payload
+    and buffers the rest.  All offsets in raised errors are absolute
+    byte positions in the stream since construction, so a log line can
+    point at the exact corrupt header.
+
+    Args:
+        max_frame_bytes: Reject any frame declaring a larger payload.
+        what: Stream name used in error messages (peer address, say).
+    """
+
+    def __init__(
+        self,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        what: str = "frame stream",
+    ) -> None:
+        if max_frame_bytes < 1:
+            raise ConfigurationError(
+                f"frame cap must be >= 1 byte, got {max_frame_bytes}"
+            )
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.what = what
+        self._buffer = bytearray()
+        self._offset = 0  # absolute stream offset of buffer[0]
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: Union[bytes, bytearray]) -> List[bytes]:
+        """Absorb ``data``; return every payload completed by it.
+
+        Raises:
+            WireProtocolError: A frame header declared a zero-length or
+                over-cap payload.  The assembler is then poisoned —
+                stream framing cannot be resynchronized after a bad
+                header, so the connection must be torn down.
+        """
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < HEADER_BYTES:
+                return frames
+            (size,) = _HEADER.unpack_from(self._buffer)
+            if size == 0:
+                raise WireProtocolError(
+                    f"{self.what}: zero-length frame at byte {self._offset}",
+                    offset=self._offset,
+                    expected_bytes=1,
+                    got_bytes=0,
+                )
+            if size > self.max_frame_bytes:
+                raise WireProtocolError(
+                    f"{self.what}: frame at byte {self._offset} declares "
+                    f"{size} bytes, above the {self.max_frame_bytes}-byte cap",
+                    offset=self._offset,
+                    expected_bytes=self.max_frame_bytes,
+                    got_bytes=size,
+                )
+            if len(self._buffer) < HEADER_BYTES + size:
+                return frames
+            frames.append(bytes(self._buffer[HEADER_BYTES : HEADER_BYTES + size]))
+            del self._buffer[: HEADER_BYTES + size]
+            self._offset += HEADER_BYTES + size
+
+    def finish(self) -> None:
+        """Declare end-of-stream; a buffered partial frame is an error.
+
+        Raises:
+            WireProtocolError: The stream ended mid-header or mid-body
+                (a truncated frame), with the offset of the incomplete
+                frame and how many of its bytes arrived.
+        """
+        pending = len(self._buffer)
+        if pending == 0:
+            return
+        if pending < HEADER_BYTES:
+            raise WireProtocolError(
+                f"{self.what}: stream ended mid-header at byte {self._offset} "
+                f"({pending} of {HEADER_BYTES} header bytes)",
+                offset=self._offset,
+                expected_bytes=HEADER_BYTES,
+                got_bytes=pending,
+            )
+        (size,) = _HEADER.unpack_from(self._buffer)
+        raise WireProtocolError(
+            f"{self.what}: stream ended mid-frame at byte {self._offset} "
+            f"({pending - HEADER_BYTES} of {size} payload bytes)",
+            offset=self._offset,
+            expected_bytes=size,
+            got_bytes=pending - HEADER_BYTES,
+        )
+
+
+def split_frames(
+    data: Union[bytes, bytearray],
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    what: str = "frame buffer",
+) -> List[bytes]:
+    """All payloads in a complete buffer; trailing partial data raises."""
+    assembler = FrameAssembler(max_frame_bytes=max_frame_bytes, what=what)
+    frames = assembler.feed(data)
+    assembler.finish()
+    return frames

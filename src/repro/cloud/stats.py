@@ -47,6 +47,8 @@ def _client_section(client) -> Dict[str, Any]:
         "deadline_exceeded": stats.deadline_exceeded,
         "failures": stats.failures,
         "fast_fails": stats.fast_fails,
+        "transport_errors": stats.transport_errors,
+        "busy_rejections": stats.busy_rejections,
         "wire_roundtrips": stats.wire_roundtrips,
         "breaker_state": stats.breaker_state,
         "breaker_opens": stats.breaker_opens,

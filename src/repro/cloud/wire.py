@@ -38,7 +38,8 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.profile import VelocityProfile
 from repro.cloud.messages import PlanRequest, PlanResponse
@@ -46,10 +47,23 @@ from repro.errors import ConfigurationError, WireProtocolError
 
 __all__ = [
     "WIRE_VERSION",
+    "ERROR_BUSY",
+    "ERROR_INTERNAL",
+    "ERROR_PLANNING_FAILED",
+    "ERROR_PROTOCOL",
+    "ERROR_TIMEOUT",
+    "ErrorFrame",
+    "HealthStatus",
+    "decode_message",
     "decode_request",
     "decode_response",
+    "encode_error",
+    "encode_health_request",
+    "encode_health_response",
     "encode_request",
     "encode_response",
+    "encode_stats_request",
+    "encode_stats_response",
     "profile_from_dict",
     "profile_to_dict",
     "request_from_dict",
@@ -63,9 +77,30 @@ __all__ = [
 #: Current wire schema version; see the module docstring for the bump policy.
 WIRE_VERSION = 1
 
-#: ``kind`` tags distinguishing the two message types on the wire.
+#: ``kind`` tags distinguishing the message types on the wire.
 REQUEST_KIND = "plan_request"
 RESPONSE_KIND = "plan_response"
+ERROR_KIND = "error"
+HEALTH_REQUEST_KIND = "health_request"
+HEALTH_RESPONSE_KIND = "health_response"
+STATS_REQUEST_KIND = "stats_request"
+STATS_RESPONSE_KIND = "stats_response"
+
+#: Error-frame codes.  ``retryable`` travels alongside the code so a
+#: client does not need a table of which failures are transient.
+ERROR_BUSY = "busy"                       # shed by admission control
+ERROR_PLANNING_FAILED = "planning_failed"  # served, but infeasible
+ERROR_PROTOCOL = "protocol"               # the peer's bytes were invalid
+ERROR_TIMEOUT = "timeout"                 # server-side deadline expired
+ERROR_INTERNAL = "internal"               # unexpected server failure
+_ERROR_CODES = (
+    ERROR_BUSY, ERROR_PLANNING_FAILED, ERROR_PROTOCOL, ERROR_TIMEOUT,
+    ERROR_INTERNAL,
+)
+
+#: Health statuses a server reports.
+HEALTH_OK = "ok"
+HEALTH_DRAINING = "draining"
 
 _REQUEST_KEYS = {
     "wire_version", "kind", "vehicle_id", "depart_s", "max_trip_time_s",
@@ -76,6 +111,14 @@ _RESPONSE_KEYS = {
     "trip_time_s", "cache_hit", "compute_time_s",
 }
 _PROFILE_KEYS = {"positions_m", "speeds_ms", "dwell_s", "start_time_s"}
+_ERROR_KEYS = {
+    "wire_version", "kind", "code", "message", "retryable", "vehicle_id",
+    "queue_depth", "capacity",
+}
+_HEALTH_REQUEST_KEYS = {"wire_version", "kind"}
+_HEALTH_RESPONSE_KEYS = {"wire_version", "kind", "status", "in_flight", "capacity"}
+_STATS_REQUEST_KEYS = {"wire_version", "kind"}
+_STATS_RESPONSE_KEYS = {"wire_version", "kind", "document"}
 
 
 # ----------------------------------------------------------------------
@@ -336,6 +379,241 @@ def decode_response(data: Union[bytes, bytearray, str]) -> PlanResponse:
             ``kind``, missing/unknown keys, or mistyped/non-finite fields.
     """
     return response_from_dict(_loads(data, "plan response"))
+
+
+# ----------------------------------------------------------------------
+# Error frames
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ErrorFrame:
+    """A server's typed failure answer to one frame.
+
+    Attributes:
+        code: One of the ``ERROR_*`` codes.
+        message: Human-readable detail.
+        retryable: Whether the sender may usefully retry (BUSY and
+            server-side timeouts are transient; protocol and planning
+            failures are not).
+        vehicle_id: The request's vehicle, when the server could read it
+            (lets a pipelining client correlate; empty otherwise).
+        queue_depth: Admission-queue depth at rejection, for ``busy``.
+        capacity: Admission bound, for ``busy``.
+    """
+
+    code: str
+    message: str
+    retryable: bool
+    vehicle_id: str = ""
+    queue_depth: Optional[int] = None
+    capacity: Optional[int] = None
+
+
+def error_to_dict(err: ErrorFrame) -> Dict[str, Any]:
+    """An :class:`ErrorFrame` as a plain, versioned JSON-ready dict."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": ERROR_KIND,
+        "code": err.code,
+        "message": err.message,
+        "retryable": bool(err.retryable),
+        "vehicle_id": err.vehicle_id,
+        "queue_depth": err.queue_depth,
+        "capacity": err.capacity,
+    }
+
+
+def error_from_dict(payload: Dict[str, Any]) -> ErrorFrame:
+    """Rebuild an :class:`ErrorFrame` from its dict form, strictly."""
+    payload = _require_mapping(payload, "error frame")
+    _check_keys(payload, _ERROR_KEYS, "error frame")
+    _check_version_and_kind(payload, ERROR_KIND, "error frame")
+    code = payload["code"]
+    if code not in _ERROR_CODES:
+        raise WireProtocolError(
+            f"error frame has unknown code {code!r}", field="code"
+        )
+    if not isinstance(payload["message"], str):
+        raise WireProtocolError("error frame message must be a string", field="message")
+    if not isinstance(payload["retryable"], bool):
+        raise WireProtocolError(
+            "error frame retryable must be a boolean", field="retryable"
+        )
+    if not isinstance(payload["vehicle_id"], str):
+        raise WireProtocolError(
+            "error frame vehicle_id must be a string", field="vehicle_id"
+        )
+    for field in ("queue_depth", "capacity"):
+        value = payload[field]
+        if value is not None and (isinstance(value, bool) or not isinstance(value, int)):
+            raise WireProtocolError(
+                f"error frame {field} must be an integer or null", field=field
+            )
+    return ErrorFrame(
+        code=code,
+        message=payload["message"],
+        retryable=payload["retryable"],
+        vehicle_id=payload["vehicle_id"],
+        queue_depth=payload["queue_depth"],
+        capacity=payload["capacity"],
+    )
+
+
+def encode_error(err: ErrorFrame) -> bytes:
+    """Canonical JSON bytes of an error frame."""
+    return _dumps(error_to_dict(err), "error frame")
+
+
+# ----------------------------------------------------------------------
+# Health and stats frames
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HealthStatus:
+    """A server's liveness answer.
+
+    Attributes:
+        status: ``"ok"`` while serving, ``"draining"`` once shutdown
+            began (new work is shed, in-flight work completes).
+        in_flight: Admitted-but-unfinished plan requests.
+        capacity: The admission bound.
+    """
+
+    status: str
+    in_flight: int
+    capacity: int
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server has begun its graceful drain."""
+        return self.status == HEALTH_DRAINING
+
+
+def encode_health_request() -> bytes:
+    """Canonical JSON bytes of a health probe."""
+    return _dumps(
+        {"wire_version": WIRE_VERSION, "kind": HEALTH_REQUEST_KIND}, "health request"
+    )
+
+
+def health_to_dict(health: HealthStatus) -> Dict[str, Any]:
+    """A :class:`HealthStatus` as a plain, versioned JSON-ready dict."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": HEALTH_RESPONSE_KIND,
+        "status": health.status,
+        "in_flight": int(health.in_flight),
+        "capacity": int(health.capacity),
+    }
+
+
+def health_from_dict(payload: Dict[str, Any]) -> HealthStatus:
+    """Rebuild a :class:`HealthStatus` from its dict form, strictly."""
+    payload = _require_mapping(payload, "health response")
+    _check_keys(payload, _HEALTH_RESPONSE_KEYS, "health response")
+    _check_version_and_kind(payload, HEALTH_RESPONSE_KIND, "health response")
+    status = payload["status"]
+    if status not in (HEALTH_OK, HEALTH_DRAINING):
+        raise WireProtocolError(
+            f"health response has unknown status {status!r}", field="status"
+        )
+    for field in ("in_flight", "capacity"):
+        value = payload[field]
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise WireProtocolError(
+                f"health response {field} must be a non-negative integer",
+                field=field,
+            )
+    return HealthStatus(
+        status=status, in_flight=payload["in_flight"], capacity=payload["capacity"]
+    )
+
+
+def encode_health_response(health: HealthStatus) -> bytes:
+    """Canonical JSON bytes of a health answer."""
+    return _dumps(health_to_dict(health), "health response")
+
+
+def encode_stats_request() -> bytes:
+    """Canonical JSON bytes of a stats probe."""
+    return _dumps(
+        {"wire_version": WIRE_VERSION, "kind": STATS_REQUEST_KIND}, "stats request"
+    )
+
+
+def encode_stats_response(document: Dict[str, Any]) -> bytes:
+    """Canonical JSON bytes wrapping one composed stats document.
+
+    The document itself is schema-tagged
+    (:data:`repro.cloud.stats.STATS_SCHEMA`); the wire only checks that
+    it is a JSON object with finite numbers.
+    """
+    _require_mapping(document, "stats document")
+    return _dumps(
+        {
+            "wire_version": WIRE_VERSION,
+            "kind": STATS_RESPONSE_KIND,
+            "document": document,
+        },
+        "stats response",
+    )
+
+
+def stats_from_dict(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The stats document out of a stats-response dict, strictly."""
+    payload = _require_mapping(payload, "stats response")
+    _check_keys(payload, _STATS_RESPONSE_KEYS, "stats response")
+    _check_version_and_kind(payload, STATS_RESPONSE_KIND, "stats response")
+    return _require_mapping(payload["document"], "stats document")
+
+
+# ----------------------------------------------------------------------
+# Generic dispatch
+# ----------------------------------------------------------------------
+def decode_message(data: Union[bytes, bytearray, str]) -> Tuple[str, Any]:
+    """Parse any wire payload and dispatch on its ``kind``.
+
+    The server's per-frame entry point (and the client's reply parser):
+    one JSON parse, one version check, then the kind-specific strict
+    decoder.
+
+    Returns:
+        ``(kind, message)`` where ``message`` is a :class:`PlanRequest`,
+        :class:`PlanResponse`, :class:`ErrorFrame`, :class:`HealthStatus`,
+        a stats document dict, or ``None`` for the bodyless request
+        kinds (``health_request``, ``stats_request``).
+
+    Raises:
+        WireProtocolError: Broken JSON, unknown ``wire_version`` or
+            ``kind``, or a payload failing its kind's schema.
+    """
+    payload = _require_mapping(_loads(data, "wire message"), "wire message")
+    version = payload.get("wire_version")
+    if version != WIRE_VERSION:
+        raise WireProtocolError(
+            f"wire message has wire_version {version!r}; this decoder speaks "
+            f"version {WIRE_VERSION} only",
+            field="wire_version",
+            version=version,
+        )
+    kind = payload.get("kind")
+    if kind == REQUEST_KIND:
+        return kind, request_from_dict(payload)
+    if kind == RESPONSE_KIND:
+        return kind, response_from_dict(payload)
+    if kind == ERROR_KIND:
+        return kind, error_from_dict(payload)
+    if kind == HEALTH_RESPONSE_KIND:
+        return kind, health_from_dict(payload)
+    if kind == STATS_RESPONSE_KIND:
+        return kind, stats_from_dict(payload)
+    if kind == HEALTH_REQUEST_KIND:
+        _check_keys(payload, _HEALTH_REQUEST_KEYS, "health request")
+        return kind, None
+    if kind == STATS_REQUEST_KIND:
+        _check_keys(payload, _STATS_REQUEST_KEYS, "stats request")
+        return kind, None
+    raise WireProtocolError(
+        f"wire message has unknown kind {kind!r}", field="kind"
+    )
 
 
 def roundtrip_request(req: PlanRequest) -> PlanRequest:

@@ -94,6 +94,37 @@ class CloudUnavailableError(ReproError):
         self.reason = reason
 
 
+class ServerOverloadError(CloudUnavailableError):
+    """The plan server shed this request under load (a typed BUSY).
+
+    Raised by :class:`repro.cloud.netclient.NetworkPlanTransport` when
+    the server answers with a ``busy`` error frame — its bounded
+    admission queue was full, or it was draining for shutdown.  The
+    server is *alive*; it chose to shed rather than queue unboundedly.
+    Subclasses :class:`CloudUnavailableError` so the resilient client's
+    retry/backoff/circuit-breaker machinery (and the degradation ladder
+    behind it) treats overload like any other transient transport
+    failure: back off, retry, and degrade to a local tier if the
+    overload persists.
+
+    Attributes:
+        queue_depth: Admitted-but-unfinished requests at rejection time,
+            when the server reported it (else ``None``).
+        capacity: The server's admission bound, when reported.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        vehicle_id: str = "",
+        queue_depth=None,
+        capacity=None,
+    ):
+        super().__init__(message, vehicle_id=vehicle_id, attempts=1, reason="busy")
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+
+
 class InputValidationError(ConfigurationError, ValueError):
     """An external input (file, dict, request) violated its contract.
 
@@ -138,14 +169,23 @@ class WireProtocolError(InputValidationError):
     Raised by :mod:`repro.cloud.wire` when bytes arriving at (or leaving)
     the serialization boundary are not a valid protocol message: broken
     JSON, a missing or unknown ``wire_version``, a wrong ``kind``,
-    missing/unknown keys, mistyped or non-finite fields.  Subclasses
-    :class:`InputValidationError` so existing guard-layer handlers (and
-    the CLI's exit-code-2 path) treat wire garbage like any other
-    contract breach.
+    missing/unknown keys, mistyped or non-finite fields — and by
+    :mod:`repro.cloud.framing` when the length-prefixed frame layer is
+    broken (a truncated header or body, or a declared length above the
+    frame cap).  Subclasses :class:`InputValidationError` so existing
+    guard-layer handlers (and the CLI's exit-code-2 path) treat wire
+    garbage like any other contract breach.
 
     Attributes:
         version: The offending payload's ``wire_version`` when it could
             be read, ``None`` otherwise.
+        offset: Byte offset into the stream where the violation was
+            detected, when the frame layer raised it (``None`` for
+            payload-level schema errors).
+        expected_bytes: Bytes the frame layer needed at ``offset`` to
+            make progress (declared frame length, or the header size),
+            when known.
+        got_bytes: Bytes actually available at ``offset``, when known.
     """
 
     def __init__(
@@ -155,9 +195,15 @@ class WireProtocolError(InputValidationError):
         field: str = "",
         row=None,
         version=None,
+        offset=None,
+        expected_bytes=None,
+        got_bytes=None,
     ):
         super().__init__(reason, source=source, field=field, row=row)
         self.version = version
+        self.offset = offset
+        self.expected_bytes = expected_bytes
+        self.got_bytes = got_bytes
 
 
 class DispatchDeadlineError(ReproError):

@@ -13,6 +13,10 @@ infrastructure; this package makes the reproduction survive that:
 * :mod:`repro.resilience.ladder` — :class:`DegradationLadder`: the
   queue-aware DP → green-window DP → GLOSA → speed-limit fallback
   chain, reporting which tier served every (re)plan.
+* :mod:`repro.resilience.netfaults` — :class:`ChaosProxy`: a seeded
+  fault-injecting TCP proxy that drops, delays, truncates and
+  duplicates wire frames between a vehicle transport and the plan
+  server, for wire-level chaos testing.
 
 Quick chaos run::
 
@@ -47,6 +51,7 @@ from repro.resilience.faults import (
     hash_uniform,
     schedule_bytes,
 )
+from repro.resilience.netfaults import ChaosProxy, NetFaultSpec, ProxyStats
 from repro.resilience.ladder import (
     TIER_BASELINE_DP,
     TIER_GLOSA,
@@ -62,11 +67,14 @@ __all__ = [
     "BREAKER_CLOSED",
     "BREAKER_HALF_OPEN",
     "BREAKER_OPEN",
+    "ChaosProxy",
     "ClientStats",
     "CloudFaultDecision",
     "CloudFaultModel",
     "DegradationLadder",
     "DetectorFaultModel",
+    "NetFaultSpec",
+    "ProxyStats",
     "FaultPlan",
     "FaultyLoopDetector",
     "ForecastFaultModel",

@@ -37,6 +37,7 @@ instead of silently crossing a boundary a real deployment could not.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -48,6 +49,8 @@ from repro.errors import (
     CloudUnavailableError,
     ConfigurationError,
     PlanningFailedError,
+    ServerOverloadError,
+    WireProtocolError,
 )
 from repro.resilience.faults import CloudFaultModel, hash_uniform
 
@@ -74,7 +77,14 @@ class ClientStats:
         deadline_exceeded: Requests abandoned because latency + backoff
             exhausted the request deadline.
         failures: Requests that produced no service answer (transport).
-        fast_fails: Requests rejected immediately by an open breaker.
+        fast_fails: Requests rejected immediately by an open breaker
+            (or while another caller's half-open probe was in flight).
+        transport_errors: Attempts the wrapped service itself failed
+            with a :class:`CloudUnavailableError` (a real transport —
+            e.g. :class:`~repro.cloud.netclient.NetworkPlanTransport` —
+            timing out, resetting, or being shed); retried like drops.
+        busy_rejections: The subset of ``transport_errors`` that were
+            typed BUSY sheds (:class:`ServerOverloadError`).
         wire_roundtrips: Messages round-tripped through the wire codec
             (requests and responses each count one).
         breaker_state: Current breaker state.
@@ -90,6 +100,8 @@ class ClientStats:
     deadline_exceeded: int = 0
     failures: int = 0
     fast_fails: int = 0
+    transport_errors: int = 0
+    busy_rejections: int = 0
     wire_roundtrips: int = 0
     breaker_state: str = BREAKER_CLOSED
     transitions: List[Tuple[float, str, str]] = field(default_factory=list)
@@ -160,6 +172,11 @@ class ResilientPlanClient:
         self._request_index = 0
         self._consecutive_failures = 0
         self._opened_at_s = 0.0
+        # Breaker state machine guard: concurrent callers (fleet threads
+        # sharing one client) must agree on who carries the half-open
+        # probe — exactly one may be in flight at a time.
+        self._breaker_mutex = threading.Lock()
+        self._probe_in_flight = False
 
     # ------------------------------------------------------------------
     # Breaker
@@ -175,32 +192,50 @@ class ResilientPlanClient:
         registry.gauge("resilience.breaker.state", _STATE_GAUGE[to])
 
     def _breaker_admits(self, now_s: float) -> bool:
-        """Whether the breaker lets this request reach the wire."""
-        state = self.stats.breaker_state
-        if state == BREAKER_CLOSED:
-            return True
-        if state == BREAKER_OPEN:
-            if now_s - self._opened_at_s < self.breaker_cooldown_s:
+        """Whether the breaker lets this request reach the wire.
+
+        Thread-safe, and half-open admits **exactly one** probe: the
+        caller that wins the transition carries it; every other caller
+        fast-fails until that probe's outcome closes or re-opens the
+        breaker.  Without the in-flight flag, any number of concurrent
+        requests arriving while half-open would all pass — a thundering
+        herd onto a service that just proved unhealthy.
+        """
+        with self._breaker_mutex:
+            state = self.stats.breaker_state
+            if state == BREAKER_CLOSED:
+                return True
+            if state == BREAKER_OPEN:
+                if now_s - self._opened_at_s < self.breaker_cooldown_s:
+                    return False
+                self._transition(BREAKER_HALF_OPEN, now_s)
+                self._probe_in_flight = True
+                return True
+            # Half-open: admit only if no probe is already in flight.
+            if self._probe_in_flight:
                 return False
-            self._transition(BREAKER_HALF_OPEN, now_s)
+            self._probe_in_flight = True
             return True
-        return True  # half-open: admit the probe
 
     def _record_success(self, now_s: float) -> None:
-        self._consecutive_failures = 0
-        if self.stats.breaker_state != BREAKER_CLOSED:
-            self._transition(BREAKER_CLOSED, now_s)
+        with self._breaker_mutex:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self.stats.breaker_state != BREAKER_CLOSED:
+                self._transition(BREAKER_CLOSED, now_s)
 
     def _record_failure(self, now_s: float) -> None:
-        if self.stats.breaker_state == BREAKER_HALF_OPEN:
-            # The probe failed: straight back to open, fresh cooldown.
-            self._opened_at_s = now_s
-            self._transition(BREAKER_OPEN, now_s)
-            return
-        self._consecutive_failures += 1
-        if self._consecutive_failures >= self.breaker_threshold:
-            self._opened_at_s = now_s
-            self._transition(BREAKER_OPEN, now_s)
+        with self._breaker_mutex:
+            if self.stats.breaker_state == BREAKER_HALF_OPEN:
+                # The probe failed: straight back to open, fresh cooldown.
+                self._probe_in_flight = False
+                self._opened_at_s = now_s
+                self._transition(BREAKER_OPEN, now_s)
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.breaker_threshold:
+                self._opened_at_s = now_s
+                self._transition(BREAKER_OPEN, now_s)
 
     # ------------------------------------------------------------------
     # Backoff
@@ -309,6 +344,25 @@ class ResilientPlanClient:
                 registry.inc("resilience.infeasible")
                 self._record_success(t + elapsed)
                 raise
+            except WireProtocolError:
+                # The server answered and judged our request defective;
+                # identical retries cannot succeed, and the transport
+                # itself worked — propagate without touching the breaker
+                # failure count.
+                self._record_success(t + elapsed)
+                raise
+            except CloudUnavailableError as exc:
+                # A real transport under the client (the network plan
+                # transport) failed this attempt: BUSY shed, timeout,
+                # reset, garbled reply.  Retryable, exactly like an
+                # injected drop.
+                self.stats.transport_errors += 1
+                registry.inc("resilience.transport_errors")
+                if isinstance(exc, ServerOverloadError):
+                    self.stats.busy_rejections += 1
+                    registry.inc("resilience.busy_rejections")
+                reason = exc.reason
+                continue
             self.stats.served += 1
             registry.observe("resilience.request_elapsed_s", elapsed)
             self._record_success(t + elapsed)

@@ -1,0 +1,118 @@
+"""Length-prefixed framing: typed truncation/oversize errors, offsets."""
+
+import struct
+
+import pytest
+
+from repro.cloud.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER_BYTES,
+    FrameAssembler,
+    encode_frame,
+    split_frames,
+)
+from repro.errors import ConfigurationError, WireProtocolError
+
+
+def _frame(payload: bytes) -> bytes:
+    return struct.pack(">I", len(payload)) + payload
+
+
+class TestEncode:
+    def test_roundtrip(self):
+        frame = encode_frame(b"hello")
+        assert frame == _frame(b"hello")
+        assert split_frames(frame) == [b"hello"]
+
+    def test_empty_payload_refused(self):
+        with pytest.raises(WireProtocolError):
+            encode_frame(b"")
+
+    def test_over_cap_refused_with_sizes(self):
+        with pytest.raises(WireProtocolError) as excinfo:
+            encode_frame(b"x" * 11, max_frame_bytes=10)
+        assert excinfo.value.expected_bytes == 10
+        assert excinfo.value.got_bytes == 11
+
+    def test_bytearray_accepted(self):
+        assert encode_frame(bytearray(b"ab")) == _frame(b"ab")
+
+
+class TestAssembler:
+    def test_single_byte_drip(self):
+        assembler = FrameAssembler()
+        frame = encode_frame(b"payload")
+        collected = []
+        for i in range(len(frame)):
+            collected += assembler.feed(frame[i : i + 1])
+        assert collected == [b"payload"]
+        assert assembler.pending_bytes == 0
+        assembler.finish()  # clean end-of-stream
+
+    def test_multiple_frames_in_one_chunk(self):
+        data = encode_frame(b"a") + encode_frame(b"bb") + encode_frame(b"ccc")
+        assert split_frames(data) == [b"a", b"bb", b"ccc"]
+
+    def test_frame_split_across_chunks(self):
+        data = encode_frame(b"aaaa") + encode_frame(b"bbbb")
+        assembler = FrameAssembler()
+        first = assembler.feed(data[:6])
+        second = assembler.feed(data[6:])
+        assert first == [] and second == [b"aaaa", b"bbbb"]
+
+    def test_zero_length_frame_is_typed_with_offset(self):
+        assembler = FrameAssembler(what="test stream")
+        good = encode_frame(b"ok")
+        assembler.feed(good)
+        with pytest.raises(WireProtocolError) as excinfo:
+            assembler.feed(struct.pack(">I", 0))
+        err = excinfo.value
+        assert err.offset == len(good)  # absolute stream offset
+        assert "test stream" in str(err)
+
+    def test_oversized_declaration_rejected_from_header_alone(self):
+        # A hostile 4 GiB length prefix must be refused before any
+        # payload arrives (no allocation of the declared size).
+        assembler = FrameAssembler(max_frame_bytes=1024)
+        with pytest.raises(WireProtocolError) as excinfo:
+            assembler.feed(struct.pack(">I", 0xFFFFFFFF))
+        err = excinfo.value
+        assert err.offset == 0
+        assert err.expected_bytes == 1024
+        assert err.got_bytes == 0xFFFFFFFF
+
+    def test_truncated_mid_header(self):
+        assembler = FrameAssembler()
+        assembler.feed(b"\x00\x00")
+        with pytest.raises(WireProtocolError) as excinfo:
+            assembler.finish()
+        err = excinfo.value
+        assert err.offset == 0
+        assert err.expected_bytes == HEADER_BYTES
+        assert err.got_bytes == 2
+
+    def test_truncated_mid_body_after_complete_frame(self):
+        assembler = FrameAssembler()
+        whole = encode_frame(b"abcdef")
+        partial = encode_frame(b"0123456789")[: HEADER_BYTES + 4]
+        assert assembler.feed(whole + partial) == [b"abcdef"]
+        with pytest.raises(WireProtocolError) as excinfo:
+            assembler.finish()
+        err = excinfo.value
+        assert err.offset == len(whole)
+        assert err.expected_bytes == 10
+        assert err.got_bytes == 4
+
+    def test_split_frames_trailing_garbage_raises(self):
+        data = encode_frame(b"fine") + b"\x00"
+        with pytest.raises(WireProtocolError):
+            split_frames(data)
+
+    def test_cap_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrameAssembler(max_frame_bytes=0)
+
+    def test_default_cap_is_generous(self):
+        payload = b"x" * (64 * 1024)
+        assert split_frames(encode_frame(payload)) == [payload]
+        assert DEFAULT_MAX_FRAME_BYTES >= 1 << 20

@@ -1,0 +1,189 @@
+"""Wire-level chaos: seeded frame faults, containment, ladder recovery."""
+
+import pytest
+
+from repro.cloud.fleet import FleetStudy
+from repro.cloud.messages import PlanRequest
+from repro.cloud.netclient import NetworkPlanTransport
+from repro.cloud.server import serve_in_background
+from repro.cloud.service import CloudPlannerService
+from repro.core.planner import QueueAwareDpPlanner
+from repro.errors import CloudUnavailableError, ConfigurationError
+from repro.guard.plan_check import PlanValidator
+from repro.guard.supervisor import SafetySupervisor
+from repro.resilience.client import ResilientPlanClient
+from repro.resilience.ladder import TIER_QUEUE_DP, TIERS, DegradationLadder
+from repro.resilience.netfaults import ChaosProxy, NetFaultSpec
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+def _build_service(us25, coarse_config):
+    planner = QueueAwareDpPlanner(us25, arrival_rates=RATE, config=coarse_config)
+    return CloudPlannerService(planner)
+
+
+class TestNetFaultSpec:
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetFaultSpec(drop_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            NetFaultSpec(truncate_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            NetFaultSpec(delay_s=-1.0)
+
+    def test_decide_is_deterministic(self):
+        spec = NetFaultSpec.uniform(0.3, seed=42)
+        first = [spec.decide("c2s", 0, i) for i in range(50)]
+        second = [spec.decide("c2s", 0, i) for i in range(50)]
+        assert first == second
+        # Different seeds give different schedules.
+        other = NetFaultSpec.uniform(0.3, seed=43)
+        assert [other.decide("c2s", 0, i) for i in range(50)] != first
+
+    def test_directions_and_connections_draw_independently(self):
+        spec = NetFaultSpec.uniform(0.5, seed=1)
+        a = [spec.decide("c2s", 0, i) for i in range(30)]
+        b = [spec.decide("s2c", 0, i) for i in range(30)]
+        c = [spec.decide("c2s", 1, i) for i in range(30)]
+        assert a != b and a != c
+
+    def test_zero_spec_never_faults(self):
+        spec = NetFaultSpec()
+        assert all(
+            spec.decide("c2s", conn, i) == ("pass", False)
+            for conn in range(3)
+            for i in range(100)
+        )
+
+    def test_actions_are_well_typed(self):
+        spec = NetFaultSpec.uniform(0.5, seed=9)
+        actions = {spec.decide("s2c", 0, i)[0] for i in range(200)}
+        assert actions <= {"pass", "drop", "truncate", "duplicate"}
+        assert len(actions) > 1  # at 50% the schedule actually faults
+
+
+class TestChaosProxyTransparent:
+    def test_zero_fault_rate_is_bit_identical(self, us25, coarse_config):
+        requests = [
+            PlanRequest(f"ev{i}", depart_s=float(9 * i % 40), max_trip_time_s=320.0)
+            for i in range(4)
+        ]
+        in_process = _build_service(us25, coarse_config)
+        expected = [in_process.request(req) for req in requests]
+
+        with serve_in_background(_build_service(us25, coarse_config)) as handle:
+            with ChaosProxy(handle.address, NetFaultSpec(seed=5)) as proxy:
+                transport = NetworkPlanTransport(*proxy.address, timeout_s=60.0)
+                got = [transport.request(req) for req in requests]
+                transport.close()
+                stats = proxy.stats_snapshot()
+                assert stats.faults == 0
+                assert stats.passed == stats.frames
+
+        for want, have in zip(expected, got):
+            assert have.vehicle_id == want.vehicle_id
+            assert have.energy_mah == want.energy_mah
+            assert have.trip_time_s == want.trip_time_s
+            assert have.cache_hit == want.cache_hit
+            assert list(have.profile.positions_m) == list(want.profile.positions_m)
+            assert list(have.profile.speeds_ms) == list(want.profile.speeds_ms)
+
+    def test_drop_surfaces_as_typed_timeout(self, us25, coarse_config):
+        with serve_in_background(_build_service(us25, coarse_config)) as handle:
+            spec = NetFaultSpec(drop_rate=1.0, seed=3)
+            with ChaosProxy(handle.address, spec) as proxy:
+                transport = NetworkPlanTransport(*proxy.address, timeout_s=0.3)
+                with pytest.raises(CloudUnavailableError) as excinfo:
+                    transport.request(PlanRequest("ev", depart_s=0.0))
+                assert excinfo.value.reason == "timeout"
+                transport.close()
+                assert proxy.stats_snapshot().dropped >= 1
+
+
+class TestChaosLadderRecovery:
+    def test_total_wire_death_degrades_to_local_tier(self, us25, coarse_config):
+        # Every frame dropped: the cloud is unreachable through the
+        # proxy, so the ladder must serve a local tier — no hang.
+        with serve_in_background(_build_service(us25, coarse_config)) as handle:
+            with ChaosProxy(handle.address, NetFaultSpec(drop_rate=1.0, seed=1)) as proxy:
+                transport = NetworkPlanTransport(*proxy.address, timeout_s=0.2)
+                client = ResilientPlanClient(transport, max_attempts=2, deadline_s=30.0)
+                ladder = DegradationLadder(
+                    client, us25, arrival_rates=RATE, config=coarse_config
+                )
+                plan = ladder.plan(0.0, max_trip_time_s=320.0)
+                assert plan.tier != TIER_QUEUE_DP
+                assert plan.tier in TIERS
+                transport.close()
+
+    def test_heavy_chaos_fleet_completes_with_zero_guard_violations(
+        self, us25, coarse_config
+    ):
+        # The acceptance drive: 30% per-frame faults in every mode, a
+        # supervised ladder, a stream of departures.  Every departure
+        # must complete (cloud tier or degraded), every served profile
+        # must pass its safety audit, and nothing may hang.
+        validator = PlanValidator(us25)
+        supervisor = SafetySupervisor(validator)
+        with serve_in_background(_build_service(us25, coarse_config)) as handle:
+            spec = NetFaultSpec.uniform(0.3, seed=11, delay_s=0.01)
+            with ChaosProxy(handle.address, spec) as proxy:
+                transport = NetworkPlanTransport(*proxy.address, timeout_s=0.5)
+                client = ResilientPlanClient(
+                    transport,
+                    max_attempts=4,
+                    deadline_s=60.0,
+                    breaker_threshold=4,
+                    breaker_cooldown_s=5.0,
+                )
+                ladder = DegradationLadder(
+                    client,
+                    us25,
+                    arrival_rates=RATE,
+                    config=coarse_config,
+                    supervisor=supervisor,
+                )
+                plans = [
+                    ladder.plan(float(10 * i), max_trip_time_s=320.0)
+                    for i in range(6)
+                ]
+                chaos = proxy.stats_snapshot()
+                transport.close()
+
+        assert len(plans) == 6  # every departure completed
+        assert chaos.faults > 0  # the proxy actually bit
+        for plan in plans:
+            assert plan.tier in TIERS
+            if plan.profile is not None:
+                assert validator.check_profile(plan.profile).ok
+        # Zero guard violations: the supervisor never had to reject or
+        # safe-stop — wire chaos corrupts delivery, never plan content.
+        assert supervisor.stats.plans_rejected == 0
+        assert supervisor.stats.safe_stops == 0
+
+
+class TestFleetViaWire:
+    def test_via_transport_bit_identical_at_fault_zero(self, us25, coarse_config):
+        plain = FleetStudy(
+            _build_service(us25, coarse_config), us25, fleet_rate_vph=60.0, seed=3
+        ).run(duration_s=600.0)
+
+        service = _build_service(us25, coarse_config)
+        with serve_in_background(service, request_timeout_s=120.0) as handle:
+            transport = NetworkPlanTransport(*handle.address, timeout_s=120.0)
+            wired = FleetStudy(
+                service, us25, fleet_rate_vph=60.0, seed=3, via=transport
+            ).run(duration_s=600.0)
+            transport.close()
+
+        assert wired.n_vehicles == plain.n_vehicles
+        assert wired.n_failed == plain.n_failed == 0
+        assert wired.planned_energy_mah == plain.planned_energy_mah
+        assert wired.mean_trip_time_s == plain.mean_trip_time_s
+
+    def test_via_rejects_workers(self, us25, coarse_config):
+        service = _build_service(us25, coarse_config)
+        with pytest.raises(ConfigurationError):
+            FleetStudy(service, us25, via=object(), workers=2)

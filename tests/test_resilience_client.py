@@ -1,5 +1,7 @@
 """Resilient cloud client: deadlines, retries, breaker transitions."""
 
+import threading
+
 import pytest
 
 from repro.cloud.messages import PlanRequest, PlanResponse
@@ -7,6 +9,8 @@ from repro.errors import (
     CloudUnavailableError,
     ConfigurationError,
     PlanningFailedError,
+    ServerOverloadError,
+    WireProtocolError,
 )
 from repro.resilience.client import (
     BREAKER_CLOSED,
@@ -280,3 +284,193 @@ class TestPlanningFailure:
         with pytest.raises(PlanningFailedError):
             client.request(_req(), now_s=100.0)
         assert client.stats.breaker_state == BREAKER_CLOSED
+
+
+class FlakyTransport:
+    """A service that fails like a real network transport, then recovers.
+
+    Fails the first ``failures`` calls with the given error factory —
+    the shape :class:`~repro.cloud.netclient.NetworkPlanTransport`
+    produces — and serves a canned plan afterwards.
+    """
+
+    def __init__(self, failures, make_error):
+        self.calls = 0
+        self.failures = failures
+        self.make_error = make_error
+
+    def request(self, req):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.make_error(req)
+        return PlanResponse(
+            vehicle_id=req.vehicle_id,
+            profile=None,
+            energy_mah=100.0,
+            trip_time_s=200.0,
+            cache_hit=False,
+            compute_time_s=0.01,
+        )
+
+
+class TestTransportErrors:
+    """The service itself raising transport errors (a real net client)."""
+
+    def test_busy_shed_is_retried_and_counted(self):
+        service = FlakyTransport(
+            2, lambda req: ServerOverloadError("shed", vehicle_id=req.vehicle_id)
+        )
+        client = ResilientPlanClient(service, max_attempts=3, deadline_s=60.0)
+        response = client.request(_req())
+        assert response.energy_mah == 100.0
+        assert service.calls == 3
+        stats = client.stats
+        assert stats.transport_errors == 2
+        assert stats.busy_rejections == 2
+        assert stats.retries == 2
+        assert stats.failures == 0
+
+    def test_persistent_transport_failure_exhausts_and_keeps_reason(self):
+        def reset(req):
+            return CloudUnavailableError(
+                "reset", vehicle_id=req.vehicle_id, attempts=1, reason="connection_reset"
+            )
+
+        service = FlakyTransport(99, reset)
+        client = ResilientPlanClient(
+            service, max_attempts=3, deadline_s=60.0, breaker_threshold=1
+        )
+        with pytest.raises(CloudUnavailableError) as excinfo:
+            client.request(_req())
+        assert excinfo.value.reason == "connection_reset"
+        assert service.calls == 3
+        assert client.stats.transport_errors == 3
+        assert client.stats.busy_rejections == 0
+        assert client.stats.failures == 1
+        assert client.stats.breaker_state == BREAKER_OPEN
+
+    def test_server_protocol_rejection_propagates_without_retry(self):
+        # The server answered and judged the request defective: not a
+        # transport failure, so no retries and no breaker damage.
+        service = FlakyTransport(99, lambda req: WireProtocolError("bad request"))
+        client = ResilientPlanClient(service, breaker_threshold=1)
+        for t in (0.0, 10.0):
+            with pytest.raises(WireProtocolError):
+                client.request(_req(), now_s=t)
+        assert service.calls == 2  # one wire attempt each, no retries
+        assert client.stats.breaker_state == BREAKER_CLOSED
+        assert client.stats.transitions == []
+
+
+class GateService:
+    """Fails on demand; when healthy, blocks until released.
+
+    Lets a test hold one request in flight inside the service while
+    other threads race the breaker.
+    """
+
+    def __init__(self):
+        self.calls = 0
+        self.fail = True
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def request(self, req):
+        self.calls += 1
+        if self.fail:
+            raise CloudUnavailableError("down", reason="connection_reset")
+        self.entered.set()
+        assert self.release.wait(5.0), "test forgot to release the gate"
+        return PlanResponse(
+            vehicle_id=req.vehicle_id,
+            profile=None,
+            energy_mah=100.0,
+            trip_time_s=200.0,
+            cache_hit=False,
+            compute_time_s=0.01,
+        )
+
+
+class TestHalfOpenSingleProbe:
+    """Half-open must admit exactly one probe, even under races."""
+
+    def _tripped_client(self, service):
+        client = ResilientPlanClient(
+            service,
+            max_attempts=1,
+            breaker_threshold=2,
+            breaker_cooldown_s=60.0,
+        )
+        for t in (0.0, 10.0):
+            with pytest.raises(CloudUnavailableError):
+                client.request(_req(), now_s=t)
+        assert client.stats.breaker_state == BREAKER_OPEN
+        return client
+
+    def test_concurrent_callers_get_one_probe(self):
+        service = GateService()
+        client = self._tripped_client(service)
+        service.fail = False
+        calls_after_trip = service.calls
+
+        outcome = {}
+
+        def probe():
+            try:
+                outcome["response"] = client.request(_req(), now_s=100.0)
+            except Exception as exc:  # pragma: no cover - failure detail
+                outcome["error"] = exc
+
+        prober = threading.Thread(target=probe)
+        prober.start()
+        assert service.entered.wait(5.0), "probe never reached the wire"
+        # The probe is in flight inside the service: a second caller
+        # arriving half-open must fast-fail, not join the probe.
+        with pytest.raises(CloudUnavailableError) as excinfo:
+            client.request(_req(), now_s=101.0)
+        assert excinfo.value.reason == "breaker_open"
+        assert service.calls == calls_after_trip + 1  # exactly one probe
+        service.release.set()
+        prober.join(timeout=5.0)
+        assert "response" in outcome, outcome.get("error")
+        assert client.stats.breaker_state == BREAKER_CLOSED
+        # With the breaker closed again, callers flow normally.
+        client.request(_req(), now_s=102.0)
+        assert service.calls == calls_after_trip + 2
+
+    def test_racing_threads_admit_exactly_one(self):
+        # Two threads race _breaker_admits at the same instant, both
+        # past the cooldown: exactly one transitions open -> half_open
+        # and probes; the other fast-fails.
+        service = GateService()
+        client = self._tripped_client(service)
+        service.fail = False
+        calls_after_trip = service.calls
+        service.release.set()  # probes answer immediately
+
+        barrier = threading.Barrier(2)
+        results = []
+
+        def racer():
+            barrier.wait()
+            try:
+                client.request(_req(), now_s=100.0)
+                results.append("served")
+            except CloudUnavailableError as exc:
+                results.append(exc.reason)
+
+        threads = [threading.Thread(target=racer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert sorted(results) == ["breaker_open", "served"] or results == [
+            "served",
+            "served",
+        ], results
+        # If both raced before the probe finished, only one may have
+        # touched the wire; if the winner finished first, the loser was
+        # served against a closed breaker — either way the wire saw at
+        # most one request per caller and never two concurrent probes.
+        assert service.calls - calls_after_trip == results.count("served")
+        assert client.stats.fast_fails == results.count("breaker_open")
