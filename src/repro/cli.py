@@ -8,6 +8,8 @@ Examples::
 
     repro-plan --rate 300 --depart 10 --cap 280
     repro-plan --planner baseline --csv plan.csv
+    repro-plan --chance-level 0.9 --timing-error 6   # margin vs forecast error
+    repro-plan --chance-level 0.9 --receding-horizon # ... replanned per cycle
     repro-plan --rate 500 --verify --seed 7
     repro-plan --metrics               # plan summary + JSON metrics report
     repro-plan --metrics=run.json      # write the report to a file
@@ -66,6 +68,40 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--s-step", type=float, default=10.0, help="distance grid step (m)")
     parser.add_argument(
         "--margin", type=float, default=2.0, help="arrival-window safety margin (s)"
+    )
+    parser.add_argument(
+        "--chance-level",
+        type=float,
+        default=None,
+        metavar="P",
+        help="plan chance-constrained (proposed planner only): shrink every "
+        "queue-free window so the arrival lands inside the true window with "
+        "probability >= P under the --timing-error distribution; P <= 0.5 "
+        "adds no margin and plans bit-identically to the point forecast",
+    )
+    parser.add_argument(
+        "--timing-error",
+        type=float,
+        default=6.0,
+        metavar="S",
+        help="largest absolute window-timing error modeled for "
+        "--chance-level (s), as a uniform distribution over [-S, S]",
+    )
+    parser.add_argument(
+        "--receding-horizon",
+        action="store_true",
+        help="wrap the planner in the MPC-style receding-horizon tier: "
+        "replans run per cycle from the current state over warm corridor "
+        "artifacts, and an infeasible cycle retries minimum-time before "
+        "failing typed",
+    )
+    parser.add_argument(
+        "--lookahead",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --receding-horizon: only carry signal constraints "
+        "optimistically reachable within S seconds; default keeps all",
     )
     parser.add_argument("--csv", type=str, default=None, help="write the profile to CSV")
     parser.add_argument(
@@ -190,12 +226,45 @@ def main(argv: Optional[list] = None) -> int:
         from repro.core.engine import ArtifactStore
 
         store = ArtifactStore()
+    if args.chance_level is not None and args.planner != "proposed":
+        print(
+            "--chance-level requires the proposed (queue-aware) planner",
+            file=sys.stderr,
+        )
+        return EXIT_INVALID
     if args.planner == "proposed":
-        planner = QueueAwareDpPlanner(road, arrival_rates=rate, config=config, store=store)
+        if args.chance_level is not None:
+            from repro.core.uncertainty import ChanceConstrainedPlanner, ResidualModel
+
+            try:
+                residuals = ResidualModel([0.0]).with_timing_noise(args.timing_error)
+                planner = ChanceConstrainedPlanner(
+                    road,
+                    arrival_rates=rate,
+                    residuals=residuals,
+                    chance_level=args.chance_level,
+                    config=config,
+                    store=store,
+                )
+            except ReproError as exc:
+                print(f"invalid chance constraint: {exc}", file=sys.stderr)
+                return EXIT_INVALID
+        else:
+            planner = QueueAwareDpPlanner(
+                road, arrival_rates=rate, config=config, store=store
+            )
     elif args.planner == "baseline":
         planner = BaselineDpPlanner(road, config=config, store=store)
     else:
         planner = UnconstrainedDpPlanner(road, config=config, store=store)
+    if args.receding_horizon:
+        from repro.core.horizon import RecedingHorizonPlanner
+
+        try:
+            planner = RecedingHorizonPlanner(planner, lookahead_s=args.lookahead)
+        except ReproError as exc:
+            print(f"invalid receding horizon: {exc}", file=sys.stderr)
+            return EXIT_INVALID
 
     solution = None
     tier_plan = None
@@ -281,6 +350,15 @@ def main(argv: Optional[list] = None) -> int:
 
     print(f"route        : {road.name} ({road.length_m / 1000:.1f} km)")
     print(f"planner      : {args.planner}")
+    if args.chance_level is not None:
+        inner = planner.inner if args.receding_horizon else planner
+        print(
+            f"chance level : {args.chance_level:.2f} "
+            f"(window margin +{inner.chance_margin_s:.1f} s)"
+        )
+    if args.receding_horizon:
+        lookahead = "full horizon" if args.lookahead is None else f"{args.lookahead:.0f} s"
+        print(f"mpc          : receding horizon, lookahead {lookahead}")
     print(f"trip budget  : {cap:.1f} s")
     if tier_plan is not None:
         print(f"served by    : {tier_plan.tier} tier")

@@ -10,6 +10,12 @@ Public surface:
   signals constrain arrivals to green windows but queues are ignored.
 * :class:`~repro.core.planner.QueueAwareDpPlanner` — the proposed system:
   arrivals constrained to the QL model's queue-free windows ``T_q``.
+* :class:`~repro.core.uncertainty.ChanceConstrainedPlanner` — the
+  queue-aware DP planning against the *distribution* of the window
+  forecast: a residual model's chance margin shrinks every window.
+* :class:`~repro.core.horizon.RecedingHorizonPlanner` — MPC-style
+  wrapper replanning every cycle from the current state over warm
+  corridor artifacts.
 """
 
 from repro.core.profile import TimedTrace, VelocityProfile
@@ -23,9 +29,16 @@ from repro.core.planner import (
     QueueAwareDpPlanner,
     UnconstrainedDpPlanner,
 )
+from repro.core.uncertainty import (
+    ChanceConstrainedPlanner,
+    ResidualModel,
+    window_start_sensitivity,
+)
+from repro.core.horizon import RecedingHorizonPlanner
 
 __all__ = [
     "BaselineDpPlanner",
+    "ChanceConstrainedPlanner",
     "CoarseToFineSolver",
     "ConstraintReport",
     "DpSolution",
@@ -34,9 +47,12 @@ __all__ = [
     "GlosaPlan",
     "PlannerConfig",
     "QueueAwareDpPlanner",
+    "RecedingHorizonPlanner",
+    "ResidualModel",
     "TimeWindowConstraint",
     "TimedTrace",
     "UnconstrainedDpPlanner",
     "VelocityProfile",
+    "window_start_sensitivity",
     "check_profile",
 ]

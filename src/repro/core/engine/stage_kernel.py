@@ -57,7 +57,9 @@ def expand_stage(
         lab_v: Velocity index of each surviving label at the stage entry.
         lab_t: Exact arrival time of each label (s).
         lab_c: Exact cost-to-come of each label (J).
-        j_arr: Source velocity index of each feasible transition.
+        j_arr: Source velocity index of each feasible transition, sorted
+            ascending (the row-major :func:`numpy.nonzero` order the
+            corridor artifacts produce).
         j2_arr: Successor velocity index of each feasible transition.
         e_arr: Energy of each feasible transition (J).
         dt_arr: Traversal time of each feasible transition, including the
@@ -69,29 +71,32 @@ def expand_stage(
         source label, its successor velocity index, its cost-to-come and
         its arrival time.  All four are empty when no label has a
         feasible continuation (the caller decides how to fail).
+
+    Candidates are ordered by source velocity (stable over label order),
+    then by that velocity's transitions in CSR order — the same ragged
+    gather as :func:`expand_stage_batch`, which replaced a per-velocity
+    Python loop of ``repeat``/``tile`` chunks that dominated warm
+    mid-route replans.  The candidate ordering (and every value) is
+    bit-identical to the chunked implementation it replaced.
     """
-    order_v = np.argsort(lab_v, kind="stable")
-    src_sorted_v = lab_v[order_v]
-    counts = np.bincount(src_sorted_v, minlength=n_levels)
-    starts = np.concatenate([[0], np.cumsum(counts)])
-    src_chunks, j2_chunks, e_chunks, dt_chunks = [], [], [], []
-    for j in np.unique(src_sorted_v):
-        pairs = j_arr == j
-        if not pairs.any():
-            continue
-        labels_here = order_v[starts[j]: starts[j + 1]]
-        succ = j2_arr[pairs]
-        src_chunks.append(np.repeat(labels_here, succ.size))
-        j2_chunks.append(np.tile(succ, labels_here.size))
-        e_chunks.append(np.tile(e_arr[pairs], labels_here.size))
-        dt_chunks.append(np.tile(dt_arr[pairs], labels_here.size))
-    if not src_chunks:
+    trans_count = np.bincount(j_arr, minlength=n_levels)
+    trans_start = np.concatenate([[0], np.cumsum(trans_count)])
+    order = np.argsort(lab_v, kind="stable")
+    v_sorted = lab_v[order]
+    counts_per_label = trans_count[v_sorted]
+    total = int(counts_per_label.sum())
+    if total == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty.copy(), np.empty(0), np.empty(0)
-    src = np.concatenate(src_chunks)
-    cj2 = np.concatenate(j2_chunks)
-    cc = np.concatenate(e_chunks) + lab_c[src]
-    ct = np.concatenate(dt_chunks) + lab_t[src]
+    src = np.repeat(order, counts_per_label)
+    # Ragged gather: candidate k of a label maps to the k-th transition of
+    # that label's velocity in the CSR-ordered pair arrays.
+    block_starts = np.concatenate([[0], np.cumsum(counts_per_label)[:-1]])
+    t_idx = np.arange(total, dtype=np.int64)
+    t_idx += np.repeat(trans_start[v_sorted] - block_starts, counts_per_label)
+    cj2 = j2_arr[t_idx].astype(np.int64, copy=False)
+    cc = e_arr[t_idx] + lab_c[src]
+    ct = dt_arr[t_idx] + lab_t[src]
     return src, cj2, cc, ct
 
 

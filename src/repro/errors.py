@@ -252,3 +252,25 @@ class PlanRejectedError(ReproError):
 
 class PredictionError(ReproError):
     """A traffic predictor was used before training or on bad input."""
+
+
+class CheckpointError(PredictionError):
+    """A predictor checkpoint is missing required state.
+
+    Raised by :meth:`repro.traffic.sae.SAEPredictor.load` when a
+    checkpoint lacks arrays the caller requires — the fitted
+    normalization bounds and held-out residual statistics that
+    :mod:`repro.core.uncertainty` turns into chance-constraint margins.
+    A model restored without them would silently plan with no
+    uncertainty model, so the gap is a typed, catchable failure instead
+    of an ``AttributeError`` at margin time.
+
+    Attributes:
+        path: The offending checkpoint file.
+        missing: Names of the absent arrays.
+    """
+
+    def __init__(self, message: str, path: str = "", missing=()):
+        super().__init__(message)
+        self.path = path
+        self.missing = tuple(missing)

@@ -23,6 +23,7 @@ from repro.experiments import (
     ext_platoon,
     ext_resilience,
     ext_sensitivity,
+    ext_uncertainty,
     ext_wear,
     fig3_energy_map,
     fig4_sae,
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "ext-pareto": (ext_pareto.run, ext_pareto.report),
     "ext-platoon": (ext_platoon.run, ext_platoon.report),
     "ext-resilience": (ext_resilience.run, ext_resilience.report),
+    "ext-uncertainty": (ext_uncertainty.run, ext_uncertainty.report),
     "ext-guard": (ext_guard.run, ext_guard.report),
 }
 

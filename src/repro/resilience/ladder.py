@@ -6,13 +6,19 @@ fallbacks between "optimal plan" and "just follow the speed limit":
 
 1. ``queue_dp`` — the cloud's queue-aware DP (through the resilient
    client).  Full optimality.
-2. ``baseline_dp`` — a locally-run green-window DP
+2. ``queue_dp_mpc`` — a locally-run receding-horizon planner
+   (:class:`~repro.core.horizon.RecedingHorizonPlanner`, typically
+   wrapping the chance-constrained queue DP): still queue-aware, still
+   the full DP, but replanning from the current state every cycle so a
+   stale cloud forecast only has to be right about the near future.
+   Only present when one is attached.
+3. ``baseline_dp`` — a locally-run green-window DP
    (:class:`~repro.core.planner.BaselineDpPlanner`): no queue model, but
    still schedules signal arrivals into green.
-3. ``glosa`` — the greedy :class:`~repro.core.glosa.GlosaAdvisor`
+4. ``glosa`` — the greedy :class:`~repro.core.glosa.GlosaAdvisor`
    (queue-aware when arrival rates are available): orders of magnitude
    cheaper, no DP machinery at all.
-4. ``speed_limit`` — track the posted limit; the unconditional floor
+5. ``speed_limit`` — track the posted limit; the unconditional floor
    that always produces a drivable command.
 
 :class:`DegradationLadder` tries the tiers in order on every plan or
@@ -37,6 +43,7 @@ from repro import obs
 from repro.cloud.messages import PlanRequest, PlanResponse
 from repro.core.engine import ArtifactStore
 from repro.core.glosa import GlosaAdvisor
+from repro.core.horizon import RecedingHorizonPlanner
 from repro.core.planner import (
     ArrivalRates,
     BaselineDpPlanner,
@@ -62,10 +69,18 @@ from repro.vehicle.params import VehicleParams
 #: the floor: it only ever serves when a safety supervisor is attached
 #: and even the speed-limit command failed its audit.
 TIER_QUEUE_DP = "queue_dp"
+TIER_QUEUE_DP_MPC = "queue_dp_mpc"
 TIER_BASELINE_DP = "baseline_dp"
 TIER_GLOSA = "glosa"
 TIER_SPEED_LIMIT = "speed_limit"
-TIERS = (TIER_QUEUE_DP, TIER_BASELINE_DP, TIER_GLOSA, TIER_SPEED_LIMIT, TIER_SAFE_STOP)
+TIERS = (
+    TIER_QUEUE_DP,
+    TIER_QUEUE_DP_MPC,
+    TIER_BASELINE_DP,
+    TIER_GLOSA,
+    TIER_SPEED_LIMIT,
+    TIER_SAFE_STOP,
+)
 
 
 def speed_limit_command(road: RoadSegment) -> Callable[[float], float]:
@@ -117,8 +132,13 @@ class TierPlan:
 
     @property
     def degraded(self) -> bool:
-        """True when a tier below the primary served."""
-        return self.tier != TIER_QUEUE_DP
+        """True when a tier below the primary tiers served.
+
+        The receding-horizon tier is still the full queue-aware DP —
+        replanned locally instead of served from the cloud — so it
+        counts as primary, not degraded.
+        """
+        return self.tier not in (TIER_QUEUE_DP, TIER_QUEUE_DP_MPC)
 
 
 class DegradationLadder:
@@ -135,6 +155,14 @@ class DegradationLadder:
         config: Discretization for the local baseline DP tier; ``None``
             uses :class:`PlannerConfig` defaults.
         vehicle_id: Id stamped on cloud requests.
+        mpc: Optional receding-horizon planner
+            (:class:`~repro.core.horizon.RecedingHorizonPlanner`).  When
+            attached it serves as the ``queue_dp_mpc`` tier: tried first
+            whenever the cloud tier fails, before any degraded tier.  A
+            cycle it declares failed
+            (:class:`~repro.errors.PlanningFailedError`) falls through to
+            ``baseline_dp``.  ``None`` (the default) keeps the ladder's
+            pre-MPC behaviour bit for bit.
         supervisor: Optional :class:`~repro.guard.supervisor.SafetySupervisor`.
             When given, every tier's plan is screened before it serves:
             repairable violations are clamped, a rejected plan falls to
@@ -159,6 +187,7 @@ class DegradationLadder:
         vehicle: Optional[VehicleParams] = None,
         config: Optional[PlannerConfig] = None,
         vehicle_id: str = "ev",
+        mpc: Optional["RecedingHorizonPlanner"] = None,
         supervisor: Optional[SafetySupervisor] = None,
         store: Optional[ArtifactStore] = None,
     ) -> None:
@@ -170,6 +199,7 @@ class DegradationLadder:
         self.vehicle = vehicle
         self.config = config
         self.vehicle_id = vehicle_id
+        self.mpc = mpc
         self.supervisor = supervisor
         self.store = store
         self._baseline: Optional[DpPlannerBase] = None
@@ -244,6 +274,27 @@ class DegradationLadder:
         attached its command is still audited, and a failure there (a
         corrupted road) serves the safe-stop profile instead.
         """
+        if self.mpc is not None:
+            try:
+                solution = self.mpc.replan(
+                    position_m=position_m,
+                    speed_ms=speed_ms,
+                    time_s=time_s,
+                    max_trip_time_s=max_trip_time_s,
+                ) if (position_m > 0.0 or speed_ms > 0.0) else self.mpc.plan(
+                    start_time_s=time_s, max_trip_time_s=max_trip_time_s
+                )
+                return self._screened(
+                    TierPlan(
+                        tier=TIER_QUEUE_DP_MPC,
+                        command=profile_speed_command(solution.profile),
+                        profile=solution.profile,
+                        trip_time_s=solution.trip_time_s,
+                        energy_mah=solution.energy_mah,
+                    )
+                )
+            except ReproError:
+                pass  # PlanningFailedError and friends: fall to baseline_dp
         try:
             planner = self._baseline_planner()
             try:

@@ -88,7 +88,7 @@ class ClosedLoopResult:
     @property
     def degraded_replans(self) -> int:
         """Applied replans served below the primary tier."""
-        primary = {PLANNER_TIER, "queue_dp"}
+        primary = {PLANNER_TIER, "queue_dp", "queue_dp_mpc"}
         return sum(n for tier, n in self.tier_counts.items() if tier not in primary)
 
     @property

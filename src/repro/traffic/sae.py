@@ -23,7 +23,12 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro import obs
-from repro.errors import ConfigurationError, PredictionError
+from repro.errors import CheckpointError, ConfigurationError, PredictionError
+
+#: Checkpoint arrays that carry the calibration state (fitted
+#: normalization bounds and held-out residuals); ``load`` with
+#: ``require_calibration=True`` demands all of them.
+CALIBRATION_KEYS = ("norm_min", "norm_max", "residuals_vph")
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -107,6 +112,9 @@ class SAEPredictor:
         self._w_out: Optional[np.ndarray] = None
         self._b_out: Optional[np.ndarray] = None
         self.training_loss_: List[float] = []
+        self.norm_min_: Optional[float] = None
+        self.norm_max_: Optional[float] = None
+        self.residuals_vph_: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Training
@@ -258,13 +266,54 @@ class SAEPredictor:
         return h
 
     # ------------------------------------------------------------------
+    # Calibration (held-out residuals + normalization state)
+    # ------------------------------------------------------------------
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether :meth:`calibrate` has recorded residuals and scales."""
+        return self.residuals_vph_ is not None
+
+    def calibrate(self, dataset) -> np.ndarray:
+        """Record held-out forecast residuals and the normalization state.
+
+        Args:
+            dataset: A held-out
+                :class:`~repro.traffic.dataset.SlidingWindowDataset`
+                (e.g. the test split of
+                :func:`~repro.traffic.dataset.train_test_split_by_hour`).
+                Its ``scale_min``/``scale_max`` become the model's fitted
+                normalization state; predictions on its features are
+                compared against its targets in vehicles/hour.
+
+        Returns:
+            The signed residuals ``predicted − actual`` (vehicles/hour),
+            also stored as :attr:`residuals_vph_`.  These feed
+            :class:`repro.core.uncertainty.ResidualModel`, which turns
+            the point forecast into a distribution for the
+            chance-constrained planner.
+
+        Raises:
+            PredictionError: If called before :meth:`fit`.
+        """
+        if not self.is_fitted:
+            raise PredictionError("SAEPredictor.calibrate called before fit")
+        predicted = dataset.denormalize(self.predict(dataset.features))
+        actual = dataset.denormalize(np.asarray(dataset.targets, dtype=float))
+        self.norm_min_ = float(dataset.scale_min)
+        self.norm_max_ = float(dataset.scale_max)
+        self.residuals_vph_ = np.asarray(predicted - actual, dtype=float)
+        return self.residuals_vph_
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
         """Persist the fitted model to an ``.npz`` archive.
 
         Training happens offline on months of detector data; deployments
-        load the weights at startup.
+        load the weights at startup.  When the model has been
+        :meth:`calibrate`-d, the fitted normalization bounds and the
+        held-out residuals round-trip too.
 
         Raises:
             PredictionError: If called before :meth:`fit`.
@@ -278,16 +327,49 @@ class SAEPredictor:
             arrays[f"w{i}"] = w
             arrays[f"b{i}"] = b
         arrays["hidden_sizes"] = np.asarray(self.hidden_sizes, dtype=np.int64)
+        if self.is_calibrated:
+            arrays["norm_min"] = np.asarray(self.norm_min_)
+            arrays["norm_max"] = np.asarray(self.norm_max_)
+            arrays["residuals_vph"] = self.residuals_vph_
         np.savez(target, **arrays)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "SAEPredictor":
-        """Load a model saved by :meth:`save`, ready for prediction."""
-        with np.load(Path(path)) as data:
+    def load(
+        cls, path: Union[str, Path], require_calibration: bool = False
+    ) -> "SAEPredictor":
+        """Load a model saved by :meth:`save`, ready for prediction.
+
+        Args:
+            path: The ``.npz`` checkpoint.
+            require_calibration: Demand the fitted normalization state and
+                held-out residual statistics.  Deployments that build an
+                uncertainty model from the checkpoint pass ``True`` so a
+                weights-only archive fails loudly instead of planning
+                with no residual distribution.
+
+        Raises:
+            CheckpointError: ``require_calibration`` is set and the
+                checkpoint is missing any of :data:`CALIBRATION_KEYS`.
+        """
+        source = Path(path)
+        with np.load(source) as data:
+            missing = [k for k in CALIBRATION_KEYS if k not in data]
+            if require_calibration and missing:
+                raise CheckpointError(
+                    f"checkpoint {source} is missing calibration state "
+                    f"({', '.join(missing)}); re-save after "
+                    "SAEPredictor.calibrate on the held-out split",
+                    path=str(source),
+                    missing=missing,
+                )
             hidden = tuple(int(h) for h in data["hidden_sizes"])
             model = cls(hidden_sizes=hidden)
             model._weights = [data[f"w{i}"].copy() for i in range(len(hidden))]
             model._biases = [data[f"b{i}"].copy() for i in range(len(hidden))]
             model._w_out = data["w_out"].copy()
             model._b_out = data["b_out"].copy()
+            if not missing:
+                model.norm_min_ = float(data["norm_min"])
+                model.norm_max_ = float(data["norm_max"])
+                model.residuals_vph_ = data["residuals_vph"].copy()
         return model

@@ -170,3 +170,52 @@ class TestGuardPath:
         assert main(args) == 0
         out = capsys.readouterr().out
         assert "plan audit" in out
+
+
+class TestUncertaintyPath:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.chance_level is None
+        assert args.timing_error == 6.0
+        assert args.receding_horizon is False
+        assert args.lookahead is None
+
+    def test_chance_level_prints_margin(self, capsys):
+        args = FAST_ARGS + ["--rate", "300", "--cap", "320", "--chance-level", "0.9"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "chance level : 0.90" in out
+        assert "window margin +4.8 s" in out  # q0.9 of uniform +/-6 s grid
+        assert "[ok]" in out
+
+    def test_chance_level_requires_proposed_planner(self, capsys):
+        args = FAST_ARGS + ["--planner", "baseline", "--chance-level", "0.9"]
+        assert main(args) == 2
+        assert "proposed" in capsys.readouterr().err
+
+    def test_bad_chance_level_exits_2(self, capsys):
+        args = FAST_ARGS + ["--chance-level", "1.0"]
+        assert main(args) == 2
+        assert "invalid chance constraint" in capsys.readouterr().err
+
+    def test_receding_horizon_plans(self, capsys):
+        args = FAST_ARGS + ["--rate", "300", "--cap", "320", "--receding-horizon"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "mpc          : receding horizon, lookahead full horizon" in out
+        assert "[ok]" in out
+
+    def test_receding_horizon_with_chance_and_lookahead(self, capsys):
+        args = FAST_ARGS + [
+            "--rate", "300", "--cap", "320",
+            "--chance-level", "0.9", "--receding-horizon", "--lookahead", "120",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "chance level : 0.90" in out
+        assert "lookahead 120 s" in out
+
+    def test_bad_lookahead_exits_2(self, capsys):
+        args = FAST_ARGS + ["--receding-horizon", "--lookahead", "-5"]
+        assert main(args) == 2
+        assert "invalid receding horizon" in capsys.readouterr().err

@@ -265,7 +265,9 @@ class TestStageKernels:
         lab_v = rng.integers(0, n_levels, size=n_labels)
         lab_t = rng.uniform(0.0, 100.0, size=n_labels)
         lab_c = rng.uniform(0.0, 1e5, size=n_labels)
-        j_arr = rng.integers(0, n_levels, size=n_pairs)
+        # The kernels require CSR-ordered pairs (j_arr sorted ascending),
+        # which is what np.nonzero over the feasibility mask produces.
+        j_arr = np.sort(rng.integers(0, n_levels, size=n_pairs))
         j2_arr = rng.integers(0, n_levels, size=n_pairs)
         e_arr = rng.uniform(-1e3, 1e4, size=n_pairs)
         dt_arr = rng.uniform(0.5, 20.0, size=n_pairs)

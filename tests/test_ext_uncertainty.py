@@ -1,0 +1,102 @@
+"""The forecast-uncertainty extension: sweep runs, robustness, report."""
+
+import pytest
+
+from repro.experiments import ext_uncertainty
+from repro.experiments.runner import EXPERIMENTS
+from repro.resilience.ladder import TIER_QUEUE_DP_MPC
+
+REDUCED = ext_uncertainty.UncertaintyConfig(
+    severities=(0.0, 12.0),
+    departures=(300.0,),
+    seeds=(13,),
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_uncertainty.run(REDUCED)
+
+
+class TestRun:
+    def test_one_row_per_severity(self, result):
+        assert [row.severity_s for row in result.rows] == [0.0, 12.0]
+
+    def test_every_drive_completes(self, result):
+        for row in result.rows:
+            assert row.completed[0] == row.completed[1]
+
+    def test_margin_grows_with_severity(self, result):
+        margins = [row.chance_margin_s for row in result.rows]
+        assert margins == sorted(margins)
+        assert margins[-1] > 0.0
+
+    def test_stochastic_never_misses_more_windows(self, result):
+        # The headline robustness claim: at every faulted severity the
+        # chance-constrained MPC arm misses no more queue-clearance
+        # windows than the point-forecast arm.
+        for row in result.rows:
+            if row.severity_s > 0:
+                assert row.stoch_stops <= row.point_stops
+
+    def test_mpc_tier_serves_replans(self, result):
+        # Cloud faults are injected in both arms; the stochastic arm's
+        # degradation path is its local MPC cycle, not baseline DP.
+        served = sum(
+            row.stoch_tiers.get(TIER_QUEUE_DP_MPC, 0) for row in result.rows
+        )
+        assert served > 0
+
+    def test_residual_summary_fitted(self, result):
+        assert result.residual_std_s > 0.0
+        assert result.sensitivity_s_per_vph > 0.0
+
+    def test_artifacts_shared_across_arms(self, result):
+        assert result.store is not None
+        assert result.store.hits > 0
+
+    def test_metrics_are_finite(self, result):
+        for row in result.rows:
+            assert row.point_energy_mah > 0
+            assert row.stoch_energy_mah > 0
+            assert row.point_time_s > 0
+            assert row.stoch_time_s > 0
+
+
+class TestReport:
+    def test_report_renders_table_and_verdict(self, result):
+        text = ext_uncertainty.report(result)
+        assert "drift (s)" in text
+        assert "missed no more windows" in text
+        assert "every drive completed" in text
+        assert "artifact store" in text
+
+    def test_missed_windows_flagged(self):
+        bad = ext_uncertainty.UncertaintyResult(
+            rows=[
+                ext_uncertainty.UncertaintyRow(
+                    severity_s=12.0,
+                    chance_margin_s=5.0,
+                    point_stops=0,
+                    stoch_stops=2,
+                    point_energy_mah=100.0,
+                    stoch_energy_mah=101.0,
+                    point_time_s=300.0,
+                    stoch_time_s=301.0,
+                    point_tiers={},
+                    stoch_tiers={},
+                    completed=(2, 2),
+                )
+            ],
+            residual_std_s=1.0,
+            sensitivity_s_per_vph=0.01,
+        )
+        assert "MISSED MORE WINDOWS" in ext_uncertainty.report(bad)
+
+
+class TestRegistration:
+    def test_registered_in_runner(self):
+        assert EXPERIMENTS["ext-uncertainty"] == (
+            ext_uncertainty.run,
+            ext_uncertainty.report,
+        )

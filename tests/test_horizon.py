@@ -1,0 +1,154 @@
+"""Receding-horizon wrapper: delegation, truncation, typed cycle failure."""
+
+import numpy as np
+import pytest
+
+from repro.core.horizon import RecedingHorizonPlanner
+from repro.core.planner import QueueAwareDpPlanner
+from repro.core.uncertainty import ChanceConstrainedPlanner, ResidualModel
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleProblemError,
+    PlanningFailedError,
+)
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+@pytest.fixture(scope="module")
+def inner(us25, coarse_config):
+    return QueueAwareDpPlanner(us25, RATE, config=coarse_config)
+
+
+@pytest.fixture(scope="module")
+def mpc(inner):
+    return RecedingHorizonPlanner(inner)
+
+
+class TestValidation:
+    def test_bad_lookahead(self, inner):
+        with pytest.raises(ConfigurationError):
+            RecedingHorizonPlanner(inner, lookahead_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RecedingHorizonPlanner(inner, lookahead_s=-5.0)
+
+    def test_bad_cycle(self, inner):
+        with pytest.raises(ConfigurationError):
+            RecedingHorizonPlanner(inner, cycle_s=0.0)
+
+
+class TestDelegation:
+    def test_surface_matches_inner(self, inner, mpc):
+        assert mpc.road is inner.road
+        assert mpc.vehicle is inner.vehicle
+        assert mpc.config is inner.config
+        assert mpc.store is inner.store
+        assert mpc.solver is inner.solver
+
+    def test_signal_constraints_are_never_truncated(self, inner, us25):
+        # The service revalidates cached plans against the full window
+        # set; even a truncating wrapper must expose every constraint.
+        mpc = RecedingHorizonPlanner(inner, lookahead_s=10.0)
+        assert len(mpc.signal_constraints(0.0)) == len(inner.signal_constraints(0.0))
+
+    def test_plan_bit_identical(self, inner, mpc):
+        a = inner.plan(max_trip_time_s=320.0)
+        b = mpc.plan(max_trip_time_s=320.0)
+        assert a.energy_j == b.energy_j
+        np.testing.assert_array_equal(a.profile.speeds_ms, b.profile.speeds_ms)
+
+    def test_min_trip_time_delegates(self, inner, mpc):
+        assert mpc.min_trip_time(0.0) == inner.min_trip_time(0.0)
+
+    def test_batch_delegates(self, inner, mpc):
+        a = inner.plan_batch([(0.0, 320.0), (30.0, 320.0)])
+        b = mpc.plan_batch([(0.0, 320.0), (30.0, 320.0)])
+        for sa, sb in zip(a, b):
+            assert sa.energy_j == sb.energy_j
+        ta = inner.min_trip_time_batch([0.0, 30.0])
+        tb = mpc.min_trip_time_batch([0.0, 30.0])
+        assert ta == tb
+
+
+class TestReplanCycle:
+    def test_default_replan_bit_identical(self, inner, mpc, us25):
+        state = dict(position_m=1000.0, speed_ms=8.0, time_s=100.0)
+        a = inner.replan(max_trip_time_s=320.0, **state)
+        b = mpc.replan(max_trip_time_s=320.0, **state)
+        assert a.energy_j == b.energy_j
+        assert a.trip_time_s == b.trip_time_s
+        np.testing.assert_array_equal(a.profile.speeds_ms, b.profile.speeds_ms)
+
+    def test_lookahead_drops_unreachable_constraint(self, inner, us25):
+        mpc = RecedingHorizonPlanner(inner, lookahead_s=30.0)
+        full = inner.signal_constraints(100.0)
+        kept = mpc._truncated(full, 1000.0)
+        # 30 s of flat-out driving cannot reach the far signal.
+        assert len(kept) < len(full)
+        assert all(
+            mpc.reachable_within_lookahead(1000.0, c.position_m)
+            or c.position_m <= 1000.0
+            for c in kept
+        )
+
+    def test_constraints_behind_ev_are_kept(self, inner):
+        mpc = RecedingHorizonPlanner(inner, lookahead_s=1.0)
+        full = inner.signal_constraints(100.0)
+        behind = mpc._truncated(full, inner.road.length_m)
+        # Everything is behind the EV at route end; nothing is dropped
+        # (the solver ignores constraints behind the start on its own).
+        assert len(behind) == len(full)
+
+    def test_no_lookahead_reaches_everything(self, mpc):
+        assert mpc.reachable_within_lookahead(0.0, mpc.road.length_m)
+
+    def test_truncated_replan_still_solves(self, inner):
+        mpc = RecedingHorizonPlanner(inner, lookahead_s=30.0)
+        sol = mpc.replan(position_m=1000.0, speed_ms=8.0, time_s=100.0)
+        assert sol.trip_time_s > 0
+
+    def test_infeasible_budget_recovers_min_time(self, mpc):
+        # A 5 s remaining budget is impossible; the cycle retries as a
+        # minimum-time solve instead of failing.
+        sol = mpc.replan(
+            position_m=1000.0, speed_ms=8.0, time_s=100.0, max_trip_time_s=5.0
+        )
+        assert sol.trip_time_s > 5.0
+
+    def test_phase_infeasible_cycle_fails_typed_by_default(self, inner, mpc):
+        # On a v_min road the EV cannot dawdle, so from this state the
+        # next queue-free window at the far signal opens just past the
+        # latest reachable arrival: the hard program is infeasible at
+        # any budget.  The default policy fails typed so the ladder /
+        # driver can keep the previous command.
+        state = dict(position_m=2500.0, speed_ms=9.0, time_s=210.0)
+        with pytest.raises(InfeasibleProblemError):
+            inner.replan(**state)
+        with pytest.raises(PlanningFailedError):
+            mpc.replan(**state)
+
+    def test_soften_infeasible_recovers_via_penalty(self, inner):
+        # Opt-in for unsupervised direct serving: the same cycle falls
+        # back to penalty windows and still produces a full profile.
+        soft = RecedingHorizonPlanner(inner, soften_infeasible=True)
+        sol = soft.replan(position_m=2500.0, speed_ms=9.0, time_s=210.0)
+        assert sol.trip_time_s > 0
+        assert sol.profile.positions_m[-1] == pytest.approx(inner.road.length_m)
+
+    def test_dead_windows_raise_typed_failure(self, us25, coarse_config):
+        # A chance level so extreme every shrunk window collapses:
+        # min-time retry cannot help, so the cycle fails typed — even
+        # with the penalty fallback enabled, since softening a collapsed
+        # forecast would just degenerate to an unconstrained solve.
+        residuals = ResidualModel([0.0]).with_timing_noise(4000.0)
+        inner = ChanceConstrainedPlanner(
+            us25, RATE, residuals, chance_level=0.99, config=coarse_config
+        )
+        mpc = RecedingHorizonPlanner(inner)
+        with pytest.raises(PlanningFailedError) as excinfo:
+            mpc.replan(position_m=1000.0, speed_ms=8.0, time_s=100.0)
+        assert excinfo.value.depart_s == pytest.approx(100.0)
+        soft = RecedingHorizonPlanner(inner, soften_infeasible=True)
+        with pytest.raises(PlanningFailedError):
+            soft.replan(position_m=1000.0, speed_ms=8.0, time_s=100.0)

@@ -15,17 +15,19 @@ from repro.errors import (
 )
 from repro.resilience.client import ResilientPlanClient
 from repro.resilience.faults import CloudFaultModel
+from repro.core.horizon import RecedingHorizonPlanner
 from repro.resilience.ladder import (
     TIER_BASELINE_DP,
     TIER_GLOSA,
     TIER_QUEUE_DP,
+    TIER_QUEUE_DP_MPC,
     TIER_SPEED_LIMIT,
     TIERS,
     DegradationLadder,
     speed_limit_command,
     speed_limit_trip_time_s,
 )
-from repro.sim.closed_loop import ClosedLoopDriver
+from repro.sim.closed_loop import ClosedLoopDriver, ClosedLoopResult
 from repro.sim.scenario import Us25Scenario
 from repro.units import vehicles_per_hour_to_per_second
 
@@ -336,3 +338,120 @@ class TestClosedLoopResilience:
             + outcome.replans_failed
             == outcome.replans_attempted
         )
+
+
+class FailingMpc:
+    """Every receding-horizon cycle fails typed."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def plan(self, *args, **kwargs):
+        self.calls += 1
+        raise PlanningFailedError("dead windows", vehicle_id="ev", depart_s=0.0)
+
+    def replan(self, *args, **kwargs):
+        self.calls += 1
+        raise PlanningFailedError("dead windows", vehicle_id="ev", depart_s=0.0)
+
+
+class TestMpcTier:
+    def test_tier_sits_between_queue_dp_and_baseline(self):
+        assert (
+            TIERS.index(TIER_QUEUE_DP)
+            < TIERS.index(TIER_QUEUE_DP_MPC)
+            < TIERS.index(TIER_BASELINE_DP)
+        )
+
+    def test_unreachable_cloud_serves_mpc_not_degraded(
+        self, us25, coarse_config, cloud_planner
+    ):
+        ladder = DegradationLadder(
+            UnreachableClient(),
+            us25,
+            arrival_rates=RATE,
+            config=coarse_config,
+            mpc=RecedingHorizonPlanner(cloud_planner),
+        )
+        plan = ladder.plan(0.0, max_trip_time_s=320.0)
+        assert plan.tier == TIER_QUEUE_DP_MPC
+        assert not plan.degraded
+        assert plan.profile is not None
+        replan = ladder.replan(position_m=1000.0, speed_ms=8.0, time_s=100.0)
+        assert replan.tier == TIER_QUEUE_DP_MPC
+        assert replan.profile.positions_m[0] >= 1000.0
+
+    def test_mpc_failure_falls_to_baseline(self, us25, coarse_config):
+        mpc = FailingMpc()
+        ladder = DegradationLadder(
+            UnreachableClient(),
+            us25,
+            arrival_rates=RATE,
+            config=coarse_config,
+            mpc=mpc,
+        )
+        plan = ladder.plan(0.0, max_trip_time_s=320.0)
+        assert mpc.calls == 1
+        assert plan.tier == TIER_BASELINE_DP
+        assert plan.degraded
+
+    def test_zero_fault_drive_bit_identical_with_mpc_attached(
+        self, us25, coarse_config, cloud_planner
+    ):
+        # With a healthy cloud the MPC tier is never consulted, so
+        # attaching it must not perturb a single float of the drive.
+        def run_once(mpc):
+            client = ResilientPlanClient(CloudPlannerService(cloud_planner))
+            ladder = DegradationLadder(
+                client, us25, arrival_rates=RATE, config=coarse_config, mpc=mpc
+            )
+            driver = ClosedLoopDriver(
+                _scenario(us25), ladder=ladder, replan_interval_s=20.0
+            )
+            return driver.run(depart_s=300.0, max_trip_time_s=320.0)
+
+        without = run_once(mpc=None)
+        with_mpc = run_once(mpc=RecedingHorizonPlanner(cloud_planner))
+        assert np.array_equal(
+            without.ev_trace.positions_m, with_mpc.ev_trace.positions_m
+        )
+        assert np.array_equal(without.ev_trace.speeds_ms, with_mpc.ev_trace.speeds_ms)
+        assert (
+            without.ev_trace.energy().net_mah == with_mpc.ev_trace.energy().net_mah
+        )
+        assert without.replan_tiers == with_mpc.replan_tiers
+        assert set(with_mpc.tier_counts) <= {TIER_QUEUE_DP}
+
+    def test_unreachable_cloud_drive_served_by_mpc(
+        self, us25, coarse_config, cloud_planner
+    ):
+        ladder = DegradationLadder(
+            UnreachableClient(),
+            us25,
+            arrival_rates=RATE,
+            config=coarse_config,
+            mpc=RecedingHorizonPlanner(cloud_planner),
+        )
+        driver = ClosedLoopDriver(
+            _scenario(us25), ladder=ladder, replan_interval_s=20.0
+        )
+        outcome = driver.run(depart_s=300.0, max_trip_time_s=320.0)
+        assert outcome.ev_trace.positions_m[-1] >= us25.length_m - 1.0
+        assert outcome.initial_tier == TIER_QUEUE_DP_MPC
+        assert set(outcome.tier_counts) <= {TIER_QUEUE_DP_MPC}
+        # MPC replans are primary-tier service, not degradation.
+        assert outcome.degraded_replans == 0
+
+    def test_result_accounting_excludes_mpc_from_degraded(self):
+        result = ClosedLoopResult(
+            sim=None,
+            replans_attempted=6,
+            replans_applied=6,
+            replans_infeasible=0,
+            tier_counts={
+                TIER_QUEUE_DP: 2,
+                TIER_QUEUE_DP_MPC: 3,
+                TIER_BASELINE_DP: 1,
+            },
+        )
+        assert result.degraded_replans == 1

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, PredictionError
+from repro.errors import CheckpointError, ConfigurationError, PredictionError
 from repro.traffic.dataset import train_test_split_by_hour
-from repro.traffic.sae import SAEPredictor, _sigmoid
+from repro.traffic.sae import CALIBRATION_KEYS, SAEPredictor, _sigmoid
 from repro.traffic.volume import VolumeGenerator
 
 
@@ -111,3 +111,66 @@ class TestAccuracy:
         codes = fitted.encode(test.features[:5])
         assert codes.shape == (5, 8)
         assert np.all((codes >= 0.0) & (codes <= 1.0))
+
+
+class TestCheckpointRoundTrip:
+    @pytest.fixture(scope="class")
+    def calibrated(self, datasets, fitted):
+        _, test = datasets
+        fitted.calibrate(test)
+        return fitted
+
+    def test_calibrate_before_fit_raises(self):
+        sae = SAEPredictor(hidden_sizes=(4,))
+        with pytest.raises(PredictionError):
+            sae.calibrate(None)
+
+    def test_calibrate_records_state(self, datasets, calibrated):
+        _, test = datasets
+        assert calibrated.is_calibrated
+        assert calibrated.norm_min_ == test.scale_min
+        assert calibrated.norm_max_ == test.scale_max
+        assert calibrated.residuals_vph_.shape == (len(test.targets),)
+        assert np.isfinite(calibrated.residuals_vph_).all()
+
+    def test_save_load_round_trips_calibration(self, datasets, calibrated, tmp_path):
+        path = tmp_path / "sae.npz"
+        calibrated.save(path)
+        restored = SAEPredictor.load(path, require_calibration=True)
+        assert restored.is_calibrated
+        assert restored.norm_min_ == calibrated.norm_min_
+        assert restored.norm_max_ == calibrated.norm_max_
+        np.testing.assert_array_equal(
+            restored.residuals_vph_, calibrated.residuals_vph_
+        )
+        _, test = datasets
+        np.testing.assert_array_equal(
+            restored.predict(test.features), calibrated.predict(test.features)
+        )
+
+    def test_uncalibrated_checkpoint_fails_typed(self, datasets, tmp_path):
+        train, _ = datasets
+        sae = SAEPredictor(
+            hidden_sizes=(4,), pretrain_epochs=1, finetune_epochs=1, seed=0
+        )
+        sae.fit(train.features, train.targets)
+        path = tmp_path / "weights_only.npz"
+        sae.save(path)
+        with pytest.raises(CheckpointError) as excinfo:
+            SAEPredictor.load(path, require_calibration=True)
+        assert excinfo.value.path == str(path)
+        assert tuple(excinfo.value.missing) == CALIBRATION_KEYS
+
+    def test_uncalibrated_checkpoint_loads_without_demand(self, datasets, tmp_path):
+        train, _ = datasets
+        sae = SAEPredictor(
+            hidden_sizes=(4,), pretrain_epochs=1, finetune_epochs=1, seed=0
+        )
+        sae.fit(train.features, train.targets)
+        path = tmp_path / "weights_only.npz"
+        sae.save(path)
+        restored = SAEPredictor.load(path)
+        assert not restored.is_calibrated
+        np.testing.assert_array_equal(
+            restored.predict(train.features), sae.predict(train.features)
+        )

@@ -1,0 +1,181 @@
+"""Chance-constrained planning: residual model, margins, bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import QueueAwareDpPlanner
+from repro.core.uncertainty import (
+    ChanceConstrainedPlanner,
+    ResidualModel,
+    window_start_sensitivity,
+)
+from repro.errors import ConfigurationError, PredictionError
+from repro.units import vehicles_per_hour_to_per_second
+
+RATE = vehicles_per_hour_to_per_second(300.0)
+
+
+class TestResidualModel:
+    def test_median_debiased(self):
+        model = ResidualModel([10.0, 11.0, 12.0, 13.0, 14.0])
+        assert model.bias_s == pytest.approx(12.0)
+        assert model.quantile(0.5) == pytest.approx(0.0)
+
+    def test_margin_at_and_below_half_is_exactly_zero(self):
+        rng = np.random.default_rng(3)
+        model = ResidualModel(rng.normal(5.0, 3.0, 1001))
+        # Exact zero, not approximately: this float is what keeps the
+        # p <= 0.5 chance-constrained plan bit-identical to the point plan.
+        assert model.margin_for(0.5) == 0.0
+        assert model.margin_for(0.1) == 0.0
+
+    def test_margin_monotone_in_level(self):
+        rng = np.random.default_rng(4)
+        model = ResidualModel(rng.normal(0.0, 2.0, 500))
+        margins = [model.margin_for(p) for p in (0.6, 0.75, 0.9, 0.99)]
+        assert margins == sorted(margins)
+        assert margins[0] >= 0.0
+
+    def test_margin_never_negative(self):
+        # All-negative residuals (the forecast always errs safe) clamp to 0.
+        model = ResidualModel([-5.0, -4.0, -3.0, -2.0, -1.0])
+        assert model.margin_for(0.6) >= 0.0
+
+    def test_with_timing_noise_widens_quantiles(self):
+        base = ResidualModel([0.0])
+        noisy = base.with_timing_noise(6.0)
+        assert noisy.margin_for(0.9) == pytest.approx(4.8)
+        assert noisy.margin_for(0.9) > base.margin_for(0.9)
+        assert noisy.n_samples == 21
+
+    def test_with_zero_noise_is_identity(self):
+        base = ResidualModel([1.0, -1.0, 0.5])
+        same = base.with_timing_noise(0.0)
+        np.testing.assert_array_equal(same.samples_s, base.samples_s)
+
+    def test_from_volume_errors_flips_sign(self):
+        # Under-forecast volume (negative error) opens the true window
+        # later -> positive timing residual -> positive high quantile.
+        model = ResidualModel.from_volume_errors([0.0, -100.0], 0.01)
+        assert model.quantile(1.0) > 0.0
+
+    def test_from_predictor_requires_calibration(self):
+        class Bare:
+            residuals_vph_ = None
+
+        with pytest.raises(PredictionError):
+            ResidualModel.from_predictor(Bare(), 0.01)
+
+    def test_from_predictor_uses_recorded_residuals(self):
+        class Calibrated:
+            residuals_vph_ = np.asarray([50.0, -50.0, 0.0])
+
+        model = ResidualModel.from_predictor(Calibrated(), 0.02)
+        assert model.n_samples == 3
+        assert model.std_s > 0.0
+
+    @pytest.mark.parametrize("samples", [[], [np.nan], [np.inf, 0.0]])
+    def test_bad_samples_rejected(self, samples):
+        with pytest.raises(ConfigurationError):
+            ResidualModel(samples)
+
+    @pytest.mark.parametrize("level", [0.0, 1.0, -0.1, 1.5])
+    def test_bad_chance_level_rejected(self, level):
+        model = ResidualModel([0.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            model.margin_for(level)
+
+    def test_noise_validation(self):
+        model = ResidualModel([0.0])
+        with pytest.raises(ConfigurationError):
+            model.with_timing_noise(-1.0)
+        with pytest.raises(ConfigurationError):
+            model.with_timing_noise(1.0, levels=1)
+
+
+class TestWindowStartSensitivity:
+    def test_positive_at_operating_point(self, us25):
+        planner = QueueAwareDpPlanner(us25, RATE)
+        model = planner.queue_model(us25.signals[0].position_m)
+        sens = window_start_sensitivity(model, RATE)
+        # More arrivals -> the queue clears later -> the window starts later.
+        assert sens > 0.0
+
+    def test_zero_when_saturated(self, us25):
+        planner = QueueAwareDpPlanner(us25, RATE)
+        model = planner.queue_model(us25.signals[0].position_m)
+        assert window_start_sensitivity(model, 10.0) == 0.0
+
+    def test_validation(self, us25):
+        planner = QueueAwareDpPlanner(us25, RATE)
+        model = planner.queue_model(us25.signals[0].position_m)
+        with pytest.raises(ConfigurationError):
+            window_start_sensitivity(model, -1.0)
+        with pytest.raises(ConfigurationError):
+            window_start_sensitivity(model, RATE, delta_vps=0.0)
+
+
+class TestChanceConstrainedPlanner:
+    @pytest.fixture(scope="class")
+    def residuals(self):
+        return ResidualModel([0.0]).with_timing_noise(6.0)
+
+    def test_half_level_bit_identical_to_point(self, us25, coarse_config, residuals):
+        point = QueueAwareDpPlanner(us25, RATE, config=coarse_config)
+        chance = ChanceConstrainedPlanner(
+            us25, RATE, residuals, chance_level=0.5, config=coarse_config
+        )
+        a = point.plan(max_trip_time_s=320.0)
+        b = chance.plan(max_trip_time_s=320.0)
+        assert a.energy_j == b.energy_j
+        assert a.trip_time_s == b.trip_time_s
+        np.testing.assert_array_equal(a.profile.speeds_ms, b.profile.speeds_ms)
+        np.testing.assert_array_equal(a.profile.positions_m, b.profile.positions_m)
+
+    def test_zero_margin_constraints_bit_identical(self, us25, coarse_config, residuals):
+        point = QueueAwareDpPlanner(us25, RATE, config=coarse_config)
+        chance = ChanceConstrainedPlanner(
+            us25, RATE, residuals, chance_level=0.5, config=coarse_config
+        )
+        for pc, cc in zip(point.signal_constraints(0.0), chance.signal_constraints(0.0)):
+            np.testing.assert_array_equal(pc.windows._starts, cc.windows._starts)
+            np.testing.assert_array_equal(pc.windows._ends, cc.windows._ends)
+
+    def test_high_level_shrinks_windows(self, us25, coarse_config, residuals):
+        point = QueueAwareDpPlanner(us25, RATE, config=coarse_config)
+        chance = ChanceConstrainedPlanner(
+            us25, RATE, residuals, chance_level=0.9, config=coarse_config
+        )
+        assert chance.chance_margin_s == pytest.approx(4.8)
+        for pc, cc in zip(point.signal_constraints(0.0), chance.signal_constraints(0.0)):
+            shift = cc.windows._starts - pc.windows._starts
+            assert np.all(shift == pytest.approx(chance.chance_margin_s))
+
+    def test_high_level_costs_no_less_energy(self, us25, coarse_config, residuals):
+        point = QueueAwareDpPlanner(us25, RATE, config=coarse_config)
+        chance = ChanceConstrainedPlanner(
+            us25, RATE, residuals, chance_level=0.9, config=coarse_config
+        )
+        a = point.plan(max_trip_time_s=320.0)
+        b = chance.plan(max_trip_time_s=320.0)
+        # Tighter windows can only restrict the feasible set.
+        assert b.energy_j >= a.energy_j
+
+    def test_margin_arrivals_clear_true_window_shift(self, us25, coarse_config, residuals):
+        chance = ChanceConstrainedPlanner(
+            us25, RATE, residuals, chance_level=0.9, config=coarse_config
+        )
+        point = QueueAwareDpPlanner(us25, RATE, config=coarse_config)
+        sol = chance.plan(max_trip_time_s=320.0)
+        margin = chance.chance_margin_s
+        for constraint in point.signal_constraints(0.0):
+            arrival = sol.signal_arrivals[constraint.position_m]
+            # The chance arrival still lands inside the *point* windows
+            # even if the true window opens margin seconds late.
+            assert bool(constraint.windows.contains([arrival - margin])[0])
+
+    def test_bad_chance_level_rejected(self, us25, coarse_config, residuals):
+        with pytest.raises(ConfigurationError):
+            ChanceConstrainedPlanner(
+                us25, RATE, residuals, chance_level=1.0, config=coarse_config
+            )
