@@ -111,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="plan over a corridor loaded from a JSON road file instead of US-25",
     )
     parser.add_argument(
+        "--corridor",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="plan over a named corridor from the builtin catalog "
+        "(see --list-corridors); an unknown name exits 2 listing the "
+        "known ids",
+    )
+    parser.add_argument(
+        "--list-corridors",
+        action="store_true",
+        help="print the builtin corridor catalog (id, length, background "
+        "rate, description) and exit",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="play the plan through the microsimulator and report the derived trip",
@@ -201,12 +216,37 @@ def main(argv: Optional[list] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     registry = obs.get_registry()
+    if args.list_corridors:
+        from repro.cloud.registry import builtin_catalog
+
+        catalog = builtin_catalog()
+        for corridor_id in catalog.ids():
+            spec = catalog.spec(corridor_id)
+            print(
+                f"{corridor_id:14s} {spec.road.length_m / 1000.0:5.1f} km, "
+                f"{spec.arrival_rate_vph:4.0f} veh/h  {spec.description}"
+            )
+        return 0
     if args.metrics is not None:
         # Enable before the planner is built so the DP table-build span
         # (often the dominant startup cost) lands in the report.
         registry.enabled = True
         registry.reset()
-    if args.road:
+    if args.road and args.corridor:
+        print(
+            "--road and --corridor are mutually exclusive", file=sys.stderr
+        )
+        return EXIT_INVALID
+    if args.corridor:
+        from repro.cloud.registry import builtin_catalog
+        from repro.errors import UnknownCorridorError
+
+        try:
+            road = builtin_catalog().spec(args.corridor).road
+        except UnknownCorridorError as exc:
+            print(f"unknown corridor: {exc}", file=sys.stderr)
+            return EXIT_INVALID
+    elif args.road:
         from repro.route.io import load_road_json
 
         try:

@@ -29,13 +29,27 @@ of the planners:
   deadlines, malformed-frame containment and graceful drain.
 * :mod:`repro.cloud.netclient` — the vehicle-side socket transport,
   mapping every wire failure into the resilience stack's typed errors.
+* :mod:`repro.cloud.registry` — the corridor registry: immutable
+  corridor specs (road, traffic, planner recipe) and a catalog that
+  lazily builds one isolated serving runtime per corridor.
+* :mod:`repro.cloud.router` — the request router: corridor-sharded
+  serving behind the same service facade, so the whole stack above it
+  (dispatcher, server, transport, fleet study) is corridor-aware for
+  free.
 """
 
-from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.cloud.messages import DEFAULT_CORRIDOR_ID, PlanRequest, PlanResponse
 from repro.cloud.plan_cache import CacheStats, PlanCache
+from repro.cloud.registry import (
+    CorridorCatalog,
+    CorridorRuntime,
+    CorridorSpec,
+    builtin_catalog,
+)
+from repro.cloud.router import PlanRouter, RouterStats
 from repro.cloud.service import CloudPlannerService, ServiceStats
 from repro.cloud.dispatcher import DispatcherStats, PlanDispatcher
-from repro.cloud.fleet import FleetStudy, FleetResult
+from repro.cloud.fleet import CorridorFleetSlice, FleetStudy, FleetResult
 from repro.cloud.framing import FrameAssembler, encode_frame, split_frames
 from repro.cloud.netclient import NetworkPlanTransport, TransportStats
 from repro.cloud.server import PlanServer, ServerHandle, ServerStats, serve_in_background
@@ -44,6 +58,11 @@ from repro.cloud.stats import STATS_SCHEMA, compose_stats_document
 __all__ = [
     "CacheStats",
     "CloudPlannerService",
+    "CorridorCatalog",
+    "CorridorFleetSlice",
+    "CorridorRuntime",
+    "CorridorSpec",
+    "DEFAULT_CORRIDOR_ID",
     "DispatcherStats",
     "FleetResult",
     "FleetStudy",
@@ -53,12 +72,15 @@ __all__ = [
     "PlanDispatcher",
     "PlanRequest",
     "PlanResponse",
+    "PlanRouter",
     "PlanServer",
+    "RouterStats",
     "STATS_SCHEMA",
     "ServerHandle",
     "ServerStats",
     "ServiceStats",
     "TransportStats",
+    "builtin_catalog",
     "compose_stats_document",
     "encode_frame",
     "serve_in_background",

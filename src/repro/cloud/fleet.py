@@ -23,12 +23,21 @@ Two serving modes share one aggregation path:
 With ``wire_roundtrip=True`` every request and response crosses the
 :mod:`repro.cloud.wire` codec — a realistic serialization boundary whose
 bit-exactness keeps results unchanged.
+
+**Multi-corridor mode** (``corridors=`` instead of ``road=``) drives an
+interleaved fleet across several corridors at once — vehicle ``i``
+departs on corridor ``i % len(corridors)`` — against a sharded target
+such as a :class:`~repro.cloud.router.PlanRouter`.  Human references
+are synthesized per corridor (each corridor's own road and signals),
+and the result carries a :class:`CorridorFleetSlice` per corridor next
+to the fleet-wide aggregate, so per-corridor savings and cache economics
+are inspectable directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,6 +55,44 @@ from repro.errors import (
 )
 from repro.route.road import RoadSegment
 from repro.trace.driver import fast_driver, mild_driver, synthesize_trace
+
+
+@dataclass
+class CorridorFleetSlice:
+    """One corridor's share of a multi-corridor fleet study.
+
+    Attributes:
+        corridor_id: The corridor this slice aggregates.
+        n_vehicles: Departures on this corridor that were served.
+        n_failed: Departures on this corridor that produced no plan.
+        planned_energy_mah: Planned trip energy on this corridor.
+        human_energy_mah: Scaled human-reference energy (this corridor's
+            own road and signal plan).
+        savings_pct: This corridor's energy saving.
+        service: This corridor's service counters, when the serving
+            target exposes a per-corridor breakdown (a
+            :class:`~repro.cloud.router.PlanRouter`); ``None`` otherwise.
+        cache: This corridor's plan-cache counters (same condition).
+    """
+
+    corridor_id: str
+    n_vehicles: int
+    n_failed: int
+    planned_energy_mah: float
+    human_energy_mah: float
+    savings_pct: float
+    service: Optional[ServiceStats] = None
+    cache: Optional[CacheStats] = None
+
+    def summary(self) -> str:
+        """One-line roll-up for reports and CLI output."""
+        line = (
+            f"{self.corridor_id}: {self.n_vehicles} served / "
+            f"{self.n_failed} failed, savings {self.savings_pct:.1f}%"
+        )
+        if self.service is not None:
+            line += f", hit rate {self.service.hit_rate:.2f}"
+        return line
 
 
 @dataclass
@@ -76,6 +123,8 @@ class FleetResult:
             (``None`` when the service's planner holds no shared store).
         cache: Plan-cache (LRU+TTL) counters at the end of the run.
         dispatch: Dispatcher counters (``None`` for serial runs).
+        per_corridor: One :class:`CorridorFleetSlice` per corridor, in
+            catalog order (empty for single-corridor studies).
     """
 
     n_vehicles: int
@@ -89,6 +138,7 @@ class FleetResult:
     store: Optional[StoreStats] = None
     cache: Optional[CacheStats] = None
     dispatch: Optional[DispatcherStats] = None
+    per_corridor: List[CorridorFleetSlice] = field(default_factory=list)
 
     def summary(self) -> str:
         """One-line roll-up for reports and CLI output."""
@@ -103,6 +153,8 @@ class FleetResult:
             line += f", dispatcher: {self.dispatch.summary()}"
         if self.store is not None:
             line += f", artifact store: {self.store.summary()}"
+        for corridor_slice in self.per_corridor:
+            line += f"\n  {corridor_slice.summary()}"
         return line
 
 
@@ -110,8 +162,10 @@ class FleetStudy:
     """Run a fleet of EVs through the cloud planner.
 
     Args:
-        service: The planning service under study.
-        road: Corridor (shared with the service's planner).
+        service: The planning service under study (or a
+            :class:`~repro.cloud.router.PlanRouter` fronting several).
+        road: Corridor (shared with the service's planner).  Mutually
+            exclusive with ``corridors``.
         fleet_rate_vph: EV departure rate (vehicles/hour).
         mild_fraction: Share of the fleet whose human reference is the
             mild style (the rest drive fast).
@@ -139,12 +193,20 @@ class FleetStudy:
             (timeouts, resets, BUSY sheds that survive the client's
             retries) are recorded as failed, like unplannable ones.
             Mutually exclusive with ``workers > 0``.
+        corridors: Multi-corridor mode — a sequence of corridor specs
+            (anything with ``corridor_id`` and ``road`` attributes, e.g.
+            :class:`~repro.cloud.registry.CorridorSpec`).  Vehicle ``i``
+            departs on corridor ``i % len(corridors)`` and its request
+            carries that ``corridor_id``, so the serving target must
+            know every named corridor (a
+            :class:`~repro.cloud.router.PlanRouter` over the matching
+            catalog).  Mutually exclusive with ``road``.
     """
 
     def __init__(
         self,
         service: CloudPlannerService,
-        road: RoadSegment,
+        road: Optional[RoadSegment] = None,
         fleet_rate_vph: float = 40.0,
         mild_fraction: float = 0.5,
         background_vph: float = 300.0,
@@ -154,6 +216,7 @@ class FleetStudy:
         backend: str = "thread",
         batch_window_s: Optional[float] = None,
         via=None,
+        corridors: Optional[Sequence] = None,
     ) -> None:
         if fleet_rate_vph <= 0:
             raise ConfigurationError("fleet rate must be positive")
@@ -165,9 +228,28 @@ class FleetStudy:
             raise ConfigurationError(
                 "via= serves serially; combine it with workers=0"
             )
+        if (road is None) == (corridors is None):
+            raise ConfigurationError(
+                "pass exactly one of road= (single corridor) or "
+                "corridors= (multi-corridor)"
+            )
+        if corridors is not None:
+            corridors = tuple(corridors)
+            if not corridors:
+                raise ConfigurationError("corridors= must name >= 1 corridor")
+            for spec in corridors:
+                if not getattr(spec, "corridor_id", "") or not hasattr(spec, "road"):
+                    raise ConfigurationError(
+                        "each corridor spec needs corridor_id and road "
+                        f"attributes, got {spec!r}"
+                    )
+            seen = [spec.corridor_id for spec in corridors]
+            if len(set(seen)) != len(seen):
+                raise ConfigurationError(f"duplicate corridor ids in {seen}")
         self.service = service
         self.via = via
         self.road = road
+        self.corridors = corridors
         self.fleet_rate_vph = fleet_rate_vph
         self.mild_fraction = mild_fraction
         self.background_vph = background_vph
@@ -177,8 +259,21 @@ class FleetStudy:
         self.backend = backend
         self.batch_window_s = batch_window_s
 
-    def _make_request(self, vehicle_id: str, depart_s: float) -> PlanRequest:
-        req = PlanRequest(vehicle_id=vehicle_id, depart_s=depart_s)
+    def _corridor_of(self, index: int):
+        """The corridor spec vehicle ``index`` departs on (``None`` = single)."""
+        if self.corridors is None:
+            return None
+        return self.corridors[index % len(self.corridors)]
+
+    def _make_request(
+        self, vehicle_id: str, depart_s: float, corridor_id: Optional[str] = None
+    ) -> PlanRequest:
+        if corridor_id is None:
+            req = PlanRequest(vehicle_id=vehicle_id, depart_s=depart_s)
+        else:
+            req = PlanRequest(
+                vehicle_id=vehicle_id, depart_s=depart_s, corridor_id=corridor_id
+            )
         if self.wire_roundtrip:
             req = wire.roundtrip_request(req)
         return req
@@ -190,7 +285,11 @@ class FleetStudy:
         downstream is identical (and sums bit-identical) either way.
         """
         requests = [
-            self._make_request(f"ev{i}", float(depart))
+            self._make_request(
+                f"ev{i}",
+                float(depart),
+                spec.corridor_id if (spec := self._corridor_of(i)) else None,
+            )
             for i, depart in enumerate(departures)
         ]
         if self.workers > 0:
@@ -244,17 +343,28 @@ class FleetStudy:
         departures = np.sort(rng.uniform(start_s, start_s + duration_s, size=n))
         styles = rng.random(n) < self.mild_fraction
 
+        specs = self.corridors if self.corridors is not None else (None,)
+        corridor_ids = [
+            spec.corridor_id if spec is not None else "" for spec in specs
+        ]
+
         with registry.span("fleet.run", departures=int(n)):
-            planned_total = 0.0
+            # Accumulators are keyed per corridor; the single-corridor
+            # study is the one-key special case of the same path.
             trip_times: List[float] = []
-            served_mild = 0
-            served_fast = 0
+            served_mild = {cid: 0 for cid in corridor_ids}
+            served_fast = {cid: 0 for cid in corridor_ids}
+            planned = {cid: 0.0 for cid in corridor_ids}
+            failed = {cid: 0 for cid in corridor_ids}
             failed_ids: List[str] = []
             for i, (vehicle_id, outcome) in enumerate(
                 self._serve_stream(departures)
             ):
+                spec = self._corridor_of(i)
+                cid = spec.corridor_id if spec is not None else ""
                 if isinstance(outcome, (PlanningFailedError, CloudUnavailableError)):
                     failed_ids.append(vehicle_id)
+                    failed[cid] += 1
                     registry.inc("fleet.failed")
                     continue
                 if isinstance(outcome, Exception):
@@ -262,37 +372,81 @@ class FleetStudy:
                 response: PlanResponse = outcome
                 if self.wire_roundtrip:
                     response = wire.roundtrip_response(response)
-                planned_total += response.energy_mah
+                planned[cid] += response.energy_mah
                 trip_times.append(response.trip_time_s)
                 if styles[i]:
-                    served_mild += 1
+                    served_mild[cid] += 1
                 else:
-                    served_fast += 1
+                    served_fast[cid] += 1
                 registry.inc("fleet.served")
 
-            human_means: Dict[str, float] = {}
-            for style in (mild_driver(), fast_driver()):
-                energies = []
-                for k in range(human_reference_sample):
-                    depart = start_s + k * 17.0
-                    trace = synthesize_trace(
-                        self.road,
-                        style,
-                        arrival_rate_vph=self.background_vph,
-                        depart_s=depart,
-                        seed=self.seed + k,
-                    )
-                    energies.append(trace.energy().net_mah)
-                human_means[style.name] = float(np.mean(energies))
+            # Human references per corridor (each corridor's own road and
+            # signal plan) and per style.
+            human_means: Dict[Tuple[str, str], float] = {}
+            for spec, cid in zip(specs, corridor_ids):
+                road = spec.road if spec is not None else self.road
+                for style in (mild_driver(), fast_driver()):
+                    energies = []
+                    for k in range(human_reference_sample):
+                        depart = start_s + k * 17.0
+                        trace = synthesize_trace(
+                            road,
+                            style,
+                            arrival_rate_vph=self.background_vph,
+                            depart_s=depart,
+                            seed=self.seed + k,
+                        )
+                        energies.append(trace.energy().net_mah)
+                    human_means[(cid, style.name)] = float(np.mean(energies))
 
-        human_total = (
-            served_mild * human_means["mild"] + served_fast * human_means["fast"]
-        )
+        per_service = {}
+        per_corridor_services = getattr(self.service, "per_corridor_services", None)
+        if callable(per_corridor_services):
+            per_service = per_corridor_services()
+
+        slices: List[CorridorFleetSlice] = []
+        planned_total = 0.0
+        human_total = 0.0
+        n_served = 0
+        for cid in corridor_ids:
+            human = (
+                served_mild[cid] * human_means[(cid, "mild")]
+                + served_fast[cid] * human_means[(cid, "fast")]
+            )
+            planned_total += planned[cid]
+            human_total += human
+            n_served += served_mild[cid] + served_fast[cid]
+            if self.corridors is None:
+                continue
+            corridor_service = per_service.get(cid)
+            slices.append(
+                CorridorFleetSlice(
+                    corridor_id=cid,
+                    n_vehicles=served_mild[cid] + served_fast[cid],
+                    n_failed=failed[cid],
+                    planned_energy_mah=planned[cid],
+                    human_energy_mah=human,
+                    savings_pct=(
+                        100.0 * (1.0 - planned[cid] / human) if human > 0 else 0.0
+                    ),
+                    service=(
+                        corridor_service.stats_snapshot()
+                        if corridor_service is not None
+                        else None
+                    ),
+                    cache=(
+                        corridor_service.plan_cache.stats()
+                        if corridor_service is not None
+                        else None
+                    ),
+                )
+            )
+
         savings = (
             100.0 * (1.0 - planned_total / human_total) if human_total > 0 else 0.0
         )
         return FleetResult(
-            n_vehicles=served_mild + served_fast,
+            n_vehicles=n_served,
             n_failed=len(failed_ids),
             planned_energy_mah=planned_total,
             human_energy_mah=human_total,
@@ -307,4 +461,5 @@ class FleetStudy:
             ),
             cache=self.service.plan_cache.stats(),
             dispatch=self._dispatch_stats,
+            per_corridor=slices,
         )

@@ -9,6 +9,12 @@ from repro.core.profile import VelocityProfile
 from repro.errors import ConfigurationError
 from repro.guard.contracts import validate_plan_request
 
+#: Corridor served when a request does not name one.  Version-1 wire
+#: clients predate ``corridor_id`` entirely; their requests decode to
+#: this corridor (or whatever the decoder was configured with), so old
+#: vehicles keep planning against the original single arterial.
+DEFAULT_CORRIDOR_ID = "us25"
+
 
 @dataclass(frozen=True)
 class PlanRequest:
@@ -30,6 +36,10 @@ class PlanRequest:
             (0 = plan the whole trip).
         speed_ms: Current speed for a mid-route replan.
         minimize: Planning objective, ``"energy"`` or ``"time"``.
+        corridor_id: The corridor this trip runs on — the routing key a
+            :class:`~repro.cloud.router.PlanRouter` resolves to a
+            corridor shard.  Defaults to :data:`DEFAULT_CORRIDOR_ID`, so
+            single-corridor deployments never mention it.
     """
 
     vehicle_id: str
@@ -38,10 +48,13 @@ class PlanRequest:
     position_m: float = 0.0
     speed_ms: float = 0.0
     minimize: str = "energy"
+    corridor_id: str = DEFAULT_CORRIDOR_ID
 
     def __post_init__(self) -> None:
         if not self.vehicle_id:
             raise ConfigurationError("vehicle id must be non-empty")
+        if not isinstance(self.corridor_id, str) or not self.corridor_id:
+            raise ConfigurationError("corridor id must be a non-empty string")
         if self.depart_s < 0:
             raise ConfigurationError(f"departure must be >= 0, got {self.depart_s}")
         if self.max_trip_time_s is not None and self.max_trip_time_s <= 0:
@@ -75,6 +88,9 @@ class PlanResponse:
         trip_time_s: Planned duration (s).
         cache_hit: Whether the plan was served from the phase cache.
         compute_time_s: Server-side planning time (0 for cache hits).
+        corridor_id: The corridor that served this plan (echoed from the
+            request by the corridor's own service) — clients can assert
+            their plan came from the road they asked about.
     """
 
     vehicle_id: str
@@ -83,3 +99,4 @@ class PlanResponse:
     trip_time_s: float
     cache_hit: bool
     compute_time_s: float
+    corridor_id: str = DEFAULT_CORRIDOR_ID

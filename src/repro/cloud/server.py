@@ -52,6 +52,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro import obs
 from repro.cloud import wire
 from repro.cloud.dispatcher import PlanDispatcher
+from repro.cloud.messages import DEFAULT_CORRIDOR_ID
 from repro.cloud.framing import DEFAULT_MAX_FRAME_BYTES, FrameAssembler, encode_frame
 from repro.cloud.service import CloudPlannerService
 from repro.cloud.stats import compose_stats_document
@@ -134,6 +135,11 @@ class PlanServer:
         stats_path: When set, the drain flushes the final stats
             document to this JSON file.
         name: Metrics namespace for :mod:`repro.obs` counters.
+        default_corridor_id: The corridor that version-1 wire clients
+            (whose requests carry no ``corridor_id``) are served
+            against.  Replies always speak the caller's wire dialect,
+            so a fleet of v1 clients keeps working across the sharding
+            upgrade unchanged.
     """
 
     def __init__(
@@ -150,6 +156,7 @@ class PlanServer:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         stats_path: Optional[str] = None,
         name: str = "cloud.server",
+        default_corridor_id: str = DEFAULT_CORRIDOR_ID,
     ) -> None:
         if max_pending < 1:
             raise ConfigurationError(
@@ -167,6 +174,7 @@ class PlanServer:
         self.max_frame_bytes = int(max_frame_bytes)
         self.stats_path = stats_path
         self.name = name
+        self.default_corridor_id = str(default_corridor_id)
         self._owns_dispatcher = dispatcher is None
         self.dispatcher = dispatcher or PlanDispatcher(
             service, workers=workers, name=f"{name}.dispatch"
@@ -299,6 +307,7 @@ class PlanServer:
         vehicle_id: str = "",
         queue_depth: Optional[int] = None,
         capacity: Optional[int] = None,
+        version: int = wire.WIRE_VERSION,
     ) -> bool:
         return await self._send(
             writer,
@@ -310,7 +319,8 @@ class PlanServer:
                     vehicle_id=vehicle_id,
                     queue_depth=queue_depth,
                     capacity=capacity,
-                )
+                ),
+                version=version,
             ),
         )
 
@@ -374,9 +384,16 @@ class PlanServer:
         writer: asyncio.StreamWriter,
         registry: obs.MetricsRegistry,
     ) -> bool:
-        """Serve one well-framed payload; False tears down the connection."""
+        """Serve one well-framed payload; False tears down the connection.
+
+        Replies speak the caller's wire dialect: the decoded frame's
+        version is threaded into every response/error encode, so a v1
+        client never sees a v2 key it cannot parse.
+        """
         try:
-            kind, message = wire.decode_message(payload)
+            kind, message, version = wire.decode_message_versioned(
+                payload, default_corridor_id=self.default_corridor_id
+            )
         except WireProtocolError as exc:
             # Payload-level garbage is contained: typed answer, and the
             # connection (whose framing is intact) lives on.
@@ -396,17 +413,21 @@ class PlanServer:
                         status=status,
                         in_flight=self._in_flight,
                         capacity=self.max_pending,
-                    )
+                    ),
+                    version=version,
                 ),
             )
         if kind == wire.STATS_REQUEST_KIND:
             self.stats.stats_requests += 1
             registry.inc(f"{self.name}.stats_requests")
             return await self._send(
-                writer, wire.encode_stats_response(self.stats_document())
+                writer,
+                wire.encode_stats_response(self.stats_document(), version=version),
             )
         if kind == wire.REQUEST_KIND:
-            return await self._handle_plan_request(message, writer, registry)
+            return await self._handle_plan_request(
+                message, writer, registry, version
+            )
         # A client pushing server->client kinds (responses, errors) is
         # off-protocol; answer typed and keep listening.
         self.stats.protocol_errors += 1
@@ -416,6 +437,7 @@ class PlanServer:
             wire.ERROR_PROTOCOL,
             f"unexpected {kind!r} message sent to a server",
             retryable=False,
+            version=version,
         )
 
     async def _handle_plan_request(
@@ -423,6 +445,7 @@ class PlanServer:
         req,
         writer: asyncio.StreamWriter,
         registry: obs.MetricsRegistry,
+        version: int = wire.WIRE_VERSION,
     ) -> bool:
         self.stats.plan_requests += 1
         registry.inc(f"{self.name}.plan_requests")
@@ -445,6 +468,7 @@ class PlanServer:
                 vehicle_id=req.vehicle_id,
                 queue_depth=self._in_flight,
                 capacity=self.max_pending,
+                version=version,
             )
         self._in_flight += 1
         self.stats.peak_in_flight = max(self.stats.peak_in_flight, self._in_flight)
@@ -466,6 +490,7 @@ class PlanServer:
                     f"{self.request_timeout_s:.2f} s serving deadline",
                     retryable=True,
                     vehicle_id=req.vehicle_id,
+                    version=version,
                 )
             except DispatchDeadlineError as exc:
                 self.stats.timeouts += 1
@@ -476,6 +501,7 @@ class PlanServer:
                     str(exc),
                     retryable=True,
                     vehicle_id=req.vehicle_id,
+                    version=version,
                 )
             except PlanningFailedError as exc:
                 self.stats.planning_failures += 1
@@ -486,6 +512,7 @@ class PlanServer:
                     str(exc),
                     retryable=False,
                     vehicle_id=req.vehicle_id,
+                    version=version,
                 )
             except InputValidationError as exc:
                 # The request parsed but violated the service contract
@@ -498,6 +525,7 @@ class PlanServer:
                     str(exc),
                     retryable=False,
                     vehicle_id=req.vehicle_id,
+                    version=version,
                 )
             except Exception as exc:  # noqa: BLE001 - contained per-request
                 self.stats.internal_errors += 1
@@ -508,8 +536,16 @@ class PlanServer:
                     f"{type(exc).__name__}: {exc}",
                     retryable=False,
                     vehicle_id=req.vehicle_id,
+                    version=version,
                 )
-            ok = await self._send(writer, wire.encode_response(response))
+            ok = await self._send(
+                writer,
+                wire.encode_response(
+                    response,
+                    version=version,
+                    default_corridor_id=self.default_corridor_id,
+                ),
+            )
             if ok:
                 self.stats.served += 1
                 registry.inc(f"{self.name}.served")

@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro import obs
-from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.cloud.messages import DEFAULT_CORRIDOR_ID, PlanRequest, PlanResponse
 from repro.cloud.plan_cache import CacheStats, PlanCache
 from repro.core.planner import DpPlannerBase
 from repro.core.profile import VelocityProfile
@@ -49,6 +49,7 @@ from repro.errors import (
     InfeasibleProblemError,
     PlanRejectedError,
     PlanningFailedError,
+    UnknownCorridorError,
 )
 from repro.guard.contracts import validate_plan_request
 from repro.guard.plan_check import PlanValidator
@@ -139,6 +140,18 @@ class CloudPlannerService:
         cache_ttl_s: Optional TTL on cache entries (``None`` = no age
             expiry; with fixed-time signals plans only go stale on
             forecast updates, which call :meth:`clear_cache`).
+        name: Metric namespace of this service's counters and caches
+            (``<name>.requests``, ``<name>.plan_cache.hits``, …).  The
+            default preserves the historical ``cloud.*`` names; a
+            corridor shard passes e.g. ``cloud.elm-street`` so
+            ``--metrics`` and the server stats frame break hit rates
+            down by corridor.
+        corridor_id: The corridor this service is bound to.  A request
+            naming any other corridor is rejected with
+            :class:`~repro.errors.UnknownCorridorError` — the structural
+            guarantee that a plan cached for corridor A is never served
+            for corridor B.  Single-corridor deployments keep the
+            default and never notice.
     """
 
     def __init__(
@@ -150,29 +163,47 @@ class CloudPlannerService:
         validator: Optional[PlanValidator] = None,
         cache_capacity: int = 256,
         cache_ttl_s: Optional[float] = None,
+        name: str = "cloud",
+        corridor_id: str = DEFAULT_CORRIDOR_ID,
     ) -> None:
         if phase_quantum_s <= 0 or budget_quantum_s <= 0:
             raise ConfigurationError("cache quanta must be positive")
         if default_budget_slack_s < 0:
             raise ConfigurationError("budget slack must be >= 0")
+        if not isinstance(corridor_id, str) or not corridor_id:
+            raise ConfigurationError("corridor id must be a non-empty string")
         self.planner = planner
         self.validator = validator
+        self.name = str(name)
+        self.corridor_id = corridor_id
         self.phase_quantum_s = float(phase_quantum_s)
         self.budget_quantum_s = float(budget_quantum_s)
         self.default_budget_slack_s = float(default_budget_slack_s)
         self.stats = ServiceStats()
         self._mutex = threading.Lock()
         self.plan_cache = PlanCache(
-            capacity=cache_capacity, ttl_s=cache_ttl_s, name="cloud.plan_cache"
+            capacity=cache_capacity, ttl_s=cache_ttl_s, name=f"{self.name}.plan_cache"
         )
         self.min_time_cache = PlanCache(
-            capacity=cache_capacity, ttl_s=cache_ttl_s, name="cloud.min_time_cache"
+            capacity=cache_capacity, ttl_s=cache_ttl_s, name=f"{self.name}.min_time_cache"
         )
         self.min_time_exact = PlanCache(
-            capacity=cache_capacity, ttl_s=cache_ttl_s, name="cloud.min_time_exact"
+            capacity=cache_capacity, ttl_s=cache_ttl_s, name=f"{self.name}.min_time_exact"
         )
         self._period_s = self._common_signal_period()
         self._cacheable = self._period_s is not None and not self._rates_time_varying()
+
+    def _check_corridor(self, req: PlanRequest) -> None:
+        """Reject a request routed to the wrong corridor's service."""
+        if req.corridor_id != self.corridor_id:
+            raise UnknownCorridorError(
+                f"request from {req.vehicle_id!r} names corridor "
+                f"{req.corridor_id!r}, but this service is bound to "
+                f"{self.corridor_id!r}",
+                corridor_id=req.corridor_id,
+                known_ids=(self.corridor_id,),
+                source=f"service {self.name!r}",
+            )
 
     # ------------------------------------------------------------------
     # Periodicity analysis
@@ -256,6 +287,7 @@ class CloudPlannerService:
         # request's own field contract (finiteness, ceilings) already ran
         # in ``PlanRequest.__post_init__`` and the request is immutable,
         # so those checks are skipped here rather than run twice.
+        self._check_corridor(req)
         validate_plan_request(
             req,
             route_length_m=self.planner.road.length_m,
@@ -265,23 +297,23 @@ class CloudPlannerService:
         t_req = _time.perf_counter()
         with self._mutex:
             self.stats.requests += 1
-        registry.inc("cloud.requests")
+        registry.inc(f"{self.name}.requests")
         try:
             response = self._serve(req, registry)
         except (InfeasibleProblemError, PlanRejectedError) as exc:
             with self._mutex:
                 self.stats.errors += 1
-            registry.inc("cloud.errors")
+            registry.inc(f"{self.name}.errors")
             if isinstance(exc, PlanRejectedError):
-                registry.inc("cloud.guard_rejections")
-            registry.observe("cloud.request_s", _time.perf_counter() - t_req)
+                registry.inc(f"{self.name}.guard_rejections")
+            registry.observe(f"{self.name}.request_s", _time.perf_counter() - t_req)
             raise PlanningFailedError(
                 f"no feasible plan for {req.vehicle_id!r} departing at "
                 f"{req.depart_s:.1f} s: {exc}",
                 vehicle_id=req.vehicle_id,
                 depart_s=req.depart_s,
             ) from exc
-        registry.observe("cloud.request_s", _time.perf_counter() - t_req)
+        registry.observe(f"{self.name}.request_s", _time.perf_counter() - t_req)
         return response
 
     def _serve(self, req: PlanRequest, registry: obs.MetricsRegistry) -> PlanResponse:
@@ -302,7 +334,7 @@ class CloudPlannerService:
                 if self._revalidate(shifted, req.depart_s):
                     with self._mutex:
                         self.stats.cache_hits += 1
-                    registry.inc("cloud.hits")
+                    registry.inc(f"{self.name}.hits")
                     return PlanResponse(
                         vehicle_id=req.vehicle_id,
                         profile=shifted,
@@ -310,11 +342,12 @@ class CloudPlannerService:
                         trip_time_s=trip_time,
                         cache_hit=True,
                         compute_time_s=0.0,
+                        corridor_id=req.corridor_id,
                     )
                 self.plan_cache.note_revalidation_miss()
                 with self._mutex:
                     self.stats.revalidation_misses += 1
-                registry.inc("cloud.revalidation_misses")
+                registry.inc(f"{self.name}.revalidation_misses")
 
         t0 = _time.perf_counter()
         try:
@@ -330,7 +363,7 @@ class CloudPlannerService:
         self._screen(solution, req.depart_s)
         with self._mutex:
             self.stats.cache_misses += 1
-        registry.inc("cloud.misses")
+        registry.inc(f"{self.name}.misses")
         if key is not None:
             self.plan_cache.put(
                 key,
@@ -343,6 +376,7 @@ class CloudPlannerService:
             trip_time_s=solution.trip_time_s,
             cache_hit=False,
             compute_time_s=compute,
+            corridor_id=req.corridor_id,
         )
 
     def _serve_uncached(
@@ -381,8 +415,8 @@ class CloudPlannerService:
         self._screen(solution, req.depart_s)
         with self._mutex:
             self.stats.cache_misses += 1
-        registry.inc("cloud.misses")
-        registry.inc("cloud.replans" if req.is_replan else "cloud.uncached")
+        registry.inc(f"{self.name}.misses")
+        registry.inc(f"{self.name}.replans" if req.is_replan else f"{self.name}.uncached")
         return PlanResponse(
             vehicle_id=req.vehicle_id,
             profile=solution.profile,
@@ -390,6 +424,7 @@ class CloudPlannerService:
             trip_time_s=solution.trip_time_s,
             cache_hit=False,
             compute_time_s=compute,
+            corridor_id=req.corridor_id,
         )
 
     # ------------------------------------------------------------------
@@ -437,6 +472,7 @@ class CloudPlannerService:
         flow: List[_FlowItem] = []
         for idx, req in enumerate(reqs):
             try:
+                self._check_corridor(req)
                 validate_plan_request(
                     req,
                     route_length_m=self.planner.road.length_m,
@@ -455,7 +491,7 @@ class CloudPlannerService:
             else:
                 with self._mutex:
                     self.stats.requests += 1
-                registry.inc("cloud.requests")
+                registry.inc(f"{self.name}.requests")
                 flow.append(_FlowItem(idx=idx, req=req, phase_bin=key[0]))
         if flow:
             self._serve_flow(flow, outcomes, registry)
@@ -608,9 +644,9 @@ class CloudPlannerService:
                 if self._revalidate(shifted, req.depart_s):
                     with self._mutex:
                         self.stats.cache_hits += 1
-                    registry.inc("cloud.hits")
+                    registry.inc(f"{self.name}.hits")
                     registry.observe(
-                        "cloud.request_s", _time.perf_counter() - t_req
+                        f"{self.name}.request_s", _time.perf_counter() - t_req
                     )
                     return PlanResponse(
                         vehicle_id=req.vehicle_id,
@@ -619,11 +655,12 @@ class CloudPlannerService:
                         trip_time_s=trip_time,
                         cache_hit=True,
                         compute_time_s=0.0,
+                        corridor_id=req.corridor_id,
                     )
                 self.plan_cache.note_revalidation_miss()
                 with self._mutex:
                     self.stats.revalidation_misses += 1
-                registry.inc("cloud.revalidation_misses")
+                registry.inc(f"{self.name}.revalidation_misses")
             # Lookup (and any revalidation miss) is now accounted; a
             # deferred retry must not count it again.
             it.solve_pending = True
@@ -639,11 +676,11 @@ class CloudPlannerService:
             return self._flow_error(req, exc, registry, t_req)
         with self._mutex:
             self.stats.cache_misses += 1
-        registry.inc("cloud.misses")
+        registry.inc(f"{self.name}.misses")
         self.plan_cache.put(
             key, (solution.profile, solution.energy_mah, solution.trip_time_s)
         )
-        registry.observe("cloud.request_s", _time.perf_counter() - t_req)
+        registry.observe(f"{self.name}.request_s", _time.perf_counter() - t_req)
         return PlanResponse(
             vehicle_id=req.vehicle_id,
             profile=solution.profile,
@@ -651,6 +688,7 @@ class CloudPlannerService:
             trip_time_s=solution.trip_time_s,
             cache_hit=False,
             compute_time_s=solution.solve_time_s,
+            corridor_id=req.corridor_id,
         )
 
     def _flow_error(
@@ -663,10 +701,10 @@ class CloudPlannerService:
         """The error accounting and wrapping of :meth:`request`, as a value."""
         with self._mutex:
             self.stats.errors += 1
-        registry.inc("cloud.errors")
+        registry.inc(f"{self.name}.errors")
         if isinstance(exc, PlanRejectedError):
-            registry.inc("cloud.guard_rejections")
-        registry.observe("cloud.request_s", _time.perf_counter() - t_req)
+            registry.inc(f"{self.name}.guard_rejections")
+        registry.observe(f"{self.name}.request_s", _time.perf_counter() - t_req)
         wrapped = PlanningFailedError(
             f"no feasible plan for {req.vehicle_id!r} departing at "
             f"{req.depart_s:.1f} s: {exc}",

@@ -8,6 +8,15 @@ snapshots whichever components the caller has and renders them as plain
 JSON-serializable types — absent components are simply omitted, so the
 document shape is stable regardless of how much of the stack a run
 stood up.
+
+When the ``service`` is a :class:`~repro.cloud.router.PlanRouter` the
+top-level sections hold the fleet-wide roll-up (so dashboards keyed on
+them keep working), and two extra sections appear: ``router`` (shard
+count and routed/rejected counters) and ``corridors`` — one full
+service/cache/store breakdown per built corridor, so hit rates are
+inspectable per corridor, not just in aggregate.  The sections are
+duck-typed (``per_corridor_services``/``router_stats``), so anything
+exposing that surface gets the same treatment.
 """
 
 from __future__ import annotations
@@ -83,6 +92,31 @@ def compose_stats_document(
         document["min_time_exact"] = _cache_section(min_time_exact)
         if store is None:
             store = service.artifact_store
+        router_stats = getattr(service, "router_stats", None)
+        if callable(router_stats):
+            snapshot = router_stats()
+            router_section = asdict(snapshot)
+            router_section["per_shard"] = list(snapshot.per_shard)
+            document["router"] = router_section
+        per_corridor = getattr(service, "per_corridor_services", None)
+        if callable(per_corridor):
+            corridors: Dict[str, Any] = {}
+            for corridor_id, corridor_service in sorted(per_corridor().items()):
+                plan, min_time, min_time_exact = corridor_service.cache_stats()
+                entry: Dict[str, Any] = {
+                    "service": _service_section(corridor_service),
+                    "plan_cache": _cache_section(plan),
+                    "min_time_cache": _cache_section(min_time),
+                    "min_time_exact": _cache_section(min_time_exact),
+                }
+                corridor_store = corridor_service.artifact_store
+                if corridor_store is not None:
+                    store_stats = corridor_store.stats()
+                    store_section = asdict(store_stats)
+                    store_section["hit_rate"] = store_stats.hit_rate
+                    entry["artifact_store"] = store_section
+                corridors[corridor_id] = entry
+            document["corridors"] = corridors
     if dispatcher is not None:
         stats = dispatcher.stats()
         section = asdict(stats)

@@ -76,6 +76,11 @@ class ArtifactStore:
             US-25 resolution, ~1 MB at coarse test grids); a production
             service fronting a handful of corridors x grid resolutions
             rarely needs more than 8-16.
+        name: Metric namespace for the observability counters
+            (``<name>.hits`` / ``.misses`` / ``.evictions``).  The
+            default preserves the historical ``engine.store.*`` names; a
+            corridor shard passes e.g. ``engine.store.us25`` so
+            ``--metrics`` output breaks down by corridor.
 
     Thread-safe: lookups and insertions hold an internal lock (builds
     run outside it, so two threads racing on a cold key may both build —
@@ -83,10 +88,11 @@ class ArtifactStore:
     last-writer-wins).
     """
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(self, capacity: int = 8, name: str = "engine.store") -> None:
         if capacity < 1:
             raise ConfigurationError(f"store capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
+        self.name = str(name)
         self._entries: "OrderedDict[str, CorridorArtifacts]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -119,7 +125,7 @@ class ArtifactStore:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self._evictions += 1
-                obs.get_registry().inc("engine.store.evictions")
+                obs.get_registry().inc(f"{self.name}.evictions")
 
     def get_or_build(
         self,
@@ -151,11 +157,11 @@ class ArtifactStore:
         if cached is not None:
             with self._lock:
                 self._hits += 1
-            registry.inc("engine.store.hits")
+            registry.inc(f"{self.name}.hits")
             return cached
         with self._lock:
             self._misses += 1
-        registry.inc("engine.store.misses")
+        registry.inc(f"{self.name}.misses")
         with registry.span("engine.artifacts.build") as span:
             artifacts = CorridorArtifacts.build(
                 road,

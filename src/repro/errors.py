@@ -206,6 +206,37 @@ class WireProtocolError(InputValidationError):
         self.got_bytes = got_bytes
 
 
+class UnknownCorridorError(InputValidationError):
+    """A plan request named a corridor the serving stack does not hold.
+
+    Raised by :class:`repro.cloud.registry.CorridorCatalog` (and the
+    :class:`repro.cloud.router.PlanRouter` fronting it) when a request's
+    ``corridor_id`` resolves to no registered corridor spec, and by
+    :class:`repro.cloud.service.CloudPlannerService` when a request for
+    one corridor reaches a service bound to another — the isolation
+    check that keeps a plan cached for corridor A from ever being served
+    for corridor B.  Subclasses :class:`InputValidationError` so guard
+    handlers, the server's typed ``protocol`` error frames and the CLI's
+    exit-code-2 path all apply unchanged.
+
+    Attributes:
+        corridor_id: The offending corridor id.
+        known_ids: The corridor ids the catalog/service does hold, when
+            available (empty tuple otherwise).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        corridor_id: str = "",
+        known_ids=(),
+        source: str = "corridor registry",
+    ):
+        super().__init__(reason, source=source, field="corridor_id")
+        self.corridor_id = corridor_id
+        self.known_ids = tuple(known_ids)
+
+
 class DispatchDeadlineError(ReproError):
     """A dispatched plan request missed its per-request deadline.
 

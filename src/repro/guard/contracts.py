@@ -414,6 +414,9 @@ def validate_plan_request(
             position, or a speed above the physical ceiling.
     """
     if check_fields:
+        corridor_id = getattr(req, "corridor_id", "")
+        if not isinstance(corridor_id, str) or not corridor_id:
+            _fail(source, "corridor_id", f"must be a non-empty string, got {corridor_id!r}")
         fields: Dict[str, float] = {
             "depart_s": req.depart_s,
             "position_m": req.position_m,

@@ -219,3 +219,33 @@ class TestUncertaintyPath:
         args = FAST_ARGS + ["--receding-horizon", "--lookahead", "-5"]
         assert main(args) == 2
         assert "invalid receding horizon" in capsys.readouterr().err
+
+
+class TestCorridorFlags:
+    def test_list_corridors_prints_catalog_and_exits(self, capsys):
+        assert main(["--list-corridors"]) == 0
+        out = capsys.readouterr().out
+        for corridor_id in ("us25", "elm-street", "airport-loop"):
+            assert corridor_id in out
+        assert "US-25 Greenville" in out
+
+    def test_corridor_selects_the_named_road(self, capsys):
+        assert main(FAST_ARGS + ["--corridor", "elm-street", "--cap", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Elm Street downtown (2.6 km)" in out
+        assert "signal @    900 m" in out
+
+    def test_unknown_corridor_exits_2_listing_known_ids(self, capsys):
+        assert main(FAST_ARGS + ["--corridor", "route-66"]) == 2
+        err = capsys.readouterr().err
+        assert "route-66" in err
+        assert "elm-street" in err
+
+    def test_corridor_and_road_are_mutually_exclusive(self, tmp_path, capsys):
+        road_file = tmp_path / "road.json"
+        road_file.write_text("{}")
+        code = main(
+            FAST_ARGS + ["--corridor", "us25", "--road", str(road_file)]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -63,6 +63,17 @@ class TestCacheKeyProperties:
     @settings(max_examples=100, deadline=None)
     def test_same_phase_same_key(self, service, depart, periods):
         period = service._period_s
-        k1 = int((depart % period) / service.phase_quantum_s)
-        k2 = int(((depart + periods * period) % period) / service.phase_quantum_s)
-        assert k1 == k2
+        quantum = service.phase_quantum_s
+        phase1 = depart % period
+        phase2 = (depart + periods * period) % period
+        # Shifting by whole periods preserves the phase up to float
+        # rounding (circular distance, since the phase wraps at 0).
+        drift = abs(phase1 - phase2)
+        assert min(drift, period - drift) < 1e-6
+        # Within float epsilon of a quantum boundary, that rounding can
+        # legitimately flip the bin (worst case: one extra cache miss).
+        # Everywhere else the key must be identical.
+        frac = (phase1 / quantum) % 1.0
+        near_boundary = min(frac, 1.0 - frac) * quantum < 1e-6
+        if not near_boundary:
+            assert int(phase1 / quantum) == int(phase2 / quantum)

@@ -1,0 +1,145 @@
+"""Corridor registry: immutable specs, lazy runtimes, structural binding."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cloud.messages import DEFAULT_CORRIDOR_ID, PlanRequest
+from repro.cloud.registry import (
+    PLANNER_KINDS,
+    CorridorCatalog,
+    CorridorSpec,
+    builtin_catalog,
+)
+from repro.errors import ConfigurationError, InputValidationError, UnknownCorridorError
+
+
+@pytest.fixture()
+def catalog(coarse_config):
+    return builtin_catalog(config=coarse_config)
+
+
+class TestCorridorSpec:
+    def test_rejects_bad_fields(self, us25):
+        with pytest.raises(ConfigurationError):
+            CorridorSpec(corridor_id="", road=us25)
+        with pytest.raises(ConfigurationError):
+            CorridorSpec(corridor_id="x", road=us25, planner="psychic")
+        with pytest.raises(ConfigurationError):
+            CorridorSpec(corridor_id="x", road=us25, arrival_rate_vph=-1.0)
+
+    def test_builds_every_planner_kind(self, short_road, coarse_config):
+        for kind in PLANNER_KINDS:
+            spec = CorridorSpec(
+                corridor_id="x", road=short_road, planner=kind, config=coarse_config
+            )
+            planner = spec.build_planner()
+            assert planner.plan(start_time_s=0.0).trip_time_s > 0
+
+
+class TestCatalog:
+    def test_duplicate_registration_rejected(self, us25, coarse_config):
+        catalog = CorridorCatalog()
+        spec = CorridorSpec(corridor_id="a", road=us25, config=coarse_config)
+        catalog.register(spec)
+        with pytest.raises(ConfigurationError):
+            catalog.register(CorridorSpec(corridor_id="a", road=us25))
+        assert "a" in catalog
+        assert len(catalog) == 1
+        assert [s.corridor_id for s in catalog] == ["a"]
+
+    def test_unknown_corridor_error_carries_ids(self, catalog):
+        with pytest.raises(UnknownCorridorError) as excinfo:
+            catalog.spec("route-66")
+        err = excinfo.value
+        assert err.corridor_id == "route-66"
+        assert set(err.known_ids) == set(catalog.ids())
+        # The typed rejection is an input-validation error, so guard and
+        # server layers answer it without new plumbing.
+        assert isinstance(err, InputValidationError)
+
+    def test_runtimes_build_lazily_and_once(self, catalog):
+        assert catalog.built_ids() == ()
+        runtime = catalog.runtime("elm-street")
+        assert catalog.built_ids() == ("elm-street",)
+        assert catalog.runtime("elm-street") is runtime
+        assert catalog.service("elm-street") is runtime.service
+
+    def test_runtime_namespaces_are_per_corridor(self, catalog):
+        runtime = catalog.runtime("airport-loop")
+        assert runtime.corridor_id == "airport-loop"
+        assert runtime.store.name == "engine.store.airport-loop"
+        assert runtime.service.name == "cloud.airport-loop"
+        assert runtime.service.corridor_id == "airport-loop"
+        assert runtime.planner.store is runtime.store
+
+    def test_concurrent_builds_converge_on_one_runtime(self, catalog):
+        runtimes = []
+        barrier = threading.Barrier(4)
+
+        def build():
+            barrier.wait()
+            runtimes.append(catalog.runtime("us25"))
+
+        threads = [threading.Thread(target=build) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(runtimes) == 4
+        assert all(runtime is runtimes[0] for runtime in runtimes)
+
+
+class TestCorridorBinding:
+    def test_service_serves_its_own_corridor(self, catalog):
+        response = catalog.service("elm-street").request(
+            PlanRequest(vehicle_id="ev1", depart_s=30.0, corridor_id="elm-street")
+        )
+        assert response.corridor_id == "elm-street"
+        assert response.vehicle_id == "ev1"
+
+    def test_service_rejects_other_corridors_before_counting(self, catalog):
+        service = catalog.service("us25")
+        req = PlanRequest(vehicle_id="ev1", depart_s=30.0, corridor_id="elm-street")
+        with pytest.raises(UnknownCorridorError) as excinfo:
+            service.request(req)
+        assert excinfo.value.corridor_id == "elm-street"
+        assert excinfo.value.known_ids == ("us25",)
+        # Rejected before any accounting: the invariant stream is untouched.
+        stats = service.stats_snapshot()
+        assert stats.requests == 0
+        assert stats.cache_hits + stats.cache_misses + stats.errors == 0
+
+    def test_batch_rejections_are_per_item(self, catalog):
+        service = catalog.service("us25")
+        outcomes = service.request_batch(
+            [
+                PlanRequest(vehicle_id="ok", depart_s=30.0, corridor_id="us25"),
+                PlanRequest(vehicle_id="no", depart_s=30.0, corridor_id="elm-street"),
+            ]
+        )
+        assert outcomes[0].corridor_id == "us25"
+        assert isinstance(outcomes[1], UnknownCorridorError)
+
+
+class TestBuiltinCatalog:
+    def test_ships_three_distinct_corridors(self, catalog):
+        assert catalog.ids() == (DEFAULT_CORRIDOR_ID, "elm-street", "airport-loop")
+        roads = [catalog.spec(cid).road for cid in catalog.ids()]
+        assert len({road.length_m for road in roads}) == 3
+        # Distinct signal plans: corridor isolation failures would be
+        # visible as wrong-corridor plans, not silent no-ops.
+        plans = {
+            tuple(
+                (site.position_m, site.light.red_s, site.light.green_s)
+                for site in road.signals
+            )
+            for road in roads
+        }
+        assert len(plans) == 3
+
+    def test_specs_have_descriptions_for_the_cli(self, catalog):
+        for cid in catalog.ids():
+            assert catalog.spec(cid).description

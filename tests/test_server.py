@@ -407,3 +407,96 @@ class TestWireIdentity:
             assert list(have.profile.speeds_ms) == list(want.profile.speeds_ms)
             assert list(have.profile.dwell_s) == list(want.profile.dwell_s)
             assert have.profile.start_time_s == want.profile.start_time_s
+
+
+class TestCorridorServing:
+    """Sharded serving behind the front door — v1 clients included."""
+
+    def _routed_stack(self, coarse_config):
+        from repro.cloud.registry import builtin_catalog
+        from repro.cloud.router import PlanRouter
+
+        return PlanRouter(builtin_catalog(config=coarse_config))
+
+    def test_v1_client_served_unchanged_against_default_corridor(
+        self, coarse_config
+    ):
+        from repro.cloud.registry import builtin_catalog
+
+        router = self._routed_stack(coarse_config)
+        direct = builtin_catalog(config=coarse_config).service("us25")
+        req = PlanRequest(vehicle_id="legacy", depart_s=30.0)
+        expected = direct.request(req)
+        with serve_in_background(router) as handle:
+            transport = NetworkPlanTransport(
+                handle.address[0], handle.address[1], wire_version=1
+            )
+            with transport:
+                response = transport.request(req)
+                health = transport.health()
+            # Raw wire check: the v1 request truly goes out without a
+            # corridor key, and the server answers in the v1 dialect.
+            reply = _raw_exchange(
+                handle.address, wire.encode_request(req, version=1)
+            )
+        assert response.energy_mah == expected.energy_mah
+        assert response.trip_time_s == expected.trip_time_s
+        assert response.corridor_id == "us25"
+        assert health.status == wire.HEALTH_OK
+        payload = json.loads(reply)
+        assert payload["wire_version"] == 1
+        assert "corridor_id" not in payload
+
+    def test_v2_clients_address_corridors_through_one_server(
+        self, coarse_config
+    ):
+        router = self._routed_stack(coarse_config)
+        with serve_in_background(router) as handle:
+            transport = NetworkPlanTransport(handle.address[0], handle.address[1])
+            with transport:
+                a = transport.request(
+                    PlanRequest(
+                        vehicle_id="a", depart_s=30.0, corridor_id="elm-street"
+                    )
+                )
+                b = transport.request(
+                    PlanRequest(
+                        vehicle_id="b", depart_s=30.0, corridor_id="airport-loop"
+                    )
+                )
+            document = handle.drain()
+        assert a.corridor_id == "elm-street"
+        assert b.corridor_id == "airport-loop"
+        assert a.energy_mah != b.energy_mah
+        assert document["router"]["routed"] == 2
+        assert set(document["corridors"]) == {"elm-street", "airport-loop"}
+
+    def test_unknown_corridor_is_a_typed_wire_rejection(self, coarse_config):
+        router = self._routed_stack(coarse_config)
+        with serve_in_background(router) as handle:
+            transport = NetworkPlanTransport(handle.address[0], handle.address[1])
+            with transport:
+                with pytest.raises(WireProtocolError) as excinfo:
+                    transport.request(
+                        PlanRequest(
+                            vehicle_id="x", depart_s=30.0, corridor_id="route-66"
+                        )
+                    )
+                # The connection survives the rejection.
+                ok = transport.request(
+                    PlanRequest(vehicle_id="y", depart_s=30.0)
+                )
+            stats = handle.stats_snapshot()
+        assert "route-66" in str(excinfo.value)
+        assert ok.corridor_id == "us25"
+        assert stats.protocol_errors == 1
+        assert stats.served == 1
+
+    def test_v1_transport_refuses_nondefault_corridors_client_side(self):
+        transport = NetworkPlanTransport("127.0.0.1", 1, wire_version=1)
+        with pytest.raises(WireProtocolError):
+            transport.request(
+                PlanRequest(vehicle_id="x", depart_s=1.0, corridor_id="elm-street")
+            )
+        with pytest.raises(ConfigurationError):
+            NetworkPlanTransport("127.0.0.1", 1, wire_version=99)

@@ -11,7 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cloud import wire
-from repro.cloud.messages import PlanRequest, PlanResponse
+from repro.cloud.messages import DEFAULT_CORRIDOR_ID, PlanRequest, PlanResponse
 from repro.core.profile import VelocityProfile
 from repro.errors import InputValidationError, WireProtocolError
 
@@ -198,3 +198,131 @@ class TestRejection:
         bad = dict(good, speeds_ms="fast")
         with pytest.raises(WireProtocolError):
             wire.profile_from_dict(bad)
+
+
+class TestVersioning:
+    """Version-2 corridor routing with version-1 backward compatibility."""
+
+    def _v1_payload(self, **overrides):
+        payload = wire.request_to_dict(
+            PlanRequest(vehicle_id="a", depart_s=10.0), version=1
+        )
+        payload.update(overrides)
+        return payload
+
+    def test_current_version_and_support_window(self):
+        assert wire.WIRE_VERSION == 2
+        assert wire.SUPPORTED_WIRE_VERSIONS == (1, 2)
+
+    def test_v1_request_has_no_corridor_key(self):
+        assert "corridor_id" not in self._v1_payload()
+        payload = wire.request_to_dict(
+            PlanRequest(vehicle_id="a", depart_s=10.0)
+        )
+        assert payload["corridor_id"] == DEFAULT_CORRIDOR_ID
+
+    def test_v1_request_decodes_to_default_corridor(self):
+        req = wire.request_from_dict(self._v1_payload())
+        assert req.corridor_id == DEFAULT_CORRIDOR_ID
+        req = wire.request_from_dict(
+            self._v1_payload(), default_corridor_id="elm-street"
+        )
+        assert req.corridor_id == "elm-street"
+
+    def test_v1_payload_carrying_corridor_id_rejected(self):
+        # corridor_id is a v2 key; a v1 frame smuggling it is off-schema.
+        payload = self._v1_payload(corridor_id="us25")
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(payload)
+
+    def test_v2_payload_missing_corridor_id_rejected(self):
+        payload = wire.request_to_dict(PlanRequest(vehicle_id="a", depart_s=1.0))
+        del payload["corridor_id"]
+        with pytest.raises(WireProtocolError):
+            wire.request_from_dict(payload)
+
+    def test_v1_cannot_encode_a_nondefault_corridor(self):
+        # Downgrading would silently drop the routing key — refuse typed.
+        req = PlanRequest(vehicle_id="a", depart_s=1.0, corridor_id="elm-street")
+        with pytest.raises(WireProtocolError):
+            wire.encode_request(req, version=1)
+        # ... unless that corridor IS the configured default (no loss).
+        data = wire.encode_request(
+            req, version=1, default_corridor_id="elm-street"
+        )
+        back = wire.decode_request(data, default_corridor_id="elm-street")
+        assert back == req
+
+    def test_unsupported_encode_version_rejected(self):
+        req = PlanRequest(vehicle_id="a", depart_s=1.0)
+        with pytest.raises(WireProtocolError):
+            wire.encode_request(req, version=wire.WIRE_VERSION + 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(req=requests())
+    def test_v1_roundtrip_bit_exact_for_default_corridor(self, req):
+        data = wire.encode_request(req, version=1)
+        back = wire.decode_request(data)
+        assert back == req
+        assert wire.encode_request(back, version=1) == data
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        req=requests(),
+        corridor=st.text(min_size=1, max_size=16),
+    )
+    def test_v2_roundtrip_bit_exact_for_any_corridor(self, req, corridor):
+        import dataclasses
+
+        req = dataclasses.replace(req, corridor_id=corridor)
+        back = wire.roundtrip_request(req)
+        assert back == req
+        assert back.corridor_id == corridor
+
+    def test_v1_response_roundtrip(self):
+        resp = PlanResponse(
+            vehicle_id="ev1",
+            profile=None,
+            energy_mah=1.5,
+            trip_time_s=10.0,
+            cache_hit=False,
+            compute_time_s=0.0,
+        )
+        payload = json.loads(wire.encode_response(resp, version=1))
+        assert payload["wire_version"] == 1
+        assert "corridor_id" not in payload
+        back = wire.decode_response(wire.encode_response(resp, version=1))
+        assert back.corridor_id == DEFAULT_CORRIDOR_ID
+        nondefault = PlanResponse(
+            vehicle_id="ev1",
+            profile=None,
+            energy_mah=1.5,
+            trip_time_s=10.0,
+            cache_hit=False,
+            compute_time_s=0.0,
+            corridor_id="airport-loop",
+        )
+        with pytest.raises(WireProtocolError):
+            wire.encode_response(nondefault, version=1)
+
+    def test_decode_message_versioned_reports_the_dialect(self):
+        req = PlanRequest(vehicle_id="a", depart_s=1.0)
+        for version in wire.SUPPORTED_WIRE_VERSIONS:
+            kind, message, got = wire.decode_message_versioned(
+                wire.encode_request(req, version=version)
+            )
+            assert (kind, got) == (wire.REQUEST_KIND, version)
+            assert message == req
+        kind, message = wire.decode_message(wire.encode_request(req))
+        assert kind == wire.REQUEST_KIND
+
+    def test_health_and_stats_frames_speak_both_dialects(self):
+        for version in wire.SUPPORTED_WIRE_VERSIONS:
+            for blob in (
+                wire.encode_health_request(version=version),
+                wire.encode_stats_request(version=version),
+                wire.encode_stats_response({"schema": "x"}, version=version),
+            ):
+                payload = json.loads(blob)
+                assert payload["wire_version"] == version
+                wire.decode_message(blob)  # both decode under one window
