@@ -1,0 +1,237 @@
+"""Standalone PR 10 bench: writes the committed ``BENCH_pr10.json``.
+
+Three gated claims back the vehicle-catalog / environment refactor:
+
+* ``bit_identity`` — at the paper's defaults (Spark EV, nominal
+  environment) the refactored stack reproduces the pre-refactor output
+  exactly: plan energy, trip time, the speed-profile hash, the Fig. 3
+  surface hash, and the corridor digest are all equal whether the
+  vehicle/environment are left implicit or spelled explicitly from the
+  catalog.
+* ``isolation`` — five scenario packs planned over ONE shared artifact
+  store: every pack digests apart (zero cross-scenario cache hits
+  possible), the cold round builds exactly once per pack, and a warm
+  round of freshly-built planners reuses every build (5 hits, 0 new
+  misses) while producing bit-identical plans — warm reuse *within* a
+  scenario, never *across* scenarios.
+* ``divergence`` — the packs are not cosmetic: every non-nominal pack
+  plans a strictly different (higher-load) energy than nominal.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pr10.py [--reduced] [--out F]
+
+``--reduced`` skips the Fig. 3 surface (the slowest piece) for CI; the
+other gates are identical in both modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.engine import ArtifactStore
+from repro.core.engine.artifacts import corridor_digest
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.route.us25 import us25_greenville_segment
+from repro.units import vehicles_per_hour_to_per_second
+from repro.vehicle.catalog import get_vehicle
+from repro.vehicle.environment import NOMINAL_ENVIRONMENT
+from repro.vehicle.scenarios import get_scenario, scenario_ids
+
+CONFIG = PlannerConfig(
+    v_step_ms=1.0, s_step_m=50.0, t_bin_s=2.0, horizon_s=500.0, window_margin_s=2.0
+)
+RATE_VPH = 300.0
+
+#: Pre-refactor goldens, captured on the seed commit with these recipes.
+GOLDEN = {
+    "plan_energy_j": 1688838.3619312106,
+    "plan_trip_s": 318.7016880889743,
+    "plan_speeds_sha": "dd3751c80f0dd051f7af75d23c0261f243e8b2e0467ad1e061e6a8546f46decf",
+    "fig3_sha": "4df6b529d60eb8dd59ca4e1fd519f1f93380f133a5a3c76c0cbe7da4ac5e866f",
+}
+
+
+def _sha(array) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _planner(store=None, vehicle=None, environment=None) -> QueueAwareDpPlanner:
+    return QueueAwareDpPlanner(
+        us25_greenville_segment(),
+        arrival_rates=vehicles_per_hour_to_per_second(RATE_VPH),
+        vehicle=vehicle,
+        config=CONFIG,
+        store=store,
+        environment=environment,
+    )
+
+
+def _bit_identity(reduced: bool):
+    """Implicit defaults vs the explicit catalog spelling vs the goldens."""
+    road = us25_greenville_segment()
+    spellings = {
+        "implicit": dict(vehicle=None, environment=None),
+        "catalog": dict(
+            vehicle=get_vehicle("spark_ev"), environment=NOMINAL_ENVIRONMENT
+        ),
+    }
+    plans = {}
+    for name, kwargs in spellings.items():
+        solution = _planner(**kwargs).plan(start_time_s=0.0, max_trip_time_s=320.0)
+        plans[name] = {
+            "energy_j": solution.energy_j,
+            "trip_time_s": solution.trip_time_s,
+            "speeds_sha": _sha(solution.profile.speeds_ms),
+        }
+    digests = {
+        corridor_digest(road, get_vehicle("spark_ev"), v_step_ms=1.0, s_step_m=50.0),
+        corridor_digest(
+            road,
+            get_vehicle("spark_ev"),
+            environment=NOMINAL_ENVIRONMENT,
+            v_step_ms=1.0,
+            s_step_m=50.0,
+        ),
+    }
+    result = {
+        "plans": plans,
+        "spellings_match": plans["implicit"] == plans["catalog"],
+        "energy_matches_golden": plans["implicit"]["energy_j"]
+        == GOLDEN["plan_energy_j"],
+        "trip_matches_golden": plans["implicit"]["trip_time_s"]
+        == GOLDEN["plan_trip_s"],
+        "profile_matches_golden": plans["implicit"]["speeds_sha"]
+        == GOLDEN["plan_speeds_sha"],
+        "digest_spellings_collapse": len(digests) == 1,
+    }
+    if not reduced:
+        from repro.experiments.fig3_energy_map import run as fig3_run
+
+        result["fig3_sha"] = _sha(fig3_run().rate_mah_s)
+        result["fig3_matches_golden"] = result["fig3_sha"] == GOLDEN["fig3_sha"]
+    return result
+
+
+def _isolation():
+    """Five packs, one store: cold builds once per pack, warm reuses all."""
+    store = ArtifactStore(capacity=16)
+    packs = list(scenario_ids())
+
+    def build_round():
+        outcome = {}
+        for sid in packs:
+            pack = get_scenario(sid)
+            planner = _planner(
+                store=store, vehicle=pack.vehicle(), environment=pack.environment
+            )
+            solution = planner.plan(start_time_s=0.0, max_trip_time_s=320.0)
+            outcome[sid] = {
+                "digest": planner.solver.artifacts.digest,
+                "energy_mah": solution.energy_mah,
+                "trip_time_s": solution.trip_time_s,
+            }
+        return outcome
+
+    cold = build_round()
+    cold_stats = store.stats()
+    warm = build_round()
+    warm_stats = store.stats()
+
+    digests = [cold[sid]["digest"] for sid in packs]
+    return {
+        "packs": packs,
+        "cold": cold,
+        "digests_pairwise_distinct": len(set(digests)) == len(digests),
+        "cold_misses": cold_stats.misses,
+        "cold_hits": cold_stats.hits,
+        "warm_hits": warm_stats.hits - cold_stats.hits,
+        "warm_new_misses": warm_stats.misses - cold_stats.misses,
+        "warm_plans_identical": warm == cold,
+        "cross_scenario_cache_hits": cold_stats.hits,
+    }
+
+
+def _divergence(isolation):
+    nominal = isolation["cold"]["nominal"]["energy_mah"]
+    deltas = {
+        sid: round(isolation["cold"][sid]["energy_mah"] - nominal, 3)
+        for sid in isolation["packs"]
+        if sid != "nominal"
+    }
+    return {
+        "nominal_energy_mah": nominal,
+        "delta_mah_vs_nominal": deltas,
+        "all_packs_cost_more": all(delta > 0.0 for delta in deltas.values()),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reduced", action="store_true", help="skip the Fig. 3 surface for CI"
+    )
+    parser.add_argument("--out", default="BENCH_pr10.json", help="output JSON path")
+    args = parser.parse_args(argv)
+
+    identity = _bit_identity(args.reduced)
+    isolation = _isolation()
+    divergence = _divergence(isolation)
+
+    report = {
+        "bench": "pr10-vehicle-catalog-environment",
+        "reduced": bool(args.reduced),
+        "grid": {
+            "v_step_ms": CONFIG.v_step_ms,
+            "s_step_m": CONFIG.s_step_m,
+            "t_bin_s": CONFIG.t_bin_s,
+        },
+        "rate_vph": RATE_VPH,
+        "bit_identity": identity,
+        "isolation": isolation,
+        "divergence": divergence,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+
+    assert identity["spellings_match"], (
+        "explicit catalog spelling diverged from the implicit default"
+    )
+    assert identity["energy_matches_golden"], "plan energy drifted from the seed"
+    assert identity["trip_matches_golden"], "trip time drifted from the seed"
+    assert identity["profile_matches_golden"], "speed profile drifted from the seed"
+    assert identity["digest_spellings_collapse"], (
+        "nominal digest spellings no longer collapse to one cache key"
+    )
+    if not args.reduced:
+        assert identity["fig3_matches_golden"], "Fig. 3 surface drifted from the seed"
+    assert isolation["digests_pairwise_distinct"], "two scenario packs collided"
+    assert isolation["cross_scenario_cache_hits"] == 0, (
+        f"{isolation['cross_scenario_cache_hits']} cache hits crossed a "
+        "scenario boundary on the cold round"
+    )
+    assert isolation["cold_misses"] == len(isolation["packs"]), (
+        "cold round did not build exactly once per pack"
+    )
+    assert isolation["warm_hits"] == len(isolation["packs"]), (
+        "warm round failed to reuse every pack's build"
+    )
+    assert isolation["warm_new_misses"] == 0, "warm round rebuilt an artifact"
+    assert isolation["warm_plans_identical"], (
+        "warm rebuilt planners served different plans"
+    )
+    assert divergence["all_packs_cost_more"], (
+        "a non-nominal pack failed to shift the planned energy"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

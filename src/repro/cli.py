@@ -126,6 +126,29 @@ def build_parser() -> argparse.ArgumentParser:
         "rate, description) and exit",
     )
     parser.add_argument(
+        "--vehicle",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="plan for a named vehicle from the catalog (see "
+        "--list-vehicles); default is the paper's Spark EV; an unknown "
+        "name exits 2 listing the known ids",
+    )
+    parser.add_argument(
+        "--scenario",
+        type=str,
+        default=None,
+        metavar="NAME",
+        help="plan under a named scenario pack (vehicle + ambient "
+        "environment: temperature, wind, payload, grade offset; see "
+        "--list-vehicles); --vehicle overrides the pack's vehicle",
+    )
+    parser.add_argument(
+        "--list-vehicles",
+        action="store_true",
+        help="print the vehicle catalog and the scenario packs, then exit",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help="play the plan through the microsimulator and report the derived trip",
@@ -227,6 +250,25 @@ def main(argv: Optional[list] = None) -> int:
                 f"{spec.arrival_rate_vph:4.0f} veh/h  {spec.description}"
             )
         return 0
+    if args.list_vehicles:
+        from repro.vehicle.catalog import describe_vehicle, get_vehicle, vehicle_ids
+        from repro.vehicle.scenarios import get_scenario, scenario_ids
+
+        print("vehicles:")
+        for vehicle_id in vehicle_ids():
+            params = get_vehicle(vehicle_id)
+            print(
+                f"  {vehicle_id:14s} {params.mass_kg:6.0f} kg  "
+                f"{describe_vehicle(vehicle_id)}"
+            )
+        print("scenario packs:")
+        for scenario_id in scenario_ids():
+            pack = get_scenario(scenario_id)
+            print(
+                f"  {scenario_id:16s} vehicle={pack.vehicle_id:13s} "
+                f"{pack.environment.describe()}  {pack.description}"
+            )
+        return 0
     if args.metrics is not None:
         # Enable before the planner is built so the DP table-build span
         # (often the dominant startup cost) lands in the report.
@@ -256,6 +298,24 @@ def main(argv: Optional[list] = None) -> int:
             return EXIT_INVALID
     else:
         road = us25_greenville_segment()
+    vehicle = None
+    environment = None
+    scenario_pack = None
+    if args.scenario or args.vehicle:
+        from repro.vehicle.catalog import get_vehicle
+        from repro.vehicle.scenarios import get_scenario
+
+        try:
+            if args.scenario:
+                scenario_pack = get_scenario(args.scenario)
+                environment = scenario_pack.environment
+                vehicle = scenario_pack.vehicle()
+            if args.vehicle:
+                # Explicit vehicle beats the pack's choice.
+                vehicle = get_vehicle(args.vehicle)
+        except InputValidationError as exc:
+            print(f"invalid vehicle/scenario: {exc}", file=sys.stderr)
+            return EXIT_INVALID
     config = PlannerConfig(
         v_step_ms=args.v_step, s_step_m=args.s_step, window_margin_s=args.margin
     )
@@ -283,20 +343,29 @@ def main(argv: Optional[list] = None) -> int:
                     arrival_rates=rate,
                     residuals=residuals,
                     chance_level=args.chance_level,
+                    vehicle=vehicle,
                     config=config,
                     store=store,
+                    environment=environment,
                 )
             except ReproError as exc:
                 print(f"invalid chance constraint: {exc}", file=sys.stderr)
                 return EXIT_INVALID
         else:
             planner = QueueAwareDpPlanner(
-                road, arrival_rates=rate, config=config, store=store
+                road, arrival_rates=rate, vehicle=vehicle, config=config,
+                store=store, environment=environment,
             )
     elif args.planner == "baseline":
-        planner = BaselineDpPlanner(road, config=config, store=store)
+        planner = BaselineDpPlanner(
+            road, vehicle=vehicle, config=config, store=store,
+            environment=environment,
+        )
     else:
-        planner = UnconstrainedDpPlanner(road, config=config, store=store)
+        planner = UnconstrainedDpPlanner(
+            road, vehicle=vehicle, config=config, store=store,
+            environment=environment,
+        )
     if args.receding_horizon:
         from repro.core.horizon import RecedingHorizonPlanner
 
@@ -340,8 +409,10 @@ def main(argv: Optional[list] = None) -> int:
                 client,
                 road,
                 arrival_rates=rate if args.planner == "proposed" else None,
+                vehicle=vehicle,
                 config=config,
                 store=store,
+                environment=environment,
             )
             served_via = (
                 f"tcp {handle.address[0]}:{handle.address[1]}"
@@ -371,8 +442,10 @@ def main(argv: Optional[list] = None) -> int:
                 client,
                 road,
                 arrival_rates=rate if args.planner == "proposed" else None,
+                vehicle=vehicle,
                 config=config,
                 store=store,
+                environment=environment,
             )
             tier_plan = ladder.plan(args.depart, max_trip_time_s=cap)
         else:
@@ -390,6 +463,11 @@ def main(argv: Optional[list] = None) -> int:
 
     print(f"route        : {road.name} ({road.length_m / 1000:.1f} km)")
     print(f"planner      : {args.planner}")
+    if args.vehicle or scenario_pack is not None:
+        vehicle_id = args.vehicle or scenario_pack.vehicle_id
+        print(f"vehicle      : {vehicle_id}")
+    if scenario_pack is not None:
+        print(f"scenario     : {scenario_pack.scenario_id} ({environment.describe()})")
     if args.chance_level is not None:
         inner = planner.inner if args.receding_horizon else planner
         print(

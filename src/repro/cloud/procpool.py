@@ -55,12 +55,14 @@ def _build_planner(recipe: dict, store: ArtifactStore):
             vehicle=recipe["vehicle"],
             config=recipe["config"],
             store=store,
+            environment=recipe.get("environment"),
         )
     return cls(
         recipe["road"],
         vehicle=recipe["vehicle"],
         config=recipe["config"],
         store=store,
+        environment=recipe.get("environment"),
     )
 
 
@@ -139,6 +141,7 @@ class ProcessBackend:
             "road": planner.road,
             "vehicle": planner.vehicle,
             "config": planner.config,
+            "environment": getattr(planner, "environment", None),
             "arrival_rates": getattr(planner, "arrival_rates", None),
             "service_kwargs": {
                 "phase_quantum_s": service.phase_quantum_s,

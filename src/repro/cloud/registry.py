@@ -48,6 +48,10 @@ from repro.route.road import RoadSegment
 from repro.route.builder import CorridorBuilder
 from repro.route.us25 import us25_greenville_segment
 from repro.units import vehicles_per_hour_to_per_second
+from repro.vehicle.catalog import DEFAULT_VEHICLE_ID, get_vehicle
+from repro.vehicle.environment import EnvironmentConditions
+from repro.vehicle.params import VehicleParams
+from repro.vehicle.scenarios import get_scenario
 
 __all__ = [
     "PLANNER_KINDS",
@@ -79,6 +83,17 @@ class CorridorSpec:
             is the paper's queue-aware DP.
         config: Discretization; ``None`` uses planner defaults.
         description: One line for ``--list-corridors`` output.
+        vehicle_id: Catalog id of the vehicle this corridor plans for
+            (:mod:`repro.vehicle.catalog`).  ``None`` defers to the
+            scenario pack's vehicle, falling back to the catalog default.
+            Validated at spec construction: a typo'd id raises
+            :class:`~repro.errors.UnknownVehicleError` before any
+            planner is built or any serving counter moves.
+        scenario: Scenario-pack id (:mod:`repro.vehicle.scenarios`)
+            supplying the ambient environment (and, when ``vehicle_id``
+            is not given, the vehicle).  ``None`` is nominal.  Also
+            validated at spec construction
+            (:class:`~repro.errors.UnknownScenarioError`).
     """
 
     corridor_id: str
@@ -87,6 +102,8 @@ class CorridorSpec:
     planner: str = "proposed"
     config: Optional[PlannerConfig] = None
     description: str = ""
+    vehicle_id: Optional[str] = None
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.corridor_id, str) or not self.corridor_id:
@@ -99,19 +116,52 @@ class CorridorSpec:
             raise ConfigurationError(
                 f"arrival rate must be >= 0 vph, got {self.arrival_rate_vph}"
             )
+        # Fail typed on unknown ids *now*, at registration time.
+        if self.scenario is not None:
+            get_scenario(self.scenario)
+        if self.vehicle_id is not None:
+            get_vehicle(self.vehicle_id)
+
+    def resolved_vehicle_id(self) -> str:
+        """The catalog id this spec plans for (explicit > scenario > default)."""
+        if self.vehicle_id is not None:
+            return self.vehicle_id
+        if self.scenario is not None:
+            return get_scenario(self.scenario).vehicle_id
+        return DEFAULT_VEHICLE_ID
+
+    def resolve_vehicle(self) -> VehicleParams:
+        """The resolved vehicle's parameters, fresh from the catalog."""
+        return get_vehicle(self.resolved_vehicle_id())
+
+    def resolve_environment(self) -> Optional[EnvironmentConditions]:
+        """The pack's environment, or ``None`` (nominal) without a scenario."""
+        if self.scenario is None:
+            return None
+        return get_scenario(self.scenario).environment
 
     def build_planner(self, store: Optional[ArtifactStore] = None) -> DpPlannerBase:
         """Construct this spec's planner (the expensive step)."""
+        vehicle = self.resolve_vehicle()
+        environment = self.resolve_environment()
         if self.planner == "proposed":
             return QueueAwareDpPlanner(
                 self.road,
                 arrival_rates=vehicles_per_hour_to_per_second(self.arrival_rate_vph),
+                vehicle=vehicle,
                 config=self.config,
                 store=store,
+                environment=environment,
             )
         if self.planner == "baseline":
-            return BaselineDpPlanner(self.road, config=self.config, store=store)
-        return UnconstrainedDpPlanner(self.road, config=self.config, store=store)
+            return BaselineDpPlanner(
+                self.road, vehicle=vehicle, config=self.config, store=store,
+                environment=environment,
+            )
+        return UnconstrainedDpPlanner(
+            self.road, vehicle=vehicle, config=self.config, store=store,
+            environment=environment,
+        )
 
 
 @dataclass(frozen=True)

@@ -170,6 +170,10 @@ class DpSolver:
             artifacts from (warm hit or one shared build).  Ignored when
             ``artifacts`` is given.  With neither, the solver builds
             privately — the pre-engine behaviour.
+        environment: Ambient conditions the energy model prices under
+            (:mod:`repro.vehicle.environment`); part of the artifact
+            digest.  ``None`` is nominal and bit-identical to the
+            historical environment-free solver.
     """
 
     def __init__(
@@ -185,6 +189,7 @@ class DpSolver:
         velocity_bounds=None,
         artifacts: Optional[CorridorArtifacts] = None,
         store: Optional[ArtifactStore] = None,
+        environment=None,
     ) -> None:
         if v_step_ms <= 0 or s_step_m <= 0 or t_bin_s <= 0 or horizon_s <= 0:
             raise ConfigurationError("grid resolutions and horizon must be positive")
@@ -192,7 +197,8 @@ class DpSolver:
             raise ConfigurationError(f"stop dwell must be >= 0, got {stop_dwell_s}")
         self.road = road
         self.vehicle = vehicle if vehicle is not None else VehicleParams()
-        self.model = LongitudinalModel(self.vehicle)
+        self.environment = environment
+        self.model = LongitudinalModel(self.vehicle, environment)
         self.v_step_ms = float(v_step_ms)
         self.s_step_m = float(s_step_m)
         self.t_bin_s = float(t_bin_s)
@@ -212,6 +218,7 @@ class DpSolver:
                     s_step_m=self.s_step_m,
                     stop_dwell_s=self.stop_dwell_s,
                     enforce_min_speed=self.enforce_min_speed,
+                    environment=environment,
                 )
                 if artifacts.digest != expected:
                     raise ConfigurationError(
@@ -226,6 +233,7 @@ class DpSolver:
                     s_step_m=self.s_step_m,
                     stop_dwell_s=self.stop_dwell_s,
                     enforce_min_speed=self.enforce_min_speed,
+                    environment=environment,
                 )
             else:
                 artifacts = CorridorArtifacts.build(
@@ -235,6 +243,7 @@ class DpSolver:
                     s_step_m=self.s_step_m,
                     stop_dwell_s=self.stop_dwell_s,
                     enforce_min_speed=self.enforce_min_speed,
+                    environment=environment,
                 )
             self.artifacts = artifacts
             self.positions = artifacts.positions

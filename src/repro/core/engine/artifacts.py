@@ -37,13 +37,15 @@ from repro.core.cost import SegmentEnergyTable
 from repro.errors import ConfigurationError
 from repro.route.road import RoadSegment
 from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.environment import EnvironmentConditions, NOMINAL_ENVIRONMENT
 from repro.vehicle.params import VehicleParams
 
 __all__ = ["CorridorArtifacts", "corridor_digest"]
 
 #: Bump when the canonical rendering (or the artifact contents derived
 #: from it) changes shape; digests from different versions never collide.
-_DIGEST_VERSION = "corridor-artifacts-v1"
+#: v2: efficiency-map and environment fragments joined the rendering.
+_DIGEST_VERSION = "corridor-artifacts-v2"
 
 #: Per-segment feasible transition arrays ``(j, j2, energy_j, dt_s)``.
 SegmentPairs = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
@@ -52,6 +54,7 @@ SegmentPairs = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 def _canonical_parts(
     road: RoadSegment,
     vehicle: VehicleParams,
+    environment: EnvironmentConditions,
     v_step_ms: float,
     s_step_m: float,
     stop_dwell_s: float,
@@ -107,6 +110,17 @@ def _canonical_parts(
         )
         + f",{battery.series_cells},{battery.parallel_strings}"
     )
+    # A vehicle with no map renders the constant fragment it is
+    # physically equivalent to, so `efficiency_map=None` and an explicit
+    # ConstantEfficiencyMap(drivetrain_efficiency) share one digest.
+    if vehicle.efficiency_map is None:
+        yield f"effmap:constant,{float(vehicle.drivetrain_efficiency)!r}"
+    else:
+        yield from vehicle.efficiency_map.canonical_parts()
+    # The environment fragment is always present (nominal included), so
+    # any parameter nudge — temperature, wind, payload, grade offset —
+    # re-keys the artifacts and can never reuse another scenario's build.
+    yield from environment.canonical_parts()
 
 
 def corridor_digest(
@@ -117,17 +131,21 @@ def corridor_digest(
     s_step_m: float,
     stop_dwell_s: float = 2.0,
     enforce_min_speed: bool = True,
+    environment: Optional[EnvironmentConditions] = None,
 ) -> str:
     """Stable content digest of one corridor-artifact build's inputs.
 
     Equal inputs always hash equal (blake2b over the canonical text
-    rendering); any change to the road geometry, the vehicle physics or
-    the grid resolutions yields a new digest.
+    rendering); any change to the road geometry, the vehicle physics,
+    the ambient environment or the grid resolutions yields a new digest.
+    ``environment=None`` means :data:`~repro.vehicle.environment.NOMINAL_ENVIRONMENT`
+    and digests identically to it.
     """
+    environment = environment if environment is not None else NOMINAL_ENVIRONMENT
     hasher = hashlib.blake2b(digest_size=16)
     for part in _canonical_parts(
-        road, vehicle, float(v_step_ms), float(s_step_m), float(stop_dwell_s),
-        bool(enforce_min_speed),
+        road, vehicle, environment, float(v_step_ms), float(s_step_m),
+        float(stop_dwell_s), bool(enforce_min_speed),
     ):
         hasher.update(part.encode("utf-8"))
         hasher.update(b"\x00")
@@ -142,6 +160,7 @@ class CorridorArtifacts:
         digest: Content digest of the build inputs (the store key).
         road: The corridor the artifacts were built for.
         vehicle: The vehicle whose physics priced the energy tables.
+        environment: Ambient conditions the tables were priced under.
         v_step_ms: Velocity grid resolution (m/s).
         s_step_m: Distance grid resolution (m).
         stop_dwell_s: Mandatory stop-sign dwell baked into ``dwell_at``.
@@ -164,6 +183,7 @@ class CorridorArtifacts:
     digest: str
     road: RoadSegment
     vehicle: VehicleParams
+    environment: EnvironmentConditions
     v_step_ms: float
     s_step_m: float
     stop_dwell_s: float
@@ -186,6 +206,7 @@ class CorridorArtifacts:
         s_step_m: float = 10.0,
         stop_dwell_s: float = 2.0,
         enforce_min_speed: bool = True,
+        environment: Optional[EnvironmentConditions] = None,
     ) -> "CorridorArtifacts":
         """Build the full artifact set from the canonical inputs.
 
@@ -193,13 +214,16 @@ class CorridorArtifacts:
         construction replicates the pre-split solver's operations
         exactly, so a solver running on built artifacts produces
         bit-identical solutions to one building its own.
+        ``environment=None`` builds under (and digests as)
+        :data:`~repro.vehicle.environment.NOMINAL_ENVIRONMENT`.
         """
         if v_step_ms <= 0 or s_step_m <= 0:
             raise ConfigurationError("grid resolutions must be positive")
         if stop_dwell_s < 0:
             raise ConfigurationError(f"stop dwell must be >= 0, got {stop_dwell_s}")
         vehicle = vehicle if vehicle is not None else VehicleParams()
-        model = LongitudinalModel(vehicle)
+        environment = environment if environment is not None else NOMINAL_ENVIRONMENT
+        model = LongitudinalModel(vehicle, environment)
         positions = road.grid(s_step_m)
         v_max_global = max(zone.v_max_ms for zone in road.zones)
         n_levels = int(np.floor(v_max_global / v_step_ms + 1e-9)) + 1
@@ -228,9 +252,11 @@ class CorridorArtifacts:
                 s_step_m=s_step_m,
                 stop_dwell_s=stop_dwell_s,
                 enforce_min_speed=enforce_min_speed,
+                environment=environment,
             ),
             road=road,
             vehicle=vehicle,
+            environment=environment,
             v_step_ms=float(v_step_ms),
             s_step_m=float(s_step_m),
             stop_dwell_s=float(stop_dwell_s),

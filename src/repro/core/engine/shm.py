@@ -24,6 +24,7 @@ memory out from under its siblings.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, Optional, Tuple
@@ -32,6 +33,7 @@ import numpy as np
 
 from repro.core.cost import SegmentEnergyTable
 from repro.core.engine.artifacts import CorridorArtifacts
+from repro.vehicle.efficiency import InterpolatedEfficiencyMap
 
 __all__ = ["SharedCorridor"]
 
@@ -94,11 +96,23 @@ class SharedCorridor:
                 slot.shape, dtype=slot.dtype, buffer=shm.buf, offset=slot.offset
             )
             view[...] = arr
+        vehicle = artifacts.vehicle
+        emap = vehicle.efficiency_map
+        effmap_rated_power_w = None
+        if isinstance(emap, InterpolatedEfficiencyMap):
+            # The map's grid travels as shared slots (see _iter_arrays);
+            # ship the vehicle map-less and rebuild the map from the
+            # views on attach, so the pickled spec stays small and the
+            # grid is one copy per machine like every other array.
+            effmap_rated_power_w = emap.rated_power_w
+            vehicle = dataclasses.replace(vehicle, efficiency_map=None)
         spec = {
             "shm_name": shm.name,
             "digest": artifacts.digest,
             "road": artifacts.road,
-            "vehicle": artifacts.vehicle,
+            "vehicle": vehicle,
+            "environment": artifacts.environment,
+            "effmap_rated_power_w": effmap_rated_power_w,
             "v_step_ms": artifacts.v_step_ms,
             "s_step_m": artifacts.s_step_m,
             "stop_dwell_s": artifacts.stop_dwell_s,
@@ -161,10 +175,22 @@ class SharedCorridor:
             )
             for i in range(n_segments)
         )
+        vehicle = spec["vehicle"]
+        if spec.get("effmap_rated_power_w") is not None:
+            vehicle = dataclasses.replace(
+                vehicle,
+                efficiency_map=InterpolatedEfficiencyMap.from_arrays(
+                    speeds_ms=self._view("effmap.speeds"),
+                    loads=self._view("effmap.loads"),
+                    eta_grid=self._view("effmap.eta"),
+                    rated_power_w=spec["effmap_rated_power_w"],
+                ),
+            )
         self._artifacts = CorridorArtifacts(
             digest=spec["digest"],
             road=spec["road"],
-            vehicle=spec["vehicle"],
+            vehicle=vehicle,
+            environment=spec["environment"],
             v_step_ms=spec["v_step_ms"],
             s_step_m=spec["s_step_m"],
             stop_dwell_s=spec["stop_dwell_s"],
@@ -243,3 +269,8 @@ def _iter_arrays(artifacts: CorridorArtifacts):
         yield f"pair{i}.j2", j2_arr
         yield f"pair{i}.e", e_arr
         yield f"pair{i}.dt", dt_arr
+    emap = artifacts.vehicle.efficiency_map
+    if isinstance(emap, InterpolatedEfficiencyMap):
+        yield "effmap.speeds", emap.speed_array
+        yield "effmap.loads", emap.load_array
+        yield "effmap.eta", emap.eta_array

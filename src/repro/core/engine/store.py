@@ -25,6 +25,7 @@ from repro import obs
 from repro.core.engine.artifacts import CorridorArtifacts, corridor_digest
 from repro.errors import ConfigurationError
 from repro.route.road import RoadSegment
+from repro.vehicle.environment import EnvironmentConditions
 from repro.vehicle.params import VehicleParams
 
 __all__ = ["ArtifactStore", "StoreStats"]
@@ -136,12 +137,15 @@ class ArtifactStore:
         s_step_m: float = 10.0,
         stop_dwell_s: float = 2.0,
         enforce_min_speed: bool = True,
+        environment: Optional[EnvironmentConditions] = None,
     ) -> CorridorArtifacts:
         """The artifacts for these inputs: served warm, or built and kept.
 
         This is the one call every consumer goes through; identical
         inputs across consumers resolve to the same digest and therefore
-        the same (single) build.
+        the same (single) build.  The environment is part of the digest,
+        so two scenarios over one road can never serve each other's
+        tables (``None`` keys as — and shares builds with — nominal).
         """
         vehicle = vehicle if vehicle is not None else VehicleParams()
         digest = corridor_digest(
@@ -151,6 +155,7 @@ class ArtifactStore:
             s_step_m=s_step_m,
             stop_dwell_s=stop_dwell_s,
             enforce_min_speed=enforce_min_speed,
+            environment=environment,
         )
         registry = obs.get_registry()
         cached = self.get(digest)
@@ -170,6 +175,7 @@ class ArtifactStore:
                 s_step_m=s_step_m,
                 stop_dwell_s=stop_dwell_s,
                 enforce_min_speed=enforce_min_speed,
+                environment=environment,
             )
             span.add(segments=artifacts.n_segments, bytes=artifacts.nbytes)
         self.put(artifacts)

@@ -82,11 +82,13 @@ class DpPlannerBase:
         vehicle: Optional[VehicleParams] = None,
         config: Optional[PlannerConfig] = None,
         store: Optional[ArtifactStore] = None,
+        environment=None,
     ) -> None:
         self.road = road
         self.vehicle = vehicle if vehicle is not None else VehicleParams()
         self.config = config if config is not None else PlannerConfig()
         self.store = store
+        self.environment = environment
         self.solver = DpSolver(
             road=road,
             vehicle=self.vehicle,
@@ -97,6 +99,7 @@ class DpPlannerBase:
             stop_dwell_s=self.config.stop_dwell_s,
             enforce_min_speed=self.config.enforce_min_speed,
             store=store,
+            environment=environment,
         )
 
     def _signal_constraints(
@@ -295,6 +298,8 @@ class QueueAwareDpPlanner(DpPlannerBase):
         store: Optional shared :class:`~repro.core.engine.ArtifactStore`;
             when given, the corridor precomputation is served from (and
             kept in) the store instead of rebuilt per planner.
+        environment: Ambient conditions the energy model prices under
+            (``None`` is nominal, bit-identical to the historical path).
     """
 
     def __init__(
@@ -304,8 +309,9 @@ class QueueAwareDpPlanner(DpPlannerBase):
         vehicle: Optional[VehicleParams] = None,
         config: Optional[PlannerConfig] = None,
         store: Optional[ArtifactStore] = None,
+        environment=None,
     ) -> None:
-        super().__init__(road, vehicle, config, store=store)
+        super().__init__(road, vehicle, config, store=store, environment=environment)
         self.arrival_rates = arrival_rates
         self._queue_models: Dict[float, QueueLengthModel] = {}
         for site in road.signals:

@@ -93,6 +93,7 @@ class CoarseToFineSolver:
         stop_dwell_s: float = 2.0,
         enforce_min_speed: bool = True,
         store: Optional[ArtifactStore] = None,
+        environment=None,
     ) -> None:
         if coarse_factor < 2:
             raise ConfigurationError(f"coarse factor must be >= 2, got {coarse_factor}")
@@ -120,6 +121,7 @@ class CoarseToFineSolver:
             stop_dwell_s=stop_dwell_s,
             enforce_min_speed=enforce_min_speed,
             store=store,
+            environment=environment,
         )
         self._fine_kwargs = dict(
             vehicle=self.vehicle,
@@ -129,6 +131,7 @@ class CoarseToFineSolver:
             horizon_s=horizon_s,
             stop_dwell_s=stop_dwell_s,
             enforce_min_speed=enforce_min_speed,
+            environment=environment,
         )
         # The fine corridor artifacts do not depend on the per-solve band,
         # so build (or fetch) them once and share them across every fine
@@ -141,6 +144,7 @@ class CoarseToFineSolver:
                 s_step_m=s_step_m,
                 stop_dwell_s=stop_dwell_s,
                 enforce_min_speed=enforce_min_speed,
+                environment=environment,
             )
         else:
             self._fine_artifacts = CorridorArtifacts.build(
@@ -150,6 +154,7 @@ class CoarseToFineSolver:
                 s_step_m=s_step_m,
                 stop_dwell_s=stop_dwell_s,
                 enforce_min_speed=enforce_min_speed,
+                environment=environment,
             )
         self.last_stats: Optional[RefinementStats] = None
 

@@ -255,8 +255,12 @@ class ChanceConstrainedPlanner(QueueAwareDpPlanner):
         vehicle: Optional[VehicleParams] = None,
         config: Optional[PlannerConfig] = None,
         store: Optional[ArtifactStore] = None,
+        environment=None,
     ) -> None:
-        super().__init__(road, arrival_rates, vehicle=vehicle, config=config, store=store)
+        super().__init__(
+            road, arrival_rates, vehicle=vehicle, config=config, store=store,
+            environment=environment,
+        )
         if not 0.0 < chance_level < 1.0:
             raise ConfigurationError(
                 f"chance level must be in (0, 1), got {chance_level}"

@@ -237,6 +237,62 @@ class UnknownCorridorError(InputValidationError):
         self.known_ids = tuple(known_ids)
 
 
+class UnknownVehicleError(InputValidationError):
+    """A spec or request named a vehicle the catalog does not hold.
+
+    Raised by :func:`repro.vehicle.catalog.get_vehicle` (and the
+    :class:`repro.cloud.registry.CorridorSpec` validation built on it)
+    when a ``vehicle_id`` resolves to no catalog entry.  The check runs
+    at spec/CLI validation time — before any planner is built or any
+    serving counter moves — so a typo'd vehicle id is a typed input
+    error, never a half-built runtime.  Subclasses
+    :class:`InputValidationError` so guard handlers and the CLI's
+    exit-code-2 path apply unchanged.
+
+    Attributes:
+        vehicle_id: The offending vehicle id.
+        known_ids: The ids the catalog does hold.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        vehicle_id: str = "",
+        known_ids=(),
+        source: str = "vehicle catalog",
+    ):
+        super().__init__(reason, source=source, field="vehicle_id")
+        self.vehicle_id = vehicle_id
+        self.known_ids = tuple(known_ids)
+
+
+class UnknownScenarioError(InputValidationError):
+    """A spec or request named a scenario pack that does not exist.
+
+    Raised by :func:`repro.vehicle.scenarios.get_scenario` when a
+    ``scenario`` id resolves to no registered
+    :class:`~repro.vehicle.scenarios.ScenarioPack`.  Like
+    :class:`UnknownVehicleError`, this fires during input validation —
+    before any runtime is built — and subclasses
+    :class:`InputValidationError` for uniform handling.
+
+    Attributes:
+        scenario_id: The offending scenario id.
+        known_ids: The scenario ids that do exist.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        scenario_id: str = "",
+        known_ids=(),
+        source: str = "scenario packs",
+    ):
+        super().__init__(reason, source=source, field="scenario")
+        self.scenario_id = scenario_id
+        self.known_ids = tuple(known_ids)
+
+
 class DispatchDeadlineError(ReproError):
     """A dispatched plan request missed its per-request deadline.
 

@@ -22,6 +22,7 @@ from repro.experiments import (
     ext_penetration,
     ext_platoon,
     ext_resilience,
+    ext_scenarios,
     ext_sensitivity,
     ext_uncertainty,
     ext_wear,
@@ -52,6 +53,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "ext-resilience": (ext_resilience.run, ext_resilience.report),
     "ext-uncertainty": (ext_uncertainty.run, ext_uncertainty.report),
     "ext-guard": (ext_guard.run, ext_guard.report),
+    "ext-scenarios": (ext_scenarios.run, ext_scenarios.report),
 }
 
 

@@ -190,6 +190,7 @@ class DegradationLadder:
         mpc: Optional["RecedingHorizonPlanner"] = None,
         supervisor: Optional[SafetySupervisor] = None,
         store: Optional[ArtifactStore] = None,
+        environment=None,
     ) -> None:
         if not vehicle_id:
             raise ConfigurationError("vehicle id must be non-empty")
@@ -198,6 +199,7 @@ class DegradationLadder:
         self.arrival_rates = arrival_rates
         self.vehicle = vehicle
         self.config = config
+        self.environment = environment
         self.vehicle_id = vehicle_id
         self.mpc = mpc
         self.supervisor = supervisor
@@ -212,7 +214,8 @@ class DegradationLadder:
     def _baseline_planner(self) -> DpPlannerBase:
         if self._baseline is None:
             self._baseline = BaselineDpPlanner(
-                self.road, vehicle=self.vehicle, config=self.config, store=self.store
+                self.road, vehicle=self.vehicle, config=self.config,
+                store=self.store, environment=self.environment,
             )
         return self._baseline
 

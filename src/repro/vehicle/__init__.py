@@ -3,7 +3,11 @@
 This subpackage implements Section II-A of the paper: the drive-force model
 (Eq. 1), the electrical-energy relation (Eq. 2) and the instantaneous
 consumption-rate model (Eq. 3), together with a battery-pack bookkeeping
-layer that expresses consumption in the paper's preferred unit (mAh).
+layer that expresses consumption in the paper's preferred unit (mAh), a
+vehicle catalog and motor-efficiency maps (:mod:`repro.vehicle.catalog`,
+:mod:`repro.vehicle.efficiency`) and the ambient-environment layer the
+scenario packs build on (:mod:`repro.vehicle.environment`,
+:mod:`repro.vehicle.scenarios`).
 """
 
 from repro.vehicle.params import (
@@ -12,21 +16,52 @@ from repro.vehicle.params import (
     chevrolet_spark_ev,
     sony_vtc4_pack,
 )
+from repro.vehicle.efficiency import (
+    ConstantEfficiencyMap,
+    InterpolatedEfficiencyMap,
+    MotorEfficiencyMap,
+)
+from repro.vehicle.environment import EnvironmentConditions, NOMINAL_ENVIRONMENT
 from repro.vehicle.dynamics import LongitudinalModel
 from repro.vehicle.battery import BatteryPack
+from repro.vehicle.catalog import (
+    DEFAULT_VEHICLE_ID,
+    describe_vehicle,
+    get_vehicle,
+    vehicle_ids,
+)
 from repro.vehicle.energy_meter import EnergyMeter, TripEnergy
+from repro.vehicle.scenarios import (
+    DEFAULT_SCENARIO_ID,
+    ScenarioPack,
+    get_scenario,
+    scenario_ids,
+)
 from repro.vehicle.wear import BatteryWearModel, WearModelParams, WearReport
 
 __all__ = [
     "BatteryPack",
     "BatteryPackParams",
     "BatteryWearModel",
+    "ConstantEfficiencyMap",
+    "DEFAULT_SCENARIO_ID",
+    "DEFAULT_VEHICLE_ID",
     "EnergyMeter",
+    "EnvironmentConditions",
+    "InterpolatedEfficiencyMap",
     "LongitudinalModel",
+    "MotorEfficiencyMap",
+    "NOMINAL_ENVIRONMENT",
+    "ScenarioPack",
     "TripEnergy",
     "VehicleParams",
     "WearModelParams",
     "WearReport",
     "chevrolet_spark_ev",
+    "describe_vehicle",
+    "get_scenario",
+    "get_vehicle",
+    "scenario_ids",
     "sony_vtc4_pack",
+    "vehicle_ids",
 ]

@@ -10,6 +10,18 @@ second); the paper reports it in mAh/s.  When ``F_drive * v`` is negative
 the vehicle is braking and a fraction of the mechanical power is
 recuperated (negative consumption in Fig. 3).
 
+The model optionally evaluates under non-nominal
+:class:`~repro.vehicle.environment.EnvironmentConditions` — payload adds
+to the mass everywhere mass appears, temperature rescales the air
+density and rolling-resistance coefficient, aerodynamic drag follows the
+*relative* air speed under headwind, and a constant grade offset shifts
+the surveyed profile.  At :data:`~repro.vehicle.environment.NOMINAL_ENVIRONMENT`
+every correction is exactly inert (scale 1.0 / offset 0.0), keeping the
+output bit-identical to the historical environment-free model.  Vehicles
+carrying an :class:`~repro.vehicle.efficiency.InterpolatedEfficiencyMap`
+replace the constant ``eta_1 * eta_2`` with a speed/load-dependent
+efficiency; with no map the constant path is untouched.
+
 All functions accept scalars or numpy arrays and broadcast.
 """
 
@@ -20,6 +32,7 @@ from typing import Union
 import numpy as np
 
 from repro.units import GRAVITY, SECONDS_PER_HOUR
+from repro.vehicle.environment import EnvironmentConditions, NOMINAL_ENVIRONMENT
 from repro.vehicle.params import VehicleParams
 
 ArrayLike = Union[float, np.ndarray]
@@ -31,10 +44,32 @@ class LongitudinalModel:
     Args:
         params: Physical vehicle parameters.  Defaults to the paper's
             Chevrolet Spark EV settings.
+        environment: Ambient conditions the model evaluates under.
+            Defaults to :data:`~repro.vehicle.environment.NOMINAL_ENVIRONMENT`
+            (the paper's implicit 20 °C / calm / unladen / as-surveyed
+            conditions), under which the model is bit-identical to the
+            historical environment-free one.
     """
 
-    def __init__(self, params: VehicleParams | None = None) -> None:
+    def __init__(
+        self,
+        params: VehicleParams | None = None,
+        environment: EnvironmentConditions | None = None,
+    ) -> None:
         self.params = params if params is not None else VehicleParams()
+        self.environment = (
+            environment if environment is not None else NOMINAL_ENVIRONMENT
+        )
+        # Effective Eq. 1 coefficients under the environment, computed
+        # once.  Each is <base> op <correction> where the correction is
+        # exactly 1.0 (or 0.0) at nominal, so the nominal coefficients
+        # are bitwise equal to the bare parameters.
+        p, env = self.params, self.environment
+        self._mass_kg = p.mass_kg + env.payload_kg
+        self._air_density = p.air_density * env.air_density_scale
+        self._rolling_resistance = p.rolling_resistance * env.rolling_resistance_scale
+        self._headwind_ms = env.headwind_ms
+        self._grade_offset_rad = env.grade_offset_rad
 
     # ------------------------------------------------------------------
     # Mechanical layer (Eq. 1)
@@ -54,12 +89,24 @@ class LongitudinalModel:
             required to hold the commanded deceleration.
         """
         p = self.params
-        inertial = p.mass_kg * np.asarray(accel, dtype=float)
-        aero = 0.5 * p.air_density * p.frontal_area_m2 * p.drag_coefficient * np.square(speed)
-        gravity = p.mass_kg * GRAVITY * np.sin(grade_rad)
+        ground_speed = np.asarray(speed, dtype=float)
+        grade = np.asarray(grade_rad, dtype=float) + self._grade_offset_rad
+        inertial = self._mass_kg * np.asarray(accel, dtype=float)
+        # Drag follows the speed relative to the air; the signed form
+        # (v+w)|v+w| keeps a strong tailwind from producing phantom
+        # thrust quadratic in speed.
+        rel_air = ground_speed + self._headwind_ms
+        aero = (
+            0.5
+            * self._air_density
+            * p.frontal_area_m2
+            * p.drag_coefficient
+            * (rel_air * np.abs(rel_air))
+        )
+        gravity = self._mass_kg * GRAVITY * np.sin(grade)
         # Rolling resistance vanishes when the wheels are not turning.
-        rolling = p.rolling_resistance * p.mass_kg * GRAVITY * np.cos(grade_rad)
-        rolling = np.where(np.asarray(speed, dtype=float) > 0.0, rolling, 0.0)
+        rolling = self._rolling_resistance * self._mass_kg * GRAVITY * np.cos(grade)
+        rolling = np.where(ground_speed > 0.0, rolling, 0.0)
         result = inertial + aero + gravity + rolling
         return float(result) if np.isscalar(speed) and np.isscalar(accel) else result
 
@@ -82,15 +129,33 @@ class LongitudinalModel:
         efficiency (losses on the way back in), matching the asymmetric
         behaviour of a real recuperating drivetrain.  The constant
         auxiliary load (``aux_power_w``) adds on top in either regime.
+
+        Vehicles with an ``efficiency_map`` evaluate the drivetrain
+        efficiency at each (speed, mechanical power) operating point;
+        without one the constant ``eta_1 * eta_2`` applies, keeping the
+        arithmetic bit-identical to the historical expressions.
         """
         p = self.params
         mech = np.asarray(self.mechanical_power(speed, accel, grade_rad), dtype=float)
-        drawing = mech / p.drivetrain_efficiency
-        regenerating = mech * p.regen_efficiency * p.drivetrain_efficiency
+        eta = self._eta(speed, mech)
+        drawing = mech / eta
+        regenerating = mech * p.regen_efficiency * eta
         elec = np.where(mech >= 0.0, drawing, regenerating) + p.aux_power_w
         if np.ndim(elec) == 0:
             return float(elec)
         return elec
+
+    def _eta(self, speed: ArrayLike, mech_power: ArrayLike) -> ArrayLike:
+        """Drivetrain efficiency at an operating point.
+
+        Returns the *bare float* ``drivetrain_efficiency`` when the
+        vehicle carries no map — same operand, same ops as the historical
+        constant-efficiency expressions.
+        """
+        emap = self.params.efficiency_map
+        if emap is None:
+            return self.params.drivetrain_efficiency
+        return emap.eta(speed, mech_power)
 
     def consumption_rate_a(
         self, speed: ArrayLike, accel: ArrayLike, grade_rad: ArrayLike = 0.0

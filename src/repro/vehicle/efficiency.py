@@ -1,0 +1,209 @@
+"""Motor/drivetrain efficiency maps: constant and interpolated.
+
+The paper folds all electrical losses into one constant
+``eta_1 * eta_2`` (Eq. 2/3).  Real drivetrains are not constant: motor
+efficiency varies with speed and load, with a broad high-efficiency
+plateau at mid speed / mid load and steep fall-off near standstill and
+at peak torque (the map-in-the-optimizer argument of the co-optimization
+literature in PAPERS.md).  This module provides both:
+
+* :class:`ConstantEfficiencyMap` — reproduces the paper's constant
+  exactly.  A :class:`~repro.vehicle.params.VehicleParams` with *no*
+  map behaves identically (bit for bit) to one carrying a constant map
+  at ``drivetrain_efficiency``, and the two hash to the same corridor
+  digest — they are the same physics.
+* :class:`InterpolatedEfficiencyMap` — bilinear interpolation of a
+  measured-style efficiency grid over (vehicle speed, normalized load
+  ``|P_mech| / rated_power``), clamped at the grid edges.  Fully
+  vectorized; the DP's energy tables price whole velocity-grid matrices
+  through it with no per-sample Python.
+
+Maps are frozen dataclasses over plain tuples so they pickle across the
+process-parallel dispatch boundary and render to stable digest
+fragments; the numpy views used for interpolation are cached lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ConstantEfficiencyMap",
+    "InterpolatedEfficiencyMap",
+    "MotorEfficiencyMap",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class ConstantEfficiencyMap:
+    """The paper's model: one combined efficiency everywhere.
+
+    Attributes:
+        efficiency: Combined drivetrain efficiency ``eta_1 * eta_2``.
+    """
+
+    efficiency: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+
+    def eta(self, speed: ArrayLike, mech_power: ArrayLike) -> float:
+        """The combined efficiency — a scalar, independent of operating point.
+
+        Returning the bare float (not an array) keeps the caller's
+        arithmetic bit-identical to the historical constant-efficiency
+        expressions.
+        """
+        return self.efficiency
+
+    def canonical_parts(self) -> Iterator[str]:
+        """Stable digest fragments; equal constants render equal."""
+        yield f"effmap:constant,{float(self.efficiency)!r}"
+
+
+@dataclass(frozen=True)
+class InterpolatedEfficiencyMap:
+    """Bilinear speed x load efficiency surface.
+
+    Attributes:
+        speeds_ms: Strictly increasing speed breakpoints (m/s).
+        loads: Strictly increasing normalized-load breakpoints
+            (``|P_mech| / rated_power_w``, dimensionless, >= 0).
+        eta_grid: Efficiency at each (speed, load) breakpoint pair, as a
+            tuple of rows — ``eta_grid[i][k]`` is the efficiency at
+            ``speeds_ms[i]``, ``loads[k]``; every value in (0, 1].
+        rated_power_w: Power normalizing the load axis (W).
+
+    Queries outside the breakpoint hull clamp to the nearest edge, so
+    the map is total over every physical operating point.
+    """
+
+    speeds_ms: Tuple[float, ...]
+    loads: Tuple[float, ...]
+    eta_grid: Tuple[Tuple[float, ...], ...]
+    rated_power_w: float
+    _arrays: tuple = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "speeds_ms", tuple(float(v) for v in self.speeds_ms))
+        object.__setattr__(self, "loads", tuple(float(v) for v in self.loads))
+        object.__setattr__(
+            self,
+            "eta_grid",
+            tuple(tuple(float(e) for e in row) for row in self.eta_grid),
+        )
+        if len(self.speeds_ms) < 2 or len(self.loads) < 2:
+            raise ConfigurationError("the map needs >= 2 breakpoints per axis")
+        for name, axis in (("speed", self.speeds_ms), ("load", self.loads)):
+            if any(nxt <= prev for prev, nxt in zip(axis[:-1], axis[1:])):
+                raise ConfigurationError(
+                    f"{name} breakpoints must be strictly increasing, got {axis}"
+                )
+        if self.speeds_ms[0] < 0 or self.loads[0] < 0:
+            raise ConfigurationError("breakpoints must be >= 0")
+        if len(self.eta_grid) != len(self.speeds_ms) or any(
+            len(row) != len(self.loads) for row in self.eta_grid
+        ):
+            raise ConfigurationError(
+                "eta grid shape must be (len(speeds_ms), len(loads))"
+            )
+        if any(not 0.0 < e <= 1.0 for row in self.eta_grid for e in row):
+            raise ConfigurationError("every map efficiency must be in (0, 1]")
+        if self.rated_power_w <= 0:
+            raise ConfigurationError(
+                f"rated power must be positive, got {self.rated_power_w}"
+            )
+        object.__setattr__(self, "_arrays", None)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        speeds_ms: np.ndarray,
+        loads: np.ndarray,
+        eta_grid: np.ndarray,
+        rated_power_w: float,
+    ) -> "InterpolatedEfficiencyMap":
+        """Rebuild a map from plain arrays (the shared-memory attach path)."""
+        return cls(
+            speeds_ms=tuple(float(v) for v in np.asarray(speeds_ms, dtype=float)),
+            loads=tuple(float(v) for v in np.asarray(loads, dtype=float)),
+            eta_grid=tuple(
+                tuple(float(e) for e in row)
+                for row in np.asarray(eta_grid, dtype=float)
+            ),
+            rated_power_w=float(rated_power_w),
+        )
+
+    def _views(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached numpy views over the tuple payload."""
+        cached = self._arrays
+        if cached is None:
+            cached = (
+                np.asarray(self.speeds_ms, dtype=float),
+                np.asarray(self.loads, dtype=float),
+                np.asarray(self.eta_grid, dtype=float),
+            )
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
+    @property
+    def speed_array(self) -> np.ndarray:
+        """Speed breakpoints as an array (shared-memory export)."""
+        return self._views()[0]
+
+    @property
+    def load_array(self) -> np.ndarray:
+        """Load breakpoints as an array (shared-memory export)."""
+        return self._views()[1]
+
+    @property
+    def eta_array(self) -> np.ndarray:
+        """The efficiency grid as an array (shared-memory export)."""
+        return self._views()[2]
+
+    def eta(self, speed: ArrayLike, mech_power: ArrayLike) -> np.ndarray:
+        """Bilinearly interpolated efficiency at (speed, |P|/rated).
+
+        Accepts scalars or arrays (broadcast together); returns an array
+        of the broadcast shape.  Values are clamped into the breakpoint
+        hull, so the result is always inside the grid's (0, 1] range.
+        """
+        sb, lb, grid = self._views()
+        s_in, p_in = np.broadcast_arrays(
+            np.asarray(speed, dtype=float), np.asarray(mech_power, dtype=float)
+        )
+        s = np.clip(s_in, sb[0], sb[-1])
+        load = np.clip(np.abs(p_in) / self.rated_power_w, lb[0], lb[-1])
+        si = np.clip(np.searchsorted(sb, s, side="right") - 1, 0, sb.size - 2)
+        li = np.clip(np.searchsorted(lb, load, side="right") - 1, 0, lb.size - 2)
+        ws = (s - sb[si]) / (sb[si + 1] - sb[si])
+        wl = (load - lb[li]) / (lb[li + 1] - lb[li])
+        return (
+            (1.0 - ws) * (1.0 - wl) * grid[si, li]
+            + ws * (1.0 - wl) * grid[si + 1, li]
+            + (1.0 - ws) * wl * grid[si, li + 1]
+            + ws * wl * grid[si + 1, li + 1]
+        )
+
+    def canonical_parts(self) -> Iterator[str]:
+        """Stable digest fragments covering every breakpoint and value."""
+        yield f"effmap:interp,{float(self.rated_power_w)!r}"
+        yield "effmap.speeds:" + ",".join(repr(v) for v in self.speeds_ms)
+        yield "effmap.loads:" + ",".join(repr(v) for v in self.loads)
+        for row in self.eta_grid:
+            yield "effmap.eta:" + ",".join(repr(e) for e in row)
+
+
+#: Anything with a vectorized ``eta(speed, mech_power)`` and digest
+#: ``canonical_parts()`` — the contract :class:`VehicleParams` expects.
+MotorEfficiencyMap = Union[ConstantEfficiencyMap, InterpolatedEfficiencyMap]

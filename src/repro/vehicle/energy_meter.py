@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.units import SECONDS_PER_HOUR
 from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.environment import EnvironmentConditions
 from repro.vehicle.params import VehicleParams
 
 
@@ -61,8 +62,12 @@ class TripEnergy:
 class EnergyMeter:
     """Integrates the consumption model over sampled velocity traces."""
 
-    def __init__(self, params: Optional[VehicleParams] = None) -> None:
-        self.model = LongitudinalModel(params)
+    def __init__(
+        self,
+        params: Optional[VehicleParams] = None,
+        environment: Optional[EnvironmentConditions] = None,
+    ) -> None:
+        self.model = LongitudinalModel(params, environment)
 
     def measure(
         self,

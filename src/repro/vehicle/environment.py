@@ -1,0 +1,161 @@
+"""Ambient operating conditions the energy model is evaluated in.
+
+The paper fixes one environment implicitly: 20 °C air, still wind, an
+unladen vehicle, the corridor's surveyed grades.  Real fleet energy
+varies strongly with all four (see the consumption-estimation survey in
+PAPERS.md), so :class:`EnvironmentConditions` makes the environment an
+explicit, frozen, content-addressable value that flows through the
+:class:`~repro.vehicle.dynamics.LongitudinalModel`, the DP's energy
+tables and the corridor-artifact digest.
+
+The physics kept deliberately first-order (each effect is a scalar
+transform of an existing Eq. 1 coefficient, so the model stays fully
+vectorized):
+
+* **Temperature → air density** via the ideal gas law at constant
+  pressure: ``rho(T) = rho_ref * (T_ref_K / T_K)``.  Cold air is denser,
+  raising aerodynamic drag.
+* **Temperature → rolling resistance**: tire hysteresis grows in the
+  cold; we apply the commonly used linear correction
+  ``C_rr(T) = C_rr_ref * (1 + k * (T_ref - T))`` with ``k = 0.006``/°C,
+  floored so a hot day never drives the coefficient negative.
+* **Headwind → aerodynamic drag**: drag scales with the *relative* air
+  speed, ``F_aero ∝ (v + w)|v + w|`` for headwind ``w > 0`` (a tailwind
+  is negative ``w``; the signed form keeps a strong tailwind from
+  producing phantom thrust quadratic in speed).
+* **Payload → mass**: added to the gross vehicle mass everywhere mass
+  appears (inertia, grade force, rolling force).
+* **Grade offset**: a constant grade added to the corridor's surveyed
+  profile — the cheap way to study a hilly variant of a flat corridor
+  without re-surveying it.
+
+Bit-identity contract: at the nominal conditions every scale factor is
+*exactly* ``1.0`` and every additive term *exactly* ``0.0`` (the
+reference ratios cancel symbolically, not just numerically), so a model
+built with :data:`NOMINAL_ENVIRONMENT` is bit-identical to the
+pre-environment model.  The regression suite gates this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EnvironmentConditions", "NOMINAL_ENVIRONMENT"]
+
+#: Reference (nominal) ambient temperature (°C): the paper's implicit lab
+#: conditions.  All temperature corrections are 1.0 exactly at this value.
+REFERENCE_TEMP_C = 20.0
+
+#: Celsius → Kelvin offset.
+_KELVIN_OFFSET = 273.15
+
+#: Linear cold-tire rolling-resistance sensitivity (fraction per °C below
+#: the reference).  Typical measured values are 0.3-0.9 %/°C.
+_CRR_PER_DEG_C = 0.006
+
+#: Floor on the rolling-resistance scale (a scorching day still rolls).
+_CRR_SCALE_FLOOR = 0.5
+
+
+@dataclass(frozen=True)
+class EnvironmentConditions:
+    """Frozen ambient conditions for one planning scenario.
+
+    Attributes:
+        ambient_temp_c: Air/tire temperature (°C).
+        headwind_ms: Headwind component along the route (m/s); negative
+            values are a tailwind.
+        payload_kg: Cargo/passenger mass added to the gross vehicle
+            weight (kg).
+        grade_offset_rad: Constant grade added to the corridor's grade
+            profile (radians, positive uphill).
+    """
+
+    ambient_temp_c: float = REFERENCE_TEMP_C
+    headwind_ms: float = 0.0
+    payload_kg: float = 0.0
+    grade_offset_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("ambient_temp_c", "headwind_ms", "payload_kg", "grade_offset_rad"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ConfigurationError(f"{name} must be finite, got {value}")
+        if not -60.0 <= self.ambient_temp_c <= 60.0:
+            raise ConfigurationError(
+                f"ambient temperature must be in [-60, 60] °C, got {self.ambient_temp_c}"
+            )
+        if abs(self.headwind_ms) > 40.0:
+            raise ConfigurationError(
+                f"|headwind| must be <= 40 m/s, got {self.headwind_ms}"
+            )
+        if self.payload_kg < 0:
+            raise ConfigurationError(
+                f"payload must be >= 0 kg, got {self.payload_kg}"
+            )
+        if abs(self.grade_offset_rad) > 0.2:
+            raise ConfigurationError(
+                f"|grade offset| must be <= 0.2 rad, got {self.grade_offset_rad}"
+            )
+
+    @property
+    def air_density_scale(self) -> float:
+        """Density ratio ``rho(T)/rho_ref`` (ideal gas, constant pressure).
+
+        Computed as a ratio of two identically-formed sums so the
+        nominal case divides a float by itself: exactly ``1.0``.
+        """
+        return (_KELVIN_OFFSET + REFERENCE_TEMP_C) / (
+            _KELVIN_OFFSET + self.ambient_temp_c
+        )
+
+    @property
+    def rolling_resistance_scale(self) -> float:
+        """Ratio ``C_rr(T)/C_rr_ref`` (cold tires roll harder)."""
+        scale = 1.0 + _CRR_PER_DEG_C * (REFERENCE_TEMP_C - self.ambient_temp_c)
+        return max(scale, _CRR_SCALE_FLOOR)
+
+    @property
+    def is_nominal(self) -> bool:
+        """True at the paper's implicit conditions (every correction inert)."""
+        return (
+            self.ambient_temp_c == REFERENCE_TEMP_C
+            and self.headwind_ms == 0.0
+            and self.payload_kg == 0.0
+            and self.grade_offset_rad == 0.0
+        )
+
+    def canonical_parts(self) -> Iterator[str]:
+        """Stable text fragments for the corridor-artifact digest.
+
+        ``+ 0.0`` folds ``-0.0`` into ``+0.0`` before rendering: the two
+        compare equal, so they must hash equal too.
+        """
+        yield (
+            "env:"
+            + ",".join(
+                repr(float(value) + 0.0)
+                for value in (
+                    self.ambient_temp_c,
+                    self.headwind_ms,
+                    self.payload_kg,
+                    self.grade_offset_rad,
+                )
+            )
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable form for CLI listings."""
+        return (
+            f"{self.ambient_temp_c:+.0f} °C, wind {self.headwind_ms:+.0f} m/s, "
+            f"payload {self.payload_kg:.0f} kg, grade {self.grade_offset_rad:+.3f} rad"
+        )
+
+
+#: The paper's implicit conditions; models built with it are bit-identical
+#: to models built with no environment at all.
+NOMINAL_ENVIRONMENT = EnvironmentConditions()

@@ -10,9 +10,11 @@ Sony VTC4 18650 cells (2.1 Ah each, 96 series x 22 parallel).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.units import AIR_DENSITY
+from repro.vehicle.efficiency import MotorEfficiencyMap
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,11 @@ class VehicleParams:
         max_accel_ms2: Comfort/safety acceleration ceiling (m/s^2).
         min_accel_ms2: Comfort/safety deceleration floor (m/s^2, negative).
         battery: Traction-pack electrical parameters.
+        efficiency_map: Optional speed/load-dependent drivetrain
+            efficiency map (:mod:`repro.vehicle.efficiency`).  ``None``
+            uses the paper's constant ``eta_1 * eta_2`` — bit-identically
+            to a :class:`~repro.vehicle.efficiency.ConstantEfficiencyMap`
+            at :attr:`drivetrain_efficiency`.
     """
 
     mass_kg: float = 1300.0
@@ -90,6 +97,7 @@ class VehicleParams:
     battery: BatteryPackParams = field(
         default_factory=lambda: BatteryPackParams(voltage_v=399.0, capacity_ah=46.2)
     )
+    efficiency_map: Optional[MotorEfficiencyMap] = None
 
     def __post_init__(self) -> None:
         if self.mass_kg <= 0:
@@ -118,6 +126,13 @@ class VehicleParams:
             raise ConfigurationError(f"max acceleration must be positive, got {self.max_accel_ms2}")
         if self.min_accel_ms2 >= 0:
             raise ConfigurationError(f"min acceleration must be negative, got {self.min_accel_ms2}")
+        if self.efficiency_map is not None and not callable(
+            getattr(self.efficiency_map, "eta", None)
+        ):
+            raise ConfigurationError(
+                "efficiency_map must expose eta(speed, mech_power) "
+                f"(see repro.vehicle.efficiency), got {self.efficiency_map!r}"
+            )
 
     @property
     def drivetrain_efficiency(self) -> float:

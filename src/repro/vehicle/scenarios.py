@@ -1,0 +1,116 @@
+"""Scenario packs: named (vehicle, environment) bundles for studies.
+
+A scenario pack pairs a catalog vehicle with one
+:class:`~repro.vehicle.environment.EnvironmentConditions` value under a
+stable id, so experiments, the CLI and the serving registry can all name
+the same study condition.  Packs only perturb the *energy* side of the
+problem (mass, drag, rolling resistance, a constant grade offset) —
+never the kinematic feasibility envelope or the signal windows — so
+every pack is feasible wherever the nominal corridor is, and plan-shape
+regressions stay meaningful across packs.
+
+The ``nominal`` pack is the paper's implicit condition: the default
+catalog vehicle under :data:`~repro.vehicle.environment.NOMINAL_ENVIRONMENT`,
+bit-identical to planning with no scenario at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import UnknownScenarioError
+from repro.vehicle.catalog import DEFAULT_VEHICLE_ID, get_vehicle
+from repro.vehicle.environment import EnvironmentConditions
+from repro.vehicle.params import VehicleParams
+
+__all__ = [
+    "ScenarioPack",
+    "DEFAULT_SCENARIO_ID",
+    "get_scenario",
+    "scenario_ids",
+]
+
+#: The paper's implicit study condition.
+DEFAULT_SCENARIO_ID = "nominal"
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """One named study condition: a catalog vehicle in an environment.
+
+    Attributes:
+        scenario_id: Stable pack id (CLI/registry/experiment key).
+        description: One-line human-readable summary.
+        vehicle_id: Catalog id of the vehicle the pack plans for.
+        environment: Ambient conditions the energy model runs under.
+    """
+
+    scenario_id: str
+    description: str
+    vehicle_id: str
+    environment: EnvironmentConditions
+
+    def vehicle(self) -> VehicleParams:
+        """The pack's vehicle, resolved fresh from the catalog."""
+        return get_vehicle(self.vehicle_id)
+
+
+#: id -> pack.  Environments are frozen values, safe to share.
+_SCENARIOS: Dict[str, ScenarioPack] = {
+    pack.scenario_id: pack
+    for pack in (
+        ScenarioPack(
+            scenario_id=DEFAULT_SCENARIO_ID,
+            description="the paper's implicit condition: Spark EV, 20 °C, calm, unladen",
+            vehicle_id=DEFAULT_VEHICLE_ID,
+            environment=EnvironmentConditions(),
+        ),
+        ScenarioPack(
+            scenario_id="cold-morning",
+            description="Spark EV on a -10 °C commute: dense air, stiff cold tires",
+            vehicle_id=DEFAULT_VEHICLE_ID,
+            environment=EnvironmentConditions(ambient_temp_c=-10.0),
+        ),
+        ScenarioPack(
+            scenario_id="loaded-van",
+            description="delivery van carrying 600 kg of cargo",
+            vehicle_id="delivery_van",
+            environment=EnvironmentConditions(payload_kg=600.0),
+        ),
+        ScenarioPack(
+            scenario_id="hilly-corridor",
+            description="sedan on a +3% constant-grade variant of the corridor",
+            vehicle_id="sedan_ev",
+            environment=EnvironmentConditions(grade_offset_rad=0.03),
+        ),
+        ScenarioPack(
+            scenario_id="headwind-commute",
+            description="city EV into a steady 8 m/s headwind",
+            vehicle_id="city_ev",
+            environment=EnvironmentConditions(headwind_ms=8.0),
+        ),
+    )
+}
+
+
+def scenario_ids() -> Tuple[str, ...]:
+    """Every pack id, nominal first."""
+    return tuple(_SCENARIOS)
+
+
+def get_scenario(scenario_id: str) -> ScenarioPack:
+    """The pack registered under an id.
+
+    Raises:
+        UnknownScenarioError: No such pack; the error carries the
+            offending id and the ids that do exist.
+    """
+    pack = _SCENARIOS.get(scenario_id)
+    if pack is None:
+        raise UnknownScenarioError(
+            f"unknown scenario {scenario_id!r}; packs are {sorted(_SCENARIOS)}",
+            scenario_id=str(scenario_id),
+            known_ids=tuple(_SCENARIOS),
+        )
+    return pack

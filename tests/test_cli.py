@@ -58,6 +58,55 @@ class TestMain:
         assert "trip budget" in out
 
 
+class TestVehicleFlags:
+    def test_list_vehicles_prints_catalog_and_packs(self, capsys):
+        assert main(["--list-vehicles"]) == 0
+        out = capsys.readouterr().out
+        assert "vehicles:" in out
+        assert "spark_ev" in out
+        assert "scenario packs:" in out
+        assert "cold-morning" in out
+
+    def test_scenario_selects_pack_vehicle_and_environment(self, capsys):
+        args = FAST_ARGS + ["--rate", "300", "--cap", "320",
+                            "--scenario", "headwind-commute"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "vehicle      : city_ev" in out
+        assert "scenario     : headwind-commute" in out
+
+    def test_explicit_vehicle_overrides_the_pack(self, capsys):
+        args = FAST_ARGS + ["--rate", "300", "--cap", "320",
+                            "--scenario", "cold-morning", "--vehicle", "sedan_ev"]
+        assert main(args) == 0
+        assert "vehicle      : sedan_ev" in capsys.readouterr().out
+
+    def test_vehicle_changes_the_planned_energy(self, capsys):
+        base = FAST_ARGS + ["--rate", "300", "--cap", "320"]
+        assert main(base) == 0
+        nominal_out = capsys.readouterr().out
+        assert main(base + ["--vehicle", "delivery_van"]) == 0
+        van_out = capsys.readouterr().out
+
+        def energy(text):
+            for line in text.splitlines():
+                if line.startswith("planned energy"):
+                    return line
+            raise AssertionError(f"no energy line in {text!r}")
+
+        assert energy(van_out) != energy(nominal_out)
+
+    def test_unknown_vehicle_exits_2(self, capsys):
+        assert main(FAST_ARGS + ["--vehicle", "hoverboard"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid vehicle/scenario" in err
+        assert "hoverboard" in err
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(FAST_ARGS + ["--scenario", "blizzard"]) == 2
+        assert "blizzard" in capsys.readouterr().err
+
+
 class TestChaosPath:
     def test_zero_drop_serves_primary_tier(self, capsys):
         args = FAST_ARGS + ["--rate", "300", "--cap", "320", "--drop-rate", "0.0"]

@@ -3,8 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.core.cost import SegmentEnergyTable
+from repro.units import SECONDS_PER_HOUR
 from repro.vehicle.dynamics import LongitudinalModel
 from repro.vehicle.energy_meter import EnergyMeter, TripEnergy
+from repro.vehicle.environment import EnvironmentConditions
 
 
 @pytest.fixture(scope="module")
@@ -69,3 +72,76 @@ class TestTripEnergy:
     def test_zero_distance_specific_is_nan(self):
         trip = TripEnergy(drawn_mah=1.0, regenerated_mah=0.0, duration_s=1.0, distance_m=0.0)
         assert np.isnan(trip.wh_per_km)
+
+
+class TestSegmentTableCrossCheck:
+    """The measurement layer and the DP cost layer price the same physics.
+
+    Both sit on :class:`LongitudinalModel` but discretize differently:
+    the meter integrates a time-sampled trace at midpoint speed, the
+    table prices constant-acceleration distance segments.  For a single
+    constant-acceleration segment the two grids coincide — the trace
+    ``(v0 at t=0, v1 at t=ds/v_avg)`` has midpoint speed ``v_avg``,
+    acceleration ``(v1-v0)/dt == (v1^2-v0^2)/(2 ds)`` and covers exactly
+    ``ds`` — so the metered net charge must equal the table entry,
+    including under regen, grade, and non-nominal environments.
+    """
+
+    GRID = np.asarray([2.0, 6.0, 10.0, 14.0, 18.0])
+    DS = 150.0
+
+    @pytest.mark.parametrize("grade_rad", [0.0, 0.03, -0.02])
+    @pytest.mark.parametrize(
+        "environment",
+        [
+            None,
+            EnvironmentConditions(ambient_temp_c=-10.0, headwind_ms=5.0),
+            EnvironmentConditions(payload_kg=400.0, grade_offset_rad=0.01),
+        ],
+        ids=["nominal", "cold-windy", "laden-hilly"],
+    )
+    def test_meter_matches_table_per_segment(self, grade_rad, environment):
+        model = LongitudinalModel(environment=environment)
+        meter = EnergyMeter(environment=environment)
+        table = SegmentEnergyTable(
+            model,
+            self.GRID,
+            distance_m=self.DS,
+            grade_rad=grade_rad,
+            a_min=model.params.min_accel_ms2,
+            a_max=model.params.max_accel_ms2,
+        )
+        voltage = model.params.battery.voltage_v
+        checked = 0
+        saw_regen = False
+        for j, v0 in enumerate(self.GRID):
+            for j2, v1 in enumerate(self.GRID):
+                if not table.feasible[j, j2]:
+                    continue
+                dt = table.travel_s[j, j2]
+                trip = meter.measure(
+                    [0.0, dt], [v0, v1], grade_at=lambda s: grade_rad
+                )
+                table_mah = table.energy_j[j, j2] / voltage / SECONDS_PER_HOUR * 1000.0
+                assert trip.net_mah == pytest.approx(table_mah, rel=1e-12, abs=1e-12)
+                assert trip.distance_m == pytest.approx(self.DS, rel=1e-12)
+                saw_regen = saw_regen or table_mah < 0.0
+                checked += 1
+        assert checked > 10
+        assert saw_regen  # the sweep must exercise the regen branch
+
+    def test_regen_branch_splits_exactly(self):
+        """One braking segment: the meter's regen column carries the
+        whole (negative) table entry and the drawn column stays zero."""
+        model = LongitudinalModel()
+        meter = EnergyMeter()
+        table = SegmentEnergyTable(
+            model, self.GRID, self.DS, 0.0,
+            model.params.min_accel_ms2, model.params.max_accel_ms2,
+        )
+        j, j2 = 4, 0  # 18 -> 2 m/s over 150 m: hard braking, net regen
+        assert table.feasible[j, j2]
+        assert table.energy_j[j, j2] < 0.0
+        trip = meter.measure([0.0, table.travel_s[j, j2]], [self.GRID[j], self.GRID[j2]])
+        assert trip.drawn_mah == 0.0
+        assert trip.regenerated_mah > 0.0

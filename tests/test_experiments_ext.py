@@ -1,8 +1,10 @@
 """Extension experiments and the CLI runner."""
 
+import math
+
 import pytest
 
-from repro.experiments import ext_sensitivity, ext_wear
+from repro.experiments import ext_scenarios, ext_sensitivity, ext_wear
 from repro.experiments.common import TripLab, TripSetup
 from repro.experiments.runner import EXPERIMENTS, main
 
@@ -93,3 +95,38 @@ class TestRunnerCli:
     def test_registry_contains_extensions(self):
         assert "ext-wear" in EXPERIMENTS
         assert "ext-sensitivity" in EXPERIMENTS
+        assert "ext-scenarios" in EXPERIMENTS
+
+
+class TestExtScenarios:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_scenarios.run()
+
+    def test_every_pack_planned_feasibly(self, result):
+        from repro.vehicle.scenarios import scenario_ids
+
+        assert [row[0] for row in result.rows] == list(scenario_ids())
+        for row in result.rows:
+            assert row[5], f"scenario {row[0]} infeasible"
+            assert math.isfinite(row[2]) and row[2] > 0
+
+    def test_digests_pairwise_distinct(self, result):
+        assert len(set(result.digests)) == len(result.digests)
+
+    def test_store_sees_one_cold_build_per_pack(self, result):
+        assert result.store.misses == len(result.rows)
+        assert result.store.hits == 0
+
+    def test_scenarios_shift_the_energy(self, result):
+        energies = {row[0]: row[2] for row in result.rows}
+        # Every perturbation in the builtin packs costs energy vs nominal
+        # (cold, laden, hilly, headwind all add load).
+        for sid, energy in energies.items():
+            if sid != "nominal":
+                assert energy > energies["nominal"]
+
+    def test_report_renders(self, result):
+        text = ext_scenarios.report(result)
+        assert "scenario" in text
+        assert "isolation holds" in text

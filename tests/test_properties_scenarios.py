@@ -1,0 +1,116 @@
+"""Property-based tests of the scenario-aware corridor digest (hypothesis).
+
+The digest is the cache key for every expensive corridor build, so its
+contract is sharp in both directions: *any* vehicle or environment
+parameter change must change it (no cross-scenario contamination), and
+equal inputs must always hash equal (warm reuse within a scenario).
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine.artifacts import corridor_digest
+from repro.route.us25 import us25_greenville_segment
+from repro.vehicle.environment import EnvironmentConditions
+from repro.vehicle.params import VehicleParams
+
+ROAD = us25_greenville_segment()
+
+
+def _digest(vehicle=None, environment=None) -> str:
+    return corridor_digest(
+        ROAD,
+        vehicle if vehicle is not None else VehicleParams(),
+        environment=environment,
+        v_step_ms=1.0,
+        s_step_m=50.0,
+    )
+
+
+NOMINAL_DIGEST = _digest()
+
+temps = st.floats(min_value=-60.0, max_value=60.0, allow_nan=False)
+winds = st.floats(min_value=-40.0, max_value=40.0, allow_nan=False)
+payloads = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False)
+grades = st.floats(min_value=-0.2, max_value=0.2, allow_nan=False)
+
+environments = st.builds(
+    EnvironmentConditions,
+    ambient_temp_c=temps,
+    headwind_ms=winds,
+    payload_kg=payloads,
+    grade_offset_rad=grades,
+)
+
+#: Perturbable numeric vehicle fields and a strictly-positive range each.
+_VEHICLE_FIELDS = {
+    "mass_kg": (500.0, 4000.0),
+    "frontal_area_m2": (1.0, 6.0),
+    "drag_coefficient": (0.1, 0.6),
+    "rolling_resistance": (0.005, 0.05),
+    "battery_efficiency": (0.5, 1.0),
+    "powertrain_efficiency": (0.5, 1.0),
+    "regen_efficiency": (0.0, 1.0),
+    "aux_power_w": (0.0, 3000.0),
+}
+
+
+@st.composite
+def vehicle_perturbations(draw):
+    """One numeric field plus a value drawn from its physical range."""
+    name = draw(st.sampled_from(sorted(_VEHICLE_FIELDS)))
+    low, high = _VEHICLE_FIELDS[name]
+    value = draw(st.floats(min_value=low, max_value=high, allow_nan=False))
+    return name, value
+
+
+class TestEnvironmentDigest:
+    @given(env=environments)
+    @settings(max_examples=100, deadline=None)
+    def test_any_non_nominal_environment_changes_the_digest(self, env):
+        digest = _digest(environment=env)
+        if env.is_nominal:
+            assert digest == NOMINAL_DIGEST
+        else:
+            assert digest != NOMINAL_DIGEST
+
+    @given(env=environments)
+    @settings(max_examples=100, deadline=None)
+    def test_equal_environments_hash_equal(self, env):
+        clone = EnvironmentConditions(
+            ambient_temp_c=env.ambient_temp_c,
+            headwind_ms=env.headwind_ms,
+            payload_kg=env.payload_kg,
+            grade_offset_rad=env.grade_offset_rad,
+        )
+        assert _digest(environment=env) == _digest(environment=clone)
+
+    @given(a=environments, b=environments)
+    @settings(max_examples=100, deadline=None)
+    def test_digests_collide_only_for_equal_environments(self, a, b):
+        if a == b:
+            assert _digest(environment=a) == _digest(environment=b)
+        else:
+            assert _digest(environment=a) != _digest(environment=b)
+
+
+class TestVehicleDigest:
+    @given(perturbation=vehicle_perturbations())
+    @settings(max_examples=100, deadline=None)
+    def test_any_vehicle_parameter_change_changes_the_digest(self, perturbation):
+        name, value = perturbation
+        default = VehicleParams()
+        if getattr(default, name) == value:
+            return  # drew the default itself: not a perturbation
+        perturbed = dataclasses.replace(default, **{name: value})
+        assert _digest(vehicle=perturbed) != NOMINAL_DIGEST
+
+    @given(perturbation=vehicle_perturbations())
+    @settings(max_examples=50, deadline=None)
+    def test_equal_vehicles_hash_equal(self, perturbation):
+        name, value = perturbation
+        a = dataclasses.replace(VehicleParams(), **{name: value})
+        b = dataclasses.replace(VehicleParams(), **{name: value})
+        assert _digest(vehicle=a) == _digest(vehicle=b)

@@ -13,7 +13,15 @@ from repro.cloud.registry import (
     CorridorSpec,
     builtin_catalog,
 )
-from repro.errors import ConfigurationError, InputValidationError, UnknownCorridorError
+from repro.errors import (
+    ConfigurationError,
+    InputValidationError,
+    UnknownCorridorError,
+    UnknownScenarioError,
+    UnknownVehicleError,
+)
+from repro.vehicle.catalog import DEFAULT_VEHICLE_ID, get_vehicle
+from repro.vehicle.scenarios import get_scenario
 
 
 @pytest.fixture()
@@ -143,3 +151,69 @@ class TestBuiltinCatalog:
     def test_specs_have_descriptions_for_the_cli(self, catalog):
         for cid in catalog.ids():
             assert catalog.spec(cid).description
+
+
+class TestScenarioSpecs:
+    def test_unknown_vehicle_rejected_at_construction(self, us25):
+        with pytest.raises(UnknownVehicleError) as excinfo:
+            CorridorSpec(corridor_id="x", road=us25, vehicle_id="hovercraft")
+        assert isinstance(excinfo.value, InputValidationError)
+
+    def test_unknown_scenario_rejected_at_construction(self, us25):
+        with pytest.raises(UnknownScenarioError) as excinfo:
+            CorridorSpec(corridor_id="x", road=us25, scenario="monsoon")
+        assert isinstance(excinfo.value, InputValidationError)
+
+    def test_rejection_happens_before_any_runtime_exists(self, us25, coarse_config):
+        # A typo'd spec never reaches the catalog, so no counter, store
+        # or planner ever sees it.
+        catalog = CorridorCatalog()
+        with pytest.raises(UnknownVehicleError):
+            catalog.register(
+                CorridorSpec(
+                    corridor_id="x", road=us25, config=coarse_config,
+                    vehicle_id="hovercraft",
+                )
+            )
+        assert len(catalog) == 0
+        assert catalog.built_ids() == ()
+
+    def test_resolution_precedence(self, us25):
+        default = CorridorSpec(corridor_id="a", road=us25)
+        assert default.resolved_vehicle_id() == DEFAULT_VEHICLE_ID
+        assert default.resolve_environment() is None
+
+        from_pack = CorridorSpec(corridor_id="b", road=us25, scenario="loaded-van")
+        pack = get_scenario("loaded-van")
+        assert from_pack.resolved_vehicle_id() == pack.vehicle_id
+        assert from_pack.resolve_environment() == pack.environment
+
+        explicit = CorridorSpec(
+            corridor_id="c", road=us25, scenario="loaded-van", vehicle_id="city_ev"
+        )
+        assert explicit.resolved_vehicle_id() == "city_ev"
+        assert explicit.resolve_environment() == pack.environment
+
+    def test_built_planner_carries_the_scenario(self, short_road, coarse_config):
+        spec = CorridorSpec(
+            corridor_id="x",
+            road=short_road,
+            scenario="cold-morning",
+            config=coarse_config,
+        )
+        planner = spec.build_planner()
+        pack = get_scenario("cold-morning")
+        assert planner.vehicle == get_vehicle(pack.vehicle_id)
+        assert planner.environment == pack.environment
+        assert planner.plan(start_time_s=0.0).trip_time_s > 0
+
+    def test_scenario_spec_digests_apart_from_nominal(self, short_road, coarse_config):
+        nominal = CorridorSpec(corridor_id="a", road=short_road, config=coarse_config)
+        cold = CorridorSpec(
+            corridor_id="b", road=short_road, scenario="cold-morning",
+            config=coarse_config,
+        )
+        assert (
+            nominal.build_planner().solver.artifacts.digest
+            != cold.build_planner().solver.artifacts.digest
+        )

@@ -1,0 +1,155 @@
+"""Bit-identity regression: the scenario layer leaves the paper path alone.
+
+The catalog/environment refactor threads a vehicle registry and ambient
+conditions through the whole stack.  At the paper's defaults (Spark EV,
+20 °C, calm, unladen) every correction is *exactly* inert, so plans,
+energies, the Fig. 3 surface and the serving counters must reproduce the
+pre-refactor output bit for bit.  The constants below were captured on
+the commit immediately before the refactor with the exact recipes used
+here; any drift means the nominal path is no longer the paper's model.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.cloud.messages import PlanRequest
+from repro.cloud.service import CloudPlannerService
+from repro.core.engine import ArtifactStore
+from repro.core.engine.artifacts import corridor_digest
+from repro.core.planner import PlannerConfig, QueueAwareDpPlanner
+from repro.route.us25 import us25_greenville_segment
+from repro.units import vehicles_per_hour_to_per_second
+from repro.vehicle.catalog import get_vehicle
+from repro.vehicle.efficiency import ConstantEfficiencyMap
+from repro.vehicle.environment import NOMINAL_ENVIRONMENT
+from repro.vehicle.params import VehicleParams, chevrolet_spark_ev
+
+#: The exact grid the goldens were captured at (the suite's coarse grid).
+GOLDEN_CONFIG = PlannerConfig(
+    v_step_ms=1.0, s_step_m=50.0, t_bin_s=2.0, horizon_s=500.0, window_margin_s=2.0
+)
+GOLDEN_RATE_VPH = 300.0
+
+PLAN_ENERGY_J = 1688838.3619312106
+PLAN_TRIP_S = 318.7016880889743
+PLAN_SPEEDS_SHA = "dd3751c80f0dd051f7af75d23c0261f243e8b2e0467ad1e061e6a8546f46decf"
+PLAN_ARRIVALS = {1820.0: 156.8355459022625, 3460.0: 252.83758731108026}
+
+REPLAN_ENERGY_J = 938904.4116899997
+REPLAN_TRIP_S = 264.77365728900253
+REPLAN_SPEEDS_SHA = "fea5efb4dbb71baafe09dbcd1bb4eb9e5c16128000032b137364b3e74e2fce3d"
+
+FIG3_SURFACE_SHA = "4df6b529d60eb8dd59ca4e1fd519f1f93380f133a5a3c76c0cbe7da4ac5e866f"
+FIG3_CORNER = 107.57764022358258
+FIG3_REGEN_SAMPLE = -9.520511904761904
+
+
+def _sha(array) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _planner(store=None, vehicle=None, environment=None):
+    return QueueAwareDpPlanner(
+        us25_greenville_segment(),
+        arrival_rates=vehicles_per_hour_to_per_second(GOLDEN_RATE_VPH),
+        vehicle=vehicle,
+        config=GOLDEN_CONFIG,
+        store=store,
+        environment=environment,
+    )
+
+
+#: Ways of spelling "the paper's vehicle in the paper's conditions" that
+#: must all hit the identical code path and artifacts.
+NOMINAL_SPELLINGS = {
+    "implicit": dict(vehicle=None, environment=None),
+    "catalog": dict(vehicle=get_vehicle("spark_ev"), environment=None),
+    "explicit-env": dict(
+        vehicle=get_vehicle("spark_ev"), environment=NOMINAL_ENVIRONMENT
+    ),
+}
+
+
+class TestPlanGoldens:
+    @pytest.mark.parametrize("spelling", sorted(NOMINAL_SPELLINGS))
+    def test_plan_reproduces_the_seed_exactly(self, spelling):
+        solution = _planner(**NOMINAL_SPELLINGS[spelling]).plan(
+            start_time_s=0.0, max_trip_time_s=320.0
+        )
+        assert solution.energy_j == PLAN_ENERGY_J
+        assert solution.trip_time_s == PLAN_TRIP_S
+        assert _sha(solution.profile.speeds_ms) == PLAN_SPEEDS_SHA
+        assert solution.signal_arrivals == PLAN_ARRIVALS
+
+    def test_replan_reproduces_the_seed_exactly(self):
+        solution = _planner().replan(position_m=1234.0, speed_ms=11.0, time_s=60.0)
+        assert solution.energy_j == REPLAN_ENERGY_J
+        assert solution.trip_time_s == REPLAN_TRIP_S
+        assert _sha(solution.profile.speeds_ms) == REPLAN_SPEEDS_SHA
+
+
+class TestFig3Golden:
+    def test_energy_surface_bitwise(self):
+        from repro.experiments.fig3_energy_map import run as fig3_run
+
+        result = fig3_run()
+        assert _sha(result.rate_mah_s) == FIG3_SURFACE_SHA
+        assert result.rate_mah_s[-1, -1] == FIG3_CORNER
+        assert result.rate_mah_s[0, 30] == FIG3_REGEN_SAMPLE
+
+
+class TestServiceCounterGoldens:
+    def test_serving_counters_reproduce_the_seed(self):
+        """Replan + a phased request stream: cache keys, revalidation
+        behaviour and artifact-store traffic must match the seed run."""
+        store = ArtifactStore()
+        planner = _planner(store=store)
+        planner.replan(position_m=1234.0, speed_ms=11.0, time_s=60.0)
+        service = CloudPlannerService(planner)
+        for i, depart in enumerate([0.0, 60.0, 0.4, 120.0, 60.2, 0.1]):
+            service.request(
+                PlanRequest(vehicle_id=f"v{i}", depart_s=depart, max_trip_time_s=320.0)
+            )
+        stats = service.stats_snapshot()
+        assert stats.requests == 6
+        assert stats.cache_hits == 2
+        assert stats.cache_misses == 4
+        assert stats.errors == 0
+        assert stats.revalidation_misses == 3
+        assert store.stats().hits == 0
+        assert store.stats().misses == 1
+
+
+class TestDigestCompatibility:
+    def test_nominal_spellings_share_one_digest(self):
+        road = us25_greenville_segment()
+        digests = {
+            corridor_digest(road, chevrolet_spark_ev(), v_step_ms=1.0, s_step_m=50.0),
+            corridor_digest(road, VehicleParams(), v_step_ms=1.0, s_step_m=50.0),
+            corridor_digest(
+                road, get_vehicle("spark_ev"), v_step_ms=1.0, s_step_m=50.0
+            ),
+            corridor_digest(
+                road,
+                get_vehicle("spark_ev"),
+                environment=NOMINAL_ENVIRONMENT,
+                v_step_ms=1.0,
+                s_step_m=50.0,
+            ),
+        }
+        assert len(digests) == 1
+
+    def test_constant_map_is_the_same_physics(self):
+        """No map and a constant map at eta_1*eta_2 digest identically —
+        the artifact store never rebuilds for a pure respelling."""
+        road = us25_greenville_segment()
+        bare = chevrolet_spark_ev()
+        mapped = VehicleParams(
+            battery=bare.battery,
+            efficiency_map=ConstantEfficiencyMap(bare.drivetrain_efficiency),
+        )
+        assert corridor_digest(road, bare, v_step_ms=1.0, s_step_m=50.0) == (
+            corridor_digest(road, mapped, v_step_ms=1.0, s_step_m=50.0)
+        )

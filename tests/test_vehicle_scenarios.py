@@ -1,0 +1,250 @@
+"""Vehicle catalog, environment conditions, efficiency maps, scenario packs."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, UnknownScenarioError, UnknownVehicleError
+from repro.vehicle.catalog import (
+    DEFAULT_VEHICLE_ID,
+    describe_vehicle,
+    get_vehicle,
+    vehicle_ids,
+)
+from repro.vehicle.dynamics import LongitudinalModel
+from repro.vehicle.efficiency import ConstantEfficiencyMap, InterpolatedEfficiencyMap
+from repro.vehicle.environment import (
+    NOMINAL_ENVIRONMENT,
+    REFERENCE_TEMP_C,
+    EnvironmentConditions,
+)
+from repro.vehicle.params import VehicleParams, chevrolet_spark_ev
+from repro.vehicle.scenarios import (
+    DEFAULT_SCENARIO_ID,
+    get_scenario,
+    scenario_ids,
+)
+
+
+class TestEnvironmentConditions:
+    def test_nominal_scales_are_exactly_one(self):
+        assert NOMINAL_ENVIRONMENT.air_density_scale == 1.0
+        assert NOMINAL_ENVIRONMENT.rolling_resistance_scale == 1.0
+        assert NOMINAL_ENVIRONMENT.is_nominal
+
+    def test_cold_air_is_denser_and_rolls_worse(self):
+        cold = EnvironmentConditions(ambient_temp_c=-10.0)
+        assert cold.air_density_scale > 1.0
+        assert cold.rolling_resistance_scale > 1.0
+        assert not cold.is_nominal
+
+    def test_hot_air_is_thinner(self):
+        hot = EnvironmentConditions(ambient_temp_c=40.0)
+        assert hot.air_density_scale < 1.0
+
+    def test_rolling_scale_floors_at_half(self):
+        # No physical temperature reaches the floor through the linear
+        # law within the validated range, so the floor only guards
+        # against future coefficient changes — probe via the formula.
+        scorching = EnvironmentConditions(ambient_temp_c=60.0)
+        assert scorching.rolling_resistance_scale >= 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"ambient_temp_c": float("nan")},
+            {"ambient_temp_c": 100.0},
+            {"headwind_ms": 60.0},
+            {"headwind_ms": float("inf")},
+            {"payload_kg": -1.0},
+            {"grade_offset_rad": 0.5},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            EnvironmentConditions(**kwargs)
+
+    def test_canonical_parts_distinguish_fields(self):
+        base = list(NOMINAL_ENVIRONMENT.canonical_parts())
+        for env in (
+            EnvironmentConditions(ambient_temp_c=0.0),
+            EnvironmentConditions(headwind_ms=5.0),
+            EnvironmentConditions(payload_kg=100.0),
+            EnvironmentConditions(grade_offset_rad=0.01),
+        ):
+            assert list(env.canonical_parts()) != base
+
+    def test_describe_mentions_reference_temp(self):
+        assert f"{REFERENCE_TEMP_C:g}" in NOMINAL_ENVIRONMENT.describe()
+
+
+class TestConstantEfficiencyMap:
+    def test_matches_bare_constant_bitwise(self):
+        params = chevrolet_spark_ev()
+        eta = params.drivetrain_efficiency
+        mapped = LongitudinalModel(
+            VehicleParams(efficiency_map=ConstantEfficiencyMap(eta))
+        )
+        bare = LongitudinalModel()
+        v = np.linspace(0.5, 35.0, 64)
+        a = np.linspace(-1.5, 2.0, 64)
+        assert np.array_equal(
+            mapped.electrical_power(v, a), bare.electrical_power(v, a)
+        )
+
+    def test_eta_ignores_operating_point(self):
+        emap = ConstantEfficiencyMap(0.8)
+        assert emap.eta(3.0, 1e4) == 0.8
+        assert emap.eta(30.0, -1e4) == 0.8
+
+
+class TestInterpolatedEfficiencyMap:
+    @pytest.fixture(scope="class")
+    def emap(self):
+        return InterpolatedEfficiencyMap.from_arrays(
+            speeds_ms=[0.0, 10.0, 30.0],
+            loads=[0.0, 0.5, 1.0],
+            eta_grid=[[0.5, 0.6, 0.55], [0.7, 0.9, 0.85], [0.65, 0.88, 0.8]],
+            rated_power_w=100_000.0,
+        )
+
+    def test_exact_at_breakpoints(self, emap):
+        # load 0.5 of rated power at 10 m/s is a grid corner
+        assert emap.eta(10.0, 50_000.0) == pytest.approx(0.9)
+
+    def test_interpolates_between_breakpoints(self, emap):
+        mid = emap.eta(5.0, 25_000.0)
+        assert 0.5 < mid < 0.9
+
+    def test_clips_outside_the_hull(self, emap):
+        assert emap.eta(100.0, 1e9) == pytest.approx(emap.eta(30.0, 100_000.0))
+        assert emap.eta(0.0, -5e5) == pytest.approx(emap.eta(0.0, 100_000.0))
+
+    def test_vectorized_matches_scalar(self, emap):
+        v = np.asarray([2.0, 12.0, 28.0])
+        p = np.asarray([1e4, -4e4, 9e4])
+        vec = emap.eta(v, p)
+        for i in range(3):
+            assert vec[i] == pytest.approx(emap.eta(float(v[i]), float(p[i])))
+
+    def test_negative_power_uses_magnitude_load(self, emap):
+        assert emap.eta(10.0, -50_000.0) == emap.eta(10.0, 50_000.0)
+
+    def test_rejects_non_increasing_axes(self):
+        with pytest.raises(ConfigurationError):
+            InterpolatedEfficiencyMap.from_arrays(
+                [0.0, 10.0, 10.0], [0.0, 1.0], np.full((3, 2), 0.9), 1e5
+            )
+
+    def test_rejects_eta_out_of_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            InterpolatedEfficiencyMap.from_arrays(
+                [0.0, 10.0], [0.0, 1.0], [[0.9, 1.2], [0.9, 0.9]], 1e5
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            InterpolatedEfficiencyMap.from_arrays(
+                [0.0, 10.0], [0.0, 1.0], np.full((3, 2), 0.9), 1e5
+            )
+
+    def test_pickle_round_trip_preserves_eta(self, emap):
+        clone = pickle.loads(pickle.dumps(emap))
+        assert clone == emap
+        assert clone.eta(7.0, 33_000.0) == emap.eta(7.0, 33_000.0)
+
+    def test_canonical_parts_change_with_grid(self, emap):
+        other = InterpolatedEfficiencyMap.from_arrays(
+            emap.speed_array, emap.load_array, emap.eta_array * 0.99, emap.rated_power_w
+        )
+        assert list(other.canonical_parts()) != list(emap.canonical_parts())
+
+
+class TestCatalog:
+    def test_default_vehicle_is_the_paper_spark_ev(self):
+        vehicle = get_vehicle(DEFAULT_VEHICLE_ID)
+        paper = chevrolet_spark_ev()
+        assert vehicle.mass_kg == paper.mass_kg
+        assert vehicle.drivetrain_efficiency == paper.drivetrain_efficiency
+        assert vehicle.efficiency_map is None
+
+    def test_every_vehicle_builds_and_consumes(self):
+        for vid in vehicle_ids():
+            vehicle = get_vehicle(vid)
+            model = LongitudinalModel(vehicle)
+            rate = model.consumption_rate_a(15.0, 0.2)
+            assert np.isfinite(rate) and rate > 0.0
+
+    def test_non_default_vehicles_carry_maps(self):
+        for vid in vehicle_ids():
+            if vid == DEFAULT_VEHICLE_ID:
+                continue
+            assert isinstance(
+                get_vehicle(vid).efficiency_map, InterpolatedEfficiencyMap
+            )
+
+    def test_factories_return_fresh_instances(self):
+        assert get_vehicle("city_ev") == get_vehicle("city_ev")
+
+    def test_describe_every_vehicle(self):
+        for vid in vehicle_ids():
+            assert describe_vehicle(vid)
+
+    def test_unknown_vehicle_raises_typed_error(self):
+        with pytest.raises(UnknownVehicleError) as err:
+            get_vehicle("warp-drive")
+        assert "warp-drive" in str(err.value)
+        assert DEFAULT_VEHICLE_ID in str(err.value)
+
+    def test_vehicles_pickle_round_trip(self):
+        for vid in vehicle_ids():
+            vehicle = get_vehicle(vid)
+            assert pickle.loads(pickle.dumps(vehicle)) == vehicle
+
+
+class TestScenarioPacks:
+    def test_default_scenario_is_nominal(self):
+        pack = get_scenario(DEFAULT_SCENARIO_ID)
+        assert pack.vehicle_id == DEFAULT_VEHICLE_ID
+        assert pack.environment.is_nominal
+
+    def test_every_pack_resolves_a_vehicle(self):
+        for sid in scenario_ids():
+            pack = get_scenario(sid)
+            assert pack.vehicle().mass_kg > 0
+            assert pack.vehicle_id in vehicle_ids()
+
+    def test_non_nominal_packs_change_conditions(self):
+        for sid in scenario_ids():
+            if sid == DEFAULT_SCENARIO_ID:
+                continue
+            pack = get_scenario(sid)
+            assert (not pack.environment.is_nominal) or (
+                pack.vehicle_id != DEFAULT_VEHICLE_ID
+            )
+
+    def test_unknown_scenario_raises_typed_error(self):
+        with pytest.raises(UnknownScenarioError) as err:
+            get_scenario("mars-rover")
+        assert "mars-rover" in str(err.value)
+        assert DEFAULT_SCENARIO_ID in str(err.value)
+
+    def test_all_packs_feasible_on_us25(self, us25, coarse_config):
+        # Packs perturb energy, never kinematic feasibility: every pack
+        # must plan wherever the nominal vehicle plans.
+        from repro.core.planner import QueueAwareDpPlanner
+        from repro.units import vehicles_per_hour_to_per_second
+
+        rate = vehicles_per_hour_to_per_second(300.0)
+        for sid in scenario_ids():
+            pack = get_scenario(sid)
+            planner = QueueAwareDpPlanner(
+                us25,
+                rate,
+                vehicle=pack.vehicle(),
+                config=coarse_config,
+                environment=pack.environment,
+            )
+            solution = planner.plan(0.0, max_trip_time_s=320.0)
+            assert np.isfinite(solution.energy_j)
